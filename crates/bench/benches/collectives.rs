@@ -1,0 +1,29 @@
+//! Criterion benches for the collective cost model (backs Figure 5's sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt_commsim::{collectives, CostModel};
+use dmt_topology::{ClusterTopology, HardwareGeneration, ProcessGroup};
+
+fn bench_collectives(c: &mut Criterion) {
+    const MB: u64 = 1024 * 1024;
+    let mut group = c.benchmark_group("collective_cost_model");
+    for world in [64usize, 512] {
+        let cluster = ClusterTopology::standard(HardwareGeneration::A100, world).unwrap();
+        let model = CostModel::new(cluster.clone());
+        let global = ProcessGroup::global(&cluster);
+        group.bench_with_input(BenchmarkId::new("all_to_all_256mb", world), &world, |b, _| {
+            b.iter(|| collectives::all_to_all(&model, &global, 256 * MB))
+        });
+        group.bench_with_input(BenchmarkId::new("all_reduce_64mb", world), &world, |b, _| {
+            b.iter(|| collectives::all_reduce(&model, &global, 64 * MB))
+        });
+        let peers = ProcessGroup::peer_groups(&cluster);
+        group.bench_with_input(BenchmarkId::new("peer_all_to_alls_256mb", world), &world, |b, _| {
+            b.iter(|| collectives::concurrent_peer_all_to_alls(&model, &peers, 256 * MB))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

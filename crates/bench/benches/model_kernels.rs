@@ -1,0 +1,51 @@
+//! Criterion benches for the trainable-model kernels: tower modules, interaction, and a
+//! full DLRM training step on the synthetic dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmt_core::tower::{DlrmTowerModule, TowerModule};
+use dmt_core::{naive_partition, DmtConfig, TowerModuleKind};
+use dmt_data::{DatasetSchema, SyntheticClickDataset};
+use dmt_models::{ModelArch, ModelHyperparams, RecommendationModel};
+use dmt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tower_module(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut tm = DlrmTowerModule::new(&mut rng, 7, 32, 1, 0, 16).unwrap();
+    let input = Tensor::ones(&[256, 7 * 32]);
+    c.bench_function("dlrm_tower_module_forward_256x7x32", |b| {
+        b.iter(|| tm.forward(&input).unwrap())
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    let schema = DatasetSchema::criteo_like_small();
+    let hyper = ModelHyperparams::tiny();
+    let mut data = SyntheticClickDataset::new(schema.clone(), 7);
+    let batch = data.next_batch(128);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut baseline = RecommendationModel::baseline(&mut rng, &schema, ModelArch::Dlrm, &hyper).unwrap();
+    group.bench_function("baseline_dlrm_batch128", |b| {
+        b.iter(|| baseline.train_step(&batch, 1e-3).unwrap())
+    });
+
+    let partition = naive_partition(schema.num_sparse(), 4).unwrap();
+    let config = DmtConfig::builder(4)
+        .tower_module(TowerModuleKind::DlrmLinear)
+        .tower_output_dim(8)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut dmt = RecommendationModel::dmt(&mut rng, &schema, ModelArch::Dlrm, &hyper, partition, &config).unwrap();
+    group.bench_function("dmt_4t_dlrm_batch128", |b| {
+        b.iter(|| dmt.train_step(&batch, 1e-3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tower_module, bench_train_step);
+criterion_main!(benches);

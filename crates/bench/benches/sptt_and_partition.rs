@@ -1,0 +1,39 @@
+//! Criterion benches for the DMT core: SPTT symbolic verification and the Tower
+//! Partitioner (stress embedding + constrained K-Means).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt_core::partition::{interaction_matrix, TowerPartitioner};
+use dmt_core::sptt::SpttPlan;
+use dmt_topology::{ClusterTopology, HardwareGeneration, TowerPlacement};
+
+fn bench_sptt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sptt_symbolic_flow");
+    for (hosts, gpus) in [(4usize, 8usize), (8, 8)] {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, hosts, gpus).unwrap();
+        let placement = TowerPlacement::one_tower_per_host(&cluster);
+        let plan = SpttPlan::new(&cluster, &placement, 26, 4).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("verify_equivalence", hosts * gpus),
+            &plan,
+            |b, plan| b.iter(|| plan.verify_semantic_equivalence()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tower_partitioner");
+    group.sample_size(10);
+    let embeddings: Vec<Vec<f32>> = (0..26)
+        .map(|i| (0..32).map(|d| ((i * 13 + d * 7) % 17) as f32 / 17.0 - 0.5).collect())
+        .collect();
+    group.bench_function("interaction_matrix_26", |b| b.iter(|| interaction_matrix(&embeddings)));
+    let partitioner = TowerPartitioner::new(8);
+    group.bench_function("partition_26_features_8_towers", |b| {
+        b.iter(|| partitioner.partition_from_embeddings(&embeddings).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sptt, bench_partitioner);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 10: speedup of DMT over DLRM and DCN across hardware platforms and scales.
+
+use dmt_bench::{header, write_json};
+use dmt_models::PaperScaleSpec;
+use dmt_topology::HardwareGeneration;
+use dmt_trainer::simulation::{DmtThroughputConfig, SimulationConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    hardware: String,
+    gpus: usize,
+    baseline_ms: f64,
+    dmt_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    header("Figure 10: speedup of DMT over the strong baseline (16-512 GPUs, V100/A100/H100)");
+    let mut rows = Vec::new();
+    for model in [PaperScaleSpec::dlrm(), PaperScaleSpec::dcn()] {
+        println!("\n=== DMT-{} over {} ===", model.name, model.name);
+        println!("{:<6} {:>6} {:>14} {:>12} {:>9}", "HW", "GPUs", "baseline (ms)", "DMT (ms)", "speedup");
+        for hardware in HardwareGeneration::ALL {
+            for gpus in [16usize, 32, 64, 128, 256, 512] {
+                // The paper's V100 cluster tops out at 16 hosts (128 GPUs).
+                if hardware == HardwareGeneration::V100 && gpus > 128 {
+                    continue;
+                }
+                let cfg = SimulationConfig::new(hardware, gpus, model.clone()).expect("valid world");
+                let baseline = cfg.simulate_baseline_iteration().breakdown();
+                let dmt = cfg
+                    .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))
+                    .breakdown();
+                let speedup = dmt.speedup_over(&baseline);
+                println!(
+                    "{:<6} {:>6} {:>14.2} {:>12.2} {:>8.2}x",
+                    hardware.to_string(),
+                    gpus,
+                    baseline.total_s() * 1e3,
+                    dmt.total_s() * 1e3,
+                    speedup
+                );
+                rows.push(Row {
+                    model: model.name.clone(),
+                    hardware: hardware.to_string(),
+                    gpus,
+                    baseline_ms: baseline.total_s() * 1e3,
+                    dmt_ms: dmt.total_s() * 1e3,
+                    speedup,
+                });
+            }
+        }
+    }
+    println!("\npaper reports speedups of up to 1.9x (DLRM) and up to 1.9x at small scale (DCN)");
+    write_json("fig10_speedup", &rows);
+}

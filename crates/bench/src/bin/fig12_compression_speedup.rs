@@ -1,0 +1,34 @@
+//! Figure 12: effect of the tower-module compression ratio on speedup over SPTT.
+
+use dmt_bench::{header, write_json};
+use dmt_models::PaperScaleSpec;
+use dmt_topology::HardwareGeneration;
+use dmt_trainer::simulation::{DmtThroughputConfig, SimulationConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    hardware: String,
+    compression_ratio: f64,
+    speedup_over_sptt: f64,
+}
+
+fn main() {
+    header("Figure 12: speedup of DMT 8T-DLRM over SPTT vs compression ratio (64 GPUs)");
+    println!("{:<6} {:>6} {:>20}", "HW", "CR", "speedup over SPTT");
+    let mut rows = Vec::new();
+    for hardware in HardwareGeneration::ALL {
+        let cfg = SimulationConfig::new(hardware, 64, PaperScaleSpec::dlrm()).expect("valid world");
+        let sptt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg)).breakdown();
+        for cr in [2.0f64, 4.0, 8.0, 16.0] {
+            let dmt = cfg
+                .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg).with_compression_ratio(cr))
+                .breakdown();
+            let speedup = dmt.speedup_over(&sptt);
+            println!("{:<6} {:>6.0} {:>19.2}x", hardware.to_string(), cr, speedup);
+            rows.push(Row { hardware: hardware.to_string(), compression_ratio: cr, speedup_over_sptt: speedup });
+        }
+    }
+    println!("\npaper reports up to 2.0x (V100) with CR=16, with diminishing AUC (see Table 5)");
+    write_json("fig12_compression_speedup", &rows);
+}

@@ -1,0 +1,47 @@
+//! Figure 13: per-component iteration latency, DCN vs DMT-DCN on 64 H100 GPUs.
+
+use dmt_bench::{header, write_json};
+use dmt_models::PaperScaleSpec;
+use dmt_topology::HardwareGeneration;
+use dmt_trainer::simulation::{DmtThroughputConfig, SimulationConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    compute_ms: f64,
+    embedding_comm_ms: f64,
+    dense_sync_ms: f64,
+    other_ms: f64,
+    total_ms: f64,
+}
+
+fn main() {
+    header("Figure 13: iteration latency breakdown, DCN vs DMT-DCN, 64 H100 GPUs");
+    let cfg = SimulationConfig::new(HardwareGeneration::H100, 64, PaperScaleSpec::dcn()).expect("valid world");
+    let baseline = cfg.simulate_baseline_iteration().breakdown();
+    let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+
+    let row = |name: &str, b: &dmt_commsim::LatencyBreakdown| Row {
+        model: name.to_string(),
+        compute_ms: b.compute_s * 1e3,
+        embedding_comm_ms: b.embedding_comm_s * 1e3,
+        dense_sync_ms: b.dense_sync_s * 1e3,
+        other_ms: (b.shuffle_s + b.other_s) * 1e3,
+        total_ms: b.total_s() * 1e3,
+    };
+    let rows = vec![row("DCN", &baseline), row("DMT-DCN", &dmt)];
+    println!("{:<10} {:>10} {:>16} {:>12} {:>8} {:>8}", "model", "compute", "emb comm", "dense sync", "other", "total");
+    for r in &rows {
+        println!(
+            "{:<10} {:>10.1} {:>16.1} {:>12.1} {:>8.1} {:>8.1}",
+            r.model, r.compute_ms, r.embedding_comm_ms, r.dense_sync_ms, r.other_ms, r.total_ms
+        );
+    }
+    println!(
+        "\nimprovements: compute {:.1}x, exposed embedding communication {:.1}x (paper: 1.4x and 4.6x)",
+        baseline.compute_s / dmt.compute_s,
+        baseline.embedding_comm_s / dmt.embedding_comm_s
+    );
+    write_json("fig13_component_latency", &rows);
+}

@@ -1,0 +1,61 @@
+//! Figure 9: the TP similarity matrix, learned 2-D feature embedding and tower colors.
+
+use dmt_bench::{header, write_json};
+use dmt_core::partition::{interaction_matrix, PartitionStrategy, TowerPartitioner};
+use dmt_data::{DatasetSchema, FeatureBlock};
+use dmt_models::{ModelArch, ModelHyperparams, RecommendationModel};
+use dmt_data::SyntheticClickDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    similarity: Vec<Vec<f64>>,
+    coordinates: Vec<Vec<f64>>,
+    assignment: Vec<Option<usize>>,
+    blocks: Vec<String>,
+}
+
+fn main() {
+    header("Figure 9: similarity matrix and learned 2-D feature embedding (coherent strategy, 8 towers)");
+    let schema = DatasetSchema::criteo_like_small();
+    // Probe: briefly train a baseline DLRM so embeddings carry affinity signal.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut model = RecommendationModel::baseline(&mut rng, &schema, ModelArch::Dlrm, &ModelHyperparams::tiny())
+        .expect("model builds");
+    let mut data = SyntheticClickDataset::new(schema.clone(), 99);
+    for _ in 0..40 {
+        let batch = data.next_batch(256);
+        model.train_step(&batch, 1e-2).expect("train step");
+    }
+    let probe = model.feature_embedding_probe(64);
+    let similarity = interaction_matrix(&probe);
+
+    let partitioner = TowerPartitioner::new(8).with_strategy(PartitionStrategy::Coherent);
+    let distance: Vec<Vec<f64>> = similarity.iter().map(|r| r.iter().map(|&x| 1.0 - x).collect()).collect();
+    let coordinates = partitioner.embed(&distance);
+    let partition = partitioner.partition_from_interactions(&similarity).expect("partition");
+
+    println!("similarity matrix ({} x {}), row = feature id, value in [0, 1]:", similarity.len(), similarity.len());
+    for row in &similarity {
+        let line: String = row.iter().map(|v| format!("{:4.2} ", v)).collect();
+        println!("  {line}");
+    }
+    println!("\nlearned 2-D embedding and tower assignment:");
+    println!("{:>7} {:>8} {:>9} {:>9} {:>6}", "feature", "block", "x", "y", "tower");
+    let mut assignment = Vec::new();
+    let mut blocks = Vec::new();
+    for (f, coord) in coordinates.iter().enumerate() {
+        let tower = partition.tower_of(f);
+        let block = format!("{:?}", schema.blocks[f]);
+        println!("{f:>7} {block:>8} {:>9.3} {:>9.3} {:>6}", coord[0], coord[1], tower.map_or(-1i64, |t| t as i64));
+        assignment.push(tower);
+        blocks.push(block);
+    }
+    // Sanity line matching the paper's XLRM observation: user and item blocks separate.
+    let user = schema.features_in_block(FeatureBlock::User);
+    let item = schema.features_in_block(FeatureBlock::Item);
+    println!("\nuser features: {user:?}\nitem features: {item:?}");
+    write_json("fig9_tp_embedding", &Output { similarity, coordinates, assignment, blocks });
+}

@@ -1,0 +1,26 @@
+//! Table 1: hardware generations — compute vs network scaling.
+
+use dmt_bench::{header, write_json};
+use dmt_topology::HardwareGeneration;
+
+fn main() {
+    header("Table 1: peak FP performance vs scale-out / scale-up bandwidth per GPU");
+    println!("{:<8} {:>6} {:>14} {:>16} {:>18}", "System", "Year", "Peak (TF/s)", "Scale-out (Gbps)", "Scale-up (GB/s)");
+    let mut rows = Vec::new();
+    for generation in HardwareGeneration::ALL {
+        let spec = generation.spec();
+        println!(
+            "{:<8} {:>6} {:>14.1} {:>16.0} {:>18.0}",
+            spec.name, spec.year, spec.peak_tflops, spec.scale_out_gbps, spec.scale_up_gbs
+        );
+        rows.push(spec);
+    }
+    let v100 = HardwareGeneration::V100.spec();
+    let h100 = HardwareGeneration::H100.spec();
+    println!(
+        "\ncompute grew {:.0}x across generations while the scale-out NIC grew only {:.0}x",
+        h100.peak_tflops / v100.peak_tflops,
+        h100.scale_out_gbps / v100.scale_out_gbps
+    );
+    write_json("table1_hardware", &rows);
+}

@@ -1,0 +1,93 @@
+//! Table 4: DMT with 2-16 towers achieves on-par AUC with on-par or lower resources.
+
+use dmt_bench::{header, quick_mode, write_json};
+use dmt_core::{DmtConfig, TowerModuleKind};
+use dmt_metrics::Summary;
+use dmt_models::ModelArch;
+use dmt_trainer::quality::QualityConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    towers: usize,
+    median_auc: f64,
+    std_dev: f64,
+    mflops_per_sample: f64,
+    parameters: usize,
+}
+
+fn main() {
+    header("Table 4: median AUC of DMT nT variants vs the strong baseline");
+    let quick = quick_mode();
+    let seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=9).collect() };
+    let tower_counts: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 13] };
+    let mut rows = Vec::new();
+
+    for arch in [ModelArch::Dlrm, ModelArch::Dcn] {
+        let cfg = if quick { QualityConfig::quick(arch) } else { QualityConfig::full(arch) };
+        // Strong baseline row.
+        let mut aucs = Vec::new();
+        let mut last = None;
+        for &seed in &seeds {
+            let r = cfg.run_baseline(seed).expect("baseline");
+            aucs.push(r.auc);
+            last = Some(r);
+        }
+        let summary = Summary::of(&aucs).expect("non-empty");
+        let base = last.expect("seeded");
+        println!(
+            "{:<28} AUC {:.4} ({:.4})  {:>7.2} MFlops  {:>12} params",
+            format!("{} Strong Baseline", arch.name().to_uppercase()),
+            summary.median, summary.std_dev, base.mflops_per_sample, base.parameters
+        );
+        rows.push(Row {
+            model: format!("{} Strong Baseline", arch.name().to_uppercase()),
+            towers: 1,
+            median_auc: summary.median,
+            std_dev: summary.std_dev,
+            mflops_per_sample: base.mflops_per_sample,
+            parameters: base.parameters,
+        });
+
+        // DMT nT rows with the architecture-matched tower module.
+        let kind = match arch {
+            ModelArch::Dlrm => TowerModuleKind::DlrmLinear,
+            ModelArch::Dcn => TowerModuleKind::DcnCross,
+        };
+        for &towers in &tower_counts {
+            let dmt_cfg = DmtConfig::builder(towers)
+                .tower_module(kind)
+                .tower_output_dim(cfg.hyper.embedding_dim / 2)
+                .ensemble(1, 0)
+                .cross_layers(1)
+                .build()
+                .expect("valid config");
+            let mut aucs = Vec::new();
+            let mut last = None;
+            for &seed in &seeds {
+                let partition = cfg.build_partition(towers, true, seed).expect("partition");
+                let r = cfg.run_dmt(seed, partition, &dmt_cfg).expect("dmt run");
+                aucs.push(r.auc);
+                last = Some(r);
+            }
+            let summary = Summary::of(&aucs).expect("non-empty");
+            let result = last.expect("seeded");
+            let name = format!("DMT {}T-{}", towers, arch.name().to_uppercase());
+            println!(
+                "{:<28} AUC {:.4} ({:.4})  {:>7.2} MFlops  {:>12} params",
+                name, summary.median, summary.std_dev, result.mflops_per_sample, result.parameters
+            );
+            rows.push(Row {
+                model: name,
+                towers,
+                median_auc: summary.median,
+                std_dev: summary.std_dev,
+                mflops_per_sample: result.mflops_per_sample,
+                parameters: result.parameters,
+            });
+        }
+    }
+    println!("\npaper: all DMT nT variants are within one std of the baseline AUC with equal or lower MFlops");
+    write_json("table4_tower_auc", &rows);
+}

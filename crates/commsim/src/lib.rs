@@ -1,0 +1,49 @@
+//! Analytical collective-communication simulator for the DMT reproduction.
+//!
+//! The paper's throughput results are driven by how long NCCL collectives take on a
+//! two-level datacenter fabric, and by how sharply their efficiency degrades with scale
+//! (Figure 5). This crate replaces NCCL + real hardware with an analytical cost model:
+//!
+//! * [`CostModel`] — α–β (latency + bandwidth) model over a [`dmt_topology::ClusterTopology`]
+//!   with an empirically calibrated cross-host efficiency curve reproducing the
+//!   degradation of Figure 5.
+//! * [`collectives`] — time/byte estimates for AlltoAll, AllReduce, ReduceScatter,
+//!   AllGather and Broadcast over arbitrary process groups, including the *peer*
+//!   AlltoAlls and intra-host collectives used by SPTT.
+//! * [`quant`] — communication quantization (FP32/FP16/FP8/INT8) as byte scaling.
+//! * [`timeline`] — composition of compute and communication segments into an
+//!   iteration latency with explicit exposed-communication accounting (Figure 1 / 13).
+//!
+//! The model is deliberately analytical rather than packet-level: DMT's gains come from
+//! *which world size and link class* each byte crosses, which an α–β model with a
+//! calibrated efficiency curve captures, while remaining fast enough to sweep 16–512
+//! GPU configurations in a benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_commsim::{collectives, CostModel};
+//! use dmt_topology::{ClusterTopology, HardwareGeneration, ProcessGroup};
+//!
+//! let cluster = ClusterTopology::standard(HardwareGeneration::A100, 64)?;
+//! let model = CostModel::new(cluster.clone());
+//! let global = ProcessGroup::global(&cluster);
+//!
+//! // A 256 MiB-per-GPU AlltoAll (the paper's embedding exchange buffer size).
+//! let est = collectives::all_to_all(&model, &global, 256 * 1024 * 1024);
+//! assert!(est.time_s > 0.0);
+//! assert!(est.bus_bandwidth_gbs() < 60.0); // far below the NVLink-only figure
+//! # Ok::<(), dmt_topology::TopologyError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod collectives;
+pub mod cost;
+pub mod quant;
+pub mod timeline;
+
+pub use collectives::{CollectiveEstimate, CollectiveKind};
+pub use cost::CostModel;
+pub use quant::Quantization;
+pub use timeline::{IterationTimeline, LatencyBreakdown, Segment, SegmentKind};

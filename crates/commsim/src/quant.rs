@@ -1,0 +1,90 @@
+//! Communication quantization as byte scaling.
+//!
+//! The paper's strong baseline turns on quantized embedding and gradient communication,
+//! and §6 compares DMT against FP8-quantized training. For the communication simulator
+//! only the on-wire byte count matters, so quantization is modelled as a scaling factor
+//! relative to FP32 payloads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Wire precision of a communicated tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Quantization {
+    /// 4 bytes per element (no quantization).
+    Fp32,
+    /// 2 bytes per element; the paper's strong baseline uses FP16/BF16 for embedding
+    /// and gradient communication.
+    #[default]
+    Fp16,
+    /// 1 byte per element (the §6 FP8 comparison).
+    Fp8,
+    /// 1 byte per element with int8 scaling metadata (modelled identically to FP8 on
+    /// the wire; quality implications are outside the simulator's scope).
+    Int8,
+}
+
+impl Quantization {
+    /// Bytes per element on the wire.
+    #[must_use]
+    pub fn bytes_per_element(self) -> u64 {
+        match self {
+            Quantization::Fp32 => 4,
+            Quantization::Fp16 => 2,
+            Quantization::Fp8 | Quantization::Int8 => 1,
+        }
+    }
+
+    /// Scales an FP32 byte count to this precision's wire size.
+    #[must_use]
+    pub fn scale_fp32_bytes(self, fp32_bytes: u64) -> u64 {
+        fp32_bytes * self.bytes_per_element() / 4
+    }
+
+    /// Number of f32 elements that fit in `bytes` at this precision.
+    #[must_use]
+    pub fn elements_in(self, bytes: u64) -> u64 {
+        bytes / self.bytes_per_element()
+    }
+}
+
+impl fmt::Display for Quantization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Quantization::Fp32 => "fp32",
+            Quantization::Fp16 => "fp16",
+            Quantization::Fp8 => "fp8",
+            Quantization::Int8 => "int8",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_proportional_to_precision() {
+        assert_eq!(Quantization::Fp32.scale_fp32_bytes(1024), 1024);
+        assert_eq!(Quantization::Fp16.scale_fp32_bytes(1024), 512);
+        assert_eq!(Quantization::Fp8.scale_fp32_bytes(1024), 256);
+        assert_eq!(Quantization::Int8.scale_fp32_bytes(1024), 256);
+    }
+
+    #[test]
+    fn default_matches_strong_baseline() {
+        assert_eq!(Quantization::default(), Quantization::Fp16);
+    }
+
+    #[test]
+    fn element_counts() {
+        assert_eq!(Quantization::Fp32.elements_in(16), 4);
+        assert_eq!(Quantization::Fp8.elements_in(16), 16);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Quantization::Fp8.to_string(), "fp8");
+    }
+}

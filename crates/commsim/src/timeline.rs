@@ -1,0 +1,267 @@
+//! Composition of compute and communication into an iteration latency.
+//!
+//! The paper reports *exposed* latencies (Figure 1 and Figure 13): the part of each
+//! communication that is not hidden behind compute by the training pipeline. The
+//! timeline keeps that accounting explicit — every segment carries the fraction of its
+//! duration that remains exposed, and the breakdown aggregates exposed time per
+//! category.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Category a latency segment is attributed to, matching the categories of the paper's
+/// Figure 1 / Figure 13 breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// Dense and sparse compute (GEMMs, feature interaction, embedding pooling).
+    Compute,
+    /// Embedding lookup communication (the AlltoAll family, including SPTT's intra-host
+    /// and peer collectives).
+    EmbeddingComm,
+    /// Dense gradient synchronization (AllReduce).
+    DenseSync,
+    /// Device-local data shuffles introduced by SPTT (peer permute, view/transpose).
+    Shuffle,
+    /// Everything else (data loading, optimizer, host overhead).
+    Other,
+}
+
+/// One contribution to the iteration latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Category of the segment.
+    pub kind: SegmentKind,
+    /// Human-readable label (e.g. `"forward embedding AlltoAll"`).
+    pub label: String,
+    /// Full duration of the segment in seconds.
+    pub time_s: f64,
+    /// Fraction of the duration that is *not* hidden behind compute, in `[0, 1]`.
+    /// Compute segments are always fully exposed.
+    pub exposed_fraction: f64,
+}
+
+impl Segment {
+    /// Creates a segment. The exposed fraction is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn new(kind: SegmentKind, label: impl Into<String>, time_s: f64, exposed_fraction: f64) -> Self {
+        Self {
+            kind,
+            label: label.into(),
+            time_s: time_s.max(0.0),
+            exposed_fraction: exposed_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A fully exposed compute segment.
+    #[must_use]
+    pub fn compute(label: impl Into<String>, time_s: f64) -> Self {
+        Self::new(SegmentKind::Compute, label, time_s, 1.0)
+    }
+
+    /// The exposed (non-overlapped) duration.
+    #[must_use]
+    pub fn exposed_s(&self) -> f64 {
+        self.time_s * self.exposed_fraction
+    }
+}
+
+/// Exposed latency per category for one training iteration (Figure 1 / 13).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Exposed compute time in seconds.
+    pub compute_s: f64,
+    /// Exposed embedding-communication time in seconds.
+    pub embedding_comm_s: f64,
+    /// Exposed dense-synchronization time in seconds.
+    pub dense_sync_s: f64,
+    /// Exposed SPTT shuffle time in seconds.
+    pub shuffle_s: f64,
+    /// Exposed other time in seconds.
+    pub other_s: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total exposed iteration latency in seconds.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.embedding_comm_s + self.dense_sync_s + self.shuffle_s + self.other_s
+    }
+
+    /// Fraction of the iteration attributed to each category, in the order
+    /// (compute, embedding comm, dense sync, shuffle, other). Returns zeros for an
+    /// empty breakdown.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 5] {
+        let total = self.total_s();
+        if total <= 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.compute_s / total,
+            self.embedding_comm_s / total,
+            self.dense_sync_s / total,
+            self.shuffle_s / total,
+            self.other_s / total,
+        ]
+    }
+
+    /// Throughput speedup of `self` over `baseline` (baseline time / this time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this breakdown has zero total time.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &LatencyBreakdown) -> f64 {
+        let own = self.total_s();
+        assert!(own > 0.0, "cannot compute speedup of an empty iteration");
+        baseline.total_s() / own
+    }
+}
+
+impl fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.2} ms (compute {:.2}, emb-comm {:.2}, dense-sync {:.2}, shuffle {:.2}, other {:.2})",
+            self.total_s() * 1e3,
+            self.compute_s * 1e3,
+            self.embedding_comm_s * 1e3,
+            self.dense_sync_s * 1e3,
+            self.shuffle_s * 1e3,
+            self.other_s * 1e3
+        )
+    }
+}
+
+/// An ordered collection of latency segments forming one training iteration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationTimeline {
+    segments: Vec<Segment>,
+}
+
+impl IterationTimeline {
+    /// Creates an empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a segment.
+    pub fn push(&mut self, segment: Segment) -> &mut Self {
+        self.segments.push(segment);
+        self
+    }
+
+    /// All segments in insertion order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Aggregates exposed time per category.
+    #[must_use]
+    pub fn breakdown(&self) -> LatencyBreakdown {
+        let mut b = LatencyBreakdown::default();
+        for s in &self.segments {
+            let exposed = s.exposed_s();
+            match s.kind {
+                SegmentKind::Compute => b.compute_s += exposed,
+                SegmentKind::EmbeddingComm => b.embedding_comm_s += exposed,
+                SegmentKind::DenseSync => b.dense_sync_s += exposed,
+                SegmentKind::Shuffle => b.shuffle_s += exposed,
+                SegmentKind::Other => b.other_s += exposed,
+            }
+        }
+        b
+    }
+
+    /// Sum of the *full* (pre-overlap) durations; useful to sanity-check how much time
+    /// overlap recovered.
+    #[must_use]
+    pub fn unoverlapped_total_s(&self) -> f64 {
+        self.segments.iter().map(|s| s.time_s).sum()
+    }
+}
+
+impl FromIterator<Segment> for IterationTimeline {
+    fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> Self {
+        Self { segments: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Segment> for IterationTimeline {
+    fn extend<I: IntoIterator<Item = Segment>>(&mut self, iter: I) {
+        self.segments.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> IterationTimeline {
+        let mut t = IterationTimeline::new();
+        t.push(Segment::compute("dense fwd/bwd", 20e-3))
+            .push(Segment::new(SegmentKind::EmbeddingComm, "fwd a2a", 10e-3, 0.8))
+            .push(Segment::new(SegmentKind::DenseSync, "allreduce", 5e-3, 0.2))
+            .push(Segment::new(SegmentKind::Other, "optimizer", 1e-3, 1.0));
+        t
+    }
+
+    #[test]
+    fn breakdown_accumulates_exposed_time() {
+        let b = example().breakdown();
+        assert!((b.compute_s - 20e-3).abs() < 1e-12);
+        assert!((b.embedding_comm_s - 8e-3).abs() < 1e-12);
+        assert!((b.dense_sync_s - 1e-3).abs() < 1e-12);
+        assert!((b.other_s - 1e-3).abs() < 1e-12);
+        assert!((b.total_s() - 30e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let f = example().breakdown().fractions();
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let b = IterationTimeline::new().breakdown();
+        assert_eq!(b.fractions(), [0.0; 5]);
+        assert_eq!(b.total_s(), 0.0);
+    }
+
+    #[test]
+    fn exposed_fraction_is_clamped() {
+        let s = Segment::new(SegmentKind::EmbeddingComm, "x", 1.0, 2.0);
+        assert_eq!(s.exposed_fraction, 1.0);
+        let s = Segment::new(SegmentKind::EmbeddingComm, "x", 1.0, -1.0);
+        assert_eq!(s.exposed_fraction, 0.0);
+        let s = Segment::new(SegmentKind::Compute, "x", -5.0, 1.0);
+        assert_eq!(s.time_s, 0.0);
+    }
+
+    #[test]
+    fn speedup_compares_totals() {
+        let fast = example().breakdown();
+        let mut slow_timeline = example();
+        slow_timeline.push(Segment::new(SegmentKind::EmbeddingComm, "extra", 30e-3, 1.0));
+        let slow = slow_timeline.breakdown();
+        assert!(fast.speedup_over(&slow) > 1.5);
+        assert!(slow.speedup_over(&fast) < 1.0);
+    }
+
+    #[test]
+    fn overlap_reduces_total() {
+        let t = example();
+        assert!(t.breakdown().total_s() < t.unoverlapped_total_s());
+    }
+
+    #[test]
+    fn display_mentions_milliseconds() {
+        let text = example().breakdown().to_string();
+        assert!(text.contains("total"));
+        assert!(text.contains("ms"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Top-level DMT configuration.
+
+use crate::error::DmtError;
+use crate::partition::PartitionStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Which tower-module architecture a DMT model attaches to each tower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TowerModuleKind {
+    /// No tower module: SPTT only (the paper's SPTT-DLRM / SPTT-DCN ablation).
+    #[default]
+    PassThrough,
+    /// DLRM-style linear ensemble (paper Listing 1).
+    DlrmLinear,
+    /// DCN-style small CrossNet (paper Listing 2).
+    DcnCross,
+}
+
+/// Configuration of a DMT transformation applied to a recommendation model.
+///
+/// Use [`DmtConfig::builder`] to construct one; the builder validates the combination
+/// before producing a config.
+///
+/// ```
+/// use dmt_core::config::{DmtConfig, TowerModuleKind};
+///
+/// let config = DmtConfig::builder(8)
+///     .tower_module(TowerModuleKind::DlrmLinear)
+///     .tower_output_dim(64)
+///     .ensemble(1, 0)
+///     .build()?;
+/// assert_eq!(config.num_towers, 8);
+/// assert!((config.nominal_compression_ratio(128) - 2.0).abs() < 1e-9);
+/// # Ok::<(), dmt_core::DmtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DmtConfig {
+    /// Number of towers (normally the number of hosts).
+    pub num_towers: usize,
+    /// Tower-module architecture.
+    pub tower_module: TowerModuleKind,
+    /// Per-feature output dimension `D` of the tower module.
+    pub tower_output_dim: usize,
+    /// DLRM ensemble parameter `c` (per-feature projections).
+    pub ensemble_c: usize,
+    /// DLRM ensemble parameter `p` (flat projections).
+    pub ensemble_p: usize,
+    /// Number of cross layers in the DCN tower module.
+    pub tower_cross_layers: usize,
+    /// Partitioning strategy used by the Tower Partitioner.
+    pub partition_strategy: PartitionStrategy,
+    /// Whether the Tower Partitioner (vs the naive strided baseline) creates towers.
+    pub use_learned_partitioner: bool,
+}
+
+impl DmtConfig {
+    /// Starts building a config for `num_towers` towers.
+    #[must_use]
+    pub fn builder(num_towers: usize) -> DmtConfigBuilder {
+        DmtConfigBuilder {
+            num_towers,
+            tower_module: TowerModuleKind::PassThrough,
+            tower_output_dim: 128,
+            ensemble_c: 1,
+            ensemble_p: 0,
+            tower_cross_layers: 1,
+            partition_strategy: PartitionStrategy::Coherent,
+            use_learned_partitioner: true,
+        }
+    }
+
+    /// The nominal per-feature compression ratio of the configured tower module given
+    /// the model's embedding dimension (`N / D` for the DLRM `c=1, p=0` and DCN
+    /// settings used throughout the paper). Pass-through towers have ratio 1.
+    #[must_use]
+    pub fn nominal_compression_ratio(&self, embedding_dim: usize) -> f64 {
+        match self.tower_module {
+            TowerModuleKind::PassThrough => 1.0,
+            TowerModuleKind::DlrmLinear | TowerModuleKind::DcnCross => {
+                embedding_dim as f64 / self.tower_output_dim.max(1) as f64
+            }
+        }
+    }
+}
+
+/// Builder for [`DmtConfig`].
+#[derive(Debug, Clone)]
+pub struct DmtConfigBuilder {
+    num_towers: usize,
+    tower_module: TowerModuleKind,
+    tower_output_dim: usize,
+    ensemble_c: usize,
+    ensemble_p: usize,
+    tower_cross_layers: usize,
+    partition_strategy: PartitionStrategy,
+    use_learned_partitioner: bool,
+}
+
+impl DmtConfigBuilder {
+    /// Selects the tower-module architecture.
+    #[must_use]
+    pub fn tower_module(mut self, kind: TowerModuleKind) -> Self {
+        self.tower_module = kind;
+        self
+    }
+
+    /// Sets the per-feature output dimension `D`.
+    #[must_use]
+    pub fn tower_output_dim(mut self, dim: usize) -> Self {
+        self.tower_output_dim = dim;
+        self
+    }
+
+    /// Sets the DLRM ensemble parameters `(c, p)`.
+    #[must_use]
+    pub fn ensemble(mut self, c: usize, p: usize) -> Self {
+        self.ensemble_c = c;
+        self.ensemble_p = p;
+        self
+    }
+
+    /// Sets the number of cross layers of the DCN tower module.
+    #[must_use]
+    pub fn cross_layers(mut self, layers: usize) -> Self {
+        self.tower_cross_layers = layers;
+        self
+    }
+
+    /// Selects the partition strategy.
+    #[must_use]
+    pub fn partition_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition_strategy = strategy;
+        self
+    }
+
+    /// Uses the naive strided partitioner instead of the learned one (the Table 6
+    /// baseline).
+    #[must_use]
+    pub fn naive_partitioner(mut self) -> Self {
+        self.use_learned_partitioner = false;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmtError::InvalidConfig`] if the tower count or any tower-module
+    /// dimension is zero, or the DLRM ensemble has `c = p = 0`.
+    pub fn build(self) -> Result<DmtConfig, DmtError> {
+        if self.num_towers == 0 {
+            return Err(DmtError::InvalidConfig { reason: "num_towers must be positive".into() });
+        }
+        if self.tower_output_dim == 0 {
+            return Err(DmtError::InvalidConfig { reason: "tower_output_dim must be positive".into() });
+        }
+        if self.tower_module == TowerModuleKind::DlrmLinear && self.ensemble_c == 0 && self.ensemble_p == 0 {
+            return Err(DmtError::InvalidConfig {
+                reason: "DLRM tower module needs c > 0 or p > 0".into(),
+            });
+        }
+        if self.tower_module == TowerModuleKind::DcnCross && self.tower_cross_layers == 0 {
+            return Err(DmtError::InvalidConfig {
+                reason: "DCN tower module needs at least one cross layer".into(),
+            });
+        }
+        Ok(DmtConfig {
+            num_towers: self.num_towers,
+            tower_module: self.tower_module,
+            tower_output_dim: self.tower_output_dim,
+            ensemble_c: self.ensemble_c,
+            ensemble_p: self.ensemble_p,
+            tower_cross_layers: self.tower_cross_layers,
+            partition_strategy: self.partition_strategy,
+            use_learned_partitioner: self.use_learned_partitioner,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_paper_defaults() {
+        let c = DmtConfig::builder(16).build().unwrap();
+        assert_eq!(c.num_towers, 16);
+        assert_eq!(c.tower_module, TowerModuleKind::PassThrough);
+        assert!(c.use_learned_partitioner);
+        assert_eq!(c.partition_strategy, PartitionStrategy::Coherent);
+        assert!((c.nominal_compression_ratio(128) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compression_ratio_follows_d() {
+        let c = DmtConfig::builder(8)
+            .tower_module(TowerModuleKind::DlrmLinear)
+            .tower_output_dim(32)
+            .build()
+            .unwrap();
+        assert!((c.nominal_compression_ratio(128) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(DmtConfig::builder(0).build().is_err());
+        assert!(DmtConfig::builder(8).tower_output_dim(0).build().is_err());
+        assert!(DmtConfig::builder(8)
+            .tower_module(TowerModuleKind::DlrmLinear)
+            .ensemble(0, 0)
+            .build()
+            .is_err());
+        assert!(DmtConfig::builder(8)
+            .tower_module(TowerModuleKind::DcnCross)
+            .cross_layers(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn naive_partitioner_flag() {
+        let c = DmtConfig::builder(8).naive_partitioner().build().unwrap();
+        assert!(!c.use_learned_partitioner);
+    }
+}

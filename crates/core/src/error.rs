@@ -1,0 +1,70 @@
+//! Error type shared by the DMT planning APIs.
+
+use dmt_topology::TopologyError;
+use std::fmt;
+
+/// Errors produced while building DMT plans, partitions or tower modules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DmtError {
+    /// The underlying cluster/tower topology was invalid.
+    Topology(TopologyError),
+    /// A configuration value was out of range or inconsistent.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The partitioner was given inconsistent inputs (e.g. no features).
+    InvalidPartitionInput {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmtError::Topology(e) => write!(f, "topology error: {e}"),
+            DmtError::InvalidConfig { reason } => write!(f, "invalid DMT configuration: {reason}"),
+            DmtError::InvalidPartitionInput { reason } => {
+                write!(f, "invalid partitioner input: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DmtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DmtError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for DmtError {
+    fn from(value: TopologyError) -> Self {
+        DmtError::Topology(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DmtError::InvalidConfig { reason: "zero towers".into() };
+        assert!(e.to_string().contains("zero towers"));
+        let t: DmtError = TopologyError::EmptyCluster.into();
+        assert!(t.to_string().contains("topology"));
+    }
+
+    #[test]
+    fn source_chains_topology_errors() {
+        use std::error::Error;
+        let t: DmtError = TopologyError::EmptyCluster.into();
+        assert!(t.source().is_some());
+        let c = DmtError::InvalidConfig { reason: "x".into() };
+        assert!(c.source().is_none());
+    }
+}

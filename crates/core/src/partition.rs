@@ -1,0 +1,571 @@
+//! Tower Partitioner (TP): learned, balanced, meaningful feature partitions.
+//!
+//! TP turns a probe of feature affinity into balanced towers in four steps (§3.3):
+//!
+//! 1. **Interaction matrix** — `I(i, j) = |cos(F_i, F_j)|` over normalized feature
+//!    embeddings obtained from an original (single-tower) model.
+//! 2. **Distance matrix** — `D = 1 − I` for the *coherent* strategy (similar features
+//!    grouped together) or `D = I` for the *diverse* strategy.
+//! 3. **Euclidean embedding** — coordinates `X_i ∈ R^n` (with `n` much smaller than the
+//!    embedding dimension) fit by minimizing the stress objective
+//!    `Σ_{i<j} (‖X_i − X_j‖ − D(i,j))²` with Adam.
+//! 4. **Constrained K-Means** — balanced clustering of the embedded features, with a
+//!    maximum group size of `capacity_factor × ⌈F / T⌉`.
+//!
+//! A naive strided assignment ([`naive_partition`]) is provided as the paper's
+//! baseline for Table 6.
+
+use crate::error::DmtError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Whether towers group similar features together or spread them apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PartitionStrategy {
+    /// Group features that interact strongly (distance `1 − I`). The paper finds this
+    /// is usually the better choice, and it is the strategy Figure 9 visualizes.
+    #[default]
+    Coherent,
+    /// Spread strongly interacting features across towers (distance `I`).
+    Diverse,
+}
+
+/// A partition of feature indices into towers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TowerPartition {
+    groups: Vec<Vec<usize>>,
+}
+
+impl TowerPartition {
+    /// Wraps explicit groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmtError::InvalidPartitionInput`] if any group is empty or a feature
+    /// appears in more than one group.
+    pub fn new(groups: Vec<Vec<usize>>) -> Result<Self, DmtError> {
+        if groups.is_empty() || groups.iter().any(Vec::is_empty) {
+            return Err(DmtError::InvalidPartitionInput {
+                reason: "every tower must receive at least one feature".into(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &f in groups.iter().flatten() {
+            if !seen.insert(f) {
+                return Err(DmtError::InvalidPartitionInput {
+                    reason: format!("feature {f} appears in more than one tower"),
+                });
+            }
+        }
+        Ok(Self { groups })
+    }
+
+    /// The feature groups, one per tower.
+    #[must_use]
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of towers.
+    #[must_use]
+    pub fn num_towers(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of features.
+    #[must_use]
+    pub fn num_features(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// The tower a feature belongs to, if any.
+    #[must_use]
+    pub fn tower_of(&self, feature: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&feature))
+    }
+
+    /// Ratio of largest to smallest group size.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let sizes: Vec<usize> = self.groups.iter().map(Vec::len).collect();
+        let max = *sizes.iter().max().expect("non-empty") as f64;
+        let min = *sizes.iter().min().expect("non-empty") as f64;
+        max / min.max(1.0)
+    }
+}
+
+/// The paper's naive baseline: a balanced strided assignment where feature `i` goes to
+/// tower `i % num_towers` (so for 8 towers and 26 features tower 0 gets `[0, 8, 16, 24]`,
+/// tower 1 gets `[1, 9, 17, 25]`, and so on).
+///
+/// # Errors
+///
+/// Returns [`DmtError::InvalidPartitionInput`] if there are fewer features than towers
+/// or `num_towers` is zero.
+pub fn naive_partition(num_features: usize, num_towers: usize) -> Result<TowerPartition, DmtError> {
+    if num_towers == 0 || num_features < num_towers {
+        return Err(DmtError::InvalidPartitionInput {
+            reason: format!("cannot split {num_features} features into {num_towers} towers"),
+        });
+    }
+    let groups = (0..num_towers)
+        .map(|t| (0..num_features).filter(|f| f % num_towers == t).collect())
+        .collect();
+    TowerPartition::new(groups)
+}
+
+/// Computes the interaction matrix `I(i, j) = |cos(F_i, F_j)|` from per-feature
+/// embedding vectors.
+///
+/// Embeddings may have any (equal) dimension; zero vectors produce zero similarity.
+#[must_use]
+pub fn interaction_matrix(feature_embeddings: &[Vec<f32>]) -> Vec<Vec<f64>> {
+    let n = feature_embeddings.len();
+    let norms: Vec<f64> = feature_embeddings
+        .iter()
+        .map(|e| e.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt())
+        .collect();
+    let mut matrix = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        matrix[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let dot: f64 = feature_embeddings[i]
+                .iter()
+                .zip(&feature_embeddings[j])
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            let denom = norms[i] * norms[j];
+            let cos = if denom > 1e-12 { (dot / denom).abs() } else { 0.0 };
+            matrix[i][j] = cos;
+            matrix[j][i] = cos;
+        }
+    }
+    matrix
+}
+
+/// Configuration of the learned Tower Partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TowerPartitioner {
+    /// Grouping strategy (coherent vs diverse).
+    pub strategy: PartitionStrategy,
+    /// Number of towers to create.
+    pub num_towers: usize,
+    /// Dimensionality `n` of the Euclidean embedding (the paper uses a 2-D plane).
+    pub embed_dim: usize,
+    /// Maximum group size as a multiple of the balanced size (`R = 1` in the paper's
+    /// evaluation, i.e. perfectly balanced up to rounding).
+    pub capacity_factor: f64,
+    /// Adam iterations for the stress-minimization embedding.
+    pub embedding_iterations: usize,
+    /// K-Means refinement iterations.
+    pub kmeans_iterations: usize,
+    /// RNG seed (initialization of coordinates and centroids).
+    pub seed: u64,
+}
+
+impl Default for TowerPartitioner {
+    fn default() -> Self {
+        Self {
+            strategy: PartitionStrategy::Coherent,
+            num_towers: 8,
+            embed_dim: 2,
+            capacity_factor: 1.0,
+            embedding_iterations: 400,
+            kmeans_iterations: 30,
+            seed: 17,
+        }
+    }
+}
+
+impl TowerPartitioner {
+    /// Creates a partitioner for `num_towers` towers with default hyper-parameters
+    /// (2-D embedding, `R = 1` balance, coherent strategy — the paper's evaluation
+    /// setting).
+    #[must_use]
+    pub fn new(num_towers: usize) -> Self {
+        Self { num_towers, ..Self::default() }
+    }
+
+    /// Sets the grouping strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Partitions features given their probe embeddings (e.g. the mean embedding-table
+    /// rows of an initially trained single-tower model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmtError::InvalidPartitionInput`] if there are fewer features than
+    /// towers, embeddings are empty, or their dimensions disagree.
+    pub fn partition_from_embeddings(&self, feature_embeddings: &[Vec<f32>]) -> Result<TowerPartition, DmtError> {
+        let n = feature_embeddings.len();
+        if self.num_towers == 0 || n < self.num_towers {
+            return Err(DmtError::InvalidPartitionInput {
+                reason: format!("cannot split {n} features into {} towers", self.num_towers),
+            });
+        }
+        let dim = feature_embeddings.first().map(Vec::len).unwrap_or(0);
+        if dim == 0 || feature_embeddings.iter().any(|e| e.len() != dim) {
+            return Err(DmtError::InvalidPartitionInput {
+                reason: "feature embeddings must be non-empty and share a dimension".into(),
+            });
+        }
+        let interactions = interaction_matrix(feature_embeddings);
+        self.partition_from_interactions(&interactions)
+    }
+
+    /// Partitions features given a precomputed interaction matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmtError::InvalidPartitionInput`] if the matrix is not square or is
+    /// smaller than the number of towers.
+    pub fn partition_from_interactions(&self, interactions: &[Vec<f64>]) -> Result<TowerPartition, DmtError> {
+        let n = interactions.len();
+        if self.num_towers == 0 || n < self.num_towers {
+            return Err(DmtError::InvalidPartitionInput {
+                reason: format!("cannot split {n} features into {} towers", self.num_towers),
+            });
+        }
+        if interactions.iter().any(|row| row.len() != n) {
+            return Err(DmtError::InvalidPartitionInput {
+                reason: "interaction matrix must be square".into(),
+            });
+        }
+        let distance = self.distance_matrix(interactions);
+        let coordinates = self.embed(&distance);
+        let assignment = self.constrained_kmeans(&coordinates);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.num_towers];
+        for (feature, tower) in assignment.into_iter().enumerate() {
+            groups[tower].push(feature);
+        }
+        // Constrained K-Means guarantees non-empty clusters when n >= towers, but guard
+        // against pathological inputs (e.g. all-identical coordinates).
+        if groups.iter().any(Vec::is_empty) {
+            return naive_partition(n, self.num_towers);
+        }
+        TowerPartition::new(groups)
+    }
+
+    /// Converts the interaction matrix into the distance matrix for the configured
+    /// strategy.
+    fn distance_matrix(&self, interactions: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        interactions
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&i| match self.strategy {
+                        PartitionStrategy::Coherent => 1.0 - i,
+                        PartitionStrategy::Diverse => i,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Embeds features into `embed_dim`-dimensional Euclidean space by minimizing the
+    /// stress objective with Adam (§3.3).
+    ///
+    /// Returns one coordinate vector per feature. Exposed so Figure 9 can plot the
+    /// learned 2-D embedding directly.
+    #[must_use]
+    pub fn embed(&self, distance: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = distance.len();
+        let dim = self.embed_dim.max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut coords: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-0.5..0.5)).collect())
+            .collect();
+        if n <= 1 {
+            return coords;
+        }
+        // Adam state.
+        let mut m = vec![vec![0.0f64; dim]; n];
+        let mut v = vec![vec![0.0f64; dim]; n];
+        let (beta1, beta2, eps, lr) = (0.9f64, 0.999f64, 1e-8f64, 0.05f64);
+        for t in 1..=self.embedding_iterations {
+            let mut grad = vec![vec![0.0f64; dim]; n];
+            for i in 0..n {
+                for j in 0..i {
+                    let mut diff = vec![0.0f64; dim];
+                    let mut dist_sq = 0.0;
+                    for k in 0..dim {
+                        diff[k] = coords[i][k] - coords[j][k];
+                        dist_sq += diff[k] * diff[k];
+                    }
+                    let dist = dist_sq.sqrt().max(1e-9);
+                    // d/dX of (dist - D)^2 = 2 (dist - D) * (X_i - X_j) / dist.
+                    let scale = 2.0 * (dist - distance[i][j]) / dist;
+                    for k in 0..dim {
+                        grad[i][k] += scale * diff[k];
+                        grad[j][k] -= scale * diff[k];
+                    }
+                }
+            }
+            let bias1 = 1.0 - beta1.powi(t as i32);
+            let bias2 = 1.0 - beta2.powi(t as i32);
+            for i in 0..n {
+                for k in 0..dim {
+                    m[i][k] = beta1 * m[i][k] + (1.0 - beta1) * grad[i][k];
+                    v[i][k] = beta2 * v[i][k] + (1.0 - beta2) * grad[i][k] * grad[i][k];
+                    let m_hat = m[i][k] / bias1;
+                    let v_hat = v[i][k] / bias2;
+                    coords[i][k] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+        coords
+    }
+
+    /// Stress of an embedding against the distance matrix (sum of squared residuals);
+    /// used by tests and diagnostics.
+    #[must_use]
+    pub fn stress(coordinates: &[Vec<f64>], distance: &[Vec<f64>]) -> f64 {
+        let n = coordinates.len();
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..i {
+                let d: f64 = coordinates[i]
+                    .iter()
+                    .zip(&coordinates[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                total += (d - distance[i][j]).powi(2);
+            }
+        }
+        total
+    }
+
+    /// Balanced K-Means over the embedded coordinates: clusters have a capacity of
+    /// `capacity_factor × ⌈n / k⌉` and assignments are made greedily by distance.
+    fn constrained_kmeans(&self, coordinates: &[Vec<f64>]) -> Vec<usize> {
+        let n = coordinates.len();
+        let k = self.num_towers;
+        let dim = coordinates.first().map(Vec::len).unwrap_or(0);
+        let capacity = ((n as f64 / k as f64).ceil() * self.capacity_factor.max(1.0)).ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+
+        // K-Means++-style initialization: spread initial centroids.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(coordinates[rng.gen_range(0..n)].clone());
+        while centroids.len() < k {
+            let mut best = (0usize, -1.0f64);
+            for (i, point) in coordinates.iter().enumerate() {
+                let nearest = centroids
+                    .iter()
+                    .map(|c| euclidean_sq(point, c))
+                    .fold(f64::INFINITY, f64::min);
+                if nearest > best.1 {
+                    best = (i, nearest);
+                }
+            }
+            centroids.push(coordinates[best.0].clone());
+        }
+
+        let mut assignment = vec![0usize; n];
+        for _ in 0..self.kmeans_iterations.max(1) {
+            // Greedy capacity-constrained assignment: order all (point, cluster) pairs
+            // by distance and assign each point to its closest cluster with room.
+            let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * k);
+            for (i, point) in coordinates.iter().enumerate() {
+                for (c, centroid) in centroids.iter().enumerate() {
+                    pairs.push((euclidean_sq(point, centroid), i, c));
+                }
+            }
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut assigned = vec![false; n];
+            let mut counts = vec![0usize; k];
+            let mut remaining = n;
+            for (_, i, c) in pairs {
+                if remaining == 0 {
+                    break;
+                }
+                if assigned[i] || counts[c] >= capacity {
+                    continue;
+                }
+                assignment[i] = c;
+                assigned[i] = true;
+                counts[c] += 1;
+                remaining -= 1;
+            }
+            // Update centroids.
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut sizes = vec![0usize; k];
+            for (i, &c) in assignment.iter().enumerate() {
+                for d in 0..dim {
+                    sums[c][d] += coordinates[i][d];
+                }
+                sizes[c] += 1;
+            }
+            for c in 0..k {
+                if sizes[c] > 0 {
+                    for d in 0..dim {
+                        centroids[c][d] = sums[c][d] / sizes[c] as f64;
+                    }
+                }
+            }
+        }
+        assignment
+    }
+}
+
+fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic feature embeddings with two obvious blocks: features 0..4 point one
+    /// way, features 4..8 point another, with small per-feature noise.
+    fn two_block_embeddings() -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for i in 0..8 {
+            let mut v = vec![0.0f32; 6];
+            if i < 4 {
+                v[0] = 1.0;
+                v[1] = 0.2 * i as f32;
+            } else {
+                v[3] = 1.0;
+                v[4] = 0.2 * (i - 4) as f32;
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn interaction_matrix_is_symmetric_with_unit_diagonal() {
+        let m = interaction_matrix(&two_block_embeddings());
+        for i in 0..8 {
+            assert!((m[i][i] - 1.0).abs() < 1e-9);
+            for j in 0..8 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+                assert!(m[i][j] >= 0.0 && m[i][j] <= 1.0 + 1e-9);
+            }
+        }
+        // Within-block similarity far exceeds cross-block similarity.
+        assert!(m[0][1] > 0.9);
+        assert!(m[0][5] < 0.2);
+    }
+
+    #[test]
+    fn zero_vectors_have_zero_similarity() {
+        let m = interaction_matrix(&[vec![0.0, 0.0], vec![1.0, 0.0]]);
+        assert_eq!(m[0][1], 0.0);
+    }
+
+    #[test]
+    fn naive_partition_matches_paper_example() {
+        // 8 towers over 26 features: tower 0 = [0, 8, 16, 24], tower 2 = [2, 10, 18].
+        let p = naive_partition(26, 8).unwrap();
+        assert_eq!(p.groups()[0], vec![0, 8, 16, 24]);
+        assert_eq!(p.groups()[1], vec![1, 9, 17, 25]);
+        assert_eq!(p.groups()[2], vec![2, 10, 18]);
+        assert_eq!(p.num_features(), 26);
+        assert!(p.imbalance() <= 4.0 / 3.0 + 1e-9);
+        assert!(naive_partition(4, 8).is_err());
+    }
+
+    #[test]
+    fn embedding_reduces_stress() {
+        let partitioner = TowerPartitioner::new(2);
+        let interactions = interaction_matrix(&two_block_embeddings());
+        let distance: Vec<Vec<f64>> =
+            interactions.iter().map(|r| r.iter().map(|&x| 1.0 - x).collect()).collect();
+        let initial = TowerPartitioner { embedding_iterations: 0, ..partitioner }.embed(&distance);
+        let fitted = partitioner.embed(&distance);
+        assert!(
+            TowerPartitioner::stress(&fitted, &distance)
+                < TowerPartitioner::stress(&initial, &distance) * 0.5
+        );
+    }
+
+    #[test]
+    fn coherent_partition_recovers_planted_blocks() {
+        let partitioner = TowerPartitioner::new(2);
+        let partition = partitioner.partition_from_embeddings(&two_block_embeddings()).unwrap();
+        assert_eq!(partition.num_towers(), 2);
+        // Features 0..4 end up together and 4..8 together.
+        let tower_of_0 = partition.tower_of(0).unwrap();
+        for f in 1..4 {
+            assert_eq!(partition.tower_of(f), Some(tower_of_0), "feature {f}");
+        }
+        let tower_of_4 = partition.tower_of(4).unwrap();
+        assert_ne!(tower_of_0, tower_of_4);
+        for f in 5..8 {
+            assert_eq!(partition.tower_of(f), Some(tower_of_4), "feature {f}");
+        }
+    }
+
+    #[test]
+    fn diverse_partition_spreads_blocks() {
+        let partitioner = TowerPartitioner::new(2).with_strategy(PartitionStrategy::Diverse);
+        let partition = partitioner.partition_from_embeddings(&two_block_embeddings()).unwrap();
+        // Each tower should mix features from both blocks.
+        for group in partition.groups() {
+            let block0 = group.iter().filter(|&&f| f < 4).count();
+            let block1 = group.iter().filter(|&&f| f >= 4).count();
+            assert!(block0 > 0 && block1 > 0, "group {group:?} is not diverse");
+        }
+    }
+
+    #[test]
+    fn partitions_are_balanced_with_r_equal_one() {
+        let partitioner = TowerPartitioner::new(4);
+        // 26 features with random-ish embeddings.
+        let embeddings: Vec<Vec<f32>> = (0..26)
+            .map(|i| (0..8).map(|d| ((i * 7 + d * 3) % 13) as f32 / 13.0 - 0.5).collect())
+            .collect();
+        let partition = partitioner.partition_from_embeddings(&embeddings).unwrap();
+        assert_eq!(partition.num_features(), 26);
+        assert_eq!(partition.num_towers(), 4);
+        // Capacity is ceil(26/4) = 7, so sizes must be in 5..=7 and imbalance small.
+        for group in partition.groups() {
+            assert!(group.len() <= 7, "group of {} exceeds capacity", group.len());
+        }
+        assert!(partition.imbalance() <= 1.75);
+    }
+
+    #[test]
+    fn partition_validation() {
+        assert!(TowerPartition::new(vec![vec![0], vec![]]).is_err());
+        assert!(TowerPartition::new(vec![vec![0], vec![0]]).is_err());
+        assert!(TowerPartition::new(vec![]).is_err());
+        let ok = TowerPartition::new(vec![vec![0, 2], vec![1]]).unwrap();
+        assert_eq!(ok.tower_of(2), Some(0));
+        assert_eq!(ok.tower_of(9), None);
+    }
+
+    #[test]
+    fn partitioner_input_validation() {
+        let p = TowerPartitioner::new(4);
+        assert!(p.partition_from_embeddings(&two_block_embeddings()[..2]).is_err());
+        assert!(p.partition_from_embeddings(&[]).is_err());
+        let ragged = vec![vec![1.0f32, 2.0], vec![1.0f32]];
+        assert!(TowerPartitioner::new(2).partition_from_embeddings(&ragged).is_err());
+        let not_square = vec![vec![1.0f64, 0.5], vec![0.5f64]];
+        assert!(TowerPartitioner::new(2).partition_from_interactions(&not_square).is_err());
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_per_seed() {
+        let embeddings = two_block_embeddings();
+        let a = TowerPartitioner::new(2).with_seed(5).partition_from_embeddings(&embeddings).unwrap();
+        let b = TowerPartitioner::new(2).with_seed(5).partition_from_embeddings(&embeddings).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,379 @@
+//! Tower Modules (TM): per-tower dense compression networks.
+//!
+//! A tower module consumes the output of SPTT step (e) for one tower — a
+//! `[batch, F_t, N]` tensor of the tower's `F_t` feature embeddings — and produces a
+//! compressed representation that is (1) cheaper to send in the cross-host peer
+//! AlltoAll and (2) an extra level of *hierarchical feature interaction* (group-level
+//! interactions inside the tower, cross-group interactions in the over-arch).
+//!
+//! Two concrete architectures follow the paper's §4 listings:
+//!
+//! * [`DlrmTowerModule`] — Listing 1: an ensemble of a linear layer over the flattened
+//!   embeddings (output `p·D`) and a per-feature projection of the embedding dimension
+//!   (output `c·F·D`), concatenated.
+//! * [`DcnTowerModule`] — Listing 2: a small CrossNet over the flattened embeddings
+//!   followed by a projection to `F·D`.
+
+use crate::error::DmtError;
+use dmt_nn::param::HasParameters;
+use dmt_nn::{CrossNet, Linear, Parameter};
+use dmt_tensor::{Tensor, TensorError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Common interface of tower-module architectures.
+///
+/// Input is always the flattened `[batch, num_features * embedding_dim]` tower
+/// embedding block; output is `[batch, output_dim()]`.
+pub trait TowerModule: HasParameters {
+    /// Number of features feeding the tower.
+    fn num_features(&self) -> usize;
+
+    /// Embedding dimension of each input feature.
+    fn embedding_dim(&self) -> usize;
+
+    /// Width of the compressed tower output.
+    fn output_dim(&self) -> usize;
+
+    /// Forward pass over the flattened tower embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the input width is not
+    /// `num_features() * embedding_dim()`.
+    fn forward(&mut self, embeddings: &Tensor) -> Result<Tensor, TensorError>;
+
+    /// Backward pass; returns the gradient with respect to the flattened embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatch.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError>;
+
+    /// Forward FLOPs per sample.
+    fn flops_per_sample(&self) -> u64;
+
+    /// Compression ratio of the tower: input width divided by output width.
+    ///
+    /// Values above 1 mean the cross-host peer AlltoAll carries proportionally fewer
+    /// bytes (the `CR` of §4 and Table 5 / Figure 12).
+    fn compression_ratio(&self) -> f64 {
+        let input = (self.num_features() * self.embedding_dim()) as f64;
+        input / self.output_dim().max(1) as f64
+    }
+}
+
+/// DLRM tower module (paper Listing 1).
+///
+/// `forward(embs)` with `embs` of shape `[B, F, N]` computes
+/// `cat(linear(N·F → p·D)(embs.flat), linear(N → c·D)(embs))`, giving an output width
+/// of `D·(c·F + p)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrmTowerModule {
+    flat_linear: Option<Linear>,
+    per_feature_linear: Option<Linear>,
+    num_features: usize,
+    embedding_dim: usize,
+    c: usize,
+    p: usize,
+    d: usize,
+    cached_batch: usize,
+}
+
+impl DlrmTowerModule {
+    /// Creates a DLRM tower module with ensemble parameters `c`, `p` and output feature
+    /// dimension `d` over `num_features` embeddings of width `embedding_dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmtError::InvalidConfig`] if both `c` and `p` are zero, or any
+    /// dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_features: usize,
+        embedding_dim: usize,
+        c: usize,
+        p: usize,
+        d: usize,
+    ) -> Result<Self, DmtError> {
+        if num_features == 0 || embedding_dim == 0 || d == 0 {
+            return Err(DmtError::InvalidConfig { reason: "tower dimensions must be positive".into() });
+        }
+        if c == 0 && p == 0 {
+            return Err(DmtError::InvalidConfig {
+                reason: "at least one of c and p must be positive".into(),
+            });
+        }
+        let flat_linear = (p > 0).then(|| Linear::new(rng, num_features * embedding_dim, p * d));
+        let per_feature_linear = (c > 0).then(|| Linear::new(rng, embedding_dim, c * d));
+        Ok(Self {
+            flat_linear,
+            per_feature_linear,
+            num_features,
+            embedding_dim,
+            c,
+            p,
+            d,
+            cached_batch: 0,
+        })
+    }
+
+    /// The `(c, p, D)` ensemble parameters.
+    #[must_use]
+    pub fn ensemble_params(&self) -> (usize, usize, usize) {
+        (self.c, self.p, self.d)
+    }
+}
+
+impl HasParameters for DlrmTowerModule {
+    fn visit_parameters(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        if let Some(l) = &mut self.flat_linear {
+            l.visit_parameters(visitor);
+        }
+        if let Some(l) = &mut self.per_feature_linear {
+            l.visit_parameters(visitor);
+        }
+    }
+}
+
+impl TowerModule for DlrmTowerModule {
+    fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    fn embedding_dim(&self) -> usize {
+        self.embedding_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.d * (self.c * self.num_features + self.p)
+    }
+
+    fn forward(&mut self, embeddings: &Tensor) -> Result<Tensor, TensorError> {
+        let width = self.num_features * self.embedding_dim;
+        if embeddings.rank() != 2 || embeddings.shape()[1] != width {
+            return Err(TensorError::ShapeMismatch {
+                op: "dlrm_tower_forward",
+                lhs: embeddings.shape().to_vec(),
+                rhs: vec![embeddings.shape().first().copied().unwrap_or(0), width],
+            });
+        }
+        let batch = embeddings.shape()[0];
+        self.cached_batch = batch;
+        let mut outputs: Vec<Tensor> = Vec::new();
+        if let Some(flat) = &mut self.flat_linear {
+            outputs.push(flat.forward(embeddings)?);
+        }
+        if let Some(per_feature) = &mut self.per_feature_linear {
+            // View [B, F*N] as [B*F, N], project to [B*F, c*D], view back to
+            // [B, F*c*D].
+            let reshaped = embeddings.reshape(&[batch * self.num_features, self.embedding_dim])?;
+            let projected = per_feature.forward(&reshaped)?;
+            outputs.push(projected.reshape(&[batch, self.num_features * self.c * self.d])?);
+        }
+        let refs: Vec<&Tensor> = outputs.iter().collect();
+        Tensor::concat_cols(&refs)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let batch = self.cached_batch;
+        let mut widths = Vec::new();
+        if self.flat_linear.is_some() {
+            widths.push(self.p * self.d);
+        }
+        if self.per_feature_linear.is_some() {
+            widths.push(self.num_features * self.c * self.d);
+        }
+        let pieces = grad_output.split_cols(&widths)?;
+        let mut grad_in = Tensor::zeros(&[batch, self.num_features * self.embedding_dim]);
+        let mut piece_iter = pieces.into_iter();
+        if let Some(flat) = &mut self.flat_linear {
+            let piece = piece_iter.next().expect("width list matches pieces");
+            grad_in.axpy(1.0, &flat.backward(&piece)?)?;
+        }
+        if let Some(per_feature) = &mut self.per_feature_linear {
+            let piece = piece_iter.next().expect("width list matches pieces");
+            let reshaped = piece.reshape(&[batch * self.num_features, self.c * self.d])?;
+            let grad = per_feature.backward(&reshaped)?;
+            grad_in.axpy(1.0, &grad.reshape(&[batch, self.num_features * self.embedding_dim])?)?;
+        }
+        Ok(grad_in)
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        let mut flops = 0;
+        if let Some(flat) = &self.flat_linear {
+            flops += flat.flops_per_sample();
+        }
+        if let Some(per_feature) = &self.per_feature_linear {
+            flops += per_feature.flops_per_sample() * self.num_features as u64;
+        }
+        flops
+    }
+}
+
+/// DCN tower module (paper Listing 2): a small CrossNet over the flattened tower
+/// embeddings followed by a projection to `F·D`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcnTowerModule {
+    crossnet: CrossNet,
+    projection: Linear,
+    num_features: usize,
+    embedding_dim: usize,
+    d: usize,
+}
+
+impl DcnTowerModule {
+    /// Creates a DCN tower module with `cross_layers` cross layers and output feature
+    /// dimension `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmtError::InvalidConfig`] if any dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_features: usize,
+        embedding_dim: usize,
+        cross_layers: usize,
+        d: usize,
+    ) -> Result<Self, DmtError> {
+        if num_features == 0 || embedding_dim == 0 || d == 0 || cross_layers == 0 {
+            return Err(DmtError::InvalidConfig { reason: "tower dimensions must be positive".into() });
+        }
+        let width = num_features * embedding_dim;
+        Ok(Self {
+            crossnet: CrossNet::new(rng, width, cross_layers),
+            projection: Linear::new(rng, width, num_features * d),
+            num_features,
+            embedding_dim,
+            d,
+        })
+    }
+}
+
+impl HasParameters for DcnTowerModule {
+    fn visit_parameters(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        self.crossnet.visit_parameters(visitor);
+        self.projection.visit_parameters(visitor);
+    }
+}
+
+impl TowerModule for DcnTowerModule {
+    fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    fn embedding_dim(&self) -> usize {
+        self.embedding_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.num_features * self.d
+    }
+
+    fn forward(&mut self, embeddings: &Tensor) -> Result<Tensor, TensorError> {
+        let crossed = self.crossnet.forward(embeddings)?;
+        self.projection.forward(&crossed)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let grad_crossed = self.projection.backward(grad_output)?;
+        self.crossnet.backward(&grad_crossed)
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        self.crossnet.flops_per_sample() + self.projection.flops_per_sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn dlrm_tower_output_dim_matches_formula() {
+        // Paper: O = D (c|F| + p).
+        let tm = DlrmTowerModule::new(&mut rng(), 4, 128, 1, 0, 64).unwrap();
+        assert_eq!(tm.output_dim(), 64 * 4);
+        let tm = DlrmTowerModule::new(&mut rng(), 4, 128, 0, 1, 128).unwrap();
+        assert_eq!(tm.output_dim(), 128);
+        let tm = DlrmTowerModule::new(&mut rng(), 3, 64, 2, 1, 32).unwrap();
+        assert_eq!(tm.output_dim(), 32 * (2 * 3 + 1));
+    }
+
+    #[test]
+    fn dlrm_tower_forward_backward_shapes() {
+        let mut tm = DlrmTowerModule::new(&mut rng(), 3, 8, 1, 1, 4).unwrap();
+        let x = Tensor::ones(&[5, 24]);
+        let y = tm.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[5, tm.output_dim()]);
+        let dx = tm.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert!(tm.forward(&Tensor::ones(&[5, 23])).is_err());
+    }
+
+    #[test]
+    fn dlrm_tower_gradient_check() {
+        let x = Tensor::from_vec(vec![2, 6], (0..12).map(|i| i as f32 * 0.05 - 0.3).collect()).unwrap();
+        let mut tm = DlrmTowerModule::new(&mut rng(), 3, 2, 1, 1, 2).unwrap();
+        let y = tm.forward(&x).unwrap();
+        let dx = tm.backward(&Tensor::ones(y.shape())).unwrap();
+        let eps = 1e-3f32;
+        for &(r, c) in &[(0usize, 0usize), (1, 5)] {
+            let mut plus = x.clone();
+            plus.set(r, c, x.at(r, c) + eps);
+            let mut minus = x.clone();
+            minus.set(r, c, x.at(r, c) - eps);
+            let fp = DlrmTowerModule::new(&mut rng(), 3, 2, 1, 1, 2).unwrap().forward(&plus).unwrap().sum();
+            let fm = DlrmTowerModule::new(&mut rng(), 3, 2, 1, 1, 2).unwrap().forward(&minus).unwrap().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - dx.at(r, c)).abs() < 2e-2, "analytic {} numeric {numeric}", dx.at(r, c));
+        }
+    }
+
+    #[test]
+    fn compression_ratio_matches_table5_settings() {
+        // DMT 8T-DLRM with N=128 and D of 64/32/16/8 gives CR of 2/4/8/16 when c=1, p=0
+        // (output per feature = D).
+        for (d, expected_cr) in [(64usize, 2.0f64), (32, 4.0), (16, 8.0), (8, 16.0)] {
+            let tm = DlrmTowerModule::new(&mut rng(), 4, 128, 1, 0, d).unwrap();
+            assert!((tm.compression_ratio() - expected_cr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dcn_tower_shapes_and_compression() {
+        let mut tm = DcnTowerModule::new(&mut rng(), 4, 16, 2, 8).unwrap();
+        assert_eq!(tm.output_dim(), 32);
+        assert!((tm.compression_ratio() - 2.0).abs() < 1e-9);
+        let x = Tensor::ones(&[3, 64]);
+        let y = tm.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[3, 32]);
+        let dx = tm.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert!(tm.flops_per_sample() > 0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(DlrmTowerModule::new(&mut rng(), 4, 128, 0, 0, 64).is_err());
+        assert!(DlrmTowerModule::new(&mut rng(), 0, 128, 1, 0, 64).is_err());
+        assert!(DcnTowerModule::new(&mut rng(), 4, 128, 0, 64).is_err());
+        assert!(DcnTowerModule::new(&mut rng(), 4, 0, 1, 64).is_err());
+    }
+
+    #[test]
+    fn tower_modules_have_trainable_parameters() {
+        let mut dlrm_tm = DlrmTowerModule::new(&mut rng(), 4, 16, 1, 1, 8).unwrap();
+        assert!(dlrm_tm.parameter_count() > 0);
+        let mut dcn_tm = DcnTowerModule::new(&mut rng(), 4, 16, 1, 8).unwrap();
+        // CrossNet (64x64 + 64) + projection (64x32 + 32).
+        assert_eq!(dcn_tm.parameter_count(), 64 * 64 + 64 + 64 * 32 + 32);
+    }
+}

@@ -1,0 +1,88 @@
+//! Uniform random dataset for throughput benchmarking.
+
+use crate::batch::Batch;
+use crate::schema::DatasetSchema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dataset of uniformly random features and labels.
+///
+/// The paper's §5.3 throughput evaluation uses a random dataset "to minimize variance
+/// introduced by the data ingestion pipeline"; this type plays the same role for the
+/// simulated-throughput and kernel benchmarks, where only shapes and byte volumes
+/// matter, not statistical structure.
+#[derive(Debug, Clone)]
+pub struct RandomDataset {
+    schema: DatasetSchema,
+    rng: StdRng,
+}
+
+impl RandomDataset {
+    /// Creates a random dataset over `schema` seeded by `seed`.
+    #[must_use]
+    pub fn new(schema: DatasetSchema, seed: u64) -> Self {
+        Self { schema, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The dataset schema.
+    #[must_use]
+    pub fn schema(&self) -> &DatasetSchema {
+        &self.schema
+    }
+
+    /// Generates a batch of uniformly random samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn next_batch(&mut self, batch_size: usize) -> Batch {
+        assert!(batch_size > 0, "batch size must be positive");
+        let dense = (0..batch_size)
+            .map(|_| (0..self.schema.num_dense).map(|_| self.rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let sparse = (0..self.schema.num_sparse())
+            .map(|f| {
+                let cardinality = self.schema.sparse_cardinalities[f];
+                let pooling = self.schema.pooling_factors[f];
+                (0..batch_size)
+                    .map(|_| (0..pooling).map(|_| self.rng.gen_range(0..cardinality)).collect())
+                    .collect()
+            })
+            .collect();
+        let labels = (0..batch_size).map(|_| f32::from(self.rng.gen::<bool>())).collect();
+        Batch { schema: self.schema.clone(), dense, sparse, labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_schema() {
+        let mut d = RandomDataset::new(DatasetSchema::criteo_like_small(), 1);
+        let b = d.next_batch(16);
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.sparse.len(), d.schema().num_sparse());
+        assert_eq!(b.dense[0].len(), d.schema().num_dense);
+    }
+
+    #[test]
+    fn ids_are_in_range_and_labels_are_binary() {
+        let mut d = RandomDataset::new(DatasetSchema::criteo_like_small(), 2);
+        let b = d.next_batch(64);
+        for (f, per_feature) in b.sparse.iter().enumerate() {
+            let cardinality = b.schema.sparse_cardinalities[f];
+            assert!(per_feature.iter().flatten().all(|&id| id < cardinality));
+        }
+        assert!(b.labels.iter().all(|&y| y == 0.0 || y == 1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RandomDataset::new(DatasetSchema::criteo_like_small(), 3).next_batch(8);
+        let b = RandomDataset::new(DatasetSchema::criteo_like_small(), 3).next_batch(8);
+        assert_eq!(a, b);
+    }
+}

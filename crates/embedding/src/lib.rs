@@ -1,0 +1,43 @@
+//! Sharded embedding tables: strategies, placement plans and an auto-planner.
+//!
+//! The paper's baseline is TorchRec's hybrid parallelism: embedding tables are sharded
+//! across GPUs in model parallelism (table-wise, column-wise or row-wise) while the
+//! dense part runs data parallel. This crate reproduces the part of that stack the DMT
+//! evaluation depends on:
+//!
+//! * [`EmbeddingTableSpec`] — size/dimension/pooling description of one table.
+//! * [`ShardingStrategy`] and [`ShardPlacement`] — how a table is cut and where each
+//!   shard lives.
+//! * [`ShardingPlanner`] — a greedy cost-balancing auto-planner in the spirit of
+//!   TorchRec's planner (and of NeuroShard's balance objective), with support for
+//!   forcing a column-wise sharding factor when there are more GPUs than tables (as
+//!   the paper's strong baseline does).
+//! * [`ShardingPlan`] — per-rank load statistics and the communication volumes the
+//!   embedding-exchange collectives will carry.
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_embedding::{EmbeddingTableSpec, ShardingPlanner};
+//! use dmt_topology::{ClusterTopology, HardwareGeneration};
+//!
+//! let cluster = ClusterTopology::standard(HardwareGeneration::A100, 16)?;
+//! let tables: Vec<_> = (0..26)
+//!     .map(|i| EmbeddingTableSpec::new(format!("table{i}"), 10_000 + i * 1000, 128, 1))
+//!     .collect();
+//! let plan = ShardingPlanner::new().plan(&tables, &cluster);
+//! assert!(plan.load_imbalance() < 2.0);
+//! # Ok::<(), dmt_topology::TopologyError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod plan;
+pub mod planner;
+pub mod spec;
+pub mod strategy;
+
+pub use plan::{RankLoad, ShardingPlan};
+pub use planner::ShardingPlanner;
+pub use spec::EmbeddingTableSpec;
+pub use strategy::{ShardPlacement, ShardingStrategy};

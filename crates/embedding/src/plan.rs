@@ -1,0 +1,153 @@
+//! Sharding plans and per-rank load accounting.
+
+use crate::strategy::ShardPlacement;
+use dmt_topology::{ClusterTopology, Rank};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate load assigned to one rank by a [`ShardingPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RankLoad {
+    /// Total embedding storage bytes hosted by the rank.
+    pub storage_bytes: u64,
+    /// Per-sample lookup cost (HBM traffic proxy) on the rank.
+    pub lookup_cost_per_sample: u64,
+    /// Per-sample pooled-output bytes the rank must send back to batch owners.
+    pub output_bytes_per_sample: u64,
+    /// Number of shards hosted.
+    pub num_shards: usize,
+}
+
+/// A complete assignment of table shards to ranks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardingPlan {
+    placements: Vec<ShardPlacement>,
+    world_size: usize,
+}
+
+impl ShardingPlan {
+    /// Creates a plan from explicit placements over a cluster.
+    #[must_use]
+    pub fn new(placements: Vec<ShardPlacement>, cluster: &ClusterTopology) -> Self {
+        Self { placements, world_size: cluster.world_size() }
+    }
+
+    /// All shard placements.
+    #[must_use]
+    pub fn placements(&self) -> &[ShardPlacement] {
+        &self.placements
+    }
+
+    /// World size the plan targets.
+    #[must_use]
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// Shards placed on `rank`.
+    #[must_use]
+    pub fn shards_on(&self, rank: Rank) -> Vec<&ShardPlacement> {
+        self.placements.iter().filter(|p| p.rank == rank).collect()
+    }
+
+    /// Per-rank load, indexed by rank.
+    #[must_use]
+    pub fn rank_loads(&self) -> Vec<RankLoad> {
+        let mut loads = vec![RankLoad::default(); self.world_size];
+        for p in &self.placements {
+            let load = &mut loads[p.rank.0];
+            load.storage_bytes += p.storage_bytes;
+            load.lookup_cost_per_sample += p.lookup_cost_per_sample;
+            load.output_bytes_per_sample += p.output_bytes_per_sample;
+            load.num_shards += 1;
+        }
+        loads
+    }
+
+    /// Ratio of the most-loaded to the mean rank lookup cost (1.0 = perfectly
+    /// balanced). Returns 1.0 for an empty plan.
+    #[must_use]
+    pub fn load_imbalance(&self) -> f64 {
+        let loads = self.rank_loads();
+        let costs: Vec<f64> = loads.iter().map(|l| l.lookup_cost_per_sample as f64).collect();
+        let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        let max = costs.iter().copied().fold(0.0, f64::max);
+        max / mean
+    }
+
+    /// Per-rank FP32 bytes of pooled embedding output produced for a *global* batch of
+    /// `global_batch` samples — the payload of the output AlltoAll (step (c) of the
+    /// classic lookup, Figure 4). Returns the maximum across ranks, which is what
+    /// bounds the collective.
+    #[must_use]
+    pub fn max_output_bytes_per_iteration(&self, global_batch: usize) -> u64 {
+        self.rank_loads()
+            .iter()
+            .map(|l| l.output_bytes_per_sample * global_batch as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total embedding parameter bytes across the cluster.
+    #[must_use]
+    pub fn total_storage_bytes(&self) -> u64 {
+        self.placements.iter().map(|p| p.storage_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EmbeddingTableSpec;
+    use crate::strategy::ShardingStrategy;
+    use dmt_topology::HardwareGeneration;
+
+    fn cluster() -> ClusterTopology {
+        ClusterTopology::new(HardwareGeneration::A100, 1, 4).unwrap()
+    }
+
+    fn simple_plan() -> ShardingPlan {
+        let c = cluster();
+        let t0 = EmbeddingTableSpec::new("big", 1000, 128, 1);
+        let t1 = EmbeddingTableSpec::new("small", 100, 64, 1);
+        let placements = vec![
+            ShardPlacement::new(0, &t0, ShardingStrategy::TableWise, 0, Rank(0)),
+            ShardPlacement::new(1, &t1, ShardingStrategy::TableWise, 0, Rank(1)),
+        ];
+        ShardingPlan::new(placements, &c)
+    }
+
+    #[test]
+    fn rank_loads_accumulate() {
+        let plan = simple_plan();
+        let loads = plan.rank_loads();
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads[0].num_shards, 1);
+        assert_eq!(loads[0].lookup_cost_per_sample, 128);
+        assert_eq!(loads[2].num_shards, 0);
+        assert_eq!(plan.total_storage_bytes(), 1000 * 128 * 4 + 100 * 64 * 4);
+    }
+
+    #[test]
+    fn imbalance_reflects_empty_ranks() {
+        let plan = simple_plan();
+        // Two of four ranks idle: max/mean = 128 / 48 ≈ 2.67.
+        assert!(plan.load_imbalance() > 2.0);
+    }
+
+    #[test]
+    fn output_bytes_scale_with_batch() {
+        let plan = simple_plan();
+        assert_eq!(plan.max_output_bytes_per_iteration(10), 128 * 4 * 10);
+        assert_eq!(plan.max_output_bytes_per_iteration(0), 0);
+    }
+
+    #[test]
+    fn empty_plan_is_balanced_by_definition() {
+        let plan = ShardingPlan::new(Vec::new(), &cluster());
+        assert_eq!(plan.load_imbalance(), 1.0);
+        assert!(plan.shards_on(Rank(0)).is_empty());
+    }
+}

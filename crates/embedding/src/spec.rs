@@ -1,0 +1,66 @@
+//! Descriptions of embedding tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Size and access characteristics of one embedding table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingTableSpec {
+    /// Human-readable table name (usually the sparse feature name).
+    pub name: String,
+    /// Number of rows (the feature's cardinality after hashing).
+    pub num_embeddings: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Average ids looked up per sample (1 for single-hot features).
+    pub pooling_factor: usize,
+}
+
+impl EmbeddingTableSpec {
+    /// Creates a table spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, num_embeddings: usize, dim: usize, pooling_factor: usize) -> Self {
+        assert!(num_embeddings > 0 && dim > 0 && pooling_factor > 0, "table dimensions must be positive");
+        Self { name: name.into(), num_embeddings, dim, pooling_factor }
+    }
+
+    /// Storage footprint of the full table in bytes (FP32 weights).
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        self.num_embeddings as u64 * self.dim as u64 * 4
+    }
+
+    /// Bytes of pooled embedding output this table produces per sample (FP32).
+    #[must_use]
+    pub fn output_bytes_per_sample(&self) -> u64 {
+        self.dim as u64 * 4
+    }
+
+    /// Relative lookup cost per sample: rows touched × dim, a proxy for HBM traffic.
+    #[must_use]
+    pub fn lookup_cost_per_sample(&self) -> u64 {
+        self.pooling_factor as u64 * self.dim as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let t = EmbeddingTableSpec::new("t", 1000, 128, 3);
+        assert_eq!(t.storage_bytes(), 1000 * 128 * 4);
+        assert_eq!(t.output_bytes_per_sample(), 512);
+        assert_eq!(t.lookup_cost_per_sample(), 384);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = EmbeddingTableSpec::new("t", 10, 0, 1);
+    }
+}

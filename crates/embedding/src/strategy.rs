@@ -1,0 +1,154 @@
+//! Sharding strategies and shard placements.
+
+use crate::spec::EmbeddingTableSpec;
+use dmt_topology::Rank;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How one embedding table is cut across devices.
+///
+/// These are the three strategies TorchRec's planner chooses between and that the
+/// paper's specialized SPTT discussion (§3.1.3, §4) distinguishes: column-wise shards
+/// are preferred for large-batch single-hot features, row-wise for small-batch
+/// multi-hot features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShardingStrategy {
+    /// The whole table lives on one device.
+    TableWise,
+    /// The embedding dimension is split into `shards` equal column slices.
+    ColumnWise {
+        /// Number of column slices.
+        shards: usize,
+    },
+    /// The rows are split into `shards` equal partitions.
+    RowWise {
+        /// Number of row partitions.
+        shards: usize,
+    },
+}
+
+impl ShardingStrategy {
+    /// Number of shards the table is cut into.
+    #[must_use]
+    pub fn num_shards(self) -> usize {
+        match self {
+            ShardingStrategy::TableWise => 1,
+            ShardingStrategy::ColumnWise { shards } | ShardingStrategy::RowWise { shards } => shards.max(1),
+        }
+    }
+}
+
+impl fmt::Display for ShardingStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardingStrategy::TableWise => write!(f, "table-wise"),
+            ShardingStrategy::ColumnWise { shards } => write!(f, "column-wise x{shards}"),
+            ShardingStrategy::RowWise { shards } => write!(f, "row-wise x{shards}"),
+        }
+    }
+}
+
+/// One shard of one table placed on one rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardPlacement {
+    /// Index of the table in the planner's input list.
+    pub table_index: usize,
+    /// Strategy the table was sharded with.
+    pub strategy: ShardingStrategy,
+    /// Which shard of the table this is, in `0..strategy.num_shards()`.
+    pub shard_index: usize,
+    /// The rank hosting this shard.
+    pub rank: Rank,
+    /// Storage bytes of this shard.
+    pub storage_bytes: u64,
+    /// Per-sample lookup cost contributed by this shard.
+    pub lookup_cost_per_sample: u64,
+    /// Per-sample pooled-output bytes this shard must return to the batch owners.
+    pub output_bytes_per_sample: u64,
+}
+
+impl ShardPlacement {
+    /// Creates the `shard_index`-th shard of `table` under `strategy`, placed on
+    /// `rank`.
+    ///
+    /// The shard's cost metrics are the table's divided by the shard count: column-wise
+    /// shards split the dimension (so output bytes and lookup cost divide), row-wise
+    /// shards split the rows (storage divides; each shard still produces a full-width
+    /// partial output that is reduced, so output bytes stay whole but lookups divide
+    /// on average).
+    #[must_use]
+    pub fn new(
+        table_index: usize,
+        table: &EmbeddingTableSpec,
+        strategy: ShardingStrategy,
+        shard_index: usize,
+        rank: Rank,
+    ) -> Self {
+        let shards = strategy.num_shards() as u64;
+        let (storage, lookup, output) = match strategy {
+            ShardingStrategy::TableWise => (
+                table.storage_bytes(),
+                table.lookup_cost_per_sample(),
+                table.output_bytes_per_sample(),
+            ),
+            ShardingStrategy::ColumnWise { .. } => (
+                table.storage_bytes() / shards,
+                table.lookup_cost_per_sample() / shards,
+                table.output_bytes_per_sample() / shards,
+            ),
+            ShardingStrategy::RowWise { .. } => (
+                table.storage_bytes() / shards,
+                table.lookup_cost_per_sample() / shards,
+                table.output_bytes_per_sample(),
+            ),
+        };
+        Self {
+            table_index,
+            strategy,
+            shard_index,
+            rank,
+            storage_bytes: storage,
+            lookup_cost_per_sample: lookup,
+            output_bytes_per_sample: output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EmbeddingTableSpec {
+        EmbeddingTableSpec::new("t", 1_000_000, 128, 1)
+    }
+
+    #[test]
+    fn shard_counts() {
+        assert_eq!(ShardingStrategy::TableWise.num_shards(), 1);
+        assert_eq!(ShardingStrategy::ColumnWise { shards: 4 }.num_shards(), 4);
+        assert_eq!(ShardingStrategy::RowWise { shards: 0 }.num_shards(), 1);
+    }
+
+    #[test]
+    fn column_wise_splits_output_bytes() {
+        let t = table();
+        let shard = ShardPlacement::new(0, &t, ShardingStrategy::ColumnWise { shards: 4 }, 1, Rank(3));
+        assert_eq!(shard.storage_bytes, t.storage_bytes() / 4);
+        assert_eq!(shard.output_bytes_per_sample, t.output_bytes_per_sample() / 4);
+        assert_eq!(shard.rank, Rank(3));
+    }
+
+    #[test]
+    fn row_wise_keeps_full_output_width() {
+        let t = table();
+        let shard = ShardPlacement::new(0, &t, ShardingStrategy::RowWise { shards: 8 }, 0, Rank(0));
+        assert_eq!(shard.storage_bytes, t.storage_bytes() / 8);
+        assert_eq!(shard.output_bytes_per_sample, t.output_bytes_per_sample());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ShardingStrategy::ColumnWise { shards: 2 }.to_string(), "column-wise x2");
+        assert_eq!(ShardingStrategy::TableWise.to_string(), "table-wise");
+    }
+}

@@ -1,0 +1,109 @@
+//! ROC AUC via the rank-sum (Mann–Whitney) formulation.
+
+/// Computes the area under the ROC curve for binary labels.
+///
+/// Uses the rank-sum formulation with average ranks for tied scores, which is exact and
+/// O(n log n). Labels are treated as positive when `> 0.5`.
+///
+/// Returns `None` when the input is empty, the lengths differ, or only one class is
+/// present (AUC is undefined in those cases).
+///
+/// ```
+/// use dmt_metrics::auc::roc_auc;
+///
+/// // A perfect ranking scores 1.0, a perfectly inverted one 0.0.
+/// assert_eq!(roc_auc(&[0.9, 0.2], &[1.0, 0.0]), Some(1.0));
+/// assert_eq!(roc_auc(&[0.2, 0.9], &[1.0, 0.0]), Some(0.0));
+/// ```
+#[must_use]
+pub fn roc_auc(scores: &[f32], labels: &[f32]) -> Option<f64> {
+    if scores.is_empty() || scores.len() != labels.len() {
+        return None;
+    }
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Average ranks (1-based) with tie handling.
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[order[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+
+    let mut pos = 0u64;
+    let mut neg = 0u64;
+    let mut pos_rank_sum = 0.0f64;
+    for (idx, &label) in labels.iter().enumerate() {
+        if label > 0.5 {
+            pos += 1;
+            pos_rank_sum += ranks[idx];
+        } else {
+            neg += 1;
+        }
+    }
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    let u = pos_rank_sum - (pos as f64 * (pos as f64 + 1.0)) / 2.0;
+    Some(u / (pos as f64 * neg as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_inverted_rankings() {
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels), Some(1.0));
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels), Some(0.0));
+    }
+
+    #[test]
+    fn random_scores_are_near_half() {
+        // Deterministic pseudo-random scores decoupled from the labels.
+        let n = 20_000;
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        let labels: Vec<f32> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let scores: Vec<f32> = (0..n).map(|_| next()).collect();
+        let auc = roc_auc(&scores, &labels).unwrap();
+        assert!((auc - 0.5).abs() < 0.02, "random AUC was {auc}");
+    }
+
+    #[test]
+    fn ties_get_average_credit() {
+        // All scores equal: AUC must be exactly 0.5.
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let scores = [0.7, 0.7, 0.7, 0.7];
+        assert_eq!(roc_auc(&scores, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn partial_ordering_gives_intermediate_auc() {
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let scores = [0.9, 0.3, 0.4, 0.1];
+        // One of the four positive/negative pairs is misordered: AUC = 3/4.
+        assert_eq!(roc_auc(&scores, &labels), Some(0.75));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(roc_auc(&[], &[]), None);
+        assert_eq!(roc_auc(&[0.5], &[1.0]), None);
+        assert_eq!(roc_auc(&[0.5, 0.6], &[1.0, 1.0]), None);
+        assert_eq!(roc_auc(&[0.5, 0.6], &[1.0]), None);
+    }
+}

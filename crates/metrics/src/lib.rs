@@ -1,0 +1,34 @@
+//! Evaluation metrics and statistics for the DMT reproduction.
+//!
+//! The paper reports model quality as ROC AUC (open-source models) and normalized
+//! entropy (the internal XLRM model), summarizes repeated runs with medians and
+//! standard deviations, and establishes the significance of the Tower Partitioner's
+//! gains with a Mann–Whitney U test (Table 6). This crate implements those metrics:
+//!
+//! * [`auc::roc_auc`] — rank-based ROC AUC with proper tie handling.
+//! * [`loss::log_loss`] and [`loss::normalized_entropy`] — the NE metric of He et al.
+//! * [`stats`] — mean, standard deviation, median and empirical CDFs.
+//! * [`mann_whitney::mann_whitney_u`] — two-sided Mann–Whitney U test with the normal
+//!   approximation and tie correction.
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_metrics::auc::roc_auc;
+//!
+//! let labels = [1.0, 0.0, 1.0, 0.0];
+//! let scores = [0.9, 0.1, 0.8, 0.3];
+//! assert_eq!(roc_auc(&scores, &labels), Some(1.0));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod auc;
+pub mod loss;
+pub mod mann_whitney;
+pub mod stats;
+
+pub use auc::roc_auc;
+pub use loss::{log_loss, normalized_entropy};
+pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
+pub use stats::{empirical_cdf, mean, median, std_dev, Summary};

@@ -1,0 +1,107 @@
+//! Log loss and normalized entropy.
+
+/// Clamps a probability away from 0 and 1 so the logarithms stay finite.
+fn clamp_prob(p: f64) -> f64 {
+    p.clamp(1e-7, 1.0 - 1e-7)
+}
+
+/// Mean binary cross-entropy (log loss) of predicted probabilities against labels.
+///
+/// Returns `None` for empty or length-mismatched inputs.
+///
+/// ```
+/// use dmt_metrics::loss::log_loss;
+///
+/// let ll = log_loss(&[0.9, 0.1], &[1.0, 0.0]).unwrap();
+/// assert!(ll < 0.2);
+/// ```
+#[must_use]
+pub fn log_loss(predictions: &[f32], labels: &[f32]) -> Option<f64> {
+    if predictions.is_empty() || predictions.len() != labels.len() {
+        return None;
+    }
+    let sum: f64 = predictions
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = clamp_prob(f64::from(p));
+            let y = f64::from(y);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum();
+    Some(sum / predictions.len() as f64)
+}
+
+/// Normalized entropy (He et al., 2014): log loss divided by the entropy of a constant
+/// predictor that always outputs the empirical CTR.
+///
+/// Values below 1.0 mean the model beats the background-rate predictor; the paper
+/// reports XLRM improvements as relative NE deltas. Returns `None` for degenerate
+/// inputs (empty, mismatched lengths, or all labels identical, which makes the
+/// denominator zero).
+///
+/// ```
+/// use dmt_metrics::loss::normalized_entropy;
+///
+/// let ne = normalized_entropy(&[0.9, 0.8, 0.1, 0.2], &[1.0, 1.0, 0.0, 0.0]).unwrap();
+/// assert!(ne < 1.0);
+/// ```
+#[must_use]
+pub fn normalized_entropy(predictions: &[f32], labels: &[f32]) -> Option<f64> {
+    let ll = log_loss(predictions, labels)?;
+    let ctr = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / labels.len() as f64;
+    if ctr <= 0.0 || ctr >= 1.0 {
+        // A single-class label set makes the background entropy zero: NE is undefined.
+        return None;
+    }
+    let background = -(ctr * ctr.ln() + (1.0 - ctr) * (1.0 - ctr).ln());
+    Some(ll / background)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_loss_of_perfect_predictions_is_tiny() {
+        let ll = log_loss(&[1.0, 0.0, 1.0], &[1.0, 0.0, 1.0]).unwrap();
+        assert!(ll < 1e-5);
+    }
+
+    #[test]
+    fn log_loss_of_confidently_wrong_predictions_is_large() {
+        let ll = log_loss(&[0.01, 0.99], &[1.0, 0.0]).unwrap();
+        assert!(ll > 4.0);
+    }
+
+    #[test]
+    fn log_loss_handles_extreme_probabilities() {
+        // 0 and 1 must not produce infinities thanks to clamping.
+        let ll = log_loss(&[0.0, 1.0], &[1.0, 0.0]).unwrap();
+        assert!(ll.is_finite());
+    }
+
+    #[test]
+    fn ne_of_background_predictor_is_one() {
+        // Predicting the empirical CTR for every sample gives NE = 1 by definition.
+        let labels = [1.0, 0.0, 0.0, 0.0];
+        let preds = [0.25f32; 4];
+        let ne = normalized_entropy(&preds, &labels).unwrap();
+        assert!((ne - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_model_has_lower_ne() {
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let good = normalized_entropy(&[0.9, 0.8, 0.2, 0.1], &labels).unwrap();
+        let bad = normalized_entropy(&[0.55, 0.52, 0.48, 0.45], &labels).unwrap();
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(log_loss(&[], &[]), None);
+        assert_eq!(log_loss(&[0.5], &[]), None);
+        assert_eq!(normalized_entropy(&[0.5, 0.5], &[1.0, 1.0]), None);
+    }
+}

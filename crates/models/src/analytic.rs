@@ -1,0 +1,150 @@
+//! Analytic (paper-scale) model descriptions for the throughput simulator.
+//!
+//! The simulated-throughput experiments (Figures 10–13) do not need trainable weights —
+//! only how much compute an iteration costs, how many embedding bytes it exchanges and
+//! how many dense parameters it synchronizes. `PaperScaleSpec` captures those numbers
+//! for the three models the paper evaluates, matching the characteristics it reports:
+//! the open-source models have ~90 GB of parameters and cost 14–96 MFlops/sample; XLRM
+//! has ~2 T parameters and ~700 MFlops/sample.
+
+use crate::hyper::ModelArch;
+use serde::{Deserialize, Serialize};
+
+/// Paper-scale characteristics of one model, as consumed by the throughput simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperScaleSpec {
+    /// Model name (`"DLRM"`, `"DCN"`, `"XLRM"`).
+    pub name: String,
+    /// Interaction architecture of the dense part.
+    pub arch: ModelArch,
+    /// Number of sparse features (towers are carved out of these).
+    pub num_sparse_features: usize,
+    /// Embedding dimension.
+    pub embedding_dim: usize,
+    /// Dense-part forward+backward compute per sample, in MFlops.
+    pub mflops_per_sample: f64,
+    /// Dense parameters that the AllReduce synchronizes every iteration, in millions.
+    pub dense_params_m: f64,
+    /// Total parameters (dominated by embeddings), in billions.
+    pub total_params_g: f64,
+}
+
+impl PaperScaleSpec {
+    /// The open-source DLRM configuration (Table 3/4: 14.74 MFlops/sample, 22.78 G
+    /// parameters, 26 Criteo sparse features, embedding dimension 128).
+    #[must_use]
+    pub fn dlrm() -> Self {
+        Self {
+            name: "DLRM".into(),
+            arch: ModelArch::Dlrm,
+            num_sparse_features: 26,
+            embedding_dim: 128,
+            mflops_per_sample: 14.74,
+            dense_params_m: 8.0,
+            total_params_g: 22.78,
+        }
+    }
+
+    /// The open-source DCN configuration (Table 3/4: 96.22 MFlops/sample, 22.79 G
+    /// parameters).
+    #[must_use]
+    pub fn dcn() -> Self {
+        Self {
+            name: "DCN".into(),
+            arch: ModelArch::Dcn,
+            num_sparse_features: 26,
+            embedding_dim: 128,
+            mflops_per_sample: 96.22,
+            dense_params_m: 12.0,
+            total_params_g: 22.79,
+        }
+    }
+
+    /// The internal extra-large model (§5.1: ~2 T parameters, ~700 MFlops/sample). The
+    /// sparse-feature count is representative rather than disclosed; it only affects
+    /// how towers divide the embedding payload.
+    #[must_use]
+    pub fn xlrm() -> Self {
+        Self {
+            name: "XLRM".into(),
+            arch: ModelArch::Dcn,
+            num_sparse_features: 512,
+            embedding_dim: 256,
+            mflops_per_sample: 700.0,
+            dense_params_m: 350.0,
+            total_params_g: 2000.0,
+        }
+    }
+
+    /// All three paper models.
+    #[must_use]
+    pub fn all() -> Vec<Self> {
+        vec![Self::dlrm(), Self::dcn(), Self::xlrm()]
+    }
+
+    /// Dense-part compute per sample in FLOPs.
+    #[must_use]
+    pub fn flops_per_sample(&self) -> f64 {
+        self.mflops_per_sample * 1e6
+    }
+
+    /// FP32 bytes of pooled embeddings produced per sample (all features).
+    #[must_use]
+    pub fn embedding_bytes_per_sample(&self) -> u64 {
+        self.num_sparse_features as u64 * self.embedding_dim as u64 * 4
+    }
+
+    /// FP32 bytes of dense gradients synchronized per iteration.
+    #[must_use]
+    pub fn dense_grad_bytes(&self) -> u64 {
+        (self.dense_params_m * 1e6) as u64 * 4
+    }
+
+    /// A copy with its dense compute scaled by `factor` — used to model the
+    /// reduced-complexity DMT variants of Table 4 (e.g. DMT-DLRM at 8.95 of 14.74
+    /// MFlops).
+    #[must_use]
+    pub fn with_compute_scale(mut self, factor: f64) -> Self {
+        self.mflops_per_sample *= factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_are_reproduced() {
+        let dlrm = PaperScaleSpec::dlrm();
+        assert!((dlrm.mflops_per_sample - 14.74).abs() < 1e-9);
+        assert!((dlrm.total_params_g - 22.78).abs() < 1e-9);
+        let dcn = PaperScaleSpec::dcn();
+        assert!(dcn.mflops_per_sample > dlrm.mflops_per_sample);
+        let xlrm = PaperScaleSpec::xlrm();
+        assert!(xlrm.total_params_g > 100.0 * dlrm.total_params_g / 3.0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let dlrm = PaperScaleSpec::dlrm();
+        // 26 features * 128 dims * 4 bytes = 13312 bytes per sample; at a 16K local
+        // batch that is ~208 MiB per rank, matching the paper's "256MB ... rounded up
+        // to the nearest power of 2".
+        assert_eq!(dlrm.embedding_bytes_per_sample(), 13_312);
+        let per_rank = dlrm.embedding_bytes_per_sample() * 16 * 1024;
+        assert!(per_rank > 200 * 1024 * 1024 && per_rank < 256 * 1024 * 1024);
+        assert!(dlrm.dense_grad_bytes() > 10_000_000);
+    }
+
+    #[test]
+    fn compute_scaling() {
+        let scaled = PaperScaleSpec::dlrm().with_compute_scale(8.95 / 14.74);
+        assert!((scaled.mflops_per_sample - 8.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_returns_three_models() {
+        assert_eq!(PaperScaleSpec::all().len(), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Model architectures and hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Which interaction architecture the model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelArch {
+    /// DLRM: pairwise dot-product interaction (Naumov et al., 2019).
+    Dlrm,
+    /// DCN: CrossNet interaction (Wang et al., 2021).
+    Dcn,
+}
+
+impl ModelArch {
+    /// Short lowercase name (`"dlrm"` / `"dcn"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelArch::Dlrm => "dlrm",
+            ModelArch::Dcn => "dcn",
+        }
+    }
+}
+
+/// Dense-side hyper-parameters of a recommendation model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelHyperparams {
+    /// Embedding dimension `N` (the paper's baselines use 128).
+    pub embedding_dim: usize,
+    /// Hidden widths of the bottom MLP processing dense features (its output width is
+    /// forced to the interaction unit width).
+    pub bottom_mlp_hidden: Vec<usize>,
+    /// Hidden widths of the over-arch MLP (a final width-1 logit layer is appended).
+    pub over_mlp_hidden: Vec<usize>,
+    /// Number of CrossNet layers (DCN only).
+    pub cross_layers: usize,
+}
+
+impl ModelHyperparams {
+    /// Hyper-parameters in the spirit of the paper's open-source baselines (embedding
+    /// dimension 128, three-layer bottom MLP, deep over-arch). Too large to *train* in
+    /// unit tests; used for analytic FLOP/parameter accounting and the full quality
+    /// runs.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        Self {
+            embedding_dim: 128,
+            bottom_mlp_hidden: vec![512, 256],
+            over_mlp_hidden: vec![1024, 1024, 512, 256],
+            cross_layers: 3,
+        }
+    }
+
+    /// A small configuration that trains to a meaningful AUC on the synthetic dataset
+    /// in seconds; used by the test suite and `--quick` experiment runs.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            embedding_dim: 16,
+            bottom_mlp_hidden: vec![32],
+            over_mlp_hidden: vec![64, 32],
+            cross_layers: 2,
+        }
+    }
+
+    /// A middle-ground configuration for the full (non-`--quick`) quality experiments:
+    /// large enough that interaction modeling matters, small enough to train on CPU.
+    #[must_use]
+    pub fn quality_run() -> Self {
+        Self {
+            embedding_dim: 32,
+            bottom_mlp_hidden: vec![64, 48],
+            over_mlp_hidden: vec![128, 64],
+            cross_layers: 2,
+        }
+    }
+
+    /// Returns a copy with a different embedding dimension.
+    #[must_use]
+    pub fn with_embedding_dim(mut self, dim: usize) -> Self {
+        self.embedding_dim = dim;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(ModelArch::Dlrm.name(), "dlrm");
+        assert_eq!(ModelArch::Dcn.name(), "dcn");
+    }
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let tiny = ModelHyperparams::tiny();
+        let quality = ModelHyperparams::quality_run();
+        let paper = ModelHyperparams::paper_baseline();
+        assert!(tiny.embedding_dim < quality.embedding_dim);
+        assert!(quality.embedding_dim < paper.embedding_dim);
+        assert_eq!(paper.embedding_dim, 128);
+    }
+
+    #[test]
+    fn with_embedding_dim_overrides() {
+        let h = ModelHyperparams::tiny().with_embedding_dim(64);
+        assert_eq!(h.embedding_dim, 64);
+    }
+}

@@ -1,0 +1,717 @@
+//! Trainable recommendation models (baseline and DMT variants).
+
+use crate::hyper::{ModelArch, ModelHyperparams};
+use dmt_core::{DmtConfig, DmtError, TowerModuleKind, TowerPartition};
+use dmt_core::tower::{DcnTowerModule, DlrmTowerModule, TowerModule};
+use dmt_data::{Batch, DatasetSchema};
+use dmt_nn::param::HasParameters;
+use dmt_nn::{
+    AdamOptimizer, BceWithLogitsLoss, CrossNet, DotInteraction, EmbeddingTable, Mlp, Optimizer,
+    Parameter,
+};
+use dmt_tensor::{Tensor, TensorError};
+use rand::Rng;
+use std::fmt;
+
+/// Errors produced while building or running a model.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A tensor shape mismatch inside the network.
+    Tensor(TensorError),
+    /// An invalid DMT configuration or partition.
+    Dmt(DmtError),
+    /// The batch does not match the model's schema.
+    SchemaMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::Dmt(e) => write!(f, "dmt error: {e}"),
+            ModelError::SchemaMismatch { reason } => write!(f, "schema mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<TensorError> for ModelError {
+    fn from(value: TensorError) -> Self {
+        ModelError::Tensor(value)
+    }
+}
+
+impl From<DmtError> for ModelError {
+    fn from(value: DmtError) -> Self {
+        ModelError::Dmt(value)
+    }
+}
+
+/// Result of one training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainStepStats {
+    /// Mean binary cross-entropy of the batch.
+    pub loss: f64,
+    /// Predicted click probabilities.
+    pub predictions: Vec<f32>,
+}
+
+/// One tower's dense module in a DMT model.
+enum TowerUnit {
+    /// SPTT-only: embeddings pass through unchanged.
+    PassThrough {
+        num_features: usize,
+    },
+    Dlrm(DlrmTowerModule),
+    Dcn(DcnTowerModule),
+}
+
+impl TowerUnit {
+    fn output_width(&self, embedding_dim: usize) -> usize {
+        match self {
+            TowerUnit::PassThrough { num_features } => num_features * embedding_dim,
+            TowerUnit::Dlrm(m) => m.output_dim(),
+            TowerUnit::Dcn(m) => m.output_dim(),
+        }
+    }
+
+    /// Number of interaction units (vectors of the interaction unit width) produced.
+    fn num_units(&self, c: usize, p: usize) -> usize {
+        match self {
+            TowerUnit::PassThrough { num_features } => *num_features,
+            TowerUnit::Dlrm(m) => c * m.num_features() + p,
+            TowerUnit::Dcn(m) => m.num_features(),
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        match self {
+            TowerUnit::PassThrough { .. } => Ok(input.clone()),
+            TowerUnit::Dlrm(m) => m.forward(input),
+            TowerUnit::Dcn(m) => m.forward(input),
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, TensorError> {
+        match self {
+            TowerUnit::PassThrough { .. } => Ok(grad.clone()),
+            TowerUnit::Dlrm(m) => m.backward(grad),
+            TowerUnit::Dcn(m) => m.backward(grad),
+        }
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        match self {
+            TowerUnit::PassThrough { .. } => 0,
+            TowerUnit::Dlrm(m) => m.flops_per_sample(),
+            TowerUnit::Dcn(m) => m.flops_per_sample(),
+        }
+    }
+
+    fn visit(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        match self {
+            TowerUnit::PassThrough { .. } => {}
+            TowerUnit::Dlrm(m) => m.visit_parameters(visitor),
+            TowerUnit::Dcn(m) => m.visit_parameters(visitor),
+        }
+    }
+}
+
+/// The tower stage of a DMT model: a feature partition plus one module per tower.
+struct TowerStage {
+    partition: TowerPartition,
+    modules: Vec<TowerUnit>,
+    ensemble_c: usize,
+    ensemble_p: usize,
+}
+
+/// A trainable recommendation model: embedding tables, bottom MLP, (optional) tower
+/// stage, feature interaction, over-arch and BCE loss.
+///
+/// Construct with [`RecommendationModel::baseline`] for the single-tower baseline or
+/// [`RecommendationModel::dmt`] for a Disaggregated Multi-Tower variant.
+pub struct RecommendationModel {
+    arch: ModelArch,
+    hyper: ModelHyperparams,
+    schema: DatasetSchema,
+    tables: Vec<EmbeddingTable>,
+    bottom_mlp: Mlp,
+    towers: Option<TowerStage>,
+    dot: Option<DotInteraction>,
+    crossnet: Option<CrossNet>,
+    over_mlp: Mlp,
+    loss: BceWithLogitsLoss,
+    adam: AdamOptimizer,
+    /// Interaction unit width (N for baselines, D for tower-module models).
+    unit_width: usize,
+    /// Number of unit-width vectors entering the interaction (including the dense one).
+    num_units: usize,
+    /// Cached per-tower output widths for the backward split.
+    tower_output_widths: Vec<usize>,
+}
+
+impl RecommendationModel {
+    /// Builds the single-tower baseline model (the paper's Strong Baseline
+    /// architecture family).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the schema has no sparse features.
+    pub fn baseline<R: Rng + ?Sized>(
+        rng: &mut R,
+        schema: &DatasetSchema,
+        arch: ModelArch,
+        hyper: &ModelHyperparams,
+    ) -> Result<Self, ModelError> {
+        Self::build(rng, schema, arch, hyper, None)
+    }
+
+    /// Builds a DMT variant: features are grouped by `partition` and each tower gets a
+    /// module chosen by `config.tower_module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the partition does not cover the schema's features or
+    /// the DMT configuration is invalid.
+    pub fn dmt<R: Rng + ?Sized>(
+        rng: &mut R,
+        schema: &DatasetSchema,
+        arch: ModelArch,
+        hyper: &ModelHyperparams,
+        partition: TowerPartition,
+        config: &DmtConfig,
+    ) -> Result<Self, ModelError> {
+        if partition.num_features() != schema.num_sparse() {
+            return Err(ModelError::SchemaMismatch {
+                reason: format!(
+                    "partition covers {} features but the schema has {}",
+                    partition.num_features(),
+                    schema.num_sparse()
+                ),
+            });
+        }
+        Self::build(rng, schema, arch, hyper, Some((partition, config.clone())))
+    }
+
+    fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        schema: &DatasetSchema,
+        arch: ModelArch,
+        hyper: &ModelHyperparams,
+        dmt: Option<(TowerPartition, DmtConfig)>,
+    ) -> Result<Self, ModelError> {
+        if schema.num_sparse() == 0 {
+            return Err(ModelError::SchemaMismatch { reason: "schema has no sparse features".into() });
+        }
+        let n = hyper.embedding_dim;
+        let tables: Vec<EmbeddingTable> = schema
+            .sparse_cardinalities
+            .iter()
+            .map(|&cardinality| EmbeddingTable::new(rng, cardinality, n))
+            .collect();
+
+        // Tower stage and interaction geometry.
+        let (towers, unit_width, num_feature_units, tower_output_widths) =
+            match dmt {
+                None => (None, n, schema.num_sparse(), Vec::new()),
+                Some((partition, config)) => {
+                    let mut modules = Vec::with_capacity(partition.num_towers());
+                    let mut input_widths = Vec::with_capacity(partition.num_towers());
+                    let mut output_widths = Vec::with_capacity(partition.num_towers());
+                    let mut units = 0usize;
+                    let unit_width = match config.tower_module {
+                        TowerModuleKind::PassThrough => n,
+                        _ => config.tower_output_dim,
+                    };
+                    for group in partition.groups() {
+                        let f_t = group.len();
+                        input_widths.push(f_t * n);
+                        let module = match config.tower_module {
+                            TowerModuleKind::PassThrough => TowerUnit::PassThrough { num_features: f_t },
+                            TowerModuleKind::DlrmLinear => TowerUnit::Dlrm(DlrmTowerModule::new(
+                                rng,
+                                f_t,
+                                n,
+                                config.ensemble_c,
+                                config.ensemble_p,
+                                config.tower_output_dim,
+                            )?),
+                            TowerModuleKind::DcnCross => TowerUnit::Dcn(DcnTowerModule::new(
+                                rng,
+                                f_t,
+                                n,
+                                config.tower_cross_layers,
+                                config.tower_output_dim,
+                            )?),
+                        };
+                        units += module.num_units(config.ensemble_c, config.ensemble_p);
+                        output_widths.push(module.output_width(n));
+                        modules.push(module);
+                    }
+                    let _ = input_widths;
+                    (
+                        Some(TowerStage {
+                            partition,
+                            modules,
+                            ensemble_c: config.ensemble_c,
+                            ensemble_p: config.ensemble_p,
+                        }),
+                        unit_width,
+                        units,
+                        output_widths,
+                    )
+                }
+            };
+
+        let num_units = num_feature_units + 1; // +1 for the dense representation.
+        let interaction_width = unit_width * num_units;
+
+        // Bottom MLP: dense features -> unit width.
+        let mut bottom_sizes = vec![schema.num_dense];
+        bottom_sizes.extend(&hyper.bottom_mlp_hidden);
+        bottom_sizes.push(unit_width);
+        let bottom_mlp = Mlp::new(rng, &bottom_sizes);
+
+        // Interaction + over-arch input width.
+        let (dot, crossnet, over_input) = match arch {
+            ModelArch::Dlrm => {
+                let dot = DotInteraction::new(num_units, unit_width);
+                let over_input = unit_width + dot.output_dim();
+                (Some(dot), None, over_input)
+            }
+            ModelArch::Dcn => {
+                let crossnet = CrossNet::new(rng, interaction_width, hyper.cross_layers.max(1));
+                (None, Some(crossnet), interaction_width)
+            }
+        };
+        let mut over_sizes = vec![over_input];
+        over_sizes.extend(&hyper.over_mlp_hidden);
+        over_sizes.push(1);
+        let over_mlp = Mlp::new(rng, &over_sizes);
+
+        Ok(Self {
+            arch,
+            hyper: hyper.clone(),
+            schema: schema.clone(),
+            tables,
+            bottom_mlp,
+            towers,
+            dot,
+            crossnet,
+            over_mlp,
+            loss: BceWithLogitsLoss::new(),
+            adam: AdamOptimizer::new(1e-3),
+            unit_width,
+            num_units,
+            tower_output_widths,
+        })
+    }
+
+    /// The model's interaction architecture.
+    #[must_use]
+    pub fn arch(&self) -> ModelArch {
+        self.arch
+    }
+
+    /// Whether this is a DMT (multi-tower) variant.
+    #[must_use]
+    pub fn is_dmt(&self) -> bool {
+        self.towers.is_some()
+    }
+
+    /// Number of towers (1 for the baseline).
+    #[must_use]
+    pub fn num_towers(&self) -> usize {
+        self.towers.as_ref().map_or(1, |t| t.partition.num_towers())
+    }
+
+    /// Total trainable parameters (dense + embedding).
+    #[must_use]
+    pub fn parameter_count(&mut self) -> usize {
+        let embedding: usize = self.tables.iter().map(EmbeddingTable::parameter_count).sum();
+        let mut dense = 0usize;
+        self.visit_parameters(&mut |p| dense += p.len());
+        embedding + dense
+    }
+
+    /// Approximate forward FLOPs per sample.
+    #[must_use]
+    pub fn flops_per_sample(&self) -> u64 {
+        let n = self.hyper.embedding_dim as u64;
+        let lookup: u64 = self
+            .schema
+            .pooling_factors
+            .iter()
+            .map(|&p| 2 * p as u64 * n)
+            .sum();
+        let towers: u64 = self
+            .towers
+            .as_ref()
+            .map_or(0, |t| t.modules.iter().map(TowerUnit::flops_per_sample).sum());
+        let interaction = match self.arch {
+            ModelArch::Dlrm => self
+                .dot
+                .as_ref()
+                .map_or(0, DotInteraction::flops_per_sample),
+            ModelArch::Dcn => self.crossnet.as_ref().map_or(0, CrossNet::flops_per_sample),
+        };
+        self.bottom_mlp.flops_per_sample() + lookup + towers + interaction + self.over_mlp.flops_per_sample()
+    }
+
+    /// Runs the forward pass and returns the logits tensor (shape `[batch, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the batch does not match the schema.
+    pub fn forward(&mut self, batch: &Batch) -> Result<Tensor, ModelError> {
+        if batch.sparse.len() != self.schema.num_sparse() {
+            return Err(ModelError::SchemaMismatch {
+                reason: format!(
+                    "batch has {} sparse features, model expects {}",
+                    batch.sparse.len(),
+                    self.schema.num_sparse()
+                ),
+            });
+        }
+        let b = batch.len();
+        // Dense path.
+        let dense_input = Tensor::from_vec(vec![b, self.schema.num_dense], batch.dense_flat())?;
+        let dense_repr = self.bottom_mlp.forward(&dense_input)?;
+
+        // Embedding lookups, one tensor per feature.
+        let mut feature_embs = Vec::with_capacity(self.tables.len());
+        for (table, bags) in self.tables.iter_mut().zip(&batch.sparse) {
+            feature_embs.push(table.forward(bags)?);
+        }
+
+        // Tower stage (or identity for the baseline).
+        let feature_block = if let Some(stage) = &mut self.towers {
+            let mut tower_outputs = Vec::with_capacity(stage.modules.len());
+            for (group, module) in stage.partition.groups().iter().zip(&mut stage.modules) {
+                let members: Vec<&Tensor> = group.iter().map(|&f| &feature_embs[f]).collect();
+                let tower_input = Tensor::concat_cols(&members)?;
+                tower_outputs.push(module.forward(&tower_input)?);
+            }
+            let refs: Vec<&Tensor> = tower_outputs.iter().collect();
+            Tensor::concat_cols(&refs)?
+        } else {
+            let refs: Vec<&Tensor> = feature_embs.iter().collect();
+            Tensor::concat_cols(&refs)?
+        };
+
+        // Interaction over [dense_repr | feature_block].
+        let units = Tensor::concat_cols(&[&dense_repr, &feature_block])?;
+        let over_input = match self.arch {
+            ModelArch::Dlrm => {
+                let dot = self.dot.as_mut().expect("DLRM models own a dot interaction");
+                let pairs = dot.forward(&units)?;
+                Tensor::concat_cols(&[&dense_repr, &pairs])?
+            }
+            ModelArch::Dcn => {
+                let crossnet = self.crossnet.as_mut().expect("DCN models own a CrossNet");
+                crossnet.forward(&units)?
+            }
+        };
+        Ok(self.over_mlp.forward(&over_input)?)
+    }
+
+    /// Runs forward + backward + optimizer updates for one batch and returns the loss
+    /// and predictions.
+    ///
+    /// Dense parameters are updated with Adam at `learning_rate`; embedding tables use
+    /// row-wise Adagrad at the same rate (the standard split in DLRM-style trainers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the batch does not match the schema.
+    pub fn train_step(&mut self, batch: &Batch, learning_rate: f32) -> Result<TrainStepStats, ModelError> {
+        self.zero_grad();
+        let logits = self.forward(batch)?;
+        let (loss, predictions, grad_logits) = self.loss.forward_backward(&logits, &batch.labels)?;
+        self.backward(&grad_logits, batch.len())?;
+
+        // Dense update (Adam is `Copy`, so temporarily move it out to satisfy the
+        // borrow checker).
+        let mut adam = self.adam;
+        adam.learning_rate = learning_rate;
+        adam.step(self);
+        self.adam = adam;
+        // Sparse update.
+        for table in &mut self.tables {
+            table.apply_rowwise_adagrad(learning_rate, 1e-8);
+        }
+        Ok(TrainStepStats { loss, predictions })
+    }
+
+    /// Predicts click probabilities without updating any parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the batch does not match the schema.
+    pub fn predict(&mut self, batch: &Batch) -> Result<Vec<f32>, ModelError> {
+        let logits = self.forward(batch)?;
+        Ok(logits.data().iter().map(|&z| dmt_nn::activation::scalar_sigmoid(z)).collect())
+    }
+
+    /// Mean rows of each embedding table — the feature-affinity probe the Tower
+    /// Partitioner consumes (§3.3 uses the normalized feature embeddings of an original
+    /// model).
+    #[must_use]
+    pub fn feature_embedding_probe(&self, rows_per_table: usize) -> Vec<Vec<f32>> {
+        self.tables
+            .iter()
+            .map(|t| {
+                let rows: Vec<usize> = (0..rows_per_table.min(t.num_embeddings())).collect();
+                t.mean_row(&rows)
+            })
+            .collect()
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor, batch: usize) -> Result<(), ModelError> {
+        let grad_over_input = self.over_mlp.backward(grad_logits)?;
+
+        // Undo the interaction stage.
+        let (grad_dense_direct, grad_units) = match self.arch {
+            ModelArch::Dlrm => {
+                let dot = self.dot.as_mut().expect("DLRM models own a dot interaction");
+                let pieces = grad_over_input.split_cols(&[self.unit_width, dot.output_dim()])?;
+                let grad_pairs = &pieces[1];
+                let grad_units = dot.backward(grad_pairs)?;
+                (Some(pieces[0].clone()), grad_units)
+            }
+            ModelArch::Dcn => {
+                let crossnet = self.crossnet.as_mut().expect("DCN models own a CrossNet");
+                (None, crossnet.backward(&grad_over_input)?)
+            }
+        };
+
+        // Split the units gradient into the dense part and the feature block.
+        let feature_block_width = self.unit_width * (self.num_units - 1);
+        let pieces = grad_units.split_cols(&[self.unit_width, feature_block_width])?;
+        let mut grad_dense_repr = pieces[0].clone();
+        if let Some(direct) = grad_dense_direct {
+            grad_dense_repr.axpy(1.0, &direct)?;
+        }
+        let grad_feature_block = &pieces[1];
+
+        // Undo the tower stage (or identity) to get per-feature embedding gradients.
+        let n = self.hyper.embedding_dim;
+        let mut per_feature_grads: Vec<Option<Tensor>> = vec![None; self.tables.len()];
+        if let Some(stage) = &mut self.towers {
+            let tower_grads = grad_feature_block.split_cols(&self.tower_output_widths)?;
+            for ((group, module), tower_grad) in stage
+                .partition
+                .groups()
+                .iter()
+                .zip(&mut stage.modules)
+                .zip(tower_grads)
+            {
+                let grad_input = module.backward(&tower_grad)?;
+                let widths = vec![n; group.len()];
+                let feature_grads = grad_input.split_cols(&widths)?;
+                for (&f, g) in group.iter().zip(feature_grads) {
+                    per_feature_grads[f] = Some(g);
+                }
+            }
+            let _ = (stage.ensemble_c, stage.ensemble_p, batch);
+        } else {
+            let widths = vec![n; self.tables.len()];
+            let feature_grads = grad_feature_block.split_cols(&widths)?;
+            for (f, g) in feature_grads.into_iter().enumerate() {
+                per_feature_grads[f] = Some(g);
+            }
+        }
+        for (table, grad) in self.tables.iter_mut().zip(per_feature_grads) {
+            let grad = grad.expect("every feature receives a gradient");
+            table.backward(&grad)?;
+        }
+        self.bottom_mlp.backward(&grad_dense_repr)?;
+        Ok(())
+    }
+
+    /// Drops embedding-table pending gradients (dense gradients are zeroed through
+    /// [`HasParameters::zero_grad`], which this calls too).
+    pub fn zero_grad(&mut self) {
+        for table in &mut self.tables {
+            table.zero_grad();
+        }
+        HasParameters::zero_grad(self);
+    }
+}
+
+impl HasParameters for RecommendationModel {
+    fn visit_parameters(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        self.bottom_mlp.visit_parameters(visitor);
+        if let Some(stage) = &mut self.towers {
+            for module in &mut stage.modules {
+                module.visit(visitor);
+            }
+        }
+        if let Some(crossnet) = &mut self.crossnet {
+            crossnet.visit_parameters(visitor);
+        }
+        self.over_mlp.visit_parameters(visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_core::{naive_partition, DmtConfig};
+    use dmt_data::SyntheticClickDataset;
+    use dmt_metrics::roc_auc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> DatasetSchema {
+        DatasetSchema::criteo_like_small()
+    }
+
+    fn baseline(arch: ModelArch) -> RecommendationModel {
+        let mut rng = StdRng::seed_from_u64(1);
+        RecommendationModel::baseline(&mut rng, &schema(), arch, &ModelHyperparams::tiny()).unwrap()
+    }
+
+    fn dmt_model(arch: ModelArch, kind: TowerModuleKind, towers: usize) -> RecommendationModel {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = schema();
+        let partition = naive_partition(s.num_sparse(), towers).unwrap();
+        let config = DmtConfig::builder(towers)
+            .tower_module(kind)
+            .tower_output_dim(8)
+            .ensemble(1, 0)
+            .cross_layers(1)
+            .build()
+            .unwrap();
+        RecommendationModel::dmt(&mut rng, &s, arch, &ModelHyperparams::tiny(), partition, &config).unwrap()
+    }
+
+    #[test]
+    fn baseline_forward_shapes() {
+        for arch in [ModelArch::Dlrm, ModelArch::Dcn] {
+            let mut model = baseline(arch);
+            let mut data = SyntheticClickDataset::new(schema(), 2);
+            let batch = data.next_batch(16);
+            let logits = model.forward(&batch).unwrap();
+            assert_eq!(logits.shape(), &[16, 1]);
+            assert!(!model.is_dmt());
+            assert_eq!(model.num_towers(), 1);
+        }
+    }
+
+    #[test]
+    fn dmt_forward_shapes_for_all_tower_kinds() {
+        for arch in [ModelArch::Dlrm, ModelArch::Dcn] {
+            for kind in [TowerModuleKind::PassThrough, TowerModuleKind::DlrmLinear, TowerModuleKind::DcnCross] {
+                let mut model = dmt_model(arch, kind, 4);
+                let mut data = SyntheticClickDataset::new(schema(), 2);
+                let batch = data.next_batch(8);
+                let logits = model.forward(&batch).unwrap();
+                assert_eq!(logits.shape(), &[8, 1], "{arch:?} {kind:?}");
+                assert!(model.is_dmt());
+                assert_eq!(model.num_towers(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut model = baseline(ModelArch::Dlrm);
+        let mut data = SyntheticClickDataset::new(schema(), 3);
+        let mut losses = Vec::new();
+        for _ in 0..40 {
+            let batch = data.next_batch(128);
+            losses.push(model.train_step(&batch, 1e-2).unwrap().loss);
+        }
+        let early: f64 = losses[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = losses[losses.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(late < early, "loss {early} -> {late}");
+    }
+
+    #[test]
+    fn trained_model_beats_random_auc() {
+        let mut model = baseline(ModelArch::Dlrm);
+        let mut data = SyntheticClickDataset::new(schema(), 4);
+        for _ in 0..60 {
+            let batch = data.next_batch(256);
+            model.train_step(&batch, 1e-2).unwrap();
+        }
+        let eval = data.next_batch(2000);
+        let preds = model.predict(&eval).unwrap();
+        let auc = roc_auc(&preds, &eval.labels).unwrap();
+        assert!(auc > 0.62, "AUC was {auc}");
+    }
+
+    #[test]
+    fn dmt_training_also_learns() {
+        let mut model = dmt_model(ModelArch::Dlrm, TowerModuleKind::DlrmLinear, 4);
+        let mut data = SyntheticClickDataset::new(schema(), 5);
+        for _ in 0..50 {
+            let batch = data.next_batch(256);
+            model.train_step(&batch, 1e-2).unwrap();
+        }
+        let eval = data.next_batch(2000);
+        let preds = model.predict(&eval).unwrap();
+        let auc = roc_auc(&preds, &eval.labels).unwrap();
+        assert!(auc > 0.58, "DMT AUC was {auc}");
+    }
+
+    #[test]
+    fn parameter_and_flop_accounting() {
+        let mut base = baseline(ModelArch::Dlrm);
+        let params = base.parameter_count();
+        assert!(params > 0);
+        // Embedding parameters dominate even the small schema.
+        let embedding: usize = schema()
+            .sparse_cardinalities
+            .iter()
+            .map(|c| c * ModelHyperparams::tiny().embedding_dim)
+            .sum();
+        assert!(params > embedding);
+        assert!(base.flops_per_sample() > 0);
+
+        // Pass-through towers keep FLOPs identical to the baseline's interaction cost
+        // structure (they add no parameters).
+        let mut sptt = dmt_model(ModelArch::Dlrm, TowerModuleKind::PassThrough, 2);
+        assert_eq!(sptt.parameter_count(), params);
+    }
+
+    #[test]
+    fn tower_modules_reduce_interaction_flops_for_dlrm() {
+        // With D << N the DMT model's pairwise interaction runs over narrower units, so
+        // total FLOPs drop versus the baseline (Table 4's 14.74 -> 8.95 MFlops trend).
+        let base = baseline(ModelArch::Dlrm);
+        let dmt = dmt_model(ModelArch::Dlrm, TowerModuleKind::DlrmLinear, 4);
+        assert!(dmt.flops_per_sample() < base.flops_per_sample());
+    }
+
+    #[test]
+    fn schema_mismatch_is_reported() {
+        let mut model = baseline(ModelArch::Dlrm);
+        let other_schema = DatasetSchema::new(
+            2,
+            vec![10, 10],
+            vec![dmt_data::FeatureBlock::User, dmt_data::FeatureBlock::Item],
+            vec![1, 1],
+        );
+        let mut data = SyntheticClickDataset::new(other_schema, 1);
+        let batch = data.next_batch(4);
+        assert!(matches!(model.forward(&batch), Err(ModelError::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn partition_must_cover_schema() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = schema();
+        let partition = naive_partition(4, 2).unwrap();
+        let config = DmtConfig::builder(2).build().unwrap();
+        assert!(matches!(
+            RecommendationModel::dmt(&mut rng, &s, ModelArch::Dlrm, &ModelHyperparams::tiny(), partition, &config),
+            Err(ModelError::SchemaMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,77 @@
+//! Elementwise activations used by the recommendation models.
+
+use dmt_tensor::Tensor;
+
+/// ReLU applied elementwise.
+#[must_use]
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Gradient of ReLU: passes `grad` through where the *input* was positive.
+///
+/// # Panics
+///
+/// Panics if the shapes of `input` and `grad` differ.
+#[must_use]
+pub fn relu_backward(input: &Tensor, grad: &Tensor) -> Tensor {
+    assert_eq!(input.shape(), grad.shape(), "relu_backward shape mismatch");
+    let data = input
+        .data()
+        .iter()
+        .zip(grad.data())
+        .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(input.shape().to_vec(), data).expect("shape preserved")
+}
+
+/// Numerically stable logistic sigmoid applied elementwise.
+#[must_use]
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(scalar_sigmoid)
+}
+
+/// Numerically stable scalar sigmoid.
+#[must_use]
+pub fn scalar_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![4], vec![-2.0, -0.5, 0.0, 3.0]).unwrap();
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0]).unwrap();
+        let g = Tensor::from_vec(vec![3], vec![5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(relu_backward(&x, &g).data(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((scalar_sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(scalar_sigmoid(100.0) > 0.999_999);
+        assert!(scalar_sigmoid(-100.0) < 1e-6);
+        assert!(scalar_sigmoid(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn sigmoid_tensor_matches_scalar() {
+        let x = Tensor::from_vec(vec![2], vec![1.5, -1.5]).unwrap();
+        let s = sigmoid(&x);
+        assert!((s.data()[0] - scalar_sigmoid(1.5)).abs() < 1e-7);
+        assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-6);
+    }
+}

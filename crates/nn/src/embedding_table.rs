@@ -1,0 +1,307 @@
+//! Sum-pooled embedding bags with sparse gradients and row-wise Adagrad.
+//!
+//! Embedding tables are the sparse half of every recommendation model: categorical
+//! inputs index into a `[num_embeddings, dim]` matrix and the selected rows are pooled
+//! (summed) per sample. Only the touched rows receive gradient, so the table keeps its
+//! own sparse update path (row-wise Adagrad, the de-facto standard for DLRM-family
+//! models) rather than going through the dense optimizers.
+
+use dmt_tensor::{Tensor, TensorError};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single embedding table with sum pooling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingTable {
+    /// Row-major `[num_embeddings, dim]` weights.
+    weight: Vec<f32>,
+    /// Per-row Adagrad accumulator (mean of squared row gradients).
+    adagrad_state: Vec<f32>,
+    num_embeddings: usize,
+    dim: usize,
+    cached_indices: Option<Vec<Vec<usize>>>,
+    /// Sparse gradients accumulated by the last backward pass: row -> gradient.
+    pending_grads: HashMap<usize, Vec<f32>>,
+}
+
+impl EmbeddingTable {
+    /// Creates a table of `num_embeddings` rows of width `dim`, initialized uniformly
+    /// in `[-1/sqrt(dim), 1/sqrt(dim)]` (the TorchRec default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_embeddings` or `dim` is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, num_embeddings: usize, dim: usize) -> Self {
+        assert!(num_embeddings > 0 && dim > 0, "embedding table dimensions must be positive");
+        let bound = 1.0 / (dim as f32).sqrt();
+        let dist = Uniform::new_inclusive(-bound, bound);
+        let weight = (0..num_embeddings * dim).map(|_| dist.sample(rng)).collect();
+        Self {
+            weight,
+            adagrad_state: vec![0.0; num_embeddings],
+            num_embeddings,
+            dim,
+            cached_indices: None,
+            pending_grads: HashMap::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_embeddings(&self) -> usize {
+        self.num_embeddings
+    }
+
+    /// Embedding dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total trainable scalars in the table.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.num_embeddings * self.dim
+    }
+
+    /// Borrow of row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn row(&self, index: usize) -> &[f32] {
+        &self.weight[index * self.dim..(index + 1) * self.dim]
+    }
+
+    /// Sum-pooled lookup: for each sample, sums the rows selected by its index bag.
+    ///
+    /// Out-of-range indices are mapped into range by modulo, mirroring the hashing
+    /// trick production systems apply before lookup.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today, but returns `Result` so callers treat lookup like the other
+    /// fallible layer operations.
+    pub fn forward(&mut self, bags: &[Vec<usize>]) -> Result<Tensor, TensorError> {
+        let batch = bags.len();
+        let mut out = Tensor::zeros(&[batch, self.dim]);
+        let mut clamped: Vec<Vec<usize>> = Vec::with_capacity(batch);
+        for (b, bag) in bags.iter().enumerate() {
+            let mut rows = Vec::with_capacity(bag.len());
+            for &raw in bag {
+                let idx = raw % self.num_embeddings;
+                rows.push(idx);
+                let row = self.row(idx).to_vec();
+                for (t, v) in row.iter().enumerate() {
+                    out.data_mut()[b * self.dim + t] += v;
+                }
+            }
+            clamped.push(rows);
+        }
+        self.cached_indices = Some(clamped);
+        Ok(out)
+    }
+
+    /// Backward pass: scatters `grad_output` rows into per-row sparse gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `grad_output` is not `[batch, dim]` for the batch
+    /// of the preceding forward call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`EmbeddingTable::forward`].
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<(), TensorError> {
+        let bags = self
+            .cached_indices
+            .as_ref()
+            .expect("EmbeddingTable::backward called before forward");
+        if grad_output.rank() != 2
+            || grad_output.shape()[0] != bags.len()
+            || grad_output.shape()[1] != self.dim
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "embedding_backward",
+                lhs: grad_output.shape().to_vec(),
+                rhs: vec![bags.len(), self.dim],
+            });
+        }
+        for (b, bag) in bags.iter().enumerate() {
+            let grad_row = &grad_output.data()[b * self.dim..(b + 1) * self.dim];
+            for &idx in bag {
+                let entry = self.pending_grads.entry(idx).or_insert_with(|| vec![0.0; self.dim]);
+                for (e, g) in entry.iter_mut().zip(grad_row) {
+                    *e += g;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the accumulated sparse gradients with row-wise Adagrad and clears them.
+    ///
+    /// Row-wise Adagrad keeps a single accumulator per row (the mean squared gradient
+    /// of the row), which is the memory-efficient variant used for large embedding
+    /// tables in production trainers.
+    pub fn apply_rowwise_adagrad(&mut self, learning_rate: f32, eps: f32) {
+        let grads = std::mem::take(&mut self.pending_grads);
+        for (row, grad) in grads {
+            let mean_sq = grad.iter().map(|g| g * g).sum::<f32>() / self.dim as f32;
+            self.adagrad_state[row] += mean_sq;
+            let scale = learning_rate / (self.adagrad_state[row].sqrt() + eps);
+            let offset = row * self.dim;
+            for (t, g) in grad.iter().enumerate() {
+                self.weight[offset + t] -= scale * g;
+            }
+        }
+    }
+
+    /// Number of rows with pending (unapplied) gradients.
+    #[must_use]
+    pub fn pending_rows(&self) -> usize {
+        self.pending_grads.len()
+    }
+
+    /// Discards pending gradients without applying them.
+    pub fn zero_grad(&mut self) {
+        self.pending_grads.clear();
+    }
+
+    /// Mean embedding vector of the given rows; used by the Tower Partitioner to probe
+    /// feature similarity.
+    #[must_use]
+    pub fn mean_row(&self, rows: &[usize]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        if rows.is_empty() {
+            return acc;
+        }
+        for &r in rows {
+            let row = self.row(r % self.num_embeddings);
+            for (a, v) in acc.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= rows.len() as f32;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(rows: usize, dim: usize) -> EmbeddingTable {
+        EmbeddingTable::new(&mut StdRng::seed_from_u64(5), rows, dim)
+    }
+
+    #[test]
+    fn pooled_lookup_sums_rows() {
+        let mut t = table(4, 3);
+        let bags = vec![vec![0, 1], vec![2]];
+        let out = t.forward(&bags).unwrap();
+        assert_eq!(out.shape(), &[2, 3]);
+        let expected: Vec<f32> = (0..3).map(|i| t.row(0)[i] + t.row(1)[i]).collect();
+        assert_eq!(&out.data()[..3], expected.as_slice());
+        assert_eq!(&out.data()[3..], t.row(2));
+    }
+
+    #[test]
+    fn out_of_range_indices_wrap() {
+        let mut t = table(4, 2);
+        let out = t.forward(&[vec![5]]).unwrap();
+        assert_eq!(out.data(), t.row(1));
+    }
+
+    #[test]
+    fn empty_bag_produces_zero_vector() {
+        let mut t = table(4, 2);
+        let out = t.forward(&[vec![]]).unwrap();
+        assert_eq!(out.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_sparse_grads() {
+        let mut t = table(8, 2);
+        t.forward(&[vec![1, 1], vec![3]]).unwrap();
+        let grad = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        t.backward(&grad).unwrap();
+        assert_eq!(t.pending_rows(), 2);
+        // Row 1 appears twice in sample 0's bag, so it gets twice the gradient.
+        assert_eq!(t.pending_grads[&1], vec![2.0, 4.0]);
+        assert_eq!(t.pending_grads[&3], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn backward_shape_validation() {
+        let mut t = table(4, 2);
+        t.forward(&[vec![0]]).unwrap();
+        assert!(t.backward(&Tensor::ones(&[2, 2])).is_err());
+        assert!(t.backward(&Tensor::ones(&[1, 3])).is_err());
+    }
+
+    #[test]
+    fn adagrad_moves_only_touched_rows() {
+        let mut t = table(4, 2);
+        let before_row2 = t.row(2).to_vec();
+        let before_row0 = t.row(0).to_vec();
+        t.forward(&[vec![0]]).unwrap();
+        t.backward(&Tensor::ones(&[1, 2])).unwrap();
+        t.apply_rowwise_adagrad(0.1, 1e-8);
+        assert_ne!(t.row(0), before_row0.as_slice());
+        assert_eq!(t.row(2), before_row2.as_slice());
+        assert_eq!(t.pending_rows(), 0);
+    }
+
+    #[test]
+    fn adagrad_steps_shrink_over_time() {
+        let mut t = table(2, 2);
+        let mut deltas = Vec::new();
+        for _ in 0..3 {
+            let before = t.row(0).to_vec();
+            t.forward(&[vec![0]]).unwrap();
+            t.backward(&Tensor::ones(&[1, 2])).unwrap();
+            t.apply_rowwise_adagrad(0.1, 1e-8);
+            let delta: f32 = t.row(0).iter().zip(&before).map(|(a, b)| (a - b).abs()).sum();
+            deltas.push(delta);
+        }
+        assert!(deltas[0] > deltas[1] && deltas[1] > deltas[2]);
+    }
+
+    #[test]
+    fn training_pulls_logit_toward_target() {
+        // One-row table trained to make its pooled output sum to 1.0.
+        let mut t = table(1, 4);
+        for _ in 0..200 {
+            let out = t.forward(&[vec![0]]).unwrap();
+            let err = out.sum() - 1.0;
+            let grad = Tensor::full(&[1, 4], err);
+            t.backward(&grad).unwrap();
+            t.apply_rowwise_adagrad(0.05, 1e-8);
+        }
+        let out = t.forward(&[vec![0]]).unwrap();
+        assert!((out.sum() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn mean_row_averages_requested_rows() {
+        let t = table(4, 2);
+        let mean = t.mean_row(&[0, 1]);
+        assert!((mean[0] - (t.row(0)[0] + t.row(1)[0]) / 2.0).abs() < 1e-7);
+        assert_eq!(t.mean_row(&[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_table_panics() {
+        let _ = EmbeddingTable::new(&mut StdRng::seed_from_u64(0), 0, 4);
+    }
+}

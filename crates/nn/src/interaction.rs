@@ -1,0 +1,193 @@
+//! DLRM's pairwise dot-product feature interaction.
+//!
+//! Given per-sample feature vectors `e_0 … e_{F-1}` (the pooled embeddings plus the
+//! bottom-MLP output), DLRM computes all pairwise dot products `e_i · e_j` for `i < j`
+//! and concatenates them with the dense representation before the over-arch. The
+//! pairwise interaction is parameter-free, which is why (as the paper notes in §5.2.2)
+//! DLRM tower modules change the parameter count less than DCN's.
+
+use dmt_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Pairwise dot-product interaction over `num_features` vectors of `dim` each.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DotInteraction {
+    num_features: usize,
+    dim: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl DotInteraction {
+    /// Creates an interaction over `num_features` feature vectors of width `dim`.
+    #[must_use]
+    pub fn new(num_features: usize, dim: usize) -> Self {
+        Self { num_features, dim, cached_input: None }
+    }
+
+    /// Number of interacting feature vectors.
+    #[must_use]
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Width of each feature vector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of output values per sample: `F * (F - 1) / 2`.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.num_features * (self.num_features - 1) / 2
+    }
+
+    /// Forward FLOPs per sample: one `dim`-wide dot product per feature pair.
+    #[must_use]
+    pub fn flops_per_sample(&self) -> u64 {
+        2 * self.output_dim() as u64 * self.dim as u64
+    }
+
+    /// Forward pass.
+    ///
+    /// `input` is `[batch, num_features * dim]`, the per-sample concatenation of the
+    /// feature vectors; the output is `[batch, F*(F-1)/2]` of pairwise dot products in
+    /// row-major `(i, j), i < j` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the input width is not `num_features * dim`.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let expected = self.num_features * self.dim;
+        if input.rank() != 2 || input.shape()[1] != expected {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot_interaction",
+                lhs: input.shape().to_vec(),
+                rhs: vec![input.shape().first().copied().unwrap_or(0), expected],
+            });
+        }
+        let batch = input.shape()[0];
+        let f = self.num_features;
+        let d = self.dim;
+        let mut out = Tensor::zeros(&[batch, self.output_dim()]);
+        for b in 0..batch {
+            let row = &input.data()[b * f * d..(b + 1) * f * d];
+            let mut k = 0;
+            for i in 0..f {
+                for j in (i + 1)..f {
+                    let ei = &row[i * d..(i + 1) * d];
+                    let ej = &row[j * d..(j + 1) * d];
+                    let dot: f32 = ei.iter().zip(ej).map(|(a, b)| a * b).sum();
+                    out.set(b, k, dot);
+                    k += 1;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    /// Backward pass; returns the gradient with respect to the flattened input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `grad_output` has the wrong shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DotInteraction::forward`].
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("DotInteraction::backward called before forward");
+        if grad_output.rank() != 2 || grad_output.shape()[1] != self.output_dim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot_interaction_backward",
+                lhs: grad_output.shape().to_vec(),
+                rhs: vec![input.shape()[0], self.output_dim()],
+            });
+        }
+        let batch = input.shape()[0];
+        let f = self.num_features;
+        let d = self.dim;
+        let mut grad_in = Tensor::zeros(input.shape());
+        for b in 0..batch {
+            let row = &input.data()[b * f * d..(b + 1) * f * d];
+            let mut contributions = vec![0.0f32; f * d];
+            let mut k = 0;
+            for i in 0..f {
+                for j in (i + 1)..f {
+                    let g = grad_output.at(b, k);
+                    if g != 0.0 {
+                        for t in 0..d {
+                            contributions[i * d + t] += g * row[j * d + t];
+                            contributions[j * d + t] += g * row[i * d + t];
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            grad_in.data_mut()[b * f * d..(b + 1) * f * d].copy_from_slice(&contributions);
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dim_is_pair_count() {
+        assert_eq!(DotInteraction::new(4, 8).output_dim(), 6);
+        assert_eq!(DotInteraction::new(27, 128).output_dim(), 27 * 26 / 2);
+    }
+
+    #[test]
+    fn forward_computes_pairwise_dots() {
+        let mut inter = DotInteraction::new(3, 2);
+        // Features per sample: e0 = (1,0), e1 = (0,1), e2 = (2,2).
+        let x = Tensor::from_vec(vec![1, 6], vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0]).unwrap();
+        let y = inter.forward(&x).unwrap();
+        // Pairs in order (0,1), (0,2), (1,2).
+        assert_eq!(y.data(), &[0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_rejects_bad_width() {
+        let mut inter = DotInteraction::new(3, 2);
+        assert!(inter.forward(&Tensor::ones(&[1, 5])).is_err());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut inter = DotInteraction::new(3, 2);
+        let x = Tensor::from_vec(vec![2, 6], (0..12).map(|i| (i as f32) * 0.1 - 0.5).collect()).unwrap();
+        let y = inter.forward(&x).unwrap();
+        let dx = inter.backward(&Tensor::ones(y.shape())).unwrap();
+
+        let eps = 1e-3f32;
+        for &(r, c) in &[(0usize, 0usize), (1, 3), (0, 5)] {
+            let mut plus = x.clone();
+            plus.set(r, c, x.at(r, c) + eps);
+            let mut minus = x.clone();
+            minus.set(r, c, x.at(r, c) - eps);
+            let mut i2 = DotInteraction::new(3, 2);
+            let f_plus = i2.forward(&plus).unwrap().sum();
+            let f_minus = i2.forward(&minus).unwrap().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - dx.at(r, c)).abs() < 1e-2,
+                "dx[{r},{c}] analytic {} vs numeric {numeric}",
+                dx.at(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn interaction_is_parameter_free_but_costs_flops() {
+        let inter = DotInteraction::new(26, 128);
+        assert!(inter.flops_per_sample() > 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Neural-network layers, losses and optimizers for the DMT quality experiments.
+//!
+//! Every layer implements an explicit `forward` / `backward` pair instead of relying on
+//! a general autograd graph: the layer caches whatever activations its backward pass
+//! needs, accumulates parameter gradients into [`Parameter::grad`], and returns the
+//! gradient with respect to its input. This keeps the numerics small, auditable and
+//! easy to test against finite differences (see the gradient-check tests in each
+//! module).
+//!
+//! The building blocks match what DLRM / DCN and the paper's tower modules need:
+//!
+//! * [`Linear`] and [`Mlp`] — dense layers and ReLU stacks (bottom/over arches).
+//! * [`DotInteraction`] — DLRM's pairwise dot-product feature interaction.
+//! * [`CrossNet`] — DCN-v2's cross layers, also reused as the DCN tower module.
+//! * [`EmbeddingTable`] — sum-pooled embedding bags with sparse gradients and a fused
+//!   row-wise Adagrad update (the standard optimizer for embedding tables).
+//! * [`BceWithLogitsLoss`] — the binary cross-entropy training objective.
+//! * [`SgdOptimizer`] / [`AdamOptimizer`] — dense-parameter optimizers.
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_nn::Linear;
+//! use dmt_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut layer = Linear::new(&mut rng, 4, 2);
+//! let x = Tensor::ones(&[3, 4]);
+//! let y = layer.forward(&x)?;
+//! assert_eq!(y.shape(), &[3, 2]);
+//! # Ok::<(), dmt_tensor::TensorError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod activation;
+pub mod crossnet;
+pub mod embedding_table;
+pub mod interaction;
+pub mod linear;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+pub mod param;
+
+pub use crossnet::CrossNet;
+pub use embedding_table::EmbeddingTable;
+pub use interaction::DotInteraction;
+pub use linear::Linear;
+pub use loss::BceWithLogitsLoss;
+pub use mlp::Mlp;
+pub use optim::{AdamOptimizer, Optimizer, SgdOptimizer};
+pub use param::Parameter;

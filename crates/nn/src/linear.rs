@@ -1,0 +1,208 @@
+//! Fully connected (affine) layer.
+
+use crate::param::{HasParameters, Parameter};
+use dmt_tensor::{xavier_uniform, Tensor, TensorError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer computing `y = x W + b`.
+///
+/// * `x`: `[batch, in_features]`
+/// * `W`: `[in_features, out_features]`
+/// * `b`: `[out_features]`
+/// * `y`: `[batch, out_features]`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Parameter,
+    bias: Parameter,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Self {
+            weight: Parameter::new(xavier_uniform(rng, in_features, out_features)),
+            bias: Parameter::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Multiply–accumulate FLOPs per sample (forward pass).
+    #[must_use]
+    pub fn flops_per_sample(&self) -> u64 {
+        2 * self.in_features as u64 * self.out_features as u64
+    }
+
+    /// Forward pass; caches the input for the backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `input` is not `[batch, in_features]`.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = input.matmul(&self.weight.value)?;
+        let batch = out.shape()[0];
+        let cols = self.out_features;
+        for r in 0..batch {
+            for c in 0..cols {
+                let v = out.at(r, c) + self.bias.value.data()[c];
+                out.set(r, c, v);
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `grad_output` has the wrong shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Linear::forward`].
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward called before forward");
+        // dW = x^T dy
+        let grad_w = input.transpose()?.matmul(grad_output)?;
+        self.weight.accumulate_grad(&grad_w);
+        // db = column sums of dy
+        let batch = grad_output.shape()[0];
+        let mut grad_b = vec![0.0f32; self.out_features];
+        for r in 0..batch {
+            for (c, gb) in grad_b.iter_mut().enumerate() {
+                *gb += grad_output.at(r, c);
+            }
+        }
+        self.bias
+            .accumulate_grad(&Tensor::from_vec(vec![self.out_features], grad_b)?);
+        // dx = dy W^T
+        grad_output.matmul(&self.weight.value.transpose()?)
+    }
+
+    /// Immutable access to the weight matrix (e.g. for probing feature similarity).
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl HasParameters for Linear {
+    fn visit_parameters(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(in_f: usize, out_f: usize) -> Linear {
+        Linear::new(&mut StdRng::seed_from_u64(42), in_f, out_f)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = layer(3, 2);
+        // Zero weights isolate the bias path.
+        l.weight.value = Tensor::zeros(&[3, 2]);
+        l.bias.value = Tensor::from_vec(vec![2], vec![1.0, -1.0]).unwrap();
+        let y = l.forward(&Tensor::ones(&[4, 3])).unwrap();
+        assert_eq!(y.shape(), &[4, 2]);
+        assert_eq!(y.at(0, 0), 1.0);
+        assert_eq!(y.at(3, 1), -1.0);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let mut l = layer(3, 2);
+        assert!(l.forward(&Tensor::ones(&[4, 5])).is_err());
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut l = layer(4, 3);
+        let x = Tensor::from_vec(vec![2, 4], (0..8).map(|i| i as f32 * 0.1 - 0.4).collect()).unwrap();
+        // Loss = sum(y).
+        let y = l.forward(&x).unwrap();
+        let grad_out = Tensor::ones(y.shape());
+        let dx = l.backward(&grad_out).unwrap();
+
+        let eps = 1e-3f32;
+        // Check dL/dx numerically for a few coordinates.
+        for &(r, c) in &[(0usize, 0usize), (1, 2), (0, 3)] {
+            let mut x_plus = x.clone();
+            x_plus.set(r, c, x.at(r, c) + eps);
+            let mut x_minus = x.clone();
+            x_minus.set(r, c, x.at(r, c) - eps);
+            let mut l2 = layer(4, 3);
+            let y_plus = l2.forward(&x_plus).unwrap().sum();
+            let y_minus = l2.forward(&x_minus).unwrap().sum();
+            let numeric = (y_plus - y_minus) / (2.0 * eps);
+            assert!(
+                (numeric - dx.at(r, c)).abs() < 1e-2,
+                "dx[{r},{c}] analytic {} vs numeric {numeric}",
+                dx.at(r, c)
+            );
+        }
+        // Check dL/db: for loss = sum(y), db = batch size.
+        assert!(l
+            .bias
+            .grad
+            .data()
+            .iter()
+            .all(|&g| (g - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn weight_gradient_accumulates_across_calls() {
+        let mut l = layer(2, 2);
+        let x = Tensor::ones(&[1, 2]);
+        for _ in 0..2 {
+            let y = l.forward(&x).unwrap();
+            l.backward(&Tensor::ones(y.shape())).unwrap();
+        }
+        // dW for loss=sum(y) with x=1 is 1 per call, accumulated twice.
+        assert!(l.weight.grad.data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        l.zero_grad();
+        assert_eq!(l.weight.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn parameter_count_matches_dimensions() {
+        let mut l = layer(5, 7);
+        assert_eq!(l.parameter_count(), 5 * 7 + 7);
+        assert_eq!(l.flops_per_sample(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_before_forward_panics() {
+        let mut l = layer(2, 2);
+        let _ = l.backward(&Tensor::ones(&[1, 2]));
+    }
+}

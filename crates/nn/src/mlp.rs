@@ -1,0 +1,201 @@
+//! Multi-layer perceptron with ReLU activations.
+
+use crate::activation::{relu, relu_backward};
+use crate::linear::Linear;
+use crate::param::{HasParameters, Parameter};
+use dmt_tensor::{Tensor, TensorError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stack of [`Linear`] layers with ReLU between them.
+///
+/// The final layer is linear (no activation) so the MLP can be used both as a hidden
+/// tower (followed by further interaction) and as a logit head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    /// Pre-activation outputs cached per layer for the ReLU backward pass.
+    cached_pre_activations: Vec<Tensor>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths, e.g. `[13, 512, 256, 128]` builds
+    /// three linear layers 13→512→256→128.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, sizes: &[usize]) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output width");
+        let layers = sizes
+            .windows(2)
+            .map(|pair| Linear::new(rng, pair[0], pair[1]))
+            .collect();
+        Self { layers, cached_pre_activations: Vec::new() }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.layers[0].in_features()
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_features()
+    }
+
+    /// Number of linear layers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward FLOPs per sample.
+    #[must_use]
+    pub fn flops_per_sample(&self) -> u64 {
+        self.layers.iter().map(Linear::flops_per_sample).sum()
+    }
+
+    /// Forward pass with ReLU after every layer except the last.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the input width does not match.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
+        self.cached_pre_activations.clear();
+        let mut x = input.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let pre = layer.forward(&x)?;
+            if i < last {
+                self.cached_pre_activations.push(pre.clone());
+                x = relu(&pre);
+            } else {
+                x = pre;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Backward pass; returns the gradient with respect to the MLP input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Mlp::forward`].
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let last = self.layers.len() - 1;
+        let mut grad = grad_output.clone();
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                let pre = &self.cached_pre_activations[i];
+                grad = relu_backward(pre, &grad);
+            }
+            grad = self.layers[i].backward(&grad)?;
+        }
+        Ok(grad)
+    }
+}
+
+impl HasParameters for Mlp {
+    fn visit_parameters(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        for layer in &mut self.layers {
+            layer.visit_parameters(visitor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(sizes: &[usize]) -> Mlp {
+        Mlp::new(&mut StdRng::seed_from_u64(3), sizes)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = mlp(&[8, 16, 4]);
+        assert_eq!(m.depth(), 2);
+        assert_eq!(m.in_features(), 8);
+        assert_eq!(m.out_features(), 4);
+        let y = m.forward(&Tensor::ones(&[5, 8])).unwrap();
+        assert_eq!(y.shape(), &[5, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn single_size_panics() {
+        let _ = mlp(&[8]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let sizes = [3usize, 5, 1];
+        let x = Tensor::from_vec(vec![2, 3], vec![0.1, -0.2, 0.3, 0.5, -0.1, 0.2]).unwrap();
+
+        let mut m = mlp(&sizes);
+        let y = m.forward(&x).unwrap();
+        let dx = m.backward(&Tensor::ones(y.shape())).unwrap();
+
+        let eps = 1e-3f32;
+        for &(r, c) in &[(0usize, 0usize), (1, 2)] {
+            let mut x_plus = x.clone();
+            x_plus.set(r, c, x.at(r, c) + eps);
+            let mut x_minus = x.clone();
+            x_minus.set(r, c, x.at(r, c) - eps);
+            let plus = mlp(&sizes).forward(&x_plus).unwrap().sum();
+            let minus = mlp(&sizes).forward(&x_minus).unwrap().sum();
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - dx.at(r, c)).abs() < 2e-2,
+                "dx[{r},{c}] analytic {} vs numeric {numeric}",
+                dx.at(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_toy_problem() {
+        use crate::optim::{Optimizer, SgdOptimizer};
+        // Learn y = x0 + x1 with a tiny MLP and squared loss.
+        let mut m = mlp(&[2, 8, 1]);
+        let mut sgd = SgdOptimizer::new(0.05);
+        let x = Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
+        let target = [0.0f32, 1.0, 1.0, 2.0];
+        let loss_at = |m: &mut Mlp| -> f32 {
+            let y = m.forward(&x).unwrap();
+            y.data().iter().zip(&target).map(|(p, t)| (p - t).powi(2)).sum::<f32>() / 4.0
+        };
+        let initial = loss_at(&mut m);
+        for _ in 0..200 {
+            m.zero_grad();
+            let y = m.forward(&x).unwrap();
+            let grad: Vec<f32> = y
+                .data()
+                .iter()
+                .zip(&target)
+                .map(|(p, t)| 2.0 * (p - t) / 4.0)
+                .collect();
+            m.backward(&Tensor::from_vec(vec![4, 1], grad).unwrap()).unwrap();
+            sgd.step(&mut m);
+        }
+        let trained = loss_at(&mut m);
+        assert!(trained < initial * 0.2, "loss {initial} -> {trained}");
+    }
+
+    #[test]
+    fn flops_and_parameters() {
+        let mut m = mlp(&[10, 20, 5]);
+        assert_eq!(m.flops_per_sample(), 2 * (10 * 20 + 20 * 5) as u64);
+        assert_eq!(m.parameter_count(), 10 * 20 + 20 + 20 * 5 + 5);
+    }
+}

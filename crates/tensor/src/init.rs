@@ -1,0 +1,70 @@
+//! Random weight initializers.
+
+use crate::tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight matrix:
+/// samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// This is the initializer PyTorch's `nn.Linear`-style layers in DLRM/DCN use for
+/// their dense weights.
+#[must_use]
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    let dist = Uniform::new_inclusive(-a, a);
+    let data = (0..fan_in * fan_out).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(vec![fan_in, fan_out], data).expect("xavier shape always matches data")
+}
+
+/// Kaiming/He uniform initialization for a `[fan_in, fan_out]` weight matrix feeding a
+/// ReLU: samples from `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+#[must_use]
+pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    let a = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    let dist = Uniform::new_inclusive(-a, a);
+    let data = (0..fan_in * fan_out).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(vec![fan_in, fan_out], data).expect("kaiming shape always matches data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound_and_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(&mut rng, 128, 64);
+        assert_eq!(w.shape(), &[128, 64]);
+        let bound = (6.0f32 / 192.0).sqrt() + 1e-6;
+        assert!(w.data().iter().all(|x| x.abs() <= bound));
+        // Not all zeros, and roughly centered.
+        assert!(w.norm() > 0.0);
+        assert!(w.mean().abs() < 0.01);
+    }
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = kaiming_uniform(&mut rng, 64, 32);
+        let bound = (6.0f32 / 64.0).sqrt() + 1e-6;
+        assert!(w.data().iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn initialization_is_deterministic_per_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(1), 8, 8);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(1), 8, 8);
+        let c = xavier_uniform(&mut StdRng::seed_from_u64(2), 8, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_fan_in_does_not_panic() {
+        let w = kaiming_uniform(&mut StdRng::seed_from_u64(1), 0, 4);
+        assert_eq!(w.len(), 0);
+    }
+}

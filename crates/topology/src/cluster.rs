@@ -1,0 +1,338 @@
+//! Cluster topology: hosts, GPUs, and the two-level link hierarchy.
+
+use crate::hardware::{HardwareGeneration, HardwareSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A global GPU rank in the cluster, in `0..world_size`.
+///
+/// Ranks are laid out host-major: rank `r` lives on host `r / gpus_per_host` with local
+/// index `r % gpus_per_host`, matching the convention used in the paper's figures
+/// (GPU 0,1 on host 0, GPU 2,3 on host 1, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rank(pub usize);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+impl From<usize> for Rank {
+    fn from(value: usize) -> Self {
+        Rank(value)
+    }
+}
+
+/// The kind of link a pair of ranks communicates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Both ranks are the same GPU (no data movement over any link).
+    Local,
+    /// Ranks share a host and communicate over the scale-up fabric (NVLink).
+    IntraHost,
+    /// Ranks are on different hosts and communicate over the scale-out NIC (RDMA).
+    CrossHost,
+}
+
+/// Errors produced when constructing or querying a [`ClusterTopology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The requested cluster shape has zero hosts or zero GPUs per host.
+    EmptyCluster,
+    /// A rank was outside `0..world_size`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The cluster's world size.
+        world_size: usize,
+    },
+    /// A tower/partition request did not divide the cluster evenly.
+    IndivisibleTowers {
+        /// Number of hosts in the cluster.
+        num_hosts: usize,
+        /// Requested number of towers.
+        num_towers: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyCluster => {
+                write!(f, "cluster must have at least one host and one GPU per host")
+            }
+            TopologyError::RankOutOfRange { rank, world_size } => {
+                write!(f, "rank {rank} is out of range for world size {world_size}")
+            }
+            TopologyError::IndivisibleTowers { num_hosts, num_towers } => write!(
+                f,
+                "{num_towers} towers cannot be evenly mapped onto {num_hosts} hosts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A homogeneous cluster of `num_hosts × gpus_per_host` accelerators.
+///
+/// The topology is the two-level hierarchy the paper targets: a fast scale-up domain
+/// inside each host and a slower scale-out network between hosts with full bisection
+/// bandwidth (the paper's clusters guarantee no oversubscription).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    generation: HardwareGeneration,
+    num_hosts: usize,
+    gpus_per_host: usize,
+}
+
+impl ClusterTopology {
+    /// Creates a cluster of `num_hosts` hosts with `gpus_per_host` GPUs each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyCluster`] if either dimension is zero.
+    pub fn new(
+        generation: HardwareGeneration,
+        num_hosts: usize,
+        gpus_per_host: usize,
+    ) -> Result<Self, TopologyError> {
+        if num_hosts == 0 || gpus_per_host == 0 {
+            return Err(TopologyError::EmptyCluster);
+        }
+        Ok(Self { generation, num_hosts, gpus_per_host })
+    }
+
+    /// A standard 8-GPU-per-host cluster with `world_size` total GPUs.
+    ///
+    /// This matches the paper's evaluation platforms (8 GPUs/node, 16–512 GPUs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyCluster`] if `world_size < 8` or `world_size` is
+    /// not a multiple of 8.
+    pub fn standard(generation: HardwareGeneration, world_size: usize) -> Result<Self, TopologyError> {
+        if world_size == 0 || world_size % 8 != 0 {
+            return Err(TopologyError::EmptyCluster);
+        }
+        Self::new(generation, world_size / 8, 8)
+    }
+
+    /// The hardware generation of every GPU in the cluster.
+    #[must_use]
+    pub fn generation(&self) -> HardwareGeneration {
+        self.generation
+    }
+
+    /// Per-GPU hardware characteristics.
+    #[must_use]
+    pub fn spec(&self) -> HardwareSpec {
+        self.generation.spec()
+    }
+
+    /// Number of hosts.
+    #[must_use]
+    pub fn num_hosts(&self) -> usize {
+        self.num_hosts
+    }
+
+    /// GPUs per host (the `L` of the paper's SPTT formulation).
+    #[must_use]
+    pub fn gpus_per_host(&self) -> usize {
+        self.gpus_per_host
+    }
+
+    /// Total number of GPUs (the `G` of the paper's SPTT formulation).
+    #[must_use]
+    pub fn world_size(&self) -> usize {
+        self.num_hosts * self.gpus_per_host
+    }
+
+    /// Validates that `rank` is within the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::RankOutOfRange`] otherwise.
+    pub fn check_rank(&self, rank: Rank) -> Result<(), TopologyError> {
+        if rank.0 < self.world_size() {
+            Ok(())
+        } else {
+            Err(TopologyError::RankOutOfRange { rank: rank.0, world_size: self.world_size() })
+        }
+    }
+
+    /// Host index of `rank`.
+    #[must_use]
+    pub fn host_of(&self, rank: Rank) -> usize {
+        rank.0 / self.gpus_per_host
+    }
+
+    /// Local (within-host) index of `rank`.
+    #[must_use]
+    pub fn local_index(&self, rank: Rank) -> usize {
+        rank.0 % self.gpus_per_host
+    }
+
+    /// All ranks hosted on `host`.
+    #[must_use]
+    pub fn ranks_on_host(&self, host: usize) -> Vec<Rank> {
+        (0..self.gpus_per_host)
+            .map(|l| Rank(host * self.gpus_per_host + l))
+            .collect()
+    }
+
+    /// All ranks in the cluster, in rank order.
+    #[must_use]
+    pub fn all_ranks(&self) -> Vec<Rank> {
+        (0..self.world_size()).map(Rank).collect()
+    }
+
+    /// The kind of link `a` and `b` communicate over.
+    #[must_use]
+    pub fn link_between(&self, a: Rank, b: Rank) -> LinkKind {
+        if a == b {
+            LinkKind::Local
+        } else if self.host_of(a) == self.host_of(b) {
+            LinkKind::IntraHost
+        } else {
+            LinkKind::CrossHost
+        }
+    }
+
+    /// Point-to-point bandwidth in bytes/second over the given link kind.
+    ///
+    /// `Local` transfers are modelled at memory bandwidth since they are a device-local
+    /// copy (or free when the implementation can alias buffers).
+    #[must_use]
+    pub fn link_bandwidth(&self, kind: LinkKind) -> f64 {
+        let spec = self.spec();
+        match kind {
+            LinkKind::Local => spec.memory_bytes_per_sec(),
+            LinkKind::IntraHost => spec.scale_up_bytes_per_sec(),
+            LinkKind::CrossHost => spec.scale_out_bytes_per_sec(),
+        }
+    }
+
+    /// Per-message fixed latency in seconds over the given link kind.
+    ///
+    /// These are typical figures for NVLink and RDMA fabrics; the collective simulator
+    /// layers software/launch overheads on top.
+    #[must_use]
+    pub fn link_latency(&self, kind: LinkKind) -> f64 {
+        match kind {
+            LinkKind::Local => 1e-6,
+            LinkKind::IntraHost => 5e-6,
+            LinkKind::CrossHost => 20e-6,
+        }
+    }
+
+    /// Returns a copy of this cluster re-sized to a new world size, keeping
+    /// `gpus_per_host` fixed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyCluster`] if `world_size` is not a positive
+    /// multiple of `gpus_per_host`.
+    pub fn with_world_size(&self, world_size: usize) -> Result<Self, TopologyError> {
+        if world_size == 0 || world_size % self.gpus_per_host != 0 {
+            return Err(TopologyError::EmptyCluster);
+        }
+        Self::new(self.generation, world_size / self.gpus_per_host, self.gpus_per_host)
+    }
+}
+
+impl fmt::Display for ClusterTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x {} {} GPUs ({} total)",
+            self.num_hosts,
+            self.gpus_per_host,
+            self.generation,
+            self.world_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterTopology {
+        ClusterTopology::new(HardwareGeneration::A100, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_cluster() {
+        assert_eq!(
+            ClusterTopology::new(HardwareGeneration::V100, 0, 8),
+            Err(TopologyError::EmptyCluster)
+        );
+        assert_eq!(
+            ClusterTopology::new(HardwareGeneration::V100, 4, 0),
+            Err(TopologyError::EmptyCluster)
+        );
+    }
+
+    #[test]
+    fn standard_requires_multiple_of_eight() {
+        assert!(ClusterTopology::standard(HardwareGeneration::H100, 64).is_ok());
+        assert!(ClusterTopology::standard(HardwareGeneration::H100, 12).is_err());
+        assert!(ClusterTopology::standard(HardwareGeneration::H100, 0).is_err());
+    }
+
+    #[test]
+    fn rank_host_math_matches_paper_figures() {
+        // Figure 3/4: GPU 0,1 on host 0; GPU 2,3 on host 1.
+        let c = cluster();
+        assert_eq!(c.host_of(Rank(0)), 0);
+        assert_eq!(c.host_of(Rank(1)), 0);
+        assert_eq!(c.host_of(Rank(2)), 1);
+        assert_eq!(c.host_of(Rank(3)), 1);
+        assert_eq!(c.local_index(Rank(3)), 1);
+        assert_eq!(c.ranks_on_host(1), vec![Rank(2), Rank(3)]);
+    }
+
+    #[test]
+    fn link_classification() {
+        let c = cluster();
+        assert_eq!(c.link_between(Rank(0), Rank(0)), LinkKind::Local);
+        assert_eq!(c.link_between(Rank(0), Rank(1)), LinkKind::IntraHost);
+        assert_eq!(c.link_between(Rank(1), Rank(2)), LinkKind::CrossHost);
+    }
+
+    #[test]
+    fn intra_host_is_faster_than_cross_host() {
+        let c = cluster();
+        assert!(c.link_bandwidth(LinkKind::IntraHost) > c.link_bandwidth(LinkKind::CrossHost));
+        assert!(c.link_latency(LinkKind::IntraHost) < c.link_latency(LinkKind::CrossHost));
+    }
+
+    #[test]
+    fn check_rank_bounds() {
+        let c = cluster();
+        assert!(c.check_rank(Rank(3)).is_ok());
+        assert_eq!(
+            c.check_rank(Rank(4)),
+            Err(TopologyError::RankOutOfRange { rank: 4, world_size: 4 })
+        );
+    }
+
+    #[test]
+    fn resize_keeps_gpus_per_host() {
+        let c = ClusterTopology::standard(HardwareGeneration::H100, 64).unwrap();
+        let bigger = c.with_world_size(512).unwrap();
+        assert_eq!(bigger.num_hosts(), 64);
+        assert_eq!(bigger.gpus_per_host(), 8);
+        assert!(c.with_world_size(65).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = cluster();
+        let text = c.to_string();
+        assert!(text.contains("A100"));
+        assert!(text.contains('4'));
+    }
+}

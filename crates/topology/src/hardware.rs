@@ -1,0 +1,186 @@
+//! Hardware generations and their compute / network characteristics (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A GPU hardware generation used in the paper's evaluation.
+///
+/// The numbers attached to each generation come from Table 1 of the paper: peak
+/// floating-point throughput, scale-out (cross-host NIC) bandwidth per GPU and
+/// scale-up (intra-host NVLink) unidirectional bandwidth per GPU.
+///
+/// ```
+/// use dmt_topology::HardwareGeneration;
+///
+/// let h100 = HardwareGeneration::H100.spec();
+/// let v100 = HardwareGeneration::V100.spec();
+/// // Compute grew ~63x across generations while the scale-out NIC only grew 4x —
+/// // the scaling mismatch that motivates DMT.
+/// assert!(h100.peak_tflops / v100.peak_tflops > 60.0);
+/// assert!((h100.scale_out_gbps / v100.scale_out_gbps - 4.0).abs() < f64::EPSILON);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HardwareGeneration {
+    /// NVIDIA V100 (2019-era cluster).
+    V100,
+    /// NVIDIA A100 (2022-era cluster).
+    A100,
+    /// NVIDIA H100 (2023-era cluster).
+    H100,
+}
+
+/// Concrete per-GPU characteristics of a [`HardwareGeneration`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// Marketing name, e.g. `"H100"`.
+    pub name: &'static str,
+    /// Year the corresponding training platform was reported (Table 1).
+    pub year: u32,
+    /// Peak dense floating-point throughput in TFLOP/s (half precision with sparsity
+    /// disabled, as quoted in Table 1).
+    pub peak_tflops: f64,
+    /// Scale-out (cross-host, RDMA NIC) bandwidth per GPU in Gbit/s.
+    pub scale_out_gbps: f64,
+    /// Scale-up (intra-host, NVLink) unidirectional bandwidth per GPU in GB/s.
+    pub scale_up_gbs: f64,
+    /// HBM memory bandwidth in GB/s; used by the embedding-lookup cost model.
+    pub memory_bw_gbs: f64,
+    /// Achievable fraction of peak FLOPs for the dense recommendation kernels.
+    ///
+    /// Recommendation models are dominated by small GEMMs and memory-bound feature
+    /// interactions, so the achievable fraction is far below peak and decreases on
+    /// newer parts whose peak grows faster than their memory systems.
+    pub compute_efficiency: f64,
+}
+
+impl HardwareSpec {
+    /// Effective achievable compute in FLOP/s for recommendation kernels.
+    #[must_use]
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_tflops * 1e12 * self.compute_efficiency
+    }
+
+    /// Scale-out bandwidth per GPU in bytes/second.
+    #[must_use]
+    pub fn scale_out_bytes_per_sec(&self) -> f64 {
+        self.scale_out_gbps * 1e9 / 8.0
+    }
+
+    /// Scale-up (NVLink) bandwidth per GPU in bytes/second.
+    #[must_use]
+    pub fn scale_up_bytes_per_sec(&self) -> f64 {
+        self.scale_up_gbs * 1e9
+    }
+
+    /// Memory bandwidth in bytes/second.
+    #[must_use]
+    pub fn memory_bytes_per_sec(&self) -> f64 {
+        self.memory_bw_gbs * 1e9
+    }
+}
+
+impl HardwareGeneration {
+    /// All generations evaluated in the paper, oldest first.
+    pub const ALL: [HardwareGeneration; 3] = [
+        HardwareGeneration::V100,
+        HardwareGeneration::A100,
+        HardwareGeneration::H100,
+    ];
+
+    /// Returns the per-GPU characteristics of this generation (paper Table 1).
+    #[must_use]
+    pub fn spec(self) -> HardwareSpec {
+        match self {
+            HardwareGeneration::V100 => HardwareSpec {
+                name: "V100",
+                year: 2019,
+                peak_tflops: 15.7,
+                scale_out_gbps: 100.0,
+                scale_up_gbs: 150.0,
+                memory_bw_gbs: 900.0,
+                compute_efficiency: 0.42,
+            },
+            HardwareGeneration::A100 => HardwareSpec {
+                name: "A100",
+                year: 2022,
+                peak_tflops: 156.0,
+                scale_out_gbps: 200.0,
+                scale_up_gbs: 300.0,
+                memory_bw_gbs: 2039.0,
+                compute_efficiency: 0.30,
+            },
+            HardwareGeneration::H100 => HardwareSpec {
+                name: "H100",
+                year: 2023,
+                peak_tflops: 989.0,
+                scale_out_gbps: 400.0,
+                scale_up_gbs: 450.0,
+                memory_bw_gbs: 3350.0,
+                compute_efficiency: 0.18,
+            },
+        }
+    }
+
+    /// Ratio of scale-up (NVLink) to scale-out (NIC) bandwidth for this generation.
+    ///
+    /// This is the locality headroom SPTT exploits: the larger the ratio, the more it
+    /// pays to keep traffic inside a host.
+    #[must_use]
+    pub fn locality_ratio(self) -> f64 {
+        let spec = self.spec();
+        spec.scale_up_bytes_per_sec() / spec.scale_out_bytes_per_sec()
+    }
+}
+
+impl fmt::Display for HardwareGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_compute_outpaces_network() {
+        let v = HardwareGeneration::V100.spec();
+        let h = HardwareGeneration::H100.spec();
+        let compute_growth = h.peak_tflops / v.peak_tflops;
+        let network_growth = h.scale_out_gbps / v.scale_out_gbps;
+        assert!(compute_growth > 60.0, "compute grew {compute_growth}x");
+        assert!((network_growth - 4.0).abs() < 1e-9);
+        assert!(compute_growth / network_growth > 15.0);
+    }
+
+    #[test]
+    fn locality_ratio_favors_intra_host() {
+        for generation in HardwareGeneration::ALL {
+            assert!(
+                generation.locality_ratio() > 5.0,
+                "{generation} NVLink should be much faster than the NIC"
+            );
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(HardwareGeneration::A100.to_string(), "A100");
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let spec = HardwareGeneration::A100.spec();
+        assert!((spec.scale_out_bytes_per_sec() - 25e9).abs() < 1.0);
+        assert!((spec.scale_up_bytes_per_sec() - 300e9).abs() < 1.0);
+        assert!(spec.effective_flops() > 1e13);
+    }
+
+    #[test]
+    fn generations_are_ordered_by_year() {
+        let years: Vec<u32> = HardwareGeneration::ALL.iter().map(|g| g.spec().year).collect();
+        let mut sorted = years.clone();
+        sorted.sort_unstable();
+        assert_eq!(years, sorted);
+    }
+}

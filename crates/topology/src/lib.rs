@@ -1,0 +1,45 @@
+//! Datacenter topology model for the Disaggregated Multi-Tower (DMT) reproduction.
+//!
+//! The paper's core observation is a *mismatch* between flat recommendation models and
+//! hierarchical datacenter topology: GPUs inside a host talk over NVLink (hundreds of
+//! GB/s) while hosts talk over RDMA NICs (tens of GB/s). This crate models exactly that
+//! hierarchy:
+//!
+//! * [`HardwareGeneration`] — the per-generation compute/network numbers of Table 1
+//!   (V100 / A100 / H100).
+//! * [`ClusterTopology`] — a cluster of `num_hosts × gpus_per_host` accelerators with
+//!   intra-host (scale-up) and cross-host (scale-out) links.
+//! * [`Rank`], [`peer_order`], [`ProcessGroup`] — the rank arithmetic used by the
+//!   Semantic-Preserving Tower Transform (SPTT): which GPUs are *peers*, what the peer
+//!   order is, and which process groups (global, intra-host, peer) the collectives of
+//!   SPTT run on.
+//! * [`TowerPlacement`] — assignment of towers to groups of hosts.
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_topology::{ClusterTopology, HardwareGeneration, TowerPlacement};
+//!
+//! // 8 hosts of 8 H100s, i.e. the 64-GPU configuration of Figure 1.
+//! let cluster = ClusterTopology::new(HardwareGeneration::H100, 8, 8)?;
+//! assert_eq!(cluster.world_size(), 64);
+//!
+//! // One tower per host, as in the paper's main configuration.
+//! let placement = TowerPlacement::one_tower_per_host(&cluster);
+//! assert_eq!(placement.num_towers(), 8);
+//! # Ok::<(), dmt_topology::TopologyError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod hardware;
+pub mod peer;
+pub mod process_group;
+pub mod tower;
+
+pub use cluster::{ClusterTopology, LinkKind, Rank, TopologyError};
+pub use hardware::{HardwareGeneration, HardwareSpec};
+pub use peer::{peer_order, peer_rank_key, peers_of};
+pub use process_group::{GroupKind, ProcessGroup};
+pub use tower::{TowerId, TowerPlacement};

@@ -1,0 +1,143 @@
+//! Peer rank arithmetic for the Semantic-Preserving Tower Transform.
+//!
+//! The paper (§3.1.1) defines, for a GPU with global rank `g` in a cluster with `L`
+//! GPUs per host and `T` towers (one tower per host in the default placement):
+//!
+//! * **peers of `g`** — all GPUs `g'` with `g % L == g' % L`, i.e. the GPUs occupying
+//!   the same local slot on every host;
+//! * **peer order** — all GPUs sorted by the key `(g % T, g // L)`. In the paper's
+//!   default placement a tower is a host so `T == G / L`, and the key is equivalent to
+//!   `(local_slot(g), host(g))`: ranks are grouped by local slot, then ordered by host.
+//!   This module uses the `(local_slot, host)` form because it is the one that keeps
+//!   each peer group contiguous for any `L`.
+//!
+//! With 2 hosts of 2 GPUs (4 GPUs, 2 towers), the peer order is `(0, 2, 1, 3)`, which
+//! is exactly the layout step (c) of Figure 7 rearranges embeddings into.
+
+use crate::cluster::{ClusterTopology, Rank};
+
+/// Sort key that defines the peer order of a rank (paper §3.1.1).
+///
+/// `gpus_per_host` is `L` in the paper's notation. The key is
+/// `(local_slot, host) = (rank % L, rank / L)`; sorting all ranks by it groups the
+/// members of each peer set (same local slot on every host) contiguously, ordered by
+/// host inside the group.
+#[must_use]
+pub fn peer_rank_key(rank: Rank, gpus_per_host: usize) -> (usize, usize) {
+    let l = gpus_per_host.max(1);
+    (rank.0 % l, rank.0 / l)
+}
+
+/// Returns all ranks of the cluster in *peer order*.
+///
+/// The peer order groups together ranks that will exchange data in the concurrent peer
+/// AlltoAlls of SPTT step (f): consecutive runs of `num_hosts` ranks in the returned
+/// vector form one peer group.
+///
+/// ```
+/// use dmt_topology::{peer_order, ClusterTopology, HardwareGeneration, Rank};
+///
+/// let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 2)?;
+/// let order = peer_order(&cluster);
+/// assert_eq!(order, vec![Rank(0), Rank(2), Rank(1), Rank(3)]);
+/// # Ok::<(), dmt_topology::TopologyError>(())
+/// ```
+#[must_use]
+pub fn peer_order(cluster: &ClusterTopology) -> Vec<Rank> {
+    let mut ranks = cluster.all_ranks();
+    ranks.sort_by_key(|&r| peer_rank_key(r, cluster.gpus_per_host()));
+    ranks
+}
+
+/// Returns the peers of `rank`: all ranks sharing its local slot across hosts,
+/// including `rank` itself, in increasing host order.
+///
+/// These are the ranks `rank` talks to in the peer AlltoAll of SPTT step (f).
+///
+/// ```
+/// use dmt_topology::{peers_of, ClusterTopology, HardwareGeneration, Rank};
+///
+/// let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 2)?;
+/// assert_eq!(peers_of(&cluster, Rank(1)), vec![Rank(1), Rank(3)]);
+/// # Ok::<(), dmt_topology::TopologyError>(())
+/// ```
+#[must_use]
+pub fn peers_of(cluster: &ClusterTopology, rank: Rank) -> Vec<Rank> {
+    let local = cluster.local_index(rank);
+    (0..cluster.num_hosts())
+        .map(|h| Rank(h * cluster.gpus_per_host() + local))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::HardwareGeneration;
+
+    fn cluster(hosts: usize, gpus: usize) -> ClusterTopology {
+        ClusterTopology::new(HardwareGeneration::A100, hosts, gpus).unwrap()
+    }
+
+    #[test]
+    fn paper_example_peer_order() {
+        // 4 GPUs over 2 hosts: peer order is (0, 2, 1, 3).
+        let order = peer_order(&cluster(2, 2));
+        assert_eq!(order, vec![Rank(0), Rank(2), Rank(1), Rank(3)]);
+    }
+
+    #[test]
+    fn peer_order_is_a_permutation() {
+        let c = cluster(4, 8);
+        let order = peer_order(&c);
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(sorted, c.all_ranks());
+    }
+
+    #[test]
+    fn peer_order_groups_are_peer_sets() {
+        // Consecutive runs of `num_hosts` ranks in the peer order are exactly the peer
+        // sets returned by `peers_of`.
+        let c = cluster(4, 8);
+        let order = peer_order(&c);
+        for group in order.chunks(c.num_hosts()) {
+            let expected = peers_of(&c, group[0]);
+            assert_eq!(group, expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn peers_share_local_slot() {
+        let c = cluster(4, 8);
+        for rank in c.all_ranks() {
+            let peers = peers_of(&c, rank);
+            assert_eq!(peers.len(), c.num_hosts());
+            assert!(peers.contains(&rank));
+            for p in &peers {
+                assert_eq!(c.local_index(*p), c.local_index(rank));
+            }
+            // Peers appear in increasing host order.
+            let hosts: Vec<usize> = peers.iter().map(|p| c.host_of(*p)).collect();
+            assert_eq!(hosts, (0..c.num_hosts()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn eight_gpu_per_host_peer_groups() {
+        // 2 hosts x 8 GPUs: first 2 entries of the peer order must be the two ranks of
+        // local slot 0, one per host.
+        let c = cluster(2, 8);
+        let order = peer_order(&c);
+        assert_eq!(&order[..2], &[Rank(0), Rank(8)]);
+        // Consecutive pairs always share a local slot.
+        for chunk in order.chunks(2) {
+            assert_eq!(c.local_index(chunk[0]), c.local_index(chunk[1]));
+        }
+    }
+
+    #[test]
+    fn degenerate_key_does_not_panic() {
+        // A zero divisor is clamped to one rather than panicking.
+        assert_eq!(peer_rank_key(Rank(3), 0), (0, 3));
+    }
+}

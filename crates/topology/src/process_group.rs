@@ -1,0 +1,188 @@
+//! Process groups: the communicator worlds collectives run over.
+//!
+//! Hybrid-parallel recommendation training uses a single *global* group for the
+//! embedding AlltoAlls and the dense AllReduce. SPTT replaces the second global
+//! AlltoAll with (1) an *intra-host* collective per host and (2) `L` concurrent *peer*
+//! AlltoAlls whose world size is only the number of towers.
+
+use crate::cluster::{ClusterTopology, Rank, TopologyError};
+use crate::peer::peers_of;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What role a [`ProcessGroup`] plays in the training pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupKind {
+    /// All ranks in the cluster.
+    Global,
+    /// All ranks of one host (scale-up domain).
+    IntraHost,
+    /// Ranks occupying the same local slot on every host (one per local index); the
+    /// world the concurrent peer AlltoAlls of SPTT step (f) run over.
+    Peer,
+    /// Ranks belonging to one tower (one or more full hosts).
+    Tower,
+}
+
+/// An ordered set of ranks that participate in a collective together.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessGroup {
+    kind: GroupKind,
+    ranks: Vec<Rank>,
+}
+
+impl ProcessGroup {
+    /// Creates a process group from an explicit rank list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyCluster`] if `ranks` is empty, and
+    /// [`TopologyError::RankOutOfRange`] if any rank is outside `cluster`.
+    pub fn new(
+        cluster: &ClusterTopology,
+        kind: GroupKind,
+        ranks: Vec<Rank>,
+    ) -> Result<Self, TopologyError> {
+        if ranks.is_empty() {
+            return Err(TopologyError::EmptyCluster);
+        }
+        for &r in &ranks {
+            cluster.check_rank(r)?;
+        }
+        Ok(Self { kind, ranks })
+    }
+
+    /// The global group containing every rank.
+    #[must_use]
+    pub fn global(cluster: &ClusterTopology) -> Self {
+        Self { kind: GroupKind::Global, ranks: cluster.all_ranks() }
+    }
+
+    /// One intra-host group per host, in host order.
+    #[must_use]
+    pub fn intra_host_groups(cluster: &ClusterTopology) -> Vec<Self> {
+        (0..cluster.num_hosts())
+            .map(|h| Self { kind: GroupKind::IntraHost, ranks: cluster.ranks_on_host(h) })
+            .collect()
+    }
+
+    /// One peer group per local slot, in slot order.
+    ///
+    /// With `L` GPUs per host and `H` hosts this returns `L` groups of `H` ranks; these
+    /// are the worlds of the concurrent peer AlltoAlls in SPTT step (f).
+    #[must_use]
+    pub fn peer_groups(cluster: &ClusterTopology) -> Vec<Self> {
+        (0..cluster.gpus_per_host())
+            .map(|slot| Self {
+                kind: GroupKind::Peer,
+                ranks: peers_of(cluster, Rank(slot)),
+            })
+            .collect()
+    }
+
+    /// The group's role.
+    #[must_use]
+    pub fn kind(&self) -> GroupKind {
+        self.kind
+    }
+
+    /// Ranks in the group, in group order.
+    #[must_use]
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// Number of participating ranks (the collective's world size).
+    #[must_use]
+    pub fn world_size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether `rank` participates in this group.
+    #[must_use]
+    pub fn contains(&self, rank: Rank) -> bool {
+        self.ranks.contains(&rank)
+    }
+
+    /// Position of `rank` within the group, if it participates.
+    #[must_use]
+    pub fn index_of(&self, rank: Rank) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == rank)
+    }
+
+    /// Whether every pair of ranks in the group is connected intra-host.
+    #[must_use]
+    pub fn is_intra_host(&self, cluster: &ClusterTopology) -> bool {
+        let Some(first) = self.ranks.first() else { return false };
+        let host = cluster.host_of(*first);
+        self.ranks.iter().all(|r| cluster.host_of(*r) == host)
+    }
+}
+
+impl fmt::Display for ProcessGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} group of {} ranks", self.kind, self.ranks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::HardwareGeneration;
+
+    fn cluster() -> ClusterTopology {
+        ClusterTopology::new(HardwareGeneration::H100, 4, 8).unwrap()
+    }
+
+    #[test]
+    fn global_group_covers_all_ranks() {
+        let c = cluster();
+        let g = ProcessGroup::global(&c);
+        assert_eq!(g.world_size(), 32);
+        assert_eq!(g.kind(), GroupKind::Global);
+        assert!(g.contains(Rank(31)));
+        assert!(!g.contains(Rank(32)));
+    }
+
+    #[test]
+    fn intra_host_groups_partition_the_cluster() {
+        let c = cluster();
+        let groups = ProcessGroup::intra_host_groups(&c);
+        assert_eq!(groups.len(), 4);
+        let mut seen: Vec<Rank> = groups.iter().flat_map(|g| g.ranks().to_vec()).collect();
+        seen.sort();
+        assert_eq!(seen, c.all_ranks());
+        for g in &groups {
+            assert!(g.is_intra_host(&c));
+            assert_eq!(g.world_size(), 8);
+        }
+    }
+
+    #[test]
+    fn peer_groups_span_hosts() {
+        let c = cluster();
+        let groups = ProcessGroup::peer_groups(&c);
+        assert_eq!(groups.len(), 8);
+        for (slot, g) in groups.iter().enumerate() {
+            assert_eq!(g.world_size(), 4);
+            assert!(!g.is_intra_host(&c));
+            for r in g.ranks() {
+                assert_eq!(c.local_index(*r), slot);
+            }
+        }
+        // Together they also partition the cluster.
+        let mut seen: Vec<Rank> = groups.iter().flat_map(|g| g.ranks().to_vec()).collect();
+        seen.sort();
+        assert_eq!(seen, c.all_ranks());
+    }
+
+    #[test]
+    fn explicit_group_validation() {
+        let c = cluster();
+        assert!(ProcessGroup::new(&c, GroupKind::Tower, vec![]).is_err());
+        assert!(ProcessGroup::new(&c, GroupKind::Tower, vec![Rank(99)]).is_err());
+        let g = ProcessGroup::new(&c, GroupKind::Tower, vec![Rank(0), Rank(1)]).unwrap();
+        assert_eq!(g.index_of(Rank(1)), Some(1));
+        assert_eq!(g.index_of(Rank(2)), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! Tower placement: mapping towers onto groups of hosts.
+//!
+//! A *tower* in the paper is a group of sparse features, the dense layers that consume
+//! their embeddings, and the GPUs that host them. Towers are placed on collections of
+//! accelerators with high communication locality — normally one host, optionally `K`
+//! hosts (paper §3.1.3, "Specialized SPTT").
+
+use crate::cluster::{ClusterTopology, Rank, TopologyError};
+use crate::process_group::{GroupKind, ProcessGroup};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a tower, in `0..num_towers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TowerId(pub usize);
+
+impl fmt::Display for TowerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tower{}", self.0)
+    }
+}
+
+/// Assignment of towers to hosts.
+///
+/// Every tower owns `hosts_per_tower` consecutive hosts; the placement covers all hosts
+/// of the cluster, so `num_towers * hosts_per_tower == num_hosts`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TowerPlacement {
+    num_towers: usize,
+    hosts_per_tower: usize,
+    gpus_per_host: usize,
+}
+
+impl TowerPlacement {
+    /// Places one tower on every host — the paper's default configuration ("we pin each
+    /// tower module to a single host to best leverage NVLink").
+    #[must_use]
+    pub fn one_tower_per_host(cluster: &ClusterTopology) -> Self {
+        Self {
+            num_towers: cluster.num_hosts(),
+            hosts_per_tower: 1,
+            gpus_per_host: cluster.gpus_per_host(),
+        }
+    }
+
+    /// Places `num_towers` towers, each spanning `num_hosts / num_towers` hosts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::IndivisibleTowers`] if `num_towers` does not divide the
+    /// host count, or is zero.
+    pub fn with_towers(cluster: &ClusterTopology, num_towers: usize) -> Result<Self, TopologyError> {
+        if num_towers == 0 || cluster.num_hosts() % num_towers != 0 {
+            return Err(TopologyError::IndivisibleTowers {
+                num_hosts: cluster.num_hosts(),
+                num_towers,
+            });
+        }
+        Ok(Self {
+            num_towers,
+            hosts_per_tower: cluster.num_hosts() / num_towers,
+            gpus_per_host: cluster.gpus_per_host(),
+        })
+    }
+
+    /// Number of towers (the `T` of the SPTT formulation).
+    #[must_use]
+    pub fn num_towers(&self) -> usize {
+        self.num_towers
+    }
+
+    /// Hosts per tower (the `K` of the specialized-SPTT discussion).
+    #[must_use]
+    pub fn hosts_per_tower(&self) -> usize {
+        self.hosts_per_tower
+    }
+
+    /// GPUs per tower.
+    #[must_use]
+    pub fn gpus_per_tower(&self) -> usize {
+        self.hosts_per_tower * self.gpus_per_host
+    }
+
+    /// The tower hosting `rank`.
+    #[must_use]
+    pub fn tower_of(&self, rank: Rank) -> TowerId {
+        TowerId(rank.0 / self.gpus_per_tower())
+    }
+
+    /// Hosts belonging to `tower`.
+    #[must_use]
+    pub fn hosts_of(&self, tower: TowerId) -> Vec<usize> {
+        let start = tower.0 * self.hosts_per_tower;
+        (start..start + self.hosts_per_tower).collect()
+    }
+
+    /// Ranks belonging to `tower`, in rank order.
+    #[must_use]
+    pub fn ranks_of(&self, tower: TowerId) -> Vec<Rank> {
+        let start = tower.0 * self.gpus_per_tower();
+        (start..start + self.gpus_per_tower()).map(Rank).collect()
+    }
+
+    /// All tower ids.
+    #[must_use]
+    pub fn towers(&self) -> Vec<TowerId> {
+        (0..self.num_towers).map(TowerId).collect()
+    }
+
+    /// One process group per tower.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the placement does not fit `cluster` (e.g. it was created
+    /// for a different cluster shape).
+    pub fn tower_groups(&self, cluster: &ClusterTopology) -> Result<Vec<ProcessGroup>, TopologyError> {
+        self.towers()
+            .into_iter()
+            .map(|t| ProcessGroup::new(cluster, GroupKind::Tower, self.ranks_of(t)))
+            .collect()
+    }
+}
+
+impl fmt::Display for TowerPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} towers x {} host(s) ({} GPUs/tower)",
+            self.num_towers,
+            self.hosts_per_tower,
+            self.gpus_per_tower()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::HardwareGeneration;
+
+    fn cluster() -> ClusterTopology {
+        ClusterTopology::new(HardwareGeneration::A100, 8, 8).unwrap()
+    }
+
+    #[test]
+    fn one_tower_per_host_matches_paper_default() {
+        let c = cluster();
+        let p = TowerPlacement::one_tower_per_host(&c);
+        assert_eq!(p.num_towers(), 8);
+        assert_eq!(p.gpus_per_tower(), 8);
+        assert_eq!(p.tower_of(Rank(9)), TowerId(1));
+        assert_eq!(p.hosts_of(TowerId(3)), vec![3]);
+    }
+
+    #[test]
+    fn multi_host_towers() {
+        let c = cluster();
+        let p = TowerPlacement::with_towers(&c, 4).unwrap();
+        assert_eq!(p.hosts_per_tower(), 2);
+        assert_eq!(p.gpus_per_tower(), 16);
+        assert_eq!(p.ranks_of(TowerId(1)).first(), Some(&Rank(16)));
+        assert_eq!(p.hosts_of(TowerId(1)), vec![2, 3]);
+    }
+
+    #[test]
+    fn indivisible_towers_are_rejected() {
+        let c = cluster();
+        assert!(TowerPlacement::with_towers(&c, 3).is_err());
+        assert!(TowerPlacement::with_towers(&c, 0).is_err());
+        assert!(TowerPlacement::with_towers(&c, 16).is_err());
+    }
+
+    #[test]
+    fn tower_groups_partition_the_cluster() {
+        let c = cluster();
+        let p = TowerPlacement::with_towers(&c, 2).unwrap();
+        let groups = p.tower_groups(&c).unwrap();
+        assert_eq!(groups.len(), 2);
+        let mut ranks: Vec<Rank> = groups.iter().flat_map(|g| g.ranks().to_vec()).collect();
+        ranks.sort();
+        assert_eq!(ranks, c.all_ranks());
+    }
+
+    #[test]
+    fn every_rank_belongs_to_exactly_one_tower() {
+        let c = cluster();
+        for towers in [1usize, 2, 4, 8] {
+            let p = TowerPlacement::with_towers(&c, towers).unwrap();
+            for rank in c.all_ranks() {
+                let t = p.tower_of(rank);
+                assert!(p.ranks_of(t).contains(&rank));
+            }
+        }
+    }
+}

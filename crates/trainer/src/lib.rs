@@ -1,0 +1,40 @@
+//! Training simulation and quality harness for the DMT reproduction.
+//!
+//! Two kinds of "training" live here, matching the two halves of the paper's
+//! evaluation:
+//!
+//! * **Simulated distributed training** ([`simulation`], [`parallelism`]) — iteration
+//!   latency of the hybrid-parallel baseline and of DMT on a simulated cluster, with
+//!   the per-component breakdowns of Figures 1 and 13, the throughput sweeps of
+//!   Figures 10–12, and the Alpa-style parallelism enumeration of Figure 6. No real
+//!   model weights are involved; compute and communication are costed analytically
+//!   from [`dmt_models::PaperScaleSpec`] and [`dmt_commsim::CostModel`].
+//! * **Real CPU quality training** ([`quality`]) — trains the actual
+//!   [`dmt_models::RecommendationModel`] on the synthetic Criteo-like dataset and
+//!   evaluates AUC, reproducing the methodology of Tables 2–6 (repeated seeds, median
+//!   AUC, Mann–Whitney significance).
+//!
+//! # Example: reproduce the Figure 13 shape
+//!
+//! ```
+//! use dmt_models::PaperScaleSpec;
+//! use dmt_topology::HardwareGeneration;
+//! use dmt_trainer::simulation::{DmtThroughputConfig, SimulationConfig};
+//!
+//! let cfg = SimulationConfig::new(HardwareGeneration::H100, 64, PaperScaleSpec::dcn())?;
+//! let baseline = cfg.simulate_baseline_iteration();
+//! let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg));
+//! // DMT-DCN improves both compute and exposed embedding communication.
+//! assert!(dmt.breakdown().total_s() < baseline.breakdown().total_s());
+//! # Ok::<(), dmt_topology::TopologyError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod parallelism;
+pub mod quality;
+pub mod simulation;
+
+pub use parallelism::{enumerate_parallelism_configs, ParallelismConfig, ParallelismKind};
+pub use quality::{QualityConfig, QualityResult};
+pub use simulation::{DmtThroughputConfig, SimulationConfig};

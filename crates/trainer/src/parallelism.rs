@@ -1,0 +1,186 @@
+//! Alpa-style parallelism enumeration for the dense part (Figure 6).
+//!
+//! The paper uses Alpa to search data/tensor/pipeline parallelism meshes for DLRM's
+//! dense component and finds that plain data parallelism is the fastest configuration —
+//! the evidence that hybrid parallelism is already (near-)optimal and that further
+//! gains must come from restructuring the model (DMT). This module enumerates the same
+//! kinds of configurations over the simulated cluster and costs them analytically.
+
+use crate::simulation::SimulationConfig;
+use dmt_commsim::{collectives, CostModel};
+use dmt_topology::ProcessGroup;
+use serde::{Deserialize, Serialize};
+
+/// The parallelism family of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelismKind {
+    /// Pure data parallelism (replicated dense, AllReduce sync).
+    Data,
+    /// Tensor (intra-operator) parallelism over `degree` GPUs.
+    Tensor,
+    /// Pipeline (inter-operator) parallelism over `degree` stages.
+    Pipeline,
+    /// Hybrid: tensor parallelism inside a host, data parallelism across hosts.
+    TensorDataHybrid,
+}
+
+/// One enumerated parallelism configuration and its simulated iteration latency for the
+/// dense part of the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismConfig {
+    /// Parallelism family.
+    pub kind: ParallelismKind,
+    /// Parallel degree (model-parallel ways for tensor/pipeline, 1 for pure data).
+    pub degree: usize,
+    /// Simulated per-iteration latency of the dense component, in seconds.
+    pub iteration_latency_s: f64,
+}
+
+/// Enumerates data / tensor / pipeline / hybrid configurations of the dense component
+/// and costs each one, mirroring the mesh enumeration behind Figure 6.
+///
+/// Latency model per configuration (per iteration, dense part only). The key fact is
+/// that with a fixed global batch the *total* dense compute is fixed, so per-GPU
+/// compute is the same under every parallelism — model parallelism only changes what
+/// is communicated:
+///
+/// * data parallelism pays one dense-gradient AllReduce;
+/// * tensor parallelism pays activation AllGather/ReduceScatter traffic at every layer
+///   boundary (plus a small fragmentation penalty on the GEMMs) and a smaller gradient
+///   AllReduce;
+/// * pipeline parallelism pays per-microbatch activation transfers plus the pipeline
+///   bubble `(stages - 1) / microbatches`.
+#[must_use]
+pub fn enumerate_parallelism_configs(cfg: &SimulationConfig) -> Vec<ParallelismConfig> {
+    let cluster = &cfg.cluster;
+    let model = CostModel::new(cluster.clone());
+    let global = ProcessGroup::global(cluster);
+    let intra = &ProcessGroup::intra_host_groups(cluster)[0];
+    let world = cluster.world_size();
+    let compute = cfg.compute_time_s(1.0);
+    let grad_bytes = cfg.gradient_quant.scale_fp32_bytes(cfg.model.dense_grad_bytes());
+    // Activation volume crossing a model-parallel boundary: one hidden layer's worth of
+    // activations for the local batch (hidden width ~1024 floats).
+    let activation_bytes = cfg.local_batch as u64 * 1024 * 4;
+    let microbatches = 8u64;
+
+    let mut configs = Vec::new();
+
+    // Pure data parallelism.
+    let allreduce = collectives::all_reduce(&model, &global, grad_bytes);
+    configs.push(ParallelismConfig {
+        kind: ParallelismKind::Data,
+        degree: 1,
+        iteration_latency_s: compute + allreduce.time_s,
+    });
+
+    // Tensor parallelism with degrees 2..=gpus_per_host (kept inside a host, as Alpa's
+    // best meshes do) and degree = world (fully global, clearly worse).
+    let mut tensor_degrees: Vec<usize> = [2usize, 4, 8]
+        .into_iter()
+        .filter(|&d| d <= cluster.gpus_per_host())
+        .collect();
+    tensor_degrees.push(world);
+    for degree in tensor_degrees {
+        let group = if degree <= cluster.gpus_per_host() { intra } else { &global };
+        // AllGather (forward) + ReduceScatter (backward) of activations at ~4 layer
+        // boundaries in the MLP stack.
+        let allgather = collectives::all_gather(&model, group, activation_bytes);
+        let comm = 8.0 * allgather.time_s;
+        // Fragmenting the GEMMs across `degree` devices costs some efficiency.
+        let fragmented_compute = compute * (1.0 + 0.02 * degree as f64);
+        // Gradient sync happens over the data-parallel replicas (world / degree) on a
+        // 1/degree slice of the dense parameters.
+        let allreduce = collectives::all_reduce(&model, &global, grad_bytes / degree as u64);
+        configs.push(ParallelismConfig {
+            kind: ParallelismKind::Tensor,
+            degree,
+            iteration_latency_s: fragmented_compute + comm + allreduce.time_s,
+        });
+    }
+
+    // Pipeline parallelism with 2..=8 stages.
+    for degree in [2usize, 4, 8] {
+        if degree > world {
+            continue;
+        }
+        // Per-microbatch activation transfer between adjacent stages (cross-host in the
+        // worst case), plus the pipeline bubble.
+        let p2p = collectives::broadcast(&model, &global, activation_bytes / microbatches);
+        let transfer = p2p.time_s * microbatches as f64 * (degree - 1) as f64 / degree as f64;
+        let bubble = (degree - 1) as f64 / microbatches as f64 * compute;
+        let allreduce = collectives::all_reduce(&model, &global, grad_bytes / degree as u64);
+        configs.push(ParallelismConfig {
+            kind: ParallelismKind::Pipeline,
+            degree,
+            iteration_latency_s: compute + bubble + transfer + allreduce.time_s,
+        });
+    }
+
+    // Hybrid: tensor parallel inside the host, data parallel across hosts.
+    let degree = cluster.gpus_per_host();
+    let allgather = collectives::all_gather(&model, intra, activation_bytes);
+    let allreduce = collectives::all_reduce(&model, &global, grad_bytes / degree as u64);
+    configs.push(ParallelismConfig {
+        kind: ParallelismKind::TensorDataHybrid,
+        degree,
+        iteration_latency_s: compute * (1.0 + 0.02 * degree as f64)
+            + 8.0 * allgather.time_s
+            + allreduce.time_s,
+    });
+
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_models::PaperScaleSpec;
+    use dmt_topology::HardwareGeneration;
+
+    fn configs() -> Vec<ParallelismConfig> {
+        let cfg = SimulationConfig::new(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm()).unwrap();
+        enumerate_parallelism_configs(&cfg)
+    }
+
+    #[test]
+    fn enumeration_covers_all_families() {
+        let configs = configs();
+        assert!(configs.len() >= 6);
+        for kind in [
+            ParallelismKind::Data,
+            ParallelismKind::Tensor,
+            ParallelismKind::Pipeline,
+            ParallelismKind::TensorDataHybrid,
+        ] {
+            assert!(configs.iter().any(|c| c.kind == kind), "missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn data_parallelism_wins_as_in_figure6() {
+        let configs = configs();
+        let best = configs
+            .iter()
+            .min_by(|a, b| a.iteration_latency_s.partial_cmp(&b.iteration_latency_s).unwrap())
+            .unwrap();
+        assert_eq!(best.kind, ParallelismKind::Data, "best was {best:?}");
+    }
+
+    #[test]
+    fn all_latencies_are_positive_and_finite() {
+        for c in configs() {
+            assert!(c.iteration_latency_s.is_finite() && c.iteration_latency_s > 0.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn global_tensor_parallelism_is_the_worst_tensor_choice() {
+        let configs = configs();
+        let tensor: Vec<&ParallelismConfig> =
+            configs.iter().filter(|c| c.kind == ParallelismKind::Tensor).collect();
+        let global = tensor.iter().max_by_key(|c| c.degree).unwrap();
+        let local = tensor.iter().min_by_key(|c| c.degree).unwrap();
+        assert!(global.iteration_latency_s > local.iteration_latency_s);
+    }
+}

@@ -1,0 +1,418 @@
+//! Iteration-latency simulation of hybrid-parallel and DMT training.
+
+use dmt_commsim::{collectives, CostModel, IterationTimeline, Quantization, Segment, SegmentKind};
+use dmt_models::PaperScaleSpec;
+use dmt_topology::{ClusterTopology, HardwareGeneration, ProcessGroup, TopologyError, TowerPlacement};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the forward-pass FLOPs charged for forward + backward together.
+const FWD_BWD_FLOP_FACTOR: f64 = 3.0;
+
+/// Exposed fraction of the feature-distribution (input index) AlltoAll: largely hidden
+/// behind the pipelined data-fetching of the strong baseline.
+const INPUT_DIST_EXPOSED: f64 = 0.2;
+
+/// Exposed fraction of the embedding output / gradient exchanges: they sit on the
+/// critical path between lookup and interaction.
+const EMBEDDING_EXCHANGE_EXPOSED: f64 = 1.0;
+
+/// Exposed fraction of the dense-gradient AllReduce: mostly overlapped with the
+/// backward pass.
+const DENSE_SYNC_EXPOSED: f64 = 0.25;
+
+/// Fixed per-iteration host-side overhead (optimizer, data loading tail), seconds.
+const OTHER_OVERHEAD_S: f64 = 1.0e-3;
+
+/// Configuration of one simulated training deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// The simulated cluster.
+    pub cluster: ClusterTopology,
+    /// Paper-scale model characteristics.
+    pub model: PaperScaleSpec,
+    /// Per-GPU batch size (the paper fixes 16K for the throughput studies).
+    pub local_batch: usize,
+    /// Wire precision of the embedding exchanges (the strong baseline quantizes).
+    pub embedding_quant: Quantization,
+    /// Wire precision of the dense gradient synchronization.
+    pub gradient_quant: Quantization,
+}
+
+impl SimulationConfig {
+    /// Creates a config for `world_size` GPUs of `generation` running `model` with the
+    /// paper's default local batch of 16K and FP16 communication quantization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if `world_size` is not a positive multiple of 8.
+    pub fn new(
+        generation: HardwareGeneration,
+        world_size: usize,
+        model: PaperScaleSpec,
+    ) -> Result<Self, TopologyError> {
+        Ok(Self {
+            cluster: ClusterTopology::standard(generation, world_size)?,
+            model,
+            local_batch: 16 * 1024,
+            embedding_quant: Quantization::Fp16,
+            gradient_quant: Quantization::Fp16,
+        })
+    }
+
+    /// Overrides the local batch size.
+    #[must_use]
+    pub fn with_local_batch(mut self, local_batch: usize) -> Self {
+        self.local_batch = local_batch.max(1);
+        self
+    }
+
+    /// Overrides the communication quantization (both embeddings and gradients).
+    #[must_use]
+    pub fn with_quantization(mut self, quant: Quantization) -> Self {
+        self.embedding_quant = quant;
+        self.gradient_quant = quant;
+        self
+    }
+
+    fn cost_model(&self) -> CostModel {
+        CostModel::new(self.cluster.clone())
+    }
+
+    /// Dense compute time per iteration (forward + backward) in seconds, given a
+    /// compute-scale factor (1.0 for the baseline, <1 for reduced-complexity DMT).
+    #[must_use]
+    pub fn compute_time_s(&self, compute_scale: f64) -> f64 {
+        let flops = self.model.flops_per_sample() * compute_scale * FWD_BWD_FLOP_FACTOR * self.local_batch as f64;
+        flops / self.cluster.spec().effective_flops()
+    }
+
+    /// Per-rank FP32 bytes of the pooled-embedding exchange for one iteration.
+    #[must_use]
+    pub fn embedding_exchange_bytes(&self) -> u64 {
+        self.model.embedding_bytes_per_sample() * self.local_batch as u64
+    }
+
+    /// Per-rank bytes of the sparse-index distribution AlltoAll.
+    #[must_use]
+    pub fn index_distribution_bytes(&self) -> u64 {
+        self.local_batch as u64 * self.model.num_sparse_features as u64 * 8
+    }
+
+    /// Simulates one iteration of the hybrid-parallel strong baseline (Figure 4 flow).
+    #[must_use]
+    pub fn simulate_baseline_iteration(&self) -> IterationTimeline {
+        let model = self.cost_model();
+        let global = ProcessGroup::global(&self.cluster);
+        let mut timeline = IterationTimeline::new();
+
+        timeline.push(Segment::compute("dense + sparse compute", self.compute_time_s(1.0)));
+
+        // Step a: feature distribution (indices).
+        let input = collectives::all_to_all(&model, &global, self.index_distribution_bytes());
+        timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "feature distribution AlltoAll",
+            input.time_s,
+            INPUT_DIST_EXPOSED,
+        ));
+
+        // Step c: embedding output AlltoAll (forward) + gradient AlltoAll (backward).
+        let payload = self.embedding_quant.scale_fp32_bytes(self.embedding_exchange_bytes());
+        let output = collectives::all_to_all(&model, &global, payload);
+        timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "embedding output AlltoAll (fwd)",
+            output.time_s,
+            EMBEDDING_EXCHANGE_EXPOSED,
+        ));
+        timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "embedding gradient AlltoAll (bwd)",
+            output.time_s,
+            EMBEDDING_EXCHANGE_EXPOSED,
+        ));
+
+        // Dense gradient AllReduce.
+        let grad_bytes = self.gradient_quant.scale_fp32_bytes(self.model.dense_grad_bytes());
+        let allreduce = collectives::all_reduce(&model, &global, grad_bytes);
+        timeline.push(Segment::new(
+            SegmentKind::DenseSync,
+            "dense gradient AllReduce",
+            allreduce.time_s,
+            DENSE_SYNC_EXPOSED,
+        ));
+
+        timeline.push(Segment::new(SegmentKind::Other, "optimizer + host overhead", OTHER_OVERHEAD_S, 1.0));
+        timeline
+    }
+
+    /// Simulates one iteration of DMT training (SPTT steps a–f plus tower modules).
+    #[must_use]
+    pub fn simulate_dmt_iteration(&self, dmt: &DmtThroughputConfig) -> IterationTimeline {
+        let model = self.cost_model();
+        let global = ProcessGroup::global(&self.cluster);
+        let intra_groups = ProcessGroup::intra_host_groups(&self.cluster);
+        let peer_groups = ProcessGroup::peer_groups(&self.cluster);
+        let mut timeline = IterationTimeline::new();
+
+        // Compute: tower modules shrink the global interaction (Table 4's MFlops
+        // column), so the dense compute scales by `compute_scale`.
+        timeline.push(Segment::compute("dense + tower-module compute", self.compute_time_s(dmt.compute_scale)));
+
+        // Step a: feature distribution, identical to the baseline.
+        let input = collectives::all_to_all(&model, &global, self.index_distribution_bytes());
+        timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "feature distribution AlltoAll",
+            input.time_s,
+            INPUT_DIST_EXPOSED,
+        ));
+
+        let payload = self.embedding_quant.scale_fp32_bytes(self.embedding_exchange_bytes());
+
+        // Steps c + e: device-local shuffles (peer permute, transpose view).
+        let shuffle_bytes = 2 * payload;
+        let shuffle_time = shuffle_bytes as f64 / model.local_copy_bandwidth();
+        timeline.push(Segment::new(SegmentKind::Shuffle, "peer permute + local shuffle", shuffle_time, 1.0));
+
+        // Step d: intra-host collective, forward and backward.
+        let intra = collectives::all_to_all(&model, &intra_groups[0], payload);
+        timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "intra-host AlltoAll (fwd)",
+            intra.time_s,
+            EMBEDDING_EXCHANGE_EXPOSED,
+        ));
+        timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "intra-host AlltoAll (bwd)",
+            intra.time_s,
+            EMBEDDING_EXCHANGE_EXPOSED,
+        ));
+
+        // Step f: concurrent peer AlltoAlls of the (possibly compressed) tower outputs,
+        // forward and backward.
+        let peer_payload = (payload as f64 / dmt.compression_ratio).ceil() as u64;
+        let peer = collectives::concurrent_peer_all_to_alls(&model, &peer_groups, peer_payload);
+        timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "peer AlltoAll (fwd)",
+            peer.time_s,
+            EMBEDDING_EXCHANGE_EXPOSED,
+        ));
+        timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "peer AlltoAll (bwd)",
+            peer.time_s,
+            EMBEDDING_EXCHANGE_EXPOSED,
+        ));
+
+        // Tower-module gradient synchronization stays inside the host (the point of
+        // §3.2's "System Perspective"): a small intra-host AllReduce.
+        if dmt.tower_module_params_m > 0.0 {
+            let tm_bytes = self
+                .gradient_quant
+                .scale_fp32_bytes((dmt.tower_module_params_m * 1e6) as u64 * 4);
+            let tm_sync = collectives::all_reduce(&model, &intra_groups[0], tm_bytes);
+            timeline.push(Segment::new(
+                SegmentKind::DenseSync,
+                "tower-module intra-host AllReduce",
+                tm_sync.time_s,
+                DENSE_SYNC_EXPOSED,
+            ));
+        }
+
+        // Dense gradient AllReduce for the shared over-arch, as in the baseline.
+        let grad_bytes = self.gradient_quant.scale_fp32_bytes(self.model.dense_grad_bytes());
+        let allreduce = collectives::all_reduce(&model, &global, grad_bytes);
+        timeline.push(Segment::new(
+            SegmentKind::DenseSync,
+            "dense gradient AllReduce",
+            allreduce.time_s,
+            DENSE_SYNC_EXPOSED,
+        ));
+
+        timeline.push(Segment::new(SegmentKind::Other, "optimizer + host overhead", OTHER_OVERHEAD_S, 1.0));
+        timeline
+    }
+
+    /// Samples per second per GPU for a given iteration timeline.
+    #[must_use]
+    pub fn throughput_samples_per_sec(&self, timeline: &IterationTimeline) -> f64 {
+        self.local_batch as f64 / timeline.breakdown().total_s()
+    }
+}
+
+/// Throughput-relevant description of a DMT variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmtThroughputConfig {
+    /// Number of towers (normally one per host).
+    pub num_towers: usize,
+    /// Cross-host compression ratio achieved by the tower modules (1.0 = SPTT only).
+    pub compression_ratio: f64,
+    /// Dense-compute scale of the DMT variant relative to the baseline (Table 4's
+    /// MFlops ratio; 1.0 = SPTT only).
+    pub compute_scale: f64,
+    /// Tower-module parameters in millions (synchronized intra-host).
+    pub tower_module_params_m: f64,
+}
+
+impl DmtThroughputConfig {
+    /// SPTT-only configuration: no tower modules, no compression, unchanged compute.
+    #[must_use]
+    pub fn sptt_only(cfg: &SimulationConfig) -> Self {
+        Self {
+            num_towers: cfg.cluster.num_hosts(),
+            compression_ratio: 1.0,
+            compute_scale: 1.0,
+            tower_module_params_m: 0.0,
+        }
+    }
+
+    /// The paper's default DMT configuration for the given deployment: one tower per
+    /// host, tower modules with a compression ratio of 2, and the Table 4 compute
+    /// reduction (DLRM 14.74 → 8.95 MFlops; DCN's reduction varies with tower count, a
+    /// representative 0.65 is used).
+    #[must_use]
+    pub fn paper_default(cfg: &SimulationConfig) -> Self {
+        let compute_scale = match cfg.model.arch {
+            dmt_models::ModelArch::Dlrm => 8.95 / 14.74,
+            dmt_models::ModelArch::Dcn => 0.65,
+        };
+        Self {
+            num_towers: cfg.cluster.num_hosts(),
+            compression_ratio: 2.0,
+            compute_scale,
+            tower_module_params_m: 2.0,
+        }
+    }
+
+    /// Overrides the compression ratio.
+    #[must_use]
+    pub fn with_compression_ratio(mut self, ratio: f64) -> Self {
+        self.compression_ratio = ratio.max(1e-6);
+        self
+    }
+
+    /// The tower placement corresponding to this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if the tower count does not divide the host count.
+    pub fn placement(&self, cluster: &ClusterTopology) -> Result<TowerPlacement, TopologyError> {
+        TowerPlacement::with_towers(cluster, self.num_towers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(generation: HardwareGeneration, world: usize, model: PaperScaleSpec) -> SimulationConfig {
+        SimulationConfig::new(generation, world, model).unwrap()
+    }
+
+    #[test]
+    fn figure1_breakdown_shape() {
+        // DCN on 64 H100s: compute dominates (~70%), exposed embedding communication is
+        // the next biggest component (~25-30%), dense sync is small.
+        let cfg = config(HardwareGeneration::H100, 64, PaperScaleSpec::dcn());
+        let b = cfg.simulate_baseline_iteration().breakdown();
+        let fractions = b.fractions();
+        assert!(fractions[0] > 0.55 && fractions[0] < 0.85, "compute fraction {}", fractions[0]);
+        assert!(fractions[1] > 0.15 && fractions[1] < 0.40, "embedding fraction {}", fractions[1]);
+        assert!(fractions[2] < 0.10, "dense sync fraction {}", fractions[2]);
+    }
+
+    #[test]
+    fn figure13_dmt_improves_both_compute_and_comm() {
+        let cfg = config(HardwareGeneration::H100, 64, PaperScaleSpec::dcn());
+        let baseline = cfg.simulate_baseline_iteration().breakdown();
+        let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+        assert!(dmt.compute_s < baseline.compute_s);
+        assert!(dmt.embedding_comm_s < baseline.embedding_comm_s / 2.0);
+        assert!(dmt.total_s() < baseline.total_s());
+    }
+
+    #[test]
+    fn figure10_speedup_grows_with_scale_for_dlrm() {
+        let mut previous = 0.0;
+        for world in [64usize, 128, 256, 512] {
+            let cfg = config(HardwareGeneration::A100, world, PaperScaleSpec::dlrm());
+            let baseline = cfg.simulate_baseline_iteration().breakdown();
+            let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+            let speedup = dmt.speedup_over(&baseline);
+            assert!(speedup > 1.0, "world {world}: speedup {speedup}");
+            assert!(speedup >= previous * 0.95, "speedup should broadly grow with scale");
+            previous = speedup;
+        }
+        // At the largest scale the speedup lands in the paper's 1.5-2.0x band.
+        assert!(previous > 1.4 && previous < 2.2, "512-GPU speedup was {previous}");
+    }
+
+    #[test]
+    fn sptt_only_beats_baseline_but_less_than_full_dmt() {
+        let cfg = config(HardwareGeneration::A100, 256, PaperScaleSpec::dlrm());
+        let baseline = cfg.simulate_baseline_iteration().breakdown();
+        let sptt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg)).breakdown();
+        let full = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+        assert!(sptt.total_s() < baseline.total_s());
+        assert!(full.total_s() < sptt.total_s());
+    }
+
+    #[test]
+    fn figure12_higher_compression_means_more_speedup() {
+        let cfg = config(HardwareGeneration::V100, 64, PaperScaleSpec::dlrm());
+        let sptt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg)).breakdown();
+        let mut previous = 0.0;
+        for cr in [2.0, 4.0, 8.0, 16.0] {
+            let dmt = cfg
+                .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg).with_compression_ratio(cr))
+                .breakdown();
+            let speedup = sptt.total_s() / dmt.total_s();
+            assert!(speedup > previous, "CR {cr} should speed up further");
+            previous = speedup;
+        }
+        assert!(previous > 1.1);
+    }
+
+    #[test]
+    fn xlrm_gains_less_because_it_is_compute_bound() {
+        let cfg_xlrm = config(HardwareGeneration::A100, 128, PaperScaleSpec::xlrm());
+        let cfg_dlrm = config(HardwareGeneration::A100, 128, PaperScaleSpec::dlrm());
+        let speedup = |cfg: &SimulationConfig| {
+            let baseline = cfg.simulate_baseline_iteration().breakdown();
+            let dmt = cfg
+                .simulate_dmt_iteration(&DmtThroughputConfig { compute_scale: 1.0, ..DmtThroughputConfig::paper_default(cfg) })
+                .breakdown();
+            dmt.speedup_over(&baseline)
+        };
+        assert!(speedup(&cfg_xlrm) < speedup(&cfg_dlrm));
+    }
+
+    #[test]
+    fn throughput_is_batch_over_latency() {
+        let cfg = config(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm());
+        let timeline = cfg.simulate_baseline_iteration();
+        let thr = cfg.throughput_samples_per_sec(&timeline);
+        assert!((thr - cfg.local_batch as f64 / timeline.breakdown().total_s()).abs() < 1e-9);
+        assert!(thr > 0.0);
+    }
+
+    #[test]
+    fn quantization_reduces_exchange_time() {
+        let fp32 = config(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm()).with_quantization(Quantization::Fp32);
+        let fp8 = config(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm()).with_quantization(Quantization::Fp8);
+        let b32 = fp32.simulate_baseline_iteration().breakdown();
+        let b8 = fp8.simulate_baseline_iteration().breakdown();
+        assert!(b8.embedding_comm_s < b32.embedding_comm_s / 2.0);
+    }
+
+    #[test]
+    fn placement_matches_tower_count() {
+        let cfg = config(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm());
+        let dmt = DmtThroughputConfig::paper_default(&cfg);
+        let placement = dmt.placement(&cfg.cluster).unwrap();
+        assert_eq!(placement.num_towers(), 8);
+    }
+}

@@ -1,0 +1,33 @@
+//! Sweep a deployment across hardware generations and cluster sizes and print the
+//! simulated DMT speedup (a miniature Figure 10).
+//!
+//! Run with: `cargo run --release -p dmt-bench --example cluster_speedup -- [dlrm|dcn]`
+
+use dmt_models::PaperScaleSpec;
+use dmt_topology::HardwareGeneration;
+use dmt_trainer::simulation::{DmtThroughputConfig, SimulationConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = match std::env::args().nth(1).as_deref() {
+        Some("dcn") => PaperScaleSpec::dcn(),
+        _ => PaperScaleSpec::dlrm(),
+    };
+    println!("model: {} ({:.2} MFlops/sample)", model.name, model.mflops_per_sample);
+    println!("{:<6} {:>6} {:>14} {:>12} {:>9}", "HW", "GPUs", "baseline (ms)", "DMT (ms)", "speedup");
+    for hardware in HardwareGeneration::ALL {
+        for gpus in [16usize, 64, 256] {
+            let cfg = SimulationConfig::new(hardware, gpus, model.clone())?;
+            let baseline = cfg.simulate_baseline_iteration().breakdown();
+            let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+            println!(
+                "{:<6} {:>6} {:>14.2} {:>12.2} {:>8.2}x",
+                hardware.to_string(),
+                gpus,
+                baseline.total_s() * 1e3,
+                dmt.total_s() * 1e3,
+                dmt.speedup_over(&baseline)
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Quickstart: build a cluster, transform a model with DMT, and compare one simulated
+//! training iteration against the hybrid-parallel baseline.
+//!
+//! Run with: `cargo run --release -p dmt-bench --example quickstart`
+
+use dmt_core::sptt::SpttPlan;
+use dmt_models::PaperScaleSpec;
+use dmt_topology::{ClusterTopology, HardwareGeneration, TowerPlacement};
+use dmt_trainer::simulation::{DmtThroughputConfig, SimulationConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the deployment: 64 H100 GPUs in 8 hosts, the paper's DCN model.
+    let cfg = SimulationConfig::new(HardwareGeneration::H100, 64, PaperScaleSpec::dcn())?;
+    println!("cluster: {}", cfg.cluster);
+
+    // 2. Check that the SPTT dataflow is semantics-preserving for this deployment.
+    let cluster = ClusterTopology::standard(HardwareGeneration::H100, 64)?;
+    let placement = TowerPlacement::one_tower_per_host(&cluster);
+    let plan = SpttPlan::new(&cluster, &placement, 26, 4)?;
+    println!("SPTT semantic equivalence: {}", plan.verify_semantic_equivalence());
+
+    // 3. Simulate one iteration of the baseline and of DMT, and compare.
+    let baseline = cfg.simulate_baseline_iteration().breakdown();
+    let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+    println!("baseline iteration: {baseline}");
+    println!("DMT iteration:      {dmt}");
+    println!("speedup: {:.2}x", dmt.speedup_over(&baseline));
+    Ok(())
+}

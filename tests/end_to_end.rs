@@ -1,0 +1,104 @@
+//! Integration tests spanning the whole workspace: dataset → model → DMT transform →
+//! quality, and topology → cost model → throughput simulation.
+
+use dmt_core::sptt::SpttPlan;
+use dmt_core::{DmtConfig, TowerModuleKind, TowerPartitioner};
+use dmt_data::{DatasetSchema, SyntheticClickDataset};
+use dmt_metrics::roc_auc;
+use dmt_models::{ModelArch, ModelHyperparams, PaperScaleSpec, RecommendationModel};
+use dmt_topology::{ClusterTopology, HardwareGeneration, TowerPlacement};
+use dmt_trainer::quality::QualityConfig;
+use dmt_trainer::simulation::{DmtThroughputConfig, SimulationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The full DMT pipeline: train a baseline, probe its embeddings, run the learned
+/// partitioner, build the DMT model over the learned partition, train it, and check
+/// that its quality is in the same ballpark as the baseline (Table 3/4's claim).
+#[test]
+fn learned_partition_to_dmt_model_quality() {
+    let cfg = QualityConfig::quick(ModelArch::Dlrm);
+    let baseline = cfg.run_baseline(11).expect("baseline trains");
+    let partition = cfg.build_partition(4, true, 11).expect("learned partition");
+    assert_eq!(partition.num_features(), cfg.schema.num_sparse());
+
+    let dmt_cfg = DmtConfig::builder(4)
+        .tower_module(TowerModuleKind::DlrmLinear)
+        .tower_output_dim(cfg.hyper.embedding_dim / 2)
+        .build()
+        .expect("valid DMT config");
+    let dmt = cfg.run_dmt(11, partition, &dmt_cfg).expect("DMT trains");
+
+    assert!(baseline.auc > 0.55, "baseline AUC {}", baseline.auc);
+    assert!(dmt.auc > 0.55, "DMT AUC {}", dmt.auc);
+    assert!((baseline.auc - dmt.auc).abs() < 0.1, "AUC gap too large: {} vs {}", baseline.auc, dmt.auc);
+}
+
+/// SPTT must be semantics-preserving for the partition the Tower Partitioner produces,
+/// not just for round-robin assignments.
+#[test]
+fn sptt_is_equivalent_under_learned_partitions() {
+    let schema = DatasetSchema::criteo_like_small();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model =
+        RecommendationModel::baseline(&mut rng, &schema, ModelArch::Dlrm, &ModelHyperparams::tiny())
+            .expect("model builds");
+    let mut data = SyntheticClickDataset::new(schema.clone(), 3);
+    for _ in 0..10 {
+        let batch = data.next_batch(128);
+        model.train_step(&batch, 1e-2).expect("train step");
+    }
+    let probe = model.feature_embedding_probe(32);
+    let partition = TowerPartitioner::new(4).partition_from_embeddings(&probe).expect("partition");
+
+    let cluster = ClusterTopology::new(HardwareGeneration::A100, 4, 2).expect("cluster");
+    let placement = TowerPlacement::one_tower_per_host(&cluster);
+    let plan = SpttPlan::with_partition(&cluster, &placement, partition.groups(), 4).expect("plan");
+    assert!(plan.verify_semantic_equivalence());
+    assert!(plan.verify_tower_locality());
+}
+
+/// The throughput story end to end: at large scale DMT beats the baseline on every
+/// hardware generation, and the win grows (or at least does not collapse) with scale.
+#[test]
+fn dmt_throughput_wins_at_scale_everywhere() {
+    for hardware in HardwareGeneration::ALL {
+        let small = SimulationConfig::new(hardware, 16, PaperScaleSpec::dlrm()).expect("config");
+        let large = SimulationConfig::new(hardware, 128, PaperScaleSpec::dlrm()).expect("config");
+        let speedup = |cfg: &SimulationConfig| {
+            let baseline = cfg.simulate_baseline_iteration().breakdown();
+            let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(cfg)).breakdown();
+            dmt.speedup_over(&baseline)
+        };
+        let s_small = speedup(&small);
+        let s_large = speedup(&large);
+        assert!(s_large > 1.0, "{hardware}: DMT should win at 128 GPUs, got {s_large}");
+        assert!(
+            s_large > s_small * 0.9,
+            "{hardware}: speedup should not collapse with scale ({s_small} -> {s_large})"
+        );
+    }
+}
+
+/// Model predictions must be usable by the metrics stack (finite probabilities, valid
+/// AUC) after a few steps of training on every architecture.
+#[test]
+fn predictions_feed_metrics_cleanly() {
+    let schema = DatasetSchema::criteo_like_small();
+    for arch in [ModelArch::Dlrm, ModelArch::Dcn] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model =
+            RecommendationModel::baseline(&mut rng, &schema, arch, &ModelHyperparams::tiny())
+                .expect("model builds");
+        let mut data = SyntheticClickDataset::new(schema.clone(), 5);
+        for _ in 0..5 {
+            let batch = data.next_batch(64);
+            model.train_step(&batch, 1e-2).expect("train step");
+        }
+        let eval = data.next_batch(512);
+        let preds = model.predict(&eval).expect("predict");
+        assert!(preds.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+        let auc = roc_auc(&preds, &eval.labels).expect("both classes present");
+        assert!(auc > 0.4, "{arch:?} AUC collapsed: {auc}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the core invariants, using proptest.
+
+use dmt_commsim::{collectives, CostModel};
+use dmt_core::partition::{naive_partition, TowerPartitioner};
+use dmt_core::sptt::SpttPlan;
+use dmt_metrics::roc_auc;
+use dmt_topology::{ClusterTopology, HardwareGeneration, ProcessGroup, TowerPlacement};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// SPTT is semantics-preserving for any valid cluster shape, feature count and
+    /// local batch size.
+    #[test]
+    fn sptt_equivalence_holds_for_any_shape(
+        hosts in 1usize..6,
+        gpus in 1usize..5,
+        extra_features in 0usize..20,
+        local_batch in 1usize..5,
+    ) {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, hosts, gpus).unwrap();
+        let placement = TowerPlacement::one_tower_per_host(&cluster);
+        let features = hosts + extra_features; // at least one feature per tower
+        let plan = SpttPlan::new(&cluster, &placement, features, local_batch).unwrap();
+        prop_assert!(plan.verify_semantic_equivalence());
+        prop_assert!(plan.verify_tower_locality());
+    }
+
+    /// The collective cost model never produces non-positive or non-finite times, and
+    /// more bytes never take less time.
+    #[test]
+    fn collective_times_are_finite_and_monotone(
+        world_exp in 1usize..7,
+        megabytes in 1u64..512,
+    ) {
+        let world = 8 << (world_exp - 1);
+        let cluster = ClusterTopology::standard(HardwareGeneration::A100, world).unwrap();
+        let model = CostModel::new(cluster.clone());
+        let group = ProcessGroup::global(&cluster);
+        let small = collectives::all_to_all(&model, &group, megabytes * 1024 * 1024);
+        let large = collectives::all_to_all(&model, &group, 2 * megabytes * 1024 * 1024);
+        prop_assert!(small.time_s.is_finite() && small.time_s > 0.0);
+        prop_assert!(large.time_s >= small.time_s);
+        let ar = collectives::all_reduce(&model, &group, megabytes * 1024 * 1024);
+        prop_assert!(ar.time_s.is_finite() && ar.time_s > 0.0);
+    }
+
+    /// The naive partitioner always produces a balanced cover of all features.
+    #[test]
+    fn naive_partition_is_a_balanced_cover(
+        features in 1usize..200,
+        towers in 1usize..32,
+    ) {
+        prop_assume!(features >= towers);
+        let partition = naive_partition(features, towers).unwrap();
+        prop_assert_eq!(partition.num_features(), features);
+        prop_assert_eq!(partition.num_towers(), towers);
+        // Strided assignment is balanced to within one feature.
+        let sizes: Vec<usize> = partition.groups().iter().map(Vec::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+        // Every feature appears exactly once.
+        for f in 0..features {
+            prop_assert!(partition.tower_of(f).is_some());
+        }
+    }
+
+    /// The learned partitioner respects its capacity constraint and covers every
+    /// feature, whatever the (well-formed) embedding inputs are.
+    #[test]
+    fn learned_partition_respects_capacity(
+        features in 8usize..40,
+        towers in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(features >= towers);
+        let embeddings: Vec<Vec<f32>> = (0..features)
+            .map(|i| (0..8).map(|d| (((i * 31 + d * 17 + seed as usize) % 23) as f32) / 23.0 - 0.5).collect())
+            .collect();
+        let partitioner = TowerPartitioner::new(towers).with_seed(seed);
+        let partition = partitioner.partition_from_embeddings(&embeddings).unwrap();
+        prop_assert_eq!(partition.num_features(), features);
+        let capacity = features.div_ceil(towers);
+        for group in partition.groups() {
+            prop_assert!(group.len() <= capacity, "group {} exceeds capacity {}", group.len(), capacity);
+        }
+    }
+
+    /// AUC is always within [0, 1] and flipping the scores flips the AUC around 0.5.
+    #[test]
+    fn auc_bounds_and_symmetry(
+        scores in proptest::collection::vec(0.0f32..1.0, 10..200),
+        flips in proptest::collection::vec(any::<bool>(), 10..200),
+    ) {
+        let n = scores.len().min(flips.len());
+        let scores = &scores[..n];
+        let labels: Vec<f32> = flips[..n].iter().map(|&b| f32::from(b)).collect();
+        if let Some(auc) = roc_auc(scores, &labels) {
+            prop_assert!((0.0..=1.0).contains(&auc));
+            let inverted: Vec<f32> = scores.iter().map(|s| 1.0 - s).collect();
+            let flipped = roc_auc(&inverted, &labels).unwrap();
+            prop_assert!((auc + flipped - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Quantization byte scaling is monotone in precision and proportional.
+    #[test]
+    fn quantization_scaling_is_proportional(bytes in 1u64..1_000_000_000) {
+        use dmt_commsim::Quantization;
+        let fp32 = Quantization::Fp32.scale_fp32_bytes(bytes);
+        let fp16 = Quantization::Fp16.scale_fp32_bytes(bytes);
+        let fp8 = Quantization::Fp8.scale_fp32_bytes(bytes);
+        prop_assert_eq!(fp32, bytes);
+        prop_assert!(fp16 <= fp32 && fp8 <= fp16);
+        prop_assert_eq!(fp16, bytes / 2);
+        prop_assert_eq!(fp8, bytes / 4);
+    }
+}
