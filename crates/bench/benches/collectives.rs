@@ -11,16 +11,22 @@ fn bench_collectives(c: &mut Criterion) {
         let cluster = ClusterTopology::standard(HardwareGeneration::A100, world).unwrap();
         let model = CostModel::new(cluster.clone());
         let global = ProcessGroup::global(&cluster);
-        group.bench_with_input(BenchmarkId::new("all_to_all_256mb", world), &world, |b, _| {
-            b.iter(|| collectives::all_to_all(&model, &global, 256 * MB))
-        });
-        group.bench_with_input(BenchmarkId::new("all_reduce_64mb", world), &world, |b, _| {
-            b.iter(|| collectives::all_reduce(&model, &global, 64 * MB))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_to_all_256mb", world),
+            &world,
+            |b, _| b.iter(|| collectives::all_to_all(&model, &global, 256 * MB)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("all_reduce_64mb", world),
+            &world,
+            |b, _| b.iter(|| collectives::all_reduce(&model, &global, 64 * MB)),
+        );
         let peers = ProcessGroup::peer_groups(&cluster);
-        group.bench_with_input(BenchmarkId::new("peer_all_to_alls_256mb", world), &world, |b, _| {
-            b.iter(|| collectives::concurrent_peer_all_to_alls(&model, &peers, 256 * MB))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("peer_all_to_alls_256mb", world),
+            &world,
+            |b, _| b.iter(|| collectives::concurrent_peer_all_to_alls(&model, &peers, 256 * MB)),
+        );
     }
     group.finish();
 }

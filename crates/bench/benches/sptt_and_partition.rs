@@ -25,9 +25,15 @@ fn bench_partitioner(c: &mut Criterion) {
     let mut group = c.benchmark_group("tower_partitioner");
     group.sample_size(10);
     let embeddings: Vec<Vec<f32>> = (0..26)
-        .map(|i| (0..32).map(|d| ((i * 13 + d * 7) % 17) as f32 / 17.0 - 0.5).collect())
+        .map(|i| {
+            (0..32)
+                .map(|d| ((i * 13 + d * 7) % 17) as f32 / 17.0 - 0.5)
+                .collect()
+        })
         .collect();
-    group.bench_function("interaction_matrix_26", |b| b.iter(|| interaction_matrix(&embeddings)));
+    group.bench_function("interaction_matrix_26", |b| {
+        b.iter(|| interaction_matrix(&embeddings))
+    });
     let partitioner = TowerPartitioner::new(8);
     group.bench_function("partition_26_features_8_towers", |b| {
         b.iter(|| partitioner.partition_from_embeddings(&embeddings).unwrap())

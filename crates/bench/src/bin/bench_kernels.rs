@@ -1,0 +1,242 @@
+//! Compute-kernel throughput tracker.
+//!
+//! Measures the tensor kernel family (naive vs. blocked-serial vs. parallel GEMM, the
+//! fused linear products, and embedding pooling), prints a table, and writes
+//! `BENCH_kernels.json` (op, shape, ns/iter, GFLOP/s) into the working directory so
+//! the perf trajectory is comparable across PRs.
+//!
+//! Run with `cargo run --release -p dmt-bench --bin bench_kernels` (add `--quick` for
+//! a CI-friendly shorter measurement).
+
+use dmt_nn::EmbeddingTable;
+use dmt_tensor::{kernels, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured kernel configuration.
+#[derive(Debug, Clone, Serialize)]
+struct KernelResult {
+    /// Kernel entry point.
+    op: String,
+    /// Problem shape, `m x k x n` style.
+    shape: String,
+    /// Wall-clock nanoseconds per iteration.
+    ns_per_iter: f64,
+    /// Useful floating-point throughput.
+    gflops: f64,
+    /// Iterations measured.
+    iters: u64,
+}
+
+fn measure(target_ns: f64, flops: f64, mut body: impl FnMut()) -> (f64, f64, u64) {
+    // Warmup + calibration pass.
+    let start = Instant::now();
+    body();
+    let first = (start.elapsed().as_nanos() as f64).max(10.0);
+    let iters = ((target_ns / first) as u64).clamp(1, 1_000_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    (ns, flops / ns, iters)
+}
+
+fn random_vec(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let quick = dmt_bench::quick_mode();
+    let target_ns = if quick { 5.0e7 } else { 4.0e8 };
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut results: Vec<KernelResult> = Vec::new();
+
+    dmt_bench::header("Compute-kernel throughput (see BENCH_kernels.json)");
+    println!(
+        "{:<22} {:>16} {:>14} {:>10}",
+        "op", "shape", "ns/iter", "GFLOP/s"
+    );
+
+    let record = |results: &mut Vec<KernelResult>,
+                  op: &str,
+                  shape: String,
+                  flops: f64,
+                  ns: f64,
+                  gflops: f64,
+                  iters: u64| {
+        println!("{op:<22} {shape:>16} {ns:>14.0} {gflops:>10.2}");
+        let _ = flops;
+        results.push(KernelResult {
+            op: op.to_string(),
+            shape,
+            ns_per_iter: ns,
+            gflops,
+            iters,
+        });
+    };
+
+    // GEMM family: naive reference vs blocked serial vs the parallel dispatcher.
+    let square_sizes: &[usize] = if quick {
+        &[128, 256, 512]
+    } else {
+        &[128, 256, 512, 768]
+    };
+    for &s in square_sizes {
+        let (m, k, n) = (s, s, s);
+        let a = random_vec(&mut rng, m * k);
+        let b = random_vec(&mut rng, k * n);
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let shape = format!("{m}x{k}x{n}");
+
+        let (ns, gf, iters) = measure(target_ns, flops, || {
+            std::hint::black_box(kernels::gemm_naive(&a, &b, m, k, n));
+        });
+        record(
+            &mut results,
+            "gemm_naive",
+            shape.clone(),
+            flops,
+            ns,
+            gf,
+            iters,
+        );
+
+        let mut c = vec![0.0f32; m * n];
+        let (ns, gf, iters) = measure(target_ns, flops, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            kernels::gemm_serial(&a, &b, &mut c, m, k, n);
+            std::hint::black_box(&c);
+        });
+        record(
+            &mut results,
+            "gemm_blocked_serial",
+            shape.clone(),
+            flops,
+            ns,
+            gf,
+            iters,
+        );
+
+        let (ns, gf, iters) = measure(target_ns, flops, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            kernels::gemm(&a, &b, &mut c, m, k, n);
+            std::hint::black_box(&c);
+        });
+        record(
+            &mut results,
+            "gemm_parallel",
+            shape.clone(),
+            flops,
+            ns,
+            gf,
+            iters,
+        );
+    }
+
+    // Skinny shapes exercised by the recommendation layers (tall-thin activations).
+    for &(m, k, n) in &[(2048usize, 512usize, 64usize), (2048, 64, 512)] {
+        let a = random_vec(&mut rng, m * k);
+        let b = random_vec(&mut rng, k * n);
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let shape = format!("{m}x{k}x{n}");
+        let mut c = vec![0.0f32; m * n];
+        let (ns, gf, iters) = measure(target_ns, flops, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            kernels::gemm(&a, &b, &mut c, m, k, n);
+            std::hint::black_box(&c);
+        });
+        record(&mut results, "gemm_parallel", shape, flops, ns, gf, iters);
+    }
+
+    // Fused linear-layer products at a representative layer shape.
+    let (batch, fin, fout) = (512usize, 512usize, 512usize);
+    let x = Tensor::from_vec(vec![batch, fin], random_vec(&mut rng, batch * fin)).unwrap();
+    let w = Tensor::from_vec(vec![fin, fout], random_vec(&mut rng, fin * fout)).unwrap();
+    let bias = Tensor::from_vec(vec![fout], random_vec(&mut rng, fout)).unwrap();
+    let dy = Tensor::from_vec(vec![batch, fout], random_vec(&mut rng, batch * fout)).unwrap();
+    let flops = 2.0 * batch as f64 * fin as f64 * fout as f64;
+    let shape = format!("{batch}x{fin}x{fout}");
+
+    let (ns, gf, iters) = measure(target_ns, flops, || {
+        std::hint::black_box(x.matmul_bias(&w, &bias).unwrap());
+    });
+    record(
+        &mut results,
+        "matmul_bias",
+        shape.clone(),
+        flops,
+        ns,
+        gf,
+        iters,
+    );
+
+    let (ns, gf, iters) = measure(target_ns, flops, || {
+        std::hint::black_box(x.matmul_at_b(&dy).unwrap());
+    });
+    record(
+        &mut results,
+        "matmul_at_b",
+        shape.clone(),
+        flops,
+        ns,
+        gf,
+        iters,
+    );
+
+    let (ns, gf, iters) = measure(target_ns, flops, || {
+        std::hint::black_box(dy.matmul_a_bt(&w).unwrap());
+    });
+    record(
+        &mut results,
+        "matmul_a_bt",
+        shape.clone(),
+        flops,
+        ns,
+        gf,
+        iters,
+    );
+
+    // Embedding pooling: [rows, dim] table, `pooling` lookups per sample.
+    let (rows, dim, pool, ebatch) = (100_000usize, 64usize, 16usize, 2048usize);
+    let mut table = EmbeddingTable::new(&mut rng, rows, dim);
+    let bags: Vec<Vec<usize>> = (0..ebatch)
+        .map(|_| (0..pool).map(|_| rng.gen_range(0..rows)).collect())
+        .collect();
+    // Pooling is additions only: batch * pooling * dim adds.
+    let flops = (ebatch * pool * dim) as f64;
+    let (ns, gf, iters) = measure(target_ns, flops, || {
+        std::hint::black_box(table.forward(&bags).unwrap());
+    });
+    record(
+        &mut results,
+        "embedding_pool",
+        format!("{ebatch}x{pool}x{dim}"),
+        flops,
+        ns,
+        gf,
+        iters,
+    );
+
+    // Speedup summary for the acceptance gate: blocked/parallel vs naive at 512^3.
+    let naive = results
+        .iter()
+        .find(|r| r.op == "gemm_naive" && r.shape == "512x512x512")
+        .expect("naive 512 measured");
+    let parallel = results
+        .iter()
+        .find(|r| r.op == "gemm_parallel" && r.shape == "512x512x512")
+        .expect("parallel 512 measured");
+    println!(
+        "\n512^3 speedup vs naive: {:.2}x ({} threads available)",
+        naive.ns_per_iter / parallel.ns_per_iter,
+        rayon::current_num_threads()
+    );
+
+    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("[results written to BENCH_kernels.json]");
+}

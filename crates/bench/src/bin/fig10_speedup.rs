@@ -21,14 +21,18 @@ fn main() {
     let mut rows = Vec::new();
     for model in [PaperScaleSpec::dlrm(), PaperScaleSpec::dcn()] {
         println!("\n=== DMT-{} over {} ===", model.name, model.name);
-        println!("{:<6} {:>6} {:>14} {:>12} {:>9}", "HW", "GPUs", "baseline (ms)", "DMT (ms)", "speedup");
+        println!(
+            "{:<6} {:>6} {:>14} {:>12} {:>9}",
+            "HW", "GPUs", "baseline (ms)", "DMT (ms)", "speedup"
+        );
         for hardware in HardwareGeneration::ALL {
             for gpus in [16usize, 32, 64, 128, 256, 512] {
                 // The paper's V100 cluster tops out at 16 hosts (128 GPUs).
                 if hardware == HardwareGeneration::V100 && gpus > 128 {
                     continue;
                 }
-                let cfg = SimulationConfig::new(hardware, gpus, model.clone()).expect("valid world");
+                let cfg =
+                    SimulationConfig::new(hardware, gpus, model.clone()).expect("valid world");
                 let baseline = cfg.simulate_baseline_iteration().breakdown();
                 let dmt = cfg
                     .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))

@@ -17,16 +17,24 @@ struct Row {
 
 fn main() {
     header("Figure 11: speedup of tower modules over SPTT-only (DLRM)");
-    println!("{:<6} {:>6} {:>12} {:>12} {:>9}", "HW", "GPUs", "SPTT (ms)", "SPTT+TM (ms)", "speedup");
+    println!(
+        "{:<6} {:>6} {:>12} {:>12} {:>9}",
+        "HW", "GPUs", "SPTT (ms)", "SPTT+TM (ms)", "speedup"
+    );
     let mut rows = Vec::new();
     for hardware in HardwareGeneration::ALL {
         for gpus in [16usize, 32, 64, 128, 256, 512] {
             if hardware == HardwareGeneration::V100 && gpus > 128 {
                 continue;
             }
-            let cfg = SimulationConfig::new(hardware, gpus, PaperScaleSpec::dlrm()).expect("valid world");
-            let sptt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg)).breakdown();
-            let tm = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+            let cfg =
+                SimulationConfig::new(hardware, gpus, PaperScaleSpec::dlrm()).expect("valid world");
+            let sptt = cfg
+                .simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg))
+                .breakdown();
+            let tm = cfg
+                .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))
+                .breakdown();
             let speedup = tm.speedup_over(&sptt);
             println!(
                 "{:<6} {:>6} {:>12.2} {:>12.2} {:>8.2}x",

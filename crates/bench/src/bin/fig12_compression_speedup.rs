@@ -19,14 +19,22 @@ fn main() {
     let mut rows = Vec::new();
     for hardware in HardwareGeneration::ALL {
         let cfg = SimulationConfig::new(hardware, 64, PaperScaleSpec::dlrm()).expect("valid world");
-        let sptt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg)).breakdown();
+        let sptt = cfg
+            .simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg))
+            .breakdown();
         for cr in [2.0f64, 4.0, 8.0, 16.0] {
             let dmt = cfg
-                .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg).with_compression_ratio(cr))
+                .simulate_dmt_iteration(
+                    &DmtThroughputConfig::paper_default(&cfg).with_compression_ratio(cr),
+                )
                 .breakdown();
             let speedup = dmt.speedup_over(&sptt);
             println!("{:<6} {:>6.0} {:>19.2}x", hardware.to_string(), cr, speedup);
-            rows.push(Row { hardware: hardware.to_string(), compression_ratio: cr, speedup_over_sptt: speedup });
+            rows.push(Row {
+                hardware: hardware.to_string(),
+                compression_ratio: cr,
+                speedup_over_sptt: speedup,
+            });
         }
     }
     println!("\npaper reports up to 2.0x (V100) with CR=16, with diminishing AUC (see Table 5)");

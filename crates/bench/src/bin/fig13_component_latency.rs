@@ -18,9 +18,12 @@ struct Row {
 
 fn main() {
     header("Figure 13: iteration latency breakdown, DCN vs DMT-DCN, 64 H100 GPUs");
-    let cfg = SimulationConfig::new(HardwareGeneration::H100, 64, PaperScaleSpec::dcn()).expect("valid world");
+    let cfg = SimulationConfig::new(HardwareGeneration::H100, 64, PaperScaleSpec::dcn())
+        .expect("valid world");
     let baseline = cfg.simulate_baseline_iteration().breakdown();
-    let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+    let dmt = cfg
+        .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))
+        .breakdown();
 
     let row = |name: &str, b: &dmt_commsim::LatencyBreakdown| Row {
         model: name.to_string(),
@@ -31,7 +34,10 @@ fn main() {
         total_ms: b.total_s() * 1e3,
     };
     let rows = vec![row("DCN", &baseline), row("DMT-DCN", &dmt)];
-    println!("{:<10} {:>10} {:>16} {:>12} {:>8} {:>8}", "model", "compute", "emb comm", "dense sync", "other", "total");
+    println!(
+        "{:<10} {:>10} {:>16} {:>12} {:>8} {:>8}",
+        "model", "compute", "emb comm", "dense sync", "other", "total"
+    );
     for r in &rows {
         println!(
             "{:<10} {:>10.1} {:>16.1} {:>12.1} {:>8.1} {:>8.1}",

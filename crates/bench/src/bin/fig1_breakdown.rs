@@ -11,16 +11,36 @@ fn main() {
         .expect("64 is a valid world size");
     let breakdown = cfg.simulate_baseline_iteration().breakdown();
     let fractions = breakdown.fractions();
-    println!("total iteration latency: {:.2} ms", breakdown.total_s() * 1e3);
+    println!(
+        "total iteration latency: {:.2} ms",
+        breakdown.total_s() * 1e3
+    );
     println!("{:<38} {:>10} {:>10}", "component", "ms", "% of iter");
     let rows = [
         ("Compute", breakdown.compute_s, fractions[0]),
-        ("Exposed Embedding Communication", breakdown.embedding_comm_s, fractions[1]),
-        ("Exposed Dense Synchronization", breakdown.dense_sync_s, fractions[2]),
-        ("Others", breakdown.shuffle_s + breakdown.other_s, fractions[3] + fractions[4]),
+        (
+            "Exposed Embedding Communication",
+            breakdown.embedding_comm_s,
+            fractions[1],
+        ),
+        (
+            "Exposed Dense Synchronization",
+            breakdown.dense_sync_s,
+            fractions[2],
+        ),
+        (
+            "Others",
+            breakdown.shuffle_s + breakdown.other_s,
+            fractions[3] + fractions[4],
+        ),
     ];
     for (name, seconds, fraction) in rows {
-        println!("{:<38} {:>10.2} {:>9.1}%", name, seconds * 1e3, fraction * 100.0);
+        println!(
+            "{:<38} {:>10.2} {:>9.1}%",
+            name,
+            seconds * 1e3,
+            fraction * 100.0
+        );
     }
     println!("\npaper reports: Compute 70.4%, Exposed Embedding Communication 27.5%, Exposed Dense Sync 2.1%");
     write_json("fig1_breakdown", &breakdown);

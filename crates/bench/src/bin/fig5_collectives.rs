@@ -15,16 +15,24 @@ struct Row {
 fn main() {
     header("Figure 5: NCCL collective bus bandwidth vs scale (A100, 8 GPUs/host)");
     const MB: u64 = 1024 * 1024;
-    println!("{:>6} {:>22} {:>22}", "GPUs", "AllReduce @64MB (GB/s)", "AlltoAll @256MB (GB/s)");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "GPUs", "AllReduce @64MB (GB/s)", "AlltoAll @256MB (GB/s)"
+    );
     let mut rows = Vec::new();
     for gpus in [8usize, 16, 32, 64, 128, 256, 512] {
-        let cluster = ClusterTopology::standard(HardwareGeneration::A100, gpus).expect("multiple of 8");
+        let cluster =
+            ClusterTopology::standard(HardwareGeneration::A100, gpus).expect("multiple of 8");
         let model = CostModel::new(cluster.clone());
         let group = ProcessGroup::global(&cluster);
         let allreduce = collectives::all_reduce(&model, &group, 64 * MB).bus_bandwidth_gbs();
         let alltoall = collectives::all_to_all(&model, &group, 256 * MB).bus_bandwidth_gbs();
         println!("{gpus:>6} {allreduce:>22.1} {alltoall:>22.1}");
-        rows.push(Row { gpus, allreduce_64mb_gbs: allreduce, alltoall_256mb_gbs: alltoall });
+        rows.push(Row {
+            gpus,
+            allreduce_64mb_gbs: allreduce,
+            alltoall_256mb_gbs: alltoall,
+        });
     }
     println!("\npaper reports (A100): AllReduce 163/134/111/91/81/74/65, AlltoAll 155/38/24/16/16/15/13 GB/s");
     write_json("fig5_collectives", &rows);

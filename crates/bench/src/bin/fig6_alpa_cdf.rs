@@ -12,20 +12,42 @@ fn main() {
     let cfg = SimulationConfig::new(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm())
         .expect("64 is a valid world size");
     let mut configs = enumerate_parallelism_configs(&cfg);
-    configs.sort_by(|a, b| a.iteration_latency_s.partial_cmp(&b.iteration_latency_s).unwrap());
+    configs.sort_by(|a, b| {
+        a.iteration_latency_s
+            .partial_cmp(&b.iteration_latency_s)
+            .unwrap()
+    });
 
-    println!("{:<20} {:>8} {:>14}", "parallelism", "degree", "latency (ms)");
+    println!(
+        "{:<20} {:>8} {:>14}",
+        "parallelism", "degree", "latency (ms)"
+    );
     for c in &configs {
-        println!("{:<20} {:>8} {:>14.2}", format!("{:?}", c.kind), c.degree, c.iteration_latency_s * 1e3);
+        println!(
+            "{:<20} {:>8} {:>14.2}",
+            format!("{:?}", c.kind),
+            c.degree,
+            c.iteration_latency_s * 1e3
+        );
     }
-    let latencies: Vec<f64> = configs.iter().map(|c| c.iteration_latency_s * 1e3).collect();
+    let latencies: Vec<f64> = configs
+        .iter()
+        .map(|c| c.iteration_latency_s * 1e3)
+        .collect();
     let cdf = empirical_cdf(&latencies);
     println!("\nCDF points (latency ms, cumulative probability):");
     for (value, probability) in &cdf {
         println!("  {value:>10.2} ms -> {probability:.2}");
     }
     let best = &configs[0];
-    assert_eq!(best.kind, ParallelismKind::Data, "data parallelism should win, as in the paper");
-    println!("\nfastest configuration: {:?} (paper: data parallelism stands out alone as the fastest)", best.kind);
+    assert_eq!(
+        best.kind,
+        ParallelismKind::Data,
+        "data parallelism should win, as in the paper"
+    );
+    println!(
+        "\nfastest configuration: {:?} (paper: data parallelism stands out alone as the fastest)",
+        best.kind
+    );
     write_json("fig6_alpa_cdf", &configs);
 }

@@ -2,9 +2,9 @@
 
 use dmt_bench::{header, write_json};
 use dmt_core::partition::{interaction_matrix, PartitionStrategy, TowerPartitioner};
+use dmt_data::SyntheticClickDataset;
 use dmt_data::{DatasetSchema, FeatureBlock};
 use dmt_models::{ModelArch, ModelHyperparams, RecommendationModel};
-use dmt_data::SyntheticClickDataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -22,8 +22,13 @@ fn main() {
     let schema = DatasetSchema::criteo_like_small();
     // Probe: briefly train a baseline DLRM so embeddings carry affinity signal.
     let mut rng = StdRng::seed_from_u64(9);
-    let mut model = RecommendationModel::baseline(&mut rng, &schema, ModelArch::Dlrm, &ModelHyperparams::tiny())
-        .expect("model builds");
+    let mut model = RecommendationModel::baseline(
+        &mut rng,
+        &schema,
+        ModelArch::Dlrm,
+        &ModelHyperparams::tiny(),
+    )
+    .expect("model builds");
     let mut data = SyntheticClickDataset::new(schema.clone(), 99);
     for _ in 0..40 {
         let batch = data.next_batch(256);
@@ -33,23 +38,40 @@ fn main() {
     let similarity = interaction_matrix(&probe);
 
     let partitioner = TowerPartitioner::new(8).with_strategy(PartitionStrategy::Coherent);
-    let distance: Vec<Vec<f64>> = similarity.iter().map(|r| r.iter().map(|&x| 1.0 - x).collect()).collect();
+    let distance: Vec<Vec<f64>> = similarity
+        .iter()
+        .map(|r| r.iter().map(|&x| 1.0 - x).collect())
+        .collect();
     let coordinates = partitioner.embed(&distance);
-    let partition = partitioner.partition_from_interactions(&similarity).expect("partition");
+    let partition = partitioner
+        .partition_from_interactions(&similarity)
+        .expect("partition");
 
-    println!("similarity matrix ({} x {}), row = feature id, value in [0, 1]:", similarity.len(), similarity.len());
+    println!(
+        "similarity matrix ({} x {}), row = feature id, value in [0, 1]:",
+        similarity.len(),
+        similarity.len()
+    );
     for row in &similarity {
         let line: String = row.iter().map(|v| format!("{:4.2} ", v)).collect();
         println!("  {line}");
     }
     println!("\nlearned 2-D embedding and tower assignment:");
-    println!("{:>7} {:>8} {:>9} {:>9} {:>6}", "feature", "block", "x", "y", "tower");
+    println!(
+        "{:>7} {:>8} {:>9} {:>9} {:>6}",
+        "feature", "block", "x", "y", "tower"
+    );
     let mut assignment = Vec::new();
     let mut blocks = Vec::new();
     for (f, coord) in coordinates.iter().enumerate() {
         let tower = partition.tower_of(f);
         let block = format!("{:?}", schema.blocks[f]);
-        println!("{f:>7} {block:>8} {:>9.3} {:>9.3} {:>6}", coord[0], coord[1], tower.map_or(-1i64, |t| t as i64));
+        println!(
+            "{f:>7} {block:>8} {:>9.3} {:>9.3} {:>6}",
+            coord[0],
+            coord[1],
+            tower.map_or(-1i64, |t| t as i64)
+        );
         assignment.push(tower);
         blocks.push(block);
     }
@@ -57,5 +79,13 @@ fn main() {
     let user = schema.features_in_block(FeatureBlock::User);
     let item = schema.features_in_block(FeatureBlock::Item);
     println!("\nuser features: {user:?}\nitem features: {item:?}");
-    write_json("fig9_tp_embedding", &Output { similarity, coordinates, assignment, blocks });
+    write_json(
+        "fig9_tp_embedding",
+        &Output {
+            similarity,
+            coordinates,
+            assignment,
+            blocks,
+        },
+    );
 }

@@ -5,7 +5,10 @@ use dmt_topology::HardwareGeneration;
 
 fn main() {
     header("Table 1: peak FP performance vs scale-out / scale-up bandwidth per GPU");
-    println!("{:<8} {:>6} {:>14} {:>16} {:>18}", "System", "Year", "Peak (TF/s)", "Scale-out (Gbps)", "Scale-up (GB/s)");
+    println!(
+        "{:<8} {:>6} {:>14} {:>16} {:>18}",
+        "System", "Year", "Peak (TF/s)", "Scale-out (Gbps)", "Scale-up (GB/s)"
+    );
     let mut rows = Vec::new();
     for generation in HardwareGeneration::ALL {
         let spec = generation.spec();

@@ -24,14 +24,25 @@ fn main() {
         // more steps, mirroring the paper's distinction in spirit.
         let configs = [
             (format!("Baseline ({})", arch.name().to_uppercase()), {
-                let mut c = if quick { QualityConfig::quick(arch) } else { QualityConfig::full(arch) };
+                let mut c = if quick {
+                    QualityConfig::quick(arch)
+                } else {
+                    QualityConfig::full(arch)
+                };
                 c.batch_size = 64;
-                c.train_steps = c.train_steps / 2;
+                c.train_steps /= 2;
                 c
             }),
-            (format!("Strong Baseline ({})", arch.name().to_uppercase()), {
-                if quick { QualityConfig::quick(arch) } else { QualityConfig::full(arch) }
-            }),
+            (
+                format!("Strong Baseline ({})", arch.name().to_uppercase()),
+                {
+                    if quick {
+                        QualityConfig::quick(arch)
+                    } else {
+                        QualityConfig::full(arch)
+                    }
+                },
+            ),
         ];
         for (name, cfg) in configs {
             let start = Instant::now();
@@ -50,7 +61,9 @@ fn main() {
             });
         }
     }
-    println!("\npaper reports (Criteo): Strong Baseline DLRM AUC 0.8047 @29min, DCN 0.8002 @27min;");
+    println!(
+        "\npaper reports (Criteo): Strong Baseline DLRM AUC 0.8047 @29min, DCN 0.8002 @27min;"
+    );
     println!("absolute values differ on the synthetic dataset — the ordering (strong > weak, faster) is the reproduced claim");
     write_json("table2_strong_baseline", &rows);
 }

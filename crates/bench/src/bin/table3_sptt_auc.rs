@@ -19,10 +19,18 @@ struct Row {
 fn main() {
     header("Table 3: semantic-preserving tower transform achieves neutral AUC");
     let quick = quick_mode();
-    let seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=9).collect() };
+    let seeds: Vec<u64> = if quick {
+        (1..=3).collect()
+    } else {
+        (1..=9).collect()
+    };
     let mut rows = Vec::new();
     for arch in [ModelArch::Dlrm, ModelArch::Dcn] {
-        let cfg = if quick { QualityConfig::quick(arch) } else { QualityConfig::full(arch) };
+        let cfg = if quick {
+            QualityConfig::quick(arch)
+        } else {
+            QualityConfig::full(arch)
+        };
         // Baseline.
         let mut base_aucs = Vec::new();
         let mut base_result = None;
@@ -40,7 +48,9 @@ fn main() {
         let mut sptt_result = None;
         for &seed in &seeds {
             let partition = cfg.build_partition(towers, false, seed).expect("partition");
-            let r = cfg.run_dmt(seed, partition, &sptt_config).expect("sptt run succeeds");
+            let r = cfg
+                .run_dmt(seed, partition, &sptt_config)
+                .expect("sptt run succeeds");
             sptt_aucs.push(r.auc);
             sptt_result = Some(r);
         }
@@ -49,7 +59,11 @@ fn main() {
 
         for (name, summary, result) in [
             (arch.name().to_uppercase(), base_summary, base),
-            (format!("SPTT-{}", arch.name().to_uppercase()), sptt_summary, sptt),
+            (
+                format!("SPTT-{}", arch.name().to_uppercase()),
+                sptt_summary,
+                sptt,
+            ),
         ] {
             println!(
                 "{:<12} AUC {:.4} ({:.4})  {:>8.2} MFlops/sample  {:>12} params",

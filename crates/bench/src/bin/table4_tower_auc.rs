@@ -20,12 +20,20 @@ struct Row {
 fn main() {
     header("Table 4: median AUC of DMT nT variants vs the strong baseline");
     let quick = quick_mode();
-    let seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=9).collect() };
+    let seeds: Vec<u64> = if quick {
+        (1..=3).collect()
+    } else {
+        (1..=9).collect()
+    };
     let tower_counts: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 13] };
     let mut rows = Vec::new();
 
     for arch in [ModelArch::Dlrm, ModelArch::Dcn] {
-        let cfg = if quick { QualityConfig::quick(arch) } else { QualityConfig::full(arch) };
+        let cfg = if quick {
+            QualityConfig::quick(arch)
+        } else {
+            QualityConfig::full(arch)
+        };
         // Strong baseline row.
         let mut aucs = Vec::new();
         let mut last = None;
@@ -39,7 +47,10 @@ fn main() {
         println!(
             "{:<28} AUC {:.4} ({:.4})  {:>7.2} MFlops  {:>12} params",
             format!("{} Strong Baseline", arch.name().to_uppercase()),
-            summary.median, summary.std_dev, base.mflops_per_sample, base.parameters
+            summary.median,
+            summary.std_dev,
+            base.mflops_per_sample,
+            base.parameters
         );
         rows.push(Row {
             model: format!("{} Strong Baseline", arch.name().to_uppercase()),

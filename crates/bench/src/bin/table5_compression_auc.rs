@@ -19,8 +19,16 @@ struct Row {
 fn main() {
     header("Table 5: median AUC vs tower compression ratio (DMT 8T-DLRM)");
     let quick = quick_mode();
-    let seeds: Vec<u64> = if quick { (1..=3).collect() } else { (1..=9).collect() };
-    let cfg = if quick { QualityConfig::quick(ModelArch::Dlrm) } else { QualityConfig::full(ModelArch::Dlrm) };
+    let seeds: Vec<u64> = if quick {
+        (1..=3).collect()
+    } else {
+        (1..=9).collect()
+    };
+    let cfg = if quick {
+        QualityConfig::quick(ModelArch::Dlrm)
+    } else {
+        QualityConfig::full(ModelArch::Dlrm)
+    };
     let towers = 8;
     let n = cfg.hyper.embedding_dim;
     let mut rows = Vec::new();

@@ -20,13 +20,21 @@ struct Row {
 fn main() {
     header("Table 6: Tower Partitioner vs naive feature-to-tower assignment");
     let quick = quick_mode();
-    let seeds: Vec<u64> = if quick { (1..=4).collect() } else { (1..=9).collect() };
+    let seeds: Vec<u64> = if quick {
+        (1..=4).collect()
+    } else {
+        (1..=9).collect()
+    };
     let mut rows = Vec::new();
     for (arch, towers, kind) in [
         (ModelArch::Dlrm, 8usize, TowerModuleKind::DlrmLinear),
         (ModelArch::Dcn, 4usize, TowerModuleKind::DcnCross),
     ] {
-        let cfg = if quick { QualityConfig::quick(arch) } else { QualityConfig::full(arch) };
+        let cfg = if quick {
+            QualityConfig::quick(arch)
+        } else {
+            QualityConfig::full(arch)
+        };
         let dmt_cfg = DmtConfig::builder(towers)
             .tower_module(kind)
             .tower_output_dim(cfg.hyper.embedding_dim / 2)
@@ -37,10 +45,22 @@ fn main() {
         let mut tp_aucs = Vec::new();
         let mut naive_aucs = Vec::new();
         for &seed in &seeds {
-            let tp_partition = cfg.build_partition(towers, true, seed).expect("learned partition");
-            tp_aucs.push(cfg.run_dmt(seed, tp_partition, &dmt_cfg).expect("tp run").auc);
-            let naive_partition = cfg.build_partition(towers, false, seed).expect("naive partition");
-            naive_aucs.push(cfg.run_dmt(seed, naive_partition, &dmt_cfg).expect("naive run").auc);
+            let tp_partition = cfg
+                .build_partition(towers, true, seed)
+                .expect("learned partition");
+            tp_aucs.push(
+                cfg.run_dmt(seed, tp_partition, &dmt_cfg)
+                    .expect("tp run")
+                    .auc,
+            );
+            let naive_partition = cfg
+                .build_partition(towers, false, seed)
+                .expect("naive partition");
+            naive_aucs.push(
+                cfg.run_dmt(seed, naive_partition, &dmt_cfg)
+                    .expect("naive run")
+                    .auc,
+            );
         }
         let tp = Summary::of(&tp_aucs).expect("non-empty");
         let naive = Summary::of(&naive_aucs).expect("non-empty");

@@ -15,7 +15,8 @@ struct Row {
 
 fn main() {
     header("Section 6: quantized XLRM vs quantized DMT-XLRM, 1024 H100 GPUs");
-    let base = SimulationConfig::new(HardwareGeneration::H100, 1024, PaperScaleSpec::xlrm()).expect("valid world");
+    let base = SimulationConfig::new(HardwareGeneration::H100, 1024, PaperScaleSpec::xlrm())
+        .expect("valid world");
     let fp8_baseline = base.clone().with_quantization(Quantization::Fp8);
     let fp8_dmt = fp8_baseline.clone();
 
@@ -24,8 +25,14 @@ fn main() {
         .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&fp8_dmt))
         .breakdown();
     let rows = vec![
-        Row { config: "FP8-quantized XLRM (baseline)".into(), iteration_ms: baseline.total_s() * 1e3 },
-        Row { config: "FP8-quantized DMT-XLRM".into(), iteration_ms: dmt.total_s() * 1e3 },
+        Row {
+            config: "FP8-quantized XLRM (baseline)".into(),
+            iteration_ms: baseline.total_s() * 1e3,
+        },
+        Row {
+            config: "FP8-quantized DMT-XLRM".into(),
+            iteration_ms: dmt.total_s() * 1e3,
+        },
     ];
     for r in &rows {
         println!("{:<34} {:>10.2} ms/iteration", r.config, r.iteration_ms);

@@ -61,9 +61,9 @@ impl CollectiveEstimate {
         let w = self.world_size as f64;
         let factor = match self.kind {
             CollectiveKind::AllReduce => 2.0 * (w - 1.0) / w,
-            CollectiveKind::AllToAll | CollectiveKind::ReduceScatter | CollectiveKind::AllGather => {
-                (w - 1.0) / w
-            }
+            CollectiveKind::AllToAll
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllGather => (w - 1.0) / w,
             CollectiveKind::Broadcast => 1.0,
         };
         s * factor / self.time_s / 1e9
@@ -93,7 +93,11 @@ fn degenerate(kind: CollectiveKind, bytes_per_rank: u64) -> CollectiveEstimate {
 /// The time is the maximum of the cross-host and intra-host phases (they proceed in
 /// parallel over different links) plus launch overhead and wire latency.
 #[must_use]
-pub fn all_to_all(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) -> CollectiveEstimate {
+pub fn all_to_all(
+    model: &CostModel,
+    group: &ProcessGroup,
+    bytes_per_rank: u64,
+) -> CollectiveEstimate {
     let w = group.world_size();
     if w <= 1 {
         return degenerate(CollectiveKind::AllToAll, bytes_per_rank);
@@ -111,7 +115,10 @@ pub fn all_to_all(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) 
         0.0
     };
     let intra_time = if intra_peers > 0.0 {
-        intra_bytes / model.intra_host_bandwidth() + model.cluster().link_latency(dmt_topology::LinkKind::IntraHost)
+        intra_bytes / model.intra_host_bandwidth()
+            + model
+                .cluster()
+                .link_latency(dmt_topology::LinkKind::IntraHost)
     } else {
         0.0
     };
@@ -131,7 +138,11 @@ pub fn all_to_all(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) 
 /// intra-host all-gather. Falls back to a single NVLink ring when the group fits in a
 /// host.
 #[must_use]
-pub fn all_reduce(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) -> CollectiveEstimate {
+pub fn all_reduce(
+    model: &CostModel,
+    group: &ProcessGroup,
+    bytes_per_rank: u64,
+) -> CollectiveEstimate {
     let w = group.world_size();
     if w <= 1 {
         return degenerate(CollectiveKind::AllReduce, bytes_per_rank);
@@ -157,7 +168,11 @@ pub fn all_reduce(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) 
     // Stage 1 + 3: intra-host reduce-scatter and all-gather, each S*(R-1)/R per rank.
     let intra_stage = s * (ranks_per_host as f64 - 1.0) / ranks_per_host as f64;
     let intra_bytes = 2.0 * intra_stage;
-    let intra_time = if ranks_per_host > 1 { intra_bytes / model.intra_host_bandwidth() } else { 0.0 };
+    let intra_time = if ranks_per_host > 1 {
+        intra_bytes / model.intra_host_bandwidth()
+    } else {
+        0.0
+    };
 
     // Stage 2: cross-host ring all-reduce of the S/R shard, 2*(S/R)*(H-1)/H per rank.
     let shard = s / ranks_per_host as f64;
@@ -179,17 +194,31 @@ pub fn all_reduce(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) 
 /// Simulates a ReduceScatter of `bytes_per_rank` bytes over `group` (each rank ends
 /// with a reduced `1/W` shard).
 #[must_use]
-pub fn reduce_scatter(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) -> CollectiveEstimate {
+pub fn reduce_scatter(
+    model: &CostModel,
+    group: &ProcessGroup,
+    bytes_per_rank: u64,
+) -> CollectiveEstimate {
     let est = scatter_like(model, group, bytes_per_rank, true);
-    CollectiveEstimate { kind: CollectiveKind::ReduceScatter, ..est }
+    CollectiveEstimate {
+        kind: CollectiveKind::ReduceScatter,
+        ..est
+    }
 }
 
 /// Simulates an AllGather where each rank contributes `bytes_per_rank / W` bytes and
 /// ends with the full `bytes_per_rank` buffer.
 #[must_use]
-pub fn all_gather(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) -> CollectiveEstimate {
+pub fn all_gather(
+    model: &CostModel,
+    group: &ProcessGroup,
+    bytes_per_rank: u64,
+) -> CollectiveEstimate {
     let est = scatter_like(model, group, bytes_per_rank, false);
-    CollectiveEstimate { kind: CollectiveKind::AllGather, ..est }
+    CollectiveEstimate {
+        kind: CollectiveKind::AllGather,
+        ..est
+    }
 }
 
 /// Shared ring formula for ReduceScatter / AllGather: `S * (W-1)/W` bytes per rank,
@@ -238,7 +267,11 @@ fn scatter_like(
 /// Simulates a Broadcast of `bytes_per_rank` bytes from one rank to every member of
 /// `group` using a bandwidth-optimal pipelined chain.
 #[must_use]
-pub fn broadcast(model: &CostModel, group: &ProcessGroup, bytes_per_rank: u64) -> CollectiveEstimate {
+pub fn broadcast(
+    model: &CostModel,
+    group: &ProcessGroup,
+    bytes_per_rank: u64,
+) -> CollectiveEstimate {
     let w = group.world_size();
     if w <= 1 {
         return degenerate(CollectiveKind::Broadcast, bytes_per_rank);
@@ -272,7 +305,10 @@ pub fn concurrent_peer_all_to_alls(
     peer_groups: &[ProcessGroup],
     bytes_per_rank: u64,
 ) -> CollectiveEstimate {
-    assert!(!peer_groups.is_empty(), "at least one peer group is required");
+    assert!(
+        !peer_groups.is_empty(),
+        "at least one peer group is required"
+    );
     // Symmetric groups: estimate the first and reuse.
     all_to_all(model, &peer_groups[0], bytes_per_rank)
 }
@@ -305,7 +341,10 @@ mod tests {
             let est = all_to_all(&model, &group, 256 * MB);
             let bw = est.bus_bandwidth_gbs();
             assert!(bw < prev + 1e-9, "bus bandwidth must degrade with scale");
-            assert!(bw > lo && bw < hi, "world {world}: {bw} GB/s outside [{lo},{hi}]");
+            assert!(
+                bw > lo && bw < hi,
+                "world {world}: {bw} GB/s outside [{lo},{hi}]"
+            );
             prev = bw;
         }
     }
@@ -323,7 +362,10 @@ mod tests {
             let est = all_reduce(&model, &group, 64 * MB);
             let bw = est.bus_bandwidth_gbs();
             assert!(bw < prev + 1e-9);
-            assert!(bw > lo && bw < hi, "world {world}: {bw} GB/s outside [{lo},{hi}]");
+            assert!(
+                bw > lo && bw < hi,
+                "world {world}: {bw} GB/s outside [{lo},{hi}]"
+            );
             prev = bw;
         }
     }

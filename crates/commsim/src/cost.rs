@@ -55,7 +55,11 @@ impl CostModel {
     /// Creates a cost model with the default (paper-calibrated) constants.
     #[must_use]
     pub fn new(cluster: ClusterTopology) -> Self {
-        Self { cluster, cross_host_scale: 1.0, overhead_scale: 1.0 }
+        Self {
+            cluster,
+            cross_host_scale: 1.0,
+            overhead_scale: 1.0,
+        }
     }
 
     /// Scales all cross-host bandwidth by `scale` (e.g. `0.5` for a 2:1
@@ -162,7 +166,11 @@ impl CostModel {
     /// The number of distinct hosts spanned by `group`.
     #[must_use]
     pub fn hosts_spanned(&self, group: &ProcessGroup) -> usize {
-        let mut hosts: Vec<usize> = group.ranks().iter().map(|r| self.cluster.host_of(*r)).collect();
+        let mut hosts: Vec<usize> = group
+            .ranks()
+            .iter()
+            .map(|r| self.cluster.host_of(*r))
+            .collect();
         hosts.sort_unstable();
         hosts.dedup();
         hosts.len()

@@ -43,7 +43,12 @@ pub struct Segment {
 impl Segment {
     /// Creates a segment. The exposed fraction is clamped to `[0, 1]`.
     #[must_use]
-    pub fn new(kind: SegmentKind, label: impl Into<String>, time_s: f64, exposed_fraction: f64) -> Self {
+    pub fn new(
+        kind: SegmentKind,
+        label: impl Into<String>,
+        time_s: f64,
+        exposed_fraction: f64,
+    ) -> Self {
         Self {
             kind,
             label: label.into(),
@@ -185,7 +190,9 @@ impl IterationTimeline {
 
 impl FromIterator<Segment> for IterationTimeline {
     fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> Self {
-        Self { segments: iter.into_iter().collect() }
+        Self {
+            segments: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -202,7 +209,12 @@ mod tests {
     fn example() -> IterationTimeline {
         let mut t = IterationTimeline::new();
         t.push(Segment::compute("dense fwd/bwd", 20e-3))
-            .push(Segment::new(SegmentKind::EmbeddingComm, "fwd a2a", 10e-3, 0.8))
+            .push(Segment::new(
+                SegmentKind::EmbeddingComm,
+                "fwd a2a",
+                10e-3,
+                0.8,
+            ))
             .push(Segment::new(SegmentKind::DenseSync, "allreduce", 5e-3, 0.2))
             .push(Segment::new(SegmentKind::Other, "optimizer", 1e-3, 1.0));
         t
@@ -246,7 +258,12 @@ mod tests {
     fn speedup_compares_totals() {
         let fast = example().breakdown();
         let mut slow_timeline = example();
-        slow_timeline.push(Segment::new(SegmentKind::EmbeddingComm, "extra", 30e-3, 1.0));
+        slow_timeline.push(Segment::new(
+            SegmentKind::EmbeddingComm,
+            "extra",
+            30e-3,
+            1.0,
+        ));
         let slow = slow_timeline.breakdown();
         assert!(fast.speedup_over(&slow) > 1.5);
         assert!(slow.speedup_over(&fast) < 1.0);

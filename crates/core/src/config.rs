@@ -149,12 +149,19 @@ impl DmtConfigBuilder {
     /// dimension is zero, or the DLRM ensemble has `c = p = 0`.
     pub fn build(self) -> Result<DmtConfig, DmtError> {
         if self.num_towers == 0 {
-            return Err(DmtError::InvalidConfig { reason: "num_towers must be positive".into() });
+            return Err(DmtError::InvalidConfig {
+                reason: "num_towers must be positive".into(),
+            });
         }
         if self.tower_output_dim == 0 {
-            return Err(DmtError::InvalidConfig { reason: "tower_output_dim must be positive".into() });
+            return Err(DmtError::InvalidConfig {
+                reason: "tower_output_dim must be positive".into(),
+            });
         }
-        if self.tower_module == TowerModuleKind::DlrmLinear && self.ensemble_c == 0 && self.ensemble_p == 0 {
+        if self.tower_module == TowerModuleKind::DlrmLinear
+            && self.ensemble_c == 0
+            && self.ensemble_p == 0
+        {
             return Err(DmtError::InvalidConfig {
                 reason: "DLRM tower module needs c > 0 or p > 0".into(),
             });

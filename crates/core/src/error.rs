@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DmtError::InvalidConfig { reason: "zero towers".into() };
+        let e = DmtError::InvalidConfig {
+            reason: "zero towers".into(),
+        };
         assert!(e.to_string().contains("zero towers"));
         let t: DmtError = TopologyError::EmptyCluster.into();
         assert!(t.to_string().contains("topology"));

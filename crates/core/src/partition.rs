@@ -124,7 +124,12 @@ pub fn interaction_matrix(feature_embeddings: &[Vec<f32>]) -> Vec<Vec<f64>> {
     let n = feature_embeddings.len();
     let norms: Vec<f64> = feature_embeddings
         .iter()
-        .map(|e| e.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt())
+        .map(|e| {
+            e.iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>()
+                .sqrt()
+        })
         .collect();
     let mut matrix = vec![vec![0.0f64; n]; n];
     for i in 0..n {
@@ -136,7 +141,11 @@ pub fn interaction_matrix(feature_embeddings: &[Vec<f32>]) -> Vec<Vec<f64>> {
                 .map(|(&a, &b)| f64::from(a) * f64::from(b))
                 .sum();
             let denom = norms[i] * norms[j];
-            let cos = if denom > 1e-12 { (dot / denom).abs() } else { 0.0 };
+            let cos = if denom > 1e-12 {
+                (dot / denom).abs()
+            } else {
+                0.0
+            };
             matrix[i][j] = cos;
             matrix[j][i] = cos;
         }
@@ -184,7 +193,10 @@ impl TowerPartitioner {
     /// setting).
     #[must_use]
     pub fn new(num_towers: usize) -> Self {
-        Self { num_towers, ..Self::default() }
+        Self {
+            num_towers,
+            ..Self::default()
+        }
     }
 
     /// Sets the grouping strategy.
@@ -208,7 +220,10 @@ impl TowerPartitioner {
     ///
     /// Returns [`DmtError::InvalidPartitionInput`] if there are fewer features than
     /// towers, embeddings are empty, or their dimensions disagree.
-    pub fn partition_from_embeddings(&self, feature_embeddings: &[Vec<f32>]) -> Result<TowerPartition, DmtError> {
+    pub fn partition_from_embeddings(
+        &self,
+        feature_embeddings: &[Vec<f32>],
+    ) -> Result<TowerPartition, DmtError> {
         let n = feature_embeddings.len();
         if self.num_towers == 0 || n < self.num_towers {
             return Err(DmtError::InvalidPartitionInput {
@@ -231,7 +246,10 @@ impl TowerPartitioner {
     ///
     /// Returns [`DmtError::InvalidPartitionInput`] if the matrix is not square or is
     /// smaller than the number of towers.
-    pub fn partition_from_interactions(&self, interactions: &[Vec<f64>]) -> Result<TowerPartition, DmtError> {
+    pub fn partition_from_interactions(
+        &self,
+        interactions: &[Vec<f64>],
+    ) -> Result<TowerPartition, DmtError> {
         let n = interactions.len();
         if self.num_towers == 0 || n < self.num_towers {
             return Err(DmtError::InvalidPartitionInput {
@@ -354,7 +372,8 @@ impl TowerPartitioner {
         let n = coordinates.len();
         let k = self.num_towers;
         let dim = coordinates.first().map(Vec::len).unwrap_or(0);
-        let capacity = ((n as f64 / k as f64).ceil() * self.capacity_factor.max(1.0)).ceil() as usize;
+        let capacity =
+            ((n as f64 / k as f64).ceil() * self.capacity_factor.max(1.0)).ceil() as usize;
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
 
         // K-Means++-style initialization: spread initial centroids.
@@ -448,6 +467,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i/j cross-index the matrix for symmetry.
     fn interaction_matrix_is_symmetric_with_unit_diagonal() {
         let m = interaction_matrix(&two_block_embeddings());
         for i in 0..8 {
@@ -484,9 +504,15 @@ mod tests {
     fn embedding_reduces_stress() {
         let partitioner = TowerPartitioner::new(2);
         let interactions = interaction_matrix(&two_block_embeddings());
-        let distance: Vec<Vec<f64>> =
-            interactions.iter().map(|r| r.iter().map(|&x| 1.0 - x).collect()).collect();
-        let initial = TowerPartitioner { embedding_iterations: 0, ..partitioner }.embed(&distance);
+        let distance: Vec<Vec<f64>> = interactions
+            .iter()
+            .map(|r| r.iter().map(|&x| 1.0 - x).collect())
+            .collect();
+        let initial = TowerPartitioner {
+            embedding_iterations: 0,
+            ..partitioner
+        }
+        .embed(&distance);
         let fitted = partitioner.embed(&distance);
         assert!(
             TowerPartitioner::stress(&fitted, &distance)
@@ -497,7 +523,9 @@ mod tests {
     #[test]
     fn coherent_partition_recovers_planted_blocks() {
         let partitioner = TowerPartitioner::new(2);
-        let partition = partitioner.partition_from_embeddings(&two_block_embeddings()).unwrap();
+        let partition = partitioner
+            .partition_from_embeddings(&two_block_embeddings())
+            .unwrap();
         assert_eq!(partition.num_towers(), 2);
         // Features 0..4 end up together and 4..8 together.
         let tower_of_0 = partition.tower_of(0).unwrap();
@@ -514,7 +542,9 @@ mod tests {
     #[test]
     fn diverse_partition_spreads_blocks() {
         let partitioner = TowerPartitioner::new(2).with_strategy(PartitionStrategy::Diverse);
-        let partition = partitioner.partition_from_embeddings(&two_block_embeddings()).unwrap();
+        let partition = partitioner
+            .partition_from_embeddings(&two_block_embeddings())
+            .unwrap();
         // Each tower should mix features from both blocks.
         for group in partition.groups() {
             let block0 = group.iter().filter(|&&f| f < 4).count();
@@ -528,14 +558,22 @@ mod tests {
         let partitioner = TowerPartitioner::new(4);
         // 26 features with random-ish embeddings.
         let embeddings: Vec<Vec<f32>> = (0..26)
-            .map(|i| (0..8).map(|d| ((i * 7 + d * 3) % 13) as f32 / 13.0 - 0.5).collect())
+            .map(|i| {
+                (0..8)
+                    .map(|d| ((i * 7 + d * 3) % 13) as f32 / 13.0 - 0.5)
+                    .collect()
+            })
             .collect();
         let partition = partitioner.partition_from_embeddings(&embeddings).unwrap();
         assert_eq!(partition.num_features(), 26);
         assert_eq!(partition.num_towers(), 4);
         // Capacity is ceil(26/4) = 7, so sizes must be in 5..=7 and imbalance small.
         for group in partition.groups() {
-            assert!(group.len() <= 7, "group of {} exceeds capacity", group.len());
+            assert!(
+                group.len() <= 7,
+                "group of {} exceeds capacity",
+                group.len()
+            );
         }
         assert!(partition.imbalance() <= 1.75);
     }
@@ -553,19 +591,31 @@ mod tests {
     #[test]
     fn partitioner_input_validation() {
         let p = TowerPartitioner::new(4);
-        assert!(p.partition_from_embeddings(&two_block_embeddings()[..2]).is_err());
+        assert!(p
+            .partition_from_embeddings(&two_block_embeddings()[..2])
+            .is_err());
         assert!(p.partition_from_embeddings(&[]).is_err());
         let ragged = vec![vec![1.0f32, 2.0], vec![1.0f32]];
-        assert!(TowerPartitioner::new(2).partition_from_embeddings(&ragged).is_err());
+        assert!(TowerPartitioner::new(2)
+            .partition_from_embeddings(&ragged)
+            .is_err());
         let not_square = vec![vec![1.0f64, 0.5], vec![0.5f64]];
-        assert!(TowerPartitioner::new(2).partition_from_interactions(&not_square).is_err());
+        assert!(TowerPartitioner::new(2)
+            .partition_from_interactions(&not_square)
+            .is_err());
     }
 
     #[test]
     fn partitioning_is_deterministic_per_seed() {
         let embeddings = two_block_embeddings();
-        let a = TowerPartitioner::new(2).with_seed(5).partition_from_embeddings(&embeddings).unwrap();
-        let b = TowerPartitioner::new(2).with_seed(5).partition_from_embeddings(&embeddings).unwrap();
+        let a = TowerPartitioner::new(2)
+            .with_seed(5)
+            .partition_from_embeddings(&embeddings)
+            .unwrap();
+        let b = TowerPartitioner::new(2)
+            .with_seed(5)
+            .partition_from_embeddings(&embeddings)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

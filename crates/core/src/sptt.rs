@@ -62,7 +62,9 @@ impl SpttPlan {
     ) -> Result<Self, DmtError> {
         let towers = placement.num_towers();
         if num_features == 0 {
-            return Err(DmtError::InvalidConfig { reason: "num_features must be positive".into() });
+            return Err(DmtError::InvalidConfig {
+                reason: "num_features must be positive".into(),
+            });
         }
         if num_features < towers {
             return Err(DmtError::InvalidConfig {
@@ -90,7 +92,9 @@ impl SpttPlan {
         local_batch: usize,
     ) -> Result<Self, DmtError> {
         if local_batch == 0 {
-            return Err(DmtError::InvalidConfig { reason: "local_batch must be positive".into() });
+            return Err(DmtError::InvalidConfig {
+                reason: "local_batch must be positive".into(),
+            });
         }
         if partition.len() != placement.num_towers() {
             return Err(DmtError::InvalidConfig {
@@ -106,13 +110,19 @@ impl SpttPlan {
         let mut feature_to_rank = vec![None; num_features];
         for (t, features) in partition.iter().enumerate() {
             if features.is_empty() {
-                return Err(DmtError::InvalidConfig { reason: format!("tower {t} has no features") });
+                return Err(DmtError::InvalidConfig {
+                    reason: format!("tower {t} has no features"),
+                });
             }
             let tower_ranks = placement.ranks_of(TowerId(t));
             for (i, &f) in features.iter().enumerate() {
-                let slot = feature_to_tower.get_mut(f).ok_or_else(|| DmtError::InvalidConfig {
-                    reason: format!("feature index {f} out of range for {num_features} features"),
-                })?;
+                let slot = feature_to_tower
+                    .get_mut(f)
+                    .ok_or_else(|| DmtError::InvalidConfig {
+                        reason: format!(
+                            "feature index {f} out of range for {num_features} features"
+                        ),
+                    })?;
                 if slot.is_some() {
                     return Err(DmtError::InvalidConfig {
                         reason: format!("feature {f} assigned to more than one tower"),
@@ -125,9 +135,13 @@ impl SpttPlan {
         let feature_to_tower: Vec<TowerId> = feature_to_tower
             .into_iter()
             .collect::<Option<Vec<_>>>()
-            .ok_or_else(|| DmtError::InvalidConfig { reason: "a feature index is missing from the partition".into() })?;
-        let feature_to_rank: Vec<Rank> =
-            feature_to_rank.into_iter().map(|r| r.expect("assigned with tower")).collect();
+            .ok_or_else(|| DmtError::InvalidConfig {
+                reason: "a feature index is missing from the partition".into(),
+            })?;
+        let feature_to_rank: Vec<Rank> = feature_to_rank
+            .into_iter()
+            .map(|r| r.expect("assigned with tower"))
+            .collect();
         Ok(Self {
             cluster: cluster.clone(),
             placement: placement.clone(),
@@ -317,7 +331,8 @@ impl SpttPlan {
         }
         for rank in self.cluster.all_ranks() {
             let tower = self.placement.tower_of(rank);
-            let tower_features: HashSet<usize> = self.features_of_tower(tower).into_iter().collect();
+            let tower_features: HashSet<usize> =
+                self.features_of_tower(tower).into_iter().collect();
             let peer_samples: HashSet<usize> = peers_of(&self.cluster, rank)
                 .into_iter()
                 .flat_map(|p| self.local_samples(p))
@@ -397,7 +412,10 @@ impl SpttCommVolumes {
     /// Panics if `compression_ratio` is not positive.
     #[must_use]
     pub fn compressed_peer_bytes(&self, compression_ratio: f64) -> u64 {
-        assert!(compression_ratio > 0.0, "compression ratio must be positive");
+        assert!(
+            compression_ratio > 0.0,
+            "compression ratio must be positive"
+        );
         (self.peer_bytes_per_rank as f64 / compression_ratio).ceil() as u64
     }
 }
@@ -423,9 +441,12 @@ mod tests {
 
     #[test]
     fn equivalence_holds_across_cluster_shapes() {
-        for (hosts, gpus, features, batch) in
-            [(2usize, 4usize, 8usize, 2usize), (4, 2, 13, 3), (4, 8, 26, 2), (8, 8, 64, 1)]
-        {
+        for (hosts, gpus, features, batch) in [
+            (2usize, 4usize, 8usize, 2usize),
+            (4, 2, 13, 3),
+            (4, 8, 26, 2),
+            (8, 8, 64, 1),
+        ] {
             let plan = setup(hosts, gpus, features, batch);
             assert!(
                 plan.verify_semantic_equivalence(),

@@ -97,7 +97,9 @@ impl DlrmTowerModule {
         d: usize,
     ) -> Result<Self, DmtError> {
         if num_features == 0 || embedding_dim == 0 || d == 0 {
-            return Err(DmtError::InvalidConfig { reason: "tower dimensions must be positive".into() });
+            return Err(DmtError::InvalidConfig {
+                reason: "tower dimensions must be positive".into(),
+            });
         }
         if c == 0 && p == 0 {
             return Err(DmtError::InvalidConfig {
@@ -195,7 +197,10 @@ impl TowerModule for DlrmTowerModule {
             let piece = piece_iter.next().expect("width list matches pieces");
             let reshaped = piece.reshape(&[batch * self.num_features, self.c * self.d])?;
             let grad = per_feature.backward(&reshaped)?;
-            grad_in.axpy(1.0, &grad.reshape(&[batch, self.num_features * self.embedding_dim])?)?;
+            grad_in.axpy(
+                1.0,
+                &grad.reshape(&[batch, self.num_features * self.embedding_dim])?,
+            )?;
         }
         Ok(grad_in)
     }
@@ -238,7 +243,9 @@ impl DcnTowerModule {
         d: usize,
     ) -> Result<Self, DmtError> {
         if num_features == 0 || embedding_dim == 0 || d == 0 || cross_layers == 0 {
-            return Err(DmtError::InvalidConfig { reason: "tower dimensions must be positive".into() });
+            return Err(DmtError::InvalidConfig {
+                reason: "tower dimensions must be positive".into(),
+            });
         }
         let width = num_features * embedding_dim;
         Ok(Self {
@@ -320,7 +327,8 @@ mod tests {
 
     #[test]
     fn dlrm_tower_gradient_check() {
-        let x = Tensor::from_vec(vec![2, 6], (0..12).map(|i| i as f32 * 0.05 - 0.3).collect()).unwrap();
+        let x =
+            Tensor::from_vec(vec![2, 6], (0..12).map(|i| i as f32 * 0.05 - 0.3).collect()).unwrap();
         let mut tm = DlrmTowerModule::new(&mut rng(), 3, 2, 1, 1, 2).unwrap();
         let y = tm.forward(&x).unwrap();
         let dx = tm.backward(&Tensor::ones(y.shape())).unwrap();
@@ -330,10 +338,22 @@ mod tests {
             plus.set(r, c, x.at(r, c) + eps);
             let mut minus = x.clone();
             minus.set(r, c, x.at(r, c) - eps);
-            let fp = DlrmTowerModule::new(&mut rng(), 3, 2, 1, 1, 2).unwrap().forward(&plus).unwrap().sum();
-            let fm = DlrmTowerModule::new(&mut rng(), 3, 2, 1, 1, 2).unwrap().forward(&minus).unwrap().sum();
+            let fp = DlrmTowerModule::new(&mut rng(), 3, 2, 1, 1, 2)
+                .unwrap()
+                .forward(&plus)
+                .unwrap()
+                .sum();
+            let fm = DlrmTowerModule::new(&mut rng(), 3, 2, 1, 1, 2)
+                .unwrap()
+                .forward(&minus)
+                .unwrap()
+                .sum();
             let numeric = (fp - fm) / (2.0 * eps);
-            assert!((numeric - dx.at(r, c)).abs() < 2e-2, "analytic {} numeric {numeric}", dx.at(r, c));
+            assert!(
+                (numeric - dx.at(r, c)).abs() < 2e-2,
+                "analytic {} numeric {numeric}",
+                dx.at(r, c)
+            );
         }
     }
 

@@ -56,12 +56,20 @@ impl Batch {
     /// Panics if `parts` is zero or exceeds the batch size.
     #[must_use]
     pub fn split(&self, parts: usize) -> Vec<Batch> {
-        assert!(parts > 0 && parts <= self.len(), "cannot split {} samples into {parts} parts", self.len());
+        assert!(
+            parts > 0 && parts <= self.len(),
+            "cannot split {} samples into {parts} parts",
+            self.len()
+        );
         let base = self.len() / parts;
         let mut out = Vec::with_capacity(parts);
         let mut start = 0;
         for p in 0..parts {
-            let count = if p == parts - 1 { self.len() - start } else { base };
+            let count = if p == parts - 1 {
+                self.len() - start
+            } else {
+                base
+            };
             let dense = self.dense[start..start + count].to_vec();
             let sparse = self
                 .sparse
@@ -69,7 +77,12 @@ impl Batch {
                 .map(|per_feature| per_feature[start..start + count].to_vec())
                 .collect();
             let labels = self.labels[start..start + count].to_vec();
-            out.push(Batch { schema: self.schema.clone(), dense, sparse, labels });
+            out.push(Batch {
+                schema: self.schema.clone(),
+                dense,
+                sparse,
+                labels,
+            });
             start += count;
         }
         out
@@ -88,7 +101,12 @@ mod tests {
             .map(|f| (0..n).map(|b| vec![f + b]).collect())
             .collect();
         let labels = (0..n).map(|i| (i % 2) as f32).collect();
-        Batch { schema, dense, sparse, labels }
+        Batch {
+            schema,
+            dense,
+            sparse,
+            labels,
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl RandomDataset {
     /// Creates a random dataset over `schema` seeded by `seed`.
     #[must_use]
     pub fn new(schema: DatasetSchema, seed: u64) -> Self {
-        Self { schema, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            schema,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The dataset schema.
@@ -39,19 +42,34 @@ impl RandomDataset {
     pub fn next_batch(&mut self, batch_size: usize) -> Batch {
         assert!(batch_size > 0, "batch size must be positive");
         let dense = (0..batch_size)
-            .map(|_| (0..self.schema.num_dense).map(|_| self.rng.gen_range(-1.0..1.0)).collect())
+            .map(|_| {
+                (0..self.schema.num_dense)
+                    .map(|_| self.rng.gen_range(-1.0..1.0))
+                    .collect()
+            })
             .collect();
         let sparse = (0..self.schema.num_sparse())
             .map(|f| {
                 let cardinality = self.schema.sparse_cardinalities[f];
                 let pooling = self.schema.pooling_factors[f];
                 (0..batch_size)
-                    .map(|_| (0..pooling).map(|_| self.rng.gen_range(0..cardinality)).collect())
+                    .map(|_| {
+                        (0..pooling)
+                            .map(|_| self.rng.gen_range(0..cardinality))
+                            .collect()
+                    })
                     .collect()
             })
             .collect();
-        let labels = (0..batch_size).map(|_| f32::from(self.rng.gen::<bool>())).collect();
-        Batch { schema: self.schema.clone(), dense, sparse, labels }
+        let labels = (0..batch_size)
+            .map(|_| f32::from(self.rng.gen::<bool>()))
+            .collect();
+        Batch {
+            schema: self.schema.clone(),
+            dense,
+            sparse,
+            labels,
+        }
     }
 }
 

@@ -20,7 +20,11 @@ pub enum FeatureBlock {
 
 impl FeatureBlock {
     /// All blocks in a fixed order.
-    pub const ALL: [FeatureBlock; 3] = [FeatureBlock::User, FeatureBlock::Item, FeatureBlock::Context];
+    pub const ALL: [FeatureBlock; 3] = [
+        FeatureBlock::User,
+        FeatureBlock::Item,
+        FeatureBlock::Context,
+    ];
 }
 
 /// Shape of a click-log dataset: dense feature count plus per-sparse-feature
@@ -51,11 +55,30 @@ impl DatasetSchema {
         blocks: Vec<FeatureBlock>,
         pooling_factors: Vec<usize>,
     ) -> Self {
-        assert_eq!(sparse_cardinalities.len(), blocks.len(), "one block per sparse feature");
-        assert_eq!(sparse_cardinalities.len(), pooling_factors.len(), "one pooling factor per sparse feature");
-        assert!(sparse_cardinalities.iter().all(|&c| c > 0), "cardinalities must be positive");
-        assert!(pooling_factors.iter().all(|&p| p > 0), "pooling factors must be positive");
-        Self { num_dense, sparse_cardinalities, blocks, pooling_factors }
+        assert_eq!(
+            sparse_cardinalities.len(),
+            blocks.len(),
+            "one block per sparse feature"
+        );
+        assert_eq!(
+            sparse_cardinalities.len(),
+            pooling_factors.len(),
+            "one pooling factor per sparse feature"
+        );
+        assert!(
+            sparse_cardinalities.iter().all(|&c| c > 0),
+            "cardinalities must be positive"
+        );
+        assert!(
+            pooling_factors.iter().all(|&p| p > 0),
+            "pooling factors must be positive"
+        );
+        Self {
+            num_dense,
+            sparse_cardinalities,
+            blocks,
+            pooling_factors,
+        }
     }
 
     /// A Criteo-shaped schema: 13 dense features and 26 single-hot sparse features with

@@ -58,10 +58,22 @@ impl SyntheticClickDataset {
         let mut structure_rng = StdRng::seed_from_u64(seed ^ 0x5DEE_CE66_D1CE_BA5E);
         let normal = StandardNormal;
         let projections = (0..schema.num_sparse())
-            .map(|_| (0..LATENT_DIM).map(|_| normal.sample(&mut structure_rng)).collect())
+            .map(|_| {
+                (0..LATENT_DIM)
+                    .map(|_| normal.sample(&mut structure_rng))
+                    .collect()
+            })
             .collect();
-        let jitter = (0..schema.num_sparse()).map(|_| structure_rng.gen_range(0.0..1.0)).collect();
-        Self { schema, rng: StdRng::seed_from_u64(seed), projections, jitter, samples_emitted: 0 }
+        let jitter = (0..schema.num_sparse())
+            .map(|_| structure_rng.gen_range(0.0..1.0))
+            .collect();
+        Self {
+            schema,
+            rng: StdRng::seed_from_u64(seed),
+            projections,
+            jitter,
+            samples_emitted: 0,
+        }
     }
 
     /// The dataset schema.
@@ -91,15 +103,19 @@ impl SyntheticClickDataset {
         let mut labels = Vec::with_capacity(batch_size);
 
         for _ in 0..batch_size {
-            let user: Vec<f32> = (0..LATENT_DIM).map(|_| normal.sample(&mut self.rng)).collect();
-            let item: Vec<f32> = (0..LATENT_DIM).map(|_| normal.sample(&mut self.rng)).collect();
+            let user: Vec<f32> = (0..LATENT_DIM)
+                .map(|_| normal.sample(&mut self.rng))
+                .collect();
+            let item: Vec<f32> = (0..LATENT_DIM)
+                .map(|_| normal.sample(&mut self.rng))
+                .collect();
 
             // Sparse ids: quantized projections of the relevant latent vector. Each
             // non-context feature also contributes its projection to a field-level
             // propensity signal so that individual embeddings are predictive.
             let mut sparse_signal = 0.0f32;
             let mut informative_features = 0usize;
-            for feature in 0..f {
+            for (feature, feature_bags) in sparse.iter_mut().enumerate() {
                 let cardinality = self.schema.sparse_cardinalities[feature];
                 let pooling = self.schema.pooling_factors[feature];
                 let block = self.schema.blocks[feature];
@@ -126,7 +142,7 @@ impl SyntheticClickDataset {
                     };
                     bag.push(id);
                 }
-                sparse[feature].push(bag);
+                feature_bags.push(bag);
             }
             if informative_features > 0 {
                 sparse_signal /= informative_features as f32;
@@ -158,14 +174,29 @@ impl SyntheticClickDataset {
             labels.push(label);
         }
         self.samples_emitted += batch_size as u64;
-        Batch { schema: self.schema.clone(), dense, sparse, labels }
+        Batch {
+            schema: self.schema.clone(),
+            dense,
+            sparse,
+            labels,
+        }
     }
 
     /// Maps a latent vector to a categorical id for `feature` by quantizing its
     /// projection into `cardinality` buckets; also returns the (normalized) projection,
     /// which feeds the field-level propensity signal of the click model.
-    fn quantize(&mut self, feature: usize, latent: &[f32], hot: usize, cardinality: usize) -> (usize, f32) {
-        let norm: f32 = self.projections[feature].iter().map(|x| x * x).sum::<f32>().sqrt();
+    fn quantize(
+        &mut self,
+        feature: usize,
+        latent: &[f32],
+        hot: usize,
+        cardinality: usize,
+    ) -> (usize, f32) {
+        let norm: f32 = self.projections[feature]
+            .iter()
+            .map(|x| x * x)
+            .sum::<f32>()
+            .sqrt();
         let proj: f32 = latent
             .iter()
             .zip(&self.projections[feature])
@@ -277,7 +308,12 @@ mod tests {
         let mut d = dataset(4);
         let b = d.next_batch(4000);
         let n = b.len() as f32;
-        let mean_dense: f32 = b.dense.iter().map(|row| row.iter().sum::<f32>()).sum::<f32>() / n;
+        let mean_dense: f32 = b
+            .dense
+            .iter()
+            .map(|row| row.iter().sum::<f32>())
+            .sum::<f32>()
+            / n;
         let mean_label: f32 = b.labels.iter().sum::<f32>() / n;
         let cov: f32 = b
             .dense
@@ -286,7 +322,10 @@ mod tests {
             .map(|(row, &y)| (row.iter().sum::<f32>() - mean_dense) * (y - mean_label))
             .sum::<f32>()
             / n;
-        assert!(cov > 0.0, "dense signal should be positively correlated with clicks");
+        assert!(
+            cov > 0.0,
+            "dense signal should be positively correlated with clicks"
+        );
         assert!(mean_label > 0.0 && mean_label < 1.0);
     }
 

@@ -28,7 +28,10 @@ impl ShardingPlan {
     /// Creates a plan from explicit placements over a cluster.
     #[must_use]
     pub fn new(placements: Vec<ShardPlacement>, cluster: &ClusterTopology) -> Self {
-        Self { placements, world_size: cluster.world_size() }
+        Self {
+            placements,
+            world_size: cluster.world_size(),
+        }
     }
 
     /// All shard placements.
@@ -68,7 +71,10 @@ impl ShardingPlan {
     #[must_use]
     pub fn load_imbalance(&self) -> f64 {
         let loads = self.rank_loads();
-        let costs: Vec<f64> = loads.iter().map(|l| l.lookup_cost_per_sample as f64).collect();
+        let costs: Vec<f64> = loads
+            .iter()
+            .map(|l| l.lookup_cost_per_sample as f64)
+            .collect();
         let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
         if mean <= 0.0 {
             return 1.0;

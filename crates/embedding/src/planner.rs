@@ -29,7 +29,10 @@ pub struct ShardingPlanner {
 
 impl Default for ShardingPlanner {
     fn default() -> Self {
-        Self { multi_hot_threshold: 8, forced_column_shards: None }
+        Self {
+            multi_hot_threshold: 8,
+            forced_column_shards: None,
+        }
     }
 }
 
@@ -50,14 +53,21 @@ impl ShardingPlanner {
     /// Chooses a sharding strategy for `table` on a cluster of `world_size` GPUs given
     /// `num_tables` total tables.
     #[must_use]
-    pub fn strategy_for(&self, table: &EmbeddingTableSpec, num_tables: usize, world_size: usize) -> ShardingStrategy {
+    pub fn strategy_for(
+        &self,
+        table: &EmbeddingTableSpec,
+        num_tables: usize,
+        world_size: usize,
+    ) -> ShardingStrategy {
         if table.pooling_factor >= self.multi_hot_threshold {
             // Multi-hot: row-wise sharding bounds the per-rank pooled traffic.
             let shards = world_size.min(table.num_embeddings).max(1);
             return ShardingStrategy::RowWise { shards };
         }
         if let Some(shards) = self.forced_column_shards {
-            return ShardingStrategy::ColumnWise { shards: shards.min(table.dim).max(1) };
+            return ShardingStrategy::ColumnWise {
+                shards: shards.min(table.dim).max(1),
+            };
         }
         if world_size > num_tables {
             // More GPUs than tables: split columns so every GPU holds a shard and the
@@ -85,7 +95,7 @@ impl ShardingPlanner {
         }
         // Longest-processing-time greedy: biggest shards first onto the least-loaded
         // rank.
-        shards.sort_by(|a, b| b.3.cmp(&a.3));
+        shards.sort_by_key(|shard| std::cmp::Reverse(shard.3));
         let mut rank_cost = vec![0u64; world_size];
         let mut placements = Vec::with_capacity(shards.len());
         for (table_index, strategy, shard_index, cost) in shards {
@@ -128,7 +138,10 @@ mod tests {
     fn single_hot_tables_stay_table_wise_when_gpus_are_scarce() {
         let planner = ShardingPlanner::new();
         let t = EmbeddingTableSpec::new("t", 1000, 128, 1);
-        assert_eq!(planner.strategy_for(&t, 26, 16), ShardingStrategy::TableWise);
+        assert_eq!(
+            planner.strategy_for(&t, 26, 16),
+            ShardingStrategy::TableWise
+        );
     }
 
     #[test]
@@ -146,7 +159,10 @@ mod tests {
     fn multi_hot_tables_use_row_wise() {
         let planner = ShardingPlanner::new();
         let t = EmbeddingTableSpec::new("t", 100_000, 128, 20);
-        assert!(matches!(planner.strategy_for(&t, 26, 64), ShardingStrategy::RowWise { .. }));
+        assert!(matches!(
+            planner.strategy_for(&t, 26, 64),
+            ShardingStrategy::RowWise { .. }
+        ));
     }
 
     #[test]
@@ -169,7 +185,11 @@ mod tests {
         covered.dedup();
         assert_eq!(covered.len(), tables.len());
         // The greedy balancer keeps imbalance modest even with skewed tables.
-        assert!(plan.load_imbalance() < 2.0, "imbalance {}", plan.load_imbalance());
+        assert!(
+            plan.load_imbalance() < 2.0,
+            "imbalance {}",
+            plan.load_imbalance()
+        );
     }
 
     #[test]
@@ -178,7 +198,10 @@ mod tests {
         let plan = ShardingPlanner::new().plan(&tables, &cluster(64));
         let loads = plan.rank_loads();
         let idle = loads.iter().filter(|l| l.num_shards == 0).count();
-        assert_eq!(idle, 0, "no rank should be idle with column sharding enabled");
+        assert_eq!(
+            idle, 0,
+            "no rank should be idle with column sharding enabled"
+        );
     }
 
     #[test]

@@ -22,9 +22,22 @@ impl EmbeddingTableSpec {
     ///
     /// Panics if any dimension is zero.
     #[must_use]
-    pub fn new(name: impl Into<String>, num_embeddings: usize, dim: usize, pooling_factor: usize) -> Self {
-        assert!(num_embeddings > 0 && dim > 0 && pooling_factor > 0, "table dimensions must be positive");
-        Self { name: name.into(), num_embeddings, dim, pooling_factor }
+    pub fn new(
+        name: impl Into<String>,
+        num_embeddings: usize,
+        dim: usize,
+        pooling_factor: usize,
+    ) -> Self {
+        assert!(
+            num_embeddings > 0 && dim > 0 && pooling_factor > 0,
+            "table dimensions must be positive"
+        );
+        Self {
+            name: name.into(),
+            num_embeddings,
+            dim,
+            pooling_factor,
+        }
     }
 
     /// Storage footprint of the full table in bytes (FP32 weights).

@@ -33,7 +33,9 @@ impl ShardingStrategy {
     pub fn num_shards(self) -> usize {
         match self {
             ShardingStrategy::TableWise => 1,
-            ShardingStrategy::ColumnWise { shards } | ShardingStrategy::RowWise { shards } => shards.max(1),
+            ShardingStrategy::ColumnWise { shards } | ShardingStrategy::RowWise { shards } => {
+                shards.max(1)
+            }
         }
     }
 }
@@ -132,9 +134,18 @@ mod tests {
     #[test]
     fn column_wise_splits_output_bytes() {
         let t = table();
-        let shard = ShardPlacement::new(0, &t, ShardingStrategy::ColumnWise { shards: 4 }, 1, Rank(3));
+        let shard = ShardPlacement::new(
+            0,
+            &t,
+            ShardingStrategy::ColumnWise { shards: 4 },
+            1,
+            Rank(3),
+        );
         assert_eq!(shard.storage_bytes, t.storage_bytes() / 4);
-        assert_eq!(shard.output_bytes_per_sample, t.output_bytes_per_sample() / 4);
+        assert_eq!(
+            shard.output_bytes_per_sample,
+            t.output_bytes_per_sample() / 4
+        );
         assert_eq!(shard.rank, Rank(3));
     }
 
@@ -148,7 +159,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(ShardingStrategy::ColumnWise { shards: 2 }.to_string(), "column-wise x2");
+        assert_eq!(
+            ShardingStrategy::ColumnWise { shards: 2 }.to_string(),
+            "column-wise x2"
+        );
         assert_eq!(ShardingStrategy::TableWise.to_string(), "table-wise");
     }
 }

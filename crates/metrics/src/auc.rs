@@ -22,7 +22,11 @@ pub fn roc_auc(scores: &[f32], labels: &[f32]) -> Option<f64> {
     }
     let n = scores.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     // Average ranks (1-based) with tie handling.
     let mut ranks = vec![0.0f64; n];
@@ -74,7 +78,9 @@ mod tests {
         let n = 20_000;
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32) / (u32::MAX >> 1) as f32
         };
         let labels: Vec<f32> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();

@@ -98,14 +98,22 @@ pub fn mann_whitney_u(sample_a: &[f64], sample_b: &[f64]) -> Option<MannWhitneyR
     let var_u = n1 * n2 / 12.0 * ((n_total + 1.0) - tie_term);
     if var_u <= 0.0 {
         // All observations identical: no evidence against the null.
-        return Some(MannWhitneyResult { u_statistic: u1, p_value: 1.0, z_score: 0.0 });
+        return Some(MannWhitneyResult {
+            u_statistic: u1,
+            p_value: 1.0,
+            z_score: 0.0,
+        });
     }
     // Continuity correction toward the mean.
     let diff = u1 - mean_u;
     let corrected = diff.abs() - 0.5;
     let z = corrected.max(0.0) / var_u.sqrt() * diff.signum();
     let p = 2.0 * (1.0 - normal_cdf(z.abs()));
-    Some(MannWhitneyResult { u_statistic: u1, p_value: p.clamp(0.0, 1.0), z_score: z })
+    Some(MannWhitneyResult {
+        u_statistic: u1,
+        p_value: p.clamp(0.0, 1.0),
+        z_score: z,
+    })
 }
 
 #[cfg(test)]
@@ -114,8 +122,12 @@ mod tests {
 
     #[test]
     fn separated_samples_are_significant() {
-        let a = [0.7990, 0.7991, 0.7992, 0.7989, 0.7993, 0.7990, 0.7991, 0.7992, 0.7990];
-        let b = [0.7981, 0.7980, 0.7982, 0.7979, 0.7983, 0.7981, 0.7980, 0.7982, 0.7981];
+        let a = [
+            0.7990, 0.7991, 0.7992, 0.7989, 0.7993, 0.7990, 0.7991, 0.7992, 0.7990,
+        ];
+        let b = [
+            0.7981, 0.7980, 0.7982, 0.7979, 0.7983, 0.7981, 0.7980, 0.7982, 0.7981,
+        ];
         let r = mann_whitney_u(&a, &b).unwrap();
         assert!(r.p_value < 0.01, "p = {}", r.p_value);
         assert!(r.z_score > 0.0);

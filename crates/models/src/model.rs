@@ -1,8 +1,8 @@
 //! Trainable recommendation models (baseline and DMT variants).
 
 use crate::hyper::{ModelArch, ModelHyperparams};
-use dmt_core::{DmtConfig, DmtError, TowerModuleKind, TowerPartition};
 use dmt_core::tower::{DcnTowerModule, DlrmTowerModule, TowerModule};
+use dmt_core::{DmtConfig, DmtError, TowerModuleKind, TowerPartition};
 use dmt_data::{Batch, DatasetSchema};
 use dmt_nn::param::HasParameters;
 use dmt_nn::{
@@ -60,14 +60,15 @@ pub struct TrainStepStats {
     pub predictions: Vec<f32>,
 }
 
-/// One tower's dense module in a DMT model.
+/// One tower's dense module in a DMT model. The module variants are boxed so the
+/// pass-through variant stays pointer-sized.
 enum TowerUnit {
     /// SPTT-only: embeddings pass through unchanged.
     PassThrough {
         num_features: usize,
     },
-    Dlrm(DlrmTowerModule),
-    Dcn(DcnTowerModule),
+    Dlrm(Box<DlrmTowerModule>),
+    Dcn(Box<DcnTowerModule>),
 }
 
 impl TowerUnit {
@@ -205,7 +206,9 @@ impl RecommendationModel {
         dmt: Option<(TowerPartition, DmtConfig)>,
     ) -> Result<Self, ModelError> {
         if schema.num_sparse() == 0 {
-            return Err(ModelError::SchemaMismatch { reason: "schema has no sparse features".into() });
+            return Err(ModelError::SchemaMismatch {
+                reason: "schema has no sparse features".into(),
+            });
         }
         let n = hyper.embedding_dim;
         let tables: Vec<EmbeddingTable> = schema
@@ -215,57 +218,60 @@ impl RecommendationModel {
             .collect();
 
         // Tower stage and interaction geometry.
-        let (towers, unit_width, num_feature_units, tower_output_widths) =
-            match dmt {
-                None => (None, n, schema.num_sparse(), Vec::new()),
-                Some((partition, config)) => {
-                    let mut modules = Vec::with_capacity(partition.num_towers());
-                    let mut input_widths = Vec::with_capacity(partition.num_towers());
-                    let mut output_widths = Vec::with_capacity(partition.num_towers());
-                    let mut units = 0usize;
-                    let unit_width = match config.tower_module {
-                        TowerModuleKind::PassThrough => n,
-                        _ => config.tower_output_dim,
-                    };
-                    for group in partition.groups() {
-                        let f_t = group.len();
-                        input_widths.push(f_t * n);
-                        let module = match config.tower_module {
-                            TowerModuleKind::PassThrough => TowerUnit::PassThrough { num_features: f_t },
-                            TowerModuleKind::DlrmLinear => TowerUnit::Dlrm(DlrmTowerModule::new(
+        let (towers, unit_width, num_feature_units, tower_output_widths) = match dmt {
+            None => (None, n, schema.num_sparse(), Vec::new()),
+            Some((partition, config)) => {
+                let mut modules = Vec::with_capacity(partition.num_towers());
+                let mut input_widths = Vec::with_capacity(partition.num_towers());
+                let mut output_widths = Vec::with_capacity(partition.num_towers());
+                let mut units = 0usize;
+                let unit_width = match config.tower_module {
+                    TowerModuleKind::PassThrough => n,
+                    _ => config.tower_output_dim,
+                };
+                for group in partition.groups() {
+                    let f_t = group.len();
+                    input_widths.push(f_t * n);
+                    let module = match config.tower_module {
+                        TowerModuleKind::PassThrough => {
+                            TowerUnit::PassThrough { num_features: f_t }
+                        }
+                        TowerModuleKind::DlrmLinear => {
+                            TowerUnit::Dlrm(Box::new(DlrmTowerModule::new(
                                 rng,
                                 f_t,
                                 n,
                                 config.ensemble_c,
                                 config.ensemble_p,
                                 config.tower_output_dim,
-                            )?),
-                            TowerModuleKind::DcnCross => TowerUnit::Dcn(DcnTowerModule::new(
-                                rng,
-                                f_t,
-                                n,
-                                config.tower_cross_layers,
-                                config.tower_output_dim,
-                            )?),
-                        };
-                        units += module.num_units(config.ensemble_c, config.ensemble_p);
-                        output_widths.push(module.output_width(n));
-                        modules.push(module);
-                    }
-                    let _ = input_widths;
-                    (
-                        Some(TowerStage {
-                            partition,
-                            modules,
-                            ensemble_c: config.ensemble_c,
-                            ensemble_p: config.ensemble_p,
-                        }),
-                        unit_width,
-                        units,
-                        output_widths,
-                    )
+                            )?))
+                        }
+                        TowerModuleKind::DcnCross => TowerUnit::Dcn(Box::new(DcnTowerModule::new(
+                            rng,
+                            f_t,
+                            n,
+                            config.tower_cross_layers,
+                            config.tower_output_dim,
+                        )?)),
+                    };
+                    units += module.num_units(config.ensemble_c, config.ensemble_p);
+                    output_widths.push(module.output_width(n));
+                    modules.push(module);
                 }
-            };
+                let _ = input_widths;
+                (
+                    Some(TowerStage {
+                        partition,
+                        modules,
+                        ensemble_c: config.ensemble_c,
+                        ensemble_p: config.ensemble_p,
+                    }),
+                    unit_width,
+                    units,
+                    output_widths,
+                )
+            }
+        };
 
         let num_units = num_feature_units + 1; // +1 for the dense representation.
         let interaction_width = unit_width * num_units;
@@ -332,7 +338,11 @@ impl RecommendationModel {
     /// Total trainable parameters (dense + embedding).
     #[must_use]
     pub fn parameter_count(&mut self) -> usize {
-        let embedding: usize = self.tables.iter().map(EmbeddingTable::parameter_count).sum();
+        let embedding: usize = self
+            .tables
+            .iter()
+            .map(EmbeddingTable::parameter_count)
+            .sum();
         let mut dense = 0usize;
         self.visit_parameters(&mut |p| dense += p.len());
         embedding + dense
@@ -348,10 +358,9 @@ impl RecommendationModel {
             .iter()
             .map(|&p| 2 * p as u64 * n)
             .sum();
-        let towers: u64 = self
-            .towers
-            .as_ref()
-            .map_or(0, |t| t.modules.iter().map(TowerUnit::flops_per_sample).sum());
+        let towers: u64 = self.towers.as_ref().map_or(0, |t| {
+            t.modules.iter().map(TowerUnit::flops_per_sample).sum()
+        });
         let interaction = match self.arch {
             ModelArch::Dlrm => self
                 .dot
@@ -359,7 +368,11 @@ impl RecommendationModel {
                 .map_or(0, DotInteraction::flops_per_sample),
             ModelArch::Dcn => self.crossnet.as_ref().map_or(0, CrossNet::flops_per_sample),
         };
-        self.bottom_mlp.flops_per_sample() + lookup + towers + interaction + self.over_mlp.flops_per_sample()
+        self.bottom_mlp.flops_per_sample()
+            + lookup
+            + towers
+            + interaction
+            + self.over_mlp.flops_per_sample()
     }
 
     /// Runs the forward pass and returns the logits tensor (shape `[batch, 1]`).
@@ -407,7 +420,10 @@ impl RecommendationModel {
         let units = Tensor::concat_cols(&[&dense_repr, &feature_block])?;
         let over_input = match self.arch {
             ModelArch::Dlrm => {
-                let dot = self.dot.as_mut().expect("DLRM models own a dot interaction");
+                let dot = self
+                    .dot
+                    .as_mut()
+                    .expect("DLRM models own a dot interaction");
                 let pairs = dot.forward(&units)?;
                 Tensor::concat_cols(&[&dense_repr, &pairs])?
             }
@@ -428,10 +444,15 @@ impl RecommendationModel {
     /// # Errors
     ///
     /// Returns [`ModelError`] if the batch does not match the schema.
-    pub fn train_step(&mut self, batch: &Batch, learning_rate: f32) -> Result<TrainStepStats, ModelError> {
+    pub fn train_step(
+        &mut self,
+        batch: &Batch,
+        learning_rate: f32,
+    ) -> Result<TrainStepStats, ModelError> {
         self.zero_grad();
         let logits = self.forward(batch)?;
-        let (loss, predictions, grad_logits) = self.loss.forward_backward(&logits, &batch.labels)?;
+        let (loss, predictions, grad_logits) =
+            self.loss.forward_backward(&logits, &batch.labels)?;
         self.backward(&grad_logits, batch.len())?;
 
         // Dense update (Adam is `Copy`, so temporarily move it out to satisfy the
@@ -454,7 +475,11 @@ impl RecommendationModel {
     /// Returns [`ModelError`] if the batch does not match the schema.
     pub fn predict(&mut self, batch: &Batch) -> Result<Vec<f32>, ModelError> {
         let logits = self.forward(batch)?;
-        Ok(logits.data().iter().map(|&z| dmt_nn::activation::scalar_sigmoid(z)).collect())
+        Ok(logits
+            .data()
+            .iter()
+            .map(|&z| dmt_nn::activation::scalar_sigmoid(z))
+            .collect())
     }
 
     /// Mean rows of each embedding table — the feature-affinity probe the Tower
@@ -477,7 +502,10 @@ impl RecommendationModel {
         // Undo the interaction stage.
         let (grad_dense_direct, grad_units) = match self.arch {
             ModelArch::Dlrm => {
-                let dot = self.dot.as_mut().expect("DLRM models own a dot interaction");
+                let dot = self
+                    .dot
+                    .as_mut()
+                    .expect("DLRM models own a dot interaction");
                 let pieces = grad_over_input.split_cols(&[self.unit_width, dot.output_dim()])?;
                 let grad_pairs = &pieces[1];
                 let grad_units = dot.backward(grad_pairs)?;
@@ -587,7 +615,15 @@ mod tests {
             .cross_layers(1)
             .build()
             .unwrap();
-        RecommendationModel::dmt(&mut rng, &s, arch, &ModelHyperparams::tiny(), partition, &config).unwrap()
+        RecommendationModel::dmt(
+            &mut rng,
+            &s,
+            arch,
+            &ModelHyperparams::tiny(),
+            partition,
+            &config,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -606,7 +642,11 @@ mod tests {
     #[test]
     fn dmt_forward_shapes_for_all_tower_kinds() {
         for arch in [ModelArch::Dlrm, ModelArch::Dcn] {
-            for kind in [TowerModuleKind::PassThrough, TowerModuleKind::DlrmLinear, TowerModuleKind::DcnCross] {
+            for kind in [
+                TowerModuleKind::PassThrough,
+                TowerModuleKind::DlrmLinear,
+                TowerModuleKind::DcnCross,
+            ] {
                 let mut model = dmt_model(arch, kind, 4);
                 let mut data = SyntheticClickDataset::new(schema(), 2);
                 let batch = data.next_batch(8);
@@ -700,7 +740,10 @@ mod tests {
         );
         let mut data = SyntheticClickDataset::new(other_schema, 1);
         let batch = data.next_batch(4);
-        assert!(matches!(model.forward(&batch), Err(ModelError::SchemaMismatch { .. })));
+        assert!(matches!(
+            model.forward(&batch),
+            Err(ModelError::SchemaMismatch { .. })
+        ));
     }
 
     #[test]
@@ -710,7 +753,14 @@ mod tests {
         let partition = naive_partition(4, 2).unwrap();
         let config = DmtConfig::builder(2).build().unwrap();
         assert!(matches!(
-            RecommendationModel::dmt(&mut rng, &s, ModelArch::Dlrm, &ModelHyperparams::tiny(), partition, &config),
+            RecommendationModel::dmt(
+                &mut rng,
+                &s,
+                ModelArch::Dlrm,
+                &ModelHyperparams::tiny(),
+                partition,
+                &config
+            ),
             Err(ModelError::SchemaMismatch { .. })
         ));
     }

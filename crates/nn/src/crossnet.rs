@@ -30,8 +30,15 @@ impl CrossNet {
     #[must_use]
     pub fn new<R: Rng + ?Sized>(rng: &mut R, width: usize, num_layers: usize) -> Self {
         assert!(num_layers > 0, "CrossNet needs at least one cross layer");
-        let layers = (0..num_layers).map(|_| Linear::new(rng, width, width)).collect();
-        Self { layers, width, cached_inputs: Vec::new(), cached_projections: Vec::new() }
+        let layers = (0..num_layers)
+            .map(|_| Linear::new(rng, width, width))
+            .collect();
+        Self {
+            layers,
+            width,
+            cached_inputs: Vec::new(),
+            cached_projections: Vec::new(),
+        }
     }
 
     /// Input/output width of the cross stack.
@@ -64,10 +71,12 @@ impl CrossNet {
         self.cached_projections.clear();
         let mut x = x0.clone();
         for layer in &mut self.layers {
-            self.cached_inputs.push(x.clone());
             let u = layer.forward(&x)?;
-            self.cached_projections.push(u.clone());
-            x = x0.mul(&u)?.add(&x)?;
+            // x_{l+1} = x0 ⊙ u + x_l, fused into one elementwise pass.
+            let next = x0.mul_add(&u, &x)?;
+            self.cached_inputs.push(x);
+            self.cached_projections.push(u);
+            x = next;
         }
         // Keep x0 around for the backward pass.
         self.cached_inputs.push(x0.clone());

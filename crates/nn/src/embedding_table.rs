@@ -9,8 +9,85 @@
 use dmt_tensor::{Tensor, TensorError};
 use rand::distributions::{Distribution, Uniform};
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Minimum pooled-accumulation work (`Σ bag length × dim`) at which the forward pass
+/// fans samples out across threads; smaller batches stay serial so tiny lookups never
+/// pay thread overhead (the vendored rayon spawns OS threads per call, so the bar is
+/// around a millisecond of serial work).
+const PARALLEL_POOL_CUTOFF: usize = 1 << 22;
+
+/// Sparse per-row gradients in a sorted CSR-style layout: `indices[i]` is a table row
+/// with pending gradient `grads[i*dim..(i+1)*dim]`, with `indices` sorted and
+/// duplicate-free. Duplicate rows inside a batch are merged in a single pass when the
+/// structure is built, replacing the previous `HashMap<usize, Vec<f32>>` (one heap
+/// allocation per touched row) with two flat buffers.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+struct SparseRowGrads {
+    indices: Vec<usize>,
+    grads: Vec<f32>,
+}
+
+impl SparseRowGrads {
+    fn clear(&mut self) {
+        self.indices.clear();
+        self.grads.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The pending gradient of `row`, if any (binary search over the sorted indices).
+    fn row(&self, row: usize, dim: usize) -> Option<&[f32]> {
+        let slot = self.indices.binary_search(&row).ok()?;
+        Some(&self.grads[slot * dim..(slot + 1) * dim])
+    }
+
+    /// Merges `other` (also sorted) into `self`, adding gradients of shared rows.
+    fn merge(&mut self, other: SparseRowGrads, dim: usize) {
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        let mut indices = Vec::with_capacity(self.indices.len() + other.indices.len());
+        let mut grads = Vec::with_capacity(self.grads.len() + other.grads.len());
+        let (mut a, mut b) = (0, 0);
+        while a < self.indices.len() || b < other.indices.len() {
+            let take_a = match (self.indices.get(a), other.indices.get(b)) {
+                (Some(&ra), Some(&rb)) if ra == rb => {
+                    indices.push(ra);
+                    let start = grads.len();
+                    grads.extend_from_slice(&self.grads[a * dim..(a + 1) * dim]);
+                    for (acc, g) in grads[start..]
+                        .iter_mut()
+                        .zip(&other.grads[b * dim..(b + 1) * dim])
+                    {
+                        *acc += g;
+                    }
+                    a += 1;
+                    b += 1;
+                    continue;
+                }
+                (Some(&ra), Some(&rb)) => ra < rb,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_a {
+                indices.push(self.indices[a]);
+                grads.extend_from_slice(&self.grads[a * dim..(a + 1) * dim]);
+                a += 1;
+            } else {
+                indices.push(other.indices[b]);
+                grads.extend_from_slice(&other.grads[b * dim..(b + 1) * dim]);
+                b += 1;
+            }
+        }
+        self.indices = indices;
+        self.grads = grads;
+    }
+}
 
 /// A single embedding table with sum pooling.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,8 +99,8 @@ pub struct EmbeddingTable {
     num_embeddings: usize,
     dim: usize,
     cached_indices: Option<Vec<Vec<usize>>>,
-    /// Sparse gradients accumulated by the last backward pass: row -> gradient.
-    pending_grads: HashMap<usize, Vec<f32>>,
+    /// Sparse gradients accumulated by backward passes, sorted by row.
+    pending_grads: SparseRowGrads,
 }
 
 impl EmbeddingTable {
@@ -35,17 +112,22 @@ impl EmbeddingTable {
     /// Panics if `num_embeddings` or `dim` is zero.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(rng: &mut R, num_embeddings: usize, dim: usize) -> Self {
-        assert!(num_embeddings > 0 && dim > 0, "embedding table dimensions must be positive");
+        assert!(
+            num_embeddings > 0 && dim > 0,
+            "embedding table dimensions must be positive"
+        );
         let bound = 1.0 / (dim as f32).sqrt();
         let dist = Uniform::new_inclusive(-bound, bound);
-        let weight = (0..num_embeddings * dim).map(|_| dist.sample(rng)).collect();
+        let weight = (0..num_embeddings * dim)
+            .map(|_| dist.sample(rng))
+            .collect();
         Self {
             weight,
             adagrad_state: vec![0.0; num_embeddings],
             num_embeddings,
             dim,
             cached_indices: None,
-            pending_grads: HashMap::new(),
+            pending_grads: SparseRowGrads::default(),
         }
     }
 
@@ -82,25 +164,43 @@ impl EmbeddingTable {
     /// Out-of-range indices are mapped into range by modulo, mirroring the hashing
     /// trick production systems apply before lookup.
     ///
+    /// The hot loop accumulates straight from the borrowed weight-row slices into the
+    /// output row — zero per-index heap allocations — and large batches pool their
+    /// samples in parallel (each sample owns a disjoint output row, and per-sample
+    /// accumulation order is unchanged, so the result is bit-identical to the serial
+    /// pass).
+    ///
     /// # Errors
     ///
     /// Never fails today, but returns `Result` so callers treat lookup like the other
     /// fallible layer operations.
     pub fn forward(&mut self, bags: &[Vec<usize>]) -> Result<Tensor, TensorError> {
         let batch = bags.len();
-        let mut out = Tensor::zeros(&[batch, self.dim]);
-        let mut clamped: Vec<Vec<usize>> = Vec::with_capacity(batch);
-        for (b, bag) in bags.iter().enumerate() {
-            let mut rows = Vec::with_capacity(bag.len());
-            for &raw in bag {
-                let idx = raw % self.num_embeddings;
-                rows.push(idx);
-                let row = self.row(idx).to_vec();
-                for (t, v) in row.iter().enumerate() {
-                    out.data_mut()[b * self.dim + t] += v;
+        let dim = self.dim;
+        let mut out = Tensor::zeros(&[batch, dim]);
+        let clamped: Vec<Vec<usize>> = bags
+            .iter()
+            .map(|bag| bag.iter().map(|&raw| raw % self.num_embeddings).collect())
+            .collect();
+        let total_lookups: usize = clamped.iter().map(Vec::len).sum();
+        let weight = &self.weight;
+        let pool_sample = |dst: &mut [f32], rows: &[usize]| {
+            for &idx in rows {
+                let row = &weight[idx * dim..(idx + 1) * dim];
+                for (d, v) in dst.iter_mut().zip(row) {
+                    *d += v;
                 }
             }
-            clamped.push(rows);
+        };
+        if total_lookups * dim >= PARALLEL_POOL_CUTOFF && rayon::current_num_threads() > 1 {
+            out.data_mut()
+                .par_chunks_mut(dim)
+                .enumerate()
+                .for_each(|(b, dst)| pool_sample(dst, &clamped[b]));
+        } else {
+            for (dst, rows) in out.data_mut().chunks_exact_mut(dim).zip(&clamped) {
+                pool_sample(dst, rows);
+            }
         }
         self.cached_indices = Some(clamped);
         Ok(out)
@@ -131,15 +231,33 @@ impl EmbeddingTable {
                 rhs: vec![bags.len(), self.dim],
             });
         }
+        // Gather every (row, sample) occurrence, sort by row (sample order breaks
+        // ties so accumulation order per row matches the serial batch walk), then
+        // merge duplicate rows in one pass over the sorted pairs.
+        let dim = self.dim;
+        let total: usize = bags.iter().map(Vec::len).sum();
+        let mut occurrences: Vec<(usize, usize)> = Vec::with_capacity(total);
         for (b, bag) in bags.iter().enumerate() {
-            let grad_row = &grad_output.data()[b * self.dim..(b + 1) * self.dim];
-            for &idx in bag {
-                let entry = self.pending_grads.entry(idx).or_insert_with(|| vec![0.0; self.dim]);
-                for (e, g) in entry.iter_mut().zip(grad_row) {
-                    *e += g;
+            occurrences.extend(bag.iter().map(|&idx| (idx, b)));
+        }
+        occurrences.sort_unstable();
+        let mut batch_grads = SparseRowGrads {
+            indices: Vec::new(),
+            grads: Vec::new(),
+        };
+        for &(row, sample) in &occurrences {
+            let grad_row = &grad_output.data()[sample * dim..(sample + 1) * dim];
+            if batch_grads.indices.last() == Some(&row) {
+                let start = batch_grads.grads.len() - dim;
+                for (acc, g) in batch_grads.grads[start..].iter_mut().zip(grad_row) {
+                    *acc += g;
                 }
+            } else {
+                batch_grads.indices.push(row);
+                batch_grads.grads.extend_from_slice(grad_row);
             }
         }
+        self.pending_grads.merge(batch_grads, dim);
         Ok(())
     }
 
@@ -150,13 +268,15 @@ impl EmbeddingTable {
     /// tables in production trainers.
     pub fn apply_rowwise_adagrad(&mut self, learning_rate: f32, eps: f32) {
         let grads = std::mem::take(&mut self.pending_grads);
-        for (row, grad) in grads {
-            let mean_sq = grad.iter().map(|g| g * g).sum::<f32>() / self.dim as f32;
+        let dim = self.dim;
+        for (slot, &row) in grads.indices.iter().enumerate() {
+            let grad = &grads.grads[slot * dim..(slot + 1) * dim];
+            let mean_sq = grad.iter().map(|g| g * g).sum::<f32>() / dim as f32;
             self.adagrad_state[row] += mean_sq;
             let scale = learning_rate / (self.adagrad_state[row].sqrt() + eps);
-            let offset = row * self.dim;
-            for (t, g) in grad.iter().enumerate() {
-                self.weight[offset + t] -= scale * g;
+            let weight_row = &mut self.weight[row * dim..(row + 1) * dim];
+            for (w, g) in weight_row.iter_mut().zip(grad) {
+                *w -= scale * g;
             }
         }
     }
@@ -164,7 +284,13 @@ impl EmbeddingTable {
     /// Number of rows with pending (unapplied) gradients.
     #[must_use]
     pub fn pending_rows(&self) -> usize {
-        self.pending_grads.len()
+        self.pending_grads.indices.len()
+    }
+
+    /// The pending gradient accumulated for `row`, if that row was touched.
+    #[must_use]
+    pub fn pending_grad_for(&self, row: usize) -> Option<&[f32]> {
+        self.pending_grads.row(row, self.dim)
     }
 
     /// Discards pending gradients without applying them.
@@ -236,8 +362,58 @@ mod tests {
         t.backward(&grad).unwrap();
         assert_eq!(t.pending_rows(), 2);
         // Row 1 appears twice in sample 0's bag, so it gets twice the gradient.
-        assert_eq!(t.pending_grads[&1], vec![2.0, 4.0]);
-        assert_eq!(t.pending_grads[&3], vec![3.0, 4.0]);
+        assert_eq!(t.pending_grad_for(1).unwrap(), &[2.0, 4.0]);
+        assert_eq!(t.pending_grad_for(3).unwrap(), &[3.0, 4.0]);
+        assert!(t.pending_grad_for(2).is_none());
+    }
+
+    #[test]
+    fn backward_merges_across_calls_like_a_running_sum() {
+        let mut t = table(8, 2);
+        // First batch touches rows {1, 3}, second batch rows {0, 3, 5}; row 3 must
+        // accumulate across the two CSR merges.
+        t.forward(&[vec![1], vec![3]]).unwrap();
+        t.backward(&Tensor::from_vec(vec![2, 2], vec![1.0, 1.0, 2.0, 2.0]).unwrap())
+            .unwrap();
+        t.forward(&[vec![3, 0], vec![5]]).unwrap();
+        t.backward(&Tensor::from_vec(vec![2, 2], vec![10.0, 10.0, 4.0, 4.0]).unwrap())
+            .unwrap();
+        assert_eq!(t.pending_rows(), 4);
+        assert_eq!(t.pending_grad_for(0).unwrap(), &[10.0, 10.0]);
+        assert_eq!(t.pending_grad_for(1).unwrap(), &[1.0, 1.0]);
+        assert_eq!(t.pending_grad_for(3).unwrap(), &[12.0, 12.0]);
+        assert_eq!(t.pending_grad_for(5).unwrap(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn pooled_outputs_are_bit_identical_to_the_reference_loop() {
+        // Reference: the seed's per-index walk (clone each row, add it scalar-wise).
+        fn reference_forward(t: &EmbeddingTable, bags: &[Vec<usize>]) -> Vec<f32> {
+            let mut out = vec![0.0f32; bags.len() * t.dim()];
+            for (b, bag) in bags.iter().enumerate() {
+                for &raw in bag {
+                    let row = t.row(raw % t.num_embeddings()).to_vec();
+                    for (i, v) in row.iter().enumerate() {
+                        out[b * t.dim() + i] += v;
+                    }
+                }
+            }
+            out
+        }
+        let mut t = table(64, 7);
+        let bags: Vec<Vec<usize>> = (0..33)
+            .map(|b| (0..(b % 9)).map(|j| b * 13 + j * 71).collect())
+            .collect();
+        let expected = reference_forward(&t, &bags);
+        let actual = t.forward(&bags).unwrap();
+        assert_eq!(actual.data().len(), expected.len());
+        for (a, e) in actual.data().iter().zip(&expected) {
+            assert_eq!(
+                a.to_bits(),
+                e.to_bits(),
+                "pooled output must be bit-identical"
+            );
+        }
     }
 
     #[test]
@@ -270,7 +446,12 @@ mod tests {
             t.forward(&[vec![0]]).unwrap();
             t.backward(&Tensor::ones(&[1, 2])).unwrap();
             t.apply_rowwise_adagrad(0.1, 1e-8);
-            let delta: f32 = t.row(0).iter().zip(&before).map(|(a, b)| (a - b).abs()).sum();
+            let delta: f32 = t
+                .row(0)
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
             deltas.push(delta);
         }
         assert!(deltas[0] > deltas[1] && deltas[1] > deltas[2]);

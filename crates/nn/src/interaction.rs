@@ -7,7 +7,13 @@
 //! DLRM tower modules change the parameter count less than DCN's.
 
 use dmt_tensor::{Tensor, TensorError};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Minimum per-batch interaction work (`batch × pairs × dim`) at which the forward
+/// and backward passes fan samples out across threads (the vendored rayon spawns OS
+/// threads per call, so the bar is around a millisecond of serial work).
+const PARALLEL_INTERACTION_CUTOFF: usize = 1 << 22;
 
 /// Pairwise dot-product interaction over `num_features` vectors of `dim` each.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -21,7 +27,11 @@ impl DotInteraction {
     /// Creates an interaction over `num_features` feature vectors of width `dim`.
     #[must_use]
     pub fn new(num_features: usize, dim: usize) -> Self {
-        Self { num_features, dim, cached_input: None }
+        Self {
+            num_features,
+            dim,
+            cached_input: None,
+        }
     }
 
     /// Number of interacting feature vectors.
@@ -69,18 +79,34 @@ impl DotInteraction {
         let batch = input.shape()[0];
         let f = self.num_features;
         let d = self.dim;
-        let mut out = Tensor::zeros(&[batch, self.output_dim()]);
-        for b in 0..batch {
-            let row = &input.data()[b * f * d..(b + 1) * f * d];
+        let pairs = self.output_dim();
+        let mut out = Tensor::zeros(&[batch, pairs]);
+        if pairs == 0 {
+            self.cached_input = Some(input.clone());
+            return Ok(out);
+        }
+        let data = input.data();
+        // Each sample computes the upper triangle of its feature Gram matrix straight
+        // into its (disjoint) output row.
+        let sample_pairs = |out_row: &mut [f32], row: &[f32]| {
             let mut k = 0;
             for i in 0..f {
+                let ei = &row[i * d..(i + 1) * d];
                 for j in (i + 1)..f {
-                    let ei = &row[i * d..(i + 1) * d];
                     let ej = &row[j * d..(j + 1) * d];
-                    let dot: f32 = ei.iter().zip(ej).map(|(a, b)| a * b).sum();
-                    out.set(b, k, dot);
+                    out_row[k] = ei.iter().zip(ej).map(|(a, b)| a * b).sum();
                     k += 1;
                 }
+            }
+        };
+        if batch * pairs * d >= PARALLEL_INTERACTION_CUTOFF && rayon::current_num_threads() > 1 {
+            out.data_mut()
+                .par_chunks_mut(pairs)
+                .enumerate()
+                .for_each(|(b, out_row)| sample_pairs(out_row, &data[b * f * d..(b + 1) * f * d]));
+        } else {
+            for (b, out_row) in out.data_mut().chunks_exact_mut(pairs).enumerate() {
+                sample_pairs(out_row, &data[b * f * d..(b + 1) * f * d]);
             }
         }
         self.cached_input = Some(input.clone());
@@ -111,24 +137,50 @@ impl DotInteraction {
         let batch = input.shape()[0];
         let f = self.num_features;
         let d = self.dim;
+        let pairs = self.output_dim();
         let mut grad_in = Tensor::zeros(input.shape());
-        for b in 0..batch {
-            let row = &input.data()[b * f * d..(b + 1) * f * d];
-            let mut contributions = vec![0.0f32; f * d];
+        if pairs == 0 || f * d == 0 {
+            return Ok(grad_in);
+        }
+        let data = input.data();
+        let grads = grad_output.data();
+        // Accumulate each sample's pair gradients straight into its (zero-initialized,
+        // disjoint) input-gradient row — no per-sample scratch buffer.
+        let sample_backward = |grad_row: &mut [f32], row: &[f32], gout: &[f32]| {
             let mut k = 0;
             for i in 0..f {
                 for j in (i + 1)..f {
-                    let g = grad_output.at(b, k);
+                    let g = gout[k];
                     if g != 0.0 {
                         for t in 0..d {
-                            contributions[i * d + t] += g * row[j * d + t];
-                            contributions[j * d + t] += g * row[i * d + t];
+                            grad_row[i * d + t] += g * row[j * d + t];
+                            grad_row[j * d + t] += g * row[i * d + t];
                         }
                     }
                     k += 1;
                 }
             }
-            grad_in.data_mut()[b * f * d..(b + 1) * f * d].copy_from_slice(&contributions);
+        };
+        if batch * pairs * d >= PARALLEL_INTERACTION_CUTOFF && rayon::current_num_threads() > 1 {
+            grad_in
+                .data_mut()
+                .par_chunks_mut(f * d)
+                .enumerate()
+                .for_each(|(b, grad_row)| {
+                    sample_backward(
+                        grad_row,
+                        &data[b * f * d..(b + 1) * f * d],
+                        &grads[b * pairs..(b + 1) * pairs],
+                    );
+                });
+        } else {
+            for (b, grad_row) in grad_in.data_mut().chunks_exact_mut(f * d).enumerate() {
+                sample_backward(
+                    grad_row,
+                    &data[b * f * d..(b + 1) * f * d],
+                    &grads[b * pairs..(b + 1) * pairs],
+                );
+            }
         }
         Ok(grad_in)
     }
@@ -163,7 +215,11 @@ mod tests {
     #[test]
     fn gradient_check() {
         let mut inter = DotInteraction::new(3, 2);
-        let x = Tensor::from_vec(vec![2, 6], (0..12).map(|i| (i as f32) * 0.1 - 0.5).collect()).unwrap();
+        let x = Tensor::from_vec(
+            vec![2, 6],
+            (0..12).map(|i| (i as f32) * 0.1 - 0.5).collect(),
+        )
+        .unwrap();
         let y = inter.forward(&x).unwrap();
         let dx = inter.backward(&Tensor::ones(y.shape())).unwrap();
 

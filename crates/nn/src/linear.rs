@@ -53,24 +53,23 @@ impl Linear {
 
     /// Forward pass; caches the input for the backward pass.
     ///
+    /// Runs the fused [`Tensor::matmul_bias`] kernel: the bias broadcast is folded
+    /// into the GEMM output initialization instead of a per-element fix-up pass.
+    ///
     /// # Errors
     ///
     /// Returns a [`TensorError`] if `input` is not `[batch, in_features]`.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
-        let mut out = input.matmul(&self.weight.value)?;
-        let batch = out.shape()[0];
-        let cols = self.out_features;
-        for r in 0..batch {
-            for c in 0..cols {
-                let v = out.at(r, c) + self.bias.value.data()[c];
-                out.set(r, c, v);
-            }
-        }
+        let out = input.matmul_bias(&self.weight.value, &self.bias.value)?;
         self.cached_input = Some(input.clone());
         Ok(out)
     }
 
     /// Backward pass: accumulates `dW`, `db` and returns `dx`.
+    ///
+    /// Both matrix products run on the fused transpose-free kernels
+    /// ([`Tensor::matmul_at_b`] for `dW = xᵀ·dy`, [`Tensor::matmul_a_bt`] for
+    /// `dx = dy·Wᵀ`), so no transposed copy of the input or the weights is allocated.
     ///
     /// # Errors
     ///
@@ -84,21 +83,28 @@ impl Linear {
             .cached_input
             .as_ref()
             .expect("Linear::backward called before forward");
-        // dW = x^T dy
-        let grad_w = input.transpose()?.matmul(grad_output)?;
+        let cols = self.out_features;
+        if grad_output.rank() != 2 || grad_output.shape()[1] != cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_backward",
+                lhs: grad_output.shape().to_vec(),
+                rhs: vec![input.shape()[0], cols],
+            });
+        }
+        // dW = x^T dy, without materializing x^T.
+        let grad_w = input.matmul_at_b(grad_output)?;
         self.weight.accumulate_grad(&grad_w);
-        // db = column sums of dy
-        let batch = grad_output.shape()[0];
-        let mut grad_b = vec![0.0f32; self.out_features];
-        for r in 0..batch {
-            for (c, gb) in grad_b.iter_mut().enumerate() {
-                *gb += grad_output.at(r, c);
+        // db = column sums of dy, accumulated slice-wise over the batch rows.
+        let mut grad_b = vec![0.0f32; cols];
+        for row in grad_output.data().chunks_exact(cols) {
+            for (gb, &g) in grad_b.iter_mut().zip(row) {
+                *gb += g;
             }
         }
         self.bias
-            .accumulate_grad(&Tensor::from_vec(vec![self.out_features], grad_b)?);
-        // dx = dy W^T
-        grad_output.matmul(&self.weight.value.transpose()?)
+            .accumulate_grad(&Tensor::from_vec(vec![cols], grad_b)?);
+        // dx = dy W^T, without materializing W^T.
+        grad_output.matmul_a_bt(&self.weight.value)
     }
 
     /// Immutable access to the weight matrix (e.g. for probing feature similarity).
@@ -146,7 +152,8 @@ mod tests {
     #[test]
     fn gradient_check_against_finite_differences() {
         let mut l = layer(4, 3);
-        let x = Tensor::from_vec(vec![2, 4], (0..8).map(|i| i as f32 * 0.1 - 0.4).collect()).unwrap();
+        let x =
+            Tensor::from_vec(vec![2, 4], (0..8).map(|i| i as f32 * 0.1 - 0.4).collect()).unwrap();
         // Loss = sum(y).
         let y = l.forward(&x).unwrap();
         let grad_out = Tensor::ones(y.shape());
@@ -170,12 +177,7 @@ mod tests {
             );
         }
         // Check dL/db: for loss = sum(y), db = batch size.
-        assert!(l
-            .bias
-            .grad
-            .data()
-            .iter()
-            .all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(l.bias.grad.data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
     }
 
     #[test]

@@ -85,10 +85,16 @@ mod tests {
         let (_, _, grad) = loss.forward_backward(&logits, &labels).unwrap();
         let eps = 1e-3f32;
         let (lp, _, _) = loss
-            .forward_backward(&Tensor::from_vec(vec![1, 1], vec![z + eps]).unwrap(), &labels)
+            .forward_backward(
+                &Tensor::from_vec(vec![1, 1], vec![z + eps]).unwrap(),
+                &labels,
+            )
             .unwrap();
         let (lm, _, _) = loss
-            .forward_backward(&Tensor::from_vec(vec![1, 1], vec![z - eps]).unwrap(), &labels)
+            .forward_backward(
+                &Tensor::from_vec(vec![1, 1], vec![z - eps]).unwrap(),
+                &labels,
+            )
             .unwrap();
         let numeric = (lp - lm) / (2.0 * f64::from(eps));
         assert!((numeric - f64::from(grad.data()[0])).abs() < 1e-3);
@@ -106,6 +112,8 @@ mod tests {
     #[test]
     fn mismatched_lengths_error() {
         let loss = BceWithLogitsLoss::new();
-        assert!(loss.forward_backward(&Tensor::ones(&[2, 1]), &[1.0]).is_err());
+        assert!(loss
+            .forward_backward(&Tensor::ones(&[2, 1]), &[1.0])
+            .is_err());
     }
 }

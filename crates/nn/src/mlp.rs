@@ -27,12 +27,18 @@ impl Mlp {
     /// Panics if fewer than two sizes are given.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(rng: &mut R, sizes: &[usize]) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output width");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least an input and an output width"
+        );
         let layers = sizes
             .windows(2)
             .map(|pair| Linear::new(rng, pair[0], pair[1]))
             .collect();
-        Self { layers, cached_pre_activations: Vec::new() }
+        Self {
+            layers,
+            cached_pre_activations: Vec::new(),
+        }
     }
 
     /// Input width.
@@ -71,8 +77,9 @@ impl Mlp {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let pre = layer.forward(&x)?;
             if i < last {
-                self.cached_pre_activations.push(pre.clone());
                 x = relu(&pre);
+                // Move (not clone) the pre-activation into the backward cache.
+                self.cached_pre_activations.push(pre);
             } else {
                 x = pre;
             }
@@ -173,7 +180,12 @@ mod tests {
         let target = [0.0f32, 1.0, 1.0, 2.0];
         let loss_at = |m: &mut Mlp| -> f32 {
             let y = m.forward(&x).unwrap();
-            y.data().iter().zip(&target).map(|(p, t)| (p - t).powi(2)).sum::<f32>() / 4.0
+            y.data()
+                .iter()
+                .zip(&target)
+                .map(|(p, t)| (p - t).powi(2))
+                .sum::<f32>()
+                / 4.0
         };
         let initial = loss_at(&mut m);
         for _ in 0..200 {
@@ -185,7 +197,8 @@ mod tests {
                 .zip(&target)
                 .map(|(p, t)| 2.0 * (p - t) / 4.0)
                 .collect();
-            m.backward(&Tensor::from_vec(vec![4, 1], grad).unwrap()).unwrap();
+            m.backward(&Tensor::from_vec(vec![4, 1], grad).unwrap())
+                .unwrap();
             sgd.step(&mut m);
         }
         let trained = loss_at(&mut m);

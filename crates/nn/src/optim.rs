@@ -31,7 +31,9 @@ impl Optimizer for SgdOptimizer {
         let lr = self.learning_rate;
         model.visit_parameters(&mut |p: &mut Parameter| {
             let grad = p.grad.clone();
-            p.value.axpy(-lr, &grad).expect("gradient matches parameter shape");
+            p.value
+                .axpy(-lr, &grad)
+                .expect("gradient matches parameter shape");
         });
     }
 }
@@ -55,7 +57,13 @@ impl AdamOptimizer {
     /// Creates Adam with the standard `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
     #[must_use]
     pub fn new(learning_rate: f32) -> Self {
-        Self { learning_rate, beta1: 0.9, beta2: 0.999, eps: 1e-8, step_count: 0 }
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step_count: 0,
+        }
     }
 
     /// Number of steps taken so far.

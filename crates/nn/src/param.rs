@@ -26,7 +26,12 @@ impl Parameter {
     #[must_use]
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape());
-        Self { value, grad, adam_m: None, adam_v: None }
+        Self {
+            value,
+            grad,
+            adam_m: None,
+            adam_v: None,
+        }
     }
 
     /// Number of scalar elements in the parameter.

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod init;
+pub mod kernels;
 pub mod tensor;
 
 pub use init::{kaiming_uniform, xavier_uniform};

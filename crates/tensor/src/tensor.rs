@@ -1,5 +1,6 @@
 //! The dense row-major `f32` tensor and its operations.
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -46,12 +47,20 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeDataMismatch { shape, data_len } => {
-                write!(f, "shape {shape:?} requires {} elements but {data_len} were provided", shape.iter().product::<usize>())
+                write!(
+                    f,
+                    "shape {shape:?} requires {} elements but {data_len} were provided",
+                    shape.iter().product::<usize>()
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
             }
-            TensorError::RankMismatch { op, expected, actual } => {
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected rank {expected}, got {actual}")
             }
             TensorError::IndexOutOfBounds { op, index, bound } => {
@@ -62,6 +71,9 @@ impl fmt::Display for TensorError {
 }
 
 impl std::error::Error for TensorError {}
+
+/// `(rows, cols)` of one matrix operand.
+type MatDims = (usize, usize);
 
 /// A dense, contiguous, row-major `f32` tensor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,7 +92,10 @@ impl Tensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, TensorError> {
         let expected: usize = shape.iter().product();
         if expected != data.len() {
-            return Err(TensorError::ShapeDataMismatch { shape, data_len: data.len() });
+            return Err(TensorError::ShapeDataMismatch {
+                shape,
+                data_len: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -88,7 +103,10 @@ impl Tensor {
     /// A tensor filled with zeros.
     #[must_use]
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// A tensor filled with ones.
@@ -100,7 +118,10 @@ impl Tensor {
     /// A tensor filled with `value`.
     #[must_use]
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
     }
 
     /// The tensor's shape.
@@ -195,8 +216,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn add(&self, other: &Self) -> Result<Self, TensorError> {
         self.check_same_shape(other, "add")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Self { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise subtraction.
@@ -206,8 +235,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn sub(&self, other: &Self) -> Result<Self, TensorError> {
         self.check_same_shape(other, "sub")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Ok(Self { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise (Hadamard) product.
@@ -217,8 +254,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn mul(&self, other: &Self) -> Result<Self, TensorError> {
         self.check_same_shape(other, "mul")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Ok(Self { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// In-place `self += alpha * other`.
@@ -237,13 +282,19 @@ impl Tensor {
     /// Multiplies every element by `scalar`, returning a new tensor.
     #[must_use]
     pub fn scale(&self, scalar: f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|x| x * scalar).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|x| x * scalar).collect(),
+        }
     }
 
     /// Applies `f` to every element, returning a new tensor.
     #[must_use]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().copied().map(f).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
     }
 
     /// Sum of all elements.
@@ -284,21 +335,45 @@ impl Tensor {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
+    /// Checks that `self` and `other` are matrices with compatible `[m, k] x [k2, n]`
+    /// shapes for `op`, where the caller interprets `k`/`k2` according to the kernel
+    /// (e.g. for `AᵀB` the *row* counts must agree). Returns `(rows, cols)` of each.
+    fn matmul_dims(
+        &self,
+        other: &Self,
+        op: &'static str,
+    ) -> Result<(MatDims, MatDims), TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op,
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op,
+                expected: 2,
+                actual: other.rank(),
+            });
+        }
+        Ok((
+            (self.shape[0], self.shape[1]),
+            (other.shape[0], other.shape[1]),
+        ))
+    }
+
     /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Dispatches to the cache-blocked kernel in [`crate::kernels`], which tiles the
+    /// loops for locality and parallelizes large shapes across threads.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] for non-matrices and
     /// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
     pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.rank() });
-        }
-        if other.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: other.rank() });
-        }
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
+        let ((m, k), (k2, n)) = self.matmul_dims(other, "matmul")?;
         if k != k2 {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -307,20 +382,129 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        kernels::gemm(&self.data, &other.data, &mut out, m, k, n);
+        Ok(Self {
+            shape: vec![m, n],
+            data: out,
+        })
+    }
+
+    /// Fused `self · weight + bias` with the bias row broadcast over every output row:
+    /// `[m, k] x [k, n] + [n] -> [m, n]`.
+    ///
+    /// The bias is written into the output buffer first and the GEMM accumulates on
+    /// top, so no intermediate product tensor or per-element bias pass exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] if the
+    /// operands are not conforming matrices or `bias` is not a length-`n` vector.
+    pub fn matmul_bias(&self, weight: &Self, bias: &Self) -> Result<Self, TensorError> {
+        let ((m, k), (k2, n)) = self.matmul_dims(weight, "matmul_bias")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias",
+                lhs: self.shape.clone(),
+                rhs: weight.shape.clone(),
+            });
         }
-        Ok(Self { shape: vec![m, n], data: out })
+        if bias.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_bias",
+                expected: 1,
+                actual: bias.rank(),
+            });
+        }
+        if bias.shape[0] != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias",
+                lhs: weight.shape.clone(),
+                rhs: bias.shape.clone(),
+            });
+        }
+        let mut out = Vec::with_capacity(m * n);
+        for _ in 0..m {
+            out.extend_from_slice(&bias.data);
+        }
+        kernels::gemm(&self.data, &weight.data, &mut out, m, k, n);
+        Ok(Self {
+            shape: vec![m, n],
+            data: out,
+        })
+    }
+
+    /// Fused `selfᵀ · other` without materializing the transpose:
+    /// `[m, r]ᵀ x [m, n] -> [r, n]`.
+    ///
+    /// This is the weight-gradient product of a linear layer (`dW = xᵀ·dy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] if the row counts disagree.
+    pub fn matmul_at_b(&self, other: &Self) -> Result<Self, TensorError> {
+        let ((m, r), (m2, n)) = self.matmul_dims(other, "matmul_at_b")?;
+        if m != m2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_at_b",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let mut out = vec![0.0f32; r * n];
+        kernels::gemm_at_b(&self.data, &other.data, &mut out, m, r, n);
+        Ok(Self {
+            shape: vec![r, n],
+            data: out,
+        })
+    }
+
+    /// Fused `self · otherᵀ` without materializing the transpose:
+    /// `[m, k] x [n, k]ᵀ -> [m, n]`.
+    ///
+    /// This is the input-gradient product of a linear layer (`dx = dy·Wᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] if the shared inner widths disagree.
+    pub fn matmul_a_bt(&self, other: &Self) -> Result<Self, TensorError> {
+        let ((m, k), (n, k2)) = self.matmul_dims(other, "matmul_a_bt")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_a_bt",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        kernels::gemm_a_bt(&self.data, &other.data, &mut out, m, k, n);
+        Ok(Self {
+            shape: vec![m, n],
+            data: out,
+        })
+    }
+
+    /// Fused elementwise `self ⊙ a + b` in a single pass (no intermediate product
+    /// tensor) — the DCN cross-layer update `x_{l+1} = x_0 ⊙ u_l + x_l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul_add(&self, a: &Self, b: &Self) -> Result<Self, TensorError> {
+        self.check_same_shape(a, "mul_add")?;
+        self.check_same_shape(b, "mul_add")?;
+        let data = self
+            .data
+            .iter()
+            .zip(&a.data)
+            .zip(&b.data)
+            .map(|((&x, &y), &z)| x * y + z)
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Transpose of a rank-2 tensor.
@@ -330,7 +514,11 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn transpose(&self) -> Result<Self, TensorError> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "transpose", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
@@ -339,7 +527,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Ok(Self { shape: vec![n, m], data: out })
+        Ok(Self {
+            shape: vec![n, m],
+            data: out,
+        })
     }
 
     /// Concatenates rank-2 tensors along the column dimension (dim 1). All inputs must
@@ -352,12 +543,20 @@ impl Tensor {
     /// [`TensorError::IndexOutOfBounds`] for an empty input list.
     pub fn concat_cols(tensors: &[&Self]) -> Result<Self, TensorError> {
         if tensors.is_empty() {
-            return Err(TensorError::IndexOutOfBounds { op: "concat_cols", index: 0, bound: 0 });
+            return Err(TensorError::IndexOutOfBounds {
+                op: "concat_cols",
+                index: 0,
+                bound: 0,
+            });
         }
         let rows = tensors[0].shape.first().copied().unwrap_or(0);
         for t in tensors {
             if t.rank() != 2 {
-                return Err(TensorError::RankMismatch { op: "concat_cols", expected: 2, actual: t.rank() });
+                return Err(TensorError::RankMismatch {
+                    op: "concat_cols",
+                    expected: 2,
+                    actual: t.rank(),
+                });
             }
             if t.shape[0] != rows {
                 return Err(TensorError::ShapeMismatch {
@@ -375,7 +574,10 @@ impl Tensor {
                 data.extend_from_slice(&t.data[r * cols..(r + 1) * cols]);
             }
         }
-        Ok(Self { shape: vec![rows, total_cols], data })
+        Ok(Self {
+            shape: vec![rows, total_cols],
+            data,
+        })
     }
 
     /// Splits a rank-2 tensor column-wise into pieces of the given widths.
@@ -386,7 +588,11 @@ impl Tensor {
     /// count, or [`TensorError::RankMismatch`] for non-matrices.
     pub fn split_cols(&self, widths: &[usize]) -> Result<Vec<Self>, TensorError> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "split_cols", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "split_cols",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let total: usize = widths.iter().sum();
         if total != self.shape[1] {
@@ -398,16 +604,25 @@ impl Tensor {
         }
         let rows = self.shape[0];
         let cols = self.shape[1];
-        let mut out: Vec<Self> = widths.iter().map(|w| Self::zeros(&[rows, *w])).collect();
+        let mut bufs: Vec<Vec<f32>> = widths
+            .iter()
+            .map(|w| Vec::with_capacity(rows * w))
+            .collect();
         for r in 0..rows {
             let mut offset = 0;
-            for (piece, w) in out.iter_mut().zip(widths) {
-                piece.data[r * w..(r + 1) * w]
-                    .copy_from_slice(&self.data[r * cols + offset..r * cols + offset + w]);
+            for (buf, w) in bufs.iter_mut().zip(widths) {
+                buf.extend_from_slice(&self.data[r * cols + offset..r * cols + offset + w]);
                 offset += w;
             }
         }
-        Ok(out)
+        Ok(bufs
+            .into_iter()
+            .zip(widths)
+            .map(|(data, &w)| Self {
+                shape: vec![rows, w],
+                data,
+            })
+            .collect())
     }
 
     /// Returns the rows `[start, start + count)` of a rank-2 tensor as a new tensor.
@@ -418,15 +633,26 @@ impl Tensor {
     /// or [`TensorError::RankMismatch`] for non-matrices.
     pub fn slice_rows(&self, start: usize, count: usize) -> Result<Self, TensorError> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "slice_rows", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "slice_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let rows = self.shape[0];
         if start + count > rows {
-            return Err(TensorError::IndexOutOfBounds { op: "slice_rows", index: start + count, bound: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                op: "slice_rows",
+                index: start + count,
+                bound: rows,
+            });
         }
         let cols = self.shape[1];
         let data = self.data[start * cols..(start + count) * cols].to_vec();
-        Ok(Self { shape: vec![count, cols], data })
+        Ok(Self {
+            shape: vec![count, cols],
+            data,
+        })
     }
 
     /// Stacks rank-2 tensors with identical shapes along a new leading row dimension
@@ -439,13 +665,21 @@ impl Tensor {
     /// [`TensorError::IndexOutOfBounds`] for an empty input list.
     pub fn concat_rows(tensors: &[&Self]) -> Result<Self, TensorError> {
         if tensors.is_empty() {
-            return Err(TensorError::IndexOutOfBounds { op: "concat_rows", index: 0, bound: 0 });
+            return Err(TensorError::IndexOutOfBounds {
+                op: "concat_rows",
+                index: 0,
+                bound: 0,
+            });
         }
         let cols = tensors[0].shape.get(1).copied().unwrap_or(0);
         let mut rows = 0;
         for t in tensors {
             if t.rank() != 2 {
-                return Err(TensorError::RankMismatch { op: "concat_rows", expected: 2, actual: t.rank() });
+                return Err(TensorError::RankMismatch {
+                    op: "concat_rows",
+                    expected: 2,
+                    actual: t.rank(),
+                });
             }
             if t.shape[1] != cols {
                 return Err(TensorError::ShapeMismatch {
@@ -460,7 +694,10 @@ impl Tensor {
         for t in tensors {
             data.extend_from_slice(&t.data);
         }
-        Ok(Self { shape: vec![rows, cols], data })
+        Ok(Self {
+            shape: vec![rows, cols],
+            data,
+        })
     }
 }
 
@@ -518,6 +755,51 @@ mod tests {
         assert!(a.matmul(&Tensor::zeros(&[4, 2])).is_err());
         assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
         assert!(Tensor::zeros(&[3]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_bias_broadcasts_rows() {
+        let x = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let w = Tensor::ones(&[3, 2]);
+        let b = Tensor::from_vec(vec![2], vec![10.0, -10.0]).unwrap();
+        let y = x.matmul_bias(&w, &b).unwrap();
+        assert_eq!(y.data(), &[16.0, -4.0, 25.0, 5.0]);
+        assert!(x.matmul_bias(&w, &Tensor::zeros(&[3])).is_err());
+        assert!(x.matmul_bias(&Tensor::zeros(&[4, 2]), &b).is_err());
+        assert!(x.matmul_bias(&w, &Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn fused_transposed_products_match_explicit_transpose() {
+        let a = Tensor::from_vec(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(vec![3, 4], (0..12).map(|i| i as f32 * 0.5).collect()).unwrap();
+        let fused = a.matmul_at_b(&b).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(fused.shape(), explicit.shape());
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        let c = Tensor::from_vec(vec![4, 2], (0..8).map(|i| i as f32 - 3.0).collect()).unwrap();
+        let fused = a.matmul_a_bt(&c).unwrap();
+        let explicit = a.matmul(&c.transpose().unwrap()).unwrap();
+        assert_eq!(fused.shape(), &[3, 4]);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        assert!(a.matmul_at_b(&Tensor::zeros(&[2, 4])).is_err());
+        assert!(a.matmul_a_bt(&Tensor::zeros(&[4, 3])).is_err());
+    }
+
+    #[test]
+    fn mul_add_fuses_hadamard_and_residual() {
+        let x0 = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let u = Tensor::from_vec(vec![2, 2], vec![0.5, 0.5, 2.0, 2.0]).unwrap();
+        let xl = Tensor::from_vec(vec![2, 2], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let next = x0.mul_add(&u, &xl).unwrap();
+        assert_eq!(next.data(), &[1.5, 2.0, 7.0, 9.0]);
+        assert!(x0.mul_add(&u, &Tensor::zeros(&[3])).is_err());
     }
 
     #[test]

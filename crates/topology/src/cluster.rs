@@ -60,12 +60,18 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::EmptyCluster => {
-                write!(f, "cluster must have at least one host and one GPU per host")
+                write!(
+                    f,
+                    "cluster must have at least one host and one GPU per host"
+                )
             }
             TopologyError::RankOutOfRange { rank, world_size } => {
                 write!(f, "rank {rank} is out of range for world size {world_size}")
             }
-            TopologyError::IndivisibleTowers { num_hosts, num_towers } => write!(
+            TopologyError::IndivisibleTowers {
+                num_hosts,
+                num_towers,
+            } => write!(
                 f,
                 "{num_towers} towers cannot be evenly mapped onto {num_hosts} hosts"
             ),
@@ -101,7 +107,11 @@ impl ClusterTopology {
         if num_hosts == 0 || gpus_per_host == 0 {
             return Err(TopologyError::EmptyCluster);
         }
-        Ok(Self { generation, num_hosts, gpus_per_host })
+        Ok(Self {
+            generation,
+            num_hosts,
+            gpus_per_host,
+        })
     }
 
     /// A standard 8-GPU-per-host cluster with `world_size` total GPUs.
@@ -112,8 +122,11 @@ impl ClusterTopology {
     ///
     /// Returns [`TopologyError::EmptyCluster`] if `world_size < 8` or `world_size` is
     /// not a multiple of 8.
-    pub fn standard(generation: HardwareGeneration, world_size: usize) -> Result<Self, TopologyError> {
-        if world_size == 0 || world_size % 8 != 0 {
+    pub fn standard(
+        generation: HardwareGeneration,
+        world_size: usize,
+    ) -> Result<Self, TopologyError> {
+        if world_size == 0 || !world_size.is_multiple_of(8) {
             return Err(TopologyError::EmptyCluster);
         }
         Self::new(generation, world_size / 8, 8)
@@ -158,7 +171,10 @@ impl ClusterTopology {
         if rank.0 < self.world_size() {
             Ok(())
         } else {
-            Err(TopologyError::RankOutOfRange { rank: rank.0, world_size: self.world_size() })
+            Err(TopologyError::RankOutOfRange {
+                rank: rank.0,
+                world_size: self.world_size(),
+            })
         }
     }
 
@@ -235,10 +251,14 @@ impl ClusterTopology {
     /// Returns [`TopologyError::EmptyCluster`] if `world_size` is not a positive
     /// multiple of `gpus_per_host`.
     pub fn with_world_size(&self, world_size: usize) -> Result<Self, TopologyError> {
-        if world_size == 0 || world_size % self.gpus_per_host != 0 {
+        if world_size == 0 || !world_size.is_multiple_of(self.gpus_per_host) {
             return Err(TopologyError::EmptyCluster);
         }
-        Self::new(self.generation, world_size / self.gpus_per_host, self.gpus_per_host)
+        Self::new(
+            self.generation,
+            world_size / self.gpus_per_host,
+            self.gpus_per_host,
+        )
     }
 }
 
@@ -315,7 +335,10 @@ mod tests {
         assert!(c.check_rank(Rank(3)).is_ok());
         assert_eq!(
             c.check_rank(Rank(4)),
-            Err(TopologyError::RankOutOfRange { rank: 4, world_size: 4 })
+            Err(TopologyError::RankOutOfRange {
+                rank: 4,
+                world_size: 4
+            })
         );
     }
 

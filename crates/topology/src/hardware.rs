@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn generations_are_ordered_by_year() {
-        let years: Vec<u32> = HardwareGeneration::ALL.iter().map(|g| g.spec().year).collect();
+        let years: Vec<u32> = HardwareGeneration::ALL
+            .iter()
+            .map(|g| g.spec().year)
+            .collect();
         let mut sorted = years.clone();
         sorted.sort_unstable();
         assert_eq!(years, sorted);

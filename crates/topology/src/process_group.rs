@@ -55,14 +55,20 @@ impl ProcessGroup {
     /// The global group containing every rank.
     #[must_use]
     pub fn global(cluster: &ClusterTopology) -> Self {
-        Self { kind: GroupKind::Global, ranks: cluster.all_ranks() }
+        Self {
+            kind: GroupKind::Global,
+            ranks: cluster.all_ranks(),
+        }
     }
 
     /// One intra-host group per host, in host order.
     #[must_use]
     pub fn intra_host_groups(cluster: &ClusterTopology) -> Vec<Self> {
         (0..cluster.num_hosts())
-            .map(|h| Self { kind: GroupKind::IntraHost, ranks: cluster.ranks_on_host(h) })
+            .map(|h| Self {
+                kind: GroupKind::IntraHost,
+                ranks: cluster.ranks_on_host(h),
+            })
             .collect()
     }
 
@@ -113,7 +119,9 @@ impl ProcessGroup {
     /// Whether every pair of ranks in the group is connected intra-host.
     #[must_use]
     pub fn is_intra_host(&self, cluster: &ClusterTopology) -> bool {
-        let Some(first) = self.ranks.first() else { return false };
+        let Some(first) = self.ranks.first() else {
+            return false;
+        };
         let host = cluster.host_of(*first);
         self.ranks.iter().all(|r| cluster.host_of(*r) == host)
     }

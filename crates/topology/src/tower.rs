@@ -49,8 +49,11 @@ impl TowerPlacement {
     ///
     /// Returns [`TopologyError::IndivisibleTowers`] if `num_towers` does not divide the
     /// host count, or is zero.
-    pub fn with_towers(cluster: &ClusterTopology, num_towers: usize) -> Result<Self, TopologyError> {
-        if num_towers == 0 || cluster.num_hosts() % num_towers != 0 {
+    pub fn with_towers(
+        cluster: &ClusterTopology,
+        num_towers: usize,
+    ) -> Result<Self, TopologyError> {
+        if num_towers == 0 || !cluster.num_hosts().is_multiple_of(num_towers) {
             return Err(TopologyError::IndivisibleTowers {
                 num_hosts: cluster.num_hosts(),
                 num_towers,
@@ -113,7 +116,10 @@ impl TowerPlacement {
     ///
     /// Returns an error if the placement does not fit `cluster` (e.g. it was created
     /// for a different cluster shape).
-    pub fn tower_groups(&self, cluster: &ClusterTopology) -> Result<Vec<ProcessGroup>, TopologyError> {
+    pub fn tower_groups(
+        &self,
+        cluster: &ClusterTopology,
+    ) -> Result<Vec<ProcessGroup>, TopologyError> {
         self.towers()
             .into_iter()
             .map(|t| ProcessGroup::new(cluster, GroupKind::Tower, self.ranks_of(t)))

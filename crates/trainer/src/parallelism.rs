@@ -58,7 +58,9 @@ pub fn enumerate_parallelism_configs(cfg: &SimulationConfig) -> Vec<ParallelismC
     let intra = &ProcessGroup::intra_host_groups(cluster)[0];
     let world = cluster.world_size();
     let compute = cfg.compute_time_s(1.0);
-    let grad_bytes = cfg.gradient_quant.scale_fp32_bytes(cfg.model.dense_grad_bytes());
+    let grad_bytes = cfg
+        .gradient_quant
+        .scale_fp32_bytes(cfg.model.dense_grad_bytes());
     // Activation volume crossing a model-parallel boundary: one hidden layer's worth of
     // activations for the local batch (hidden width ~1024 floats).
     let activation_bytes = cfg.local_batch as u64 * 1024 * 4;
@@ -82,7 +84,11 @@ pub fn enumerate_parallelism_configs(cfg: &SimulationConfig) -> Vec<ParallelismC
         .collect();
     tensor_degrees.push(world);
     for degree in tensor_degrees {
-        let group = if degree <= cluster.gpus_per_host() { intra } else { &global };
+        let group = if degree <= cluster.gpus_per_host() {
+            intra
+        } else {
+            &global
+        };
         // AllGather (forward) + ReduceScatter (backward) of activations at ~4 layer
         // boundaries in the MLP stack.
         let allgather = collectives::all_gather(&model, group, activation_bytes);
@@ -139,7 +145,8 @@ mod tests {
     use dmt_topology::HardwareGeneration;
 
     fn configs() -> Vec<ParallelismConfig> {
-        let cfg = SimulationConfig::new(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm()).unwrap();
+        let cfg =
+            SimulationConfig::new(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm()).unwrap();
         enumerate_parallelism_configs(&cfg)
     }
 
@@ -162,7 +169,11 @@ mod tests {
         let configs = configs();
         let best = configs
             .iter()
-            .min_by(|a, b| a.iteration_latency_s.partial_cmp(&b.iteration_latency_s).unwrap())
+            .min_by(|a, b| {
+                a.iteration_latency_s
+                    .partial_cmp(&b.iteration_latency_s)
+                    .unwrap()
+            })
             .unwrap();
         assert_eq!(best.kind, ParallelismKind::Data, "best was {best:?}");
     }
@@ -170,15 +181,20 @@ mod tests {
     #[test]
     fn all_latencies_are_positive_and_finite() {
         for c in configs() {
-            assert!(c.iteration_latency_s.is_finite() && c.iteration_latency_s > 0.0, "{c:?}");
+            assert!(
+                c.iteration_latency_s.is_finite() && c.iteration_latency_s > 0.0,
+                "{c:?}"
+            );
         }
     }
 
     #[test]
     fn global_tensor_parallelism_is_the_worst_tensor_choice() {
         let configs = configs();
-        let tensor: Vec<&ParallelismConfig> =
-            configs.iter().filter(|c| c.kind == ParallelismKind::Tensor).collect();
+        let tensor: Vec<&ParallelismConfig> = configs
+            .iter()
+            .filter(|c| c.kind == ParallelismKind::Tensor)
+            .collect();
         let global = tensor.iter().max_by_key(|c| c.degree).unwrap();
         let local = tensor.iter().min_by_key(|c| c.degree).unwrap();
         assert!(global.iteration_latency_s > local.iteration_latency_s);

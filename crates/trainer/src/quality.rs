@@ -6,6 +6,7 @@ use dmt_metrics::{roc_auc, Summary};
 use dmt_models::{ModelArch, ModelError, ModelHyperparams, RecommendationModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one quality run (train on the synthetic click log, report AUC).
@@ -85,8 +86,14 @@ impl QualityConfig {
         config: &DmtConfig,
     ) -> Result<QualityResult, ModelError> {
         let mut rng = StdRng::seed_from_u64(model_seed);
-        let model =
-            RecommendationModel::dmt(&mut rng, &self.schema, self.arch, &self.hyper, partition, config)?;
+        let model = RecommendationModel::dmt(
+            &mut rng,
+            &self.schema,
+            self.arch,
+            &self.hyper,
+            partition,
+            config,
+        )?;
         self.train_and_evaluate(model)
     }
 
@@ -124,7 +131,10 @@ impl QualityConfig {
             .map_err(ModelError::from)
     }
 
-    fn train_and_evaluate(&self, mut model: RecommendationModel) -> Result<QualityResult, ModelError> {
+    fn train_and_evaluate(
+        &self,
+        mut model: RecommendationModel,
+    ) -> Result<QualityResult, ModelError> {
         let mut data = SyntheticClickDataset::new(self.schema.clone(), self.data_seed);
         let mut final_loss = f64::NAN;
         for _ in 0..self.train_steps {
@@ -145,12 +155,20 @@ impl QualityConfig {
     /// Runs the baseline for several seeds and summarizes the AUCs (the paper reports
     /// the median and standard deviation over at least 9 runs).
     ///
+    /// The per-seed runs are independent full training loops, so they fan out across
+    /// threads; each run's batched forward/backward already uses the fused blocked
+    /// kernels internally.
+    ///
     /// # Errors
     ///
     /// Returns a [`ModelError`] if any run fails.
     pub fn repeated_baseline(&self, seeds: &[u64]) -> Result<Summary, ModelError> {
-        let aucs: Result<Vec<f64>, ModelError> =
-            seeds.iter().map(|&s| self.run_baseline(s).map(|r| r.auc)).collect();
+        let aucs: Result<Vec<f64>, ModelError> = seeds
+            .to_vec()
+            .into_par_iter()
+            .map_collect(|s| self.run_baseline(s).map(|r| r.auc))
+            .into_iter()
+            .collect();
         Ok(Summary::of(&aucs?).expect("at least one seed"))
     }
 }

@@ -2,7 +2,9 @@
 
 use dmt_commsim::{collectives, CostModel, IterationTimeline, Quantization, Segment, SegmentKind};
 use dmt_models::PaperScaleSpec;
-use dmt_topology::{ClusterTopology, HardwareGeneration, ProcessGroup, TopologyError, TowerPlacement};
+use dmt_topology::{
+    ClusterTopology, HardwareGeneration, ProcessGroup, TopologyError, TowerPlacement,
+};
 use serde::{Deserialize, Serialize};
 
 /// Fraction of the forward-pass FLOPs charged for forward + backward together.
@@ -82,7 +84,10 @@ impl SimulationConfig {
     /// compute-scale factor (1.0 for the baseline, <1 for reduced-complexity DMT).
     #[must_use]
     pub fn compute_time_s(&self, compute_scale: f64) -> f64 {
-        let flops = self.model.flops_per_sample() * compute_scale * FWD_BWD_FLOP_FACTOR * self.local_batch as f64;
+        let flops = self.model.flops_per_sample()
+            * compute_scale
+            * FWD_BWD_FLOP_FACTOR
+            * self.local_batch as f64;
         flops / self.cluster.spec().effective_flops()
     }
 
@@ -105,7 +110,10 @@ impl SimulationConfig {
         let global = ProcessGroup::global(&self.cluster);
         let mut timeline = IterationTimeline::new();
 
-        timeline.push(Segment::compute("dense + sparse compute", self.compute_time_s(1.0)));
+        timeline.push(Segment::compute(
+            "dense + sparse compute",
+            self.compute_time_s(1.0),
+        ));
 
         // Step a: feature distribution (indices).
         let input = collectives::all_to_all(&model, &global, self.index_distribution_bytes());
@@ -117,7 +125,9 @@ impl SimulationConfig {
         ));
 
         // Step c: embedding output AlltoAll (forward) + gradient AlltoAll (backward).
-        let payload = self.embedding_quant.scale_fp32_bytes(self.embedding_exchange_bytes());
+        let payload = self
+            .embedding_quant
+            .scale_fp32_bytes(self.embedding_exchange_bytes());
         let output = collectives::all_to_all(&model, &global, payload);
         timeline.push(Segment::new(
             SegmentKind::EmbeddingComm,
@@ -133,7 +143,9 @@ impl SimulationConfig {
         ));
 
         // Dense gradient AllReduce.
-        let grad_bytes = self.gradient_quant.scale_fp32_bytes(self.model.dense_grad_bytes());
+        let grad_bytes = self
+            .gradient_quant
+            .scale_fp32_bytes(self.model.dense_grad_bytes());
         let allreduce = collectives::all_reduce(&model, &global, grad_bytes);
         timeline.push(Segment::new(
             SegmentKind::DenseSync,
@@ -142,7 +154,12 @@ impl SimulationConfig {
             DENSE_SYNC_EXPOSED,
         ));
 
-        timeline.push(Segment::new(SegmentKind::Other, "optimizer + host overhead", OTHER_OVERHEAD_S, 1.0));
+        timeline.push(Segment::new(
+            SegmentKind::Other,
+            "optimizer + host overhead",
+            OTHER_OVERHEAD_S,
+            1.0,
+        ));
         timeline
     }
 
@@ -157,7 +174,10 @@ impl SimulationConfig {
 
         // Compute: tower modules shrink the global interaction (Table 4's MFlops
         // column), so the dense compute scales by `compute_scale`.
-        timeline.push(Segment::compute("dense + tower-module compute", self.compute_time_s(dmt.compute_scale)));
+        timeline.push(Segment::compute(
+            "dense + tower-module compute",
+            self.compute_time_s(dmt.compute_scale),
+        ));
 
         // Step a: feature distribution, identical to the baseline.
         let input = collectives::all_to_all(&model, &global, self.index_distribution_bytes());
@@ -168,12 +188,19 @@ impl SimulationConfig {
             INPUT_DIST_EXPOSED,
         ));
 
-        let payload = self.embedding_quant.scale_fp32_bytes(self.embedding_exchange_bytes());
+        let payload = self
+            .embedding_quant
+            .scale_fp32_bytes(self.embedding_exchange_bytes());
 
         // Steps c + e: device-local shuffles (peer permute, transpose view).
         let shuffle_bytes = 2 * payload;
         let shuffle_time = shuffle_bytes as f64 / model.local_copy_bandwidth();
-        timeline.push(Segment::new(SegmentKind::Shuffle, "peer permute + local shuffle", shuffle_time, 1.0));
+        timeline.push(Segment::new(
+            SegmentKind::Shuffle,
+            "peer permute + local shuffle",
+            shuffle_time,
+            1.0,
+        ));
 
         // Step d: intra-host collective, forward and backward.
         let intra = collectives::all_to_all(&model, &intra_groups[0], payload);
@@ -223,7 +250,9 @@ impl SimulationConfig {
         }
 
         // Dense gradient AllReduce for the shared over-arch, as in the baseline.
-        let grad_bytes = self.gradient_quant.scale_fp32_bytes(self.model.dense_grad_bytes());
+        let grad_bytes = self
+            .gradient_quant
+            .scale_fp32_bytes(self.model.dense_grad_bytes());
         let allreduce = collectives::all_reduce(&model, &global, grad_bytes);
         timeline.push(Segment::new(
             SegmentKind::DenseSync,
@@ -232,7 +261,12 @@ impl SimulationConfig {
             DENSE_SYNC_EXPOSED,
         ));
 
-        timeline.push(Segment::new(SegmentKind::Other, "optimizer + host overhead", OTHER_OVERHEAD_S, 1.0));
+        timeline.push(Segment::new(
+            SegmentKind::Other,
+            "optimizer + host overhead",
+            OTHER_OVERHEAD_S,
+            1.0,
+        ));
         timeline
     }
 
@@ -308,7 +342,11 @@ impl DmtThroughputConfig {
 mod tests {
     use super::*;
 
-    fn config(generation: HardwareGeneration, world: usize, model: PaperScaleSpec) -> SimulationConfig {
+    fn config(
+        generation: HardwareGeneration,
+        world: usize,
+        model: PaperScaleSpec,
+    ) -> SimulationConfig {
         SimulationConfig::new(generation, world, model).unwrap()
     }
 
@@ -319,8 +357,16 @@ mod tests {
         let cfg = config(HardwareGeneration::H100, 64, PaperScaleSpec::dcn());
         let b = cfg.simulate_baseline_iteration().breakdown();
         let fractions = b.fractions();
-        assert!(fractions[0] > 0.55 && fractions[0] < 0.85, "compute fraction {}", fractions[0]);
-        assert!(fractions[1] > 0.15 && fractions[1] < 0.40, "embedding fraction {}", fractions[1]);
+        assert!(
+            fractions[0] > 0.55 && fractions[0] < 0.85,
+            "compute fraction {}",
+            fractions[0]
+        );
+        assert!(
+            fractions[1] > 0.15 && fractions[1] < 0.40,
+            "embedding fraction {}",
+            fractions[1]
+        );
         assert!(fractions[2] < 0.10, "dense sync fraction {}", fractions[2]);
     }
 
@@ -328,7 +374,9 @@ mod tests {
     fn figure13_dmt_improves_both_compute_and_comm() {
         let cfg = config(HardwareGeneration::H100, 64, PaperScaleSpec::dcn());
         let baseline = cfg.simulate_baseline_iteration().breakdown();
-        let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+        let dmt = cfg
+            .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))
+            .breakdown();
         assert!(dmt.compute_s < baseline.compute_s);
         assert!(dmt.embedding_comm_s < baseline.embedding_comm_s / 2.0);
         assert!(dmt.total_s() < baseline.total_s());
@@ -340,22 +388,34 @@ mod tests {
         for world in [64usize, 128, 256, 512] {
             let cfg = config(HardwareGeneration::A100, world, PaperScaleSpec::dlrm());
             let baseline = cfg.simulate_baseline_iteration().breakdown();
-            let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+            let dmt = cfg
+                .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))
+                .breakdown();
             let speedup = dmt.speedup_over(&baseline);
             assert!(speedup > 1.0, "world {world}: speedup {speedup}");
-            assert!(speedup >= previous * 0.95, "speedup should broadly grow with scale");
+            assert!(
+                speedup >= previous * 0.95,
+                "speedup should broadly grow with scale"
+            );
             previous = speedup;
         }
         // At the largest scale the speedup lands in the paper's 1.5-2.0x band.
-        assert!(previous > 1.4 && previous < 2.2, "512-GPU speedup was {previous}");
+        assert!(
+            previous > 1.4 && previous < 2.2,
+            "512-GPU speedup was {previous}"
+        );
     }
 
     #[test]
     fn sptt_only_beats_baseline_but_less_than_full_dmt() {
         let cfg = config(HardwareGeneration::A100, 256, PaperScaleSpec::dlrm());
         let baseline = cfg.simulate_baseline_iteration().breakdown();
-        let sptt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg)).breakdown();
-        let full = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+        let sptt = cfg
+            .simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg))
+            .breakdown();
+        let full = cfg
+            .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))
+            .breakdown();
         assert!(sptt.total_s() < baseline.total_s());
         assert!(full.total_s() < sptt.total_s());
     }
@@ -363,11 +423,15 @@ mod tests {
     #[test]
     fn figure12_higher_compression_means_more_speedup() {
         let cfg = config(HardwareGeneration::V100, 64, PaperScaleSpec::dlrm());
-        let sptt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg)).breakdown();
+        let sptt = cfg
+            .simulate_dmt_iteration(&DmtThroughputConfig::sptt_only(&cfg))
+            .breakdown();
         let mut previous = 0.0;
         for cr in [2.0, 4.0, 8.0, 16.0] {
             let dmt = cfg
-                .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg).with_compression_ratio(cr))
+                .simulate_dmt_iteration(
+                    &DmtThroughputConfig::paper_default(&cfg).with_compression_ratio(cr),
+                )
                 .breakdown();
             let speedup = sptt.total_s() / dmt.total_s();
             assert!(speedup > previous, "CR {cr} should speed up further");
@@ -383,7 +447,10 @@ mod tests {
         let speedup = |cfg: &SimulationConfig| {
             let baseline = cfg.simulate_baseline_iteration().breakdown();
             let dmt = cfg
-                .simulate_dmt_iteration(&DmtThroughputConfig { compute_scale: 1.0, ..DmtThroughputConfig::paper_default(cfg) })
+                .simulate_dmt_iteration(&DmtThroughputConfig {
+                    compute_scale: 1.0,
+                    ..DmtThroughputConfig::paper_default(cfg)
+                })
                 .breakdown();
             dmt.speedup_over(&baseline)
         };
@@ -401,8 +468,10 @@ mod tests {
 
     #[test]
     fn quantization_reduces_exchange_time() {
-        let fp32 = config(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm()).with_quantization(Quantization::Fp32);
-        let fp8 = config(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm()).with_quantization(Quantization::Fp8);
+        let fp32 = config(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm())
+            .with_quantization(Quantization::Fp32);
+        let fp8 = config(HardwareGeneration::A100, 64, PaperScaleSpec::dlrm())
+            .with_quantization(Quantization::Fp8);
         let b32 = fp32.simulate_baseline_iteration().breakdown();
         let b8 = fp8.simulate_baseline_iteration().breakdown();
         assert!(b8.embedding_comm_s < b32.embedding_comm_s / 2.0);

@@ -12,13 +12,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("dcn") => PaperScaleSpec::dcn(),
         _ => PaperScaleSpec::dlrm(),
     };
-    println!("model: {} ({:.2} MFlops/sample)", model.name, model.mflops_per_sample);
-    println!("{:<6} {:>6} {:>14} {:>12} {:>9}", "HW", "GPUs", "baseline (ms)", "DMT (ms)", "speedup");
+    println!(
+        "model: {} ({:.2} MFlops/sample)",
+        model.name, model.mflops_per_sample
+    );
+    println!(
+        "{:<6} {:>6} {:>14} {:>12} {:>9}",
+        "HW", "GPUs", "baseline (ms)", "DMT (ms)", "speedup"
+    );
     for hardware in HardwareGeneration::ALL {
         for gpus in [16usize, 64, 256] {
             let cfg = SimulationConfig::new(hardware, gpus, model.clone())?;
             let baseline = cfg.simulate_baseline_iteration().breakdown();
-            let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+            let dmt = cfg
+                .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))
+                .breakdown();
             println!(
                 "{:<6} {:>6} {:>14.2} {:>12.2} {:>8.2}x",
                 hardware.to_string(),

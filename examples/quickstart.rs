@@ -17,11 +17,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = ClusterTopology::standard(HardwareGeneration::H100, 64)?;
     let placement = TowerPlacement::one_tower_per_host(&cluster);
     let plan = SpttPlan::new(&cluster, &placement, 26, 4)?;
-    println!("SPTT semantic equivalence: {}", plan.verify_semantic_equivalence());
+    println!(
+        "SPTT semantic equivalence: {}",
+        plan.verify_semantic_equivalence()
+    );
 
     // 3. Simulate one iteration of the baseline and of DMT, and compare.
     let baseline = cfg.simulate_baseline_iteration().breakdown();
-    let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg)).breakdown();
+    let dmt = cfg
+        .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(&cfg))
+        .breakdown();
     println!("baseline iteration: {baseline}");
     println!("DMT iteration:      {dmt}");
     println!("speedup: {:.2}x", dmt.speedup_over(&baseline));

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release -p dmt-bench --example tower_partitioning`
 
-use dmt_core::partition::{interaction_matrix, PartitionStrategy, TowerPartitioner};
 use dmt_core::naive_partition;
+use dmt_core::partition::{interaction_matrix, PartitionStrategy, TowerPartitioner};
 use dmt_data::{DatasetSchema, SyntheticClickDataset};
 use dmt_models::{ModelArch, ModelHyperparams, RecommendationModel};
 use rand::rngs::StdRng;
@@ -14,8 +14,12 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = DatasetSchema::criteo_like_small();
     let mut rng = StdRng::seed_from_u64(42);
-    let mut model =
-        RecommendationModel::baseline(&mut rng, &schema, ModelArch::Dlrm, &ModelHyperparams::tiny())?;
+    let mut model = RecommendationModel::baseline(
+        &mut rng,
+        &schema,
+        ModelArch::Dlrm,
+        &ModelHyperparams::tiny(),
+    )?;
 
     // Briefly train so the embedding tables carry affinity signal.
     let mut data = SyntheticClickDataset::new(schema.clone(), 7);
@@ -30,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Probe feature embeddings and build the interaction matrix (|cosine similarity|).
     let probe = model.feature_embedding_probe(64);
     let similarity = interaction_matrix(&probe);
-    println!("\ninteraction matrix is {}x{}", similarity.len(), similarity.len());
+    println!(
+        "\ninteraction matrix is {}x{}",
+        similarity.len(),
+        similarity.len()
+    );
 
     // Learned, balanced partition into 8 towers (coherent strategy).
     let partitioner = TowerPartitioner::new(8).with_strategy(PartitionStrategy::Coherent);

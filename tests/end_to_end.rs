@@ -31,7 +31,12 @@ fn learned_partition_to_dmt_model_quality() {
 
     assert!(baseline.auc > 0.55, "baseline AUC {}", baseline.auc);
     assert!(dmt.auc > 0.55, "DMT AUC {}", dmt.auc);
-    assert!((baseline.auc - dmt.auc).abs() < 0.1, "AUC gap too large: {} vs {}", baseline.auc, dmt.auc);
+    assert!(
+        (baseline.auc - dmt.auc).abs() < 0.1,
+        "AUC gap too large: {} vs {}",
+        baseline.auc,
+        dmt.auc
+    );
 }
 
 /// SPTT must be semantics-preserving for the partition the Tower Partitioner produces,
@@ -40,16 +45,22 @@ fn learned_partition_to_dmt_model_quality() {
 fn sptt_is_equivalent_under_learned_partitions() {
     let schema = DatasetSchema::criteo_like_small();
     let mut rng = StdRng::seed_from_u64(3);
-    let mut model =
-        RecommendationModel::baseline(&mut rng, &schema, ModelArch::Dlrm, &ModelHyperparams::tiny())
-            .expect("model builds");
+    let mut model = RecommendationModel::baseline(
+        &mut rng,
+        &schema,
+        ModelArch::Dlrm,
+        &ModelHyperparams::tiny(),
+    )
+    .expect("model builds");
     let mut data = SyntheticClickDataset::new(schema.clone(), 3);
     for _ in 0..10 {
         let batch = data.next_batch(128);
         model.train_step(&batch, 1e-2).expect("train step");
     }
     let probe = model.feature_embedding_probe(32);
-    let partition = TowerPartitioner::new(4).partition_from_embeddings(&probe).expect("partition");
+    let partition = TowerPartitioner::new(4)
+        .partition_from_embeddings(&probe)
+        .expect("partition");
 
     let cluster = ClusterTopology::new(HardwareGeneration::A100, 4, 2).expect("cluster");
     let placement = TowerPlacement::one_tower_per_host(&cluster);
@@ -67,12 +78,17 @@ fn dmt_throughput_wins_at_scale_everywhere() {
         let large = SimulationConfig::new(hardware, 128, PaperScaleSpec::dlrm()).expect("config");
         let speedup = |cfg: &SimulationConfig| {
             let baseline = cfg.simulate_baseline_iteration().breakdown();
-            let dmt = cfg.simulate_dmt_iteration(&DmtThroughputConfig::paper_default(cfg)).breakdown();
+            let dmt = cfg
+                .simulate_dmt_iteration(&DmtThroughputConfig::paper_default(cfg))
+                .breakdown();
             dmt.speedup_over(&baseline)
         };
         let s_small = speedup(&small);
         let s_large = speedup(&large);
-        assert!(s_large > 1.0, "{hardware}: DMT should win at 128 GPUs, got {s_large}");
+        assert!(
+            s_large > 1.0,
+            "{hardware}: DMT should win at 128 GPUs, got {s_large}"
+        );
         assert!(
             s_large > s_small * 0.9,
             "{hardware}: speedup should not collapse with scale ({s_small} -> {s_large})"
@@ -97,7 +113,9 @@ fn predictions_feed_metrics_cleanly() {
         }
         let eval = data.next_batch(512);
         let preds = model.predict(&eval).expect("predict");
-        assert!(preds.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+        assert!(preds
+            .iter()
+            .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
         let auc = roc_auc(&preds, &eval.labels).expect("both classes present");
         assert!(auc > 0.4, "{arch:?} AUC collapsed: {auc}");
     }

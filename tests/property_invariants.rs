@@ -4,8 +4,45 @@ use dmt_commsim::{collectives, CostModel};
 use dmt_core::partition::{naive_partition, TowerPartitioner};
 use dmt_core::sptt::SpttPlan;
 use dmt_metrics::roc_auc;
+use dmt_tensor::{kernels, Tensor};
 use dmt_topology::{ClusterTopology, HardwareGeneration, ProcessGroup, TowerPlacement};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random matrix with entries in `[-1, 1)`.
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    Tensor::from_vec(vec![rows, cols], data).expect("consistent shape")
+}
+
+/// Asserts `actual ≈ expected` to `1e-4` relative error, elementwise.
+fn assert_close(actual: &Tensor, expected: &Tensor) -> Result<(), String> {
+    if actual.shape() != expected.shape() {
+        return Err(format!(
+            "shape {:?} vs {:?}",
+            actual.shape(),
+            expected.shape()
+        ));
+    }
+    for (i, (&x, &y)) in actual.data().iter().zip(expected.data()).enumerate() {
+        let denom = y.abs().max(1.0);
+        if (x - y).abs() / denom > 1e-4 {
+            return Err(format!("element {i}: {x} vs {y}"));
+        }
+    }
+    Ok(())
+}
+
+/// `A·B` through the reference triple loop, wrapped back into a tensor.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let data = kernels::gemm_naive(a.data(), b.data(), m, k, n);
+    Tensor::from_vec(vec![m, n], data).expect("consistent shape")
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -105,6 +142,77 @@ proptest! {
         }
     }
 
+    /// The blocked/parallel matmul matches the naive reference to ≤ 1e-4 relative
+    /// error across randomized shapes, including shapes around the tile boundaries.
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        m in 1usize..150,
+        k in 1usize..150,
+        n in 1usize..150,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let blocked = a.matmul(&b).unwrap();
+        let serial = {
+            let mut c = vec![0.0f32; m * n];
+            kernels::gemm_serial(a.data(), b.data(), &mut c, m, k, n);
+            Tensor::from_vec(vec![m, n], c).unwrap()
+        };
+        let reference = naive_matmul(&a, &b);
+        if let Err(msg) = assert_close(&blocked, &reference) {
+            prop_assert!(false, "blocked {m}x{k}x{n}: {msg}");
+        }
+        if let Err(msg) = assert_close(&serial, &reference) {
+            prop_assert!(false, "serial {m}x{k}x{n}: {msg}");
+        }
+    }
+
+    /// The fused kernels (bias GEMM, AᵀB, ABᵀ) match their materialized-transpose
+    /// references to ≤ 1e-4 relative error across randomized shapes.
+    #[test]
+    fn fused_kernels_match_materialized_references(
+        m in 1usize..100,
+        k in 1usize..100,
+        n in 1usize..100,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+
+        // matmul_bias == matmul + broadcast add.
+        let bias = random_matrix(&mut rng, 1, n).reshape(&[n]).unwrap();
+        let fused = a.matmul_bias(&b, &bias).unwrap();
+        let mut reference = naive_matmul(&a, &b);
+        for row in reference.data_mut().chunks_exact_mut(n) {
+            for (v, bv) in row.iter_mut().zip(bias.data()) {
+                *v += bv;
+            }
+        }
+        if let Err(msg) = assert_close(&fused, &reference) {
+            prop_assert!(false, "matmul_bias {m}x{k}x{n}: {msg}");
+        }
+
+        // matmul_at_b == transpose-then-matmul.
+        let x = random_matrix(&mut rng, m, k);
+        let dy = random_matrix(&mut rng, m, n);
+        let fused = x.matmul_at_b(&dy).unwrap();
+        let reference = naive_matmul(&x.transpose().unwrap(), &dy);
+        if let Err(msg) = assert_close(&fused, &reference) {
+            prop_assert!(false, "matmul_at_b {m}x{k}x{n}: {msg}");
+        }
+
+        // matmul_a_bt == matmul-with-transposed-rhs.
+        let w = random_matrix(&mut rng, n, k);
+        let fused = x.matmul_a_bt(&w).unwrap();
+        let reference = naive_matmul(&x, &w.transpose().unwrap());
+        if let Err(msg) = assert_close(&fused, &reference) {
+            prop_assert!(false, "matmul_a_bt {m}x{k}x{n}: {msg}");
+        }
+    }
+
     /// Quantization byte scaling is monotone in precision and proportional.
     #[test]
     fn quantization_scaling_is_proportional(bytes in 1u64..1_000_000_000) {
@@ -116,5 +224,37 @@ proptest! {
         prop_assert!(fp16 <= fp32 && fp8 <= fp16);
         prop_assert_eq!(fp16, bytes / 2);
         prop_assert_eq!(fp8, bytes / 4);
+    }
+}
+
+/// Edge shapes the randomized sweep may miss: degenerate vectors (`1×k`, `k×1`) and
+/// shapes straddling the kernel tile boundaries (`MC`/`KC`/`NC` ± 1).
+#[test]
+fn blocked_matmul_handles_edge_shapes() {
+    let boundary = |t: usize| [t - 1, t, t + 1];
+    let mut shapes: Vec<(usize, usize, usize)> = vec![
+        (1, 1, 1),
+        (1, 97, 1),
+        (97, 1, 1),
+        (1, 1, 97),
+        (1, 200, 3),
+        (3, 200, 1),
+    ];
+    for m in boundary(kernels::MC) {
+        shapes.push((m, 5, 5));
+    }
+    for k in boundary(kernels::KC) {
+        shapes.push((5, k, 5));
+    }
+    for n in boundary(kernels::NC) {
+        shapes.push((5, 5, n));
+    }
+    let mut rng = StdRng::seed_from_u64(99);
+    for (m, k, n) in shapes {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let blocked = a.matmul(&b).unwrap();
+        let reference = naive_matmul(&a, &b);
+        assert_close(&blocked, &reference).unwrap_or_else(|msg| panic!("{m}x{k}x{n}: {msg}"));
     }
 }

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `bench_function`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`, `black_box`) with a simple warmup + timed-run
+//! measurement. Results are printed as `ns/iter`; no statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("DMT_BENCH_QUICK").is_some();
+        Self {
+            measurement: if quick {
+                Duration::from_millis(60)
+            } else {
+                Duration::from_millis(400)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion compatibility: sample counts are not used by this harness.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion compatibility: accepted and ignored.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement = time;
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let mut bencher = Bencher::new(self.criterion.measurement);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.measurement);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        Self {
+            label: value.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        Self { label: value }
+    }
+}
+
+/// Measures a closure: warmup, then as many timed iterations as fit the target time.
+pub struct Bencher {
+    measurement: Duration,
+    ns_per_iter: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(measurement: Duration) -> Self {
+        Self {
+            measurement,
+            ns_per_iter: None,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, retaining its output so the work is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and calibration: find an iteration count that fills the target time.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(20));
+        let target = self.measurement;
+        let iters = (target.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+
+    fn report(&self, name: &str) {
+        match self.ns_per_iter {
+            Some(ns) => println!(
+                "bench: {name:<52} {:>14.1} ns/iter ({} iters)",
+                ns, self.iters
+            ),
+            None => println!("bench: {name:<52} (no measurement)"),
+        }
+    }
+
+    /// Nanoseconds per iteration from the last [`Bencher::iter`] call.
+    #[must_use]
+    pub fn last_ns_per_iter(&self) -> Option<f64> {
+        self.ns_per_iter
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for `rayon`.
+//!
+//! crates.io is unreachable in this build environment, so this crate implements the
+//! small parallel-iterator subset the DMT kernels use on top of `std::thread::scope`.
+//! Work is split into one contiguous span per worker thread; on a single-core host
+//! (or for a single item) everything degrades to the serial path with zero thread
+//! overhead. The closures require the same `Sync`/`Send` bounds real rayon does, so
+//! swapping the real crate in later is a manifest-only change.
+
+use std::thread;
+
+/// Number of worker threads parallel operations will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `a` and `b`, in parallel when more than one hardware thread is available.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon stand-in: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// Distributes `items` across worker threads, invoking `f(index, item)` for each.
+///
+/// Items are assigned in contiguous spans so thread `t` handles indices
+/// `[t * span, (t + 1) * span)`; `f` observes the original index.
+fn for_each_indexed<T: Send, F: Fn(usize, T) + Sync>(items: Vec<T>, f: F) {
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let span = items.len().div_ceil(threads);
+    let mut spans: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads);
+    let mut rest = items;
+    let mut base = 0;
+    while !rest.is_empty() {
+        let take = span.min(rest.len());
+        let tail = rest.split_off(take);
+        spans.push((base, rest));
+        base += take;
+        rest = tail;
+    }
+    thread::scope(|scope| {
+        let f = &f;
+        // The first span runs on the calling thread: one fewer spawn, and the caller
+        // does useful work instead of blocking in scope teardown.
+        let mut spans = spans.into_iter();
+        let first = spans.next();
+        for (start, chunk) in spans {
+            scope.spawn(move || {
+                for (offset, item) in chunk.into_iter().enumerate() {
+                    f(start + offset, item);
+                }
+            });
+        }
+        if let Some((start, chunk)) = first {
+            for (offset, item) in chunk.into_iter().enumerate() {
+                f(start + offset, item);
+            }
+        }
+    });
+}
+
+/// Parallel iterator over an explicit list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index, rayon-style.
+    #[must_use]
+    pub fn enumerate(self) -> ParIterEnumerated<T> {
+        ParIterEnumerated { items: self.items }
+    }
+
+    /// Applies `f` to every item across the worker threads.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        for_each_indexed(self.items, |_, item| f(item));
+    }
+
+    /// Maps every item and collects the results in input order.
+    pub fn map_collect<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> Vec<U> {
+        let n = self.items.len();
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        {
+            let slots = as_send_ptr(&mut out);
+            for_each_indexed(self.items, |i, item| {
+                // SAFETY: each index is written by exactly one worker.
+                unsafe { slots.get().add(i).write(Some(f(item))) };
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every slot written"))
+            .collect()
+    }
+}
+
+/// Enumerated variant of [`ParIter`].
+pub struct ParIterEnumerated<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIterEnumerated<T> {
+    /// Applies `f` to every `(index, item)` pair across the worker threads.
+    pub fn for_each<F: Fn((usize, T)) + Sync>(self, f: F) {
+        for_each_indexed(self.items, |i, item| f((i, item)));
+    }
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+fn as_send_ptr<T>(v: &mut [Option<T>]) -> SendPtr<Option<T>> {
+    SendPtr(v.as_mut_ptr())
+}
+
+/// Conversion into a parallel iterator (ranges and vectors).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel mutable-chunk iteration over slices, rayon's `par_chunks_mut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of `chunk_size` (the last may be shorter) to be
+    /// processed across worker threads.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be positive"
+        );
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel shared-chunk iteration over slices, rayon's `par_chunks`.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits the slice into chunks of `chunk_size` to be read across worker threads.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Everything call sites normally import from `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_spans() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[1002], (1002 / 64) as u32 + 1);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares = (0..100usize).into_par_iter().map_collect(|i| i * i);
+        assert_eq!(squares.len(), 100);
+        assert_eq!(squares[7], 49);
+        assert_eq!(squares[99], 9801);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this facade provides the subset of
+//! serde the workspace actually exercises: `#[derive(Serialize, Deserialize)]` plus
+//! JSON serialization through [`json::Value`] (consumed by the vendored `serde_json`).
+//! `Serialize` is a single-method trait producing a value tree rather than the real
+//! serde visitor architecture; `Deserialize` is a marker trait because nothing in the
+//! workspace deserializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization into a [`json::Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Marker trait satisfied by `#[derive(Deserialize)]`; never invoked in this workspace.
+pub trait Deserialize<'de>: Sized {}
+
+/// The JSON value model shared with the vendored `serde_json`.
+pub mod json {
+    /// A JSON value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any finite number (integers are rendered without a fractional part).
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object with insertion-ordered keys.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Renders the value as compact JSON.
+        #[must_use]
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, None, 0);
+            out
+        }
+
+        /// Renders the value as pretty-printed JSON with two-space indentation.
+        #[must_use]
+        pub fn render_pretty(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, Some(2), 0);
+            out
+        }
+
+        fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Number(n) => {
+                    if !n.is_finite() {
+                        out.push_str("null");
+                    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                }
+                Value::String(s) => write_escaped(out, s),
+                Value::Array(items) => {
+                    write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                        items[i].write(out, indent, d);
+                    });
+                }
+                Value::Object(entries) => {
+                    write_seq(out, indent, depth, '{', '}', entries.len(), |out, i, d| {
+                        write_escaped(out, &entries[i].0);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        entries[i].1.write(out, indent, d);
+                    });
+                }
+            }
+        }
+    }
+
+    fn write_seq(
+        out: &mut String,
+        indent: Option<usize>,
+        depth: usize,
+        open: char,
+        close: char,
+        len: usize,
+        mut item: impl FnMut(&mut String, usize, usize),
+    ) {
+        out.push(open);
+        if len == 0 {
+            out.push(close);
+            return;
+        }
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * (depth + 1)));
+            }
+            item(out, i, depth + 1);
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+        out.push(close);
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+use json::Value;
+
+macro_rules! impl_serialize_number {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            #[allow(clippy::cast_precision_loss, clippy::cast_lossless)]
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        })*
+    };
+}
+
+impl_serialize_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+)),+) => {
+        $(impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        })+
+    };
+}
+
+impl_serialize_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));

@@ -1,0 +1,266 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this crate re-implements the
+//! two derive macros the workspace uses against the vendored `serde` facade. The
+//! parser is deliberately small: it handles the shapes that appear in this repository
+//! (named-field structs, tuple structs, enums with unit and struct variants, no
+//! generics) and fails loudly on anything else.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by generating a `to_json_value` body.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives `serde::Deserialize`. Deserialization is never exercised in this
+/// workspace, so the derive only has to make the bound satisfiable.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl<'de> ::serde::Deserialize<'de> for {} {{}}", item.name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// One enum variant: its name and, for struct variants, the named fields.
+type Variant = (String, Option<Vec<String>>);
+
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Enum: (variant name, optional named fields of a struct variant).
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in derive: expected item name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (on `{name}`)"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Body::Struct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Body::Tuple(count_top_level_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Body::Enum(parse_variants(g.stream())?)
+        }
+        _ if kind == "struct" => Body::Tuple(0), // unit struct
+        _ => {
+            return Err(format!(
+                "serde stand-in derive: unsupported body for `{name}`"
+            ))
+        }
+    };
+    Ok(Item { name, body })
+}
+
+/// Field identifiers of a named-field list, in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                // Skip to the next top-level comma; `<`/`>` are punct tokens, so track
+                // angle depth to ignore commas inside generic arguments.
+                let mut angle = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1; // past the comma
+                continue;
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// Number of comma-separated fields in a tuple-struct body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx == tokens.len() - 1 {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // variant attribute such as #[default]
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        variants.push((name, Some(parse_named_fields(g.stream()))));
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Err(format!(
+                            "serde stand-in derive: tuple enum variant `{name}` is unsupported"
+                        ));
+                    }
+                    _ => variants.push((name, None)),
+                }
+                // Past the separating comma, if any.
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(variants)
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push(({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut obj: Vec<(String, ::serde::json::Value)> = Vec::new();\n{pushes}::serde::json::Value::Object(obj)"
+            )
+        }
+        Body::Tuple(0) => format!("::serde::json::Value::String({name:?}.to_string())"),
+        Body::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let mut pushes = String::new();
+            for idx in 0..*n {
+                pushes.push_str(&format!(
+                    "arr.push(::serde::Serialize::to_json_value(&self.{idx}));\n"
+                ));
+            }
+            format!(
+                "let mut arr: Vec<::serde::json::Value> = Vec::new();\n{pushes}::serde::json::Value::Array(arr)"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::json::Value::String({v:?}.to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push(({f:?}.to_string(), ::serde::Serialize::to_json_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bindings} }} => {{\nlet mut inner: Vec<(String, ::serde::json::Value)> = Vec::new();\n{pushes}::serde::json::Value::Object(vec![({v:?}.to_string(), ::serde::json::Value::Object(inner))])\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_json_value(&self) -> ::serde::json::Value {{\n        {body}\n    }}\n}}"
+    )
+}

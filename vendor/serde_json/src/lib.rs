@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde_json`: renders the vendored serde's value tree.
+
+pub use serde::json::Value;
+use serde::Serialize;
+use std::fmt;
+
+/// Error type kept for signature compatibility; serialization here cannot fail.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render())
+}
+
+/// Serializes `value` as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Value::Object(vec![
+            (
+                "a".into(),
+                Value::Array(vec![Value::Number(1.0), Value::Number(2.5)]),
+            ),
+            ("b".into(), Value::String("x\"y".into())),
+            ("c".into(), Value::Bool(true)),
+            ("d".into(), Value::Null),
+        ]);
+        assert_eq!(v.render(), r#"{"a":[1,2.5],"b":"x\"y","c":true,"d":null}"#);
+        assert!(v.render_pretty().contains("\n  \"a\": [\n"));
+    }
+
+    #[test]
+    fn to_string_serializes_std_types() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&("x".to_string(), 4u64)).unwrap(), r#"["x",4]"#);
+        assert_eq!(to_string(&Some(1.5f32)).unwrap(), "1.5");
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+    }
+}
