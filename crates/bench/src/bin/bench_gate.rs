@@ -1,0 +1,131 @@
+//! Bench-regression gate for CI.
+//!
+//! Compares fresh benchmark results against committed baselines and exits non-zero
+//! if any op's throughput regressed beyond the budget:
+//!
+//! ```text
+//! bench_gate --pair baseline.json=fresh.json [--pair ...] [--max-regression 0.30]
+//! ```
+//!
+//! Entries are matched on `(op, shape)`; see [`dmt_bench::gate`] for the rules.
+
+use dmt_bench::gate::{compare, parse_entries, GateReport};
+use std::process::ExitCode;
+
+struct Args {
+    pairs: Vec<(String, String)>,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut pairs = Vec::new();
+    let mut max_regression = 0.30;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pair" => {
+                let value = args.next().ok_or("--pair needs BASELINE=FRESH")?;
+                let (baseline, fresh) = value
+                    .split_once('=')
+                    .ok_or_else(|| format!("--pair `{value}` is not BASELINE=FRESH"))?;
+                pairs.push((baseline.to_string(), fresh.to_string()));
+            }
+            "--max-regression" => {
+                let value = args.next().ok_or("--max-regression needs a fraction")?;
+                max_regression = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| (0.0..1.0).contains(v))
+                    .ok_or_else(|| format!("--max-regression `{value}` must be in [0, 1)"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if pairs.is_empty() {
+        return Err("at least one --pair BASELINE=FRESH is required".into());
+    }
+    Ok(Args {
+        pairs,
+        max_regression,
+    })
+}
+
+fn gate_pair(baseline_path: &str, fresh_path: &str) -> Result<GateReport, String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
+    let baseline = parse_entries(&read(baseline_path)?)
+        .map_err(|e| format!("baseline `{baseline_path}`: {e}"))?;
+    let fresh =
+        parse_entries(&read(fresh_path)?).map_err(|e| format!("fresh `{fresh_path}`: {e}"))?;
+    Ok(compare(&baseline, &fresh))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for (baseline_path, fresh_path) in &args.pairs {
+        dmt_bench::header(&format!("gate: {fresh_path} vs {baseline_path}"));
+        let report = match gate_pair(baseline_path, fresh_path) {
+            Ok(report) => report,
+            Err(message) => {
+                eprintln!("bench_gate: {message}");
+                failed = true;
+                continue;
+            }
+        };
+        println!(
+            "{:<26} {:>20} {:>14} {:>14} {:>12}",
+            "op", "shape", "baseline ns", "fresh ns", "throughput"
+        );
+        for c in &report.comparisons {
+            println!(
+                "{:<26} {:>20} {:>14.0} {:>14.0} {:>11.2}x",
+                c.op,
+                c.shape,
+                c.baseline_ns,
+                c.fresh_ns,
+                c.throughput_ratio()
+            );
+        }
+        for label in &report.missing_in_fresh {
+            println!("note: {label} is in the baseline but not in the fresh run");
+        }
+        for label in &report.new_in_fresh {
+            println!("note: {label} is new in the fresh run (no baseline yet)");
+        }
+        let regressions = report.regressions(args.max_regression);
+        if report.passes(args.max_regression) {
+            println!(
+                "PASS: {} ops compared, none below {:.0}% of baseline throughput",
+                report.comparisons.len(),
+                (1.0 - args.max_regression) * 100.0
+            );
+        } else {
+            failed = true;
+            if report.comparisons.is_empty() {
+                eprintln!("FAIL: no comparable (op, shape) entries between the two files");
+            }
+            for c in regressions {
+                eprintln!(
+                    "FAIL: {} [{}] throughput fell to {:.0}% of baseline (budget {:.0}%)",
+                    c.op,
+                    c.shape,
+                    c.throughput_ratio() * 100.0,
+                    (1.0 - args.max_regression) * 100.0
+                );
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

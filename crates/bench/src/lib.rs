@@ -10,6 +10,8 @@
 
 #![deny(missing_docs)]
 
+pub mod gate;
+
 use serde::Serialize;
 use std::path::PathBuf;
 

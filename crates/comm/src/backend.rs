@@ -1,0 +1,241 @@
+//! The collective-communication backend abstraction the execution engine runs on.
+//!
+//! A [`Backend`] is one rank's handle into a communicator world: the same set of
+//! operations NCCL exposes to a training framework, restricted to what recommendation
+//! training needs (AlltoAll for embedding exchange, AllReduce for gradient sync,
+//! ReduceScatter / AllGather for sharded optimizers, Barrier for phase alignment).
+//!
+//! All operations are **collective**: every rank of the world must call the same
+//! operation in the same order, or the world deadlocks — exactly the contract a real
+//! communication library imposes. Implementations must also be **deterministic**:
+//! reductions combine contributions in rank order so results are bit-identical across
+//! runs and to a serial reference.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which collective operation a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommOp {
+    /// Variable-shard AlltoAll of `f32` payloads.
+    AllToAll,
+    /// Variable-shard AlltoAll of `u64` index payloads.
+    AllToAllIndices,
+    /// Elementwise sum of equal-length buffers, every rank receives the result.
+    AllReduce,
+    /// Elementwise sum, each rank keeps one `1/W` shard of the result.
+    ReduceScatter,
+    /// Concatenation of every rank's shard, every rank receives the result.
+    AllGather,
+    /// Synchronization only; no payload.
+    Barrier,
+}
+
+impl fmt::Display for CommOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CommOp::AllToAll => "all_to_all",
+            CommOp::AllToAllIndices => "all_to_all_indices",
+            CommOp::AllReduce => "all_reduce",
+            CommOp::ReduceScatter => "reduce_scatter",
+            CommOp::AllGather => "all_gather",
+            CommOp::Barrier => "barrier",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One executed collective, as observed by one rank.
+///
+/// Byte counts follow the *wire accounting* of a bandwidth-optimal schedule (direct
+/// pairwise sends for AlltoAll, a ring for the reduction family), split by the link
+/// class each byte crosses in the mapped cluster topology. This is what makes measured
+/// volumes directly comparable with the analytical cost model in `dmt-commsim`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// The collective that ran.
+    pub op: CommOp,
+    /// Payload bytes this rank contributed (its local input buffer size).
+    pub payload_bytes: u64,
+    /// Bytes this rank pushed over cross-host links.
+    pub cross_host_bytes: u64,
+    /// Bytes this rank pushed over intra-host links.
+    pub intra_host_bytes: u64,
+    /// Wall-clock seconds of the *transfer*, measured from the instant the last rank
+    /// entered the collective (a rank's wait for stragglers is caller imbalance, not
+    /// communication), including any fabric throttle.
+    pub elapsed_s: f64,
+}
+
+impl OpRecord {
+    /// Total bytes moved over any off-device link.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        self.cross_host_bytes + self.intra_host_bytes
+    }
+}
+
+/// Errors surfaced by collective calls.
+///
+/// The shared-memory implementation detects cross-rank shape errors
+/// ([`CommError::LengthMismatch`], [`CommError::IndivisibleBuffer`]) *after* the
+/// rendezvous, so every rank of the world observes the same error and nobody
+/// deadlocks. [`CommError::ShardCountMismatch`] is different: it is local
+/// validation of the caller's own arguments, returned *before* entering the
+/// collective — a rank receiving it must treat the world as dead (abort it, e.g.
+/// `SharedMemoryBackend::abort`) rather than proceed, since its peers are already
+/// waiting for a deposit it never made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The world would have zero ranks.
+    EmptyWorld,
+    /// An AlltoAll was called with a number of destination shards different from the
+    /// world size.
+    ShardCountMismatch {
+        /// Number of shards provided.
+        got: usize,
+        /// World size (expected shard count).
+        expected: usize,
+    },
+    /// Ranks disagreed on the buffer length of a reduction.
+    LengthMismatch {
+        /// The operation that observed the mismatch.
+        op: CommOp,
+        /// Buffer lengths deposited by each rank, in rank order.
+        lengths: Vec<usize>,
+    },
+    /// A ReduceScatter buffer length was not divisible by the world size.
+    IndivisibleBuffer {
+        /// Buffer length in elements.
+        len: usize,
+        /// World size.
+        world_size: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::EmptyWorld => write!(f, "communicator world must have at least one rank"),
+            CommError::ShardCountMismatch { got, expected } => {
+                write!(f, "all_to_all got {got} shards for a world of {expected}")
+            }
+            CommError::LengthMismatch { op, lengths } => {
+                write!(f, "{op} buffer lengths differ across ranks: {lengths:?}")
+            }
+            CommError::IndivisibleBuffer { len, world_size } => {
+                write!(
+                    f,
+                    "reduce_scatter buffer of {len} elements is not divisible by world size {world_size}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// One rank's handle to a communicator world.
+///
+/// See the [module docs](self) for the collective-call contract.
+pub trait Backend {
+    /// This rank's index within the world, in `0..world_size`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn world_size(&self) -> usize;
+
+    /// Blocks until every rank of the world has entered the barrier.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may surface transport errors; the shared-memory backend never
+    /// fails a barrier.
+    fn barrier(&mut self) -> Result<(), CommError>;
+
+    /// Variable-shard AlltoAll: `sends[d]` is delivered to rank `d`; the returned
+    /// vector holds one received shard per source rank, in rank order (`result[s]`
+    /// came from rank `s`). Shards may have arbitrary (including zero) lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::ShardCountMismatch`] if `sends.len() != world_size`.
+    fn all_to_all(&mut self, sends: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, CommError>;
+
+    /// [`Backend::all_to_all`] for `u64` payloads (sparse indices, row ids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::ShardCountMismatch`] if `sends.len() != world_size`.
+    fn all_to_all_indices(&mut self, sends: Vec<Vec<u64>>) -> Result<Vec<Vec<u64>>, CommError>;
+
+    /// Elementwise sum of every rank's `buf`, written back into `buf` on every rank.
+    /// Contributions are combined in rank order, so the result is bit-identical to a
+    /// serial left-to-right fold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::LengthMismatch`] if ranks disagree on `buf.len()`; every
+    /// rank observes the same error.
+    fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), CommError>;
+
+    /// Elementwise sum of every rank's `buf`; rank `r` receives the `r`-th of `W`
+    /// equal shards of the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::IndivisibleBuffer`] if `buf.len()` is not divisible by the
+    /// world size, or [`CommError::LengthMismatch`] if ranks disagree on the length.
+    fn reduce_scatter(&mut self, buf: &[f32]) -> Result<Vec<f32>, CommError>;
+
+    /// Concatenation of every rank's `shard` in rank order, received by every rank.
+    /// Shards may have different lengths (an AllGatherV).
+    ///
+    /// # Errors
+    ///
+    /// Implementations may surface transport errors; the shared-memory backend never
+    /// fails an all_gather.
+    fn all_gather(&mut self, shard: &[f32]) -> Result<Vec<f32>, CommError>;
+
+    /// Returns the records of every collective executed since the last drain, in
+    /// execution order, clearing the log.
+    fn drain_records(&mut self) -> Vec<OpRecord>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_display_names() {
+        assert_eq!(CommOp::AllToAll.to_string(), "all_to_all");
+        assert_eq!(CommOp::Barrier.to_string(), "barrier");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CommError::ShardCountMismatch {
+            got: 3,
+            expected: 8,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('8'));
+        let e = CommError::IndivisibleBuffer {
+            len: 10,
+            world_size: 4,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn record_wire_bytes_sums_link_classes() {
+        let r = OpRecord {
+            op: CommOp::AllReduce,
+            payload_bytes: 100,
+            cross_host_bytes: 30,
+            intra_host_bytes: 50,
+            elapsed_s: 1e-6,
+        };
+        assert_eq!(r.wire_bytes(), 80);
+    }
+}

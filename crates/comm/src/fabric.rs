@@ -1,0 +1,143 @@
+//! Calibrated fabric emulation: make shared-memory collectives *take* the time the
+//! modeled links would.
+//!
+//! Threads on one host move bytes at memory bandwidth regardless of which cluster
+//! link the modeled deployment would cross, so raw shared-memory timings cannot show
+//! the paper's topology effect. A [`FabricProfile`] fixes that: after the data plane
+//! completes, each rank stalls until its per-link wire time (bytes / bandwidth, per
+//! link class) has elapsed. Reductions in cross-host traffic — the whole point of DMT
+//! — then show up directly in measured wall-clock time, while results stay
+//! bit-identical (throttling only adds waiting, never reordering).
+
+use dmt_topology::{ClusterTopology, LinkKind};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Per-link-class bandwidth targets used to pace collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricProfile {
+    /// Cross-host (scale-out NIC) bandwidth in bytes/second. `f64::INFINITY` disables
+    /// pacing for this class.
+    pub cross_host_bytes_per_sec: f64,
+    /// Intra-host (scale-up) bandwidth in bytes/second. `f64::INFINITY` disables
+    /// pacing for this class.
+    pub intra_host_bytes_per_sec: f64,
+    /// Fixed per-collective latency in seconds (software + wire launch overhead).
+    pub latency_s: f64,
+}
+
+impl FabricProfile {
+    /// No pacing at all: collectives run at raw shared-memory speed.
+    #[must_use]
+    pub fn unthrottled() -> Self {
+        Self {
+            cross_host_bytes_per_sec: f64::INFINITY,
+            intra_host_bytes_per_sec: f64::INFINITY,
+            latency_s: 0.0,
+        }
+    }
+
+    /// A profile matching `cluster`'s link bandwidths, slowed down by `slowdown`.
+    ///
+    /// With `slowdown = 1.0` the profile paces at the modeled hardware's real
+    /// bandwidths — but the engine's payloads are CPU-sized, so wire times would be
+    /// microseconds and scheduler noise would dominate. A `slowdown` of a few
+    /// thousand stretches them to stable milliseconds while preserving every
+    /// *ratio* the topology implies (cross-host stays `NVLink/NIC`× slower than
+    /// intra-host).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown` is not positive.
+    #[must_use]
+    pub fn from_cluster(cluster: &ClusterTopology, slowdown: f64) -> Self {
+        assert!(slowdown > 0.0, "slowdown must be positive");
+        Self {
+            cross_host_bytes_per_sec: cluster.link_bandwidth(LinkKind::CrossHost) / slowdown,
+            intra_host_bytes_per_sec: cluster.link_bandwidth(LinkKind::IntraHost) / slowdown,
+            latency_s: cluster.link_latency(LinkKind::CrossHost),
+        }
+    }
+
+    /// Whether this profile ever stalls a collective.
+    #[must_use]
+    pub fn is_throttled(&self) -> bool {
+        self.latency_s > 0.0
+            || self.cross_host_bytes_per_sec.is_finite()
+            || self.intra_host_bytes_per_sec.is_finite()
+    }
+
+    /// Target wall-clock duration for a collective that pushed the given per-link
+    /// byte volumes from this rank. Link classes proceed in parallel (different
+    /// physical links), so the wire time is their maximum, plus the fixed latency.
+    #[must_use]
+    pub fn target_duration(&self, cross_host_bytes: u64, intra_host_bytes: u64) -> Duration {
+        let cross_s = if self.cross_host_bytes_per_sec.is_finite() {
+            cross_host_bytes as f64 / self.cross_host_bytes_per_sec
+        } else {
+            0.0
+        };
+        let intra_s = if self.intra_host_bytes_per_sec.is_finite() {
+            intra_host_bytes as f64 / self.intra_host_bytes_per_sec
+        } else {
+            0.0
+        };
+        let wire_s = cross_s.max(intra_s);
+        let total = if wire_s > 0.0 || (cross_host_bytes + intra_host_bytes) > 0 {
+            wire_s + self.latency_s
+        } else {
+            // Pure barriers carry no payload and are not paced.
+            0.0
+        };
+        Duration::from_secs_f64(total)
+    }
+}
+
+impl Default for FabricProfile {
+    fn default() -> Self {
+        Self::unthrottled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_topology::HardwareGeneration;
+
+    #[test]
+    fn unthrottled_never_stalls() {
+        let p = FabricProfile::unthrottled();
+        assert!(!p.is_throttled());
+        assert_eq!(p.target_duration(1 << 30, 1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn cluster_profile_keeps_link_ratio() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4).unwrap();
+        let p = FabricProfile::from_cluster(&cluster, 1000.0);
+        assert!(p.is_throttled());
+        // The same bytes take longer over the cross-host class.
+        let cross = p.target_duration(1 << 20, 0);
+        let intra = p.target_duration(0, 1 << 20);
+        assert!(cross > intra);
+        // And the ratio matches the modeled link bandwidths.
+        let ratio = cross.as_secs_f64() / intra.as_secs_f64();
+        let expected = cluster.link_bandwidth(LinkKind::IntraHost)
+            / cluster.link_bandwidth(LinkKind::CrossHost);
+        assert!((ratio - expected).abs() / expected < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_payload_is_free() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4).unwrap();
+        let p = FabricProfile::from_cluster(&cluster, 1000.0);
+        assert_eq!(p.target_duration(0, 0), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_slowdown_panics() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2).unwrap();
+        let _ = FabricProfile::from_cluster(&cluster, 0.0);
+    }
+}

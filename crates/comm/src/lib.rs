@@ -1,0 +1,52 @@
+//! Real (executable) collective communication for the DMT reproduction.
+//!
+//! The analytical half of this workspace (`dmt-commsim`) *predicts* what NCCL
+//! collectives cost on a two-level datacenter fabric. This crate *executes* them: a
+//! [`Backend`] trait with the collectives recommendation training needs, and a
+//! thread-per-rank shared-memory implementation ([`SharedMemoryComm`] /
+//! [`SharedMemoryBackend`]) that maps each rank of a
+//! [`dmt_topology::ProcessGroup`] onto a `std::thread` and moves real buffers
+//! between them. `dmt-trainer::distributed` drives real sharded-embedding and
+//! tower-parallel training iterations through it.
+//!
+//! Three properties make the backend useful as a *measurement* instrument and not
+//! just a transport:
+//!
+//! * **Determinism** — reductions fold contributions in rank order, so every result
+//!   is bit-identical to a serial reference regardless of thread scheduling (see the
+//!   workspace property tests).
+//! * **Link accounting** — every collective records how many bytes crossed
+//!   intra-host vs cross-host links in the mapped [`dmt_topology::ClusterTopology`],
+//!   the quantity the paper's whole argument is about.
+//! * **Fabric pacing** — an optional [`FabricProfile`] stalls each call to the
+//!   modeled link bandwidths, so measured wall-clock time reflects the topology
+//!   instead of the host's memcpy speed.
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_comm::{Backend, SharedMemoryComm};
+//! use std::thread;
+//!
+//! let handles = SharedMemoryComm::handles(4)?;
+//! thread::scope(|scope| {
+//!     for mut backend in handles {
+//!         scope.spawn(move || {
+//!             let mut grads = vec![backend.rank() as f32; 8];
+//!             backend.all_reduce(&mut grads).unwrap();
+//!             assert_eq!(grads[0], 0.0 + 1.0 + 2.0 + 3.0);
+//!         });
+//!     }
+//! });
+//! # Ok::<(), dmt_comm::CommError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod backend;
+pub mod fabric;
+pub mod shmem;
+
+pub use backend::{Backend, CommError, CommOp, OpRecord};
+pub use fabric::FabricProfile;
+pub use shmem::{SharedMemoryBackend, SharedMemoryComm};

@@ -1,0 +1,690 @@
+//! Thread-per-rank shared-memory implementation of the [`Backend`] trait.
+//!
+//! Every rank of a communicator world is a `std::thread`; the data plane is a
+//! generation-counted rendezvous: each rank deposits its contribution under a mutex,
+//! the last arrival publishes the full set, and every rank reads what it needs from
+//! the published snapshot. Reductions walk the snapshot in rank order, so results are
+//! bit-identical to a serial left-to-right fold — the property the engine's
+//! determinism tests and the paper's semantic-preservation argument rely on.
+//!
+//! Wire-byte accounting maps each (source, destination) pair onto the cluster's link
+//! classes (see [`SharedMemoryComm::for_group`]), and an optional [`FabricProfile`]
+//! paces each call to the modeled link bandwidths so measured wall-clock times expose
+//! the topology effect the paper is about.
+
+use crate::backend::{Backend, CommError, CommOp, OpRecord};
+use crate::fabric::FabricProfile;
+use dmt_topology::{ClusterTopology, LinkKind, ProcessGroup};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A generation-counted all-to-all rendezvous over one payload type.
+///
+/// `exchange(rank, value)` blocks until every rank of the world has deposited, then
+/// returns the full rank-ordered set of deposits. A fast rank may re-enter the next
+/// generation immediately: the published snapshot of generation `g` can only be
+/// replaced once every rank has returned from `g` (each must deposit again before a
+/// new snapshot forms), so no rank can miss its snapshot.
+struct Rendezvous<T> {
+    state: Mutex<RendezvousState<T>>,
+    all_arrived: Condvar,
+}
+
+struct RendezvousState<T> {
+    deposits: Vec<Option<T>>,
+    published: Arc<Vec<T>>,
+    /// Instant the current `published` snapshot formed (the last rank's arrival):
+    /// the moment the collective's transfer can begin.
+    published_at: Instant,
+    arrived: usize,
+    generation: u64,
+    /// Set when a rank died mid-iteration; waiting ranks panic instead of blocking
+    /// on a deposit that will never arrive.
+    poisoned: bool,
+}
+
+impl<T> Rendezvous<T> {
+    fn new(world: usize) -> Self {
+        Self {
+            state: Mutex::new(RendezvousState {
+                deposits: (0..world).map(|_| None).collect(),
+                published: Arc::new(Vec::new()),
+                published_at: Instant::now(),
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            all_arrived: Condvar::new(),
+        }
+    }
+
+    /// Marks the world dead and wakes every waiter; see
+    /// [`SharedMemoryBackend::abort`].
+    fn poison(&self) {
+        let mut state = match self.state.lock() {
+            Ok(state) => state,
+            Err(poisoned_lock) => poisoned_lock.into_inner(),
+        };
+        state.poisoned = true;
+        self.all_arrived.notify_all();
+    }
+
+    /// Deposits this rank's contribution and blocks until every rank has done the
+    /// same. Returns the full rank-ordered set plus the instant the set formed, so
+    /// callers can time the transfer itself rather than their wait for stragglers.
+    fn exchange(&self, rank: usize, value: T) -> (Arc<Vec<T>>, Instant) {
+        let mut state = self.state.lock().expect("rendezvous lock poisoned");
+        assert!(
+            !state.poisoned,
+            "shared-memory collective aborted: a peer rank exited mid-iteration"
+        );
+        debug_assert!(state.deposits[rank].is_none(), "rank deposited twice");
+        state.deposits[rank] = Some(value);
+        state.arrived += 1;
+        if state.arrived == state.deposits.len() {
+            let all: Vec<T> = state
+                .deposits
+                .iter_mut()
+                .map(|slot| slot.take().expect("every rank deposited"))
+                .collect();
+            state.published = Arc::new(all);
+            state.published_at = Instant::now();
+            state.arrived = 0;
+            state.generation += 1;
+            self.all_arrived.notify_all();
+            (Arc::clone(&state.published), state.published_at)
+        } else {
+            let generation = state.generation;
+            while state.generation == generation {
+                assert!(
+                    !state.poisoned,
+                    "shared-memory collective aborted: a peer rank exited mid-iteration"
+                );
+                state = self
+                    .all_arrived
+                    .wait(state)
+                    .expect("rendezvous lock poisoned");
+            }
+            (Arc::clone(&state.published), state.published_at)
+        }
+    }
+}
+
+/// Factory for shared-memory communicator worlds.
+///
+/// A world is created once and hands out one [`SharedMemoryBackend`] per rank; the
+/// caller moves each handle into its rank's thread. See [`Backend`] for the
+/// collective-call contract.
+pub struct SharedMemoryComm;
+
+impl SharedMemoryComm {
+    /// Creates a world of `world_size` ranks with uniform (intra-host) link
+    /// classification and no fabric pacing — the configuration unit tests and
+    /// micro-benchmarks use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::EmptyWorld`] if `world_size` is zero.
+    pub fn handles(world_size: usize) -> Result<Vec<SharedMemoryBackend>, CommError> {
+        if world_size == 0 {
+            return Err(CommError::EmptyWorld);
+        }
+        let links: Vec<Vec<LinkKind>> = (0..world_size)
+            .map(|me| {
+                (0..world_size)
+                    .map(|other| {
+                        if me == other {
+                            LinkKind::Local
+                        } else {
+                            LinkKind::IntraHost
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Self::build(links, FabricProfile::unthrottled()))
+    }
+
+    /// Creates a world for `group`, mapping each pair of member ranks onto the link
+    /// class they would communicate over in `cluster`, paced by `fabric`.
+    ///
+    /// Handles are returned in group order: handle `i` plays the group's `i`-th rank.
+    #[must_use]
+    pub fn for_group(
+        cluster: &ClusterTopology,
+        group: &ProcessGroup,
+        fabric: FabricProfile,
+    ) -> Vec<SharedMemoryBackend> {
+        let ranks = group.ranks();
+        let links: Vec<Vec<LinkKind>> = ranks
+            .iter()
+            .map(|&a| ranks.iter().map(|&b| cluster.link_between(a, b)).collect())
+            .collect();
+        Self::build(links, fabric)
+    }
+
+    fn build(links: Vec<Vec<LinkKind>>, fabric: FabricProfile) -> Vec<SharedMemoryBackend> {
+        let world = links.len();
+        let floats = Arc::new(Rendezvous::new(world));
+        let indices = Arc::new(Rendezvous::new(world));
+        links
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rank_links)| SharedMemoryBackend {
+                rank,
+                world,
+                links: rank_links,
+                floats: Arc::clone(&floats),
+                indices: Arc::clone(&indices),
+                fabric,
+                records: Vec::new(),
+            })
+            .collect()
+    }
+}
+
+/// One rank's handle into a shared-memory communicator world.
+pub struct SharedMemoryBackend {
+    rank: usize,
+    world: usize,
+    /// Link class from this rank to every other member, in group order.
+    links: Vec<LinkKind>,
+    floats: Arc<Rendezvous<Vec<Vec<f32>>>>,
+    indices: Arc<Rendezvous<Vec<Vec<u64>>>>,
+    fabric: FabricProfile,
+    records: Vec<OpRecord>,
+}
+
+impl Drop for SharedMemoryBackend {
+    fn drop(&mut self) {
+        // A rank unwinding mid-iteration would leave its peers blocked forever in
+        // the rendezvous; poison the world so they fail fast instead. Normal drops
+        // (the rank finished its work) leave the world untouched.
+        if std::thread::panicking() {
+            self.abort();
+        }
+    }
+}
+
+/// Wire bytes a rank pushes in a flat-ring schedule moving `per_rank_bytes` of useful
+/// payload: `bytes * (W-1)/W * multiplier` to its ring successor.
+fn ring_bytes(per_rank_bytes: u64, world: usize, multiplier: u64) -> u64 {
+    if world <= 1 {
+        return 0;
+    }
+    multiplier * per_rank_bytes * (world as u64 - 1) / world as u64
+}
+
+impl SharedMemoryBackend {
+    /// The fabric profile pacing this handle.
+    #[must_use]
+    pub fn fabric(&self) -> FabricProfile {
+        self.fabric
+    }
+
+    /// Marks this world dead: every rank currently blocked in (or later entering) a
+    /// collective panics instead of waiting for a deposit that will never arrive.
+    ///
+    /// Call this when a rank exits its iteration loop abnormally (an `Err` return);
+    /// panics trigger it automatically via `Drop`, so a dying rank can never hang
+    /// its peers.
+    pub fn abort(&self) {
+        self.floats.poison();
+        self.indices.poison();
+    }
+
+    /// Link class from this rank to group member `other`.
+    #[must_use]
+    pub fn link_to(&self, other: usize) -> LinkKind {
+        self.links[other]
+    }
+
+    /// Splits per-destination byte counts into (cross-host, intra-host) totals.
+    fn classify(&self, per_dest_bytes: impl Iterator<Item = (usize, u64)>) -> (u64, u64) {
+        let mut cross = 0;
+        let mut intra = 0;
+        for (dest, bytes) in per_dest_bytes {
+            match self.links[dest] {
+                LinkKind::Local => {}
+                LinkKind::IntraHost => intra += bytes,
+                LinkKind::CrossHost => cross += bytes,
+            }
+        }
+        (cross, intra)
+    }
+
+    /// Ring-successor byte classification for the reduction family.
+    fn classify_ring(&self, wire_bytes: u64) -> (u64, u64) {
+        if self.world <= 1 || wire_bytes == 0 {
+            return (0, 0);
+        }
+        let successor = (self.rank + 1) % self.world;
+        match self.links[successor] {
+            LinkKind::Local => (0, 0),
+            LinkKind::IntraHost => (0, wire_bytes),
+            LinkKind::CrossHost => (wire_bytes, 0),
+        }
+    }
+
+    /// Stalls to the fabric target, then logs the record.
+    ///
+    /// `transfer_start` is the instant the collective's data became available (every
+    /// rank arrived): elapsed time is measured from there, so a rank's wait for
+    /// stragglers counts as caller imbalance, not communication — the convention
+    /// collective benchmarks use when reporting transfer time.
+    fn finish(
+        &mut self,
+        op: CommOp,
+        payload_bytes: u64,
+        cross: u64,
+        intra: u64,
+        transfer_start: Instant,
+    ) {
+        let target = self.fabric.target_duration(cross, intra);
+        loop {
+            let elapsed = transfer_start.elapsed();
+            if elapsed >= target {
+                break;
+            }
+            std::thread::sleep(target - elapsed);
+        }
+        self.records.push(OpRecord {
+            op,
+            payload_bytes,
+            cross_host_bytes: cross,
+            intra_host_bytes: intra,
+            elapsed_s: transfer_start.elapsed().as_secs_f64(),
+        });
+    }
+}
+
+impl Backend for SharedMemoryBackend {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn barrier(&mut self) -> Result<(), CommError> {
+        let (_, transfer_start) = self.floats.exchange(self.rank, Vec::new());
+        self.finish(CommOp::Barrier, 0, 0, 0, transfer_start);
+        Ok(())
+    }
+
+    fn all_to_all(&mut self, sends: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, CommError> {
+        if sends.len() != self.world {
+            return Err(CommError::ShardCountMismatch {
+                got: sends.len(),
+                expected: self.world,
+            });
+        }
+        let payload: u64 = sends.iter().map(|s| 4 * s.len() as u64).sum();
+        let (cross, intra) = self.classify(
+            sends
+                .iter()
+                .enumerate()
+                .map(|(d, s)| (d, 4 * s.len() as u64)),
+        );
+        let (all, transfer_start) = self.floats.exchange(self.rank, sends);
+        let received: Vec<Vec<f32>> = all.iter().map(|from| from[self.rank].clone()).collect();
+        self.finish(CommOp::AllToAll, payload, cross, intra, transfer_start);
+        Ok(received)
+    }
+
+    fn all_to_all_indices(&mut self, sends: Vec<Vec<u64>>) -> Result<Vec<Vec<u64>>, CommError> {
+        if sends.len() != self.world {
+            return Err(CommError::ShardCountMismatch {
+                got: sends.len(),
+                expected: self.world,
+            });
+        }
+        let payload: u64 = sends.iter().map(|s| 8 * s.len() as u64).sum();
+        let (cross, intra) = self.classify(
+            sends
+                .iter()
+                .enumerate()
+                .map(|(d, s)| (d, 8 * s.len() as u64)),
+        );
+        let (all, transfer_start) = self.indices.exchange(self.rank, sends);
+        let received: Vec<Vec<u64>> = all.iter().map(|from| from[self.rank].clone()).collect();
+        self.finish(
+            CommOp::AllToAllIndices,
+            payload,
+            cross,
+            intra,
+            transfer_start,
+        );
+        Ok(received)
+    }
+
+    fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), CommError> {
+        let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf.to_vec()]);
+        let lengths: Vec<usize> = all.iter().map(|from| from[0].len()).collect();
+        if lengths.iter().any(|&l| l != buf.len()) {
+            return Err(CommError::LengthMismatch {
+                op: CommOp::AllReduce,
+                lengths,
+            });
+        }
+        // Rank-ordered fold: bit-identical to a serial reference on every rank.
+        buf.fill(0.0);
+        for from in all.iter() {
+            for (acc, v) in buf.iter_mut().zip(&from[0]) {
+                *acc += v;
+            }
+        }
+        let payload = 4 * buf.len() as u64;
+        let (cross, intra) = self.classify_ring(ring_bytes(payload, self.world, 2));
+        self.finish(CommOp::AllReduce, payload, cross, intra, transfer_start);
+        Ok(())
+    }
+
+    fn reduce_scatter(&mut self, buf: &[f32]) -> Result<Vec<f32>, CommError> {
+        let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf.to_vec()]);
+        let lengths: Vec<usize> = all.iter().map(|from| from[0].len()).collect();
+        if lengths.iter().any(|&l| l != buf.len()) {
+            return Err(CommError::LengthMismatch {
+                op: CommOp::ReduceScatter,
+                lengths,
+            });
+        }
+        if !buf.len().is_multiple_of(self.world) {
+            return Err(CommError::IndivisibleBuffer {
+                len: buf.len(),
+                world_size: self.world,
+            });
+        }
+        let shard_len = buf.len() / self.world;
+        let lo = self.rank * shard_len;
+        let mut shard = vec![0.0f32; shard_len];
+        for from in all.iter() {
+            for (acc, v) in shard.iter_mut().zip(&from[0][lo..lo + shard_len]) {
+                *acc += v;
+            }
+        }
+        let payload = 4 * buf.len() as u64;
+        let (cross, intra) = self.classify_ring(ring_bytes(payload, self.world, 1));
+        self.finish(CommOp::ReduceScatter, payload, cross, intra, transfer_start);
+        Ok(shard)
+    }
+
+    fn all_gather(&mut self, shard: &[f32]) -> Result<Vec<f32>, CommError> {
+        let (all, transfer_start) = self.floats.exchange(self.rank, vec![shard.to_vec()]);
+        let mut gathered = Vec::with_capacity(all.iter().map(|from| from[0].len()).sum());
+        for from in all.iter() {
+            gathered.extend_from_slice(&from[0]);
+        }
+        // Payload follows the OpRecord convention (this rank's contribution); the
+        // ring schedule still forwards the full gathered output around the ring.
+        let payload = 4 * shard.len() as u64;
+        let gathered_bytes = 4 * gathered.len() as u64;
+        let (cross, intra) = self.classify_ring(ring_bytes(gathered_bytes, self.world, 1));
+        self.finish(CommOp::AllGather, payload, cross, intra, transfer_start);
+        Ok(gathered)
+    }
+
+    fn drain_records(&mut self) -> Vec<OpRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_topology::HardwareGeneration;
+    use std::thread;
+
+    /// Runs `f(backend)` on one thread per rank and returns the per-rank results in
+    /// rank order.
+    fn run_world<R: Send>(
+        handles: Vec<SharedMemoryBackend>,
+        f: impl Fn(&mut SharedMemoryBackend) -> R + Sync,
+    ) -> Vec<R> {
+        let mut slots: Vec<Option<R>> = (0..handles.len()).map(|_| None).collect();
+        thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for mut backend in handles {
+                let f = &f;
+                joins.push(scope.spawn(move || f(&mut backend)));
+            }
+            for (slot, join) in slots.iter_mut().zip(joins) {
+                *slot = Some(join.join().expect("rank thread panicked"));
+            }
+        });
+        slots.into_iter().map(Option::unwrap).collect()
+    }
+
+    #[test]
+    fn empty_world_is_rejected() {
+        assert_eq!(
+            SharedMemoryComm::handles(0).err(),
+            Some(CommError::EmptyWorld)
+        );
+    }
+
+    #[test]
+    fn all_to_all_transposes_the_send_matrix() {
+        let world = 4;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let received = run_world(handles, |b| {
+            let me = b.rank() as f32;
+            let sends: Vec<Vec<f32>> = (0..world)
+                .map(|d| vec![me * 10.0 + d as f32; b.rank() + 1])
+                .collect();
+            b.all_to_all(sends).unwrap()
+        });
+        for (dst, row) in received.iter().enumerate() {
+            for (src, shard) in row.iter().enumerate() {
+                assert_eq!(shard.len(), src + 1, "shard length follows the source");
+                assert!(shard.iter().all(|&v| v == src as f32 * 10.0 + dst as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_is_a_rank_ordered_fold() {
+        let world = 5;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let results = run_world(handles, |b| {
+            let mut buf = vec![0.1f32 * (b.rank() as f32 + 1.0); 7];
+            b.all_reduce(&mut buf).unwrap();
+            buf
+        });
+        let mut expected = vec![0.0f32; 7];
+        for rank in 0..world {
+            for v in &mut expected {
+                *v += 0.1f32 * (rank as f32 + 1.0);
+            }
+        }
+        for result in results {
+            for (a, e) in result.iter().zip(&expected) {
+                assert_eq!(a.to_bits(), e.to_bits(), "must match the serial fold");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_plus_all_gather_equals_all_reduce() {
+        let world = 4;
+        let len = 8;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let results = run_world(handles, |b| {
+            let buf: Vec<f32> = (0..len).map(|i| (i + b.rank()) as f32).collect();
+            let shard = b.reduce_scatter(&buf).unwrap();
+            let gathered = b.all_gather(&shard).unwrap();
+            let mut reduced = buf;
+            b.all_reduce(&mut reduced).unwrap();
+            (gathered, reduced)
+        });
+        for (gathered, reduced) in results {
+            assert_eq!(gathered, reduced);
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_symmetric() {
+        // Every rank passes the same wrong-length reduction; every rank gets the same
+        // error (and nobody deadlocks).
+        let world = 3;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let results = run_world(handles, |b| {
+            let mut buf = vec![0.0f32; 2 + b.rank()];
+            b.all_reduce(&mut buf).err()
+        });
+        for err in results {
+            assert!(matches!(err, Some(CommError::LengthMismatch { .. })));
+        }
+    }
+
+    #[test]
+    fn indivisible_reduce_scatter_is_rejected() {
+        let world = 4;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let results = run_world(handles, |b| b.reduce_scatter(&[0.0; 6]).err());
+        for err in results {
+            assert_eq!(
+                err,
+                Some(CommError::IndivisibleBuffer {
+                    len: 6,
+                    world_size: 4
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_local() {
+        let mut b = SharedMemoryComm::handles(1).unwrap().pop().unwrap();
+        assert!(matches!(
+            b.all_to_all(vec![Vec::new(), Vec::new()]),
+            Err(CommError::ShardCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_rank_world_is_instant_identity() {
+        let mut b = SharedMemoryComm::handles(1).unwrap().pop().unwrap();
+        let out = b.all_to_all(vec![vec![1.0, 2.0]]).unwrap();
+        assert_eq!(out, vec![vec![1.0, 2.0]]);
+        let mut buf = vec![3.0];
+        b.all_reduce(&mut buf).unwrap();
+        assert_eq!(buf, vec![3.0]);
+        assert_eq!(b.all_gather(&[4.0]).unwrap(), vec![4.0]);
+        let records = b.drain_records();
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| r.wire_bytes() == 0));
+    }
+
+    #[test]
+    fn link_classification_follows_the_cluster() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 2).unwrap();
+        let group = ProcessGroup::global(&cluster);
+        let handles = SharedMemoryComm::for_group(&cluster, &group, FabricProfile::unthrottled());
+        let world = handles.len();
+        let records = run_world(handles, |b| {
+            // 1 f32 to every rank (including self).
+            let sends: Vec<Vec<f32>> = (0..world).map(|_| vec![1.0]).collect();
+            b.all_to_all(sends).unwrap();
+            b.drain_records().pop().unwrap()
+        });
+        for record in &records {
+            // 2x2 cluster: one intra-host peer (4 bytes), two cross-host peers
+            // (8 bytes); the self-shard crosses no link.
+            assert_eq!(record.intra_host_bytes, 4);
+            assert_eq!(record.cross_host_bytes, 8);
+            assert_eq!(record.payload_bytes, 16);
+        }
+    }
+
+    #[test]
+    fn fabric_throttle_paces_the_call() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 2).unwrap();
+        let group = ProcessGroup::global(&cluster);
+        // Huge slowdown so even a small payload takes a visible, stable time.
+        let fabric = FabricProfile::from_cluster(&cluster, 5.0e6);
+        let handles = SharedMemoryComm::for_group(&cluster, &group, fabric);
+        let world = handles.len();
+        let records = run_world(handles, |b| {
+            let sends: Vec<Vec<f32>> = (0..world).map(|_| vec![0.0; 4096]).collect();
+            b.all_to_all(sends).unwrap();
+            b.drain_records().pop().unwrap()
+        });
+        for record in &records {
+            let target = fabric
+                .target_duration(record.cross_host_bytes, record.intra_host_bytes)
+                .as_secs_f64();
+            assert!(
+                record.elapsed_s >= target,
+                "elapsed {} < target {target}",
+                record.elapsed_s
+            );
+        }
+    }
+
+    #[test]
+    fn dying_rank_poisons_the_world_instead_of_hanging_it() {
+        // Rank 1 panics before its deposit; rank 0, blocked in the collective, must
+        // panic ("aborted") rather than wait forever.
+        let world = 2;
+        let mut handles = SharedMemoryComm::handles(world).unwrap();
+        let mut rank1 = handles.pop().unwrap();
+        let mut rank0 = handles.pop().unwrap();
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || {
+                let mut buf = vec![1.0f32; 4];
+                rank0.all_reduce(&mut buf).unwrap();
+            });
+            let h1 = scope.spawn(move || {
+                // Simulate a mid-iteration failure: the backend drops while
+                // unwinding, which must poison the world.
+                let _keep = &mut rank1;
+                panic!("rank 1 died");
+            });
+            assert!(h1.join().is_err());
+            let err = h0.join().expect_err("rank 0 must not hang");
+            let message = err
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(message.contains("aborted"), "got: {message}");
+        });
+    }
+
+    #[test]
+    fn explicit_abort_fails_future_collectives() {
+        let handles = SharedMemoryComm::handles(2).unwrap();
+        handles[0].abort();
+        let mut b = handles.into_iter().next().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.barrier().unwrap();
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn all_gather_payload_is_the_local_contribution() {
+        let world = 4;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let records = run_world(handles, |b| {
+            b.all_gather(&[1.0, 2.0]).unwrap();
+            b.drain_records().pop().unwrap()
+        });
+        for record in &records {
+            assert_eq!(record.payload_bytes, 8, "two f32 contributed per rank");
+            // The ring still forwards the full 4-rank output.
+            assert_eq!(record.wire_bytes(), 8 * world as u64 * 3 / 4);
+        }
+    }
+
+    #[test]
+    fn records_accumulate_and_drain() {
+        let mut b = SharedMemoryComm::handles(1).unwrap().pop().unwrap();
+        b.barrier().unwrap();
+        b.barrier().unwrap();
+        assert_eq!(b.drain_records().len(), 2);
+        assert!(b.drain_records().is_empty());
+    }
+}

@@ -46,6 +46,10 @@ pub struct CostModel {
     /// Multiplier on every cross-host bandwidth term; `1.0` models the paper's
     /// full-bisection fabric, values below 1 model oversubscription.
     cross_host_scale: f64,
+    /// Multiplier on the intra-host (scale-up) bandwidth; `1.0` models the nominal
+    /// NVLink fabric. Used by the distributed engine's calibration to mirror a
+    /// slowed-down emulated fabric.
+    intra_host_scale: f64,
     /// Multiplier on the per-collective launch overhead (useful for sensitivity
     /// studies; `1.0` by default).
     overhead_scale: f64,
@@ -58,6 +62,7 @@ impl CostModel {
         Self {
             cluster,
             cross_host_scale: 1.0,
+            intra_host_scale: 1.0,
             overhead_scale: 1.0,
         }
     }
@@ -72,6 +77,18 @@ impl CostModel {
     pub fn with_cross_host_scale(mut self, scale: f64) -> Self {
         assert!(scale > 0.0, "cross-host scale must be positive");
         self.cross_host_scale = scale;
+        self
+    }
+
+    /// Scales the intra-host (scale-up) bandwidth by `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    #[must_use]
+    pub fn with_intra_host_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "intra-host scale must be positive");
+        self.intra_host_scale = scale;
         self
     }
 
@@ -137,7 +154,7 @@ impl CostModel {
     /// Effective per-rank intra-host (NVLink) bandwidth in bytes/s.
     #[must_use]
     pub fn intra_host_bandwidth(&self) -> f64 {
-        self.cluster.spec().scale_up_bytes_per_sec() * INTRA_HOST_EFFICIENCY
+        self.cluster.spec().scale_up_bytes_per_sec() * INTRA_HOST_EFFICIENCY * self.intra_host_scale
     }
 
     /// Effective per-rank bandwidth for data that stays on the device (a local copy).
@@ -254,6 +271,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cross_host_scale_panics() {
         let _ = model(64).with_cross_host_scale(0.0);
+    }
+
+    #[test]
+    fn intra_host_scale_applies() {
+        let m = model(64);
+        let slow = m.clone().with_intra_host_scale(0.1);
+        assert!((slow.intra_host_bandwidth() - 0.1 * m.intra_host_bandwidth()).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_intra_host_scale_panics() {
+        let _ = model(64).with_intra_host_scale(0.0);
     }
 
     #[test]

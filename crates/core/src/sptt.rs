@@ -19,7 +19,7 @@
 //!    every feature's embedding for exactly its local samples — is machine-checked
 //!    rather than argued ([`SpttPlan::verify_semantic_equivalence`]).
 //! 2. **Byte accounting** for every step ([`SpttCommVolumes`]), which the trainer
-//!    combines with the [`dmt_commsim`] cost model to produce iteration latencies.
+//!    combines with the `dmt-commsim` cost model to produce iteration latencies.
 
 use crate::error::DmtError;
 use dmt_topology::{peers_of, ClusterTopology, Rank, TowerId, TowerPlacement};

@@ -281,6 +281,73 @@ impl EmbeddingTable {
         }
     }
 
+    /// Copies the requested rows into a flat `[rows.len(), dim]` buffer, in request
+    /// order. Out-of-range indices wrap modulo the table size, as in
+    /// [`EmbeddingTable::forward`].
+    ///
+    /// This is the owner-side half of a distributed (row-sharded) lookup: remote
+    /// ranks send row ids, the owner answers with the raw rows, and the requester
+    /// pools locally.
+    #[must_use]
+    pub fn lookup_rows(&self, rows: &[usize]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(rows.len() * self.dim);
+        for &raw in rows {
+            out.extend_from_slice(self.row(raw % self.num_embeddings));
+        }
+        out
+    }
+
+    /// Accumulates externally computed per-row gradients into the pending sparse
+    /// gradients — the owner-side half of a distributed gradient exchange.
+    ///
+    /// `grads` is a flat `[rows.len(), dim]` buffer aligned with `rows`. Duplicate
+    /// rows are allowed and are merged in `(row, position)` order, so the result is
+    /// bit-identical to accumulating the occurrences one by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `grads.len() != rows.len() * dim` or any row is
+    /// out of range (distributed callers address shards explicitly, so unlike the
+    /// forward path no modulo mapping is applied here).
+    pub fn accumulate_row_grads(
+        &mut self,
+        rows: &[usize],
+        grads: &[f32],
+    ) -> Result<(), TensorError> {
+        if grads.len() != rows.len() * self.dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "accumulate_row_grads",
+                lhs: vec![grads.len()],
+                rhs: vec![rows.len(), self.dim],
+            });
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r >= self.num_embeddings) {
+            return Err(TensorError::ShapeMismatch {
+                op: "accumulate_row_grads",
+                lhs: vec![bad],
+                rhs: vec![self.num_embeddings],
+            });
+        }
+        let dim = self.dim;
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by_key(|&slot| (rows[slot], slot));
+        let mut batch = SparseRowGrads::default();
+        for slot in order {
+            let grad_row = &grads[slot * dim..(slot + 1) * dim];
+            if batch.indices.last() == Some(&rows[slot]) {
+                let start = batch.grads.len() - dim;
+                for (acc, g) in batch.grads[start..].iter_mut().zip(grad_row) {
+                    *acc += g;
+                }
+            } else {
+                batch.indices.push(rows[slot]);
+                batch.grads.extend_from_slice(grad_row);
+            }
+        }
+        self.pending_grads.merge(batch, dim);
+        Ok(())
+    }
+
     /// Number of rows with pending (unapplied) gradients.
     #[must_use]
     pub fn pending_rows(&self) -> usize {
@@ -470,6 +537,57 @@ mod tests {
         }
         let out = t.forward(&[vec![0]]).unwrap();
         assert!((out.sum() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lookup_rows_copies_in_request_order() {
+        let t = table(8, 3);
+        let out = t.lookup_rows(&[2, 0, 2, 9]);
+        assert_eq!(out.len(), 4 * 3);
+        assert_eq!(&out[..3], t.row(2));
+        assert_eq!(&out[3..6], t.row(0));
+        assert_eq!(&out[6..9], t.row(2));
+        assert_eq!(&out[9..], t.row(1), "out-of-range rows wrap");
+    }
+
+    #[test]
+    fn accumulate_row_grads_matches_backward_path() {
+        // Accumulating grads through the distributed API must be bit-identical to the
+        // forward/backward path touching the same (row, sample) occurrences.
+        let mut via_backward = table(8, 2);
+        via_backward.forward(&[vec![1, 1], vec![3]]).unwrap();
+        via_backward
+            .backward(&Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap())
+            .unwrap();
+
+        let mut via_rows = table(8, 2);
+        via_rows
+            .accumulate_row_grads(&[1, 1, 3], &[1.0, 2.0, 1.0, 2.0, 3.0, 4.0])
+            .unwrap();
+
+        for row in [1usize, 3] {
+            assert_eq!(
+                via_rows.pending_grad_for(row).unwrap(),
+                via_backward.pending_grad_for(row).unwrap()
+            );
+        }
+        assert_eq!(via_rows.pending_rows(), 2);
+    }
+
+    #[test]
+    fn accumulate_row_grads_merges_unsorted_duplicates() {
+        let mut t = table(8, 1);
+        t.accumulate_row_grads(&[5, 2, 5], &[1.0, 10.0, 2.0])
+            .unwrap();
+        assert_eq!(t.pending_grad_for(5).unwrap(), &[3.0]);
+        assert_eq!(t.pending_grad_for(2).unwrap(), &[10.0]);
+    }
+
+    #[test]
+    fn accumulate_row_grads_validates_shapes() {
+        let mut t = table(4, 2);
+        assert!(t.accumulate_row_grads(&[0], &[1.0]).is_err());
+        assert!(t.accumulate_row_grads(&[4], &[1.0, 1.0]).is_err());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`CrossNet`] — DCN-v2's cross layers, also reused as the DCN tower module.
 //! * [`EmbeddingTable`] — sum-pooled embedding bags with sparse gradients and a fused
 //!   row-wise Adagrad update (the standard optimizer for embedding tables).
+//! * [`ShardedEmbeddingTable`] — one rank's row-block shard of a logical table, the
+//!   local half of the distributed lookup/grad exchange the execution engine drives.
 //! * [`BceWithLogitsLoss`] — the binary cross-entropy training objective.
 //! * [`SgdOptimizer`] / [`AdamOptimizer`] — dense-parameter optimizers.
 //!
@@ -44,6 +46,7 @@ pub mod loss;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod sharded;
 
 pub use crossnet::CrossNet;
 pub use embedding_table::EmbeddingTable;
@@ -53,3 +56,4 @@ pub use loss::BceWithLogitsLoss;
 pub use mlp::Mlp;
 pub use optim::{AdamOptimizer, Optimizer, SgdOptimizer};
 pub use param::Parameter;
+pub use sharded::ShardedEmbeddingTable;

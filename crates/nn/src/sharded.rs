@@ -1,0 +1,296 @@
+//! Row-sharded embedding tables for the distributed execution engine.
+//!
+//! A [`ShardedEmbeddingTable`] is one rank's slice of a logical
+//! `[num_embeddings, dim]` table whose rows are block-partitioned across the ranks of
+//! a communicator world: rank `w` owns the contiguous row range
+//! `[w * ceil(num/W), (w+1) * ceil(num/W))`. The shard resolves global row ids to
+//! owners ([`ShardedEmbeddingTable::owner_of`]), answers row-fetch requests for its
+//! own range, and accumulates remotely computed gradients — the three local halves of
+//! the distributed lookup/grad exchange `dmt-trainer::distributed` drives over a
+//! `dmt-comm` backend.
+//!
+//! Sharding is a pure re-homing of rows: the set of (row, value) pairs across all
+//! shards equals a single table's, so a sharded lookup followed by requester-side
+//! pooling is bit-identical to a local [`crate::EmbeddingTable::forward`] over a
+//! table with the same rows.
+
+use crate::embedding_table::EmbeddingTable;
+use dmt_tensor::TensorError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// One rank's shard of a row-partitioned embedding table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedEmbeddingTable {
+    /// Local rows, `None` when this shard's range is empty (more shards than rows).
+    shard: Option<EmbeddingTable>,
+    num_embeddings: usize,
+    dim: usize,
+    world_size: usize,
+    shard_index: usize,
+    rows_per_shard: usize,
+}
+
+impl ShardedEmbeddingTable {
+    /// Creates shard `shard_index` of a logical `[num_embeddings, dim]` table
+    /// partitioned across `world_size` ranks.
+    ///
+    /// Each shard draws its rows from its own `rng`; seeding the rng per
+    /// `(table, shard)` makes initialization independent of the world size layout
+    /// while staying deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or `world_size` is zero, or `shard_index` is out of
+    /// range.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_embeddings: usize,
+        dim: usize,
+        world_size: usize,
+        shard_index: usize,
+    ) -> Self {
+        assert!(
+            num_embeddings > 0 && dim > 0 && world_size > 0,
+            "sharded table dimensions must be positive"
+        );
+        assert!(shard_index < world_size, "shard index out of range");
+        let rows_per_shard = num_embeddings.div_ceil(world_size);
+        let lo = (shard_index * rows_per_shard).min(num_embeddings);
+        let hi = ((shard_index + 1) * rows_per_shard).min(num_embeddings);
+        let shard = (hi > lo).then(|| EmbeddingTable::new(rng, hi - lo, dim));
+        Self {
+            shard,
+            num_embeddings,
+            dim,
+            world_size,
+            shard_index,
+            rows_per_shard,
+        }
+    }
+
+    /// Rows of the logical table.
+    #[must_use]
+    pub fn num_embeddings(&self) -> usize {
+        self.num_embeddings
+    }
+
+    /// Embedding dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards the logical table is split across.
+    #[must_use]
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// This shard's index.
+    #[must_use]
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
+    }
+
+    /// The shard owning global `row`.
+    ///
+    /// Rows outside the logical table wrap modulo `num_embeddings`, mirroring the
+    /// hashing trick [`EmbeddingTable::forward`] applies.
+    #[must_use]
+    pub fn owner_of(&self, row: usize) -> usize {
+        (row % self.num_embeddings) / self.rows_per_shard
+    }
+
+    /// Global row range owned by this shard (possibly empty).
+    #[must_use]
+    pub fn local_row_range(&self) -> Range<usize> {
+        let lo = (self.shard_index * self.rows_per_shard).min(self.num_embeddings);
+        let hi = ((self.shard_index + 1) * self.rows_per_shard).min(self.num_embeddings);
+        lo..hi
+    }
+
+    /// Trainable scalars held by this shard.
+    #[must_use]
+    pub fn local_parameter_count(&self) -> usize {
+        self.shard
+            .as_ref()
+            .map_or(0, EmbeddingTable::parameter_count)
+    }
+
+    /// Copies the requested *global* rows (which must all be owned by this shard)
+    /// into a flat `[rows.len(), dim]` buffer in request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if any row is outside this shard's range.
+    pub fn lookup_rows(&self, global_rows: &[usize]) -> Result<Vec<f32>, TensorError> {
+        let range = self.local_row_range();
+        let local = self.localize(global_rows, &range)?;
+        Ok(self
+            .shard
+            .as_ref()
+            .map(|t| t.lookup_rows(&local))
+            .unwrap_or_default())
+    }
+
+    /// Accumulates per-row gradients (flat `[rows.len(), dim]`, aligned with
+    /// `global_rows`) into this shard's pending sparse gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if any row is outside this shard's range or the
+    /// gradient buffer does not match.
+    pub fn accumulate_row_grads(
+        &mut self,
+        global_rows: &[usize],
+        grads: &[f32],
+    ) -> Result<(), TensorError> {
+        let range = self.local_row_range();
+        let local = self.localize(global_rows, &range)?;
+        match &mut self.shard {
+            Some(table) => table.accumulate_row_grads(&local, grads),
+            None if global_rows.is_empty() => Ok(()),
+            None => Err(TensorError::ShapeMismatch {
+                op: "sharded_accumulate_row_grads",
+                lhs: vec![global_rows.len()],
+                rhs: vec![0],
+            }),
+        }
+    }
+
+    /// Applies pending sparse gradients with row-wise Adagrad (see
+    /// [`EmbeddingTable::apply_rowwise_adagrad`]).
+    pub fn apply_rowwise_adagrad(&mut self, learning_rate: f32, eps: f32) {
+        if let Some(table) = &mut self.shard {
+            table.apply_rowwise_adagrad(learning_rate, eps);
+        }
+    }
+
+    /// Discards pending gradients without applying them.
+    pub fn zero_grad(&mut self) {
+        if let Some(table) = &mut self.shard {
+            table.zero_grad();
+        }
+    }
+
+    /// Rows with pending (unapplied) gradients on this shard.
+    #[must_use]
+    pub fn pending_rows(&self) -> usize {
+        self.shard.as_ref().map_or(0, EmbeddingTable::pending_rows)
+    }
+
+    /// Maps global row ids into shard-local ids, validating ownership.
+    fn localize(
+        &self,
+        global_rows: &[usize],
+        range: &Range<usize>,
+    ) -> Result<Vec<usize>, TensorError> {
+        global_rows
+            .iter()
+            .map(|&g| {
+                let g = g % self.num_embeddings;
+                if range.contains(&g) {
+                    Ok(g - range.start)
+                } else {
+                    Err(TensorError::ShapeMismatch {
+                        op: "sharded_row_ownership",
+                        lhs: vec![g],
+                        rhs: vec![range.start, range.end],
+                    })
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shards(rows: usize, dim: usize, world: usize) -> Vec<ShardedEmbeddingTable> {
+        (0..world)
+            .map(|w| {
+                let mut rng = StdRng::seed_from_u64(1000 + w as u64);
+                ShardedEmbeddingTable::new(&mut rng, rows, dim, world, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shards_partition_the_row_space() {
+        for (rows, world) in [(10usize, 4usize), (16, 4), (3, 8), (7, 1)] {
+            let shards = shards(rows, 2, world);
+            let mut covered = vec![0usize; rows];
+            for s in &shards {
+                for r in s.local_row_range() {
+                    covered[r] += 1;
+                    assert_eq!(s.owner_of(r), s.shard_index());
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "rows {rows} world {world}: {covered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_rows_leaves_empty_shards() {
+        let shards = shards(3, 2, 8);
+        let owned: usize = shards.iter().map(|s| s.local_row_range().len()).sum();
+        assert_eq!(owned, 3);
+        assert_eq!(shards[7].local_parameter_count(), 0);
+        assert!(shards[7].lookup_rows(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lookup_and_grads_round_trip() {
+        let mut shards = shards(10, 3, 4);
+        let rows = vec![0, 1, 2]; // shard 0 owns rows 0..3
+        let fetched = shards[0].lookup_rows(&rows).unwrap();
+        assert_eq!(fetched.len(), 9);
+        shards[0].accumulate_row_grads(&rows, &[1.0; 9]).unwrap();
+        assert_eq!(shards[0].pending_rows(), 3);
+        shards[0].apply_rowwise_adagrad(0.1, 1e-8);
+        assert_eq!(shards[0].pending_rows(), 0);
+        let moved = shards[0].lookup_rows(&rows).unwrap();
+        assert_ne!(fetched, moved, "adagrad must move the touched rows");
+    }
+
+    #[test]
+    fn foreign_rows_are_rejected() {
+        let mut shards = shards(10, 2, 4);
+        assert!(shards[0].lookup_rows(&[5]).is_err());
+        assert!(shards[1].accumulate_row_grads(&[0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rows_wrap_like_the_dense_table() {
+        let shards = shards(10, 2, 4);
+        // Row 10 wraps to row 0, owned by shard 0.
+        assert_eq!(shards[0].owner_of(10), 0);
+        let direct = shards[0].lookup_rows(&[0]).unwrap();
+        let wrapped = shards[0].lookup_rows(&[10]).unwrap();
+        assert_eq!(direct, wrapped);
+    }
+
+    #[test]
+    fn zero_grad_discards_pending() {
+        let mut shards = shards(8, 2, 2);
+        shards[0].accumulate_row_grads(&[1], &[1.0, 1.0]).unwrap();
+        shards[0].zero_grad();
+        assert_eq!(shards[0].pending_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index")]
+    fn shard_index_must_be_in_world() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = ShardedEmbeddingTable::new(&mut rng, 8, 2, 2, 2);
+    }
+}

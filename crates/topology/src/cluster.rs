@@ -47,6 +47,14 @@ pub enum TopologyError {
         /// The cluster's world size.
         world_size: usize,
     },
+    /// A requested world size cannot be laid out on the host shape (it is not a
+    /// positive multiple of the GPUs per host).
+    InvalidWorldSize {
+        /// The requested world size.
+        world_size: usize,
+        /// GPUs per host the layout must be a multiple of.
+        gpus_per_host: usize,
+    },
     /// A tower/partition request did not divide the cluster evenly.
     IndivisibleTowers {
         /// Number of hosts in the cluster.
@@ -68,6 +76,13 @@ impl fmt::Display for TopologyError {
             TopologyError::RankOutOfRange { rank, world_size } => {
                 write!(f, "rank {rank} is out of range for world size {world_size}")
             }
+            TopologyError::InvalidWorldSize {
+                world_size,
+                gpus_per_host,
+            } => write!(
+                f,
+                "world size {world_size} is not a positive multiple of {gpus_per_host} GPUs per host"
+            ),
             TopologyError::IndivisibleTowers {
                 num_hosts,
                 num_towers,
@@ -117,17 +132,30 @@ impl ClusterTopology {
     /// A standard 8-GPU-per-host cluster with `world_size` total GPUs.
     ///
     /// This matches the paper's evaluation platforms (8 GPUs/node, 16–512 GPUs).
+    /// Degenerate worlds smaller than one full host (`world_size < 8`) are laid out
+    /// as a single host with `world_size` GPUs — the shape a workstation or CI
+    /// deployment has — instead of being rejected.
     ///
     /// # Errors
     ///
-    /// Returns [`TopologyError::EmptyCluster`] if `world_size < 8` or `world_size` is
-    /// not a multiple of 8.
+    /// Returns [`TopologyError::EmptyCluster`] if `world_size` is zero, and
+    /// [`TopologyError::InvalidWorldSize`] if `world_size > 8` is not a multiple
+    /// of 8.
     pub fn standard(
         generation: HardwareGeneration,
         world_size: usize,
     ) -> Result<Self, TopologyError> {
-        if world_size == 0 || !world_size.is_multiple_of(8) {
+        if world_size == 0 {
             return Err(TopologyError::EmptyCluster);
+        }
+        if world_size < 8 {
+            return Self::new(generation, 1, world_size);
+        }
+        if !world_size.is_multiple_of(8) {
+            return Err(TopologyError::InvalidWorldSize {
+                world_size,
+                gpus_per_host: 8,
+            });
         }
         Self::new(generation, world_size / 8, 8)
     }
@@ -248,11 +276,18 @@ impl ClusterTopology {
     ///
     /// # Errors
     ///
-    /// Returns [`TopologyError::EmptyCluster`] if `world_size` is not a positive
-    /// multiple of `gpus_per_host`.
+    /// Returns [`TopologyError::EmptyCluster`] if `world_size` is zero, and
+    /// [`TopologyError::InvalidWorldSize`] if it is not a multiple of
+    /// `gpus_per_host`.
     pub fn with_world_size(&self, world_size: usize) -> Result<Self, TopologyError> {
-        if world_size == 0 || !world_size.is_multiple_of(self.gpus_per_host) {
+        if world_size == 0 {
             return Err(TopologyError::EmptyCluster);
+        }
+        if !world_size.is_multiple_of(self.gpus_per_host) {
+            return Err(TopologyError::InvalidWorldSize {
+                world_size,
+                gpus_per_host: self.gpus_per_host,
+            });
         }
         Self::new(
             self.generation,
@@ -298,8 +333,39 @@ mod tests {
     #[test]
     fn standard_requires_multiple_of_eight() {
         assert!(ClusterTopology::standard(HardwareGeneration::H100, 64).is_ok());
-        assert!(ClusterTopology::standard(HardwareGeneration::H100, 12).is_err());
-        assert!(ClusterTopology::standard(HardwareGeneration::H100, 0).is_err());
+        assert_eq!(
+            ClusterTopology::standard(HardwareGeneration::H100, 12),
+            Err(TopologyError::InvalidWorldSize {
+                world_size: 12,
+                gpus_per_host: 8
+            })
+        );
+        assert_eq!(
+            ClusterTopology::standard(HardwareGeneration::H100, 0),
+            Err(TopologyError::EmptyCluster)
+        );
+    }
+
+    #[test]
+    fn standard_lays_out_small_worlds_on_a_single_host() {
+        // world_size < 8 is a valid degenerate deployment (one partial host), not a
+        // panic or an EmptyCluster error.
+        for world in 1..8usize {
+            let c = ClusterTopology::standard(HardwareGeneration::A100, world).unwrap();
+            assert_eq!(c.num_hosts(), 1);
+            assert_eq!(c.gpus_per_host(), world);
+            assert_eq!(c.world_size(), world);
+        }
+    }
+
+    #[test]
+    fn invalid_world_size_display_names_both_numbers() {
+        let e = TopologyError::InvalidWorldSize {
+            world_size: 12,
+            gpus_per_host: 8,
+        };
+        let text = e.to_string();
+        assert!(text.contains("12") && text.contains('8'));
     }
 
     #[test]
@@ -348,7 +414,14 @@ mod tests {
         let bigger = c.with_world_size(512).unwrap();
         assert_eq!(bigger.num_hosts(), 64);
         assert_eq!(bigger.gpus_per_host(), 8);
-        assert!(c.with_world_size(65).is_err());
+        assert_eq!(
+            c.with_world_size(65),
+            Err(TopologyError::InvalidWorldSize {
+                world_size: 65,
+                gpus_per_host: 8
+            })
+        );
+        assert_eq!(c.with_world_size(0), Err(TopologyError::EmptyCluster));
     }
 
     #[test]

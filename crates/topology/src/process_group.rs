@@ -185,6 +185,33 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_single_host_groups_do_not_panic() {
+        // A world smaller than one full host (e.g. a 4-GPU workstation) must still
+        // produce well-formed groups: one intra-host group covering everything, and
+        // one single-rank peer group per slot.
+        let c = ClusterTopology::standard(HardwareGeneration::A100, 4).unwrap();
+        let global = ProcessGroup::global(&c);
+        assert_eq!(global.world_size(), 4);
+        let intra = ProcessGroup::intra_host_groups(&c);
+        assert_eq!(intra.len(), 1);
+        assert_eq!(intra[0].world_size(), 4);
+        assert!(intra[0].is_intra_host(&c));
+        let peers = ProcessGroup::peer_groups(&c);
+        assert_eq!(peers.len(), 4);
+        for g in &peers {
+            assert_eq!(g.world_size(), 1);
+        }
+    }
+
+    #[test]
+    fn single_gpu_world_groups_are_well_formed() {
+        let c = ClusterTopology::standard(HardwareGeneration::A100, 1).unwrap();
+        assert_eq!(ProcessGroup::global(&c).world_size(), 1);
+        assert_eq!(ProcessGroup::intra_host_groups(&c).len(), 1);
+        assert_eq!(ProcessGroup::peer_groups(&c).len(), 1);
+    }
+
+    #[test]
     fn explicit_group_validation() {
         let c = cluster();
         assert!(ProcessGroup::new(&c, GroupKind::Tower, vec![]).is_err());

@@ -1,0 +1,52 @@
+//! Run the real thread-per-rank engine in both deployments and lay the measured
+//! timelines side by side with the analytical simulator's predictions.
+//!
+//! Run with: `cargo run --release -p dmt-trainer --example distributed_calibration`
+
+use dmt_comm::FabricProfile;
+use dmt_models::ModelArch;
+use dmt_topology::{ClusterTopology, HardwareGeneration};
+use dmt_trainer::distributed::{calibrate, CalibrationReport, DistributedConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 8 ranks as 2 hosts x 4 GPUs, fabric paced to A100 link bandwidths slowed
+    // 30000x so wire time dominates thread-scheduling noise.
+    let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4)?;
+    let fabric = FabricProfile::from_cluster(&cluster, 30_000.0);
+    let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm)
+        .with_iterations(3)
+        .with_fabric(fabric);
+    let report = calibrate(&cfg)?;
+
+    for (name, run, predicted) in [
+        ("baseline", &report.baseline, &report.predicted_baseline),
+        ("DMT", &report.dmt, &report.predicted_dmt),
+    ] {
+        println!("== {name} (measured, {} ranks) ==", run.world_size);
+        println!(
+            "{:<40} {:>12} {:>12} {:>10} {:>10}",
+            "segment", "measured ms", "predict ms", "cross KiB", "intra KiB"
+        );
+        for (m, p) in run.segments.iter().zip(predicted.segments()) {
+            println!(
+                "{:<40} {:>12.2} {:>12.2} {:>10.1} {:>10.1}",
+                m.label,
+                m.time_s * 1e3,
+                p.time_s * 1e3,
+                m.cross_host_bytes as f64 / 1024.0,
+                m.intra_host_bytes as f64 / 1024.0
+            );
+        }
+        println!(
+            "exposed comm {:.1} ms (predicted {:.1} ms), total {:.1} ms\n",
+            CalibrationReport::comm_seconds(&run.breakdown()) * 1e3,
+            CalibrationReport::comm_seconds(&predicted.breakdown()) * 1e3,
+            run.breakdown().total_s() * 1e3,
+        );
+    }
+    println!(
+        "measured ordering matches analytical prediction: {}",
+        report.measured_ordering_matches_prediction()
+    );
+    Ok(())
+}

@@ -1,0 +1,1687 @@
+//! Real thread-per-rank distributed training — the executable counterpart of
+//! [`crate::simulation`].
+//!
+//! Where the simulator *predicts* iteration latency from an α–β cost model, this
+//! module *runs* the two deployments for real on a [`dmt_comm::SharedMemoryComm`]
+//! world mapped onto a [`ClusterTopology`]:
+//!
+//! * **Baseline (hybrid parallel)** — every embedding table is row-sharded across
+//!   all `W` ranks; each iteration does a global index AlltoAll, a global row-fetch
+//!   AlltoAll, local pooling, a replicated dense forward/backward, a global gradient
+//!   AlltoAll back to the row owners and a global dense AllReduce.
+//! * **DMT** — features are partitioned into one tower per host. Each rank first
+//!   sends its samples' indices to the same-slot rank of the owning tower's host (a
+//!   *peer* AlltoAll, world = `num_hosts`), looks rows up from tables sharded across
+//!   its *own host's* ranks (an *intra-host* AlltoAll, world = `gpus_per_host`),
+//!   runs the tower module over the combined tower batch, and returns the
+//!   *compressed* tower outputs through a second peer AlltoAll. Tower-module
+//!   gradients synchronize intra-host; only the shared dense stack crosses the
+//!   global world.
+//!
+//! Both modes produce a *measured* [`IterationTimeline`] whose segments carry real
+//! wall-clock durations plus exact per-link-class byte counts, so a run can be laid
+//! side by side with the analytical simulator ([`predicted_timeline`] /
+//! [`calibrate`]) — the built-in calibration check that the measured engine and the
+//! cost model agree on the paper's core claim: DMT moves its bytes off the scale-out
+//! links, so its exposed-communication share shrinks.
+//!
+//! Determinism: collectives fold in rank order (see `dmt-comm`), every model replica
+//! is seeded identically, and per-rank work is single-threaded, so two runs of the
+//! same configuration produce bit-identical losses.
+
+use crate::simulation::{DENSE_SYNC_EXPOSED, EMBEDDING_EXCHANGE_EXPOSED, INPUT_DIST_EXPOSED};
+use dmt_comm::{Backend, CommError, CommOp, FabricProfile, SharedMemoryBackend, SharedMemoryComm};
+use dmt_commsim::{
+    collectives, CostModel, IterationTimeline, LatencyBreakdown, Segment, SegmentKind,
+};
+use dmt_core::tower::TowerModule;
+use dmt_core::{naive_partition, DlrmTowerModule, DmtError};
+use dmt_data::{Batch, DatasetSchema, SyntheticClickDataset};
+use dmt_models::{ModelArch, ModelHyperparams};
+use dmt_nn::param::HasParameters;
+use dmt_nn::{
+    AdamOptimizer, BceWithLogitsLoss, CrossNet, DotInteraction, Mlp, Optimizer, Parameter,
+    ShardedEmbeddingTable,
+};
+use dmt_tensor::{Tensor, TensorError};
+use dmt_topology::{ClusterTopology, ProcessGroup, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Errors produced while configuring or running the distributed engine.
+#[derive(Debug)]
+pub enum DistributedError {
+    /// A collective failed.
+    Comm(CommError),
+    /// A tensor shape mismatch inside a rank's local compute.
+    Tensor(TensorError),
+    /// The cluster shape was invalid.
+    Topology(TopologyError),
+    /// The configuration cannot be executed (e.g. more towers than features).
+    Config {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A rank thread died.
+    Rank {
+        /// The global rank that failed.
+        rank: usize,
+        /// Panic or join failure description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::Comm(e) => write!(f, "collective failed: {e}"),
+            DistributedError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DistributedError::Topology(e) => write!(f, "topology error: {e}"),
+            DistributedError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            DistributedError::Rank { rank, message } => {
+                write!(f, "rank {rank} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+impl From<CommError> for DistributedError {
+    fn from(value: CommError) -> Self {
+        DistributedError::Comm(value)
+    }
+}
+
+impl From<TensorError> for DistributedError {
+    fn from(value: TensorError) -> Self {
+        DistributedError::Tensor(value)
+    }
+}
+
+impl From<TopologyError> for DistributedError {
+    fn from(value: TopologyError) -> Self {
+        DistributedError::Topology(value)
+    }
+}
+
+impl From<DmtError> for DistributedError {
+    fn from(value: DmtError) -> Self {
+        DistributedError::Config {
+            reason: value.to_string(),
+        }
+    }
+}
+
+/// Which deployment the engine executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Hybrid-parallel strong baseline: globally sharded tables, global exchanges.
+    Baseline,
+    /// Disaggregated Multi-Tower: one tower per host, peer + intra-host exchanges.
+    Dmt,
+}
+
+/// Configuration of one distributed engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributedConfig {
+    /// Cluster the rank threads are mapped onto (one thread per GPU rank).
+    pub cluster: ClusterTopology,
+    /// Dataset schema (defines the embedding tables).
+    pub schema: DatasetSchema,
+    /// Interaction architecture of the dense stack.
+    pub arch: ModelArch,
+    /// Dense hyper-parameters.
+    pub hyper: ModelHyperparams,
+    /// Per-rank batch size.
+    pub local_batch: usize,
+    /// Training iterations to run and average over.
+    pub iterations: usize,
+    /// Learning rate (Adam for dense parameters, row-wise Adagrad for embeddings).
+    pub learning_rate: f32,
+    /// Tower-module output feature dimension `D` (DMT mode).
+    pub tower_output_dim: usize,
+    /// Tower-module ensemble parameter `c` (per-feature projections; DMT mode).
+    pub tower_ensemble_c: usize,
+    /// Tower-module ensemble parameter `p` (flat projections; DMT mode).
+    pub tower_ensemble_p: usize,
+    /// Fabric pacing applied to every collective (see [`FabricProfile`]).
+    pub fabric: FabricProfile,
+    /// Base seed for model initialization and per-rank data streams.
+    pub seed: u64,
+}
+
+impl DistributedConfig {
+    /// A small configuration over `cluster` that runs in CPU-test time: the reduced
+    /// Criteo-like schema, tiny dense stack, 64-sample local batches and maximally
+    /// compressing tower modules (`c = 0`, `p = 1`).
+    #[must_use]
+    pub fn quick(cluster: ClusterTopology, arch: ModelArch) -> Self {
+        Self {
+            cluster,
+            schema: DatasetSchema::criteo_like_small(),
+            arch,
+            hyper: ModelHyperparams::tiny(),
+            local_batch: 64,
+            iterations: 4,
+            learning_rate: 1e-2,
+            tower_output_dim: 16,
+            tower_ensemble_c: 0,
+            tower_ensemble_p: 1,
+            fabric: FabricProfile::unthrottled(),
+            seed: 7,
+        }
+    }
+
+    /// Overrides the fabric profile.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricProfile) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Overrides the iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Overrides the per-rank batch size.
+    #[must_use]
+    pub fn with_local_batch(mut self, local_batch: usize) -> Self {
+        self.local_batch = local_batch.max(1);
+        self
+    }
+
+    /// Number of towers in DMT mode (the paper's default: one per host).
+    #[must_use]
+    pub fn num_towers(&self) -> usize {
+        self.cluster.num_hosts()
+    }
+}
+
+/// Which communicator world a measured segment ran over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommScope {
+    /// Rank-local compute, no communicator.
+    Local,
+    /// The global world (all ranks).
+    Global,
+    /// One host's ranks.
+    IntraHost,
+    /// Same-slot ranks across hosts (SPTT peer group).
+    Peer,
+}
+
+/// One measured timeline segment, averaged over the run's iterations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredSegment {
+    /// Human-readable label.
+    pub label: String,
+    /// Latency category (matches the analytical simulator's segments).
+    pub kind: SegmentKind,
+    /// Fraction of the duration exposed on the critical path (same overlap model as
+    /// the simulator).
+    pub exposed_fraction: f64,
+    /// Measured mean wall-clock seconds per iteration (slowest rank).
+    pub time_s: f64,
+    /// Mean per-rank payload bytes per iteration.
+    pub payload_bytes: u64,
+    /// Mean per-rank bytes crossing scale-out (cross-host) links per iteration.
+    pub cross_host_bytes: u64,
+    /// Mean per-rank bytes crossing scale-up (intra-host) links per iteration.
+    pub intra_host_bytes: u64,
+    /// Communicator world the segment ran over.
+    pub scope: CommScope,
+    /// The collective executed, `None` for compute/overhead segments.
+    pub op: Option<CommOp>,
+}
+
+/// Result of running one deployment for real.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredRun {
+    /// The executed deployment.
+    pub mode: ExecutionMode,
+    /// Number of rank threads.
+    pub world_size: usize,
+    /// Iterations averaged over.
+    pub iterations: usize,
+    /// Per-segment measurements in iteration order.
+    pub segments: Vec<MeasuredSegment>,
+    /// Mean training loss across ranks, one entry per iteration.
+    pub losses: Vec<f64>,
+}
+
+impl MeasuredRun {
+    /// The measured timeline in the simulator's [`IterationTimeline`] form.
+    #[must_use]
+    pub fn timeline(&self) -> IterationTimeline {
+        self.segments
+            .iter()
+            .map(|s| Segment::new(s.kind, s.label.clone(), s.time_s, s.exposed_fraction))
+            .collect()
+    }
+
+    /// Exposed-latency breakdown of the measured timeline.
+    #[must_use]
+    pub fn breakdown(&self) -> LatencyBreakdown {
+        self.timeline().breakdown()
+    }
+
+    /// Mean per-rank cross-host bytes per iteration.
+    #[must_use]
+    pub fn cross_host_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.cross_host_bytes).sum()
+    }
+
+    /// Mean per-rank intra-host bytes per iteration.
+    #[must_use]
+    pub fn intra_host_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.intra_host_bytes).sum()
+    }
+
+    /// Fraction of the exposed iteration spent communicating (embedding exchanges +
+    /// gradient synchronization) — the quantity the paper's Figure 1 is about.
+    #[must_use]
+    pub fn exposed_comm_fraction(&self) -> f64 {
+        CalibrationReport::comm_fraction(&self.breakdown())
+    }
+}
+
+/// Runs the hybrid-parallel baseline for real and returns its measured profile.
+///
+/// # Errors
+///
+/// Returns a [`DistributedError`] if the configuration is invalid or a rank fails.
+pub fn run_baseline(config: &DistributedConfig) -> Result<MeasuredRun, DistributedError> {
+    run_mode(config, ExecutionMode::Baseline)
+}
+
+/// Runs DMT (one tower per host) for real and returns its measured profile.
+///
+/// # Errors
+///
+/// Returns a [`DistributedError`] if the configuration is invalid or a rank fails.
+pub fn run_dmt(config: &DistributedConfig) -> Result<MeasuredRun, DistributedError> {
+    run_mode(config, ExecutionMode::Dmt)
+}
+
+/// The analytical simulator's prediction for the *same* segments a measured run
+/// executed: compute/overhead segments keep their measured durations, while every
+/// communication segment is re-costed by the α–β model from its measured per-rank
+/// payload and process group. When the run paced its collectives with a throttled
+/// [`FabricProfile`], the cost model's link bandwidths are scaled down by the same
+/// factors, so measured and predicted times are on the same footing.
+///
+/// This isolates the communication model: measured and predicted timelines differ
+/// only where the cost model disagrees with the executed collectives.
+#[must_use]
+pub fn predicted_timeline(config: &DistributedConfig, run: &MeasuredRun) -> IterationTimeline {
+    use dmt_topology::LinkKind;
+    let cluster = &config.cluster;
+    let mut model = CostModel::new(cluster.clone());
+    if config.fabric.cross_host_bytes_per_sec.is_finite() {
+        model = model.with_cross_host_scale(
+            config.fabric.cross_host_bytes_per_sec / cluster.link_bandwidth(LinkKind::CrossHost),
+        );
+    }
+    if config.fabric.intra_host_bytes_per_sec.is_finite() {
+        model = model.with_intra_host_scale(
+            config.fabric.intra_host_bytes_per_sec / cluster.link_bandwidth(LinkKind::IntraHost),
+        );
+    }
+    let global = ProcessGroup::global(cluster);
+    let intra = ProcessGroup::intra_host_groups(cluster);
+    let peer = ProcessGroup::peer_groups(cluster);
+    run.segments
+        .iter()
+        .map(|seg| {
+            let group = match seg.scope {
+                CommScope::Local => None,
+                CommScope::Global => Some(&global),
+                CommScope::IntraHost => Some(&intra[0]),
+                CommScope::Peer => Some(&peer[0]),
+            };
+            match (group, seg.op) {
+                (Some(group), Some(op)) => {
+                    let est = match op {
+                        CommOp::AllReduce => {
+                            collectives::all_reduce(&model, group, seg.payload_bytes)
+                        }
+                        CommOp::ReduceScatter => {
+                            collectives::reduce_scatter(&model, group, seg.payload_bytes)
+                        }
+                        CommOp::AllGather => {
+                            collectives::all_gather(&model, group, seg.payload_bytes)
+                        }
+                        _ => collectives::all_to_all(&model, group, seg.payload_bytes),
+                    };
+                    Segment::new(
+                        seg.kind,
+                        seg.label.clone(),
+                        est.time_s,
+                        seg.exposed_fraction,
+                    )
+                }
+                _ => Segment::new(
+                    seg.kind,
+                    seg.label.clone(),
+                    seg.time_s,
+                    seg.exposed_fraction,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Measured-vs-analytical comparison of both deployments on one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Measured baseline run.
+    pub baseline: MeasuredRun,
+    /// Measured DMT run.
+    pub dmt: MeasuredRun,
+    /// Analytical twin of the baseline run (see [`predicted_timeline`]).
+    pub predicted_baseline: IterationTimeline,
+    /// Analytical twin of the DMT run.
+    pub predicted_dmt: IterationTimeline,
+}
+
+impl CalibrationReport {
+    /// Exposed-communication fraction of a breakdown.
+    #[must_use]
+    pub fn comm_fraction(b: &LatencyBreakdown) -> f64 {
+        let total = b.total_s();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (b.embedding_comm_s + b.dense_sync_s) / total
+    }
+
+    /// Exposed-communication seconds of a breakdown.
+    #[must_use]
+    pub fn comm_seconds(b: &LatencyBreakdown) -> f64 {
+        b.embedding_comm_s + b.dense_sync_s
+    }
+
+    /// The calibration check: the measured engine and the analytical simulator must
+    /// agree on the paper's Figure 13 orderings — DMT exposes less communication
+    /// than the baseline (absolute seconds), finishes the whole iteration faster,
+    /// and moves strictly fewer cross-host bytes.
+    ///
+    /// The *fraction* of the iteration spent communicating is reported (see
+    /// [`CalibrationReport::comm_fraction`]) but not gated: at CPU-toy scale the
+    /// tower modules shrink the dense over-arch far more than at paper scale, so
+    /// DMT's compute denominator can fall faster than its communication — a scale
+    /// artifact, not a property of the dataflow.
+    #[must_use]
+    pub fn measured_ordering_matches_prediction(&self) -> bool {
+        let measured_baseline = self.baseline.breakdown();
+        let measured_dmt = self.dmt.breakdown();
+        let predicted_baseline = self.predicted_baseline.breakdown();
+        let predicted_dmt = self.predicted_dmt.breakdown();
+        let measured_ok = Self::comm_seconds(&measured_dmt)
+            < Self::comm_seconds(&measured_baseline)
+            && measured_dmt.total_s() < measured_baseline.total_s();
+        let predicted_ok = Self::comm_seconds(&predicted_dmt)
+            < Self::comm_seconds(&predicted_baseline)
+            && predicted_dmt.total_s() < predicted_baseline.total_s();
+        let bytes_ok = self.dmt.cross_host_bytes() < self.baseline.cross_host_bytes();
+        measured_ok && predicted_ok && bytes_ok
+    }
+}
+
+/// Runs both deployments and builds their analytical twins.
+///
+/// # Errors
+///
+/// Returns a [`DistributedError`] if either run fails.
+pub fn calibrate(config: &DistributedConfig) -> Result<CalibrationReport, DistributedError> {
+    let baseline = run_baseline(config)?;
+    let dmt = run_dmt(config)?;
+    let predicted_baseline = predicted_timeline(config, &baseline);
+    let predicted_dmt = predicted_timeline(config, &dmt);
+    Ok(CalibrationReport {
+        baseline,
+        dmt,
+        predicted_baseline,
+        predicted_dmt,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+/// Communicator handles one rank carries into its thread.
+struct RankComms {
+    global: SharedMemoryBackend,
+    intra: SharedMemoryBackend,
+    peer: SharedMemoryBackend,
+}
+
+/// One measured sample of a segment within a single iteration.
+struct SegmentSample {
+    label: &'static str,
+    kind: SegmentKind,
+    exposed: f64,
+    scope: CommScope,
+    op: Option<CommOp>,
+    time_s: f64,
+    payload_bytes: u64,
+    cross_host_bytes: u64,
+    intra_host_bytes: u64,
+}
+
+/// Accumulates per-iteration segment samples for one rank.
+#[derive(Default)]
+struct Recorder {
+    samples: Vec<SegmentSample>,
+}
+
+impl Recorder {
+    fn push_compute(&mut self, label: &'static str, kind: SegmentKind, exposed: f64, time_s: f64) {
+        self.samples.push(SegmentSample {
+            label,
+            kind,
+            exposed,
+            scope: CommScope::Local,
+            op: None,
+            time_s,
+            payload_bytes: 0,
+            cross_host_bytes: 0,
+            intra_host_bytes: 0,
+        });
+    }
+
+    /// Records whatever collectives `backend` has accumulated since its last drain
+    /// as one segment.
+    fn record_drained(
+        &mut self,
+        label: &'static str,
+        kind: SegmentKind,
+        exposed: f64,
+        scope: CommScope,
+        backend: &mut SharedMemoryBackend,
+    ) {
+        let records = backend.drain_records();
+        self.samples.push(SegmentSample {
+            label,
+            kind,
+            exposed,
+            scope,
+            op: records.iter().map(|r| r.op).next_back(),
+            time_s: records.iter().map(|r| r.elapsed_s).sum(),
+            payload_bytes: records.iter().map(|r| r.payload_bytes).sum(),
+            cross_host_bytes: records.iter().map(|r| r.cross_host_bytes).sum(),
+            intra_host_bytes: records.iter().map(|r| r.intra_host_bytes).sum(),
+        });
+    }
+
+    /// Runs `body` against `backend` and records the drained collective records as
+    /// one segment.
+    fn comm<T>(
+        &mut self,
+        label: &'static str,
+        kind: SegmentKind,
+        exposed: f64,
+        scope: CommScope,
+        backend: &mut SharedMemoryBackend,
+        body: impl FnOnce(&mut SharedMemoryBackend) -> Result<T, CommError>,
+    ) -> Result<T, CommError> {
+        let out = body(backend)?;
+        self.record_drained(label, kind, exposed, scope, backend);
+        Ok(out)
+    }
+}
+
+/// Per-rank result of a full run.
+struct RankOutcome {
+    /// Accumulated segment totals across iterations, in segment order.
+    segments: Vec<SegmentSample>,
+    losses: Vec<f64>,
+}
+
+/// Folds one iteration's samples into the run accumulator.
+fn accumulate(total: &mut Vec<SegmentSample>, iteration: Vec<SegmentSample>) {
+    if total.is_empty() {
+        *total = iteration;
+        return;
+    }
+    debug_assert_eq!(
+        total.len(),
+        iteration.len(),
+        "segment sequence must be static"
+    );
+    for (acc, s) in total.iter_mut().zip(iteration) {
+        debug_assert_eq!(acc.label, s.label);
+        acc.time_s += s.time_s;
+        acc.payload_bytes += s.payload_bytes;
+        acc.cross_host_bytes += s.cross_host_bytes;
+        acc.intra_host_bytes += s.intra_host_bytes;
+    }
+}
+
+/// Mean-aggregates rank outcomes into the run's measured segments.
+fn aggregate(
+    mode: ExecutionMode,
+    config: &DistributedConfig,
+    outcomes: Vec<RankOutcome>,
+) -> MeasuredRun {
+    let world = outcomes.len();
+    let iters = config.iterations as f64;
+    let mut segments: Vec<MeasuredSegment> = outcomes[0]
+        .segments
+        .iter()
+        .map(|s| MeasuredSegment {
+            label: s.label.to_string(),
+            kind: s.kind,
+            exposed_fraction: s.exposed,
+            time_s: 0.0,
+            payload_bytes: 0,
+            cross_host_bytes: 0,
+            intra_host_bytes: 0,
+            scope: s.scope,
+            op: s.op,
+        })
+        .collect();
+    for outcome in &outcomes {
+        for (agg, s) in segments.iter_mut().zip(&outcome.segments) {
+            // Wall time is set by the slowest rank; byte counts are per-rank means.
+            agg.time_s = agg.time_s.max(s.time_s / iters);
+            agg.payload_bytes += s.payload_bytes;
+            agg.cross_host_bytes += s.cross_host_bytes;
+            agg.intra_host_bytes += s.intra_host_bytes;
+        }
+    }
+    let per_rank = |total: u64| (total as f64 / world as f64 / iters).round() as u64;
+    for seg in &mut segments {
+        seg.payload_bytes = per_rank(seg.payload_bytes);
+        seg.cross_host_bytes = per_rank(seg.cross_host_bytes);
+        seg.intra_host_bytes = per_rank(seg.intra_host_bytes);
+    }
+    let losses = (0..config.iterations)
+        .map(|i| outcomes.iter().map(|o| o.losses[i]).sum::<f64>() / world as f64)
+        .collect();
+    MeasuredRun {
+        mode,
+        world_size: world,
+        iterations: config.iterations,
+        segments,
+        losses,
+    }
+}
+
+/// Builds the per-rank communicator bundles for `config.cluster`.
+fn build_comms(config: &DistributedConfig) -> Vec<RankComms> {
+    let cluster = &config.cluster;
+    let fabric = config.fabric;
+    let global = SharedMemoryComm::for_group(cluster, &ProcessGroup::global(cluster), fabric);
+    let mut intra: Vec<Option<SharedMemoryBackend>> =
+        (0..cluster.world_size()).map(|_| None).collect();
+    for group in ProcessGroup::intra_host_groups(cluster) {
+        let handles = SharedMemoryComm::for_group(cluster, &group, fabric);
+        for (rank, handle) in group.ranks().iter().zip(handles) {
+            intra[rank.0] = Some(handle);
+        }
+    }
+    let mut peer: Vec<Option<SharedMemoryBackend>> =
+        (0..cluster.world_size()).map(|_| None).collect();
+    for group in ProcessGroup::peer_groups(cluster) {
+        let handles = SharedMemoryComm::for_group(cluster, &group, fabric);
+        for (rank, handle) in group.ranks().iter().zip(handles) {
+            peer[rank.0] = Some(handle);
+        }
+    }
+    global
+        .into_iter()
+        .zip(intra)
+        .zip(peer)
+        .map(|((global, intra), peer)| RankComms {
+            global,
+            intra: intra.expect("intra-host groups cover every rank"),
+            peer: peer.expect("peer groups cover every rank"),
+        })
+        .collect()
+}
+
+fn run_mode(
+    config: &DistributedConfig,
+    mode: ExecutionMode,
+) -> Result<MeasuredRun, DistributedError> {
+    if config.local_batch == 0 || config.iterations == 0 {
+        return Err(DistributedError::Config {
+            reason: "local_batch and iterations must be positive".into(),
+        });
+    }
+    if mode == ExecutionMode::Dmt {
+        // Validate the partition up front so every rank either runs or none does.
+        let _ = naive_partition(config.schema.num_sparse(), config.num_towers())?;
+    }
+    let comms = build_comms(config);
+    let world = comms.len();
+    let mut outcomes: Vec<Option<Result<RankOutcome, DistributedError>>> =
+        (0..world).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(world);
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let config = config.clone();
+            joins.push(scope.spawn(move || {
+                let mut comm = comm;
+                let outcome = match mode {
+                    ExecutionMode::Baseline => baseline_rank(&config, rank, &mut comm),
+                    ExecutionMode::Dmt => dmt_rank(&config, rank, &mut comm),
+                };
+                if outcome.is_err() {
+                    // Peers may be blocked in a collective waiting for this rank;
+                    // fail them fast instead of hanging the run (panics poison the
+                    // worlds automatically via Drop).
+                    comm.global.abort();
+                    comm.intra.abort();
+                    comm.peer.abort();
+                }
+                outcome
+            }));
+        }
+        for (rank, (slot, join)) in outcomes.iter_mut().zip(joins).enumerate() {
+            *slot = Some(join.join().unwrap_or_else(|panic| {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "rank thread panicked".into());
+                Err(DistributedError::Rank { rank, message })
+            }));
+        }
+    });
+    let outcomes: Vec<Result<RankOutcome, DistributedError>> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every rank joined"))
+        .collect();
+    // Prefer the root cause over the "aborted" cascades it triggers on peer ranks.
+    if outcomes.iter().any(Result::is_err) {
+        let is_cascade = |e: &DistributedError| matches!(e, DistributedError::Rank { message, .. } if message.contains("aborted"));
+        let mut errors: Vec<DistributedError> =
+            outcomes.into_iter().filter_map(Result::err).collect();
+        let root = errors
+            .iter()
+            .position(|e| !is_cascade(e))
+            .unwrap_or_default();
+        return Err(errors.swap_remove(root));
+    }
+    let outcomes: Vec<RankOutcome> = outcomes.into_iter().map(Result::unwrap).collect();
+    Ok(aggregate(mode, config, outcomes))
+}
+
+/// Encodes a (feature, row) pair into the u64 key the index exchanges carry.
+fn encode_key(feature: usize, row: usize) -> u64 {
+    ((feature as u64) << 32) | row as u64
+}
+
+/// Decodes a (feature, row) key.
+fn decode_key(key: u64) -> (usize, usize) {
+    ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize)
+}
+
+/// Splits a sorted key list into contiguous same-feature runs of decoded rows.
+fn feature_runs(keys: &[u64]) -> impl Iterator<Item = (usize, Vec<usize>)> + '_ {
+    let mut start = 0usize;
+    std::iter::from_fn(move || {
+        if start >= keys.len() {
+            return None;
+        }
+        let (feature, _) = decode_key(keys[start]);
+        let mut end = start;
+        let mut rows = Vec::new();
+        while end < keys.len() {
+            let (f, row) = decode_key(keys[end]);
+            if f != feature {
+                break;
+            }
+            rows.push(row);
+            end += 1;
+        }
+        start = end;
+        Some((feature, rows))
+    })
+}
+
+/// One rank's sharded view of a set of embedding tables, plus the request-routing
+/// state of the in-flight iteration.
+///
+/// The tables for `features` are row-sharded across the `world` ranks of the backend
+/// this lookup is driven through (all ranks in baseline mode, one host's ranks in
+/// DMT mode). A fetch runs the two-sided protocol: sorted-unique `(feature, row)`
+/// keys to each owner, raw rows back, requester-side pooling; the backward pass
+/// reuses the cached request routing to push per-row gradients to their owners.
+struct ShardedLookup {
+    /// Global feature ids served by this world, ascending.
+    features: Vec<usize>,
+    /// This rank's shard of each feature's table, aligned with `features`.
+    shards: Vec<ShardedEmbeddingTable>,
+    dim: usize,
+    /// Requester side: per-owner sorted-unique request keys of the current iteration.
+    request_keys: Vec<Vec<u64>>,
+    /// Owner side: per-source request keys of the current iteration.
+    served_keys: Vec<Vec<u64>>,
+}
+
+impl ShardedLookup {
+    fn new(
+        seed: u64,
+        schema: &DatasetSchema,
+        mut features: Vec<usize>,
+        dim: usize,
+        world: usize,
+        shard_index: usize,
+    ) -> Self {
+        use rand::SeedableRng;
+        features.sort_unstable();
+        let shards = features
+            .iter()
+            .map(|&f| {
+                // Seed per (feature, shard): initialization is deterministic and
+                // independent of which world drives the lookup.
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(f as u64 + 1))
+                        ^ ((shard_index as u64) << 48),
+                );
+                ShardedEmbeddingTable::new(
+                    &mut rng,
+                    schema.sparse_cardinalities[f],
+                    dim,
+                    world,
+                    shard_index,
+                )
+            })
+            .collect();
+        Self {
+            features,
+            shards,
+            dim,
+            request_keys: Vec::new(),
+            served_keys: Vec::new(),
+        }
+    }
+
+    /// Position of a global feature id within `features`.
+    fn feature_pos(&self, feature: usize) -> usize {
+        self.features
+            .binary_search(&feature)
+            .expect("feature served by this lookup")
+    }
+
+    /// Fetches and pools embeddings for `bags` (aligned with `features`; one bag per
+    /// sample per feature) through `backend`. Returns one `[num_samples, dim]`
+    /// tensor per feature.
+    fn fetch(
+        &mut self,
+        backend: &mut SharedMemoryBackend,
+        bags: &[&[Vec<usize>]],
+    ) -> Result<Vec<Tensor>, DistributedError> {
+        let world = backend.world_size();
+        let dim = self.dim;
+
+        // Route each distinct (feature, row) to its owner shard.
+        let mut requests: Vec<Vec<u64>> = vec![Vec::new(); world];
+        for (pos, per_sample) in bags.iter().enumerate() {
+            let shard = &self.shards[pos];
+            let feature = self.features[pos];
+            for bag in per_sample.iter() {
+                for &raw in bag {
+                    let row = raw % shard.num_embeddings();
+                    requests[shard.owner_of(row)].push(encode_key(feature, row));
+                }
+            }
+        }
+        for keys in &mut requests {
+            keys.sort_unstable();
+            keys.dedup();
+        }
+        self.request_keys = requests.clone();
+
+        // Owners answer with the raw rows, in request order. Keys are sorted, so
+        // rows of the same feature form contiguous runs and each run is answered
+        // with one batched shard lookup.
+        let incoming = backend.all_to_all_indices(requests)?;
+        let mut replies: Vec<Vec<f32>> = Vec::with_capacity(world);
+        for keys in incoming.iter() {
+            let mut reply = Vec::with_capacity(keys.len() * dim);
+            for (feature, rows) in feature_runs(keys) {
+                reply
+                    .extend_from_slice(&self.shards[self.feature_pos(feature)].lookup_rows(&rows)?);
+            }
+            replies.push(reply);
+        }
+        self.served_keys = incoming;
+        let fetched = backend.all_to_all(replies)?;
+
+        // Requester-side pooling, bit-identical to a local sum-pooled forward.
+        let mut outputs = Vec::with_capacity(bags.len());
+        for (pos, per_sample) in bags.iter().enumerate() {
+            let shard = &self.shards[pos];
+            let feature = self.features[pos];
+            let mut out = Tensor::zeros(&[per_sample.len(), dim]);
+            let data = out.data_mut();
+            for (sample, bag) in per_sample.iter().enumerate() {
+                let dst = &mut data[sample * dim..(sample + 1) * dim];
+                for &raw in bag {
+                    let row = raw % shard.num_embeddings();
+                    let owner = shard.owner_of(row);
+                    let slot = self.request_keys[owner]
+                        .binary_search(&encode_key(feature, row))
+                        .expect("row was requested");
+                    for (d, v) in dst
+                        .iter_mut()
+                        .zip(&fetched[owner][slot * dim..(slot + 1) * dim])
+                    {
+                        *d += v;
+                    }
+                }
+            }
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    /// Pushes per-feature pooled-embedding gradients (aligned with `features` and the
+    /// preceding [`ShardedLookup::fetch`]) back to the row owners, which accumulate
+    /// them as pending sparse gradients.
+    fn push_grads(
+        &mut self,
+        backend: &mut SharedMemoryBackend,
+        bags: &[&[Vec<usize>]],
+        grads: &[Tensor],
+    ) -> Result<(), DistributedError> {
+        let dim = self.dim;
+
+        // Accumulate per-requested-row gradients locally (deduplicated exactly like
+        // the requests), then ship one buffer per owner.
+        let mut grad_bufs: Vec<Vec<f32>> = self
+            .request_keys
+            .iter()
+            .map(|keys| vec![0.0f32; keys.len() * dim])
+            .collect();
+        for (pos, (per_sample, grad)) in bags.iter().zip(grads).enumerate() {
+            let shard = &self.shards[pos];
+            let feature = self.features[pos];
+            let grad_data = grad.data();
+            for (sample, bag) in per_sample.iter().enumerate() {
+                let src = &grad_data[sample * dim..(sample + 1) * dim];
+                for &raw in bag {
+                    let row = raw % shard.num_embeddings();
+                    let owner = shard.owner_of(row);
+                    let slot = self.request_keys[owner]
+                        .binary_search(&encode_key(feature, row))
+                        .expect("row was requested");
+                    for (d, v) in grad_bufs[owner][slot * dim..(slot + 1) * dim]
+                        .iter_mut()
+                        .zip(src)
+                    {
+                        *d += v;
+                    }
+                }
+            }
+        }
+        let incoming = backend.all_to_all(grad_bufs)?;
+
+        // Owner side: merge each source's contributions in rank order, one batched
+        // merge per contiguous feature run (a per-row merge would rebuild the
+        // pending CSR store once per key).
+        for (keys, grads) in self.served_keys.iter().zip(incoming) {
+            let mut offset = 0usize;
+            for (feature, rows) in feature_runs(keys) {
+                let pos = self
+                    .features
+                    .binary_search(&feature)
+                    .expect("feature served by this lookup");
+                let span = rows.len() * dim;
+                self.shards[pos].accumulate_row_grads(&rows, &grads[offset..offset + span])?;
+                offset += span;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_rowwise_adagrad(&mut self, learning_rate: f32, eps: f32) {
+        for shard in &mut self.shards {
+            shard.apply_rowwise_adagrad(learning_rate, eps);
+        }
+    }
+}
+
+/// The replicated dense stack: bottom MLP, feature interaction and over-arch.
+struct DenseStack {
+    arch: ModelArch,
+    bottom: Mlp,
+    dot: Option<DotInteraction>,
+    cross: Option<CrossNet>,
+    over: Mlp,
+    loss: BceWithLogitsLoss,
+    unit_width: usize,
+}
+
+impl DenseStack {
+    fn new(
+        seed: u64,
+        schema: &DatasetSchema,
+        arch: ModelArch,
+        hyper: &ModelHyperparams,
+        unit_width: usize,
+        num_units: usize,
+    ) -> Self {
+        use rand::SeedableRng;
+        // Every rank seeds identically: the stack is a data-parallel replica.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut bottom_sizes = vec![schema.num_dense];
+        bottom_sizes.extend(&hyper.bottom_mlp_hidden);
+        bottom_sizes.push(unit_width);
+        let bottom = Mlp::new(&mut rng, &bottom_sizes);
+        let interaction_width = unit_width * num_units;
+        let (dot, cross, over_input) = match arch {
+            ModelArch::Dlrm => {
+                let dot = DotInteraction::new(num_units, unit_width);
+                let over_input = unit_width + dot.output_dim();
+                (Some(dot), None, over_input)
+            }
+            ModelArch::Dcn => {
+                let cross = CrossNet::new(&mut rng, interaction_width, hyper.cross_layers.max(1));
+                (None, Some(cross), interaction_width)
+            }
+        };
+        let mut over_sizes = vec![over_input];
+        over_sizes.extend(&hyper.over_mlp_hidden);
+        over_sizes.push(1);
+        let over = Mlp::new(&mut rng, &over_sizes);
+        Self {
+            arch,
+            bottom,
+            dot,
+            cross,
+            over,
+            loss: BceWithLogitsLoss::new(),
+            unit_width,
+        }
+    }
+
+    /// Forward + backward over one local batch. Returns the mean loss and the
+    /// gradient with respect to the feature block.
+    fn forward_backward(
+        &mut self,
+        dense_input: &Tensor,
+        feature_block: &Tensor,
+        labels: &[f32],
+    ) -> Result<(f64, Tensor), DistributedError> {
+        let dense_repr = self.bottom.forward(dense_input)?;
+        let units = Tensor::concat_cols(&[&dense_repr, feature_block])?;
+        let over_input = match self.arch {
+            ModelArch::Dlrm => {
+                let dot = self
+                    .dot
+                    .as_mut()
+                    .expect("DLRM stacks own a dot interaction");
+                let pairs = dot.forward(&units)?;
+                Tensor::concat_cols(&[&dense_repr, &pairs])?
+            }
+            ModelArch::Dcn => self
+                .cross
+                .as_mut()
+                .expect("DCN stacks own a CrossNet")
+                .forward(&units)?,
+        };
+        let logits = self.over.forward(&over_input)?;
+        let (loss, _predictions, grad_logits) = self.loss.forward_backward(&logits, labels)?;
+
+        let grad_over_input = self.over.backward(&grad_logits)?;
+        let (grad_dense_direct, grad_units) = match self.arch {
+            ModelArch::Dlrm => {
+                let dot = self
+                    .dot
+                    .as_mut()
+                    .expect("DLRM stacks own a dot interaction");
+                let pieces = grad_over_input.split_cols(&[self.unit_width, dot.output_dim()])?;
+                let grad_units = dot.backward(&pieces[1])?;
+                (Some(pieces[0].clone()), grad_units)
+            }
+            ModelArch::Dcn => (
+                None,
+                self.cross
+                    .as_mut()
+                    .expect("DCN stacks own a CrossNet")
+                    .backward(&grad_over_input)?,
+            ),
+        };
+        let feature_width = feature_block.shape()[1];
+        let pieces = grad_units.split_cols(&[self.unit_width, feature_width])?;
+        let mut grad_dense_repr = pieces[0].clone();
+        if let Some(direct) = grad_dense_direct {
+            grad_dense_repr.axpy(1.0, &direct)?;
+        }
+        self.bottom.backward(&grad_dense_repr)?;
+        Ok((loss, pieces[1].clone()))
+    }
+}
+
+impl HasParameters for DenseStack {
+    fn visit_parameters(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        self.bottom.visit_parameters(visitor);
+        if let Some(cross) = &mut self.cross {
+            cross.visit_parameters(visitor);
+        }
+        self.over.visit_parameters(visitor);
+    }
+}
+
+/// AllReduces and averages every parameter gradient reachable through `module`.
+fn sync_grads<M: HasParameters + ?Sized>(
+    module: &mut M,
+    backend: &mut SharedMemoryBackend,
+) -> Result<(), CommError> {
+    let mut flat = Vec::new();
+    module.visit_parameters(&mut |p| flat.extend_from_slice(p.grad.data()));
+    backend.all_reduce(&mut flat)?;
+    let scale = 1.0 / backend.world_size() as f32;
+    let mut offset = 0;
+    module.visit_parameters(&mut |p| {
+        let n = p.len();
+        for (dst, src) in p.grad.data_mut().iter_mut().zip(&flat[offset..offset + n]) {
+            *dst = src * scale;
+        }
+        offset += n;
+    });
+    Ok(())
+}
+
+/// Collects per-feature bag slices out of a batch, aligned with `features`.
+fn bags_for<'a>(batch: &'a Batch, features: &[usize]) -> Vec<&'a [Vec<usize>]> {
+    features
+        .iter()
+        .map(|&f| batch.sparse[f].as_slice())
+        .collect()
+}
+
+/// One rank of the hybrid-parallel baseline.
+fn baseline_rank(
+    config: &DistributedConfig,
+    rank: usize,
+    comm: &mut RankComms,
+) -> Result<RankOutcome, DistributedError> {
+    let schema = &config.schema;
+    let n = config.hyper.embedding_dim;
+    let world = config.cluster.world_size();
+    let mut data =
+        SyntheticClickDataset::new(schema.clone(), config.seed ^ ((rank as u64 + 1) << 16));
+    let mut lookup = ShardedLookup::new(
+        config.seed,
+        schema,
+        (0..schema.num_sparse()).collect(),
+        n,
+        world,
+        rank,
+    );
+    let mut dense = DenseStack::new(
+        config.seed,
+        schema,
+        config.arch,
+        &config.hyper,
+        n,
+        schema.num_sparse() + 1,
+    );
+    let mut adam = AdamOptimizer::new(config.learning_rate);
+    let features: Vec<usize> = (0..schema.num_sparse()).collect();
+
+    let mut totals = Vec::new();
+    let mut losses = Vec::new();
+    for _ in 0..config.iterations {
+        let iter_start = Instant::now();
+        let mut rec = Recorder::default();
+        HasParameters::zero_grad(&mut dense);
+        let batch = data.next_batch(config.local_batch);
+        let bags = bags_for(&batch, &features);
+
+        // Forward: global index + row-fetch exchanges, then requester-side pooling.
+        // The fetch runs two collectives; split them into the simulator's two
+        // segments by re-running the recorder around each half is not possible, so
+        // the fetch is recorded as one exchange pair below.
+        let feature_embs = {
+            let out = lookup.fetch(&mut comm.global, &bags)?;
+            let records = comm.global.drain_records();
+            debug_assert_eq!(records.len(), 2);
+            let (idx, rows) = (&records[0], &records[1]);
+            rec.samples.push(SegmentSample {
+                label: "feature distribution AlltoAll",
+                kind: SegmentKind::EmbeddingComm,
+                exposed: INPUT_DIST_EXPOSED,
+                scope: CommScope::Global,
+                op: Some(idx.op),
+                time_s: idx.elapsed_s,
+                payload_bytes: idx.payload_bytes,
+                cross_host_bytes: idx.cross_host_bytes,
+                intra_host_bytes: idx.intra_host_bytes,
+            });
+            rec.samples.push(SegmentSample {
+                label: "embedding row fetch AlltoAll (fwd)",
+                kind: SegmentKind::EmbeddingComm,
+                exposed: EMBEDDING_EXCHANGE_EXPOSED,
+                scope: CommScope::Global,
+                op: Some(rows.op),
+                time_s: rows.elapsed_s,
+                payload_bytes: rows.payload_bytes,
+                cross_host_bytes: rows.cross_host_bytes,
+                intra_host_bytes: rows.intra_host_bytes,
+            });
+            out
+        };
+        let refs: Vec<&Tensor> = feature_embs.iter().collect();
+        let feature_block = Tensor::concat_cols(&refs)?;
+        let dense_input =
+            Tensor::from_vec(vec![batch.len(), schema.num_dense], batch.dense_flat())?;
+        let (loss, grad_block) =
+            dense.forward_backward(&dense_input, &feature_block, &batch.labels)?;
+        losses.push(loss);
+
+        // Backward: per-feature gradients travel back to the row owners.
+        let grads = grad_block.split_cols(&vec![n; schema.num_sparse()])?;
+        lookup.push_grads(&mut comm.global, &bags, &grads)?;
+        rec.record_drained(
+            "embedding gradient AlltoAll (bwd)",
+            SegmentKind::EmbeddingComm,
+            EMBEDDING_EXCHANGE_EXPOSED,
+            CommScope::Global,
+            &mut comm.global,
+        );
+
+        rec.comm(
+            "dense gradient AllReduce",
+            SegmentKind::DenseSync,
+            DENSE_SYNC_EXPOSED,
+            CommScope::Global,
+            &mut comm.global,
+            |backend| sync_grads(&mut dense, backend),
+        )?;
+
+        let opt_start = Instant::now();
+        adam.step(&mut dense);
+        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
+        let opt_s = opt_start.elapsed().as_secs_f64();
+
+        let comm_s: f64 = rec.samples.iter().map(|s| s.time_s).sum();
+        let compute_s = (iter_start.elapsed().as_secs_f64() - comm_s - opt_s).max(0.0);
+        rec.push_compute("optimizer + host overhead", SegmentKind::Other, 1.0, opt_s);
+        let mut samples = vec![SegmentSample {
+            label: "dense + sparse compute",
+            kind: SegmentKind::Compute,
+            exposed: 1.0,
+            scope: CommScope::Local,
+            op: None,
+            time_s: compute_s,
+            payload_bytes: 0,
+            cross_host_bytes: 0,
+            intra_host_bytes: 0,
+        }];
+        samples.extend(rec.samples);
+        accumulate(&mut totals, samples);
+    }
+    Ok(RankOutcome {
+        segments: totals,
+        losses,
+    })
+}
+
+/// One rank of the Disaggregated Multi-Tower deployment (one tower per host).
+#[allow(clippy::too_many_lines)]
+fn dmt_rank(
+    config: &DistributedConfig,
+    rank: usize,
+    comm: &mut RankComms,
+) -> Result<RankOutcome, DistributedError> {
+    use dmt_topology::Rank;
+    use rand::SeedableRng;
+
+    let schema = &config.schema;
+    let cluster = &config.cluster;
+    let n = config.hyper.embedding_dim;
+    let hosts = cluster.num_hosts();
+    let slots = cluster.gpus_per_host();
+    let my_host = cluster.host_of(Rank(rank));
+    let b = config.local_batch;
+
+    let partition = naive_partition(schema.num_sparse(), hosts)?;
+    // Tower feature groups, each sorted ascending (the wire order of every exchange).
+    let groups: Vec<Vec<usize>> = partition
+        .groups()
+        .iter()
+        .map(|g| {
+            let mut g = g.clone();
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    let my_features = groups[my_host].clone();
+    if groups.iter().any(Vec::is_empty) {
+        return Err(DistributedError::Config {
+            reason: "every tower needs at least one feature".into(),
+        });
+    }
+
+    let (c, p, d) = (
+        config.tower_ensemble_c,
+        config.tower_ensemble_p,
+        config.tower_output_dim,
+    );
+    // Interaction geometry, mirroring `RecommendationModel`: every tower contributes
+    // `c * F_t + p` units of width D, plus the dense unit.
+    let tower_widths: Vec<usize> = groups.iter().map(|g| d * (c * g.len() + p)).collect();
+    let num_units = groups.iter().map(|g| c * g.len() + p).sum::<usize>() + 1;
+
+    let mut data =
+        SyntheticClickDataset::new(schema.clone(), config.seed ^ ((rank as u64 + 1) << 16));
+    // Tables of my tower, sharded across my host's ranks.
+    let mut lookup = ShardedLookup::new(
+        config.seed,
+        schema,
+        my_features.clone(),
+        n,
+        slots,
+        cluster.local_index(Rank(rank)),
+    );
+    // Tower module replicated across my host's ranks (same per-tower seed).
+    let mut tower_rng =
+        rand::rngs::StdRng::seed_from_u64(config.seed ^ ((my_host as u64 + 1) * 7919));
+    let mut tower =
+        DlrmTowerModule::new(&mut tower_rng, my_features.len(), n, c, p, d).map_err(|e| {
+            DistributedError::Config {
+                reason: e.to_string(),
+            }
+        })?;
+    let mut dense = DenseStack::new(
+        config.seed,
+        schema,
+        config.arch,
+        &config.hyper,
+        d,
+        num_units,
+    );
+    let mut adam_dense = AdamOptimizer::new(config.learning_rate);
+    let mut adam_tower = AdamOptimizer::new(config.learning_rate);
+
+    let mut totals = Vec::new();
+    let mut losses = Vec::new();
+    for _ in 0..config.iterations {
+        let iter_start = Instant::now();
+        let mut rec = Recorder::default();
+        HasParameters::zero_grad(&mut dense);
+        HasParameters::zero_grad(&mut tower);
+        let batch = data.next_batch(b);
+
+        // SPTT step (a): ship each tower's indices to the same-slot rank on the
+        // owning host — a peer AlltoAll of encoded bags.
+        let sends: Vec<Vec<u64>> = groups
+            .iter()
+            .map(|group| {
+                let mut stream = Vec::new();
+                for &f in group {
+                    for bag in &batch.sparse[f] {
+                        stream.push(bag.len() as u64);
+                        stream.extend(bag.iter().map(|&i| i as u64));
+                    }
+                }
+                stream
+            })
+            .collect();
+        let incoming = rec.comm(
+            "peer index distribution AlltoAll",
+            SegmentKind::EmbeddingComm,
+            INPUT_DIST_EXPOSED,
+            CommScope::Peer,
+            &mut comm.peer,
+            |backend| backend.all_to_all_indices(sends),
+        )?;
+
+        // Decode into the combined tower batch: `hosts * b` samples (source-host
+        // major), one bag list per tower feature.
+        let tower_batch = hosts * b;
+        let mut tower_bags: Vec<Vec<Vec<usize>>> =
+            vec![Vec::with_capacity(tower_batch); my_features.len()];
+        for stream in &incoming {
+            let mut cursor = 0usize;
+            for bags in tower_bags.iter_mut() {
+                for _ in 0..b {
+                    let len = stream[cursor] as usize;
+                    cursor += 1;
+                    bags.push(
+                        stream[cursor..cursor + len]
+                            .iter()
+                            .map(|&v| v as usize)
+                            .collect(),
+                    );
+                    cursor += len;
+                }
+            }
+            debug_assert_eq!(cursor, stream.len());
+        }
+
+        // SPTT step (d): intra-host sharded lookup of my tower's features.
+        let bag_slices: Vec<&[Vec<usize>]> = tower_bags.iter().map(Vec::as_slice).collect();
+        let feature_embs = lookup.fetch(&mut comm.intra, &bag_slices)?;
+        rec.record_drained(
+            "intra-host row fetch AlltoAll (fwd)",
+            SegmentKind::EmbeddingComm,
+            EMBEDDING_EXCHANGE_EXPOSED,
+            CommScope::IntraHost,
+            &mut comm.intra,
+        );
+        let refs: Vec<&Tensor> = feature_embs.iter().collect();
+        let tower_input = Tensor::concat_cols(&refs)?;
+
+        // Tower module over the combined tower batch.
+        let tower_out = tower.forward(&tower_input)?;
+        let w_mine = tower_widths[my_host];
+
+        // SPTT step (f): return the compressed tower outputs to the sample owners —
+        // the second peer AlltoAll, now carrying `D`-wide units instead of raw
+        // embeddings.
+        let out_data = tower_out.data();
+        let sends: Vec<Vec<f32>> = (0..hosts)
+            .map(|src| out_data[src * b * w_mine..(src + 1) * b * w_mine].to_vec())
+            .collect();
+        let received = rec.comm(
+            "peer tower-output AlltoAll (fwd)",
+            SegmentKind::EmbeddingComm,
+            EMBEDDING_EXCHANGE_EXPOSED,
+            CommScope::Peer,
+            &mut comm.peer,
+            |backend| backend.all_to_all(sends),
+        )?;
+        let tower_blocks: Vec<Tensor> = received
+            .into_iter()
+            .enumerate()
+            .map(|(t, flat)| Tensor::from_vec(vec![b, tower_widths[t]], flat))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&Tensor> = tower_blocks.iter().collect();
+        let feature_block = Tensor::concat_cols(&refs)?;
+
+        // Replicated dense stack on the local batch.
+        let dense_input = Tensor::from_vec(vec![b, schema.num_dense], batch.dense_flat())?;
+        let (loss, grad_block) =
+            dense.forward_backward(&dense_input, &feature_block, &batch.labels)?;
+        losses.push(loss);
+
+        // Backward peer AlltoAll: tower-output gradients back to the tower ranks.
+        let grad_pieces = grad_block.split_cols(&tower_widths)?;
+        let sends: Vec<Vec<f32>> = grad_pieces.iter().map(|t| t.data().to_vec()).collect();
+        let received = rec.comm(
+            "peer tower-grad AlltoAll (bwd)",
+            SegmentKind::EmbeddingComm,
+            EMBEDDING_EXCHANGE_EXPOSED,
+            CommScope::Peer,
+            &mut comm.peer,
+            |backend| backend.all_to_all(sends),
+        )?;
+        let mut grad_tower_out = Vec::with_capacity(tower_batch * w_mine);
+        for src in received {
+            grad_tower_out.extend(src);
+        }
+        let grad_tower_out = Tensor::from_vec(vec![tower_batch, w_mine], grad_tower_out)?;
+
+        // Tower backward, then the intra-host gradient exchange to the row shards.
+        let grad_tower_input = tower.backward(&grad_tower_out)?;
+        let grads = grad_tower_input.split_cols(&vec![n; my_features.len()])?;
+        lookup.push_grads(&mut comm.intra, &bag_slices, &grads)?;
+        rec.record_drained(
+            "intra-host gradient AlltoAll (bwd)",
+            SegmentKind::EmbeddingComm,
+            EMBEDDING_EXCHANGE_EXPOSED,
+            CommScope::IntraHost,
+            &mut comm.intra,
+        );
+
+        // Tower-module gradients stay inside the host (§3.2, System Perspective).
+        rec.comm(
+            "tower-module intra-host AllReduce",
+            SegmentKind::DenseSync,
+            DENSE_SYNC_EXPOSED,
+            CommScope::IntraHost,
+            &mut comm.intra,
+            |backend| sync_grads(&mut tower, backend),
+        )?;
+        // Shared dense stack synchronizes globally, as in the baseline.
+        rec.comm(
+            "dense gradient AllReduce",
+            SegmentKind::DenseSync,
+            DENSE_SYNC_EXPOSED,
+            CommScope::Global,
+            &mut comm.global,
+            |backend| sync_grads(&mut dense, backend),
+        )?;
+
+        let opt_start = Instant::now();
+        adam_dense.step(&mut dense);
+        adam_tower.step(&mut tower);
+        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
+        let opt_s = opt_start.elapsed().as_secs_f64();
+
+        let comm_s: f64 = rec.samples.iter().map(|s| s.time_s).sum();
+        let compute_s = (iter_start.elapsed().as_secs_f64() - comm_s - opt_s).max(0.0);
+        rec.push_compute("optimizer + host overhead", SegmentKind::Other, 1.0, opt_s);
+        let mut samples = vec![SegmentSample {
+            label: "dense + tower-module compute",
+            kind: SegmentKind::Compute,
+            exposed: 1.0,
+            scope: CommScope::Local,
+            op: None,
+            time_s: compute_s,
+            payload_bytes: 0,
+            cross_host_bytes: 0,
+            intra_host_bytes: 0,
+        }];
+        samples.extend(rec.samples);
+        accumulate(&mut totals, samples);
+    }
+    Ok(RankOutcome {
+        segments: totals,
+        losses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_topology::HardwareGeneration;
+
+    /// The acceptance-scale cluster: 8 ranks as 2 hosts x 4 GPUs.
+    fn cluster_2x4() -> ClusterTopology {
+        ClusterTopology::new(HardwareGeneration::A100, 2, 4).unwrap()
+    }
+
+    fn quick(arch: ModelArch) -> DistributedConfig {
+        DistributedConfig::quick(cluster_2x4(), arch)
+    }
+
+    #[test]
+    fn baseline_8_ranks_trains_and_learns() {
+        let cfg = quick(ModelArch::Dlrm)
+            .with_iterations(10)
+            .with_local_batch(128);
+        let run = run_baseline(&cfg).unwrap();
+        assert_eq!(run.world_size, 8);
+        assert_eq!(run.losses.len(), 10);
+        let early: f64 = run.losses[..3].iter().sum::<f64>() / 3.0;
+        let late: f64 = run.losses[7..].iter().sum::<f64>() / 3.0;
+        assert!(late < early, "loss should fall: {early} -> {late}");
+    }
+
+    #[test]
+    fn dmt_8_ranks_trains_and_learns() {
+        let cfg = quick(ModelArch::Dlrm)
+            .with_iterations(10)
+            .with_local_batch(128);
+        let run = run_dmt(&cfg).unwrap();
+        assert_eq!(run.world_size, 8);
+        let early: f64 = run.losses[..3].iter().sum::<f64>() / 3.0;
+        let late: f64 = run.losses[7..].iter().sum::<f64>() / 3.0;
+        assert!(late < early, "loss should fall: {early} -> {late}");
+    }
+
+    #[test]
+    fn dcn_arch_runs_in_both_modes() {
+        let cfg = quick(ModelArch::Dcn).with_iterations(2);
+        assert!(run_baseline(&cfg)
+            .unwrap()
+            .losses
+            .iter()
+            .all(|l| l.is_finite()));
+        assert!(run_dmt(&cfg).unwrap().losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn runs_are_bit_deterministic() {
+        // Thread scheduling must not leak into the numerics: two runs of the same
+        // configuration produce identical loss trajectories.
+        let cfg = quick(ModelArch::Dlrm).with_iterations(3);
+        for run_fn in [run_baseline, run_dmt] {
+            let a = run_fn(&cfg).unwrap();
+            let b = run_fn(&cfg).unwrap();
+            assert_eq!(a.losses, b.losses);
+            for (sa, sb) in a.segments.iter().zip(&b.segments) {
+                assert_eq!(sa.payload_bytes, sb.payload_bytes, "{}", sa.label);
+                assert_eq!(sa.cross_host_bytes, sb.cross_host_bytes, "{}", sa.label);
+            }
+        }
+    }
+
+    #[test]
+    fn dmt_moves_fewer_cross_host_bytes() {
+        // The deterministic half of the paper's claim: tower-wise disaggregation
+        // pulls embedding bytes off the scale-out links.
+        let cfg = quick(ModelArch::Dlrm).with_iterations(2);
+        let baseline = run_baseline(&cfg).unwrap();
+        let dmt = run_dmt(&cfg).unwrap();
+        assert!(
+            dmt.cross_host_bytes() < baseline.cross_host_bytes() / 2,
+            "dmt {} vs baseline {}",
+            dmt.cross_host_bytes(),
+            baseline.cross_host_bytes()
+        );
+        // ... while the intra-host class picks up the lookup traffic.
+        assert!(dmt.intra_host_bytes() > 0);
+    }
+
+    #[test]
+    fn calibration_orders_dmt_below_baseline() {
+        // The acceptance check: with the fabric paced to the modeled link
+        // bandwidths, the *measured* exposed communication and total iteration time
+        // order the two deployments the same way the analytical simulator predicts
+        // (DMT < baseline, the paper's Figure 13).
+        let cluster = cluster_2x4();
+        // Slowed far enough that wire time dominates single-core scheduling noise.
+        let fabric = FabricProfile::from_cluster(&cluster, 30_000.0);
+        let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm)
+            .with_iterations(3)
+            .with_fabric(fabric);
+        let report = calibrate(&cfg).unwrap();
+        assert!(
+            report.measured_ordering_matches_prediction(),
+            "baseline comm {:.1}ms of {:.1}ms (pred {:.1}ms) vs dmt {:.1}ms of {:.1}ms (pred {:.1}ms)",
+            CalibrationReport::comm_seconds(&report.baseline.breakdown()) * 1e3,
+            report.baseline.breakdown().total_s() * 1e3,
+            CalibrationReport::comm_seconds(&report.predicted_baseline.breakdown()) * 1e3,
+            CalibrationReport::comm_seconds(&report.dmt.breakdown()) * 1e3,
+            report.dmt.breakdown().total_s() * 1e3,
+            CalibrationReport::comm_seconds(&report.predicted_dmt.breakdown()) * 1e3,
+        );
+        // DMT's measured exposed communication must be *well* below the baseline's,
+        // not marginally: the peer exchanges carry compressed tower outputs.
+        assert!(
+            CalibrationReport::comm_seconds(&report.dmt.breakdown())
+                < 0.7 * CalibrationReport::comm_seconds(&report.baseline.breakdown())
+        );
+    }
+
+    #[test]
+    fn single_host_and_single_rank_worlds_run() {
+        for (hosts, gpus) in [(1usize, 2usize), (1, 1), (2, 1)] {
+            let cluster = ClusterTopology::new(HardwareGeneration::A100, hosts, gpus).unwrap();
+            let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm).with_iterations(2);
+            let baseline = run_baseline(&cfg).unwrap();
+            assert_eq!(baseline.world_size, hosts * gpus);
+            let dmt = run_dmt(&cfg).unwrap();
+            assert!(dmt.losses.iter().all(|l| l.is_finite()));
+        }
+    }
+
+    #[test]
+    fn measured_segments_cover_the_expected_pipeline() {
+        let cfg = quick(ModelArch::Dlrm).with_iterations(2);
+        let dmt = run_dmt(&cfg).unwrap();
+        let labels: Vec<&str> = dmt.segments.iter().map(|s| s.label.as_str()).collect();
+        for expected in [
+            "dense + tower-module compute",
+            "peer index distribution AlltoAll",
+            "intra-host row fetch AlltoAll (fwd)",
+            "peer tower-output AlltoAll (fwd)",
+            "peer tower-grad AlltoAll (bwd)",
+            "intra-host gradient AlltoAll (bwd)",
+            "tower-module intra-host AllReduce",
+            "dense gradient AllReduce",
+            "optimizer + host overhead",
+        ] {
+            assert!(labels.contains(&expected), "missing segment {expected}");
+        }
+        // The intra-host exchanges must carry no cross-host bytes.
+        for seg in dmt
+            .segments
+            .iter()
+            .filter(|s| s.scope == CommScope::IntraHost)
+        {
+            assert_eq!(seg.cross_host_bytes, 0, "{}", seg.label);
+        }
+        // Peer exchanges cross hosts only.
+        for seg in dmt.segments.iter().filter(|s| s.scope == CommScope::Peer) {
+            assert_eq!(seg.intra_host_bytes, 0, "{}", seg.label);
+        }
+    }
+
+    #[test]
+    fn predicted_timeline_mirrors_measured_segments() {
+        let cfg = quick(ModelArch::Dlrm).with_iterations(2);
+        let run = run_baseline(&cfg).unwrap();
+        let predicted = predicted_timeline(&cfg, &run);
+        assert_eq!(predicted.segments().len(), run.segments.len());
+        for (p, m) in predicted.segments().iter().zip(&run.segments) {
+            assert_eq!(p.label, m.label);
+            assert!(p.time_s > 0.0 || m.time_s == 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = quick(ModelArch::Dlrm);
+        cfg.local_batch = 0;
+        assert!(matches!(
+            run_baseline(&cfg),
+            Err(DistributedError::Config { .. })
+        ));
+        // More towers (hosts) than sparse features cannot be partitioned.
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 27, 1).unwrap();
+        let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm);
+        assert!(matches!(
+            run_dmt(&cfg),
+            Err(DistributedError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DistributedError::Config {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        let e = DistributedError::Rank {
+            rank: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains("boom"));
+    }
+}

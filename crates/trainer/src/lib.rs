@@ -1,6 +1,6 @@
-//! Training simulation and quality harness for the DMT reproduction.
+//! Training simulation, execution and quality harness for the DMT reproduction.
 //!
-//! Two kinds of "training" live here, matching the two halves of the paper's
+//! Three kinds of "training" live here, matching the pillars of the paper's
 //! evaluation:
 //!
 //! * **Simulated distributed training** ([`simulation`], [`parallelism`]) — iteration
@@ -9,6 +9,11 @@
 //!   Figures 10–12, and the Alpa-style parallelism enumeration of Figure 6. No real
 //!   model weights are involved; compute and communication are costed analytically
 //!   from [`dmt_models::PaperScaleSpec`] and [`dmt_commsim::CostModel`].
+//! * **Measured distributed training** ([`distributed`]) — the *executable*
+//!   counterpart: one `std::thread` per cluster rank, row-sharded embedding tables,
+//!   real AlltoAll/AllReduce exchanges over a [`dmt_comm::Backend`], tower modules
+//!   on their owning hosts, and measured per-segment [`dmt_commsim::IterationTimeline`]s
+//!   that [`distributed::calibrate`] lays side by side with the analytical model.
 //! * **Real CPU quality training** ([`quality`]) — trains the actual
 //!   [`dmt_models::RecommendationModel`] on the synthetic Criteo-like dataset and
 //!   evaluates AUC, reproducing the methodology of Tables 2–6 (repeated seeds, median
@@ -31,10 +36,14 @@
 
 #![deny(missing_docs)]
 
+pub mod distributed;
 pub mod parallelism;
 pub mod quality;
 pub mod simulation;
 
+pub use distributed::{
+    CalibrationReport, DistributedConfig, DistributedError, ExecutionMode, MeasuredRun,
+};
 pub use parallelism::{enumerate_parallelism_configs, ParallelismConfig, ParallelismKind};
 pub use quality::{QualityConfig, QualityResult};
 pub use simulation::{DmtThroughputConfig, SimulationConfig};

@@ -12,15 +12,24 @@ const FWD_BWD_FLOP_FACTOR: f64 = 3.0;
 
 /// Exposed fraction of the feature-distribution (input index) AlltoAll: largely hidden
 /// behind the pipelined data-fetching of the strong baseline.
-const INPUT_DIST_EXPOSED: f64 = 0.2;
+///
+/// Shared with [`crate::distributed`] so measured and analytical timelines apply the
+/// same overlap model.
+pub const INPUT_DIST_EXPOSED: f64 = 0.2;
 
 /// Exposed fraction of the embedding output / gradient exchanges: they sit on the
 /// critical path between lookup and interaction.
-const EMBEDDING_EXCHANGE_EXPOSED: f64 = 1.0;
+///
+/// Shared with [`crate::distributed`] so measured and analytical timelines apply the
+/// same overlap model.
+pub const EMBEDDING_EXCHANGE_EXPOSED: f64 = 1.0;
 
 /// Exposed fraction of the dense-gradient AllReduce: mostly overlapped with the
 /// backward pass.
-const DENSE_SYNC_EXPOSED: f64 = 0.25;
+///
+/// Shared with [`crate::distributed`] so measured and analytical timelines apply the
+/// same overlap model.
+pub const DENSE_SYNC_EXPOSED: f64 = 0.25;
 
 /// Fixed per-iteration host-side overhead (optimizer, data loading tail), seconds.
 const OTHER_OVERHEAD_S: f64 = 1.0e-3;
@@ -46,7 +55,8 @@ impl SimulationConfig {
     ///
     /// # Errors
     ///
-    /// Returns a [`TopologyError`] if `world_size` is not a positive multiple of 8.
+    /// Returns a [`TopologyError`] if `world_size` is zero or is larger than 8 but
+    /// not a multiple of 8 (see [`ClusterTopology::standard`]).
     pub fn new(
         generation: HardwareGeneration,
         world_size: usize,

@@ -3,6 +3,7 @@
 //! against the naive strided assignment.
 //!
 //! Run with: `cargo run --release -p dmt-bench --example tower_partitioning`
+//! (add `--quick` for a shorter CI-friendly training phase).
 
 use dmt_core::naive_partition;
 use dmt_core::partition::{interaction_matrix, PartitionStrategy, TowerPartitioner};
@@ -12,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let steps = if dmt_bench::quick_mode() { 10 } else { 40 };
     let schema = DatasetSchema::criteo_like_small();
     let mut rng = StdRng::seed_from_u64(42);
     let mut model = RecommendationModel::baseline(
@@ -23,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Briefly train so the embedding tables carry affinity signal.
     let mut data = SyntheticClickDataset::new(schema.clone(), 7);
-    for step in 0..40 {
+    for step in 0..steps {
         let batch = data.next_batch(256);
         let stats = model.train_step(&batch, 1e-2)?;
         if step % 10 == 0 {

@@ -206,6 +206,18 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
 }
 
 /// Skips the current case when its inputs do not satisfy a precondition.

@@ -38,6 +38,43 @@ pub mod json {
     }
 
     impl Value {
+        /// Object field access by key (`None` for non-objects and missing keys),
+        /// mirroring `serde_json::Value::get`.
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The array items, if this is an array.
+        #[must_use]
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        #[must_use]
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
         /// Renders the value as compact JSON.
         #[must_use]
         pub fn render(&self) -> String {
@@ -132,6 +169,236 @@ pub mod json {
             }
         }
         out.push('"');
+    }
+
+    /// Error produced when parsing malformed JSON text.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ParseError {
+        /// Byte offset the parse failed at.
+        pub offset: usize,
+        /// What went wrong.
+        pub message: &'static str,
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    impl std::str::FromStr for Value {
+        type Err = ParseError;
+
+        /// Parses JSON text into a [`Value`], mirroring `serde_json`'s
+        /// `str::parse::<Value>()` support.
+        fn from_str(text: &str) -> Result<Self, Self::Err> {
+            let bytes = text.as_bytes();
+            let mut pos = 0usize;
+            let value = parse_value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(ParseError {
+                    offset: pos,
+                    message: "trailing characters after JSON value",
+                });
+            }
+            Ok(value)
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(
+        bytes: &[u8],
+        pos: &mut usize,
+        byte: u8,
+        message: &'static str,
+    ) -> Result<(), ParseError> {
+        if bytes.get(*pos) == Some(&byte) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                offset: *pos,
+                message,
+            })
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(ParseError {
+                offset: *pos,
+                message: "unexpected end of input",
+            }),
+            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(ParseError {
+                                offset: *pos,
+                                message: "expected ',' or ']' in array",
+                            })
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':', "expected ':' after object key")?;
+                    let value = parse_value(bytes, pos)?;
+                    entries.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => {
+                            return Err(ParseError {
+                                offset: *pos,
+                                message: "expected ',' or '}' in object",
+                            })
+                        }
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        literal: &'static str,
+        value: Value,
+    ) -> Result<Value, ParseError> {
+        if bytes[*pos..].starts_with(literal.as_bytes()) {
+            *pos += literal.len();
+            Ok(value)
+        } else {
+            Err(ParseError {
+                offset: *pos,
+                message: "invalid literal",
+            })
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or(ParseError {
+                offset: start,
+                message: "invalid number",
+            })
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+        expect(bytes, pos, b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => {
+                    return Err(ParseError {
+                        offset: *pos,
+                        message: "unterminated string",
+                    })
+                }
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(ParseError {
+                                    offset: *pos,
+                                    message: "invalid \\u escape",
+                                })?;
+                            // Surrogate pairs are not needed for the workspace's
+                            // ASCII-dominated bench files; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => {
+                            return Err(ParseError {
+                                offset: *pos,
+                                message: "invalid escape",
+                            })
+                        }
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let text = std::str::from_utf8(&bytes[*pos..]).map_err(|_| ParseError {
+                        offset: *pos,
+                        message: "invalid UTF-8",
+                    })?;
+                    let c = text.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
     }
 }
 

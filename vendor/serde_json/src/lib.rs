@@ -1,6 +1,6 @@
 //! Offline stand-in for `serde_json`: renders the vendored serde's value tree.
 
-pub use serde::json::Value;
+pub use serde::json::{ParseError, Value};
 use serde::Serialize;
 use std::fmt;
 
@@ -51,6 +51,41 @@ mod tests {
         ]);
         assert_eq!(v.render(), r#"{"a":[1,2.5],"b":"x\"y","c":true,"d":null}"#);
         assert!(v.render_pretty().contains("\n  \"a\": [\n"));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = Value::Object(vec![
+            (
+                "ops".into(),
+                Value::Array(vec![Value::Number(1.0), Value::Number(-2.5e3)]),
+            ),
+            ("name".into(), Value::String("gemm \"tiled\"\n".into())),
+            ("ok".into(), Value::Bool(false)),
+            ("none".into(), Value::Null),
+        ]);
+        let parsed: Value = v.render().parse().unwrap();
+        assert_eq!(parsed, v);
+        let parsed_pretty: Value = v.render_pretty().parse().unwrap();
+        assert_eq!(parsed_pretty, v);
+    }
+
+    #[test]
+    fn parse_accessors_navigate_the_tree() {
+        let v: Value = r#"[{"op": "gemm", "ns_per_iter": 125.5}]"#.parse().unwrap();
+        let first = &v.as_array().unwrap()[0];
+        assert_eq!(first.get("op").unwrap().as_str(), Some("gemm"));
+        assert_eq!(first.get("ns_per_iter").unwrap().as_f64(), Some(125.5));
+        assert!(first.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_json() {
+        assert!("".parse::<Value>().is_err());
+        assert!("{".parse::<Value>().is_err());
+        assert!("[1,]".parse::<Value>().is_err());
+        assert!("123 trailing".parse::<Value>().is_err());
+        assert!(r#"{"a" 1}"#.parse::<Value>().is_err());
     }
 
     #[test]
