@@ -11,6 +11,7 @@
 //! reductions combine contributions in rank order so results are bit-identical across
 //! runs and to a serial reference.
 
+use crate::pending::PendingOp;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -65,6 +66,16 @@ pub struct OpRecord {
     /// entered the collective (a rank's wait for stragglers is caller imbalance, not
     /// communication), including any fabric throttle.
     pub elapsed_s: f64,
+    /// Instant this rank *issued* the op, in seconds on the process-wide monotonic
+    /// clock ([`crate::shmem::comm_clock_s`]). For a blocking call this is the call
+    /// entry; for a nonblocking call it is when the `*_nonblocking` method returned
+    /// the [`PendingOp`].
+    pub issued_at_s: f64,
+    /// Instant the transfer completed (payload delivered and fabric pacing elapsed),
+    /// on the same clock. `completed_at_s - issued_at_s` is the op's full lifetime;
+    /// the part of it not covered by the issuing rank's compute is the op's
+    /// *exposed* communication — the quantity the overlap engine minimizes.
+    pub completed_at_s: f64,
 }
 
 impl OpRecord {
@@ -111,6 +122,10 @@ pub enum CommError {
         /// World size.
         world_size: usize,
     },
+    /// The world was poisoned (a peer rank died or called `abort`) while this op was
+    /// in flight. Surfaced through [`PendingOp`] handles instead of the panic the
+    /// blocking path raises, so a pipelined caller can unwind cleanly.
+    Aborted,
 }
 
 impl fmt::Display for CommError {
@@ -128,6 +143,9 @@ impl fmt::Display for CommError {
                     f,
                     "reduce_scatter buffer of {len} elements is not divisible by world size {world_size}"
                 )
+            }
+            CommError::Aborted => {
+                write!(f, "collective aborted: a peer rank exited mid-iteration")
             }
         }
     }
@@ -199,7 +217,53 @@ pub trait Backend {
 
     /// Returns the records of every collective executed since the last drain, in
     /// execution order, clearing the log.
+    ///
+    /// Nonblocking ops log their record when the *transfer* completes, not when they
+    /// are issued; drain after [`PendingOp::wait`] to observe them.
     fn drain_records(&mut self) -> Vec<OpRecord>;
+
+    // --- Nonblocking variants -------------------------------------------------
+    //
+    // Each `*_nonblocking` method issues the collective and returns a completion
+    // handle immediately; compute performed before `wait()` overlaps the transfer.
+    // Ordering contract: on one backend handle, collectives run in *issue order*
+    // (like ops on a CUDA stream), so a world stays deadlock-free as long as every
+    // rank issues the same sequence — the same contract the blocking API has.
+    // Errors (including cross-rank shape mismatches and `CommError::Aborted`) are
+    // delivered through the handle; a rank receiving one must treat the world as
+    // dead and abort it. The default implementations run the blocking op inline and
+    // return an already-completed handle, so implementing them is optional.
+
+    /// Nonblocking [`Backend::all_to_all`].
+    fn all_to_all_nonblocking(&mut self, sends: Vec<Vec<f32>>) -> PendingOp<Vec<Vec<f32>>> {
+        PendingOp::ready(self.all_to_all(sends))
+    }
+
+    /// Nonblocking [`Backend::all_to_all_indices`].
+    fn all_to_all_indices_nonblocking(&mut self, sends: Vec<Vec<u64>>) -> PendingOp<Vec<Vec<u64>>> {
+        PendingOp::ready(self.all_to_all_indices(sends))
+    }
+
+    /// Nonblocking [`Backend::all_reduce`]. Takes the buffer by value (the transfer
+    /// owns it while in flight) and returns the reduced buffer through the handle.
+    fn all_reduce_nonblocking(&mut self, mut buf: Vec<f32>) -> PendingOp<Vec<f32>> {
+        PendingOp::ready(self.all_reduce(&mut buf).map(|()| buf))
+    }
+
+    /// Nonblocking [`Backend::reduce_scatter`].
+    fn reduce_scatter_nonblocking(&mut self, buf: Vec<f32>) -> PendingOp<Vec<f32>> {
+        PendingOp::ready(self.reduce_scatter(&buf))
+    }
+
+    /// Nonblocking [`Backend::all_gather`].
+    fn all_gather_nonblocking(&mut self, shard: Vec<f32>) -> PendingOp<Vec<f32>> {
+        PendingOp::ready(self.all_gather(&shard))
+    }
+
+    /// Nonblocking [`Backend::barrier`].
+    fn barrier_nonblocking(&mut self) -> PendingOp<()> {
+        PendingOp::ready(self.barrier())
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +299,15 @@ mod tests {
             cross_host_bytes: 30,
             intra_host_bytes: 50,
             elapsed_s: 1e-6,
+            issued_at_s: 1.0,
+            completed_at_s: 1.5,
         };
         assert_eq!(r.wire_bytes(), 80);
+        assert!(r.completed_at_s > r.issued_at_s);
+    }
+
+    #[test]
+    fn aborted_error_mentions_the_cause() {
+        assert!(CommError::Aborted.to_string().contains("aborted"));
     }
 }

@@ -140,4 +140,62 @@ mod tests {
         let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2).unwrap();
         let _ = FabricProfile::from_cluster(&cluster, 0.0);
     }
+
+    #[test]
+    fn paced_duration_is_bytes_over_bandwidth_per_link_class() {
+        let profile = FabricProfile {
+            cross_host_bytes_per_sec: 100.0e9,
+            intra_host_bytes_per_sec: 400.0e9,
+            latency_s: 5e-6,
+        };
+        let bytes = 1u64 << 30; // 1 GiB
+                                // Single-class transfers: exactly bytes / bandwidth + fixed latency.
+        let cross = profile.target_duration(bytes, 0).as_secs_f64();
+        let expected_cross = bytes as f64 / 100.0e9 + 5e-6;
+        assert!((cross - expected_cross).abs() < 1e-9, "cross {cross}");
+        let intra = profile.target_duration(0, bytes).as_secs_f64();
+        let expected_intra = bytes as f64 / 400.0e9 + 5e-6;
+        assert!((intra - expected_intra).abs() < 1e-9, "intra {intra}");
+        // The classes are distinct physical links, so 4x the bandwidth means 4x
+        // less wire time for the same bytes (to Duration's nanosecond rounding).
+        assert!(((cross - 5e-6) / (intra - 5e-6) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mixed_class_transfers_take_the_slower_link_not_the_sum() {
+        let profile = FabricProfile {
+            cross_host_bytes_per_sec: 100.0e9,
+            intra_host_bytes_per_sec: 400.0e9,
+            latency_s: 0.0,
+        };
+        let bytes = 1u64 << 30;
+        let both = profile.target_duration(bytes, bytes).as_secs_f64();
+        let cross_only = profile.target_duration(bytes, 0).as_secs_f64();
+        // Link classes proceed in parallel: the pair is paced by the max, which the
+        // slower cross-host class sets.
+        assert!((both - cross_only).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_only_profile_charges_payload_ops_but_not_barriers() {
+        let profile = FabricProfile {
+            cross_host_bytes_per_sec: f64::INFINITY,
+            intra_host_bytes_per_sec: f64::INFINITY,
+            latency_s: 3e-3,
+        };
+        assert!(profile.is_throttled());
+        // Any payload pays the fixed launch latency even with infinite bandwidth...
+        assert_eq!(profile.target_duration(1, 0), Duration::from_secs_f64(3e-3));
+        // ...but a zero-byte op (a barrier) is never paced.
+        assert_eq!(profile.target_duration(0, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_byte_ops_do_not_sleep_even_under_heavy_throttle() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4).unwrap();
+        let profile = FabricProfile::from_cluster(&cluster, 1.0e9);
+        let start = std::time::Instant::now();
+        assert_eq!(profile.target_duration(0, 0), Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
 }

@@ -22,6 +22,14 @@
 //!   modeled link bandwidths, so measured wall-clock time reflects the topology
 //!   instead of the host's memcpy speed.
 //!
+//! Every collective also exists in a `*_nonblocking` form returning a
+//! [`PendingOp`] completion handle (`wait()` / `is_complete()` / `try_complete()`):
+//! the shared-memory implementation runs the transfer — including its fabric
+//! pacing — on a helper thread, so rank compute issued between `issue` and `wait`
+//! genuinely overlaps the communication. Completed ops are stamped with
+//! issue/complete instants on a process-wide clock ([`comm_clock_s`]), which is how
+//! the execution engine measures *exposed* (non-hidden) communication per op.
+//!
 //! # Example
 //!
 //! ```
@@ -45,8 +53,10 @@
 
 pub mod backend;
 pub mod fabric;
+pub mod pending;
 pub mod shmem;
 
 pub use backend::{Backend, CommError, CommOp, OpRecord};
 pub use fabric::FabricProfile;
-pub use shmem::{SharedMemoryBackend, SharedMemoryComm};
+pub use pending::PendingOp;
+pub use shmem::{comm_clock_s, SharedMemoryBackend, SharedMemoryComm};

@@ -11,12 +11,45 @@
 //! classes (see [`SharedMemoryComm::for_group`]), and an optional [`FabricProfile`]
 //! paces each call to the modeled link bandwidths so measured wall-clock times expose
 //! the topology effect the paper is about.
+//!
+//! # Nonblocking path
+//!
+//! The `*_nonblocking` collectives return a [`PendingOp`] immediately and run the
+//! whole transfer — rendezvous, reduction and fabric pacing — on a per-handle
+//! **helper thread**, so the rank's own thread keeps computing while bytes are "on
+//! the wire". The helper is spawned lazily on the first nonblocking call; a backend
+//! that only ever uses the blocking API stays exactly on the original in-line path.
+//! Once the helper exists, blocking calls are routed through it too (issue + wait),
+//! which preserves the one invariant everything rests on: **ops on one handle run in
+//! issue order**, like ops on a CUDA stream. Every completed op logs an [`OpRecord`]
+//! stamped with issue/complete instants on the process-wide clock
+//! ([`comm_clock_s`]), making per-op overlap measurable after the fact.
 
 use crate::backend::{Backend, CommError, CommOp, OpRecord};
 use crate::fabric::FabricProfile;
+use crate::pending::PendingOp;
 use dmt_topology::{ClusterTopology, LinkKind, ProcessGroup};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// The process-wide monotonic epoch all [`OpRecord`] timestamps are measured from.
+fn comm_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Seconds elapsed on the process-wide communication clock.
+///
+/// All backends in a process — regardless of which world they belong to — stamp
+/// their [`OpRecord::issued_at_s`] / [`OpRecord::completed_at_s`] on this clock, so
+/// op intervals from different worlds (global, intra-host, peer) on the same rank
+/// are directly comparable when reconstructing an overlap schedule.
+#[must_use]
+pub fn comm_clock_s() -> f64 {
+    comm_epoch().elapsed().as_secs_f64()
+}
 
 /// A generation-counted all-to-all rendezvous over one payload type.
 ///
@@ -171,38 +204,18 @@ impl SharedMemoryComm {
             .into_iter()
             .enumerate()
             .map(|(rank, rank_links)| SharedMemoryBackend {
-                rank,
-                world,
-                links: rank_links,
-                floats: Arc::clone(&floats),
-                indices: Arc::clone(&indices),
-                fabric,
-                records: Vec::new(),
+                core: OpCore {
+                    rank,
+                    world,
+                    links: rank_links,
+                    floats: Arc::clone(&floats),
+                    indices: Arc::clone(&indices),
+                    fabric,
+                    records: Arc::new(Mutex::new(Vec::new())),
+                },
+                helper: None,
             })
             .collect()
-    }
-}
-
-/// One rank's handle into a shared-memory communicator world.
-pub struct SharedMemoryBackend {
-    rank: usize,
-    world: usize,
-    /// Link class from this rank to every other member, in group order.
-    links: Vec<LinkKind>,
-    floats: Arc<Rendezvous<Vec<Vec<f32>>>>,
-    indices: Arc<Rendezvous<Vec<Vec<u64>>>>,
-    fabric: FabricProfile,
-    records: Vec<OpRecord>,
-}
-
-impl Drop for SharedMemoryBackend {
-    fn drop(&mut self) {
-        // A rank unwinding mid-iteration would leave its peers blocked forever in
-        // the rendezvous; poison the world so they fail fast instead. Normal drops
-        // (the rank finished its work) leave the world untouched.
-        if std::thread::panicking() {
-            self.abort();
-        }
     }
 }
 
@@ -215,30 +228,23 @@ fn ring_bytes(per_rank_bytes: u64, world: usize, multiplier: u64) -> u64 {
     multiplier * per_rank_bytes * (world as u64 - 1) / world as u64
 }
 
-impl SharedMemoryBackend {
-    /// The fabric profile pacing this handle.
-    #[must_use]
-    pub fn fabric(&self) -> FabricProfile {
-        self.fabric
-    }
+/// Everything needed to *run* a collective for one rank — shared verbatim between
+/// the rank's own thread (blocking path) and its helper thread (nonblocking path),
+/// so both paths execute the identical data plane.
+#[derive(Clone)]
+struct OpCore {
+    rank: usize,
+    world: usize,
+    /// Link class from this rank to every other member, in group order.
+    links: Vec<LinkKind>,
+    floats: Arc<Rendezvous<Vec<Vec<f32>>>>,
+    indices: Arc<Rendezvous<Vec<Vec<u64>>>>,
+    fabric: FabricProfile,
+    /// Completed-op log, shared with the helper thread.
+    records: Arc<Mutex<Vec<OpRecord>>>,
+}
 
-    /// Marks this world dead: every rank currently blocked in (or later entering) a
-    /// collective panics instead of waiting for a deposit that will never arrive.
-    ///
-    /// Call this when a rank exits its iteration loop abnormally (an `Err` return);
-    /// panics trigger it automatically via `Drop`, so a dying rank can never hang
-    /// its peers.
-    pub fn abort(&self) {
-        self.floats.poison();
-        self.indices.poison();
-    }
-
-    /// Link class from this rank to group member `other`.
-    #[must_use]
-    pub fn link_to(&self, other: usize) -> LinkKind {
-        self.links[other]
-    }
-
+impl OpCore {
     /// Splits per-destination byte counts into (cross-host, intra-host) totals.
     fn classify(&self, per_dest_bytes: impl Iterator<Item = (usize, u64)>) -> (u64, u64) {
         let mut cross = 0;
@@ -271,14 +277,16 @@ impl SharedMemoryBackend {
     /// `transfer_start` is the instant the collective's data became available (every
     /// rank arrived): elapsed time is measured from there, so a rank's wait for
     /// stragglers counts as caller imbalance, not communication — the convention
-    /// collective benchmarks use when reporting transfer time.
+    /// collective benchmarks use when reporting transfer time. `issued_at` is when
+    /// the caller handed the op to the backend, stamped on [`comm_clock_s`].
     fn finish(
-        &mut self,
+        &self,
         op: CommOp,
         payload_bytes: u64,
         cross: u64,
         intra: u64,
         transfer_start: Instant,
+        issued_at: Instant,
     ) {
         let target = self.fabric.target_duration(cross, intra);
         loop {
@@ -288,32 +296,33 @@ impl SharedMemoryBackend {
             }
             std::thread::sleep(target - elapsed);
         }
-        self.records.push(OpRecord {
+        let epoch = comm_epoch();
+        let record = OpRecord {
             op,
             payload_bytes,
             cross_host_bytes: cross,
             intra_host_bytes: intra,
             elapsed_s: transfer_start.elapsed().as_secs_f64(),
-        });
-    }
-}
-
-impl Backend for SharedMemoryBackend {
-    fn rank(&self) -> usize {
-        self.rank
-    }
-
-    fn world_size(&self) -> usize {
-        self.world
+            issued_at_s: issued_at.duration_since(epoch).as_secs_f64(),
+            completed_at_s: comm_clock_s(),
+        };
+        self.records
+            .lock()
+            .expect("record log lock poisoned")
+            .push(record);
     }
 
-    fn barrier(&mut self) -> Result<(), CommError> {
+    fn barrier(&self, issued_at: Instant) -> Result<(), CommError> {
         let (_, transfer_start) = self.floats.exchange(self.rank, Vec::new());
-        self.finish(CommOp::Barrier, 0, 0, 0, transfer_start);
+        self.finish(CommOp::Barrier, 0, 0, 0, transfer_start, issued_at);
         Ok(())
     }
 
-    fn all_to_all(&mut self, sends: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, CommError> {
+    fn all_to_all(
+        &self,
+        sends: Vec<Vec<f32>>,
+        issued_at: Instant,
+    ) -> Result<Vec<Vec<f32>>, CommError> {
         if sends.len() != self.world {
             return Err(CommError::ShardCountMismatch {
                 got: sends.len(),
@@ -329,11 +338,22 @@ impl Backend for SharedMemoryBackend {
         );
         let (all, transfer_start) = self.floats.exchange(self.rank, sends);
         let received: Vec<Vec<f32>> = all.iter().map(|from| from[self.rank].clone()).collect();
-        self.finish(CommOp::AllToAll, payload, cross, intra, transfer_start);
+        self.finish(
+            CommOp::AllToAll,
+            payload,
+            cross,
+            intra,
+            transfer_start,
+            issued_at,
+        );
         Ok(received)
     }
 
-    fn all_to_all_indices(&mut self, sends: Vec<Vec<u64>>) -> Result<Vec<Vec<u64>>, CommError> {
+    fn all_to_all_indices(
+        &self,
+        sends: Vec<Vec<u64>>,
+        issued_at: Instant,
+    ) -> Result<Vec<Vec<u64>>, CommError> {
         if sends.len() != self.world {
             return Err(CommError::ShardCountMismatch {
                 got: sends.len(),
@@ -355,48 +375,58 @@ impl Backend for SharedMemoryBackend {
             cross,
             intra,
             transfer_start,
+            issued_at,
         );
         Ok(received)
     }
 
-    fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), CommError> {
-        let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf.to_vec()]);
+    fn all_reduce(&self, buf: Vec<f32>, issued_at: Instant) -> Result<Vec<f32>, CommError> {
+        let len = buf.len();
+        let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf]);
         let lengths: Vec<usize> = all.iter().map(|from| from[0].len()).collect();
-        if lengths.iter().any(|&l| l != buf.len()) {
+        if lengths.iter().any(|&l| l != len) {
             return Err(CommError::LengthMismatch {
                 op: CommOp::AllReduce,
                 lengths,
             });
         }
         // Rank-ordered fold: bit-identical to a serial reference on every rank.
-        buf.fill(0.0);
+        let mut out = vec![0.0f32; len];
         for from in all.iter() {
-            for (acc, v) in buf.iter_mut().zip(&from[0]) {
+            for (acc, v) in out.iter_mut().zip(&from[0]) {
                 *acc += v;
             }
         }
-        let payload = 4 * buf.len() as u64;
+        let payload = 4 * len as u64;
         let (cross, intra) = self.classify_ring(ring_bytes(payload, self.world, 2));
-        self.finish(CommOp::AllReduce, payload, cross, intra, transfer_start);
-        Ok(())
+        self.finish(
+            CommOp::AllReduce,
+            payload,
+            cross,
+            intra,
+            transfer_start,
+            issued_at,
+        );
+        Ok(out)
     }
 
-    fn reduce_scatter(&mut self, buf: &[f32]) -> Result<Vec<f32>, CommError> {
-        let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf.to_vec()]);
+    fn reduce_scatter(&self, buf: Vec<f32>, issued_at: Instant) -> Result<Vec<f32>, CommError> {
+        let len = buf.len();
+        let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf]);
         let lengths: Vec<usize> = all.iter().map(|from| from[0].len()).collect();
-        if lengths.iter().any(|&l| l != buf.len()) {
+        if lengths.iter().any(|&l| l != len) {
             return Err(CommError::LengthMismatch {
                 op: CommOp::ReduceScatter,
                 lengths,
             });
         }
-        if !buf.len().is_multiple_of(self.world) {
+        if !len.is_multiple_of(self.world) {
             return Err(CommError::IndivisibleBuffer {
-                len: buf.len(),
+                len,
                 world_size: self.world,
             });
         }
-        let shard_len = buf.len() / self.world;
+        let shard_len = len / self.world;
         let lo = self.rank * shard_len;
         let mut shard = vec![0.0f32; shard_len];
         for from in all.iter() {
@@ -404,29 +434,262 @@ impl Backend for SharedMemoryBackend {
                 *acc += v;
             }
         }
-        let payload = 4 * buf.len() as u64;
+        let payload = 4 * len as u64;
         let (cross, intra) = self.classify_ring(ring_bytes(payload, self.world, 1));
-        self.finish(CommOp::ReduceScatter, payload, cross, intra, transfer_start);
+        self.finish(
+            CommOp::ReduceScatter,
+            payload,
+            cross,
+            intra,
+            transfer_start,
+            issued_at,
+        );
         Ok(shard)
     }
 
-    fn all_gather(&mut self, shard: &[f32]) -> Result<Vec<f32>, CommError> {
-        let (all, transfer_start) = self.floats.exchange(self.rank, vec![shard.to_vec()]);
+    fn all_gather(&self, shard: Vec<f32>, issued_at: Instant) -> Result<Vec<f32>, CommError> {
+        let shard_len = shard.len();
+        let (all, transfer_start) = self.floats.exchange(self.rank, vec![shard]);
         let mut gathered = Vec::with_capacity(all.iter().map(|from| from[0].len()).sum());
         for from in all.iter() {
             gathered.extend_from_slice(&from[0]);
         }
         // Payload follows the OpRecord convention (this rank's contribution); the
         // ring schedule still forwards the full gathered output around the ring.
-        let payload = 4 * shard.len() as u64;
+        let payload = 4 * shard_len as u64;
         let gathered_bytes = 4 * gathered.len() as u64;
         let (cross, intra) = self.classify_ring(ring_bytes(gathered_bytes, self.world, 1));
-        self.finish(CommOp::AllGather, payload, cross, intra, transfer_start);
+        self.finish(
+            CommOp::AllGather,
+            payload,
+            cross,
+            intra,
+            transfer_start,
+            issued_at,
+        );
         Ok(gathered)
+    }
+}
+
+/// A queued nonblocking collective: runs the transfer against the helper's
+/// [`OpCore`] clone and resolves its [`PendingOp`].
+type Job = Box<dyn FnOnce(&OpCore) + Send>;
+
+/// The per-handle helper thread that executes nonblocking collectives in FIFO
+/// issue order.
+struct Helper {
+    tx: Sender<Job>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// One rank's handle into a shared-memory communicator world.
+pub struct SharedMemoryBackend {
+    core: OpCore,
+    /// Lazily spawned on the first nonblocking call; `None` keeps the pure
+    /// blocking path on the original in-line code.
+    helper: Option<Helper>,
+}
+
+impl Drop for SharedMemoryBackend {
+    fn drop(&mut self) {
+        // A rank unwinding mid-iteration would leave its peers blocked forever in
+        // the rendezvous; poison the world so they fail fast instead. Normal drops
+        // (the rank finished its work) leave the world untouched.
+        let panicking = std::thread::panicking();
+        if panicking {
+            self.abort();
+        }
+        if let Some(helper) = self.helper.take() {
+            drop(helper.tx);
+            if let Some(join) = helper.join {
+                if panicking {
+                    // In-flight jobs resolve to `Aborted` via the poison above; the
+                    // helper exits on its own. Joining during a panic risks a
+                    // double-panic, so detach instead.
+                    drop(join);
+                } else {
+                    let _ = join.join();
+                }
+            }
+        }
+    }
+}
+
+impl SharedMemoryBackend {
+    /// The fabric profile pacing this handle.
+    #[must_use]
+    pub fn fabric(&self) -> FabricProfile {
+        self.core.fabric
+    }
+
+    /// Marks this world dead: every rank currently blocked in (or later entering) a
+    /// collective panics instead of waiting for a deposit that will never arrive —
+    /// and every in-flight nonblocking op resolves to [`CommError::Aborted`].
+    ///
+    /// Call this when a rank exits its iteration loop abnormally (an `Err` return);
+    /// panics trigger it automatically via `Drop`, so a dying rank can never hang
+    /// its peers.
+    pub fn abort(&self) {
+        self.core.floats.poison();
+        self.core.indices.poison();
+    }
+
+    /// Link class from this rank to group member `other`.
+    #[must_use]
+    pub fn link_to(&self, other: usize) -> LinkKind {
+        self.core.links[other]
+    }
+
+    /// Whether this handle has spawned its nonblocking helper thread.
+    #[must_use]
+    pub fn has_helper(&self) -> bool {
+        self.helper.is_some()
+    }
+
+    /// Issues `run` on the helper thread (spawning it on first use) and returns the
+    /// completion handle. Jobs run strictly in issue order.
+    fn enqueue<T: Send + 'static>(
+        &mut self,
+        run: impl FnOnce(&OpCore) -> Result<T, CommError> + Send + 'static,
+    ) -> PendingOp<T> {
+        let (op, completer) = PendingOp::channel();
+        let job: Job = Box::new(move |core| {
+            // A poisoned world makes the rendezvous panic; surface that through the
+            // handle as `Aborted` instead of killing the helper, so queued ops keep
+            // draining and the issuing rank unwinds cleanly. Any *other* panic is a
+            // bug, not a peer failure — keep the same Aborted recovery (a dead
+            // helper would hang every later wait) but print the root cause so it is
+            // not erased by the abort cascade.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(core)))
+                .unwrap_or_else(|panic| {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(ToString::to_string)
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_default();
+                    if !message.contains("aborted") {
+                        eprintln!(
+                            "dmt-comm helper thread panicked (rank {}): {message}",
+                            core.rank
+                        );
+                    }
+                    Err(CommError::Aborted)
+                });
+            completer.complete(result);
+        });
+        let helper = self.helper.get_or_insert_with(|| {
+            let core = self.core.clone();
+            let (tx, rx) = channel::<Job>();
+            let join = std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job(&core);
+                }
+            });
+            Helper {
+                tx,
+                join: Some(join),
+            }
+        });
+        helper
+            .tx
+            .send(job)
+            .expect("helper thread outlives its handle");
+        op
+    }
+
+    /// Whether blocking calls must detour through the helper to preserve issue
+    /// order (true once any nonblocking op has been issued on this handle).
+    fn routed(&self) -> bool {
+        self.helper.is_some()
+    }
+}
+
+impl Backend for SharedMemoryBackend {
+    fn rank(&self) -> usize {
+        self.core.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.core.world
+    }
+
+    fn barrier(&mut self) -> Result<(), CommError> {
+        if self.routed() {
+            return self.barrier_nonblocking().wait();
+        }
+        self.core.barrier(Instant::now())
+    }
+
+    fn all_to_all(&mut self, sends: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, CommError> {
+        if self.routed() {
+            return self.all_to_all_nonblocking(sends).wait();
+        }
+        self.core.all_to_all(sends, Instant::now())
+    }
+
+    fn all_to_all_indices(&mut self, sends: Vec<Vec<u64>>) -> Result<Vec<Vec<u64>>, CommError> {
+        if self.routed() {
+            return self.all_to_all_indices_nonblocking(sends).wait();
+        }
+        self.core.all_to_all_indices(sends, Instant::now())
+    }
+
+    fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), CommError> {
+        let out = if self.routed() {
+            self.all_reduce_nonblocking(buf.to_vec()).wait()?
+        } else {
+            self.core.all_reduce(buf.to_vec(), Instant::now())?
+        };
+        buf.copy_from_slice(&out);
+        Ok(())
+    }
+
+    fn reduce_scatter(&mut self, buf: &[f32]) -> Result<Vec<f32>, CommError> {
+        if self.routed() {
+            return self.reduce_scatter_nonblocking(buf.to_vec()).wait();
+        }
+        self.core.reduce_scatter(buf.to_vec(), Instant::now())
+    }
+
+    fn all_gather(&mut self, shard: &[f32]) -> Result<Vec<f32>, CommError> {
+        if self.routed() {
+            return self.all_gather_nonblocking(shard.to_vec()).wait();
+        }
+        self.core.all_gather(shard.to_vec(), Instant::now())
     }
 
     fn drain_records(&mut self) -> Vec<OpRecord> {
-        std::mem::take(&mut self.records)
+        std::mem::take(&mut *self.core.records.lock().expect("record log lock poisoned"))
+    }
+
+    fn all_to_all_nonblocking(&mut self, sends: Vec<Vec<f32>>) -> PendingOp<Vec<Vec<f32>>> {
+        let issued_at = Instant::now();
+        self.enqueue(move |core| core.all_to_all(sends, issued_at))
+    }
+
+    fn all_to_all_indices_nonblocking(&mut self, sends: Vec<Vec<u64>>) -> PendingOp<Vec<Vec<u64>>> {
+        let issued_at = Instant::now();
+        self.enqueue(move |core| core.all_to_all_indices(sends, issued_at))
+    }
+
+    fn all_reduce_nonblocking(&mut self, buf: Vec<f32>) -> PendingOp<Vec<f32>> {
+        let issued_at = Instant::now();
+        self.enqueue(move |core| core.all_reduce(buf, issued_at))
+    }
+
+    fn reduce_scatter_nonblocking(&mut self, buf: Vec<f32>) -> PendingOp<Vec<f32>> {
+        let issued_at = Instant::now();
+        self.enqueue(move |core| core.reduce_scatter(buf, issued_at))
+    }
+
+    fn all_gather_nonblocking(&mut self, shard: Vec<f32>) -> PendingOp<Vec<f32>> {
+        let issued_at = Instant::now();
+        self.enqueue(move |core| core.all_gather(shard, issued_at))
+    }
+
+    fn barrier_nonblocking(&mut self) -> PendingOp<()> {
+        let issued_at = Instant::now();
+        self.enqueue(move |core| core.barrier(issued_at))
     }
 }
 
@@ -686,5 +949,130 @@ mod tests {
         b.barrier().unwrap();
         assert_eq!(b.drain_records().len(), 2);
         assert!(b.drain_records().is_empty());
+    }
+
+    #[test]
+    fn nonblocking_matches_blocking_results() {
+        let world = 4;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let results = run_world(handles, |b| {
+            let sends: Vec<Vec<f32>> = (0..world)
+                .map(|d| vec![(b.rank() * 10 + d) as f32])
+                .collect();
+            assert!(!b.has_helper(), "helper must be lazy");
+            let a2a = b.all_to_all_nonblocking(sends).wait().unwrap();
+            assert!(b.has_helper(), "first nonblocking call spawns the helper");
+            let reduced = b
+                .all_reduce_nonblocking(vec![b.rank() as f32 + 1.0; 3])
+                .wait()
+                .unwrap();
+            (a2a, reduced)
+        });
+        for (dst, (a2a, reduced)) in results.iter().enumerate() {
+            for (src, shard) in a2a.iter().enumerate() {
+                assert_eq!(shard, &vec![(src * 10 + dst) as f32]);
+            }
+            assert_eq!(reduced, &vec![1.0 + 2.0 + 3.0 + 4.0; 3]);
+        }
+    }
+
+    #[test]
+    fn nonblocking_runs_in_issue_order() {
+        // Two ops issued back-to-back without waiting must execute in issue order on
+        // every rank — otherwise the ranks' schedules would cross-match and either
+        // deadlock or deliver swapped payloads.
+        let world = 3;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let results = run_world(handles, |b| {
+            let first = b.all_reduce_nonblocking(vec![1.0f32; 2]);
+            let second = b.all_reduce_nonblocking(vec![10.0f32; 2]);
+            (first.wait().unwrap(), second.wait().unwrap())
+        });
+        for (first, second) in results {
+            assert_eq!(first, vec![3.0; 2]);
+            assert_eq!(second, vec![30.0; 2]);
+        }
+    }
+
+    #[test]
+    fn compute_overlaps_a_paced_transfer() {
+        // With the fabric stretched to tens of milliseconds, a rank that computes
+        // between issue and wait must spend (almost) nothing blocked in wait(),
+        // while a rank that waits immediately is exposed for the full transfer.
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 2).unwrap();
+        let group = ProcessGroup::global(&cluster);
+        let fabric = FabricProfile::from_cluster(&cluster, 1.0e7);
+        let handles = SharedMemoryComm::for_group(&cluster, &group, fabric);
+        let world = handles.len();
+        let blocked = run_world(handles, |b| {
+            let sends: Vec<Vec<f32>> = (0..world).map(|_| vec![0.0; 8192]).collect();
+            let target = b
+                .fabric()
+                .target_duration(8192 * 2 * 4, 8192 * 4)
+                .as_secs_f64();
+            let op = b.all_to_all_nonblocking(sends);
+            // "Compute" for longer than the whole transfer.
+            std::thread::sleep(std::time::Duration::from_secs_f64(target * 1.5));
+            let (result, blocked_s) = op.wait_timed();
+            result.unwrap();
+            (blocked_s, target)
+        });
+        for (blocked_s, target) in blocked {
+            assert!(
+                blocked_s < target * 0.5,
+                "compute failed to hide the transfer: blocked {blocked_s}s of {target}s"
+            );
+        }
+    }
+
+    #[test]
+    fn records_carry_issue_and_complete_timestamps() {
+        let world = 2;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let records = run_world(handles, |b| {
+            let op = b.all_reduce_nonblocking(vec![1.0f32; 16]);
+            op.wait().unwrap();
+            b.drain_records().pop().unwrap()
+        });
+        for r in &records {
+            assert!(r.completed_at_s >= r.issued_at_s, "complete before issue");
+            assert!(
+                r.completed_at_s - r.issued_at_s >= r.elapsed_s - 1e-6,
+                "op lifetime shorter than its transfer"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_resolves_inflight_nonblocking_ops() {
+        // Rank 1 never deposits; rank 0's nonblocking op must resolve to `Aborted`
+        // through the handle once the world is poisoned — not hang, not panic on the
+        // issuing thread.
+        let mut handles = SharedMemoryComm::handles(2).unwrap();
+        let rank1 = handles.pop().unwrap();
+        let mut rank0 = handles.pop().unwrap();
+        let op = rank0.all_reduce_nonblocking(vec![1.0f32; 4]);
+        assert!(!op.is_complete());
+        rank1.abort();
+        assert_eq!(op.wait(), Err(CommError::Aborted));
+        drop(rank1);
+    }
+
+    #[test]
+    fn blocking_calls_after_nonblocking_keep_issue_order() {
+        // Once a handle has gone nonblocking, blocking calls must queue behind the
+        // outstanding op rather than jump it.
+        let world = 2;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let results = run_world(handles, |b| {
+            let pending = b.all_reduce_nonblocking(vec![1.0f32; 2]);
+            let mut second = vec![5.0f32; 2];
+            b.all_reduce(&mut second).unwrap(); // must be generation 2 on every rank
+            (pending.wait().unwrap(), second)
+        });
+        for (first, second) in results {
+            assert_eq!(first, vec![2.0; 2]);
+            assert_eq!(second, vec![10.0; 2]);
+        }
     }
 }

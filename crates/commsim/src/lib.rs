@@ -46,4 +46,6 @@ pub mod timeline;
 pub use collectives::{CollectiveEstimate, CollectiveKind};
 pub use cost::CostModel;
 pub use quant::Quantization;
-pub use timeline::{IterationTimeline, LatencyBreakdown, Segment, SegmentKind};
+pub use timeline::{
+    exposed_after_overlap, IterationTimeline, LatencyBreakdown, Segment, SegmentKind,
+};

@@ -63,11 +63,42 @@ impl Segment {
         Self::new(SegmentKind::Compute, label, time_s, 1.0)
     }
 
+    /// A communication segment whose exposure follows the overlap model: a pipeline
+    /// that runs `overlappable_compute_s` of independent compute while this
+    /// transfer is in flight exposes only `max(0, time_s - overlappable_compute_s)`
+    /// of it (see [`exposed_after_overlap`]).
+    #[must_use]
+    pub fn overlapped(
+        kind: SegmentKind,
+        label: impl Into<String>,
+        time_s: f64,
+        overlappable_compute_s: f64,
+    ) -> Self {
+        let exposed_fraction = if time_s > 0.0 {
+            exposed_after_overlap(time_s, overlappable_compute_s) / time_s
+        } else {
+            0.0
+        };
+        Self::new(kind, label, time_s, exposed_fraction)
+    }
+
     /// The exposed (non-overlapped) duration.
     #[must_use]
     pub fn exposed_s(&self) -> f64 {
         self.time_s * self.exposed_fraction
     }
+}
+
+/// Exposed seconds of a communication that a pipeline can hide behind
+/// `overlappable_compute_s` of independent compute: `max(0, comm_s - compute)`.
+///
+/// This is the per-segment overlap model both the analytical simulator and the
+/// execution engine's calibration use: compute fully hides the front of a transfer
+/// it runs concurrently with, and whatever outlasts the compute lands on the
+/// critical path. Negative inputs are treated as zero.
+#[must_use]
+pub fn exposed_after_overlap(comm_s: f64, overlappable_compute_s: f64) -> f64 {
+    (comm_s.max(0.0) - overlappable_compute_s.max(0.0)).max(0.0)
 }
 
 /// Exposed latency per category for one training iteration (Figure 1 / 13).
@@ -273,6 +304,25 @@ mod tests {
     fn overlap_reduces_total() {
         let t = example();
         assert!(t.breakdown().total_s() < t.unoverlapped_total_s());
+    }
+
+    #[test]
+    fn exposed_after_overlap_clamps_at_zero() {
+        assert_eq!(exposed_after_overlap(10e-3, 4e-3), 6e-3);
+        assert_eq!(exposed_after_overlap(10e-3, 15e-3), 0.0);
+        assert_eq!(exposed_after_overlap(10e-3, 0.0), 10e-3);
+        assert_eq!(exposed_after_overlap(-1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn overlapped_segment_derives_its_exposure() {
+        let s = Segment::overlapped(SegmentKind::EmbeddingComm, "a2a", 10e-3, 4e-3);
+        assert!((s.exposed_fraction - 0.6).abs() < 1e-12);
+        assert!((s.exposed_s() - 6e-3).abs() < 1e-12);
+        let hidden = Segment::overlapped(SegmentKind::EmbeddingComm, "a2a", 10e-3, 20e-3);
+        assert_eq!(hidden.exposed_fraction, 0.0);
+        let empty = Segment::overlapped(SegmentKind::EmbeddingComm, "a2a", 0.0, 1.0);
+        assert_eq!(empty.exposed_fraction, 0.0);
     }
 
     #[test]

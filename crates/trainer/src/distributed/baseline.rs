@@ -1,0 +1,431 @@
+//! One rank of the hybrid-parallel baseline, in both schedules.
+//!
+//! * [`ScheduleMode::Sync`] — the original engine, preserved bit-identically:
+//!   every collective blocks, one full-batch pass per iteration.
+//! * [`ScheduleMode::Pipelined`] — the iteration is split into micro-batches and
+//!   rebuilt as a [`StageGraph`]: micro-batch `b+1`'s index and row-fetch
+//!   AlltoAlls run (on the comm helper thread) while micro-batch `b` computes,
+//!   and the dense AllReduce overlaps the embedding backward merges.
+
+use super::config::{DistributedConfig, DistributedError, ScheduleMode};
+use super::measure::{
+    accumulate, wait_logged, zip_world, CommScope, RankOutcome, Recorder, SegmentSample, WaitEntry,
+};
+use super::model::{bags_for, scale_grads, sync_grads, DenseStack, ShardedLookup};
+use super::pipeline::StageGraph;
+use super::RankComms;
+use crate::distributed::model::{flatten_grads, write_back_grads};
+use dmt_comm::{Backend, PendingOp};
+use dmt_commsim::SegmentKind;
+use dmt_data::{Batch, SyntheticClickDataset};
+use dmt_nn::param::HasParameters;
+use dmt_nn::{AdamOptimizer, Optimizer};
+use dmt_tensor::Tensor;
+use std::time::Instant;
+
+/// One rank of the hybrid-parallel baseline.
+pub(crate) fn baseline_rank(
+    config: &DistributedConfig,
+    rank: usize,
+    comm: &mut RankComms,
+) -> Result<RankOutcome, DistributedError> {
+    let schema = &config.schema;
+    let n = config.hyper.embedding_dim;
+    let world = config.cluster.world_size();
+    let mut data =
+        SyntheticClickDataset::new(schema.clone(), config.seed ^ ((rank as u64 + 1) << 16));
+    let mut lookup = ShardedLookup::new(
+        config.seed,
+        schema,
+        (0..schema.num_sparse()).collect(),
+        n,
+        world,
+        rank,
+    );
+    let mut dense = DenseStack::new(
+        config.seed,
+        schema,
+        config.arch,
+        &config.hyper,
+        n,
+        schema.num_sparse() + 1,
+    );
+    let mut adam = AdamOptimizer::new(config.learning_rate);
+    match config.schedule {
+        ScheduleMode::Sync => {
+            baseline_sync(config, &mut data, &mut lookup, &mut dense, &mut adam, comm)
+        }
+        ScheduleMode::Pipelined => {
+            baseline_pipelined(config, &mut data, &mut lookup, &mut dense, &mut adam, comm)
+        }
+    }
+}
+
+/// The original blocking iteration — the bit-identical semantic reference.
+fn baseline_sync(
+    config: &DistributedConfig,
+    data: &mut SyntheticClickDataset,
+    lookup: &mut ShardedLookup,
+    dense: &mut DenseStack,
+    adam: &mut AdamOptimizer,
+    comm: &mut RankComms,
+) -> Result<RankOutcome, DistributedError> {
+    let schema = &config.schema;
+    let n = config.hyper.embedding_dim;
+    let features: Vec<usize> = (0..schema.num_sparse()).collect();
+
+    let mut totals = Vec::new();
+    let mut losses = Vec::new();
+    let mut wall_s = 0.0;
+    for _ in 0..config.iterations {
+        let iter_start = Instant::now();
+        let mut rec = Recorder::default();
+        HasParameters::zero_grad(dense);
+        let batch = data.next_batch(config.local_batch);
+        let bags = bags_for(&batch, &features);
+
+        // Forward: global index + row-fetch exchanges, then requester-side pooling.
+        // The fetch runs two collectives; they are split into the simulator's two
+        // segments from the drained records.
+        let feature_embs = {
+            let out = lookup.fetch(&mut comm.global, &bags)?;
+            let records = comm.global.drain_records();
+            debug_assert_eq!(records.len(), 2);
+            let (idx, rows) = (&records[0], &records[1]);
+            rec.samples.push(SegmentSample::from_record(
+                "feature distribution AlltoAll",
+                SegmentKind::EmbeddingComm,
+                CommScope::Global,
+                idx,
+                idx.elapsed_s,
+            ));
+            rec.samples.push(SegmentSample::from_record(
+                "embedding row fetch AlltoAll (fwd)",
+                SegmentKind::EmbeddingComm,
+                CommScope::Global,
+                rows,
+                rows.elapsed_s,
+            ));
+            out
+        };
+        let refs: Vec<&Tensor> = feature_embs.iter().collect();
+        let feature_block = Tensor::concat_cols(&refs)?;
+        let dense_input =
+            Tensor::from_vec(vec![batch.len(), schema.num_dense], batch.dense_flat())?;
+        let (loss, grad_block) =
+            dense.forward_backward(&dense_input, &feature_block, &batch.labels, 1.0)?;
+        losses.push(loss);
+
+        // Backward: per-feature gradients travel back to the row owners.
+        let grads = grad_block.split_cols(&vec![n; schema.num_sparse()])?;
+        lookup.push_grads(&mut comm.global, &bags, &grads)?;
+        rec.record_drained(
+            "embedding gradient AlltoAll (bwd)",
+            SegmentKind::EmbeddingComm,
+            CommScope::Global,
+            &mut comm.global,
+        );
+
+        rec.comm(
+            "dense gradient AllReduce",
+            SegmentKind::DenseSync,
+            CommScope::Global,
+            &mut comm.global,
+            |backend| sync_grads(dense, backend),
+        )?;
+
+        let opt_start = Instant::now();
+        adam.step(dense);
+        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
+        let opt_s = opt_start.elapsed().as_secs_f64();
+
+        let comm_s: f64 = rec.samples.iter().map(|s| s.time_s).sum();
+        let iter_s = iter_start.elapsed().as_secs_f64();
+        let compute_s = (iter_s - comm_s - opt_s).max(0.0);
+        rec.push_compute("optimizer + host overhead", SegmentKind::Other, opt_s);
+        let mut samples = vec![SegmentSample::compute(
+            "dense + sparse compute",
+            SegmentKind::Compute,
+            compute_s,
+        )];
+        samples.extend(rec.samples);
+        accumulate(&mut totals, samples);
+        wall_s += iter_s;
+    }
+    Ok(RankOutcome {
+        segments: totals,
+        losses,
+        wall_s,
+    })
+}
+
+/// Per-micro-batch pipeline state: the sub-batch plus whatever is in flight.
+struct MicroBatch {
+    batch: Batch,
+    routing: super::model::LookupRouting,
+    idx_op: Option<PendingOp<Vec<Vec<u64>>>>,
+    rows_op: Option<PendingOp<Vec<Vec<f32>>>>,
+    grads_op: Option<PendingOp<Vec<Vec<f32>>>>,
+}
+
+/// The double-buffered pipelined iteration: micro-batch `b+1`'s exchanges overlap
+/// micro-batch `b`'s compute, and the dense AllReduce overlaps the embedding
+/// backward. Deterministic, but numerically distinct from sync (micro-batched
+/// gradient accumulation).
+fn baseline_pipelined(
+    config: &DistributedConfig,
+    data: &mut SyntheticClickDataset,
+    lookup: &mut ShardedLookup,
+    dense: &mut DenseStack,
+    adam: &mut AdamOptimizer,
+    comm: &mut RankComms,
+) -> Result<RankOutcome, DistributedError> {
+    let schema = &config.schema;
+    let n = config.hyper.embedding_dim;
+    let features: Vec<usize> = (0..schema.num_sparse()).collect();
+    let m = config.effective_micro_batches();
+    let inv_m = 1.0 / m as f32;
+    let world = config.cluster.world_size();
+
+    /// Everything one pipelined iteration mutates, threaded through the stages.
+    struct Ctx<'a> {
+        lookup: &'a mut ShardedLookup,
+        dense: &'a mut DenseStack,
+        global: &'a mut dmt_comm::SharedMemoryBackend,
+        features: &'a [usize],
+        n: usize,
+        num_dense: usize,
+        inv_m: f32,
+        local_batch: usize,
+        mbs: Vec<MicroBatch>,
+        allreduce: Option<PendingOp<Vec<f32>>>,
+        waits: Vec<WaitEntry>,
+        loss_sum: f64,
+    }
+
+    let mut totals = Vec::new();
+    let mut losses = Vec::new();
+    let mut wall_s = 0.0;
+    for _ in 0..config.iterations {
+        let iter_start = Instant::now();
+        HasParameters::zero_grad(dense);
+        let batch = data.next_batch(config.local_batch);
+        let mbs: Vec<MicroBatch> = batch
+            .split(m)
+            .into_iter()
+            .map(|batch| MicroBatch {
+                batch,
+                routing: super::model::LookupRouting::default(),
+                idx_op: None,
+                rows_op: None,
+                grads_op: None,
+            })
+            .collect();
+        let mut ctx = Ctx {
+            lookup,
+            dense,
+            global: &mut comm.global,
+            features: &features,
+            n,
+            num_dense: schema.num_dense,
+            inv_m,
+            local_batch: config.local_batch,
+            mbs,
+            allreduce: None,
+            waits: Vec::new(),
+            loss_sum: 0.0,
+        };
+
+        let mut graph: StageGraph<Ctx> = StageGraph::new();
+        // Stage 1 per micro-batch: route requests and launch the index AlltoAll —
+        // depends only on the input batch, so every micro-batch's copy is issued
+        // up front (TorchRec's input-dist prefetch).
+        let mut route_ids = Vec::with_capacity(m);
+        for b in 0..m {
+            route_ids.push(
+                graph.add("issue index AlltoAll", &[], move |ctx: &mut Ctx| {
+                    let requests = {
+                        let mb = &ctx.mbs[b];
+                        let bags = bags_for(&mb.batch, ctx.features);
+                        ctx.lookup.route(ctx.global.world_size(), &bags)
+                    };
+                    ctx.mbs[b].routing.request_keys = requests.clone();
+                    ctx.mbs[b].idx_op = Some(ctx.global.all_to_all_indices_nonblocking(requests));
+                    Ok(())
+                }),
+            );
+        }
+        // Stage 2: claim the index exchange, answer it from the local shard, and
+        // launch the row-fetch AlltoAll. Answering micro-batch b+1 overlaps
+        // micro-batch b's row transfer.
+        let mut answer_ids = Vec::with_capacity(m);
+        for (b, &route_id) in route_ids.iter().enumerate() {
+            answer_ids.push(graph.add(
+                "answer + issue row fetch",
+                &[route_id],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b].idx_op.take().expect("index op issued");
+                    let incoming = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "feature distribution AlltoAll",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::Global,
+                    )?;
+                    let replies = ctx.lookup.answer(&incoming)?;
+                    ctx.mbs[b].routing.served_keys = incoming;
+                    ctx.mbs[b].rows_op = Some(ctx.global.all_to_all_nonblocking(replies));
+                    Ok(())
+                },
+            ));
+        }
+        // Stage 3: claim the rows, pool, run the dense forward/backward
+        // (accumulating parameter grads), and launch the gradient AlltoAll. The
+        // dense compute of micro-batch b hides the row transfer of b+1 and the
+        // gradient transfer of b-1.
+        let mut compute_ids = Vec::with_capacity(m);
+        for (b, &answer_id) in answer_ids.iter().enumerate() {
+            compute_ids.push(graph.add(
+                "dense fwd/bwd + issue grads",
+                &[answer_id],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b].rows_op.take().expect("rows op issued");
+                    let fetched = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "embedding row fetch AlltoAll (fwd)",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::Global,
+                    )?;
+                    // Exact per-sample weighting: Batch::split gives the last
+                    // micro-batch the remainder, so each contributes by sample
+                    // count, not 1/M; grad_scale pre-compensates the final 1/M.
+                    let weight = ctx.mbs[b].batch.len() as f32 / ctx.local_batch as f32;
+                    let grad_scale = weight / ctx.inv_m;
+                    let (loss, mut grads) = {
+                        let mb = &ctx.mbs[b];
+                        let bags = bags_for(&mb.batch, ctx.features);
+                        let embs = ctx.lookup.pool(&bags, &mb.routing, &fetched)?;
+                        let refs: Vec<&Tensor> = embs.iter().collect();
+                        let feature_block = Tensor::concat_cols(&refs)?;
+                        let dense_input = Tensor::from_vec(
+                            vec![mb.batch.len(), ctx.num_dense],
+                            mb.batch.dense_flat(),
+                        )?;
+                        let (loss, grad_block) = ctx.dense.forward_backward(
+                            &dense_input,
+                            &feature_block,
+                            &mb.batch.labels,
+                            grad_scale,
+                        )?;
+                        let grads = grad_block.split_cols(&vec![ctx.n; ctx.features.len()])?;
+                        (loss, grads)
+                    };
+                    ctx.loss_sum += loss * f64::from(weight);
+                    // Micro-batch averaging for the sparse gradients (net weight
+                    // per micro-batch: grad_scale / M = its sample share).
+                    scale_grads(&mut grads, ctx.inv_m);
+                    let grad_bufs = {
+                        let mb = &ctx.mbs[b];
+                        let bags = bags_for(&mb.batch, ctx.features);
+                        ctx.lookup.build_grad_bufs(&bags, &mb.routing, &grads)
+                    };
+                    ctx.mbs[b].grads_op = Some(ctx.global.all_to_all_nonblocking(grad_bufs));
+                    Ok(())
+                },
+            ));
+        }
+        // Stage 4: the dense AllReduce launches right after the last backward and
+        // overlaps the embedding backward merges below.
+        let ar_issue = graph.add(
+            "issue dense AllReduce",
+            &[compute_ids[m - 1]],
+            |ctx: &mut Ctx| {
+                let flat = flatten_grads(ctx.dense);
+                ctx.allreduce = Some(ctx.global.all_reduce_nonblocking(flat));
+                Ok(())
+            },
+        );
+        // Stage 5: merge each micro-batch's embedding gradients on the owners.
+        let mut merge_ids = Vec::with_capacity(m);
+        for (b, &compute_id) in compute_ids.iter().enumerate() {
+            merge_ids.push(graph.add(
+                "merge embedding grads",
+                &[compute_id, ar_issue],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b].grads_op.take().expect("grads op issued");
+                    let incoming = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "embedding gradient AlltoAll (bwd)",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::Global,
+                    )?;
+                    let routing = std::mem::take(&mut ctx.mbs[b].routing);
+                    ctx.lookup.merge_grads(&routing, incoming)?;
+                    Ok(())
+                },
+            ));
+        }
+        // Stage 6: claim the AllReduce and average (world x micro-batch count).
+        let last_merge = merge_ids[m - 1];
+        graph.add("wait dense AllReduce", &[ar_issue, last_merge], {
+            let scale = inv_m / world as f32;
+            move |ctx: &mut Ctx| {
+                let op = ctx.allreduce.take().expect("allreduce issued");
+                let flat = wait_logged(
+                    op,
+                    &mut ctx.waits,
+                    "dense gradient AllReduce",
+                    SegmentKind::DenseSync,
+                    CommScope::Global,
+                )?;
+                write_back_grads(ctx.dense, &flat, scale);
+                Ok(())
+            }
+        });
+        graph.run(&mut ctx)?;
+
+        let Ctx {
+            waits, loss_sum, ..
+        } = ctx;
+        losses.push(loss_sum);
+
+        let opt_start = Instant::now();
+        adam.step(dense);
+        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
+        let opt_s = opt_start.elapsed().as_secs_f64();
+
+        let iter_s = iter_start.elapsed().as_secs_f64();
+        let mut comm_samples = Vec::new();
+        zip_world(
+            &mut comm_samples,
+            &waits,
+            CommScope::Global,
+            &mut comm.global,
+        );
+        // Straggler waits beyond the transfer duration fold into compute — the
+        // sync path's convention — so breakdown totals stay comparable across
+        // schedules on imbalanced ranks.
+        let exposed_s: f64 = comm_samples.iter().map(|s| s.exposed_s).sum();
+        let compute_s = (iter_s - exposed_s - opt_s).max(0.0);
+        let mut samples = vec![SegmentSample::compute(
+            "dense + sparse compute",
+            SegmentKind::Compute,
+            compute_s,
+        )];
+        samples.extend(comm_samples);
+        samples.push(SegmentSample::compute(
+            "optimizer + host overhead",
+            SegmentKind::Other,
+            opt_s,
+        ));
+        accumulate(&mut totals, samples);
+        wall_s += iter_s;
+    }
+    Ok(RankOutcome {
+        segments: totals,
+        losses,
+        wall_s,
+    })
+}

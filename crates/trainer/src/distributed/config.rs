@@ -1,0 +1,246 @@
+//! Configuration and error types of the distributed execution engine.
+
+use dmt_comm::{CommError, FabricProfile};
+use dmt_data::DatasetSchema;
+use dmt_models::{ModelArch, ModelHyperparams};
+use dmt_tensor::TensorError;
+use dmt_topology::{ClusterTopology, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while configuring or running the distributed engine.
+#[derive(Debug)]
+pub enum DistributedError {
+    /// A collective failed.
+    Comm(CommError),
+    /// A tensor shape mismatch inside a rank's local compute.
+    Tensor(TensorError),
+    /// The cluster shape was invalid.
+    Topology(TopologyError),
+    /// The configuration cannot be executed (e.g. more towers than features).
+    Config {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A rank thread died.
+    Rank {
+        /// The global rank that failed.
+        rank: usize,
+        /// Panic or join failure description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::Comm(e) => write!(f, "collective failed: {e}"),
+            DistributedError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DistributedError::Topology(e) => write!(f, "topology error: {e}"),
+            DistributedError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            DistributedError::Rank { rank, message } => {
+                write!(f, "rank {rank} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+impl From<CommError> for DistributedError {
+    fn from(value: CommError) -> Self {
+        DistributedError::Comm(value)
+    }
+}
+
+impl From<TensorError> for DistributedError {
+    fn from(value: TensorError) -> Self {
+        DistributedError::Tensor(value)
+    }
+}
+
+impl From<TopologyError> for DistributedError {
+    fn from(value: TopologyError) -> Self {
+        DistributedError::Topology(value)
+    }
+}
+
+impl From<dmt_core::DmtError> for DistributedError {
+    fn from(value: dmt_core::DmtError) -> Self {
+        DistributedError::Config {
+            reason: value.to_string(),
+        }
+    }
+}
+
+/// Which deployment the engine executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Hybrid-parallel strong baseline: globally sharded tables, global exchanges.
+    Baseline,
+    /// Disaggregated Multi-Tower: one tower per host, peer + intra-host exchanges.
+    Dmt,
+}
+
+/// How an iteration's collectives are scheduled against its compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleMode {
+    /// Every collective blocks the issuing rank — the original engine, preserved
+    /// bit-identically (losses and byte counts) as the semantic reference.
+    Sync,
+    /// Double-buffered software pipeline over
+    /// [`DistributedConfig::micro_batches`] micro-batches: collectives are issued
+    /// nonblocking (`dmt_comm::PendingOp`) so micro-batch `b+1`'s exchanges run
+    /// while micro-batch `b` computes, and the gradient AllReduce overlaps the
+    /// embedding backward. Numerics stay deterministic but differ from [`Sync`]
+    /// (the batch is split and gradients are micro-batch-averaged).
+    ///
+    /// [`Sync`]: ScheduleMode::Sync
+    Pipelined,
+}
+
+/// Configuration of one distributed engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributedConfig {
+    /// Cluster the rank threads are mapped onto (one thread per GPU rank).
+    pub cluster: ClusterTopology,
+    /// Dataset schema (defines the embedding tables).
+    pub schema: DatasetSchema,
+    /// Interaction architecture of the dense stack.
+    pub arch: ModelArch,
+    /// Dense hyper-parameters.
+    pub hyper: ModelHyperparams,
+    /// Per-rank batch size.
+    pub local_batch: usize,
+    /// Training iterations to run and average over.
+    pub iterations: usize,
+    /// Learning rate (Adam for dense parameters, row-wise Adagrad for embeddings).
+    pub learning_rate: f32,
+    /// Tower-module output feature dimension `D` (DMT mode).
+    pub tower_output_dim: usize,
+    /// Tower-module ensemble parameter `c` (per-feature projections; DMT mode).
+    pub tower_ensemble_c: usize,
+    /// Tower-module ensemble parameter `p` (flat projections; DMT mode).
+    pub tower_ensemble_p: usize,
+    /// Fabric pacing applied to every collective (see [`FabricProfile`]).
+    pub fabric: FabricProfile,
+    /// Base seed for model initialization and per-rank data streams.
+    pub seed: u64,
+    /// Collective scheduling discipline (see [`ScheduleMode`]).
+    pub schedule: ScheduleMode,
+    /// Micro-batches per iteration in [`ScheduleMode::Pipelined`] (clamped to the
+    /// local batch size at run time; ignored in sync mode).
+    pub micro_batches: usize,
+}
+
+impl DistributedConfig {
+    /// A small configuration over `cluster` that runs in CPU-test time: the reduced
+    /// Criteo-like schema, tiny dense stack, 64-sample local batches and maximally
+    /// compressing tower modules (`c = 0`, `p = 1`). Scheduling defaults to
+    /// [`ScheduleMode::Sync`].
+    #[must_use]
+    pub fn quick(cluster: ClusterTopology, arch: ModelArch) -> Self {
+        Self {
+            cluster,
+            schema: DatasetSchema::criteo_like_small(),
+            arch,
+            hyper: ModelHyperparams::tiny(),
+            local_batch: 64,
+            iterations: 4,
+            learning_rate: 1e-2,
+            tower_output_dim: 16,
+            tower_ensemble_c: 0,
+            tower_ensemble_p: 1,
+            fabric: FabricProfile::unthrottled(),
+            seed: 7,
+            schedule: ScheduleMode::Sync,
+            micro_batches: 2,
+        }
+    }
+
+    /// Overrides the fabric profile.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricProfile) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Overrides the iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Overrides the per-rank batch size.
+    #[must_use]
+    pub fn with_local_batch(mut self, local_batch: usize) -> Self {
+        self.local_batch = local_batch.max(1);
+        self
+    }
+
+    /// Overrides the scheduling discipline.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: ScheduleMode) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the pipelined micro-batch count (minimum 1).
+    #[must_use]
+    pub fn with_micro_batches(mut self, micro_batches: usize) -> Self {
+        self.micro_batches = micro_batches.max(1);
+        self
+    }
+
+    /// Number of towers in DMT mode (the paper's default: one per host).
+    #[must_use]
+    pub fn num_towers(&self) -> usize {
+        self.cluster.num_hosts()
+    }
+
+    /// The micro-batch count the pipelined schedule will actually use: at least 1,
+    /// at most the local batch size (every micro-batch must hold a sample).
+    #[must_use]
+    pub fn effective_micro_batches(&self) -> usize {
+        self.micro_batches.clamp(1, self.local_batch.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_topology::HardwareGeneration;
+
+    #[test]
+    fn quick_defaults_to_sync_double_buffering() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4).unwrap();
+        let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm);
+        assert_eq!(cfg.schedule, ScheduleMode::Sync);
+        assert_eq!(cfg.micro_batches, 2);
+        assert_eq!(cfg.effective_micro_batches(), 2);
+    }
+
+    #[test]
+    fn micro_batches_clamp_to_the_local_batch() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2).unwrap();
+        let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm)
+            .with_local_batch(3)
+            .with_micro_batches(16);
+        assert_eq!(cfg.effective_micro_batches(), 3);
+        let cfg = cfg.with_micro_batches(1);
+        assert_eq!(cfg.effective_micro_batches(), 1);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DistributedError::Config {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        let e = DistributedError::Rank {
+            rank: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,774 @@
+//! One rank of the Disaggregated Multi-Tower deployment (one tower per host), in
+//! both schedules.
+//!
+//! The pipelined variant has more overlap structure than the baseline: its three
+//! communicator worlds (peer, intra-host, global) are independent FIFO streams, so
+//! a peer tower-output exchange, an intra-host gradient exchange and the global
+//! dense AllReduce can all be on the wire at once — which is why DMT hides a
+//! larger fraction of its (already smaller, intra-host-biased) communication than
+//! the baseline can.
+
+use super::config::{DistributedConfig, DistributedError, ScheduleMode};
+use super::measure::{
+    accumulate, wait_logged, zip_world, CommScope, RankOutcome, Recorder, SegmentSample, WaitEntry,
+};
+use super::model::{
+    flatten_grads, scale_grads, sync_grads, write_back_grads, DenseStack, LookupRouting,
+    ShardedLookup,
+};
+use super::pipeline::StageGraph;
+use super::RankComms;
+use dmt_comm::{Backend, PendingOp};
+use dmt_commsim::SegmentKind;
+use dmt_core::tower::TowerModule;
+use dmt_core::{naive_partition, DlrmTowerModule};
+use dmt_data::{Batch, SyntheticClickDataset};
+use dmt_nn::param::HasParameters;
+use dmt_nn::{AdamOptimizer, Optimizer};
+use dmt_tensor::Tensor;
+use std::time::Instant;
+
+/// Static per-rank DMT layout: which features this rank's tower owns and how the
+/// interaction geometry is laid out.
+struct DmtLayout {
+    groups: Vec<Vec<usize>>,
+    my_features: Vec<usize>,
+    my_host: usize,
+    hosts: usize,
+    tower_widths: Vec<usize>,
+    num_units: usize,
+}
+
+fn layout(config: &DistributedConfig, rank: usize) -> Result<DmtLayout, DistributedError> {
+    use dmt_topology::Rank;
+    let schema = &config.schema;
+    let cluster = &config.cluster;
+    let hosts = cluster.num_hosts();
+    let my_host = cluster.host_of(Rank(rank));
+    let partition = naive_partition(schema.num_sparse(), hosts)?;
+    // Tower feature groups, each sorted ascending (the wire order of every exchange).
+    let groups: Vec<Vec<usize>> = partition
+        .groups()
+        .iter()
+        .map(|g| {
+            let mut g = g.clone();
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    if groups.iter().any(Vec::is_empty) {
+        return Err(DistributedError::Config {
+            reason: "every tower needs at least one feature".into(),
+        });
+    }
+    let my_features = groups[my_host].clone();
+    let (c, p, d) = (
+        config.tower_ensemble_c,
+        config.tower_ensemble_p,
+        config.tower_output_dim,
+    );
+    // Interaction geometry, mirroring `RecommendationModel`: every tower contributes
+    // `c * F_t + p` units of width D, plus the dense unit.
+    let tower_widths: Vec<usize> = groups.iter().map(|g| d * (c * g.len() + p)).collect();
+    let num_units = groups.iter().map(|g| c * g.len() + p).sum::<usize>() + 1;
+    Ok(DmtLayout {
+        groups,
+        my_features,
+        my_host,
+        hosts,
+        tower_widths,
+        num_units,
+    })
+}
+
+/// Encodes one micro-batch's bags for every tower as peer AlltoAll streams
+/// (`len, idx...` per bag, feature-major within each tower's group).
+fn encode_peer_sends(batch: &Batch, groups: &[Vec<usize>]) -> Vec<Vec<u64>> {
+    groups
+        .iter()
+        .map(|group| {
+            let mut stream = Vec::new();
+            for &f in group {
+                for bag in &batch.sparse[f] {
+                    stream.push(bag.len() as u64);
+                    stream.extend(bag.iter().map(|&i| i as u64));
+                }
+            }
+            stream
+        })
+        .collect()
+}
+
+/// Decodes incoming peer streams into the combined tower batch: `hosts * b`
+/// samples (source-host major), one bag list per tower feature.
+fn decode_peer_streams(
+    incoming: &[Vec<u64>],
+    num_features: usize,
+    b: usize,
+) -> Vec<Vec<Vec<usize>>> {
+    let tower_batch = incoming.len() * b;
+    let mut tower_bags: Vec<Vec<Vec<usize>>> = vec![Vec::with_capacity(tower_batch); num_features];
+    for stream in incoming {
+        let mut cursor = 0usize;
+        for bags in tower_bags.iter_mut() {
+            for _ in 0..b {
+                let len = stream[cursor] as usize;
+                cursor += 1;
+                bags.push(
+                    stream[cursor..cursor + len]
+                        .iter()
+                        .map(|&v| v as usize)
+                        .collect(),
+                );
+                cursor += len;
+            }
+        }
+        debug_assert_eq!(cursor, stream.len());
+    }
+    tower_bags
+}
+
+/// One rank of the Disaggregated Multi-Tower deployment (one tower per host).
+pub(crate) fn dmt_rank(
+    config: &DistributedConfig,
+    rank: usize,
+    comm: &mut RankComms,
+) -> Result<RankOutcome, DistributedError> {
+    use dmt_topology::Rank;
+    use rand::SeedableRng;
+
+    let schema = &config.schema;
+    let cluster = &config.cluster;
+    let n = config.hyper.embedding_dim;
+    let slots = cluster.gpus_per_host();
+    let layout = layout(config, rank)?;
+    let (c, p, d) = (
+        config.tower_ensemble_c,
+        config.tower_ensemble_p,
+        config.tower_output_dim,
+    );
+
+    let mut data =
+        SyntheticClickDataset::new(schema.clone(), config.seed ^ ((rank as u64 + 1) << 16));
+    // Tables of my tower, sharded across my host's ranks.
+    let mut lookup = ShardedLookup::new(
+        config.seed,
+        schema,
+        layout.my_features.clone(),
+        n,
+        slots,
+        cluster.local_index(Rank(rank)),
+    );
+    // Tower module replicated across my host's ranks (same per-tower seed).
+    let mut tower_rng =
+        rand::rngs::StdRng::seed_from_u64(config.seed ^ ((layout.my_host as u64 + 1) * 7919));
+    let mut tower = DlrmTowerModule::new(&mut tower_rng, layout.my_features.len(), n, c, p, d)
+        .map_err(|e| DistributedError::Config {
+            reason: e.to_string(),
+        })?;
+    let mut dense = DenseStack::new(
+        config.seed,
+        schema,
+        config.arch,
+        &config.hyper,
+        d,
+        layout.num_units,
+    );
+    let mut adam_dense = AdamOptimizer::new(config.learning_rate);
+    let mut adam_tower = AdamOptimizer::new(config.learning_rate);
+
+    match config.schedule {
+        ScheduleMode::Sync => dmt_sync(
+            config,
+            &layout,
+            &mut data,
+            &mut lookup,
+            &mut tower,
+            &mut dense,
+            &mut adam_dense,
+            &mut adam_tower,
+            comm,
+        ),
+        ScheduleMode::Pipelined => dmt_pipelined(
+            config,
+            &layout,
+            &mut data,
+            &mut lookup,
+            &mut tower,
+            &mut dense,
+            &mut adam_dense,
+            &mut adam_tower,
+            comm,
+        ),
+    }
+}
+
+/// The original blocking SPTT iteration — the bit-identical semantic reference.
+#[allow(clippy::too_many_arguments)]
+fn dmt_sync(
+    config: &DistributedConfig,
+    layout: &DmtLayout,
+    data: &mut SyntheticClickDataset,
+    lookup: &mut ShardedLookup,
+    tower: &mut DlrmTowerModule,
+    dense: &mut DenseStack,
+    adam_dense: &mut AdamOptimizer,
+    adam_tower: &mut AdamOptimizer,
+    comm: &mut RankComms,
+) -> Result<RankOutcome, DistributedError> {
+    let schema = &config.schema;
+    let n = config.hyper.embedding_dim;
+    let b = config.local_batch;
+    let hosts = layout.hosts;
+    let my_host = layout.my_host;
+
+    let mut totals = Vec::new();
+    let mut losses = Vec::new();
+    let mut wall_s = 0.0;
+    for _ in 0..config.iterations {
+        let iter_start = Instant::now();
+        let mut rec = Recorder::default();
+        HasParameters::zero_grad(dense);
+        HasParameters::zero_grad(tower);
+        let batch = data.next_batch(b);
+
+        // SPTT step (a): ship each tower's indices to the same-slot rank on the
+        // owning host — a peer AlltoAll of encoded bags.
+        let sends = encode_peer_sends(&batch, &layout.groups);
+        let incoming = rec.comm(
+            "peer index distribution AlltoAll",
+            SegmentKind::EmbeddingComm,
+            CommScope::Peer,
+            &mut comm.peer,
+            |backend| backend.all_to_all_indices(sends),
+        )?;
+
+        // Decode into the combined tower batch: `hosts * b` samples (source-host
+        // major), one bag list per tower feature.
+        let tower_batch = hosts * b;
+        let tower_bags = decode_peer_streams(&incoming, layout.my_features.len(), b);
+
+        // SPTT step (d): intra-host sharded lookup of my tower's features.
+        let bag_slices: Vec<&[Vec<usize>]> = tower_bags.iter().map(Vec::as_slice).collect();
+        let feature_embs = lookup.fetch(&mut comm.intra, &bag_slices)?;
+        rec.record_drained(
+            "intra-host row fetch AlltoAll (fwd)",
+            SegmentKind::EmbeddingComm,
+            CommScope::IntraHost,
+            &mut comm.intra,
+        );
+        let refs: Vec<&Tensor> = feature_embs.iter().collect();
+        let tower_input = Tensor::concat_cols(&refs)?;
+
+        // Tower module over the combined tower batch.
+        let tower_out = tower.forward(&tower_input)?;
+        let w_mine = layout.tower_widths[my_host];
+
+        // SPTT step (f): return the compressed tower outputs to the sample owners —
+        // the second peer AlltoAll, now carrying `D`-wide units instead of raw
+        // embeddings.
+        let out_data = tower_out.data();
+        let sends: Vec<Vec<f32>> = (0..hosts)
+            .map(|src| out_data[src * b * w_mine..(src + 1) * b * w_mine].to_vec())
+            .collect();
+        let received = rec.comm(
+            "peer tower-output AlltoAll (fwd)",
+            SegmentKind::EmbeddingComm,
+            CommScope::Peer,
+            &mut comm.peer,
+            |backend| backend.all_to_all(sends),
+        )?;
+        let tower_blocks: Vec<Tensor> = received
+            .into_iter()
+            .enumerate()
+            .map(|(t, flat)| Tensor::from_vec(vec![b, layout.tower_widths[t]], flat))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&Tensor> = tower_blocks.iter().collect();
+        let feature_block = Tensor::concat_cols(&refs)?;
+
+        // Replicated dense stack on the local batch.
+        let dense_input = Tensor::from_vec(vec![b, schema.num_dense], batch.dense_flat())?;
+        let (loss, grad_block) =
+            dense.forward_backward(&dense_input, &feature_block, &batch.labels, 1.0)?;
+        losses.push(loss);
+
+        // Backward peer AlltoAll: tower-output gradients back to the tower ranks.
+        let grad_pieces = grad_block.split_cols(&layout.tower_widths)?;
+        let sends: Vec<Vec<f32>> = grad_pieces.iter().map(|t| t.data().to_vec()).collect();
+        let received = rec.comm(
+            "peer tower-grad AlltoAll (bwd)",
+            SegmentKind::EmbeddingComm,
+            CommScope::Peer,
+            &mut comm.peer,
+            |backend| backend.all_to_all(sends),
+        )?;
+        let mut grad_tower_out = Vec::with_capacity(tower_batch * w_mine);
+        for src in received {
+            grad_tower_out.extend(src);
+        }
+        let grad_tower_out = Tensor::from_vec(vec![tower_batch, w_mine], grad_tower_out)?;
+
+        // Tower backward, then the intra-host gradient exchange to the row shards.
+        let grad_tower_input = tower.backward(&grad_tower_out)?;
+        let grads = grad_tower_input.split_cols(&vec![n; layout.my_features.len()])?;
+        lookup.push_grads(&mut comm.intra, &bag_slices, &grads)?;
+        rec.record_drained(
+            "intra-host gradient AlltoAll (bwd)",
+            SegmentKind::EmbeddingComm,
+            CommScope::IntraHost,
+            &mut comm.intra,
+        );
+
+        // Tower-module gradients stay inside the host (§3.2, System Perspective).
+        rec.comm(
+            "tower-module intra-host AllReduce",
+            SegmentKind::DenseSync,
+            CommScope::IntraHost,
+            &mut comm.intra,
+            |backend| sync_grads(tower, backend),
+        )?;
+        // Shared dense stack synchronizes globally, as in the baseline.
+        rec.comm(
+            "dense gradient AllReduce",
+            SegmentKind::DenseSync,
+            CommScope::Global,
+            &mut comm.global,
+            |backend| sync_grads(dense, backend),
+        )?;
+
+        let opt_start = Instant::now();
+        adam_dense.step(dense);
+        adam_tower.step(tower);
+        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
+        let opt_s = opt_start.elapsed().as_secs_f64();
+
+        let comm_s: f64 = rec.samples.iter().map(|s| s.time_s).sum();
+        let iter_s = iter_start.elapsed().as_secs_f64();
+        let compute_s = (iter_s - comm_s - opt_s).max(0.0);
+        rec.push_compute("optimizer + host overhead", SegmentKind::Other, opt_s);
+        let mut samples = vec![SegmentSample::compute(
+            "dense + tower-module compute",
+            SegmentKind::Compute,
+            compute_s,
+        )];
+        samples.extend(rec.samples);
+        accumulate(&mut totals, samples);
+        wall_s += iter_s;
+    }
+    Ok(RankOutcome {
+        segments: totals,
+        losses,
+        wall_s,
+    })
+}
+
+/// Per-micro-batch DMT pipeline state.
+struct DmtMicroBatch {
+    batch: Batch,
+    routing: LookupRouting,
+    tower_bags: Vec<Vec<Vec<usize>>>,
+    peer_idx_op: Option<PendingOp<Vec<Vec<u64>>>>,
+    intra_idx_op: Option<PendingOp<Vec<Vec<u64>>>>,
+    intra_rows_op: Option<PendingOp<Vec<Vec<f32>>>>,
+    peer_out_op: Option<PendingOp<Vec<Vec<f32>>>>,
+    peer_grad_op: Option<PendingOp<Vec<Vec<f32>>>>,
+    intra_grads_op: Option<PendingOp<Vec<Vec<f32>>>>,
+}
+
+/// The pipelined SPTT iteration: the peer, intra-host and global worlds are
+/// independent streams, so transfers from all three overlap each other *and* the
+/// tower/dense compute.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn dmt_pipelined(
+    config: &DistributedConfig,
+    layout: &DmtLayout,
+    data: &mut SyntheticClickDataset,
+    lookup: &mut ShardedLookup,
+    tower: &mut DlrmTowerModule,
+    dense: &mut DenseStack,
+    adam_dense: &mut AdamOptimizer,
+    adam_tower: &mut AdamOptimizer,
+    comm: &mut RankComms,
+) -> Result<RankOutcome, DistributedError> {
+    let schema = &config.schema;
+    let n = config.hyper.embedding_dim;
+    let m = config.effective_micro_batches();
+    let inv_m = 1.0 / m as f32;
+    let world = config.cluster.world_size();
+    let slots = config.cluster.gpus_per_host();
+
+    struct Ctx<'a> {
+        layout: &'a DmtLayout,
+        lookup: &'a mut ShardedLookup,
+        tower: &'a mut DlrmTowerModule,
+        dense: &'a mut DenseStack,
+        comm: &'a mut RankComms,
+        n: usize,
+        num_dense: usize,
+        inv_m: f32,
+        local_batch: usize,
+        mbs: Vec<DmtMicroBatch>,
+        tower_ar: Option<PendingOp<Vec<f32>>>,
+        dense_ar: Option<PendingOp<Vec<f32>>>,
+        waits: Vec<WaitEntry>,
+        loss_sum: f64,
+    }
+
+    let mut totals = Vec::new();
+    let mut losses = Vec::new();
+    let mut wall_s = 0.0;
+    for _ in 0..config.iterations {
+        let iter_start = Instant::now();
+        HasParameters::zero_grad(dense);
+        HasParameters::zero_grad(tower);
+        let batch = data.next_batch(config.local_batch);
+        let mbs: Vec<DmtMicroBatch> = batch
+            .split(m)
+            .into_iter()
+            .map(|batch| DmtMicroBatch {
+                batch,
+                routing: LookupRouting::default(),
+                tower_bags: Vec::new(),
+                peer_idx_op: None,
+                intra_idx_op: None,
+                intra_rows_op: None,
+                peer_out_op: None,
+                peer_grad_op: None,
+                intra_grads_op: None,
+            })
+            .collect();
+        let mut ctx = Ctx {
+            layout,
+            lookup,
+            tower,
+            dense,
+            comm,
+            n,
+            num_dense: schema.num_dense,
+            inv_m,
+            local_batch: config.local_batch,
+            mbs,
+            tower_ar: None,
+            dense_ar: None,
+            waits: Vec::new(),
+            loss_sum: 0.0,
+        };
+
+        let mut graph: StageGraph<Ctx> = StageGraph::new();
+        // SPTT step (a), prefetched for every micro-batch: the peer index
+        // distribution depends only on input data.
+        let mut encode_ids = Vec::with_capacity(m);
+        for b in 0..m {
+            encode_ids.push(
+                graph.add("issue peer index AlltoAll", &[], move |ctx: &mut Ctx| {
+                    let sends = encode_peer_sends(&ctx.mbs[b].batch, &ctx.layout.groups);
+                    ctx.mbs[b].peer_idx_op =
+                        Some(ctx.comm.peer.all_to_all_indices_nonblocking(sends));
+                    Ok(())
+                }),
+            );
+        }
+        // The forward chain (decode → answer → tower forward) is scheduled
+        // depth-first per micro-batch: micro-batch b's tower compute then hides
+        // micro-batch b+1's peer index transfer (the only stage with no earlier
+        // compute to hide behind) as well as the in-flight peer output exchanges.
+        let mut decode_ids = Vec::with_capacity(m);
+        let mut answer_ids = Vec::with_capacity(m);
+        let mut tower_fwd_ids = Vec::with_capacity(m);
+        for b in 0..m {
+            decode_ids.push(graph.add(
+                "decode + issue intra index",
+                &[encode_ids[b]],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b].peer_idx_op.take().expect("peer idx issued");
+                    let incoming = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "peer index distribution AlltoAll",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::Peer,
+                    )?;
+                    let mb_len = ctx.mbs[b].batch.len();
+                    let tower_bags =
+                        decode_peer_streams(&incoming, ctx.layout.my_features.len(), mb_len);
+                    let requests = {
+                        let bags: Vec<&[Vec<usize>]> =
+                            tower_bags.iter().map(Vec::as_slice).collect();
+                        ctx.lookup.route(ctx.comm.intra.world_size(), &bags)
+                    };
+                    ctx.mbs[b].routing.request_keys = requests.clone();
+                    ctx.mbs[b].tower_bags = tower_bags;
+                    ctx.mbs[b].intra_idx_op =
+                        Some(ctx.comm.intra.all_to_all_indices_nonblocking(requests));
+                    Ok(())
+                },
+            ));
+            // Answer the intra-host requests and launch the row fetch.
+            answer_ids.push(graph.add(
+                "answer + issue intra rows",
+                &[decode_ids[b]],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b].intra_idx_op.take().expect("intra idx issued");
+                    let incoming = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "intra-host index AlltoAll (fwd)",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::IntraHost,
+                    )?;
+                    let replies = ctx.lookup.answer(&incoming)?;
+                    ctx.mbs[b].routing.served_keys = incoming;
+                    ctx.mbs[b].intra_rows_op = Some(ctx.comm.intra.all_to_all_nonblocking(replies));
+                    Ok(())
+                },
+            ));
+            // Pool, run the tower module and launch the compressed peer output
+            // exchange.
+            tower_fwd_ids.push(graph.add(
+                "tower fwd + issue peer outputs",
+                &[answer_ids[b]],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b].intra_rows_op.take().expect("intra rows issued");
+                    let fetched = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "intra-host row fetch AlltoAll (fwd)",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::IntraHost,
+                    )?;
+                    let mb_len = ctx.mbs[b].batch.len();
+                    let hosts = ctx.layout.hosts;
+                    let w_mine = ctx.layout.tower_widths[ctx.layout.my_host];
+                    let sends = {
+                        let mb = &ctx.mbs[b];
+                        let bags: Vec<&[Vec<usize>]> =
+                            mb.tower_bags.iter().map(Vec::as_slice).collect();
+                        let embs = ctx.lookup.pool(&bags, &mb.routing, &fetched)?;
+                        let refs: Vec<&Tensor> = embs.iter().collect();
+                        let tower_input = Tensor::concat_cols(&refs)?;
+                        let tower_out = ctx.tower.forward(&tower_input)?;
+                        let out_data = tower_out.data();
+                        (0..hosts)
+                            .map(|src| {
+                                out_data[src * mb_len * w_mine..(src + 1) * mb_len * w_mine]
+                                    .to_vec()
+                            })
+                            .collect::<Vec<Vec<f32>>>()
+                    };
+                    ctx.mbs[b].peer_out_op = Some(ctx.comm.peer.all_to_all_nonblocking(sends));
+                    Ok(())
+                },
+            ));
+        }
+        // Dense forward/backward over the local micro-batch; launch the tower-grad
+        // return exchange.
+        let mut dense_ids = Vec::with_capacity(m);
+        for (b, &tower_fwd_id) in tower_fwd_ids.iter().enumerate() {
+            dense_ids.push(graph.add(
+                "dense fwd/bwd + issue peer grads",
+                &[tower_fwd_id],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b].peer_out_op.take().expect("peer out issued");
+                    let received = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "peer tower-output AlltoAll (fwd)",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::Peer,
+                    )?;
+                    let mb_len = ctx.mbs[b].batch.len();
+                    let tower_blocks: Vec<Tensor> = received
+                        .into_iter()
+                        .enumerate()
+                        .map(|(t, flat)| {
+                            Tensor::from_vec(vec![mb_len, ctx.layout.tower_widths[t]], flat)
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let refs: Vec<&Tensor> = tower_blocks.iter().collect();
+                    let feature_block = Tensor::concat_cols(&refs)?;
+                    let dense_input = Tensor::from_vec(
+                        vec![mb_len, ctx.num_dense],
+                        ctx.mbs[b].batch.dense_flat(),
+                    )?;
+                    // Exact per-sample weighting for unequal micro-batches (see
+                    // the baseline's compute stage): grad_scale pre-compensates
+                    // the final 1/M averaging.
+                    let weight = mb_len as f32 / ctx.local_batch as f32;
+                    let (loss, grad_block) = ctx.dense.forward_backward(
+                        &dense_input,
+                        &feature_block,
+                        &ctx.mbs[b].batch.labels,
+                        weight / ctx.inv_m,
+                    )?;
+                    ctx.loss_sum += loss * f64::from(weight);
+                    let grad_pieces = grad_block.split_cols(&ctx.layout.tower_widths)?;
+                    let sends: Vec<Vec<f32>> =
+                        grad_pieces.iter().map(|t| t.data().to_vec()).collect();
+                    ctx.mbs[b].peer_grad_op = Some(ctx.comm.peer.all_to_all_nonblocking(sends));
+                    Ok(())
+                },
+            ));
+        }
+        // Tower backward; launch the intra-host gradient exchange to the shards.
+        let mut tower_bwd_ids = Vec::with_capacity(m);
+        for (b, &dense_id) in dense_ids.iter().enumerate() {
+            tower_bwd_ids.push(graph.add(
+                "tower bwd + issue intra grads",
+                &[dense_id],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b].peer_grad_op.take().expect("peer grad issued");
+                    let received = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "peer tower-grad AlltoAll (bwd)",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::Peer,
+                    )?;
+                    let mb_len = ctx.mbs[b].batch.len();
+                    let hosts = ctx.layout.hosts;
+                    let w_mine = ctx.layout.tower_widths[ctx.layout.my_host];
+                    let mut grad_tower_out = Vec::with_capacity(hosts * mb_len * w_mine);
+                    for src in received {
+                        grad_tower_out.extend(src);
+                    }
+                    let grad_tower_out =
+                        Tensor::from_vec(vec![hosts * mb_len, w_mine], grad_tower_out)?;
+                    let grad_tower_input = ctx.tower.backward(&grad_tower_out)?;
+                    let mut grads =
+                        grad_tower_input.split_cols(&vec![ctx.n; ctx.layout.my_features.len()])?;
+                    scale_grads(&mut grads, ctx.inv_m);
+                    let grad_bufs = {
+                        let mb = &ctx.mbs[b];
+                        let bags: Vec<&[Vec<usize>]> =
+                            mb.tower_bags.iter().map(Vec::as_slice).collect();
+                        ctx.lookup.build_grad_bufs(&bags, &mb.routing, &grads)
+                    };
+                    ctx.mbs[b].intra_grads_op =
+                        Some(ctx.comm.intra.all_to_all_nonblocking(grad_bufs));
+                    Ok(())
+                },
+            ));
+        }
+        // Both AllReduces launch as soon as the last backward finishes; the tower
+        // one rides the intra-host world, the dense one the global world, so they
+        // overlap each other and every merge below.
+        let last_bwd = tower_bwd_ids[m - 1];
+        let ar_issue = graph.add(
+            "issue tower + dense AllReduce",
+            &[last_bwd],
+            |ctx: &mut Ctx| {
+                let tower_flat = flatten_grads(ctx.tower);
+                ctx.tower_ar = Some(ctx.comm.intra.all_reduce_nonblocking(tower_flat));
+                let dense_flat = flatten_grads(ctx.dense);
+                ctx.dense_ar = Some(ctx.comm.global.all_reduce_nonblocking(dense_flat));
+                Ok(())
+            },
+        );
+        // Merge each micro-batch's sharded-embedding gradients on the owners.
+        let mut merge_ids = Vec::with_capacity(m);
+        for (b, &tower_bwd_id) in tower_bwd_ids.iter().enumerate() {
+            merge_ids.push(graph.add(
+                "merge intra grads",
+                &[tower_bwd_id, ar_issue],
+                move |ctx: &mut Ctx| {
+                    let op = ctx.mbs[b]
+                        .intra_grads_op
+                        .take()
+                        .expect("intra grads issued");
+                    let incoming = wait_logged(
+                        op,
+                        &mut ctx.waits,
+                        "intra-host gradient AlltoAll (bwd)",
+                        SegmentKind::EmbeddingComm,
+                        CommScope::IntraHost,
+                    )?;
+                    let routing = std::mem::take(&mut ctx.mbs[b].routing);
+                    ctx.lookup.merge_grads(&routing, incoming)?;
+                    Ok(())
+                },
+            ));
+        }
+        let last_merge = merge_ids[m - 1];
+        graph.add("wait tower AllReduce", &[ar_issue, last_merge], {
+            let scale = inv_m / slots as f32;
+            move |ctx: &mut Ctx| {
+                let op = ctx.tower_ar.take().expect("tower allreduce issued");
+                let flat = wait_logged(
+                    op,
+                    &mut ctx.waits,
+                    "tower-module intra-host AllReduce",
+                    SegmentKind::DenseSync,
+                    CommScope::IntraHost,
+                )?;
+                write_back_grads(ctx.tower, &flat, scale);
+                Ok(())
+            }
+        });
+        graph.add("wait dense AllReduce", &[ar_issue], {
+            let scale = inv_m / world as f32;
+            move |ctx: &mut Ctx| {
+                let op = ctx.dense_ar.take().expect("dense allreduce issued");
+                let flat = wait_logged(
+                    op,
+                    &mut ctx.waits,
+                    "dense gradient AllReduce",
+                    SegmentKind::DenseSync,
+                    CommScope::Global,
+                )?;
+                write_back_grads(ctx.dense, &flat, scale);
+                Ok(())
+            }
+        });
+        graph.run(&mut ctx)?;
+
+        let Ctx {
+            waits, loss_sum, ..
+        } = ctx;
+        losses.push(loss_sum);
+
+        let opt_start = Instant::now();
+        adam_dense.step(dense);
+        adam_tower.step(tower);
+        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
+        let opt_s = opt_start.elapsed().as_secs_f64();
+
+        let iter_s = iter_start.elapsed().as_secs_f64();
+        let mut comm_samples = Vec::new();
+        zip_world(&mut comm_samples, &waits, CommScope::Peer, &mut comm.peer);
+        zip_world(
+            &mut comm_samples,
+            &waits,
+            CommScope::IntraHost,
+            &mut comm.intra,
+        );
+        zip_world(
+            &mut comm_samples,
+            &waits,
+            CommScope::Global,
+            &mut comm.global,
+        );
+        // Straggler waits beyond the transfer duration fold into compute — the
+        // sync path's convention — so breakdown totals stay comparable across
+        // schedules on imbalanced ranks (the towers' feature counts differ).
+        let exposed_s: f64 = comm_samples.iter().map(|s| s.exposed_s).sum();
+        let compute_s = (iter_s - exposed_s - opt_s).max(0.0);
+        let mut samples = vec![SegmentSample::compute(
+            "dense + tower-module compute",
+            SegmentKind::Compute,
+            compute_s,
+        )];
+        samples.extend(comm_samples);
+        samples.push(SegmentSample::compute(
+            "optimizer + host overhead",
+            SegmentKind::Other,
+            opt_s,
+        ));
+        accumulate(&mut totals, samples);
+        wall_s += iter_s;
+    }
+    Ok(RankOutcome {
+        segments: totals,
+        losses,
+        wall_s,
+    })
+}

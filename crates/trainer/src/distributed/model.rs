@@ -1,0 +1,500 @@
+//! Rank-local model state shared by both deployments: the sharded embedding
+//! lookup (decomposed into issue/answer/pool phases so the pipelined schedule can
+//! interleave them with collectives) and the replicated dense stack.
+
+use super::config::DistributedError;
+use dmt_comm::{Backend, CommError, SharedMemoryBackend};
+use dmt_data::{Batch, DatasetSchema};
+use dmt_models::{ModelArch, ModelHyperparams};
+use dmt_nn::param::HasParameters;
+use dmt_nn::{BceWithLogitsLoss, CrossNet, DotInteraction, Mlp, Parameter, ShardedEmbeddingTable};
+use dmt_tensor::Tensor;
+
+/// Encodes a (feature, row) pair into the u64 key the index exchanges carry.
+pub(crate) fn encode_key(feature: usize, row: usize) -> u64 {
+    ((feature as u64) << 32) | row as u64
+}
+
+/// Decodes a (feature, row) key.
+pub(crate) fn decode_key(key: u64) -> (usize, usize) {
+    ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize)
+}
+
+/// Splits a sorted key list into contiguous same-feature runs of decoded rows.
+pub(crate) fn feature_runs(keys: &[u64]) -> impl Iterator<Item = (usize, Vec<usize>)> + '_ {
+    let mut start = 0usize;
+    std::iter::from_fn(move || {
+        if start >= keys.len() {
+            return None;
+        }
+        let (feature, _) = decode_key(keys[start]);
+        let mut end = start;
+        let mut rows = Vec::new();
+        while end < keys.len() {
+            let (f, row) = decode_key(keys[end]);
+            if f != feature {
+                break;
+            }
+            rows.push(row);
+            end += 1;
+        }
+        start = end;
+        Some((feature, rows))
+    })
+}
+
+/// Request-routing state of one in-flight fetch: which keys this rank asked each
+/// owner for, and which keys each source asked this rank for.
+///
+/// Owned per micro-batch under the pipelined schedule (several fetches are in
+/// flight at once); the sync path keeps one inside [`ShardedLookup`].
+#[derive(Default)]
+pub(crate) struct LookupRouting {
+    /// Requester side: per-owner sorted-unique request keys.
+    pub request_keys: Vec<Vec<u64>>,
+    /// Owner side: per-source request keys (set once the index exchange lands).
+    pub served_keys: Vec<Vec<u64>>,
+}
+
+/// One rank's sharded view of a set of embedding tables.
+///
+/// The tables for `features` are row-sharded across the `world` ranks of the backend
+/// this lookup is driven through (all ranks in baseline mode, one host's ranks in
+/// DMT mode). A fetch runs the two-sided protocol: sorted-unique `(feature, row)`
+/// keys to each owner, raw rows back, requester-side pooling; the backward pass
+/// reuses the request routing to push per-row gradients to their owners. Each
+/// protocol phase is its own method, so the sync path can run them back to back
+/// while the pipelined path slots collectives between them.
+pub(crate) struct ShardedLookup {
+    /// Global feature ids served by this world, ascending.
+    features: Vec<usize>,
+    /// This rank's shard of each feature's table, aligned with `features`.
+    shards: Vec<ShardedEmbeddingTable>,
+    dim: usize,
+    /// Routing of the current sync-mode iteration.
+    routing: LookupRouting,
+}
+
+impl ShardedLookup {
+    pub(crate) fn new(
+        seed: u64,
+        schema: &DatasetSchema,
+        mut features: Vec<usize>,
+        dim: usize,
+        world: usize,
+        shard_index: usize,
+    ) -> Self {
+        use rand::SeedableRng;
+        features.sort_unstable();
+        let shards = features
+            .iter()
+            .map(|&f| {
+                // Seed per (feature, shard): initialization is deterministic and
+                // independent of which world drives the lookup.
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(f as u64 + 1))
+                        ^ ((shard_index as u64) << 48),
+                );
+                ShardedEmbeddingTable::new(
+                    &mut rng,
+                    schema.sparse_cardinalities[f],
+                    dim,
+                    world,
+                    shard_index,
+                )
+            })
+            .collect();
+        Self {
+            features,
+            shards,
+            dim,
+            routing: LookupRouting::default(),
+        }
+    }
+
+    /// Position of a global feature id within `features`.
+    fn feature_pos(&self, feature: usize) -> usize {
+        self.features
+            .binary_search(&feature)
+            .expect("feature served by this lookup")
+    }
+
+    // --- Protocol phases ----------------------------------------------------
+
+    /// Phase 1 (requester): routes each distinct (feature, row) of `bags` to its
+    /// owner shard as sorted-unique keys — the payload of the index AlltoAll.
+    pub(crate) fn route(&self, world: usize, bags: &[&[Vec<usize>]]) -> Vec<Vec<u64>> {
+        let mut requests: Vec<Vec<u64>> = vec![Vec::new(); world];
+        for (pos, per_sample) in bags.iter().enumerate() {
+            let shard = &self.shards[pos];
+            let feature = self.features[pos];
+            for bag in per_sample.iter() {
+                for &raw in bag {
+                    let row = raw % shard.num_embeddings();
+                    requests[shard.owner_of(row)].push(encode_key(feature, row));
+                }
+            }
+        }
+        for keys in &mut requests {
+            keys.sort_unstable();
+            keys.dedup();
+        }
+        requests
+    }
+
+    /// Phase 2 (owner): answers incoming request keys with raw rows, in request
+    /// order. Keys are sorted, so rows of the same feature form contiguous runs and
+    /// each run is answered with one batched shard lookup.
+    pub(crate) fn answer(&self, incoming: &[Vec<u64>]) -> Result<Vec<Vec<f32>>, DistributedError> {
+        let dim = self.dim;
+        let mut replies: Vec<Vec<f32>> = Vec::with_capacity(incoming.len());
+        for keys in incoming {
+            let mut reply = Vec::with_capacity(keys.len() * dim);
+            for (feature, rows) in feature_runs(keys) {
+                reply
+                    .extend_from_slice(&self.shards[self.feature_pos(feature)].lookup_rows(&rows)?);
+            }
+            replies.push(reply);
+        }
+        Ok(replies)
+    }
+
+    /// Phase 3 (requester): pools fetched rows into one `[num_samples, dim]` tensor
+    /// per feature, bit-identical to a local sum-pooled forward.
+    pub(crate) fn pool(
+        &self,
+        bags: &[&[Vec<usize>]],
+        routing: &LookupRouting,
+        fetched: &[Vec<f32>],
+    ) -> Result<Vec<Tensor>, DistributedError> {
+        let dim = self.dim;
+        let mut outputs = Vec::with_capacity(bags.len());
+        for (pos, per_sample) in bags.iter().enumerate() {
+            let shard = &self.shards[pos];
+            let feature = self.features[pos];
+            let mut out = Tensor::zeros(&[per_sample.len(), dim]);
+            let data = out.data_mut();
+            for (sample, bag) in per_sample.iter().enumerate() {
+                let dst = &mut data[sample * dim..(sample + 1) * dim];
+                for &raw in bag {
+                    let row = raw % shard.num_embeddings();
+                    let owner = shard.owner_of(row);
+                    let slot = routing.request_keys[owner]
+                        .binary_search(&encode_key(feature, row))
+                        .expect("row was requested");
+                    for (d, v) in dst
+                        .iter_mut()
+                        .zip(&fetched[owner][slot * dim..(slot + 1) * dim])
+                    {
+                        *d += v;
+                    }
+                }
+            }
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    /// Backward phase 1 (requester): accumulates per-requested-row gradients
+    /// (deduplicated exactly like the requests) into one buffer per owner — the
+    /// payload of the gradient AlltoAll.
+    pub(crate) fn build_grad_bufs(
+        &self,
+        bags: &[&[Vec<usize>]],
+        routing: &LookupRouting,
+        grads: &[Tensor],
+    ) -> Vec<Vec<f32>> {
+        let dim = self.dim;
+        let mut grad_bufs: Vec<Vec<f32>> = routing
+            .request_keys
+            .iter()
+            .map(|keys| vec![0.0f32; keys.len() * dim])
+            .collect();
+        for (pos, (per_sample, grad)) in bags.iter().zip(grads).enumerate() {
+            let shard = &self.shards[pos];
+            let feature = self.features[pos];
+            let grad_data = grad.data();
+            for (sample, bag) in per_sample.iter().enumerate() {
+                let src = &grad_data[sample * dim..(sample + 1) * dim];
+                for &raw in bag {
+                    let row = raw % shard.num_embeddings();
+                    let owner = shard.owner_of(row);
+                    let slot = routing.request_keys[owner]
+                        .binary_search(&encode_key(feature, row))
+                        .expect("row was requested");
+                    for (d, v) in grad_bufs[owner][slot * dim..(slot + 1) * dim]
+                        .iter_mut()
+                        .zip(src)
+                    {
+                        *d += v;
+                    }
+                }
+            }
+        }
+        grad_bufs
+    }
+
+    /// Backward phase 2 (owner): merges each source's gradient contributions in
+    /// rank order, one batched merge per contiguous feature run (a per-row merge
+    /// would rebuild the pending CSR store once per key).
+    pub(crate) fn merge_grads(
+        &mut self,
+        routing: &LookupRouting,
+        incoming: Vec<Vec<f32>>,
+    ) -> Result<(), DistributedError> {
+        let dim = self.dim;
+        for (keys, grads) in routing.served_keys.iter().zip(incoming) {
+            let mut offset = 0usize;
+            for (feature, rows) in feature_runs(keys) {
+                let pos = self.feature_pos(feature);
+                let span = rows.len() * dim;
+                self.shards[pos].accumulate_row_grads(&rows, &grads[offset..offset + span])?;
+                offset += span;
+            }
+        }
+        Ok(())
+    }
+
+    // --- Blocking composition (sync schedule) -------------------------------
+
+    /// Fetches and pools embeddings for `bags` (aligned with `features`; one bag per
+    /// sample per feature) through `backend`, storing the routing for the matching
+    /// [`ShardedLookup::push_grads`]. Returns one `[num_samples, dim]` tensor per
+    /// feature.
+    pub(crate) fn fetch(
+        &mut self,
+        backend: &mut SharedMemoryBackend,
+        bags: &[&[Vec<usize>]],
+    ) -> Result<Vec<Tensor>, DistributedError> {
+        let requests = self.route(backend.world_size(), bags);
+        self.routing.request_keys = requests.clone();
+        let incoming = backend.all_to_all_indices(requests)?;
+        let replies = self.answer(&incoming)?;
+        self.routing.served_keys = incoming;
+        let fetched = backend.all_to_all(replies)?;
+        let routing = std::mem::take(&mut self.routing);
+        let out = self.pool(bags, &routing, &fetched);
+        self.routing = routing;
+        out
+    }
+
+    /// Pushes per-feature pooled-embedding gradients (aligned with `features` and
+    /// the preceding [`ShardedLookup::fetch`]) back to the row owners, which
+    /// accumulate them as pending sparse gradients.
+    pub(crate) fn push_grads(
+        &mut self,
+        backend: &mut SharedMemoryBackend,
+        bags: &[&[Vec<usize>]],
+        grads: &[Tensor],
+    ) -> Result<(), DistributedError> {
+        let routing = std::mem::take(&mut self.routing);
+        let grad_bufs = self.build_grad_bufs(bags, &routing, grads);
+        let incoming = backend.all_to_all(grad_bufs)?;
+        let result = self.merge_grads(&routing, incoming);
+        self.routing = routing;
+        result
+    }
+
+    pub(crate) fn apply_rowwise_adagrad(&mut self, learning_rate: f32, eps: f32) {
+        for shard in &mut self.shards {
+            shard.apply_rowwise_adagrad(learning_rate, eps);
+        }
+    }
+}
+
+/// The replicated dense stack: bottom MLP, feature interaction and over-arch.
+pub(crate) struct DenseStack {
+    arch: ModelArch,
+    bottom: Mlp,
+    dot: Option<DotInteraction>,
+    cross: Option<CrossNet>,
+    over: Mlp,
+    loss: BceWithLogitsLoss,
+    unit_width: usize,
+}
+
+impl DenseStack {
+    pub(crate) fn new(
+        seed: u64,
+        schema: &DatasetSchema,
+        arch: ModelArch,
+        hyper: &ModelHyperparams,
+        unit_width: usize,
+        num_units: usize,
+    ) -> Self {
+        use rand::SeedableRng;
+        // Every rank seeds identically: the stack is a data-parallel replica.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut bottom_sizes = vec![schema.num_dense];
+        bottom_sizes.extend(&hyper.bottom_mlp_hidden);
+        bottom_sizes.push(unit_width);
+        let bottom = Mlp::new(&mut rng, &bottom_sizes);
+        let interaction_width = unit_width * num_units;
+        let (dot, cross, over_input) = match arch {
+            ModelArch::Dlrm => {
+                let dot = DotInteraction::new(num_units, unit_width);
+                let over_input = unit_width + dot.output_dim();
+                (Some(dot), None, over_input)
+            }
+            ModelArch::Dcn => {
+                let cross = CrossNet::new(&mut rng, interaction_width, hyper.cross_layers.max(1));
+                (None, Some(cross), interaction_width)
+            }
+        };
+        let mut over_sizes = vec![over_input];
+        over_sizes.extend(&hyper.over_mlp_hidden);
+        over_sizes.push(1);
+        let over = Mlp::new(&mut rng, &over_sizes);
+        Self {
+            arch,
+            bottom,
+            dot,
+            cross,
+            over,
+            loss: BceWithLogitsLoss::new(),
+            unit_width,
+        }
+    }
+
+    /// Forward + backward over one local batch. Returns the mean loss and the
+    /// gradient with respect to the feature block. Parameter gradients
+    /// *accumulate* across calls (micro-batches) until `zero_grad`.
+    ///
+    /// `grad_scale` multiplies the loss gradient before it propagates (the loss
+    /// value is reported unscaled). The sync schedule passes `1.0` (a no-op,
+    /// preserving bit-identical behavior); the pipelined schedule passes
+    /// `mb_len * M / local_batch` so unequal micro-batches contribute to the
+    /// accumulated gradients in proportion to their sample counts — after the
+    /// final `1/M` averaging, the result is the exact per-sample mean over the
+    /// whole local batch.
+    pub(crate) fn forward_backward(
+        &mut self,
+        dense_input: &Tensor,
+        feature_block: &Tensor,
+        labels: &[f32],
+        grad_scale: f32,
+    ) -> Result<(f64, Tensor), DistributedError> {
+        let dense_repr = self.bottom.forward(dense_input)?;
+        let units = Tensor::concat_cols(&[&dense_repr, feature_block])?;
+        let over_input = match self.arch {
+            ModelArch::Dlrm => {
+                let dot = self
+                    .dot
+                    .as_mut()
+                    .expect("DLRM stacks own a dot interaction");
+                let pairs = dot.forward(&units)?;
+                Tensor::concat_cols(&[&dense_repr, &pairs])?
+            }
+            ModelArch::Dcn => self
+                .cross
+                .as_mut()
+                .expect("DCN stacks own a CrossNet")
+                .forward(&units)?,
+        };
+        let logits = self.over.forward(&over_input)?;
+        let (loss, _predictions, mut grad_logits) = self.loss.forward_backward(&logits, labels)?;
+        if grad_scale != 1.0 {
+            // Gradients are linear in the loss gradient, so scaling here scales
+            // every parameter gradient of this pass.
+            for v in grad_logits.data_mut() {
+                *v *= grad_scale;
+            }
+        }
+
+        let grad_over_input = self.over.backward(&grad_logits)?;
+        let (grad_dense_direct, grad_units) = match self.arch {
+            ModelArch::Dlrm => {
+                let dot = self
+                    .dot
+                    .as_mut()
+                    .expect("DLRM stacks own a dot interaction");
+                let pieces = grad_over_input.split_cols(&[self.unit_width, dot.output_dim()])?;
+                let grad_units = dot.backward(&pieces[1])?;
+                (Some(pieces[0].clone()), grad_units)
+            }
+            ModelArch::Dcn => (
+                None,
+                self.cross
+                    .as_mut()
+                    .expect("DCN stacks own a CrossNet")
+                    .backward(&grad_over_input)?,
+            ),
+        };
+        let feature_width = feature_block.shape()[1];
+        let pieces = grad_units.split_cols(&[self.unit_width, feature_width])?;
+        let mut grad_dense_repr = pieces[0].clone();
+        if let Some(direct) = grad_dense_direct {
+            grad_dense_repr.axpy(1.0, &direct)?;
+        }
+        self.bottom.backward(&grad_dense_repr)?;
+        Ok((loss, pieces[1].clone()))
+    }
+}
+
+impl HasParameters for DenseStack {
+    fn visit_parameters(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        self.bottom.visit_parameters(visitor);
+        if let Some(cross) = &mut self.cross {
+            cross.visit_parameters(visitor);
+        }
+        self.over.visit_parameters(visitor);
+    }
+}
+
+/// Flattens every parameter gradient reachable through `module` into one buffer —
+/// the payload of a gradient AllReduce.
+pub(crate) fn flatten_grads<M: HasParameters + ?Sized>(module: &mut M) -> Vec<f32> {
+    let mut flat = Vec::new();
+    module.visit_parameters(&mut |p| flat.extend_from_slice(p.grad.data()));
+    flat
+}
+
+/// Writes a reduced gradient buffer back into `module`'s parameters, scaling each
+/// element by `scale` (e.g. `1 / world` for data-parallel averaging, times `1 / M`
+/// under micro-batch accumulation).
+pub(crate) fn write_back_grads<M: HasParameters + ?Sized>(
+    module: &mut M,
+    flat: &[f32],
+    scale: f32,
+) {
+    let mut offset = 0;
+    module.visit_parameters(&mut |p| {
+        let n = p.len();
+        for (dst, src) in p.grad.data_mut().iter_mut().zip(&flat[offset..offset + n]) {
+            *dst = src * scale;
+        }
+        offset += n;
+    });
+}
+
+/// AllReduces and averages every parameter gradient reachable through `module` —
+/// the blocking (sync-schedule) composition of [`flatten_grads`] /
+/// [`write_back_grads`].
+pub(crate) fn sync_grads<M: HasParameters + ?Sized>(
+    module: &mut M,
+    backend: &mut SharedMemoryBackend,
+) -> Result<(), CommError> {
+    let mut flat = flatten_grads(module);
+    backend.all_reduce(&mut flat)?;
+    let scale = 1.0 / backend.world_size() as f32;
+    write_back_grads(module, &flat, scale);
+    Ok(())
+}
+
+/// Collects per-feature bag slices out of a batch, aligned with `features`.
+pub(crate) fn bags_for<'a>(batch: &'a Batch, features: &[usize]) -> Vec<&'a [Vec<usize>]> {
+    features
+        .iter()
+        .map(|&f| batch.sparse[f].as_slice())
+        .collect()
+}
+
+/// Scales every element of each gradient tensor by `scale` — micro-batch
+/// averaging for the sparse/tower gradients the AllReduce does not touch.
+pub(crate) fn scale_grads(grads: &mut [Tensor], scale: f32) {
+    for grad in grads {
+        for v in grad.data_mut() {
+            *v *= scale;
+        }
+    }
+}

@@ -13,7 +13,7 @@
 //!   counterpart: one `std::thread` per cluster rank, row-sharded embedding tables,
 //!   real AlltoAll/AllReduce exchanges over a [`dmt_comm::Backend`], tower modules
 //!   on their owning hosts, and measured per-segment [`dmt_commsim::IterationTimeline`]s
-//!   that [`distributed::calibrate`] lays side by side with the analytical model.
+//!   that [`distributed::calibrate()`] lays side by side with the analytical model.
 //! * **Real CPU quality training** ([`quality`]) — trains the actual
 //!   [`dmt_models::RecommendationModel`] on the synthetic Criteo-like dataset and
 //!   evaluates AUC, reproducing the methodology of Tables 2–6 (repeated seeds, median
@@ -43,6 +43,7 @@ pub mod simulation;
 
 pub use distributed::{
     CalibrationReport, DistributedConfig, DistributedError, ExecutionMode, MeasuredRun,
+    ScheduleMode,
 };
 pub use parallelism::{enumerate_parallelism_configs, ParallelismConfig, ParallelismKind};
 pub use quality::{QualityConfig, QualityResult};

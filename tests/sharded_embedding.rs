@@ -1,0 +1,161 @@
+//! Property tests: `ShardedEmbeddingTable` owner routing round-trips.
+//!
+//! The distributed engine's sharded lookup protocol is only correct if (a) every
+//! global row id maps to exactly one owner shard, whose local range actually
+//! contains it, and (b) fetching rows through the shards — route to owner, owner
+//! lookup, reassemble — is bit-identical to a single unsharded
+//! [`EmbeddingTable::lookup_rows`] over the same logical table. Both properties
+//! are checked over randomized table sizes, world sizes and request patterns.
+
+use dmt_nn::{EmbeddingTable, ShardedEmbeddingTable};
+use proptest::prelude::*;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds shard `w` of a logical `[rows, dim]` table such that its contents are
+/// bit-identical to rows `[lo, hi)` of the unsharded reference: the reference
+/// fills row-major from one rng stream, so the shard's rng is the same stream
+/// advanced past the `lo * dim` preceding draws (same distribution, same
+/// consumption).
+fn shard_matching_reference(
+    seed: u64,
+    rows: usize,
+    dim: usize,
+    world: usize,
+    w: usize,
+) -> ShardedEmbeddingTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bound = 1.0 / (dim as f32).sqrt();
+    let dist = Uniform::new_inclusive(-bound, bound);
+    let rows_per_shard = rows.div_ceil(world);
+    let lo = (w * rows_per_shard).min(rows);
+    for _ in 0..lo * dim {
+        let _: f32 = dist.sample(&mut rng);
+    }
+    ShardedEmbeddingTable::new(&mut rng, rows, dim, world, w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every global row id (including out-of-range ids, which wrap like the dense
+    /// table's hashing trick) maps to exactly one owner, and that owner's local
+    /// range contains it; the shards' local ranges partition the row space.
+    #[test]
+    fn every_row_has_exactly_one_owner(
+        rows in 1usize..200,
+        dim in 1usize..8,
+        world in 1usize..17,
+        seed in proptest::strategy::any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards: Vec<ShardedEmbeddingTable> = (0..world)
+            .map(|w| ShardedEmbeddingTable::new(&mut rng, rows, dim, world, w))
+            .collect();
+        // The local ranges partition [0, rows).
+        let mut covered = vec![0usize; rows];
+        for shard in &shards {
+            for r in shard.local_row_range() {
+                covered[r] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "ranges must partition: {covered:?}");
+        // Ownership agrees with the ranges, on every shard's view, for in-range
+        // and wrapped ids alike.
+        for raw in 0..rows * 2 {
+            let owner = shards[0].owner_of(raw);
+            prop_assert!(owner < world, "owner {owner} out of world {world}");
+            for shard in &shards {
+                prop_assert_eq!(shard.owner_of(raw), owner, "shards disagree on the owner");
+            }
+            prop_assert!(
+                shards[owner].local_row_range().contains(&(raw % rows)),
+                "owner {} does not hold row {} (rows {}, world {})",
+                owner, raw % rows, rows, world
+            );
+        }
+    }
+
+    /// Routing a random request through the shards (owner lookup + requester-side
+    /// reassembly, exactly the engine's protocol) returns bit-identical bytes to
+    /// one unsharded `EmbeddingTable::lookup_rows` over the same logical table.
+    #[test]
+    fn sharded_lookup_is_bit_identical_to_unsharded(
+        rows in 1usize..120,
+        dim in 1usize..8,
+        world in 1usize..9,
+        requests in 0usize..64,
+        seed in proptest::strategy::any::<u64>(),
+    ) {
+        let reference = EmbeddingTable::new(&mut StdRng::seed_from_u64(seed), rows, dim);
+        let shards: Vec<ShardedEmbeddingTable> = (0..world)
+            .map(|w| shard_matching_reference(seed, rows, dim, world, w))
+            .collect();
+
+        // Random request pattern, including duplicates and wrapped ids.
+        let mut req_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let request: Vec<usize> = (0..requests)
+            .map(|_| req_rng.gen_range(0..rows * 2))
+            .collect();
+
+        // The engine's protocol: per-owner request lists, owner-side batched
+        // lookups, requester-side reassembly in request order.
+        let mut per_owner: Vec<Vec<usize>> = vec![Vec::new(); world];
+        for &raw in &request {
+            per_owner[shards[0].owner_of(raw)].push(raw);
+        }
+        let replies: Vec<Vec<f32>> = shards
+            .iter()
+            .enumerate()
+            .map(|(w, shard)| shard.lookup_rows(&per_owner[w]).expect("owned rows"))
+            .collect();
+        let mut cursors = vec![0usize; world];
+        let mut reassembled = Vec::with_capacity(request.len() * dim);
+        for &raw in &request {
+            let owner = shards[0].owner_of(raw);
+            let at = cursors[owner];
+            reassembled.extend_from_slice(&replies[owner][at * dim..(at + 1) * dim]);
+            cursors[owner] += 1;
+        }
+
+        let direct = reference.lookup_rows(
+            &request.iter().map(|&r| r % rows).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(reassembled.len(), direct.len());
+        for (i, (a, b)) in reassembled.iter().zip(&direct).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "element {} differs", i);
+        }
+    }
+
+    /// Gradients pushed through owner routing land on the same rows the unsharded
+    /// table would touch: the shards' pending-row total equals the number of
+    /// distinct requested rows.
+    #[test]
+    fn grad_routing_touches_each_requested_row_once(
+        rows in 1usize..100,
+        world in 1usize..9,
+        requests in 1usize..40,
+        seed in proptest::strategy::any::<u64>(),
+    ) {
+        let dim = 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shards: Vec<ShardedEmbeddingTable> = (0..world)
+            .map(|w| ShardedEmbeddingTable::new(&mut rng, rows, dim, world, w))
+            .collect();
+        let mut req_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut request: Vec<usize> = (0..requests)
+            .map(|_| req_rng.gen_range(0..rows))
+            .collect();
+        request.sort_unstable();
+        request.dedup();
+        for &row in &request {
+            let owner = shards[0].owner_of(row);
+            shards[owner]
+                .accumulate_row_grads(&[row], &vec![1.0f32; dim])
+                .expect("owned row");
+        }
+        let pending: usize = shards.iter().map(ShardedEmbeddingTable::pending_rows).sum();
+        prop_assert_eq!(pending, request.len());
+    }
+}
