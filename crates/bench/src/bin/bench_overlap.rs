@@ -16,9 +16,13 @@
 //!
 //! Run with `cargo run --release -p dmt-bench --bin bench_overlap` (add `--quick`
 //! for the CI-friendly shorter measurement — same ops and shapes, fewer
-//! iterations, so the gate can always match entries).
+//! iterations, so the gate can always match entries). `--wire-precision
+//! <fp32|fp16|fp8|int8>` selects the on-wire codec of the quantizable exchanges;
+//! non-FP32 runs write `BENCH_overlap_<precision>.json` so each precision gates
+//! against its own committed baseline.
 
 use dmt_comm::FabricProfile;
+use dmt_commsim::Quantization;
 use dmt_models::ModelArch;
 use dmt_topology::{ClusterTopology, HardwareGeneration};
 use dmt_trainer::distributed::{
@@ -34,12 +38,16 @@ struct OverlapResult {
     op: String,
     /// Cluster / batch / fabric shape label.
     shape: String,
+    /// Wire precision of the quantizable exchanges.
+    wire: String,
     /// Wall-clock nanoseconds per iteration (slowest rank).
     ns_per_iter: f64,
     /// Fraction of communication hidden behind compute, in percent.
     hidden_comm_pct: f64,
     /// Exposed communication milliseconds per iteration.
     exposed_comm_ms: f64,
+    /// Mean per-rank cross-host bytes per iteration.
+    cross_host_bytes: u64,
     /// Iterations measured.
     iters: u64,
 }
@@ -50,35 +58,60 @@ const FABRIC_SLOWDOWN: f64 = 8_000.0;
 /// Per-rank batch: large enough that compute is worth hiding transfers behind.
 const LOCAL_BATCH: usize = 384;
 
+/// Parses the `--wire-precision` flag (FP32 when absent).
+fn wire_precision() -> Quantization {
+    dmt_bench::arg_value("wire-precision").map_or(Quantization::Fp32, |v| {
+        v.parse()
+            .unwrap_or_else(|e| panic!("--wire-precision: {e}"))
+    })
+}
+
 fn main() -> ExitCode {
     let quick = dmt_bench::quick_mode();
+    let wire = wire_precision();
     let iterations = if quick { 4 } else { 8 };
     let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4).expect("2x4 cluster");
     let fabric = FabricProfile::from_cluster(&cluster, FABRIC_SLOWDOWN);
     let base_cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm)
         .with_iterations(iterations)
         .with_local_batch(LOCAL_BATCH)
-        .with_fabric(fabric);
+        .with_fabric(fabric)
+        .with_wire_precision(wire);
     let shape = format!("2x4 b{LOCAL_BATCH} f{FABRIC_SLOWDOWN:.0}");
+    let out_file = if wire == Quantization::Fp32 {
+        "BENCH_overlap.json".to_string()
+    } else {
+        format!("BENCH_overlap_{wire}.json")
+    };
 
-    dmt_bench::header("Pipelined overlap engine (see BENCH_overlap.json)");
+    dmt_bench::header(&format!(
+        "Pipelined overlap engine, {wire} wire (see {out_file})"
+    ));
     println!(
-        "{:<26} {:>18} {:>14} {:>12} {:>14}",
-        "op", "shape", "ns/iter", "hidden %", "exposed ms"
+        "{:<26} {:>18} {:>6} {:>14} {:>12} {:>14} {:>12}",
+        "op", "shape", "wire", "ns/iter", "hidden %", "exposed ms", "cross KiB"
     );
     let mut results: Vec<OverlapResult> = Vec::new();
     let mut record = |op: &str, run: &MeasuredRun| {
         let entry = OverlapResult {
             op: op.to_string(),
             shape: shape.clone(),
+            wire: wire.to_string(),
             ns_per_iter: run.wall_s_per_iter * 1e9,
             hidden_comm_pct: run.hidden_comm_fraction() * 100.0,
             exposed_comm_ms: run.exposed_comm_s() * 1e3,
+            cross_host_bytes: run.cross_host_bytes(),
             iters: iterations as u64,
         };
         println!(
-            "{:<26} {:>18} {:>14.0} {:>11.1}% {:>14.2}",
-            entry.op, entry.shape, entry.ns_per_iter, entry.hidden_comm_pct, entry.exposed_comm_ms
+            "{:<26} {:>18} {:>6} {:>14.0} {:>11.1}% {:>14.2} {:>12.1}",
+            entry.op,
+            entry.shape,
+            entry.wire,
+            entry.ns_per_iter,
+            entry.hidden_comm_pct,
+            entry.exposed_comm_ms,
+            entry.cross_host_bytes as f64 / 1024.0
         );
         results.push(entry);
     };
@@ -109,8 +142,8 @@ fn main() -> ExitCode {
     );
 
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
-    std::fs::write("BENCH_overlap.json", &json).expect("write BENCH_overlap.json");
-    println!("[results written to BENCH_overlap.json]");
+    std::fs::write(&out_file, &json).unwrap_or_else(|e| panic!("write {out_file}: {e}"));
+    println!("[results written to {out_file}]");
 
     // The overlap claims themselves, gated. Thresholds leave room for the shared
     // CI box's scheduler noise while still requiring a real effect.

@@ -126,6 +126,14 @@ pub enum CommError {
     /// in flight. Surfaced through [`PendingOp`] handles instead of the panic the
     /// blocking path raises, so a pipelined caller can unwind cleanly.
     Aborted,
+    /// A quantized payload could not be decoded: the received wire-word count does
+    /// not match the element count the receiver expected (see [`crate::codec`]).
+    Decode {
+        /// Wire words the receiver's element count implies.
+        expected_words: usize,
+        /// Wire words actually received.
+        got_words: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -146,6 +154,15 @@ impl fmt::Display for CommError {
             }
             CommError::Aborted => {
                 write!(f, "collective aborted: a peer rank exited mid-iteration")
+            }
+            CommError::Decode {
+                expected_words,
+                got_words,
+            } => {
+                write!(
+                    f,
+                    "quantized payload of {got_words} wire words does not match the expected {expected_words}"
+                )
             }
         }
     }
@@ -215,6 +232,30 @@ pub trait Backend {
     /// fails an all_gather.
     fn all_gather(&mut self, shard: &[f32]) -> Result<Vec<f32>, CommError>;
 
+    /// [`Backend::all_reduce`] with the operands carried at `wire` precision: each
+    /// rank's contribution is rounded through the [`crate::codec`] once before it
+    /// is combined, and implementations with a native quantized path (the
+    /// shared-memory backend) move — and account — only the encoded bytes.
+    /// Accumulation stays in `f32` (one rounding per contribution, rank-ordered
+    /// fold), so results remain bit-identical across runs. `WireFormat::Fp32` is
+    /// exactly [`Backend::all_reduce`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Backend::all_reduce`], plus [`CommError::Decode`] if a
+    /// peer's encoded contribution does not match the buffer's element count.
+    fn all_reduce_cast(
+        &mut self,
+        buf: &mut [f32],
+        wire: crate::codec::WireFormat,
+    ) -> Result<(), CommError> {
+        // Default: apply the codec's rounding, move full-precision bytes. This is
+        // value-identical to the native path (each contribution is rounded once,
+        // then folded in rank order); only the byte accounting differs.
+        crate::codec::round_trip(wire, buf);
+        self.all_reduce(buf)
+    }
+
     /// Returns the records of every collective executed since the last drain, in
     /// execution order, clearing the log.
     ///
@@ -248,6 +289,15 @@ pub trait Backend {
     /// owns it while in flight) and returns the reduced buffer through the handle.
     fn all_reduce_nonblocking(&mut self, mut buf: Vec<f32>) -> PendingOp<Vec<f32>> {
         PendingOp::ready(self.all_reduce(&mut buf).map(|()| buf))
+    }
+
+    /// Nonblocking [`Backend::all_reduce_cast`].
+    fn all_reduce_cast_nonblocking(
+        &mut self,
+        mut buf: Vec<f32>,
+        wire: crate::codec::WireFormat,
+    ) -> PendingOp<Vec<f32>> {
+        PendingOp::ready(self.all_reduce_cast(&mut buf, wire).map(|()| buf))
     }
 
     /// Nonblocking [`Backend::reduce_scatter`].

@@ -52,11 +52,13 @@
 #![deny(missing_docs)]
 
 pub mod backend;
+pub mod codec;
 pub mod fabric;
 pub mod pending;
 pub mod shmem;
 
 pub use backend::{Backend, CommError, CommOp, OpRecord};
+pub use codec::WireFormat;
 pub use fabric::FabricProfile;
 pub use pending::PendingOp;
 pub use shmem::{comm_clock_s, SharedMemoryBackend, SharedMemoryComm};

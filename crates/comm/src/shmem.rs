@@ -380,6 +380,52 @@ impl OpCore {
         Ok(received)
     }
 
+    /// Quantized AllReduce: each rank deposits its contribution *encoded* at
+    /// `wire` precision, every rank decodes all contributions and folds them in
+    /// rank order at `f32`. One rounding per contribution — the semantics of a
+    /// quantized-wire collective with full-precision accumulation — and the byte
+    /// accounting (and fabric pacing) sees only the encoded ring traffic.
+    fn all_reduce_cast(
+        &self,
+        buf: Vec<f32>,
+        wire: crate::codec::WireFormat,
+        issued_at: Instant,
+    ) -> Result<Vec<f32>, CommError> {
+        if wire.is_identity() {
+            return self.all_reduce(buf, issued_at);
+        }
+        let len = buf.len();
+        let encoded = crate::codec::encode(wire, buf);
+        let (all, transfer_start) = self.floats.exchange(self.rank, vec![encoded]);
+        // Ranks must agree on the element count; encoded word counts are a pure
+        // function of it, so checking them keeps the error symmetric.
+        let lengths: Vec<usize> = all.iter().map(|from| from[0].len()).collect();
+        if lengths.iter().any(|&l| l != wire.encoded_words(len)) {
+            return Err(CommError::LengthMismatch {
+                op: CommOp::AllReduce,
+                lengths,
+            });
+        }
+        let mut out = vec![0.0f32; len];
+        for from in all.iter() {
+            let contribution = crate::codec::decode(wire, from[0].clone(), len)?;
+            for (acc, v) in out.iter_mut().zip(&contribution) {
+                *acc += v;
+            }
+        }
+        let payload = wire.encoded_bytes(len);
+        let (cross, intra) = self.classify_ring(ring_bytes(payload, self.world, 2));
+        self.finish(
+            CommOp::AllReduce,
+            payload,
+            cross,
+            intra,
+            transfer_start,
+            issued_at,
+        );
+        Ok(out)
+    }
+
     fn all_reduce(&self, buf: Vec<f32>, issued_at: Instant) -> Result<Vec<f32>, CommError> {
         let len = buf.len();
         let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf]);
@@ -644,6 +690,22 @@ impl Backend for SharedMemoryBackend {
         Ok(())
     }
 
+    fn all_reduce_cast(
+        &mut self,
+        buf: &mut [f32],
+        wire: crate::codec::WireFormat,
+    ) -> Result<(), CommError> {
+        let out = if self.routed() {
+            self.all_reduce_cast_nonblocking(buf.to_vec(), wire)
+                .wait()?
+        } else {
+            self.core
+                .all_reduce_cast(buf.to_vec(), wire, Instant::now())?
+        };
+        buf.copy_from_slice(&out);
+        Ok(())
+    }
+
     fn reduce_scatter(&mut self, buf: &[f32]) -> Result<Vec<f32>, CommError> {
         if self.routed() {
             return self.reduce_scatter_nonblocking(buf.to_vec()).wait();
@@ -675,6 +737,15 @@ impl Backend for SharedMemoryBackend {
     fn all_reduce_nonblocking(&mut self, buf: Vec<f32>) -> PendingOp<Vec<f32>> {
         let issued_at = Instant::now();
         self.enqueue(move |core| core.all_reduce(buf, issued_at))
+    }
+
+    fn all_reduce_cast_nonblocking(
+        &mut self,
+        buf: Vec<f32>,
+        wire: crate::codec::WireFormat,
+    ) -> PendingOp<Vec<f32>> {
+        let issued_at = Instant::now();
+        self.enqueue(move |core| core.all_reduce_cast(buf, wire, issued_at))
     }
 
     fn reduce_scatter_nonblocking(&mut self, buf: Vec<f32>) -> PendingOp<Vec<f32>> {
@@ -939,6 +1010,71 @@ mod tests {
             assert_eq!(record.payload_bytes, 8, "two f32 contributed per rank");
             // The ring still forwards the full 4-rank output.
             assert_eq!(record.wire_bytes(), 8 * world as u64 * 3 / 4);
+        }
+    }
+
+    #[test]
+    fn quantized_all_reduce_halves_the_wire_and_bounds_the_error() {
+        use crate::codec::WireFormat;
+        let world = 4;
+        let len = 1000usize;
+        let run = |wire: WireFormat| {
+            let handles = SharedMemoryComm::handles(world).unwrap();
+            run_world(handles, move |b| {
+                let mut buf: Vec<f32> = (0..len)
+                    .map(|i| (i as f32 * 0.01 - 3.0) * (b.rank() as f32 + 1.0))
+                    .collect();
+                b.all_reduce_cast(&mut buf, wire).unwrap();
+                (buf, b.drain_records().pop().unwrap())
+            })
+        };
+        let fp32 = run(WireFormat::Fp32);
+        let fp16 = run(WireFormat::Fp16);
+        for ((exact, r32), (quant, r16)) in fp32.iter().zip(&fp16) {
+            assert_eq!(r16.payload_bytes, WireFormat::Fp16.encoded_bytes(len));
+            assert_eq!(r16.payload_bytes * 2, r32.payload_bytes);
+            assert_eq!(r16.wire_bytes() * 2, r32.wire_bytes());
+            // One fp16 rounding per contribution: error bounded by the sum of the
+            // per-contribution bounds.
+            let bound: f32 = (1..=world as u32)
+                .map(|r| WireFormat::Fp16.max_abs_error(7.0 * r as f32))
+                .sum();
+            for (e, q) in exact.iter().zip(quant) {
+                assert!((e - q).abs() <= bound, "{e} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_all_reduce_is_deterministic_across_runs() {
+        use crate::codec::WireFormat;
+        let world = 3;
+        let run = || {
+            let handles = SharedMemoryComm::handles(world).unwrap();
+            run_world(handles, |b| {
+                let mut buf = vec![0.1f32 * (b.rank() as f32 + 1.0); 17];
+                b.all_reduce_cast(&mut buf, WireFormat::Int8).unwrap();
+                buf.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quantized_all_reduce_at_fp32_is_the_plain_collective() {
+        use crate::codec::WireFormat;
+        let world = 2;
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let results = run_world(handles, |b| {
+            let mut cast = vec![1.25f32; 5];
+            b.all_reduce_cast(&mut cast, WireFormat::Fp32).unwrap();
+            let mut plain = vec![1.25f32; 5];
+            b.all_reduce(&mut plain).unwrap();
+            (cast, plain, b.drain_records())
+        });
+        for (cast, plain, records) in results {
+            assert_eq!(cast, plain);
+            assert_eq!(records[0].payload_bytes, records[1].payload_bytes);
         }
     }
 

@@ -48,6 +48,24 @@ impl Quantization {
     }
 }
 
+impl std::str::FromStr for Quantization {
+    type Err = String;
+
+    /// Parses the [`fmt::Display`] names (`fp32` | `fp16` | `fp8` | `int8`) —
+    /// the flag vocabulary of every `--wire-precision` CLI.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fp32" => Ok(Quantization::Fp32),
+            "fp16" => Ok(Quantization::Fp16),
+            "fp8" => Ok(Quantization::Fp8),
+            "int8" => Ok(Quantization::Int8),
+            other => Err(format!(
+                "unknown wire precision `{other}` (expected fp32|fp16|fp8|int8)"
+            )),
+        }
+    }
+}
+
 impl fmt::Display for Quantization {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -86,5 +104,18 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(Quantization::Fp8.to_string(), "fp8");
+    }
+
+    #[test]
+    fn parsing_round_trips_the_display_names() {
+        for quant in [
+            Quantization::Fp32,
+            Quantization::Fp16,
+            Quantization::Fp8,
+            Quantization::Int8,
+        ] {
+            assert_eq!(quant.to_string().parse::<Quantization>(), Ok(quant));
+        }
+        assert!("bf16".parse::<Quantization>().is_err());
     }
 }

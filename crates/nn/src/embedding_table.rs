@@ -291,10 +291,18 @@ impl EmbeddingTable {
     #[must_use]
     pub fn lookup_rows(&self, rows: &[usize]) -> Vec<f32> {
         let mut out = Vec::with_capacity(rows.len() * self.dim);
+        self.lookup_rows_into(rows, &mut out);
+        out
+    }
+
+    /// [`EmbeddingTable::lookup_rows`] appending into a caller-owned buffer —
+    /// the allocation-free form the distributed answer path uses to assemble one
+    /// reply across many feature runs.
+    pub fn lookup_rows_into(&self, rows: &[usize], out: &mut Vec<f32>) {
+        out.reserve(rows.len() * self.dim);
         for &raw in rows {
             out.extend_from_slice(self.row(raw % self.num_embeddings));
         }
-        out
     }
 
     /// Accumulates externally computed per-row gradients into the pending sparse

@@ -127,13 +127,29 @@ impl ShardedEmbeddingTable {
     ///
     /// Returns a [`TensorError`] if any row is outside this shard's range.
     pub fn lookup_rows(&self, global_rows: &[usize]) -> Result<Vec<f32>, TensorError> {
+        let mut out = Vec::new();
+        self.lookup_rows_into(global_rows, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ShardedEmbeddingTable::lookup_rows`] appending into a caller-owned
+    /// buffer, so an answer spanning many feature runs fills one reply buffer
+    /// without intermediate allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if any row is outside this shard's range.
+    pub fn lookup_rows_into(
+        &self,
+        global_rows: &[usize],
+        out: &mut Vec<f32>,
+    ) -> Result<(), TensorError> {
         let range = self.local_row_range();
         let local = self.localize(global_rows, &range)?;
-        Ok(self
-            .shard
-            .as_ref()
-            .map(|t| t.lookup_rows(&local))
-            .unwrap_or_default())
+        if let Some(table) = &self.shard {
+            table.lookup_rows_into(&local, out);
+        }
+        Ok(())
     }
 
     /// Accumulates per-row gradients (flat `[rows.len(), dim]`, aligned with

@@ -2,20 +2,40 @@
 //! timelines side by side with the analytical simulator's predictions.
 //!
 //! Run with: `cargo run --release -p dmt-trainer --example distributed_calibration`
+//! (add `--wire-precision <fp32|fp16|fp8|int8>` to quantize the `f32` exchanges
+//! on the wire).
 
 use dmt_comm::FabricProfile;
+use dmt_commsim::Quantization;
 use dmt_models::ModelArch;
 use dmt_topology::{ClusterTopology, HardwareGeneration};
 use dmt_trainer::distributed::{calibrate, CalibrationReport, DistributedConfig};
+
+/// Parses the `--wire-precision` flag (FP32 when absent).
+fn wire_precision() -> Quantization {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--wire-precision" {
+            let value = args.next().unwrap_or_else(|| "fp32".into());
+            return value
+                .parse()
+                .unwrap_or_else(|e| panic!("--wire-precision: {e}"));
+        }
+    }
+    Quantization::Fp32
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 8 ranks as 2 hosts x 4 GPUs, fabric paced to A100 link bandwidths slowed
     // 30000x so wire time dominates thread-scheduling noise.
     let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4)?;
     let fabric = FabricProfile::from_cluster(&cluster, 30_000.0);
+    let wire = wire_precision();
     let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm)
         .with_iterations(3)
-        .with_fabric(fabric);
+        .with_fabric(fabric)
+        .with_wire_precision(wire);
+    println!("wire precision: {wire}\n");
     let report = calibrate(&cfg)?;
 
     for (name, run, predicted) in [

@@ -1,27 +1,40 @@
-//! One rank of the hybrid-parallel baseline, in both schedules.
+//! Lowering of the hybrid-parallel baseline onto the iteration-graph IR.
 //!
-//! * [`ScheduleMode::Sync`] — the original engine, preserved bit-identically:
-//!   every collective blocks, one full-batch pass per iteration.
-//! * [`ScheduleMode::Pipelined`] — the iteration is split into micro-batches and
-//!   rebuilt as a [`StageGraph`]: micro-batch `b+1`'s index and row-fetch
-//!   AlltoAlls run (on the comm helper thread) while micro-batch `b` computes,
-//!   and the dense AllReduce overlaps the embedding backward merges.
+//! One set of node bodies covers both schedules; the schedule only changes the
+//! *order* the nodes are emitted in (see [`super::graph`]):
+//!
+//! * [`ScheduleMode::Sync`] — one micro-batch, every `claim` node directly after
+//!   its `issue` node: blocking semantics, bit-identical to the original
+//!   hand-written engine (the golden-value regression test pins it).
+//! * [`ScheduleMode::Pipelined`] — every micro-batch's index exchange is
+//!   prefetched, the answer/compute chains interleave so micro-batch `b+1`'s
+//!   transfers ride under micro-batch `b`'s compute, and the dense AllReduce
+//!   overlaps the embedding-gradient merges.
+//!
+//! When the configured wire precision is below FP32 the lowering inserts
+//! [`OpKind::Quantize`] nodes before the row-fetch and gradient issue nodes and
+//! [`OpKind::Dequantize`] nodes after the matching claim nodes (the codec packs
+//! the payloads into reduced-precision wire words); the dense AllReduce runs as
+//! a quantized-wire collective — the codec is part of the collective itself,
+//! NCCL-datatype-style, so no separate codec node appears around it.
 
 use super::config::{DistributedConfig, DistributedError, ScheduleMode};
-use super::measure::{
-    accumulate, wait_logged, zip_world, CommScope, RankOutcome, Recorder, SegmentSample, WaitEntry,
+use super::executor::{self, IterationStats, RankLowering};
+use super::graph::{decode_shards, encode_shards, IterationGraph, NodeMeta, OpKind};
+use super::measure::{wait_logged, CommScope, RankOutcome, WaitEntry};
+use super::model::{
+    bags_for, flatten_grads, scale_grads, write_back_grads, DenseStack, LookupRouting,
+    ShardedLookup,
 };
-use super::model::{bags_for, scale_grads, sync_grads, DenseStack, ShardedLookup};
-use super::pipeline::StageGraph;
 use super::RankComms;
-use crate::distributed::model::{flatten_grads, write_back_grads};
-use dmt_comm::{Backend, PendingOp};
+use dmt_comm::codec::WireFormat;
+use dmt_comm::{Backend, PendingOp, SharedMemoryBackend};
 use dmt_commsim::SegmentKind;
-use dmt_data::{Batch, SyntheticClickDataset};
+use dmt_data::Batch;
+use dmt_metrics::auc::roc_auc;
 use dmt_nn::param::HasParameters;
 use dmt_nn::{AdamOptimizer, Optimizer};
 use dmt_tensor::Tensor;
-use std::time::Instant;
 
 /// One rank of the hybrid-parallel baseline.
 pub(crate) fn baseline_rank(
@@ -29,403 +42,555 @@ pub(crate) fn baseline_rank(
     rank: usize,
     comm: &mut RankComms,
 ) -> Result<RankOutcome, DistributedError> {
-    let schema = &config.schema;
-    let n = config.hyper.embedding_dim;
-    let world = config.cluster.world_size();
-    let mut data =
-        SyntheticClickDataset::new(schema.clone(), config.seed ^ ((rank as u64 + 1) << 16));
-    let mut lookup = ShardedLookup::new(
-        config.seed,
-        schema,
-        (0..schema.num_sparse()).collect(),
-        n,
-        world,
-        rank,
-    );
-    let mut dense = DenseStack::new(
-        config.seed,
-        schema,
-        config.arch,
-        &config.hyper,
-        n,
-        schema.num_sparse() + 1,
-    );
-    let mut adam = AdamOptimizer::new(config.learning_rate);
-    match config.schedule {
-        ScheduleMode::Sync => {
-            baseline_sync(config, &mut data, &mut lookup, &mut dense, &mut adam, comm)
-        }
-        ScheduleMode::Pipelined => {
-            baseline_pipelined(config, &mut data, &mut lookup, &mut dense, &mut adam, comm)
-        }
-    }
+    let mut lowering = BaselineLowering::new(config, rank);
+    executor::run_rank(config, rank, comm, &mut lowering)
 }
 
-/// The original blocking iteration — the bit-identical semantic reference.
-fn baseline_sync(
-    config: &DistributedConfig,
-    data: &mut SyntheticClickDataset,
-    lookup: &mut ShardedLookup,
-    dense: &mut DenseStack,
-    adam: &mut AdamOptimizer,
-    comm: &mut RankComms,
-) -> Result<RankOutcome, DistributedError> {
-    let schema = &config.schema;
-    let n = config.hyper.embedding_dim;
-    let features: Vec<usize> = (0..schema.num_sparse()).collect();
+/// Rank-local state of the baseline lowering: globally sharded tables and the
+/// replicated dense stack.
+struct BaselineLowering {
+    schedule: ScheduleMode,
+    wire: WireFormat,
+    features: Vec<usize>,
+    n: usize,
+    num_dense: usize,
+    local_batch: usize,
+    learning_rate: f32,
+    lookup: ShardedLookup,
+    dense: DenseStack,
+    adam: AdamOptimizer,
+}
 
-    let mut totals = Vec::new();
-    let mut losses = Vec::new();
-    let mut wall_s = 0.0;
-    for _ in 0..config.iterations {
-        let iter_start = Instant::now();
-        let mut rec = Recorder::default();
-        HasParameters::zero_grad(dense);
-        let batch = data.next_batch(config.local_batch);
-        let bags = bags_for(&batch, &features);
-
-        // Forward: global index + row-fetch exchanges, then requester-side pooling.
-        // The fetch runs two collectives; they are split into the simulator's two
-        // segments from the drained records.
-        let feature_embs = {
-            let out = lookup.fetch(&mut comm.global, &bags)?;
-            let records = comm.global.drain_records();
-            debug_assert_eq!(records.len(), 2);
-            let (idx, rows) = (&records[0], &records[1]);
-            rec.samples.push(SegmentSample::from_record(
-                "feature distribution AlltoAll",
-                SegmentKind::EmbeddingComm,
-                CommScope::Global,
-                idx,
-                idx.elapsed_s,
-            ));
-            rec.samples.push(SegmentSample::from_record(
-                "embedding row fetch AlltoAll (fwd)",
-                SegmentKind::EmbeddingComm,
-                CommScope::Global,
-                rows,
-                rows.elapsed_s,
-            ));
-            out
-        };
-        let refs: Vec<&Tensor> = feature_embs.iter().collect();
-        let feature_block = Tensor::concat_cols(&refs)?;
-        let dense_input =
-            Tensor::from_vec(vec![batch.len(), schema.num_dense], batch.dense_flat())?;
-        let (loss, grad_block) =
-            dense.forward_backward(&dense_input, &feature_block, &batch.labels, 1.0)?;
-        losses.push(loss);
-
-        // Backward: per-feature gradients travel back to the row owners.
-        let grads = grad_block.split_cols(&vec![n; schema.num_sparse()])?;
-        lookup.push_grads(&mut comm.global, &bags, &grads)?;
-        rec.record_drained(
-            "embedding gradient AlltoAll (bwd)",
-            SegmentKind::EmbeddingComm,
-            CommScope::Global,
-            &mut comm.global,
+impl BaselineLowering {
+    fn new(config: &DistributedConfig, rank: usize) -> Self {
+        let schema = &config.schema;
+        let n = config.hyper.embedding_dim;
+        let world = config.cluster.world_size();
+        let lookup = ShardedLookup::new(
+            config.seed,
+            schema,
+            (0..schema.num_sparse()).collect(),
+            n,
+            world,
+            rank,
         );
-
-        rec.comm(
-            "dense gradient AllReduce",
-            SegmentKind::DenseSync,
-            CommScope::Global,
-            &mut comm.global,
-            |backend| sync_grads(dense, backend),
-        )?;
-
-        let opt_start = Instant::now();
-        adam.step(dense);
-        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
-        let opt_s = opt_start.elapsed().as_secs_f64();
-
-        let comm_s: f64 = rec.samples.iter().map(|s| s.time_s).sum();
-        let iter_s = iter_start.elapsed().as_secs_f64();
-        let compute_s = (iter_s - comm_s - opt_s).max(0.0);
-        rec.push_compute("optimizer + host overhead", SegmentKind::Other, opt_s);
-        let mut samples = vec![SegmentSample::compute(
-            "dense + sparse compute",
-            SegmentKind::Compute,
-            compute_s,
-        )];
-        samples.extend(rec.samples);
-        accumulate(&mut totals, samples);
-        wall_s += iter_s;
+        let dense = DenseStack::new(
+            config.seed,
+            schema,
+            config.arch,
+            &config.hyper,
+            n,
+            schema.num_sparse() + 1,
+        );
+        Self {
+            schedule: config.schedule,
+            wire: config.wire_format(),
+            features: (0..schema.num_sparse()).collect(),
+            n,
+            num_dense: schema.num_dense,
+            local_batch: config.local_batch,
+            learning_rate: config.learning_rate,
+            lookup,
+            dense,
+            adam: AdamOptimizer::new(config.learning_rate),
+        }
     }
-    Ok(RankOutcome {
-        segments: totals,
-        losses,
-        wall_s,
-    })
 }
 
-/// Per-micro-batch pipeline state: the sub-batch plus whatever is in flight.
-struct MicroBatch {
+/// Per-micro-batch pipeline state threaded between the graph's nodes. The
+/// staging fields (`replies`, `fetched`, `grad_bufs`, `incoming`) are how
+/// payloads cross node boundaries — and where the inserted `Quantize` /
+/// `Dequantize` nodes transcode them in place.
+struct Mb {
     batch: Batch,
-    routing: super::model::LookupRouting,
+    routing: LookupRouting,
+    replies: Vec<Vec<f32>>,
+    fetched: Vec<Vec<f32>>,
+    grad_bufs: Vec<Vec<f32>>,
+    incoming: Vec<Vec<f32>>,
     idx_op: Option<PendingOp<Vec<Vec<u64>>>>,
     rows_op: Option<PendingOp<Vec<Vec<f32>>>>,
     grads_op: Option<PendingOp<Vec<Vec<f32>>>>,
 }
 
-/// The double-buffered pipelined iteration: micro-batch `b+1`'s exchanges overlap
-/// micro-batch `b`'s compute, and the dense AllReduce overlaps the embedding
-/// backward. Deterministic, but numerically distinct from sync (micro-batched
-/// gradient accumulation).
-fn baseline_pipelined(
-    config: &DistributedConfig,
-    data: &mut SyntheticClickDataset,
-    lookup: &mut ShardedLookup,
-    dense: &mut DenseStack,
-    adam: &mut AdamOptimizer,
-    comm: &mut RankComms,
-) -> Result<RankOutcome, DistributedError> {
-    let schema = &config.schema;
-    let n = config.hyper.embedding_dim;
-    let features: Vec<usize> = (0..schema.num_sparse()).collect();
-    let m = config.effective_micro_batches();
-    let inv_m = 1.0 / m as f32;
-    let world = config.cluster.world_size();
+/// Everything one lowered iteration mutates.
+struct Ctx<'a> {
+    low: &'a mut BaselineLowering,
+    global: &'a mut SharedMemoryBackend,
+    waits: &'a mut Vec<WaitEntry>,
+    mbs: Vec<Mb>,
+    allreduce: Option<PendingOp<Vec<f32>>>,
+    inv_m: f32,
+    loss_sum: f64,
+    scores: Vec<f32>,
+    labels: Vec<f32>,
+}
 
-    /// Everything one pipelined iteration mutates, threaded through the stages.
-    struct Ctx<'a> {
-        lookup: &'a mut ShardedLookup,
-        dense: &'a mut DenseStack,
-        global: &'a mut dmt_comm::SharedMemoryBackend,
-        features: &'a [usize],
-        n: usize,
-        num_dense: usize,
-        inv_m: f32,
-        local_batch: usize,
-        mbs: Vec<MicroBatch>,
-        allreduce: Option<PendingOp<Vec<f32>>>,
-        waits: Vec<WaitEntry>,
-        loss_sum: f64,
+type Id = super::StageId;
+
+// Node builders: each emits one graph node for micro-batch `b`. The closures
+// capture only copies, so the same builders serve both schedule orderings.
+
+fn add_route<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::IndexExchange,
+            label: "route + issue index AlltoAll",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let requests = {
+                let mb = &ctx.mbs[b];
+                let bags = bags_for(&mb.batch, &ctx.low.features);
+                ctx.low.lookup.route(ctx.global.world_size(), &bags)
+            };
+            ctx.mbs[b].routing.request_keys = requests.clone();
+            ctx.mbs[b].idx_op = Some(ctx.global.all_to_all_indices_nonblocking(requests));
+            Ok(())
+        },
+    )
+}
+
+fn add_answer<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::EmbeddingLookup,
+            label: "claim indices + answer",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b].idx_op.take().expect("index op issued");
+            let incoming = wait_logged(
+                op,
+                ctx.waits,
+                "feature distribution AlltoAll",
+                SegmentKind::EmbeddingComm,
+                CommScope::Global,
+            )?;
+            ctx.mbs[b].replies = ctx.low.lookup.answer(&incoming)?;
+            ctx.mbs[b].routing.served_keys = incoming;
+            Ok(())
+        },
+    )
+}
+
+/// Inserted only at sub-FP32 precisions: encodes the staged reply rows into
+/// wire words before the exchange node sends them.
+fn add_quantize_rows<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Quantize,
+            label: "quantize rows",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let replies = std::mem::take(&mut ctx.mbs[b].replies);
+            ctx.mbs[b].replies = encode_shards(wire, replies);
+            Ok(())
+        },
+    )
+}
+
+fn add_issue_rows<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::RowExchange,
+            label: "issue row fetch",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let replies = std::mem::take(&mut ctx.mbs[b].replies);
+            ctx.mbs[b].rows_op = Some(ctx.global.all_to_all_nonblocking(replies));
+            Ok(())
+        },
+    )
+}
+
+fn add_claim_rows<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::RowExchange,
+            label: "claim row fetch",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b].rows_op.take().expect("rows op issued");
+            ctx.mbs[b].fetched = wait_logged(
+                op,
+                ctx.waits,
+                "embedding row fetch AlltoAll (fwd)",
+                SegmentKind::EmbeddingComm,
+                CommScope::Global,
+            )?;
+            Ok(())
+        },
+    )
+}
+
+/// Inserted only at sub-FP32 precisions: decodes the claimed wire words back to
+/// rows (the requester knows each owner's element count from its routing).
+fn add_dequantize_rows<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Dequantize,
+            label: "dequantize rows",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let n = ctx.low.n;
+            let fetched = std::mem::take(&mut ctx.mbs[b].fetched);
+            let keys = &ctx.mbs[b].routing.request_keys;
+            let decoded = decode_shards(wire, fetched, |owner| keys[owner].len() * n)?;
+            ctx.mbs[b].fetched = decoded;
+            Ok(())
+        },
+    )
+}
+
+fn add_compute<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::DenseForwardBackward,
+            label: "pool + dense fwd/bwd",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let n = ctx.low.n;
+            let fetched = std::mem::take(&mut ctx.mbs[b].fetched);
+            // Exact per-sample weighting: Batch::split gives the last micro-batch
+            // the remainder, so each contributes by sample count, not 1/M;
+            // grad_scale pre-compensates the final 1/M. Under sync (M = 1) both
+            // factors are exactly 1.0 — the bit-identical reference path.
+            let weight = ctx.mbs[b].batch.len() as f32 / ctx.low.local_batch as f32;
+            let grad_scale = weight / ctx.inv_m;
+            let (loss, predictions, mut grads) = {
+                let mb = &ctx.mbs[b];
+                let bags = bags_for(&mb.batch, &ctx.low.features);
+                let embs = ctx.low.lookup.pool(&bags, &mb.routing, &fetched)?;
+                let refs: Vec<&Tensor> = embs.iter().collect();
+                let feature_block = Tensor::concat_cols(&refs)?;
+                let dense_input = Tensor::from_vec(
+                    vec![mb.batch.len(), ctx.low.num_dense],
+                    mb.batch.dense_flat(),
+                )?;
+                let (loss, predictions, grad_block) = ctx.low.dense.forward_backward(
+                    &dense_input,
+                    &feature_block,
+                    &mb.batch.labels,
+                    grad_scale,
+                )?;
+                let grads = grad_block.split_cols(&vec![n; ctx.low.features.len()])?;
+                (loss, predictions, grads)
+            };
+            ctx.loss_sum += loss * f64::from(weight);
+            ctx.scores.extend_from_slice(&predictions);
+            ctx.labels.extend_from_slice(&ctx.mbs[b].batch.labels);
+            if ctx.mbs.len() > 1 {
+                // Micro-batch averaging for the sparse gradients (net weight per
+                // micro-batch: grad_scale / M = its sample share).
+                scale_grads(&mut grads, ctx.inv_m);
+            }
+            ctx.mbs[b].grad_bufs = {
+                let mb = &ctx.mbs[b];
+                let bags = bags_for(&mb.batch, &ctx.low.features);
+                ctx.low.lookup.build_grad_bufs(&bags, &mb.routing, &grads)
+            };
+            Ok(())
+        },
+    )
+}
+
+fn add_quantize_grads<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Quantize,
+            label: "quantize embedding grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let bufs = std::mem::take(&mut ctx.mbs[b].grad_bufs);
+            ctx.mbs[b].grad_bufs = encode_shards(wire, bufs);
+            Ok(())
+        },
+    )
+}
+
+fn add_issue_grads<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::GradExchange,
+            label: "issue embedding grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let bufs = std::mem::take(&mut ctx.mbs[b].grad_bufs);
+            ctx.mbs[b].grads_op = Some(ctx.global.all_to_all_nonblocking(bufs));
+            Ok(())
+        },
+    )
+}
+
+fn add_claim_grads<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::GradExchange,
+            label: "claim embedding grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b].grads_op.take().expect("grads op issued");
+            ctx.mbs[b].incoming = wait_logged(
+                op,
+                ctx.waits,
+                "embedding gradient AlltoAll (bwd)",
+                SegmentKind::EmbeddingComm,
+                CommScope::Global,
+            )?;
+            Ok(())
+        },
+    )
+}
+
+fn add_dequantize_grads<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Dequantize,
+            label: "dequantize embedding grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let n = ctx.low.n;
+            let incoming = std::mem::take(&mut ctx.mbs[b].incoming);
+            let keys = &ctx.mbs[b].routing.served_keys;
+            let decoded = decode_shards(wire, incoming, |src| keys[src].len() * n)?;
+            ctx.mbs[b].incoming = decoded;
+            Ok(())
+        },
+    )
+}
+
+fn add_merge<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::EmbeddingLookup,
+            label: "merge embedding grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let incoming = std::mem::take(&mut ctx.mbs[b].incoming);
+            let routing = std::mem::take(&mut ctx.mbs[b].routing);
+            ctx.low.lookup.merge_grads(&routing, incoming)?;
+            Ok(())
+        },
+    )
+}
+
+fn add_allreduce_issue<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::AllReduce,
+            label: "issue dense AllReduce",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let flat = flatten_grads(&mut ctx.low.dense);
+            ctx.allreduce = Some(ctx.global.all_reduce_cast_nonblocking(flat, wire));
+            Ok(())
+        },
+    )
+}
+
+fn add_allreduce_claim<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], world: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::AllReduce,
+            label: "claim dense AllReduce",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.allreduce.take().expect("allreduce issued");
+            let flat = wait_logged(
+                op,
+                ctx.waits,
+                "dense gradient AllReduce",
+                SegmentKind::DenseSync,
+                CommScope::Global,
+            )?;
+            let scale = ctx.inv_m / world as f32;
+            write_back_grads(&mut ctx.low.dense, &flat, scale);
+            Ok(())
+        },
+    )
+}
+
+/// Emits the `answer → [quantize] → issue rows` chain for micro-batch `b` and
+/// returns the last node's id.
+fn add_forward_chain<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    dep: Id,
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    let mut prev = add_answer(g, &[dep], b);
+    if !wire.is_identity() {
+        prev = add_quantize_rows(g, &[prev], b, wire);
+    }
+    add_issue_rows(g, &[prev], b)
+}
+
+/// Emits the `claim rows → [dequantize] → compute → [quantize] → issue grads`
+/// chain for micro-batch `b` and returns the last node's id.
+fn add_compute_chain<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    dep: Id,
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    let mut prev = add_claim_rows(g, &[dep], b);
+    if !wire.is_identity() {
+        prev = add_dequantize_rows(g, &[prev], b, wire);
+    }
+    prev = add_compute(g, &[prev], b);
+    if !wire.is_identity() {
+        prev = add_quantize_grads(g, &[prev], b, wire);
+    }
+    add_issue_grads(g, &[prev], b)
+}
+
+/// Emits the `claim grads → [dequantize] → merge` chain for micro-batch `b`.
+fn add_merge_chain<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    let mut prev = add_claim_grads(g, deps, b);
+    if !wire.is_identity() {
+        prev = add_dequantize_grads(g, &[prev], b, wire);
+    }
+    add_merge(g, &[prev], b)
+}
+
+impl RankLowering for BaselineLowering {
+    fn compute_label(&self) -> &'static str {
+        "dense + sparse compute"
     }
 
-    let mut totals = Vec::new();
-    let mut losses = Vec::new();
-    let mut wall_s = 0.0;
-    for _ in 0..config.iterations {
-        let iter_start = Instant::now();
-        HasParameters::zero_grad(dense);
-        let batch = data.next_batch(config.local_batch);
-        let mbs: Vec<MicroBatch> = batch
-            .split(m)
-            .into_iter()
-            .map(|batch| MicroBatch {
-                batch,
-                routing: super::model::LookupRouting::default(),
-                idx_op: None,
-                rows_op: None,
-                grads_op: None,
-            })
-            .collect();
+    fn run_graph(
+        &mut self,
+        comm: &mut RankComms,
+        mbs: Vec<Batch>,
+        waits: &mut Vec<WaitEntry>,
+    ) -> Result<IterationStats, DistributedError> {
+        HasParameters::zero_grad(&mut self.dense);
+        let m = mbs.len();
+        let wire = self.wire;
+        let world = comm.global.world_size();
+        let schedule = self.schedule;
         let mut ctx = Ctx {
-            lookup,
-            dense,
+            low: self,
             global: &mut comm.global,
-            features: &features,
-            n,
-            num_dense: schema.num_dense,
-            inv_m,
-            local_batch: config.local_batch,
-            mbs,
+            waits,
+            mbs: mbs
+                .into_iter()
+                .map(|batch| Mb {
+                    batch,
+                    routing: LookupRouting::default(),
+                    replies: Vec::new(),
+                    fetched: Vec::new(),
+                    grad_bufs: Vec::new(),
+                    incoming: Vec::new(),
+                    idx_op: None,
+                    rows_op: None,
+                    grads_op: None,
+                })
+                .collect(),
             allreduce: None,
-            waits: Vec::new(),
+            inv_m: 1.0 / m as f32,
             loss_sum: 0.0,
+            scores: Vec::new(),
+            labels: Vec::new(),
         };
 
-        let mut graph: StageGraph<Ctx> = StageGraph::new();
-        // Stage 1 per micro-batch: route requests and launch the index AlltoAll —
-        // depends only on the input batch, so every micro-batch's copy is issued
-        // up front (TorchRec's input-dist prefetch).
-        let mut route_ids = Vec::with_capacity(m);
-        for b in 0..m {
-            route_ids.push(
-                graph.add("issue index AlltoAll", &[], move |ctx: &mut Ctx| {
-                    let requests = {
-                        let mb = &ctx.mbs[b];
-                        let bags = bags_for(&mb.batch, ctx.features);
-                        ctx.lookup.route(ctx.global.world_size(), &bags)
-                    };
-                    ctx.mbs[b].routing.request_keys = requests.clone();
-                    ctx.mbs[b].idx_op = Some(ctx.global.all_to_all_indices_nonblocking(requests));
-                    Ok(())
-                }),
-            );
-        }
-        // Stage 2: claim the index exchange, answer it from the local shard, and
-        // launch the row-fetch AlltoAll. Answering micro-batch b+1 overlaps
-        // micro-batch b's row transfer.
-        let mut answer_ids = Vec::with_capacity(m);
-        for (b, &route_id) in route_ids.iter().enumerate() {
-            answer_ids.push(graph.add(
-                "answer + issue row fetch",
-                &[route_id],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b].idx_op.take().expect("index op issued");
-                    let incoming = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "feature distribution AlltoAll",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::Global,
-                    )?;
-                    let replies = ctx.lookup.answer(&incoming)?;
-                    ctx.mbs[b].routing.served_keys = incoming;
-                    ctx.mbs[b].rows_op = Some(ctx.global.all_to_all_nonblocking(replies));
-                    Ok(())
-                },
-            ));
-        }
-        // Stage 3: claim the rows, pool, run the dense forward/backward
-        // (accumulating parameter grads), and launch the gradient AlltoAll. The
-        // dense compute of micro-batch b hides the row transfer of b+1 and the
-        // gradient transfer of b-1.
-        let mut compute_ids = Vec::with_capacity(m);
-        for (b, &answer_id) in answer_ids.iter().enumerate() {
-            compute_ids.push(graph.add(
-                "dense fwd/bwd + issue grads",
-                &[answer_id],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b].rows_op.take().expect("rows op issued");
-                    let fetched = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "embedding row fetch AlltoAll (fwd)",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::Global,
-                    )?;
-                    // Exact per-sample weighting: Batch::split gives the last
-                    // micro-batch the remainder, so each contributes by sample
-                    // count, not 1/M; grad_scale pre-compensates the final 1/M.
-                    let weight = ctx.mbs[b].batch.len() as f32 / ctx.local_batch as f32;
-                    let grad_scale = weight / ctx.inv_m;
-                    let (loss, mut grads) = {
-                        let mb = &ctx.mbs[b];
-                        let bags = bags_for(&mb.batch, ctx.features);
-                        let embs = ctx.lookup.pool(&bags, &mb.routing, &fetched)?;
-                        let refs: Vec<&Tensor> = embs.iter().collect();
-                        let feature_block = Tensor::concat_cols(&refs)?;
-                        let dense_input = Tensor::from_vec(
-                            vec![mb.batch.len(), ctx.num_dense],
-                            mb.batch.dense_flat(),
-                        )?;
-                        let (loss, grad_block) = ctx.dense.forward_backward(
-                            &dense_input,
-                            &feature_block,
-                            &mb.batch.labels,
-                            grad_scale,
-                        )?;
-                        let grads = grad_block.split_cols(&vec![ctx.n; ctx.features.len()])?;
-                        (loss, grads)
-                    };
-                    ctx.loss_sum += loss * f64::from(weight);
-                    // Micro-batch averaging for the sparse gradients (net weight
-                    // per micro-batch: grad_scale / M = its sample share).
-                    scale_grads(&mut grads, ctx.inv_m);
-                    let grad_bufs = {
-                        let mb = &ctx.mbs[b];
-                        let bags = bags_for(&mb.batch, ctx.features);
-                        ctx.lookup.build_grad_bufs(&bags, &mb.routing, &grads)
-                    };
-                    ctx.mbs[b].grads_op = Some(ctx.global.all_to_all_nonblocking(grad_bufs));
-                    Ok(())
-                },
-            ));
-        }
-        // Stage 4: the dense AllReduce launches right after the last backward and
-        // overlaps the embedding backward merges below.
-        let ar_issue = graph.add(
-            "issue dense AllReduce",
-            &[compute_ids[m - 1]],
-            |ctx: &mut Ctx| {
-                let flat = flatten_grads(ctx.dense);
-                ctx.allreduce = Some(ctx.global.all_reduce_nonblocking(flat));
-                Ok(())
-            },
-        );
-        // Stage 5: merge each micro-batch's embedding gradients on the owners.
-        let mut merge_ids = Vec::with_capacity(m);
-        for (b, &compute_id) in compute_ids.iter().enumerate() {
-            merge_ids.push(graph.add(
-                "merge embedding grads",
-                &[compute_id, ar_issue],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b].grads_op.take().expect("grads op issued");
-                    let incoming = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "embedding gradient AlltoAll (bwd)",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::Global,
-                    )?;
-                    let routing = std::mem::take(&mut ctx.mbs[b].routing);
-                    ctx.lookup.merge_grads(&routing, incoming)?;
-                    Ok(())
-                },
-            ));
-        }
-        // Stage 6: claim the AllReduce and average (world x micro-batch count).
-        let last_merge = merge_ids[m - 1];
-        graph.add("wait dense AllReduce", &[ar_issue, last_merge], {
-            let scale = inv_m / world as f32;
-            move |ctx: &mut Ctx| {
-                let op = ctx.allreduce.take().expect("allreduce issued");
-                let flat = wait_logged(
-                    op,
-                    &mut ctx.waits,
-                    "dense gradient AllReduce",
-                    SegmentKind::DenseSync,
-                    CommScope::Global,
-                )?;
-                write_back_grads(ctx.dense, &flat, scale);
-                Ok(())
+        let mut g: IterationGraph<Ctx> = IterationGraph::new();
+        match schedule {
+            // Blocking order: every claim directly follows its issue; the
+            // AllReduce launches only after the embedding backward completes.
+            ScheduleMode::Sync => {
+                debug_assert_eq!(m, 1, "the sync schedule runs one micro-batch");
+                let route = add_route(&mut g, &[], 0);
+                let issued = add_forward_chain(&mut g, route, 0, wire);
+                let computed = add_compute_chain(&mut g, issued, 0, wire);
+                let merged = add_merge_chain(&mut g, &[computed], 0, wire);
+                let ar = add_allreduce_issue(&mut g, &[merged], wire);
+                add_allreduce_claim(&mut g, &[ar], world);
             }
-        });
-        graph.run(&mut ctx)?;
+            // Overlapped order: index exchanges prefetched for every
+            // micro-batch (TorchRec's input-dist prefetch), answer `b+1`
+            // overlaps row transfer `b`, dense compute `b` hides row transfer
+            // `b+1` and gradient transfer `b-1`, and the dense AllReduce rides
+            // under the gradient merges.
+            ScheduleMode::Pipelined => {
+                let mut routes = Vec::with_capacity(m);
+                for b in 0..m {
+                    routes.push(add_route(&mut g, &[], b));
+                }
+                let mut answered = Vec::with_capacity(m);
+                for (b, &route) in routes.iter().enumerate() {
+                    answered.push(add_forward_chain(&mut g, route, b, wire));
+                }
+                let mut computed = Vec::with_capacity(m);
+                for (b, &ready) in answered.iter().enumerate() {
+                    computed.push(add_compute_chain(&mut g, ready, b, wire));
+                }
+                let ar = add_allreduce_issue(&mut g, &[computed[m - 1]], wire);
+                let mut merges = Vec::with_capacity(m);
+                for (b, &issued) in computed.iter().enumerate() {
+                    merges.push(add_merge_chain(&mut g, &[issued, ar], b, wire));
+                }
+                add_allreduce_claim(&mut g, &[ar, merges[m - 1]], world);
+            }
+        }
+        g.run(&mut ctx)?;
 
         let Ctx {
-            waits, loss_sum, ..
+            loss_sum,
+            scores,
+            labels,
+            ..
         } = ctx;
-        losses.push(loss_sum);
-
-        let opt_start = Instant::now();
-        adam.step(dense);
-        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
-        let opt_s = opt_start.elapsed().as_secs_f64();
-
-        let iter_s = iter_start.elapsed().as_secs_f64();
-        let mut comm_samples = Vec::new();
-        zip_world(
-            &mut comm_samples,
-            &waits,
-            CommScope::Global,
-            &mut comm.global,
-        );
-        // Straggler waits beyond the transfer duration fold into compute — the
-        // sync path's convention — so breakdown totals stay comparable across
-        // schedules on imbalanced ranks.
-        let exposed_s: f64 = comm_samples.iter().map(|s| s.exposed_s).sum();
-        let compute_s = (iter_s - exposed_s - opt_s).max(0.0);
-        let mut samples = vec![SegmentSample::compute(
-            "dense + sparse compute",
-            SegmentKind::Compute,
-            compute_s,
-        )];
-        samples.extend(comm_samples);
-        samples.push(SegmentSample::compute(
-            "optimizer + host overhead",
-            SegmentKind::Other,
-            opt_s,
-        ));
-        accumulate(&mut totals, samples);
-        wall_s += iter_s;
+        Ok(IterationStats {
+            loss: loss_sum,
+            auc: roc_auc(&scores, &labels),
+        })
     }
-    Ok(RankOutcome {
-        segments: totals,
-        losses,
-        wall_s,
-    })
+
+    fn optimizer_step(&mut self) {
+        self.adam.step(&mut self.dense);
+        self.lookup.apply_rowwise_adagrad(self.learning_rate, 1e-8);
+    }
 }

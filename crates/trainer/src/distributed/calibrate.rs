@@ -2,10 +2,10 @@
 //! α–β model and check that both agree on the paper's orderings.
 
 use super::config::DistributedConfig;
+use super::graph::price_comm;
 use super::measure::{CommScope, MeasuredRun};
 use super::{run_baseline, run_dmt, DistributedError};
-use dmt_comm::CommOp;
-use dmt_commsim::{collectives, CostModel, IterationTimeline, LatencyBreakdown, Segment};
+use dmt_commsim::{CostModel, IterationTimeline, LatencyBreakdown, Segment};
 use dmt_topology::ProcessGroup;
 use serde::{Deserialize, Serialize};
 
@@ -55,18 +55,11 @@ pub fn predicted_timeline(config: &DistributedConfig, run: &MeasuredRun) -> Iter
             };
             match (group, seg.op) {
                 (Some(group), Some(op)) => {
-                    let est = match op {
-                        CommOp::AllReduce => {
-                            collectives::all_reduce(&model, group, seg.payload_bytes)
-                        }
-                        CommOp::ReduceScatter => {
-                            collectives::reduce_scatter(&model, group, seg.payload_bytes)
-                        }
-                        CommOp::AllGather => {
-                            collectives::all_gather(&model, group, seg.payload_bytes)
-                        }
-                        _ => collectives::all_to_all(&model, group, seg.payload_bytes),
-                    };
+                    // Measured payloads already reflect the wire precision (the
+                    // codec's encoded bytes), so the α–β re-costing prices the
+                    // same traffic the fabric paced. The op→estimate mapping is
+                    // shared with the simulator (`graph::price_comm`).
+                    let est = price_comm(&model, group, op, seg.payload_bytes);
                     // The schedule hid `hidden_s` of compute behind this transfer;
                     // the analytical twin gets the same overlap budget.
                     Segment::overlapped(seg.kind, seg.label.clone(), est.time_s, seg.hidden_s())

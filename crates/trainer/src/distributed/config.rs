@@ -1,6 +1,8 @@
 //! Configuration and error types of the distributed execution engine.
 
+use dmt_comm::codec::WireFormat;
 use dmt_comm::{CommError, FabricProfile};
+use dmt_commsim::Quantization;
 use dmt_data::DatasetSchema;
 use dmt_models::{ModelArch, ModelHyperparams};
 use dmt_tensor::TensorError;
@@ -130,6 +132,12 @@ pub struct DistributedConfig {
     /// Micro-batches per iteration in [`ScheduleMode::Pipelined`] (clamped to the
     /// local batch size at run time; ignored in sync mode).
     pub micro_batches: usize,
+    /// Wire precision of the quantizable exchanges (embedding rows, tower
+    /// outputs, gradients and the gradient AllReduces): the lowerings insert
+    /// `Quantize`/`Dequantize` nodes around those transfers so only encoded
+    /// bytes hit the wire. Index exchanges always ride native `u64` width.
+    /// [`Quantization::Fp32`] (the default) is the bit-identical identity path.
+    pub wire_precision: Quantization,
 }
 
 impl DistributedConfig {
@@ -154,6 +162,7 @@ impl DistributedConfig {
             seed: 7,
             schedule: ScheduleMode::Sync,
             micro_batches: 2,
+            wire_precision: Quantization::Fp32,
         }
     }
 
@@ -192,6 +201,19 @@ impl DistributedConfig {
         self
     }
 
+    /// Overrides the wire precision of the quantizable exchanges.
+    #[must_use]
+    pub fn with_wire_precision(mut self, wire_precision: Quantization) -> Self {
+        self.wire_precision = wire_precision;
+        self
+    }
+
+    /// The executable codec format for this configuration's wire precision.
+    #[must_use]
+    pub fn wire_format(&self) -> WireFormat {
+        super::graph::wire_format(self.wire_precision)
+    }
+
     /// Number of towers in DMT mode (the paper's default: one per host).
     #[must_use]
     pub fn num_towers(&self) -> usize {
@@ -203,6 +225,17 @@ impl DistributedConfig {
     #[must_use]
     pub fn effective_micro_batches(&self) -> usize {
         self.micro_batches.clamp(1, self.local_batch.max(1))
+    }
+
+    /// Micro-batches the executed schedule splits each iteration into: one under
+    /// [`ScheduleMode::Sync`] (the whole batch, blocking semantics), the
+    /// effective count under [`ScheduleMode::Pipelined`].
+    #[must_use]
+    pub fn schedule_micro_batches(&self) -> usize {
+        match self.schedule {
+            ScheduleMode::Sync => 1,
+            ScheduleMode::Pipelined => self.effective_micro_batches(),
+        }
     }
 }
 

@@ -1,32 +1,38 @@
-//! One rank of the Disaggregated Multi-Tower deployment (one tower per host), in
-//! both schedules.
+//! Lowering of the Disaggregated Multi-Tower deployment (one tower per host)
+//! onto the iteration-graph IR.
 //!
-//! The pipelined variant has more overlap structure than the baseline: its three
-//! communicator worlds (peer, intra-host, global) are independent FIFO streams, so
-//! a peer tower-output exchange, an intra-host gradient exchange and the global
-//! dense AllReduce can all be on the wire at once — which is why DMT hides a
-//! larger fraction of its (already smaller, intra-host-biased) communication than
-//! the baseline can.
+//! The SPTT steps map 1:1 onto graph nodes: peer index distribution → intra-host
+//! sharded lookup → tower module → compressed peer output exchange → replicated
+//! dense stack → the backward mirror. As in [`super::baseline`], one set of node
+//! bodies serves both schedules and only the emission *order* differs; the DMT
+//! pipelined order has more overlap structure because its three communicator
+//! worlds (peer, intra-host, global) are independent FIFO streams, so a peer
+//! exchange, an intra-host exchange and the global dense AllReduce can all be on
+//! the wire at once.
+//!
+//! Below FP32 wire precision, [`OpKind::Quantize`] / [`OpKind::Dequantize`]
+//! nodes wrap the intra-host row/gradient exchanges and both peer `f32`
+//! exchanges; the two AllReduces run as quantized-wire collectives. The peer
+//! *index* distribution always rides native `u64` width.
 
 use super::config::{DistributedConfig, DistributedError, ScheduleMode};
-use super::measure::{
-    accumulate, wait_logged, zip_world, CommScope, RankOutcome, Recorder, SegmentSample, WaitEntry,
-};
+use super::executor::{self, IterationStats, RankLowering};
+use super::graph::{decode_shards, encode_shards, IterationGraph, NodeMeta, OpKind};
+use super::measure::{wait_logged, CommScope, RankOutcome, WaitEntry};
 use super::model::{
-    flatten_grads, scale_grads, sync_grads, write_back_grads, DenseStack, LookupRouting,
-    ShardedLookup,
+    flatten_grads, scale_grads, write_back_grads, DenseStack, LookupRouting, ShardedLookup,
 };
-use super::pipeline::StageGraph;
 use super::RankComms;
+use dmt_comm::codec::WireFormat;
 use dmt_comm::{Backend, PendingOp};
 use dmt_commsim::SegmentKind;
 use dmt_core::tower::TowerModule;
 use dmt_core::{naive_partition, DlrmTowerModule};
-use dmt_data::{Batch, SyntheticClickDataset};
+use dmt_data::Batch;
+use dmt_metrics::auc::roc_auc;
 use dmt_nn::param::HasParameters;
 use dmt_nn::{AdamOptimizer, Optimizer};
 use dmt_tensor::Tensor;
-use std::time::Instant;
 
 /// Static per-rank DMT layout: which features this rank's tower owns and how the
 /// interaction geometry is laid out.
@@ -128,245 +134,106 @@ fn decode_peer_streams(
     tower_bags
 }
 
-/// One rank of the Disaggregated Multi-Tower deployment (one tower per host).
+/// One rank of the Disaggregated Multi-Tower deployment.
 pub(crate) fn dmt_rank(
     config: &DistributedConfig,
     rank: usize,
     comm: &mut RankComms,
 ) -> Result<RankOutcome, DistributedError> {
-    use dmt_topology::Rank;
-    use rand::SeedableRng;
+    let mut lowering = DmtLowering::new(config, rank)?;
+    executor::run_rank(config, rank, comm, &mut lowering)
+}
 
-    let schema = &config.schema;
-    let cluster = &config.cluster;
-    let n = config.hyper.embedding_dim;
-    let slots = cluster.gpus_per_host();
-    let layout = layout(config, rank)?;
-    let (c, p, d) = (
-        config.tower_ensemble_c,
-        config.tower_ensemble_p,
-        config.tower_output_dim,
-    );
+/// Rank-local state of the DMT lowering: the tower's sharded tables, the
+/// replicated tower module and the replicated dense stack.
+struct DmtLowering {
+    schedule: ScheduleMode,
+    wire: WireFormat,
+    layout: DmtLayout,
+    n: usize,
+    num_dense: usize,
+    local_batch: usize,
+    slots: usize,
+    learning_rate: f32,
+    lookup: ShardedLookup,
+    tower: DlrmTowerModule,
+    dense: DenseStack,
+    adam_dense: AdamOptimizer,
+    adam_tower: AdamOptimizer,
+}
 
-    let mut data =
-        SyntheticClickDataset::new(schema.clone(), config.seed ^ ((rank as u64 + 1) << 16));
-    // Tables of my tower, sharded across my host's ranks.
-    let mut lookup = ShardedLookup::new(
-        config.seed,
-        schema,
-        layout.my_features.clone(),
-        n,
-        slots,
-        cluster.local_index(Rank(rank)),
-    );
-    // Tower module replicated across my host's ranks (same per-tower seed).
-    let mut tower_rng =
-        rand::rngs::StdRng::seed_from_u64(config.seed ^ ((layout.my_host as u64 + 1) * 7919));
-    let mut tower = DlrmTowerModule::new(&mut tower_rng, layout.my_features.len(), n, c, p, d)
-        .map_err(|e| DistributedError::Config {
-            reason: e.to_string(),
-        })?;
-    let mut dense = DenseStack::new(
-        config.seed,
-        schema,
-        config.arch,
-        &config.hyper,
-        d,
-        layout.num_units,
-    );
-    let mut adam_dense = AdamOptimizer::new(config.learning_rate);
-    let mut adam_tower = AdamOptimizer::new(config.learning_rate);
+impl DmtLowering {
+    fn new(config: &DistributedConfig, rank: usize) -> Result<Self, DistributedError> {
+        use dmt_topology::Rank;
+        use rand::SeedableRng;
 
-    match config.schedule {
-        ScheduleMode::Sync => dmt_sync(
-            config,
-            &layout,
-            &mut data,
-            &mut lookup,
-            &mut tower,
-            &mut dense,
-            &mut adam_dense,
-            &mut adam_tower,
-            comm,
-        ),
-        ScheduleMode::Pipelined => dmt_pipelined(
-            config,
-            &layout,
-            &mut data,
-            &mut lookup,
-            &mut tower,
-            &mut dense,
-            &mut adam_dense,
-            &mut adam_tower,
-            comm,
-        ),
+        let schema = &config.schema;
+        let cluster = &config.cluster;
+        let n = config.hyper.embedding_dim;
+        let slots = cluster.gpus_per_host();
+        let layout = layout(config, rank)?;
+        let (c, p, d) = (
+            config.tower_ensemble_c,
+            config.tower_ensemble_p,
+            config.tower_output_dim,
+        );
+        // Tables of my tower, sharded across my host's ranks.
+        let lookup = ShardedLookup::new(
+            config.seed,
+            schema,
+            layout.my_features.clone(),
+            n,
+            slots,
+            cluster.local_index(Rank(rank)),
+        );
+        // Tower module replicated across my host's ranks (same per-tower seed).
+        let mut tower_rng =
+            rand::rngs::StdRng::seed_from_u64(config.seed ^ ((layout.my_host as u64 + 1) * 7919));
+        let tower = DlrmTowerModule::new(&mut tower_rng, layout.my_features.len(), n, c, p, d)
+            .map_err(|e| DistributedError::Config {
+                reason: e.to_string(),
+            })?;
+        let dense = DenseStack::new(
+            config.seed,
+            schema,
+            config.arch,
+            &config.hyper,
+            d,
+            layout.num_units,
+        );
+        Ok(Self {
+            schedule: config.schedule,
+            wire: config.wire_format(),
+            layout,
+            n,
+            num_dense: schema.num_dense,
+            local_batch: config.local_batch,
+            slots,
+            learning_rate: config.learning_rate,
+            lookup,
+            tower,
+            dense,
+            adam_dense: AdamOptimizer::new(config.learning_rate),
+            adam_tower: AdamOptimizer::new(config.learning_rate),
+        })
     }
 }
 
-/// The original blocking SPTT iteration — the bit-identical semantic reference.
-#[allow(clippy::too_many_arguments)]
-fn dmt_sync(
-    config: &DistributedConfig,
-    layout: &DmtLayout,
-    data: &mut SyntheticClickDataset,
-    lookup: &mut ShardedLookup,
-    tower: &mut DlrmTowerModule,
-    dense: &mut DenseStack,
-    adam_dense: &mut AdamOptimizer,
-    adam_tower: &mut AdamOptimizer,
-    comm: &mut RankComms,
-) -> Result<RankOutcome, DistributedError> {
-    let schema = &config.schema;
-    let n = config.hyper.embedding_dim;
-    let b = config.local_batch;
-    let hosts = layout.hosts;
-    let my_host = layout.my_host;
-
-    let mut totals = Vec::new();
-    let mut losses = Vec::new();
-    let mut wall_s = 0.0;
-    for _ in 0..config.iterations {
-        let iter_start = Instant::now();
-        let mut rec = Recorder::default();
-        HasParameters::zero_grad(dense);
-        HasParameters::zero_grad(tower);
-        let batch = data.next_batch(b);
-
-        // SPTT step (a): ship each tower's indices to the same-slot rank on the
-        // owning host — a peer AlltoAll of encoded bags.
-        let sends = encode_peer_sends(&batch, &layout.groups);
-        let incoming = rec.comm(
-            "peer index distribution AlltoAll",
-            SegmentKind::EmbeddingComm,
-            CommScope::Peer,
-            &mut comm.peer,
-            |backend| backend.all_to_all_indices(sends),
-        )?;
-
-        // Decode into the combined tower batch: `hosts * b` samples (source-host
-        // major), one bag list per tower feature.
-        let tower_batch = hosts * b;
-        let tower_bags = decode_peer_streams(&incoming, layout.my_features.len(), b);
-
-        // SPTT step (d): intra-host sharded lookup of my tower's features.
-        let bag_slices: Vec<&[Vec<usize>]> = tower_bags.iter().map(Vec::as_slice).collect();
-        let feature_embs = lookup.fetch(&mut comm.intra, &bag_slices)?;
-        rec.record_drained(
-            "intra-host row fetch AlltoAll (fwd)",
-            SegmentKind::EmbeddingComm,
-            CommScope::IntraHost,
-            &mut comm.intra,
-        );
-        let refs: Vec<&Tensor> = feature_embs.iter().collect();
-        let tower_input = Tensor::concat_cols(&refs)?;
-
-        // Tower module over the combined tower batch.
-        let tower_out = tower.forward(&tower_input)?;
-        let w_mine = layout.tower_widths[my_host];
-
-        // SPTT step (f): return the compressed tower outputs to the sample owners —
-        // the second peer AlltoAll, now carrying `D`-wide units instead of raw
-        // embeddings.
-        let out_data = tower_out.data();
-        let sends: Vec<Vec<f32>> = (0..hosts)
-            .map(|src| out_data[src * b * w_mine..(src + 1) * b * w_mine].to_vec())
-            .collect();
-        let received = rec.comm(
-            "peer tower-output AlltoAll (fwd)",
-            SegmentKind::EmbeddingComm,
-            CommScope::Peer,
-            &mut comm.peer,
-            |backend| backend.all_to_all(sends),
-        )?;
-        let tower_blocks: Vec<Tensor> = received
-            .into_iter()
-            .enumerate()
-            .map(|(t, flat)| Tensor::from_vec(vec![b, layout.tower_widths[t]], flat))
-            .collect::<Result<_, _>>()?;
-        let refs: Vec<&Tensor> = tower_blocks.iter().collect();
-        let feature_block = Tensor::concat_cols(&refs)?;
-
-        // Replicated dense stack on the local batch.
-        let dense_input = Tensor::from_vec(vec![b, schema.num_dense], batch.dense_flat())?;
-        let (loss, grad_block) =
-            dense.forward_backward(&dense_input, &feature_block, &batch.labels, 1.0)?;
-        losses.push(loss);
-
-        // Backward peer AlltoAll: tower-output gradients back to the tower ranks.
-        let grad_pieces = grad_block.split_cols(&layout.tower_widths)?;
-        let sends: Vec<Vec<f32>> = grad_pieces.iter().map(|t| t.data().to_vec()).collect();
-        let received = rec.comm(
-            "peer tower-grad AlltoAll (bwd)",
-            SegmentKind::EmbeddingComm,
-            CommScope::Peer,
-            &mut comm.peer,
-            |backend| backend.all_to_all(sends),
-        )?;
-        let mut grad_tower_out = Vec::with_capacity(tower_batch * w_mine);
-        for src in received {
-            grad_tower_out.extend(src);
-        }
-        let grad_tower_out = Tensor::from_vec(vec![tower_batch, w_mine], grad_tower_out)?;
-
-        // Tower backward, then the intra-host gradient exchange to the row shards.
-        let grad_tower_input = tower.backward(&grad_tower_out)?;
-        let grads = grad_tower_input.split_cols(&vec![n; layout.my_features.len()])?;
-        lookup.push_grads(&mut comm.intra, &bag_slices, &grads)?;
-        rec.record_drained(
-            "intra-host gradient AlltoAll (bwd)",
-            SegmentKind::EmbeddingComm,
-            CommScope::IntraHost,
-            &mut comm.intra,
-        );
-
-        // Tower-module gradients stay inside the host (§3.2, System Perspective).
-        rec.comm(
-            "tower-module intra-host AllReduce",
-            SegmentKind::DenseSync,
-            CommScope::IntraHost,
-            &mut comm.intra,
-            |backend| sync_grads(tower, backend),
-        )?;
-        // Shared dense stack synchronizes globally, as in the baseline.
-        rec.comm(
-            "dense gradient AllReduce",
-            SegmentKind::DenseSync,
-            CommScope::Global,
-            &mut comm.global,
-            |backend| sync_grads(dense, backend),
-        )?;
-
-        let opt_start = Instant::now();
-        adam_dense.step(dense);
-        adam_tower.step(tower);
-        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
-        let opt_s = opt_start.elapsed().as_secs_f64();
-
-        let comm_s: f64 = rec.samples.iter().map(|s| s.time_s).sum();
-        let iter_s = iter_start.elapsed().as_secs_f64();
-        let compute_s = (iter_s - comm_s - opt_s).max(0.0);
-        rec.push_compute("optimizer + host overhead", SegmentKind::Other, opt_s);
-        let mut samples = vec![SegmentSample::compute(
-            "dense + tower-module compute",
-            SegmentKind::Compute,
-            compute_s,
-        )];
-        samples.extend(rec.samples);
-        accumulate(&mut totals, samples);
-        wall_s += iter_s;
-    }
-    Ok(RankOutcome {
-        segments: totals,
-        losses,
-        wall_s,
-    })
-}
-
-/// Per-micro-batch DMT pipeline state.
-struct DmtMicroBatch {
+/// Per-micro-batch DMT pipeline state. The staging fields are how payloads
+/// cross node boundaries — and where the inserted `Quantize` / `Dequantize`
+/// nodes transcode them in place.
+struct Mb {
     batch: Batch,
     routing: LookupRouting,
     tower_bags: Vec<Vec<Vec<usize>>>,
+    replies: Vec<Vec<f32>>,
+    fetched: Vec<Vec<f32>>,
+    out_sends: Vec<Vec<f32>>,
+    out_recv: Vec<Vec<f32>>,
+    grad_sends: Vec<Vec<f32>>,
+    grad_recv: Vec<Vec<f32>>,
+    grad_bufs: Vec<Vec<f32>>,
+    incoming: Vec<Vec<f32>>,
     peer_idx_op: Option<PendingOp<Vec<Vec<u64>>>>,
     intra_idx_op: Option<PendingOp<Vec<Vec<u64>>>>,
     intra_rows_op: Option<PendingOp<Vec<Vec<f32>>>>,
@@ -375,400 +242,800 @@ struct DmtMicroBatch {
     intra_grads_op: Option<PendingOp<Vec<Vec<f32>>>>,
 }
 
-/// The pipelined SPTT iteration: the peer, intra-host and global worlds are
-/// independent streams, so transfers from all three overlap each other *and* the
-/// tower/dense compute.
-#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
-fn dmt_pipelined(
-    config: &DistributedConfig,
-    layout: &DmtLayout,
-    data: &mut SyntheticClickDataset,
-    lookup: &mut ShardedLookup,
-    tower: &mut DlrmTowerModule,
-    dense: &mut DenseStack,
-    adam_dense: &mut AdamOptimizer,
-    adam_tower: &mut AdamOptimizer,
-    comm: &mut RankComms,
-) -> Result<RankOutcome, DistributedError> {
-    let schema = &config.schema;
-    let n = config.hyper.embedding_dim;
-    let m = config.effective_micro_batches();
-    let inv_m = 1.0 / m as f32;
-    let world = config.cluster.world_size();
-    let slots = config.cluster.gpus_per_host();
+impl Mb {
+    fn new(batch: Batch) -> Self {
+        Self {
+            batch,
+            routing: LookupRouting::default(),
+            tower_bags: Vec::new(),
+            replies: Vec::new(),
+            fetched: Vec::new(),
+            out_sends: Vec::new(),
+            out_recv: Vec::new(),
+            grad_sends: Vec::new(),
+            grad_recv: Vec::new(),
+            grad_bufs: Vec::new(),
+            incoming: Vec::new(),
+            peer_idx_op: None,
+            intra_idx_op: None,
+            intra_rows_op: None,
+            peer_out_op: None,
+            peer_grad_op: None,
+            intra_grads_op: None,
+        }
+    }
+}
 
-    struct Ctx<'a> {
-        layout: &'a DmtLayout,
-        lookup: &'a mut ShardedLookup,
-        tower: &'a mut DlrmTowerModule,
-        dense: &'a mut DenseStack,
-        comm: &'a mut RankComms,
-        n: usize,
-        num_dense: usize,
-        inv_m: f32,
-        local_batch: usize,
-        mbs: Vec<DmtMicroBatch>,
-        tower_ar: Option<PendingOp<Vec<f32>>>,
-        dense_ar: Option<PendingOp<Vec<f32>>>,
-        waits: Vec<WaitEntry>,
-        loss_sum: f64,
+/// Everything one lowered DMT iteration mutates.
+struct Ctx<'a> {
+    low: &'a mut DmtLowering,
+    comm: &'a mut RankComms,
+    waits: &'a mut Vec<WaitEntry>,
+    mbs: Vec<Mb>,
+    tower_ar: Option<PendingOp<Vec<f32>>>,
+    dense_ar: Option<PendingOp<Vec<f32>>>,
+    inv_m: f32,
+    loss_sum: f64,
+    scores: Vec<f32>,
+    labels: Vec<f32>,
+}
+
+type Id = super::StageId;
+
+/// Selects a micro-batch's `Vec<Vec<f32>>` staging field — what the generic
+/// quantize/dequantize node builders transcode.
+type Stage = fn(&mut Mb) -> &mut Vec<Vec<f32>>;
+
+/// Inserted only at sub-FP32 precisions: encodes a staged outgoing payload into
+/// wire words before its exchange node sends it.
+fn add_quantize<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+    stage: Stage,
+    label: &'static str,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Quantize,
+            label,
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let field = stage(&mut ctx.mbs[b]);
+            let payload = std::mem::take(field);
+            *field = encode_shards(wire, payload);
+            Ok(())
+        },
+    )
+}
+
+fn add_peer_route<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::IndexExchange,
+            label: "encode + issue peer index AlltoAll",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let sends = encode_peer_sends(&ctx.mbs[b].batch, &ctx.low.layout.groups);
+            ctx.mbs[b].peer_idx_op = Some(ctx.comm.peer.all_to_all_indices_nonblocking(sends));
+            Ok(())
+        },
+    )
+}
+
+fn add_decode<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::IndexExchange,
+            label: "claim peer indices + route intra",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b].peer_idx_op.take().expect("peer idx issued");
+            let incoming = wait_logged(
+                op,
+                ctx.waits,
+                "peer index distribution AlltoAll",
+                SegmentKind::EmbeddingComm,
+                CommScope::Peer,
+            )?;
+            let mb_len = ctx.mbs[b].batch.len();
+            let tower_bags =
+                decode_peer_streams(&incoming, ctx.low.layout.my_features.len(), mb_len);
+            let requests = {
+                let bags: Vec<&[Vec<usize>]> = tower_bags.iter().map(Vec::as_slice).collect();
+                ctx.low.lookup.route(ctx.comm.intra.world_size(), &bags)
+            };
+            ctx.mbs[b].routing.request_keys = requests.clone();
+            ctx.mbs[b].tower_bags = tower_bags;
+            ctx.mbs[b].intra_idx_op = Some(ctx.comm.intra.all_to_all_indices_nonblocking(requests));
+            Ok(())
+        },
+    )
+}
+
+fn add_answer<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::EmbeddingLookup,
+            label: "claim intra indices + answer",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b].intra_idx_op.take().expect("intra idx issued");
+            // Shares the row-fetch label: index + rows form one lookup round
+            // trip and merge into one measured segment (see `collect_comm_samples`).
+            let incoming = wait_logged(
+                op,
+                ctx.waits,
+                "intra-host row fetch AlltoAll (fwd)",
+                SegmentKind::EmbeddingComm,
+                CommScope::IntraHost,
+            )?;
+            ctx.mbs[b].replies = ctx.low.lookup.answer(&incoming)?;
+            ctx.mbs[b].routing.served_keys = incoming;
+            Ok(())
+        },
+    )
+}
+
+fn add_issue_rows<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::RowExchange,
+            label: "issue intra rows",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let replies = std::mem::take(&mut ctx.mbs[b].replies);
+            ctx.mbs[b].intra_rows_op = Some(ctx.comm.intra.all_to_all_nonblocking(replies));
+            Ok(())
+        },
+    )
+}
+
+fn add_claim_rows<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::RowExchange,
+            label: "claim intra rows",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b].intra_rows_op.take().expect("intra rows issued");
+            ctx.mbs[b].fetched = wait_logged(
+                op,
+                ctx.waits,
+                "intra-host row fetch AlltoAll (fwd)",
+                SegmentKind::EmbeddingComm,
+                CommScope::IntraHost,
+            )?;
+            Ok(())
+        },
+    )
+}
+
+/// Inserted only at sub-FP32 precisions: decodes claimed row words (the
+/// requester knows each owner's element count from its routing).
+fn add_dequantize_rows<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Dequantize,
+            label: "dequantize intra rows",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let n = ctx.low.n;
+            let fetched = std::mem::take(&mut ctx.mbs[b].fetched);
+            let keys = &ctx.mbs[b].routing.request_keys;
+            let decoded = decode_shards(wire, fetched, |owner| keys[owner].len() * n)?;
+            ctx.mbs[b].fetched = decoded;
+            Ok(())
+        },
+    )
+}
+
+fn add_tower_fwd<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::TowerForward,
+            label: "pool + tower fwd",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let fetched = std::mem::take(&mut ctx.mbs[b].fetched);
+            let mb_len = ctx.mbs[b].batch.len();
+            let hosts = ctx.low.layout.hosts;
+            let w_mine = ctx.low.layout.tower_widths[ctx.low.layout.my_host];
+            let sends = {
+                let mb = &ctx.mbs[b];
+                let bags: Vec<&[Vec<usize>]> = mb.tower_bags.iter().map(Vec::as_slice).collect();
+                let embs = ctx.low.lookup.pool(&bags, &mb.routing, &fetched)?;
+                let refs: Vec<&Tensor> = embs.iter().collect();
+                let tower_input = Tensor::concat_cols(&refs)?;
+                let tower_out = ctx.low.tower.forward(&tower_input)?;
+                let out_data = tower_out.data();
+                (0..hosts)
+                    .map(|src| {
+                        out_data[src * mb_len * w_mine..(src + 1) * mb_len * w_mine].to_vec()
+                    })
+                    .collect::<Vec<Vec<f32>>>()
+            };
+            ctx.mbs[b].out_sends = sends;
+            Ok(())
+        },
+    )
+}
+
+fn add_issue_outputs<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::OutputExchange,
+            label: "issue peer outputs",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let sends = std::mem::take(&mut ctx.mbs[b].out_sends);
+            ctx.mbs[b].peer_out_op = Some(ctx.comm.peer.all_to_all_nonblocking(sends));
+            Ok(())
+        },
+    )
+}
+
+fn add_claim_outputs<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::OutputExchange,
+            label: "claim peer outputs",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b].peer_out_op.take().expect("peer out issued");
+            ctx.mbs[b].out_recv = wait_logged(
+                op,
+                ctx.waits,
+                "peer tower-output AlltoAll (fwd)",
+                SegmentKind::EmbeddingComm,
+                CommScope::Peer,
+            )?;
+            Ok(())
+        },
+    )
+}
+
+fn add_dequantize_outputs<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Dequantize,
+            label: "dequantize peer outputs",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let mb_len = ctx.mbs[b].batch.len();
+            let widths = &ctx.low.layout.tower_widths;
+            let received = std::mem::take(&mut ctx.mbs[b].out_recv);
+            let decoded = decode_shards(wire, received, |t| mb_len * widths[t])?;
+            ctx.mbs[b].out_recv = decoded;
+            Ok(())
+        },
+    )
+}
+
+fn add_dense<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::DenseForwardBackward,
+            label: "dense fwd/bwd",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let received = std::mem::take(&mut ctx.mbs[b].out_recv);
+            let mb_len = ctx.mbs[b].batch.len();
+            let tower_blocks: Vec<Tensor> = received
+                .into_iter()
+                .enumerate()
+                .map(|(t, flat)| {
+                    Tensor::from_vec(vec![mb_len, ctx.low.layout.tower_widths[t]], flat)
+                })
+                .collect::<Result<_, _>>()?;
+            let refs: Vec<&Tensor> = tower_blocks.iter().collect();
+            let feature_block = Tensor::concat_cols(&refs)?;
+            let dense_input = Tensor::from_vec(
+                vec![mb_len, ctx.low.num_dense],
+                ctx.mbs[b].batch.dense_flat(),
+            )?;
+            // Exact per-sample weighting for unequal micro-batches (see the
+            // baseline lowering); both factors are 1.0 under sync.
+            let weight = mb_len as f32 / ctx.low.local_batch as f32;
+            let (loss, predictions, grad_block) = ctx.low.dense.forward_backward(
+                &dense_input,
+                &feature_block,
+                &ctx.mbs[b].batch.labels,
+                weight / ctx.inv_m,
+            )?;
+            ctx.loss_sum += loss * f64::from(weight);
+            ctx.scores.extend_from_slice(&predictions);
+            ctx.labels.extend_from_slice(&ctx.mbs[b].batch.labels);
+            let grad_pieces = grad_block.split_cols(&ctx.low.layout.tower_widths)?;
+            ctx.mbs[b].grad_sends = grad_pieces.iter().map(|t| t.data().to_vec()).collect();
+            Ok(())
+        },
+    )
+}
+
+fn add_issue_peer_grads<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::OutputExchange,
+            label: "issue peer grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let sends = std::mem::take(&mut ctx.mbs[b].grad_sends);
+            ctx.mbs[b].peer_grad_op = Some(ctx.comm.peer.all_to_all_nonblocking(sends));
+            Ok(())
+        },
+    )
+}
+
+fn add_claim_peer_grads<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::OutputExchange,
+            label: "claim peer grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b].peer_grad_op.take().expect("peer grad issued");
+            ctx.mbs[b].grad_recv = wait_logged(
+                op,
+                ctx.waits,
+                "peer tower-grad AlltoAll (bwd)",
+                SegmentKind::EmbeddingComm,
+                CommScope::Peer,
+            )?;
+            Ok(())
+        },
+    )
+}
+
+fn add_dequantize_peer_grads<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Dequantize,
+            label: "dequantize peer grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let mb_len = ctx.mbs[b].batch.len();
+            let w_mine = ctx.low.layout.tower_widths[ctx.low.layout.my_host];
+            let received = std::mem::take(&mut ctx.mbs[b].grad_recv);
+            let decoded = decode_shards(wire, received, |_| mb_len * w_mine)?;
+            ctx.mbs[b].grad_recv = decoded;
+            Ok(())
+        },
+    )
+}
+
+fn add_tower_bwd<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::TowerBackward,
+            label: "tower bwd",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let received = std::mem::take(&mut ctx.mbs[b].grad_recv);
+            let mb_len = ctx.mbs[b].batch.len();
+            let hosts = ctx.low.layout.hosts;
+            let w_mine = ctx.low.layout.tower_widths[ctx.low.layout.my_host];
+            let mut grad_tower_out = Vec::with_capacity(hosts * mb_len * w_mine);
+            for src in received {
+                grad_tower_out.extend(src);
+            }
+            let grad_tower_out = Tensor::from_vec(vec![hosts * mb_len, w_mine], grad_tower_out)?;
+            let grad_tower_input = ctx.low.tower.backward(&grad_tower_out)?;
+            let mut grads =
+                grad_tower_input.split_cols(&vec![ctx.low.n; ctx.low.layout.my_features.len()])?;
+            if ctx.mbs.len() > 1 {
+                scale_grads(&mut grads, ctx.inv_m);
+            }
+            ctx.mbs[b].grad_bufs = {
+                let mb = &ctx.mbs[b];
+                let bags: Vec<&[Vec<usize>]> = mb.tower_bags.iter().map(Vec::as_slice).collect();
+                ctx.low.lookup.build_grad_bufs(&bags, &mb.routing, &grads)
+            };
+            Ok(())
+        },
+    )
+}
+
+fn add_issue_intra_grads<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::GradExchange,
+            label: "issue intra grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let bufs = std::mem::take(&mut ctx.mbs[b].grad_bufs);
+            ctx.mbs[b].intra_grads_op = Some(ctx.comm.intra.all_to_all_nonblocking(bufs));
+            Ok(())
+        },
+    )
+}
+
+fn add_claim_intra_grads<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::GradExchange,
+            label: "claim intra grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.mbs[b]
+                .intra_grads_op
+                .take()
+                .expect("intra grads issued");
+            ctx.mbs[b].incoming = wait_logged(
+                op,
+                ctx.waits,
+                "intra-host gradient AlltoAll (bwd)",
+                SegmentKind::EmbeddingComm,
+                CommScope::IntraHost,
+            )?;
+            Ok(())
+        },
+    )
+}
+
+fn add_dequantize_intra_grads<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::Dequantize,
+            label: "dequantize intra grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let n = ctx.low.n;
+            let incoming = std::mem::take(&mut ctx.mbs[b].incoming);
+            let keys = &ctx.mbs[b].routing.served_keys;
+            let decoded = decode_shards(wire, incoming, |src| keys[src].len() * n)?;
+            ctx.mbs[b].incoming = decoded;
+            Ok(())
+        },
+    )
+}
+
+fn add_merge<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::EmbeddingLookup,
+            label: "merge intra grads",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let incoming = std::mem::take(&mut ctx.mbs[b].incoming);
+            let routing = std::mem::take(&mut ctx.mbs[b].routing);
+            ctx.low.lookup.merge_grads(&routing, incoming)?;
+            Ok(())
+        },
+    )
+}
+
+// The AllReduces carry their codec inside the collective (`all_reduce_cast`,
+// NCCL-datatype-style), so no separate Quantize/Dequantize node wraps them.
+
+fn add_tower_ar_issue<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::AllReduce,
+            label: "issue tower AllReduce",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let flat = flatten_grads(&mut ctx.low.tower);
+            ctx.tower_ar = Some(ctx.comm.intra.all_reduce_cast_nonblocking(flat, wire));
+            Ok(())
+        },
+    )
+}
+
+fn add_tower_ar_claim<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], slots: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::AllReduce,
+            label: "claim tower AllReduce",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.tower_ar.take().expect("tower allreduce issued");
+            let flat = wait_logged(
+                op,
+                ctx.waits,
+                "tower-module intra-host AllReduce",
+                SegmentKind::DenseSync,
+                CommScope::IntraHost,
+            )?;
+            let scale = ctx.inv_m / slots as f32;
+            write_back_grads(&mut ctx.low.tower, &flat, scale);
+            Ok(())
+        },
+    )
+}
+
+fn add_dense_ar_issue<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    wire: WireFormat,
+) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::AllReduce,
+            label: "issue dense AllReduce",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let flat = flatten_grads(&mut ctx.low.dense);
+            ctx.dense_ar = Some(ctx.comm.global.all_reduce_cast_nonblocking(flat, wire));
+            Ok(())
+        },
+    )
+}
+
+fn add_dense_ar_claim<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], world: usize) -> Id {
+    g.add(
+        NodeMeta {
+            kind: OpKind::AllReduce,
+            label: "claim dense AllReduce",
+        },
+        deps,
+        move |ctx: &mut Ctx| {
+            let op = ctx.dense_ar.take().expect("dense allreduce issued");
+            let flat = wait_logged(
+                op,
+                ctx.waits,
+                "dense gradient AllReduce",
+                SegmentKind::DenseSync,
+                CommScope::Global,
+            )?;
+            let scale = ctx.inv_m / world as f32;
+            write_back_grads(&mut ctx.low.dense, &flat, scale);
+            Ok(())
+        },
+    )
+}
+
+/// Emits the per-micro-batch forward chain `decode → answer → [quantize] →
+/// issue rows → claim rows → [dequantize] → tower fwd → [quantize] → issue
+/// outputs` and returns the last node's id.
+fn add_forward_chain<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    dep: Id,
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    let mut prev = add_decode(g, &[dep], b);
+    prev = add_answer(g, &[prev], b);
+    if !wire.is_identity() {
+        prev = add_quantize(
+            g,
+            &[prev],
+            b,
+            wire,
+            |mb| &mut mb.replies,
+            "quantize intra rows",
+        );
+    }
+    prev = add_issue_rows(g, &[prev], b);
+    prev = add_claim_rows(g, &[prev], b);
+    if !wire.is_identity() {
+        prev = add_dequantize_rows(g, &[prev], b, wire);
+    }
+    prev = add_tower_fwd(g, &[prev], b);
+    if !wire.is_identity() {
+        prev = add_quantize(
+            g,
+            &[prev],
+            b,
+            wire,
+            |mb| &mut mb.out_sends,
+            "quantize peer outputs",
+        );
+    }
+    add_issue_outputs(g, &[prev], b)
+}
+
+/// Emits `claim outputs → [dequantize] → dense fwd/bwd → [quantize] → issue
+/// peer grads` for micro-batch `b`.
+fn add_dense_chain<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    dep: Id,
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    let mut prev = add_claim_outputs(g, &[dep], b);
+    if !wire.is_identity() {
+        prev = add_dequantize_outputs(g, &[prev], b, wire);
+    }
+    prev = add_dense(g, &[prev], b);
+    if !wire.is_identity() {
+        prev = add_quantize(
+            g,
+            &[prev],
+            b,
+            wire,
+            |mb| &mut mb.grad_sends,
+            "quantize peer grads",
+        );
+    }
+    add_issue_peer_grads(g, &[prev], b)
+}
+
+/// Emits `claim peer grads → [dequantize] → tower bwd → [quantize] → issue
+/// intra grads` for micro-batch `b`.
+fn add_backward_chain<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    dep: Id,
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    let mut prev = add_claim_peer_grads(g, &[dep], b);
+    if !wire.is_identity() {
+        prev = add_dequantize_peer_grads(g, &[prev], b, wire);
+    }
+    prev = add_tower_bwd(g, &[prev], b);
+    if !wire.is_identity() {
+        prev = add_quantize(
+            g,
+            &[prev],
+            b,
+            wire,
+            |mb| &mut mb.grad_bufs,
+            "quantize intra grads",
+        );
+    }
+    add_issue_intra_grads(g, &[prev], b)
+}
+
+/// Emits `claim intra grads → [dequantize] → merge` for micro-batch `b`.
+fn add_merge_chain<'g>(
+    g: &mut IterationGraph<'g, Ctx<'_>>,
+    deps: &[Id],
+    b: usize,
+    wire: WireFormat,
+) -> Id {
+    let mut prev = add_claim_intra_grads(g, deps, b);
+    if !wire.is_identity() {
+        prev = add_dequantize_intra_grads(g, &[prev], b, wire);
+    }
+    add_merge(g, &[prev], b)
+}
+
+impl RankLowering for DmtLowering {
+    fn compute_label(&self) -> &'static str {
+        "dense + tower-module compute"
     }
 
-    let mut totals = Vec::new();
-    let mut losses = Vec::new();
-    let mut wall_s = 0.0;
-    for _ in 0..config.iterations {
-        let iter_start = Instant::now();
-        HasParameters::zero_grad(dense);
-        HasParameters::zero_grad(tower);
-        let batch = data.next_batch(config.local_batch);
-        let mbs: Vec<DmtMicroBatch> = batch
-            .split(m)
-            .into_iter()
-            .map(|batch| DmtMicroBatch {
-                batch,
-                routing: LookupRouting::default(),
-                tower_bags: Vec::new(),
-                peer_idx_op: None,
-                intra_idx_op: None,
-                intra_rows_op: None,
-                peer_out_op: None,
-                peer_grad_op: None,
-                intra_grads_op: None,
-            })
-            .collect();
+    fn run_graph(
+        &mut self,
+        comm: &mut RankComms,
+        mbs: Vec<Batch>,
+        waits: &mut Vec<WaitEntry>,
+    ) -> Result<IterationStats, DistributedError> {
+        HasParameters::zero_grad(&mut self.dense);
+        HasParameters::zero_grad(&mut self.tower);
+        let m = mbs.len();
+        let wire = self.wire;
+        let world = comm.global.world_size();
+        let slots = self.slots;
+        let schedule = self.schedule;
         let mut ctx = Ctx {
-            layout,
-            lookup,
-            tower,
-            dense,
+            low: self,
             comm,
-            n,
-            num_dense: schema.num_dense,
-            inv_m,
-            local_batch: config.local_batch,
-            mbs,
+            waits,
+            mbs: mbs.into_iter().map(Mb::new).collect(),
             tower_ar: None,
             dense_ar: None,
-            waits: Vec::new(),
+            inv_m: 1.0 / m as f32,
             loss_sum: 0.0,
+            scores: Vec::new(),
+            labels: Vec::new(),
         };
 
-        let mut graph: StageGraph<Ctx> = StageGraph::new();
-        // SPTT step (a), prefetched for every micro-batch: the peer index
-        // distribution depends only on input data.
-        let mut encode_ids = Vec::with_capacity(m);
-        for b in 0..m {
-            encode_ids.push(
-                graph.add("issue peer index AlltoAll", &[], move |ctx: &mut Ctx| {
-                    let sends = encode_peer_sends(&ctx.mbs[b].batch, &ctx.layout.groups);
-                    ctx.mbs[b].peer_idx_op =
-                        Some(ctx.comm.peer.all_to_all_indices_nonblocking(sends));
-                    Ok(())
-                }),
-            );
-        }
-        // The forward chain (decode → answer → tower forward) is scheduled
-        // depth-first per micro-batch: micro-batch b's tower compute then hides
-        // micro-batch b+1's peer index transfer (the only stage with no earlier
-        // compute to hide behind) as well as the in-flight peer output exchanges.
-        let mut decode_ids = Vec::with_capacity(m);
-        let mut answer_ids = Vec::with_capacity(m);
-        let mut tower_fwd_ids = Vec::with_capacity(m);
-        for b in 0..m {
-            decode_ids.push(graph.add(
-                "decode + issue intra index",
-                &[encode_ids[b]],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b].peer_idx_op.take().expect("peer idx issued");
-                    let incoming = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "peer index distribution AlltoAll",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::Peer,
-                    )?;
-                    let mb_len = ctx.mbs[b].batch.len();
-                    let tower_bags =
-                        decode_peer_streams(&incoming, ctx.layout.my_features.len(), mb_len);
-                    let requests = {
-                        let bags: Vec<&[Vec<usize>]> =
-                            tower_bags.iter().map(Vec::as_slice).collect();
-                        ctx.lookup.route(ctx.comm.intra.world_size(), &bags)
-                    };
-                    ctx.mbs[b].routing.request_keys = requests.clone();
-                    ctx.mbs[b].tower_bags = tower_bags;
-                    ctx.mbs[b].intra_idx_op =
-                        Some(ctx.comm.intra.all_to_all_indices_nonblocking(requests));
-                    Ok(())
-                },
-            ));
-            // Answer the intra-host requests and launch the row fetch.
-            answer_ids.push(graph.add(
-                "answer + issue intra rows",
-                &[decode_ids[b]],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b].intra_idx_op.take().expect("intra idx issued");
-                    let incoming = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "intra-host index AlltoAll (fwd)",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::IntraHost,
-                    )?;
-                    let replies = ctx.lookup.answer(&incoming)?;
-                    ctx.mbs[b].routing.served_keys = incoming;
-                    ctx.mbs[b].intra_rows_op = Some(ctx.comm.intra.all_to_all_nonblocking(replies));
-                    Ok(())
-                },
-            ));
-            // Pool, run the tower module and launch the compressed peer output
-            // exchange.
-            tower_fwd_ids.push(graph.add(
-                "tower fwd + issue peer outputs",
-                &[answer_ids[b]],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b].intra_rows_op.take().expect("intra rows issued");
-                    let fetched = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "intra-host row fetch AlltoAll (fwd)",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::IntraHost,
-                    )?;
-                    let mb_len = ctx.mbs[b].batch.len();
-                    let hosts = ctx.layout.hosts;
-                    let w_mine = ctx.layout.tower_widths[ctx.layout.my_host];
-                    let sends = {
-                        let mb = &ctx.mbs[b];
-                        let bags: Vec<&[Vec<usize>]> =
-                            mb.tower_bags.iter().map(Vec::as_slice).collect();
-                        let embs = ctx.lookup.pool(&bags, &mb.routing, &fetched)?;
-                        let refs: Vec<&Tensor> = embs.iter().collect();
-                        let tower_input = Tensor::concat_cols(&refs)?;
-                        let tower_out = ctx.tower.forward(&tower_input)?;
-                        let out_data = tower_out.data();
-                        (0..hosts)
-                            .map(|src| {
-                                out_data[src * mb_len * w_mine..(src + 1) * mb_len * w_mine]
-                                    .to_vec()
-                            })
-                            .collect::<Vec<Vec<f32>>>()
-                    };
-                    ctx.mbs[b].peer_out_op = Some(ctx.comm.peer.all_to_all_nonblocking(sends));
-                    Ok(())
-                },
-            ));
-        }
-        // Dense forward/backward over the local micro-batch; launch the tower-grad
-        // return exchange.
-        let mut dense_ids = Vec::with_capacity(m);
-        for (b, &tower_fwd_id) in tower_fwd_ids.iter().enumerate() {
-            dense_ids.push(graph.add(
-                "dense fwd/bwd + issue peer grads",
-                &[tower_fwd_id],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b].peer_out_op.take().expect("peer out issued");
-                    let received = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "peer tower-output AlltoAll (fwd)",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::Peer,
-                    )?;
-                    let mb_len = ctx.mbs[b].batch.len();
-                    let tower_blocks: Vec<Tensor> = received
-                        .into_iter()
-                        .enumerate()
-                        .map(|(t, flat)| {
-                            Tensor::from_vec(vec![mb_len, ctx.layout.tower_widths[t]], flat)
-                        })
-                        .collect::<Result<_, _>>()?;
-                    let refs: Vec<&Tensor> = tower_blocks.iter().collect();
-                    let feature_block = Tensor::concat_cols(&refs)?;
-                    let dense_input = Tensor::from_vec(
-                        vec![mb_len, ctx.num_dense],
-                        ctx.mbs[b].batch.dense_flat(),
-                    )?;
-                    // Exact per-sample weighting for unequal micro-batches (see
-                    // the baseline's compute stage): grad_scale pre-compensates
-                    // the final 1/M averaging.
-                    let weight = mb_len as f32 / ctx.local_batch as f32;
-                    let (loss, grad_block) = ctx.dense.forward_backward(
-                        &dense_input,
-                        &feature_block,
-                        &ctx.mbs[b].batch.labels,
-                        weight / ctx.inv_m,
-                    )?;
-                    ctx.loss_sum += loss * f64::from(weight);
-                    let grad_pieces = grad_block.split_cols(&ctx.layout.tower_widths)?;
-                    let sends: Vec<Vec<f32>> =
-                        grad_pieces.iter().map(|t| t.data().to_vec()).collect();
-                    ctx.mbs[b].peer_grad_op = Some(ctx.comm.peer.all_to_all_nonblocking(sends));
-                    Ok(())
-                },
-            ));
-        }
-        // Tower backward; launch the intra-host gradient exchange to the shards.
-        let mut tower_bwd_ids = Vec::with_capacity(m);
-        for (b, &dense_id) in dense_ids.iter().enumerate() {
-            tower_bwd_ids.push(graph.add(
-                "tower bwd + issue intra grads",
-                &[dense_id],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b].peer_grad_op.take().expect("peer grad issued");
-                    let received = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "peer tower-grad AlltoAll (bwd)",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::Peer,
-                    )?;
-                    let mb_len = ctx.mbs[b].batch.len();
-                    let hosts = ctx.layout.hosts;
-                    let w_mine = ctx.layout.tower_widths[ctx.layout.my_host];
-                    let mut grad_tower_out = Vec::with_capacity(hosts * mb_len * w_mine);
-                    for src in received {
-                        grad_tower_out.extend(src);
-                    }
-                    let grad_tower_out =
-                        Tensor::from_vec(vec![hosts * mb_len, w_mine], grad_tower_out)?;
-                    let grad_tower_input = ctx.tower.backward(&grad_tower_out)?;
-                    let mut grads =
-                        grad_tower_input.split_cols(&vec![ctx.n; ctx.layout.my_features.len()])?;
-                    scale_grads(&mut grads, ctx.inv_m);
-                    let grad_bufs = {
-                        let mb = &ctx.mbs[b];
-                        let bags: Vec<&[Vec<usize>]> =
-                            mb.tower_bags.iter().map(Vec::as_slice).collect();
-                        ctx.lookup.build_grad_bufs(&bags, &mb.routing, &grads)
-                    };
-                    ctx.mbs[b].intra_grads_op =
-                        Some(ctx.comm.intra.all_to_all_nonblocking(grad_bufs));
-                    Ok(())
-                },
-            ));
-        }
-        // Both AllReduces launch as soon as the last backward finishes; the tower
-        // one rides the intra-host world, the dense one the global world, so they
-        // overlap each other and every merge below.
-        let last_bwd = tower_bwd_ids[m - 1];
-        let ar_issue = graph.add(
-            "issue tower + dense AllReduce",
-            &[last_bwd],
-            |ctx: &mut Ctx| {
-                let tower_flat = flatten_grads(ctx.tower);
-                ctx.tower_ar = Some(ctx.comm.intra.all_reduce_nonblocking(tower_flat));
-                let dense_flat = flatten_grads(ctx.dense);
-                ctx.dense_ar = Some(ctx.comm.global.all_reduce_nonblocking(dense_flat));
-                Ok(())
-            },
-        );
-        // Merge each micro-batch's sharded-embedding gradients on the owners.
-        let mut merge_ids = Vec::with_capacity(m);
-        for (b, &tower_bwd_id) in tower_bwd_ids.iter().enumerate() {
-            merge_ids.push(graph.add(
-                "merge intra grads",
-                &[tower_bwd_id, ar_issue],
-                move |ctx: &mut Ctx| {
-                    let op = ctx.mbs[b]
-                        .intra_grads_op
-                        .take()
-                        .expect("intra grads issued");
-                    let incoming = wait_logged(
-                        op,
-                        &mut ctx.waits,
-                        "intra-host gradient AlltoAll (bwd)",
-                        SegmentKind::EmbeddingComm,
-                        CommScope::IntraHost,
-                    )?;
-                    let routing = std::mem::take(&mut ctx.mbs[b].routing);
-                    ctx.lookup.merge_grads(&routing, incoming)?;
-                    Ok(())
-                },
-            ));
-        }
-        let last_merge = merge_ids[m - 1];
-        graph.add("wait tower AllReduce", &[ar_issue, last_merge], {
-            let scale = inv_m / slots as f32;
-            move |ctx: &mut Ctx| {
-                let op = ctx.tower_ar.take().expect("tower allreduce issued");
-                let flat = wait_logged(
-                    op,
-                    &mut ctx.waits,
-                    "tower-module intra-host AllReduce",
-                    SegmentKind::DenseSync,
-                    CommScope::IntraHost,
-                )?;
-                write_back_grads(ctx.tower, &flat, scale);
-                Ok(())
+        let mut g: IterationGraph<Ctx> = IterationGraph::new();
+        match schedule {
+            // Blocking order: each SPTT step completes before the next begins;
+            // the two AllReduces run back to back after the backward.
+            ScheduleMode::Sync => {
+                debug_assert_eq!(m, 1, "the sync schedule runs one micro-batch");
+                let peer_route = add_peer_route(&mut g, &[], 0);
+                let forwarded = add_forward_chain(&mut g, peer_route, 0, wire);
+                let densed = add_dense_chain(&mut g, forwarded, 0, wire);
+                let backed = add_backward_chain(&mut g, densed, 0, wire);
+                let merged = add_merge_chain(&mut g, &[backed], 0, wire);
+                let tower_ar = add_tower_ar_issue(&mut g, &[merged], wire);
+                let tower_done = add_tower_ar_claim(&mut g, &[tower_ar], slots);
+                let dense_ar = add_dense_ar_issue(&mut g, &[tower_done], wire);
+                add_dense_ar_claim(&mut g, &[dense_ar], world);
             }
-        });
-        graph.add("wait dense AllReduce", &[ar_issue], {
-            let scale = inv_m / world as f32;
-            move |ctx: &mut Ctx| {
-                let op = ctx.dense_ar.take().expect("dense allreduce issued");
-                let flat = wait_logged(
-                    op,
-                    &mut ctx.waits,
-                    "dense gradient AllReduce",
-                    SegmentKind::DenseSync,
-                    CommScope::Global,
-                )?;
-                write_back_grads(ctx.dense, &flat, scale);
-                Ok(())
+            // Overlapped order: peer index exchanges prefetched for every
+            // micro-batch; the forward chain (decode → answer → tower forward)
+            // runs depth-first per micro-batch so micro-batch `b`'s tower
+            // compute hides `b+1`'s peer index transfer and the in-flight peer
+            // output exchanges; both AllReduces launch right after the last
+            // backward and ride their own worlds under the gradient merges.
+            ScheduleMode::Pipelined => {
+                let mut peer_routes = Vec::with_capacity(m);
+                for b in 0..m {
+                    peer_routes.push(add_peer_route(&mut g, &[], b));
+                }
+                let mut forwarded = Vec::with_capacity(m);
+                for (b, &route) in peer_routes.iter().enumerate() {
+                    forwarded.push(add_forward_chain(&mut g, route, b, wire));
+                }
+                let mut densed = Vec::with_capacity(m);
+                for (b, &fwd) in forwarded.iter().enumerate() {
+                    densed.push(add_dense_chain(&mut g, fwd, b, wire));
+                }
+                let mut backed = Vec::with_capacity(m);
+                for (b, &dense) in densed.iter().enumerate() {
+                    backed.push(add_backward_chain(&mut g, dense, b, wire));
+                }
+                let tower_ar = add_tower_ar_issue(&mut g, &[backed[m - 1]], wire);
+                let dense_ar = add_dense_ar_issue(&mut g, &[backed[m - 1]], wire);
+                let mut merges = Vec::with_capacity(m);
+                for (b, &issued) in backed.iter().enumerate() {
+                    merges.push(add_merge_chain(&mut g, &[issued, dense_ar], b, wire));
+                }
+                add_tower_ar_claim(&mut g, &[tower_ar, merges[m - 1]], slots);
+                add_dense_ar_claim(&mut g, &[dense_ar], world);
             }
-        });
-        graph.run(&mut ctx)?;
+        }
+        g.run(&mut ctx)?;
 
         let Ctx {
-            waits, loss_sum, ..
+            loss_sum,
+            scores,
+            labels,
+            ..
         } = ctx;
-        losses.push(loss_sum);
-
-        let opt_start = Instant::now();
-        adam_dense.step(dense);
-        adam_tower.step(tower);
-        lookup.apply_rowwise_adagrad(config.learning_rate, 1e-8);
-        let opt_s = opt_start.elapsed().as_secs_f64();
-
-        let iter_s = iter_start.elapsed().as_secs_f64();
-        let mut comm_samples = Vec::new();
-        zip_world(&mut comm_samples, &waits, CommScope::Peer, &mut comm.peer);
-        zip_world(
-            &mut comm_samples,
-            &waits,
-            CommScope::IntraHost,
-            &mut comm.intra,
-        );
-        zip_world(
-            &mut comm_samples,
-            &waits,
-            CommScope::Global,
-            &mut comm.global,
-        );
-        // Straggler waits beyond the transfer duration fold into compute — the
-        // sync path's convention — so breakdown totals stay comparable across
-        // schedules on imbalanced ranks (the towers' feature counts differ).
-        let exposed_s: f64 = comm_samples.iter().map(|s| s.exposed_s).sum();
-        let compute_s = (iter_s - exposed_s - opt_s).max(0.0);
-        let mut samples = vec![SegmentSample::compute(
-            "dense + tower-module compute",
-            SegmentKind::Compute,
-            compute_s,
-        )];
-        samples.extend(comm_samples);
-        samples.push(SegmentSample::compute(
-            "optimizer + host overhead",
-            SegmentKind::Other,
-            opt_s,
-        ));
-        accumulate(&mut totals, samples);
-        wall_s += iter_s;
+        Ok(IterationStats {
+            loss: loss_sum,
+            auc: roc_auc(&scores, &labels),
+        })
     }
-    Ok(RankOutcome {
-        segments: totals,
-        losses,
-        wall_s,
-    })
+
+    fn optimizer_step(&mut self) {
+        self.adam_dense.step(&mut self.dense);
+        self.adam_tower.step(&mut self.tower);
+        self.lookup.apply_rowwise_adagrad(self.learning_rate, 1e-8);
+    }
 }

@@ -11,9 +11,11 @@
 //! analytical simulator uses.
 
 use super::config::{DistributedConfig, ExecutionMode, ScheduleMode};
-use dmt_comm::{CommError, CommOp, OpRecord, SharedMemoryBackend};
-use dmt_commsim::{IterationTimeline, LatencyBreakdown, Segment, SegmentKind};
+use super::RankComms;
+use dmt_comm::{Backend, CommOp, OpRecord};
+use dmt_commsim::{IterationTimeline, LatencyBreakdown, Quantization, Segment, SegmentKind};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Which communicator world a measured segment ran over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -80,6 +82,9 @@ pub struct MeasuredRun {
     pub mode: ExecutionMode,
     /// The collective schedule the run used.
     pub schedule: ScheduleMode,
+    /// Wire precision of the quantizable exchanges (embedding rows, tower
+    /// outputs, gradients, AllReduces); index exchanges always ride native width.
+    pub wire: Quantization,
     /// Number of rank threads.
     pub world_size: usize,
     /// Iterations averaged over.
@@ -88,6 +93,9 @@ pub struct MeasuredRun {
     pub segments: Vec<MeasuredSegment>,
     /// Mean training loss across ranks, one entry per iteration.
     pub losses: Vec<f64>,
+    /// Mean training ROC AUC on the local batches across ranks, one entry per
+    /// iteration (`None` when no rank's batch held both classes).
+    pub aucs: Vec<Option<f64>>,
     /// Mean wall-clock seconds per iteration (slowest rank) — the end-to-end
     /// figure overlap is supposed to shrink. Under the sync schedule this is close
     /// to the sum of segment durations; under the pipelined schedule it is
@@ -167,6 +175,26 @@ impl MeasuredRun {
         }
         (1.0 - self.exposed_comm_s() / total).clamp(0.0, 1.0)
     }
+
+    /// Mean training AUC over the iterations where it was defined.
+    #[must_use]
+    pub fn mean_auc(&self) -> Option<f64> {
+        let defined: Vec<f64> = self.aucs.iter().filter_map(|a| *a).collect();
+        if defined.is_empty() {
+            None
+        } else {
+            Some(defined.iter().sum::<f64>() / defined.len() as f64)
+        }
+    }
+
+    /// Mean training loss over the run's iterations.
+    #[must_use]
+    pub fn mean_loss(&self) -> f64 {
+        if self.losses.is_empty() {
+            return 0.0;
+        }
+        self.losses.iter().sum::<f64>() / self.losses.len() as f64
+    }
 }
 
 /// One measured sample of a segment within a single iteration.
@@ -223,61 +251,7 @@ impl SegmentSample {
     }
 }
 
-/// Accumulates per-iteration segment samples for one rank.
-#[derive(Default)]
-pub(crate) struct Recorder {
-    pub samples: Vec<SegmentSample>,
-}
-
-impl Recorder {
-    pub(crate) fn push_compute(&mut self, label: &'static str, kind: SegmentKind, time_s: f64) {
-        self.samples
-            .push(SegmentSample::compute(label, kind, time_s));
-    }
-
-    /// Records whatever collectives `backend` has accumulated since its last drain
-    /// as one *fully exposed* segment — the sync-schedule convention (the rank was
-    /// blocked inside every one of those calls).
-    pub(crate) fn record_drained(
-        &mut self,
-        label: &'static str,
-        kind: SegmentKind,
-        scope: CommScope,
-        backend: &mut SharedMemoryBackend,
-    ) {
-        use dmt_comm::Backend;
-        let records = backend.drain_records();
-        let time_s: f64 = records.iter().map(|r| r.elapsed_s).sum();
-        self.samples.push(SegmentSample {
-            label,
-            kind,
-            scope,
-            op: records.iter().map(|r| r.op).next_back(),
-            time_s,
-            exposed_s: time_s,
-            payload_bytes: records.iter().map(|r| r.payload_bytes).sum(),
-            cross_host_bytes: records.iter().map(|r| r.cross_host_bytes).sum(),
-            intra_host_bytes: records.iter().map(|r| r.intra_host_bytes).sum(),
-        });
-    }
-
-    /// Runs `body` against `backend` and records the drained collective records as
-    /// one segment.
-    pub(crate) fn comm<T>(
-        &mut self,
-        label: &'static str,
-        kind: SegmentKind,
-        scope: CommScope,
-        backend: &mut SharedMemoryBackend,
-        body: impl FnOnce(&mut SharedMemoryBackend) -> Result<T, CommError>,
-    ) -> Result<T, CommError> {
-        let out = body(backend)?;
-        self.record_drained(label, kind, scope, backend);
-        Ok(out)
-    }
-}
-
-/// One logged wait of the pipelined schedule: which op, which world, how long
+/// One logged wait of the executed schedule: which op, which world, how long
 /// the rank was blocked.
 pub(crate) struct WaitEntry {
     pub label: &'static str,
@@ -304,32 +278,81 @@ pub(crate) fn wait_logged<T>(
     result.map_err(Into::into)
 }
 
-/// Zips one world's logged waits with its drained op records (both are in issue
-/// order — the helper thread is FIFO and the schedule waits in issue order) into
-/// measured segment samples.
-pub(crate) fn zip_world(
-    samples: &mut Vec<SegmentSample>,
+/// Zips one iteration's logged waits with the worlds' drained op records into
+/// measured samples — **in wait order across worlds**, which is the graph's
+/// schedule order. Within one world, records are FIFO (the helper thread runs
+/// in issue order and the schedule waits in issue order), so each wait claims
+/// the front of its scope's record queue. Consecutive same-labelled samples on
+/// the same scope merge into one (e.g. the intra-host index + row-fetch pair
+/// forms one "row fetch" segment; a micro-batched exchange folds into one
+/// segment per pipeline wave), keeping the segment sequence schedule-invariant.
+pub(crate) fn collect_comm_samples(
+    comm: &mut RankComms,
     waits: &[WaitEntry],
-    scope: CommScope,
-    backend: &mut SharedMemoryBackend,
-) {
-    use dmt_comm::Backend;
-    let records = backend.drain_records();
-    let scoped: Vec<&WaitEntry> = waits.iter().filter(|w| w.scope == scope).collect();
-    debug_assert_eq!(
-        scoped.len(),
-        records.len(),
-        "every waited op must have exactly one record"
-    );
-    for (wait, record) in scoped.iter().zip(&records) {
-        samples.push(SegmentSample::from_record(
-            wait.label,
-            wait.kind,
-            wait.scope,
-            record,
-            wait.blocked_s,
-        ));
+) -> Vec<SegmentSample> {
+    let mut global: VecDeque<OpRecord> = comm.global.drain_records().into();
+    let mut intra: VecDeque<OpRecord> = comm.intra.drain_records().into();
+    let mut peer: VecDeque<OpRecord> = comm.peer.drain_records().into();
+    let mut samples: Vec<SegmentSample> = Vec::new();
+    for wait in waits {
+        let queue = match wait.scope {
+            CommScope::Global => &mut global,
+            CommScope::IntraHost => &mut intra,
+            CommScope::Peer => &mut peer,
+            CommScope::Local => unreachable!("local segments never wait on a collective"),
+        };
+        let record = queue
+            .pop_front()
+            .expect("every waited op leaves exactly one record");
+        let sample =
+            SegmentSample::from_record(wait.label, wait.kind, wait.scope, &record, wait.blocked_s);
+        match samples.last_mut() {
+            Some(last) if last.label == sample.label && last.scope == sample.scope => {
+                last.time_s += sample.time_s;
+                last.exposed_s += sample.exposed_s;
+                last.payload_bytes += sample.payload_bytes;
+                last.cross_host_bytes += sample.cross_host_bytes;
+                last.intra_host_bytes += sample.intra_host_bytes;
+                // The merged segment reports the round trip's final collective
+                // (the row fetch of an index+rows pair), matching what a
+                // bandwidth model should price the bulk bytes as.
+                last.op = sample.op;
+            }
+            _ => samples.push(sample),
+        }
     }
+    debug_assert!(
+        global.is_empty() && intra.is_empty() && peer.is_empty(),
+        "every executed collective must be claimed by a wait"
+    );
+    samples
+}
+
+/// Assembles one iteration's full sample list: the compute segment (everything
+/// not blocked in a wait and not the optimizer), the communication samples in
+/// schedule order, and the optimizer/host segment.
+pub(crate) fn iteration_samples(
+    compute_label: &'static str,
+    comm_samples: Vec<SegmentSample>,
+    iter_s: f64,
+    opt_s: f64,
+) -> Vec<SegmentSample> {
+    let exposed_s: f64 = comm_samples.iter().map(|s| s.exposed_s).sum();
+    // Straggler waits beyond the transfer duration fold into compute, so
+    // breakdown totals stay comparable across schedules on imbalanced ranks.
+    let compute_s = (iter_s - exposed_s - opt_s).max(0.0);
+    let mut samples = vec![SegmentSample::compute(
+        compute_label,
+        SegmentKind::Compute,
+        compute_s,
+    )];
+    samples.extend(comm_samples);
+    samples.push(SegmentSample::compute(
+        "optimizer + host overhead",
+        SegmentKind::Other,
+        opt_s,
+    ));
+    samples
 }
 
 /// Per-rank result of a full run.
@@ -337,6 +360,9 @@ pub(crate) struct RankOutcome {
     /// Accumulated segment totals across iterations, in segment order.
     pub segments: Vec<SegmentSample>,
     pub losses: Vec<f64>,
+    /// Per-iteration training AUC on this rank's local batches (`None` when a
+    /// batch held a single class).
+    pub aucs: Vec<Option<f64>>,
     /// Total wall-clock seconds this rank spent across all iterations.
     pub wall_s: f64,
 }
@@ -417,6 +443,16 @@ pub(crate) fn aggregate(
     let losses = (0..config.iterations)
         .map(|i| outcomes.iter().map(|o| o.losses[i]).sum::<f64>() / world as f64)
         .collect();
+    let aucs = (0..config.iterations)
+        .map(|i| {
+            let defined: Vec<f64> = outcomes.iter().filter_map(|o| o.aucs[i]).collect();
+            if defined.is_empty() {
+                None
+            } else {
+                Some(defined.iter().sum::<f64>() / defined.len() as f64)
+            }
+        })
+        .collect();
     let wall_s_per_iter = outcomes
         .iter()
         .map(|o| o.wall_s / iters)
@@ -424,10 +460,12 @@ pub(crate) fn aggregate(
     MeasuredRun {
         mode,
         schedule: config.schedule,
+        wire: config.wire_precision,
         world_size: world,
         iterations: config.iterations,
         segments,
         losses,
+        aucs,
         wall_s_per_iter,
     }
 }
@@ -455,10 +493,12 @@ mod tests {
         let run = MeasuredRun {
             mode: ExecutionMode::Baseline,
             schedule: ScheduleMode::Pipelined,
+            wire: Quantization::Fp32,
             world_size: 2,
             iterations: 1,
             segments: vec![comm_segment(1.0, 10e-3), comm_segment(0.0, 10e-3)],
             losses: vec![0.5],
+            aucs: vec![Some(0.6)],
             wall_s_per_iter: 15e-3,
         };
         assert!((run.comm_time_s() - 20e-3).abs() < 1e-12);
@@ -471,10 +511,12 @@ mod tests {
         let run = MeasuredRun {
             mode: ExecutionMode::Baseline,
             schedule: ScheduleMode::Sync,
+            wire: Quantization::Fp32,
             world_size: 2,
             iterations: 1,
             segments: vec![comm_segment(1.0, 5e-3)],
             losses: vec![0.5],
+            aucs: vec![None],
             wall_s_per_iter: 5e-3,
         };
         assert_eq!(run.hidden_comm_fraction(), 0.0);

@@ -3,7 +3,6 @@
 //! interleave them with collectives) and the replicated dense stack.
 
 use super::config::DistributedError;
-use dmt_comm::{Backend, CommError, SharedMemoryBackend};
 use dmt_data::{Batch, DatasetSchema};
 use dmt_models::{ModelArch, ModelHyperparams};
 use dmt_nn::param::HasParameters;
@@ -46,8 +45,9 @@ pub(crate) fn feature_runs(keys: &[u64]) -> impl Iterator<Item = (usize, Vec<usi
 /// Request-routing state of one in-flight fetch: which keys this rank asked each
 /// owner for, and which keys each source asked this rank for.
 ///
-/// Owned per micro-batch under the pipelined schedule (several fetches are in
-/// flight at once); the sync path keeps one inside [`ShardedLookup`].
+/// Owned per micro-batch (several fetches may be in flight at once under the
+/// pipelined schedule). The routing also tells the wire codec how many `f32`
+/// elements each encoded shard decodes to: `keys × dim` per owner/source.
 #[derive(Default)]
 pub(crate) struct LookupRouting {
     /// Requester side: per-owner sorted-unique request keys.
@@ -71,8 +71,6 @@ pub(crate) struct ShardedLookup {
     /// This rank's shard of each feature's table, aligned with `features`.
     shards: Vec<ShardedEmbeddingTable>,
     dim: usize,
-    /// Routing of the current sync-mode iteration.
-    routing: LookupRouting,
 }
 
 impl ShardedLookup {
@@ -108,7 +106,6 @@ impl ShardedLookup {
             features,
             shards,
             dim,
-            routing: LookupRouting::default(),
         }
     }
 
@@ -151,8 +148,7 @@ impl ShardedLookup {
         for keys in incoming {
             let mut reply = Vec::with_capacity(keys.len() * dim);
             for (feature, rows) in feature_runs(keys) {
-                reply
-                    .extend_from_slice(&self.shards[self.feature_pos(feature)].lookup_rows(&rows)?);
+                self.shards[self.feature_pos(feature)].lookup_rows_into(&rows, &mut reply)?;
             }
             replies.push(reply);
         }
@@ -255,46 +251,6 @@ impl ShardedLookup {
         Ok(())
     }
 
-    // --- Blocking composition (sync schedule) -------------------------------
-
-    /// Fetches and pools embeddings for `bags` (aligned with `features`; one bag per
-    /// sample per feature) through `backend`, storing the routing for the matching
-    /// [`ShardedLookup::push_grads`]. Returns one `[num_samples, dim]` tensor per
-    /// feature.
-    pub(crate) fn fetch(
-        &mut self,
-        backend: &mut SharedMemoryBackend,
-        bags: &[&[Vec<usize>]],
-    ) -> Result<Vec<Tensor>, DistributedError> {
-        let requests = self.route(backend.world_size(), bags);
-        self.routing.request_keys = requests.clone();
-        let incoming = backend.all_to_all_indices(requests)?;
-        let replies = self.answer(&incoming)?;
-        self.routing.served_keys = incoming;
-        let fetched = backend.all_to_all(replies)?;
-        let routing = std::mem::take(&mut self.routing);
-        let out = self.pool(bags, &routing, &fetched);
-        self.routing = routing;
-        out
-    }
-
-    /// Pushes per-feature pooled-embedding gradients (aligned with `features` and
-    /// the preceding [`ShardedLookup::fetch`]) back to the row owners, which
-    /// accumulate them as pending sparse gradients.
-    pub(crate) fn push_grads(
-        &mut self,
-        backend: &mut SharedMemoryBackend,
-        bags: &[&[Vec<usize>]],
-        grads: &[Tensor],
-    ) -> Result<(), DistributedError> {
-        let routing = std::mem::take(&mut self.routing);
-        let grad_bufs = self.build_grad_bufs(bags, &routing, grads);
-        let incoming = backend.all_to_all(grad_bufs)?;
-        let result = self.merge_grads(&routing, incoming);
-        self.routing = routing;
-        result
-    }
-
     pub(crate) fn apply_rowwise_adagrad(&mut self, learning_rate: f32, eps: f32) {
         for shard in &mut self.shards {
             shard.apply_rowwise_adagrad(learning_rate, eps);
@@ -356,8 +312,9 @@ impl DenseStack {
         }
     }
 
-    /// Forward + backward over one local batch. Returns the mean loss and the
-    /// gradient with respect to the feature block. Parameter gradients
+    /// Forward + backward over one local batch. Returns the mean loss, the
+    /// per-sample predicted click probabilities (for training-AUC tracking) and
+    /// the gradient with respect to the feature block. Parameter gradients
     /// *accumulate* across calls (micro-batches) until `zero_grad`.
     ///
     /// `grad_scale` multiplies the loss gradient before it propagates (the loss
@@ -373,7 +330,7 @@ impl DenseStack {
         feature_block: &Tensor,
         labels: &[f32],
         grad_scale: f32,
-    ) -> Result<(f64, Tensor), DistributedError> {
+    ) -> Result<(f64, Vec<f32>, Tensor), DistributedError> {
         let dense_repr = self.bottom.forward(dense_input)?;
         let units = Tensor::concat_cols(&[&dense_repr, feature_block])?;
         let over_input = match self.arch {
@@ -392,7 +349,7 @@ impl DenseStack {
                 .forward(&units)?,
         };
         let logits = self.over.forward(&over_input)?;
-        let (loss, _predictions, mut grad_logits) = self.loss.forward_backward(&logits, labels)?;
+        let (loss, predictions, mut grad_logits) = self.loss.forward_backward(&logits, labels)?;
         if grad_scale != 1.0 {
             // Gradients are linear in the loss gradient, so scaling here scales
             // every parameter gradient of this pass.
@@ -427,7 +384,7 @@ impl DenseStack {
             grad_dense_repr.axpy(1.0, &direct)?;
         }
         self.bottom.backward(&grad_dense_repr)?;
-        Ok((loss, pieces[1].clone()))
+        Ok((loss, predictions, pieces[1].clone()))
     }
 }
 
@@ -465,20 +422,6 @@ pub(crate) fn write_back_grads<M: HasParameters + ?Sized>(
         }
         offset += n;
     });
-}
-
-/// AllReduces and averages every parameter gradient reachable through `module` —
-/// the blocking (sync-schedule) composition of [`flatten_grads`] /
-/// [`write_back_grads`].
-pub(crate) fn sync_grads<M: HasParameters + ?Sized>(
-    module: &mut M,
-    backend: &mut SharedMemoryBackend,
-) -> Result<(), CommError> {
-    let mut flat = flatten_grads(module);
-    backend.all_reduce(&mut flat)?;
-    let scale = 1.0 / backend.world_size() as f32;
-    write_back_grads(module, &flat, scale);
-    Ok(())
 }
 
 /// Collects per-feature bag slices out of a batch, aligned with `features`.

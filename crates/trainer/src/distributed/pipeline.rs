@@ -1,21 +1,22 @@
-//! A small stage-graph scheduler for the pipelined iteration.
+//! The stage-graph scheduler every lowered iteration runs on.
 //!
-//! A pipelined iteration is a DAG of *stages*: compute stages run on the rank's own
-//! thread, communication stages issue a nonblocking collective
-//! ([`dmt_comm::PendingOp`]) or claim one's result. The scheduler executes a
-//! **deterministic list schedule**: stages run exactly in the order they were
-//! added, and the declared dependency edges are *validated* against that order —
-//! a stage listed before one of its dependencies is a bug in the schedule (it
-//! would consume data that does not exist yet, or issue collectives in an order
-//! that differs across ranks and deadlocks the world), and the graph rejects it at
-//! construction instead of letting the world hang.
+//! An iteration — sync or pipelined, baseline or DMT — lowers onto a DAG of
+//! *stages* (see [`super::graph::IterationGraph`], the typed layer over this
+//! one): compute stages run on the rank's own thread, communication stages issue
+//! a nonblocking collective ([`dmt_comm::PendingOp`]) or claim one's result. The
+//! scheduler executes a **deterministic list schedule**: stages run exactly in
+//! the order they were added, and the declared dependency edges are *validated*
+//! against that order — a stage listed before one of its dependencies is a bug
+//! in the schedule (it would consume data that does not exist yet, or issue
+//! collectives in an order that differs across ranks and deadlocks the world),
+//! and the graph rejects it at construction instead of letting the world hang.
 //!
 //! Determinism is non-negotiable here: every rank must issue the same collective
 //! sequence on each communicator world, so a work-stealing or readiness-ordered
 //! executor would have to be constrained back to a fixed order anyway. Encoding
 //! the schedule as the stage list keeps the overlap structure auditable — the
 //! distance between a `issue X` stage and its `wait X` stage *is* the compute that
-//! hides transfer X.
+//! hides transfer X (zero distance = blocking semantics, the sync lowering).
 //!
 //! ```text
 //! baseline, 2 micro-batches (one global world, FIFO):

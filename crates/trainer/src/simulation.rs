@@ -1,6 +1,18 @@
 //! Iteration-latency simulation of hybrid-parallel and DMT training.
+//!
+//! Both deployments are expressed as [`SpecNode`] sequences — the declarative
+//! side of the iteration-graph IR in [`crate::distributed::graph`] — and priced
+//! by one shared routine ([`SimulationConfig::timeline_from_spec`]): each comm
+//! node declares its FP32 payload once, [`SpecNode::wire_bytes`] applies the
+//! wire precision, and [`crate::distributed::graph::price_comm`] maps the
+//! collective onto the α–β model (the same mapping the measured engine's
+//! calibration twin uses). The hand-rolled per-segment byte arithmetic this file
+//! used to carry lives in the spec now.
 
-use dmt_commsim::{collectives, CostModel, IterationTimeline, Quantization, Segment, SegmentKind};
+use crate::distributed::graph::{price_comm, OpKind, SpecNode};
+use crate::distributed::CommScope;
+use dmt_comm::CommOp;
+use dmt_commsim::{collectives, CostModel, IterationTimeline, Quantization, Segment};
 use dmt_models::PaperScaleSpec;
 use dmt_topology::{
     ClusterTopology, HardwareGeneration, ProcessGroup, TopologyError, TowerPlacement,
@@ -113,171 +125,221 @@ impl SimulationConfig {
         self.local_batch as u64 * self.model.num_sparse_features as u64 * 8
     }
 
-    /// Simulates one iteration of the hybrid-parallel strong baseline (Figure 4 flow).
+    /// The lowered spec of one hybrid-parallel baseline iteration (Figure 4
+    /// flow): every segment's kind, scope, collective, wire precision and FP32
+    /// payload, declared once.
     #[must_use]
-    pub fn simulate_baseline_iteration(&self) -> IterationTimeline {
+    pub fn baseline_spec(&self) -> Vec<SpecNode> {
+        vec![
+            SpecNode::local(
+                OpKind::DenseForwardBackward,
+                "dense + sparse compute",
+                self.compute_time_s(1.0),
+            ),
+            // Step a: feature distribution (indices).
+            SpecNode::comm(
+                OpKind::IndexExchange,
+                "feature distribution AlltoAll",
+                CommScope::Global,
+                CommOp::AllToAllIndices,
+                self.embedding_quant,
+                self.index_distribution_bytes(),
+                INPUT_DIST_EXPOSED,
+            ),
+            // Step c: embedding output AlltoAll (forward) + gradient AlltoAll
+            // (backward).
+            SpecNode::comm(
+                OpKind::RowExchange,
+                "embedding output AlltoAll (fwd)",
+                CommScope::Global,
+                CommOp::AllToAll,
+                self.embedding_quant,
+                self.embedding_exchange_bytes(),
+                EMBEDDING_EXCHANGE_EXPOSED,
+            ),
+            SpecNode::comm(
+                OpKind::GradExchange,
+                "embedding gradient AlltoAll (bwd)",
+                CommScope::Global,
+                CommOp::AllToAll,
+                self.embedding_quant,
+                self.embedding_exchange_bytes(),
+                EMBEDDING_EXCHANGE_EXPOSED,
+            ),
+            SpecNode::comm(
+                OpKind::AllReduce,
+                "dense gradient AllReduce",
+                CommScope::Global,
+                CommOp::AllReduce,
+                self.gradient_quant,
+                self.model.dense_grad_bytes(),
+                DENSE_SYNC_EXPOSED,
+            ),
+            SpecNode::local(
+                OpKind::Optimizer,
+                "optimizer + host overhead",
+                OTHER_OVERHEAD_S,
+            ),
+        ]
+    }
+
+    /// The lowered spec of one DMT iteration (SPTT steps a–f plus tower modules).
+    #[must_use]
+    pub fn dmt_spec(&self, dmt: &DmtThroughputConfig) -> Vec<SpecNode> {
         let model = self.cost_model();
-        let global = ProcessGroup::global(&self.cluster);
-        let mut timeline = IterationTimeline::new();
-
-        timeline.push(Segment::compute(
-            "dense + sparse compute",
-            self.compute_time_s(1.0),
-        ));
-
-        // Step a: feature distribution (indices).
-        let input = collectives::all_to_all(&model, &global, self.index_distribution_bytes());
-        timeline.push(Segment::new(
-            SegmentKind::EmbeddingComm,
-            "feature distribution AlltoAll",
-            input.time_s,
-            INPUT_DIST_EXPOSED,
-        ));
-
-        // Step c: embedding output AlltoAll (forward) + gradient AlltoAll (backward).
         let payload = self
             .embedding_quant
             .scale_fp32_bytes(self.embedding_exchange_bytes());
-        let output = collectives::all_to_all(&model, &global, payload);
-        timeline.push(Segment::new(
-            SegmentKind::EmbeddingComm,
-            "embedding output AlltoAll (fwd)",
-            output.time_s,
-            EMBEDDING_EXCHANGE_EXPOSED,
-        ));
-        timeline.push(Segment::new(
-            SegmentKind::EmbeddingComm,
-            "embedding gradient AlltoAll (bwd)",
-            output.time_s,
-            EMBEDDING_EXCHANGE_EXPOSED,
-        ));
-
-        // Dense gradient AllReduce.
-        let grad_bytes = self
-            .gradient_quant
-            .scale_fp32_bytes(self.model.dense_grad_bytes());
-        let allreduce = collectives::all_reduce(&model, &global, grad_bytes);
-        timeline.push(Segment::new(
-            SegmentKind::DenseSync,
+        // The compressed tower outputs, declared pre-quantization so the wire
+        // scaling stays in `SpecNode::wire_bytes` like everywhere else.
+        let peer_fp32 =
+            (self.embedding_exchange_bytes() as f64 / dmt.compression_ratio).ceil() as u64;
+        let mut nodes = vec![
+            // Tower modules shrink the global interaction (Table 4's MFlops
+            // column), so the dense compute scales by `compute_scale`.
+            SpecNode::local(
+                OpKind::DenseForwardBackward,
+                "dense + tower-module compute",
+                self.compute_time_s(dmt.compute_scale),
+            ),
+            // Step a: feature distribution, identical to the baseline.
+            SpecNode::comm(
+                OpKind::IndexExchange,
+                "feature distribution AlltoAll",
+                CommScope::Global,
+                CommOp::AllToAllIndices,
+                self.embedding_quant,
+                self.index_distribution_bytes(),
+                INPUT_DIST_EXPOSED,
+            ),
+            // Steps c + e: device-local shuffles (peer permute, transpose view).
+            SpecNode::local(
+                OpKind::Shuffle,
+                "peer permute + local shuffle",
+                2.0 * payload as f64 / model.local_copy_bandwidth(),
+            ),
+            // Step d: intra-host collective, forward and backward.
+            SpecNode::comm(
+                OpKind::RowExchange,
+                "intra-host AlltoAll (fwd)",
+                CommScope::IntraHost,
+                CommOp::AllToAll,
+                self.embedding_quant,
+                self.embedding_exchange_bytes(),
+                EMBEDDING_EXCHANGE_EXPOSED,
+            ),
+            SpecNode::comm(
+                OpKind::GradExchange,
+                "intra-host AlltoAll (bwd)",
+                CommScope::IntraHost,
+                CommOp::AllToAll,
+                self.embedding_quant,
+                self.embedding_exchange_bytes(),
+                EMBEDDING_EXCHANGE_EXPOSED,
+            ),
+            // Step f: concurrent peer AlltoAlls of the compressed tower outputs,
+            // forward and backward.
+            SpecNode::comm(
+                OpKind::OutputExchange,
+                "peer AlltoAll (fwd)",
+                CommScope::Peer,
+                CommOp::AllToAll,
+                self.embedding_quant,
+                peer_fp32,
+                EMBEDDING_EXCHANGE_EXPOSED,
+            ),
+            SpecNode::comm(
+                OpKind::OutputExchange,
+                "peer AlltoAll (bwd)",
+                CommScope::Peer,
+                CommOp::AllToAll,
+                self.embedding_quant,
+                peer_fp32,
+                EMBEDDING_EXCHANGE_EXPOSED,
+            ),
+        ];
+        // Tower-module gradient synchronization stays inside the host (the point
+        // of §3.2's "System Perspective"): a small intra-host AllReduce.
+        if dmt.tower_module_params_m > 0.0 {
+            nodes.push(SpecNode::comm(
+                OpKind::AllReduce,
+                "tower-module intra-host AllReduce",
+                CommScope::IntraHost,
+                CommOp::AllReduce,
+                self.gradient_quant,
+                (dmt.tower_module_params_m * 1e6) as u64 * 4,
+                DENSE_SYNC_EXPOSED,
+            ));
+        }
+        nodes.push(SpecNode::comm(
+            OpKind::AllReduce,
             "dense gradient AllReduce",
-            allreduce.time_s,
+            CommScope::Global,
+            CommOp::AllReduce,
+            self.gradient_quant,
+            self.model.dense_grad_bytes(),
             DENSE_SYNC_EXPOSED,
         ));
-
-        timeline.push(Segment::new(
-            SegmentKind::Other,
+        nodes.push(SpecNode::local(
+            OpKind::Optimizer,
             "optimizer + host overhead",
             OTHER_OVERHEAD_S,
-            1.0,
         ));
-        timeline
+        nodes
     }
 
-    /// Simulates one iteration of DMT training (SPTT steps a–f plus tower modules).
+    /// Prices a lowered spec into an [`IterationTimeline`]: local nodes keep
+    /// their declared durations, comm nodes are priced from their
+    /// [`SpecNode::wire_bytes`] over the scope's process group (peer-scope
+    /// AlltoAlls run as the gang of concurrent per-slot exchanges).
     #[must_use]
-    pub fn simulate_dmt_iteration(&self, dmt: &DmtThroughputConfig) -> IterationTimeline {
+    pub fn timeline_from_spec(&self, nodes: &[SpecNode]) -> IterationTimeline {
         let model = self.cost_model();
         let global = ProcessGroup::global(&self.cluster);
         let intra_groups = ProcessGroup::intra_host_groups(&self.cluster);
         let peer_groups = ProcessGroup::peer_groups(&self.cluster);
         let mut timeline = IterationTimeline::new();
-
-        // Compute: tower modules shrink the global interaction (Table 4's MFlops
-        // column), so the dense compute scales by `compute_scale`.
-        timeline.push(Segment::compute(
-            "dense + tower-module compute",
-            self.compute_time_s(dmt.compute_scale),
-        ));
-
-        // Step a: feature distribution, identical to the baseline.
-        let input = collectives::all_to_all(&model, &global, self.index_distribution_bytes());
-        timeline.push(Segment::new(
-            SegmentKind::EmbeddingComm,
-            "feature distribution AlltoAll",
-            input.time_s,
-            INPUT_DIST_EXPOSED,
-        ));
-
-        let payload = self
-            .embedding_quant
-            .scale_fp32_bytes(self.embedding_exchange_bytes());
-
-        // Steps c + e: device-local shuffles (peer permute, transpose view).
-        let shuffle_bytes = 2 * payload;
-        let shuffle_time = shuffle_bytes as f64 / model.local_copy_bandwidth();
-        timeline.push(Segment::new(
-            SegmentKind::Shuffle,
-            "peer permute + local shuffle",
-            shuffle_time,
-            1.0,
-        ));
-
-        // Step d: intra-host collective, forward and backward.
-        let intra = collectives::all_to_all(&model, &intra_groups[0], payload);
-        timeline.push(Segment::new(
-            SegmentKind::EmbeddingComm,
-            "intra-host AlltoAll (fwd)",
-            intra.time_s,
-            EMBEDDING_EXCHANGE_EXPOSED,
-        ));
-        timeline.push(Segment::new(
-            SegmentKind::EmbeddingComm,
-            "intra-host AlltoAll (bwd)",
-            intra.time_s,
-            EMBEDDING_EXCHANGE_EXPOSED,
-        ));
-
-        // Step f: concurrent peer AlltoAlls of the (possibly compressed) tower outputs,
-        // forward and backward.
-        let peer_payload = (payload as f64 / dmt.compression_ratio).ceil() as u64;
-        let peer = collectives::concurrent_peer_all_to_alls(&model, &peer_groups, peer_payload);
-        timeline.push(Segment::new(
-            SegmentKind::EmbeddingComm,
-            "peer AlltoAll (fwd)",
-            peer.time_s,
-            EMBEDDING_EXCHANGE_EXPOSED,
-        ));
-        timeline.push(Segment::new(
-            SegmentKind::EmbeddingComm,
-            "peer AlltoAll (bwd)",
-            peer.time_s,
-            EMBEDDING_EXCHANGE_EXPOSED,
-        ));
-
-        // Tower-module gradient synchronization stays inside the host (the point of
-        // §3.2's "System Perspective"): a small intra-host AllReduce.
-        if dmt.tower_module_params_m > 0.0 {
-            let tm_bytes = self
-                .gradient_quant
-                .scale_fp32_bytes((dmt.tower_module_params_m * 1e6) as u64 * 4);
-            let tm_sync = collectives::all_reduce(&model, &intra_groups[0], tm_bytes);
+        for node in nodes {
+            let time_s = match (node.scope, node.comm) {
+                (CommScope::Peer, Some(CommOp::AllToAll | CommOp::AllToAllIndices)) => {
+                    collectives::concurrent_peer_all_to_alls(
+                        &model,
+                        &peer_groups,
+                        node.wire_bytes(),
+                    )
+                    .time_s
+                }
+                (scope, Some(op)) => {
+                    let group = match scope {
+                        CommScope::Global => &global,
+                        CommScope::IntraHost => &intra_groups[0],
+                        CommScope::Peer => &peer_groups[0],
+                        CommScope::Local => unreachable!("local nodes carry no collective"),
+                    };
+                    price_comm(&model, group, op, node.wire_bytes()).time_s
+                }
+                (_, None) => node.local_time_s,
+            };
             timeline.push(Segment::new(
-                SegmentKind::DenseSync,
-                "tower-module intra-host AllReduce",
-                tm_sync.time_s,
-                DENSE_SYNC_EXPOSED,
+                node.kind.segment_kind(),
+                node.label,
+                time_s,
+                node.exposed,
             ));
         }
-
-        // Dense gradient AllReduce for the shared over-arch, as in the baseline.
-        let grad_bytes = self
-            .gradient_quant
-            .scale_fp32_bytes(self.model.dense_grad_bytes());
-        let allreduce = collectives::all_reduce(&model, &global, grad_bytes);
-        timeline.push(Segment::new(
-            SegmentKind::DenseSync,
-            "dense gradient AllReduce",
-            allreduce.time_s,
-            DENSE_SYNC_EXPOSED,
-        ));
-
-        timeline.push(Segment::new(
-            SegmentKind::Other,
-            "optimizer + host overhead",
-            OTHER_OVERHEAD_S,
-            1.0,
-        ));
         timeline
+    }
+
+    /// Simulates one iteration of the hybrid-parallel strong baseline (Figure 4 flow).
+    #[must_use]
+    pub fn simulate_baseline_iteration(&self) -> IterationTimeline {
+        self.timeline_from_spec(&self.baseline_spec())
+    }
+
+    /// Simulates one iteration of DMT training (SPTT steps a–f plus tower modules).
+    #[must_use]
+    pub fn simulate_dmt_iteration(&self, dmt: &DmtThroughputConfig) -> IterationTimeline {
+        self.timeline_from_spec(&self.dmt_spec(dmt))
     }
 
     /// Samples per second per GPU for a given iteration timeline.

@@ -1,0 +1,153 @@
+//! Property tests: the on-wire quantization codec (`dmt_comm::codec`).
+//!
+//! The execution engine's fp16/int8 wire precision is only sound if (a) the
+//! round-trip error is bounded per precision, (b) degenerate inputs —
+//! zero-length buffers, non-finite values — have the documented behaviour, and
+//! (c) encoding is bit-stable across ranks: the packed words survive a real
+//! collective untouched and every rank decodes identical bits. All three are
+//! checked over randomized buffers.
+
+use dmt_comm::codec::{decode, encode, f16_bits_to_f32, f32_to_f16_bits, WireFormat};
+use dmt_comm::{Backend, SharedMemoryComm};
+use proptest::prelude::*;
+
+/// Buffers of finite values comfortably inside fp16's normal range.
+fn buffer() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-4285.0f32..4285.0, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// fp16 round-trips within the documented relative bound (round to nearest
+    /// even: |x - rt(x)| ≤ |x| · 2⁻¹¹ + 2⁻²⁵).
+    #[test]
+    fn fp16_round_trip_error_is_bounded(values in buffer()) {
+        let n = values.len();
+        let decoded = decode(WireFormat::Fp16, encode(WireFormat::Fp16, values.clone()), n).unwrap();
+        prop_assert_eq!(decoded.len(), n);
+        for (v, d) in values.iter().zip(&decoded) {
+            let bound = WireFormat::Fp16.max_abs_error(v.abs());
+            prop_assert!((v - d).abs() <= bound, "{} -> {} (bound {})", v, d, bound);
+        }
+    }
+
+    /// int8 round-trips within the symmetric-scale bound (max_abs / 254) and the
+    /// encoded buffer carries exactly one scale word plus four lanes per word.
+    #[test]
+    fn int8_round_trip_error_is_bounded(values in buffer()) {
+        let n = values.len();
+        let max_abs = values.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+        let encoded = encode(WireFormat::Int8, values.clone());
+        prop_assert_eq!(encoded.len(), WireFormat::Int8.encoded_words(n));
+        let decoded = decode(WireFormat::Int8, encoded, n).unwrap();
+        let bound = WireFormat::Int8.max_abs_error(max_abs) * (1.0 + 1e-5);
+        for (v, d) in values.iter().zip(&decoded) {
+            prop_assert!((v - d).abs() <= bound, "{} -> {} (bound {})", v, d, bound);
+        }
+    }
+
+    /// Encoding is a pure function of the input bits: two encodes of the same
+    /// buffer are word-for-word bit-identical (what rank determinism rests on).
+    #[test]
+    fn encoding_is_bit_deterministic(values in buffer()) {
+        for format in [WireFormat::Fp32, WireFormat::Fp16, WireFormat::Int8] {
+            let a = encode(format, values.clone());
+            let b = encode(format, values.clone());
+            let a_bits: Vec<u32> = a.iter().map(|w| w.to_bits()).collect();
+            let b_bits: Vec<u32> = b.iter().map(|w| w.to_bits()).collect();
+            prop_assert_eq!(a_bits, b_bits);
+        }
+    }
+
+    /// Every f16 bit pattern decodes, and re-encoding a decoded *finite* half is
+    /// the identity — the conversion pair is exact on representables.
+    #[test]
+    fn f16_conversion_is_exact_on_representables(bits in 0u16..u16::MAX) {
+        let value = f16_bits_to_f32(bits);
+        if value.is_finite() {
+            prop_assert_eq!(f32_to_f16_bits(value), bits);
+        } else {
+            // Inf / NaN preserve their class through the round trip.
+            let rt = f16_bits_to_f32(f32_to_f16_bits(value));
+            prop_assert_eq!(rt.is_nan(), value.is_nan());
+            if !value.is_nan() {
+                prop_assert_eq!(rt, value);
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_length_buffers_round_trip_to_nothing() {
+    for format in [WireFormat::Fp32, WireFormat::Fp16, WireFormat::Int8] {
+        assert!(encode(format, Vec::new()).is_empty());
+        assert_eq!(decode(format, Vec::new(), 0).unwrap(), Vec::<f32>::new());
+    }
+}
+
+#[test]
+fn non_finite_inputs_have_the_documented_behaviour() {
+    let values = vec![f32::INFINITY, f32::NEG_INFINITY, f32::NAN, -3.0];
+    // fp16 preserves the class of every non-finite value.
+    let fp16 = decode(
+        WireFormat::Fp16,
+        encode(WireFormat::Fp16, values.clone()),
+        4,
+    )
+    .unwrap();
+    assert_eq!(fp16[0], f32::INFINITY);
+    assert_eq!(fp16[1], f32::NEG_INFINITY);
+    assert!(fp16[2].is_nan());
+    assert_eq!(fp16[3], -3.0);
+    // int8 saturates infinities to the (finite-derived) endpoints, zeroes NaN.
+    let int8 = decode(WireFormat::Int8, encode(WireFormat::Int8, values), 4).unwrap();
+    assert_eq!(int8[0], 3.0);
+    assert_eq!(int8[1], -3.0);
+    assert_eq!(int8[2], 0.0);
+}
+
+/// The cross-rank half of bit-stability: encoded wire words pass through a real
+/// shared-memory AlltoAll untouched, and every rank decodes the same bits.
+#[test]
+fn encoded_words_survive_a_collective_bit_identically() {
+    let world = 4;
+    for format in [WireFormat::Fp16, WireFormat::Int8] {
+        let handles = SharedMemoryComm::handles(world).unwrap();
+        let mut slots: Vec<Option<Vec<Vec<u32>>>> = (0..world).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for mut backend in handles {
+                joins.push(scope.spawn(move || {
+                    // Every rank broadcasts the same deterministic buffer, so all
+                    // ranks must decode identical bits from every source.
+                    let payload: Vec<f32> =
+                        (0..33).map(|i| (i as f32 - 16.0) * 0.37 + 0.01).collect();
+                    let encoded = encode(format, payload.clone());
+                    let sends: Vec<Vec<f32>> = (0..world).map(|_| encoded.clone()).collect();
+                    let received = backend.all_to_all(sends).unwrap();
+                    received
+                        .into_iter()
+                        .map(|words| {
+                            let decoded = decode(format, words, payload.len()).unwrap();
+                            decoded.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                        })
+                        .collect::<Vec<Vec<u32>>>()
+                }));
+            }
+            for (slot, join) in slots.iter_mut().zip(joins) {
+                *slot = Some(join.join().expect("rank thread"));
+            }
+        });
+        let all: Vec<Vec<Vec<u32>>> = slots.into_iter().map(Option::unwrap).collect();
+        let reference = &all[0][0];
+        for per_rank in &all {
+            for from_source in per_rank {
+                assert_eq!(
+                    from_source, reference,
+                    "{format}: ranks decoded different bits"
+                );
+            }
+        }
+    }
+}
