@@ -1,0 +1,262 @@
+//! Serving-path throughput/latency tracker and gate.
+//!
+//! Trains both deployments briefly on the 8-rank 2x4 cluster, exports frozen
+//! snapshots, and serves a Zipf-skewed query stream through `dmt-serve` under a
+//! paced fabric, measuring per-request latency (p50/p95/p99), throughput, cache
+//! hit rate and cross-host bytes per query. Results go to `BENCH_serving.json`
+//! (committed baseline, fifth `--pair` of the CI bench-regression gate).
+//!
+//! The gated rows are the batched, fabric-paced configurations — their timing is
+//! dominated by deterministic pacing sleeps, so they are stable on a shared CI
+//! box. Two further comparisons are *asserted* rather than gated (the bin exits
+//! non-zero if they fail):
+//!
+//! * **Topology**: DMT serving moves well under half the cross-host bytes per
+//!   query of baseline serving — the paper's argument, on the query path.
+//! * **Batching**: batched serving beats batch-size-1 throughput by ≥ 3× (both
+//!   deployments, unthrottled fabric, so the comparison isolates the per-batch
+//!   synchronization overhead batching amortizes).
+//!
+//! Run with `cargo run --release -p dmt-bench --bin bench_serving` (add
+//! `--quick` for the CI-friendly shorter stream — same ops and shapes, fewer
+//! requests, so the gate can always match entries). The committed
+//! `BENCH_serving.json` baseline is produced by the `--quick` configuration:
+//! the cached configurations' hit rate — and therefore their per-request time —
+//! keeps improving with stream length, so CI must compare equal-length streams
+//! (a full run simply reads as a speedup against it).
+
+use dmt_comm::FabricProfile;
+use dmt_models::ModelArch;
+use dmt_serve::{
+    serve_stream, BatcherConfig, ServeConfig, ServeReport, ServingEngine, StreamConfig,
+};
+use dmt_topology::{ClusterTopology, HardwareGeneration};
+use dmt_trainer::distributed::{
+    run_with_snapshot, DistributedConfig, ExecutionMode, ModelSnapshot,
+};
+use serde::Serialize;
+use std::process::ExitCode;
+
+/// One measured serving configuration.
+#[derive(Debug, Clone, Serialize)]
+struct ServingResult {
+    /// Operation name (`serving_<deployment>_<variant>`).
+    op: String,
+    /// Cluster / batch / fabric / workload shape label.
+    shape: String,
+    /// Nanoseconds per served request (stream wall time / requests).
+    ns_per_iter: f64,
+    /// Median request latency in milliseconds.
+    p50_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    p99_ms: f64,
+    /// Served requests per second.
+    throughput_qps: f64,
+    /// Hot-row cache hit rate over the stream.
+    cache_hit_rate: f64,
+    /// Mean cross-host bytes per query (summed over ranks).
+    cross_host_bytes_per_query: f64,
+    /// Requests measured.
+    iters: u64,
+}
+
+/// Fabric slowdown of the gated runs: stretches wire time so the topology
+/// effect dominates scheduler noise.
+const FABRIC_SLOWDOWN: f64 = 4_000.0;
+/// Admission batch size of the batched configurations.
+const BATCH: usize = 64;
+/// Zipf exponent of the request stream.
+const ZIPF: f64 = 1.1;
+/// Per-rank hot-row cache capacity of the cached configurations.
+const CACHE_ROWS: usize = 4_096;
+
+fn serve(
+    snapshot: &ModelSnapshot,
+    cluster: &ClusterTopology,
+    fabric: FabricProfile,
+    cache_rows: usize,
+    batch: usize,
+    requests: usize,
+) -> ServeReport {
+    let config = ServeConfig::new(cluster.clone())
+        .with_fabric(fabric)
+        .with_cache_rows(cache_rows);
+    let mut engine = ServingEngine::start(snapshot, &config).expect("engine start");
+    let mut stream = dmt_data::ZipfRequestStream::new(snapshot.schema.clone(), 1234, ZIPF);
+    // Warm up one batch first: the first batch pays one-time costs (comm helper
+    // thread spawn, cold cache), which would otherwise make the measured
+    // per-request time depend on the stream length.
+    let warmup = StreamConfig {
+        num_requests: batch,
+        inter_arrival_us: 0,
+        batcher: BatcherConfig::new(batch, 10_000),
+    };
+    let _ = serve_stream(&mut engine, &warmup, || stream.next_query()).expect("warmup");
+    let stream_cfg = StreamConfig {
+        num_requests: requests,
+        inter_arrival_us: 0,
+        batcher: BatcherConfig::new(batch, 10_000),
+    };
+    // Best of three passes, like the collective micro-benches: a single
+    // scheduler hiccup on the shared CI box must not read as a regression.
+    (0..3)
+        .map(|_| serve_stream(&mut engine, &stream_cfg, || stream.next_query()).expect("serve"))
+        .min_by(|a, b| a.wall_s.total_cmp(&b.wall_s))
+        .expect("three passes ran")
+}
+
+fn main() -> ExitCode {
+    let quick = dmt_bench::quick_mode();
+    let batched_requests = if quick { 512 } else { 2048 };
+    let b1_requests = if quick { 24 } else { 64 };
+    let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4).expect("2x4 cluster");
+    let fabric = FabricProfile::from_cluster(&cluster, FABRIC_SLOWDOWN);
+    let shape = format!("2x4 b{BATCH} f{FABRIC_SLOWDOWN:.0} zipf{ZIPF}");
+
+    dmt_bench::header("Disaggregated serving: baseline vs DMT (see BENCH_serving.json)");
+    println!("training + exporting snapshots...");
+    let train_cfg = DistributedConfig::quick(cluster.clone(), ModelArch::Dlrm).with_iterations(4);
+    let (_, base_snap) =
+        run_with_snapshot(&train_cfg, ExecutionMode::Baseline).expect("baseline training");
+    let (_, dmt_snap) = run_with_snapshot(&train_cfg, ExecutionMode::Dmt).expect("dmt training");
+
+    println!(
+        "{:<26} {:>26} {:>12} {:>9} {:>9} {:>10} {:>7} {:>12}",
+        "op", "shape", "ns/req", "p50 ms", "p99 ms", "qps", "hit %", "crossB/query"
+    );
+    let mut results: Vec<ServingResult> = Vec::new();
+    let mut record = |op: &str, report: &ServeReport| {
+        let entry = ServingResult {
+            op: op.to_string(),
+            shape: shape.clone(),
+            ns_per_iter: report.wall_s * 1e9 / report.requests.max(1) as f64,
+            p50_ms: report.latency.p50 * 1e3,
+            p99_ms: report.latency.p99 * 1e3,
+            throughput_qps: report.throughput_qps,
+            cache_hit_rate: report.stats.cache.hit_rate(),
+            cross_host_bytes_per_query: report.stats.cross_host_bytes_per_query(),
+            iters: report.requests as u64,
+        };
+        println!(
+            "{:<26} {:>26} {:>12.0} {:>9.2} {:>9.2} {:>10.0} {:>6.1}% {:>12.0}",
+            entry.op,
+            entry.shape,
+            entry.ns_per_iter,
+            entry.p50_ms,
+            entry.p99_ms,
+            entry.throughput_qps,
+            entry.cache_hit_rate * 100.0,
+            entry.cross_host_bytes_per_query
+        );
+        results.push(entry);
+    };
+
+    // Gated rows: batched, paced, cached and uncached.
+    let base_batched = serve(
+        &base_snap,
+        &cluster,
+        fabric,
+        CACHE_ROWS,
+        BATCH,
+        batched_requests,
+    );
+    record("serving_baseline_batched", &base_batched);
+    let dmt_batched = serve(
+        &dmt_snap,
+        &cluster,
+        fabric,
+        CACHE_ROWS,
+        BATCH,
+        batched_requests,
+    );
+    record("serving_dmt_batched", &dmt_batched);
+    let base_nocache = serve(&base_snap, &cluster, fabric, 0, BATCH, batched_requests);
+    record("serving_baseline_nocache", &base_nocache);
+    let dmt_nocache = serve(&dmt_snap, &cluster, fabric, 0, BATCH, batched_requests);
+    record("serving_dmt_nocache", &dmt_nocache);
+
+    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("[results written to BENCH_serving.json]");
+
+    // Asserted-only comparisons: batching amplification on an unthrottled
+    // fabric (per-batch synchronization overhead is what batching amortizes).
+    let unthrottled = FabricProfile::unthrottled();
+    let base_wide = serve(
+        &base_snap,
+        &cluster,
+        unthrottled,
+        CACHE_ROWS,
+        BATCH,
+        batched_requests,
+    );
+    let base_b1 = serve(
+        &base_snap,
+        &cluster,
+        unthrottled,
+        CACHE_ROWS,
+        1,
+        b1_requests,
+    );
+    let dmt_wide = serve(
+        &dmt_snap,
+        &cluster,
+        unthrottled,
+        CACHE_ROWS,
+        BATCH,
+        batched_requests,
+    );
+    let dmt_b1 = serve(&dmt_snap, &cluster, unthrottled, CACHE_ROWS, 1, b1_requests);
+    println!(
+        "\nbatching (unthrottled): baseline {:.0} -> {:.0} qps ({:.1}x), dmt {:.0} -> {:.0} qps ({:.1}x)",
+        base_b1.throughput_qps,
+        base_wide.throughput_qps,
+        base_wide.throughput_qps / base_b1.throughput_qps,
+        dmt_b1.throughput_qps,
+        dmt_wide.throughput_qps,
+        dmt_wide.throughput_qps / dmt_b1.throughput_qps,
+    );
+    println!(
+        "topology: baseline {:.0} B/query cross-host vs dmt {:.0} B/query ({:.1}x less)",
+        base_nocache.stats.cross_host_bytes_per_query(),
+        dmt_nocache.stats.cross_host_bytes_per_query(),
+        base_nocache.stats.cross_host_bytes_per_query()
+            / dmt_nocache.stats.cross_host_bytes_per_query().max(1.0),
+    );
+
+    let mut failed = false;
+    let mut check = |label: &str, ok: bool| {
+        if ok {
+            println!("PASS: {label}");
+        } else {
+            eprintln!("FAIL: {label}");
+            failed = true;
+        }
+    };
+    check(
+        "DMT serving moves <1/2 the cross-host bytes per query of baseline",
+        dmt_nocache.stats.cross_host_bytes_per_query()
+            < 0.5 * base_nocache.stats.cross_host_bytes_per_query(),
+    );
+    check(
+        "the hot-row cache cuts baseline cross-host bytes",
+        base_batched.stats.cross_host_bytes < base_nocache.stats.cross_host_bytes,
+    );
+    check(
+        "zipf traffic keeps the cache warm (hit rate > 20%)",
+        base_batched.stats.cache.hit_rate() > 0.2 && dmt_batched.stats.cache.hit_rate() > 0.2,
+    );
+    check(
+        "batched baseline serving beats batch-size-1 throughput by >= 3x",
+        base_wide.throughput_qps >= 3.0 * base_b1.throughput_qps,
+    );
+    check(
+        "batched DMT serving beats batch-size-1 throughput by >= 3x",
+        dmt_wide.throughput_qps >= 3.0 * dmt_b1.throughput_qps,
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -12,6 +12,9 @@
 //!   Table 6) and makes feature interactions genuinely matter for AUC (Tables 2–5).
 //! * [`RandomDataset`] — uniformly random indices and values for throughput-style
 //!   benchmarks, mirroring the paper's §5.3 methodology.
+//! * [`ZipfRequestStream`] — a deterministic Zipf-skewed *serving* workload (single
+//!   unlabeled queries with hot-id popularity skew), the input of the `dmt-serve`
+//!   online inference engine and its hot-row cache.
 //!
 //! # Example
 //!
@@ -29,10 +32,12 @@
 
 pub mod batch;
 pub mod random;
+pub mod requests;
 pub mod schema;
 pub mod synthetic;
 
 pub use batch::Batch;
 pub use random::RandomDataset;
+pub use requests::{queries_to_batch, Query, ZipfRequestStream};
 pub use schema::{DatasetSchema, FeatureBlock};
 pub use synthetic::SyntheticClickDataset;

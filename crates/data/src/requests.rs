@@ -1,0 +1,273 @@
+//! Zipf-skewed online inference request streams.
+//!
+//! Training batches come from [`crate::SyntheticClickDataset`]; *serving* traffic
+//! looks different: each request is a single candidate example, and the categorical
+//! ids follow a heavily skewed popularity distribution (a few hot users/items
+//! dominate the stream). This module generates that workload deterministically:
+//!
+//! * per sparse feature, ids are drawn from a Zipf distribution over the feature's
+//!   cardinality (`P(rank k) ∝ k^-s`), then scattered across the id space with a
+//!   fixed per-feature mixing constant so "hot" rows are not all clustered at the
+//!   start of the table;
+//! * dense features are standard-normal, like the training generator's;
+//! * two streams with the same schema, seed and exponent produce identical query
+//!   sequences (seed-stability is what makes serving benchmarks reproducible).
+//!
+//! The skew is what gives a hot-row embedding cache something to do: with `s ≈ 1`,
+//! a cache holding ~1% of rows absorbs a large fraction of lookups.
+
+use crate::batch::Batch;
+use crate::schema::DatasetSchema;
+use crate::synthetic::StandardNormal;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Odd mixing constant that scatters Zipf ranks across the id space (a fixed
+/// multiplicative hash, so the mapping is deterministic per feature).
+const MIX: u64 = 0x9E37_79B1;
+
+/// One inference request: a single candidate example without a label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Dense feature values, length `schema.num_dense`.
+    pub dense: Vec<f32>,
+    /// One categorical id bag per sparse feature.
+    pub sparse: Vec<Vec<usize>>,
+}
+
+/// Deterministic Zipf-skewed query generator over a [`DatasetSchema`].
+#[derive(Debug, Clone)]
+pub struct ZipfRequestStream {
+    schema: DatasetSchema,
+    rng: StdRng,
+    exponent: f64,
+    /// Cumulative Zipf weights, one table per *distinct* cardinality (features
+    /// sharing a cardinality share the table).
+    cdfs: Vec<Vec<f64>>,
+    /// Per-feature index into `cdfs`.
+    cdf_of_feature: Vec<usize>,
+    emitted: u64,
+}
+
+impl ZipfRequestStream {
+    /// Creates a stream over `schema` with Zipf exponent `exponent` (`1.0`–`1.5`
+    /// is typical for recommendation traffic; larger = more skew). The same
+    /// `(schema, seed, exponent)` always produces the same query sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is not finite and positive.
+    #[must_use]
+    pub fn new(schema: DatasetSchema, seed: u64, exponent: f64) -> Self {
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "zipf exponent must be positive"
+        );
+        let mut cdfs: Vec<Vec<f64>> = Vec::new();
+        let mut cards: Vec<usize> = Vec::new();
+        let mut cdf_of_feature = Vec::with_capacity(schema.num_sparse());
+        for &card in &schema.sparse_cardinalities {
+            let slot = match cards.iter().position(|&c| c == card) {
+                Some(slot) => slot,
+                None => {
+                    let mut acc = 0.0f64;
+                    let cdf = (1..=card)
+                        .map(|k| {
+                            acc += (k as f64).powf(-exponent);
+                            acc
+                        })
+                        .collect();
+                    cards.push(card);
+                    cdfs.push(cdf);
+                    cdfs.len() - 1
+                }
+            };
+            cdf_of_feature.push(slot);
+        }
+        Self {
+            schema,
+            rng: StdRng::seed_from_u64(seed ^ 0x5E41_F0CC_A11E_D0D0),
+            exponent,
+            cdfs,
+            cdf_of_feature,
+            emitted: 0,
+        }
+    }
+
+    /// The schema queries are generated against.
+    #[must_use]
+    pub fn schema(&self) -> &DatasetSchema {
+        &self.schema
+    }
+
+    /// The configured Zipf exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Queries generated so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Draws a Zipf *rank* in `1..=cardinality` for the feature's CDF table.
+    fn draw_rank(&mut self, slot: usize) -> usize {
+        let cdf = &self.cdfs[slot];
+        let total = *cdf.last().expect("cardinalities are positive");
+        let u: f64 = self.rng.gen_range(0.0..1.0) * total;
+        // First rank whose cumulative weight reaches u.
+        cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Generates the next query.
+    #[must_use]
+    pub fn next_query(&mut self) -> Query {
+        let normal = StandardNormal;
+        let dense = (0..self.schema.num_dense)
+            .map(|_| normal.sample(&mut self.rng))
+            .collect();
+        let mut sparse = Vec::with_capacity(self.schema.num_sparse());
+        for f in 0..self.schema.num_sparse() {
+            let card = self.schema.sparse_cardinalities[f];
+            let pooling = self.schema.pooling_factors[f];
+            let slot = self.cdf_of_feature[f];
+            let bag = (0..pooling)
+                .map(|_| {
+                    let rank = self.draw_rank(slot) as u64;
+                    // Scatter ranks deterministically so hot ids are spread over
+                    // the table instead of forming one contiguous prefix.
+                    ((rank * MIX + (f as u64 + 1) * 0x85EB_CA6B) % card as u64) as usize
+                })
+                .collect();
+            sparse.push(bag);
+        }
+        self.emitted += 1;
+        Query { dense, sparse }
+    }
+
+    /// Generates the next `n` queries.
+    #[must_use]
+    pub fn next_queries(&mut self, n: usize) -> Vec<Query> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+/// Packs queries into the feature-major [`Batch`] layout the model forward
+/// consumes. Labels are zero-filled: serving batches have no ground truth.
+///
+/// # Panics
+///
+/// Panics if a query's feature counts do not match the schema.
+#[must_use]
+pub fn queries_to_batch(schema: &DatasetSchema, queries: &[Query]) -> Batch {
+    let f = schema.num_sparse();
+    let mut dense = Vec::with_capacity(queries.len());
+    let mut sparse: Vec<Vec<Vec<usize>>> = vec![Vec::with_capacity(queries.len()); f];
+    for q in queries {
+        assert_eq!(q.dense.len(), schema.num_dense, "dense width mismatch");
+        assert_eq!(q.sparse.len(), f, "sparse feature count mismatch");
+        dense.push(q.dense.clone());
+        for (feature, bag) in q.sparse.iter().enumerate() {
+            sparse[feature].push(bag.clone());
+        }
+    }
+    Batch {
+        schema: schema.clone(),
+        dense,
+        sparse,
+        labels: vec![0.0; queries.len()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn stream(seed: u64, s: f64) -> ZipfRequestStream {
+        ZipfRequestStream::new(DatasetSchema::criteo_like_small(), seed, s)
+    }
+
+    #[test]
+    fn queries_match_the_schema() {
+        let mut st = stream(1, 1.1);
+        let q = st.next_query();
+        assert_eq!(q.dense.len(), 13);
+        assert_eq!(q.sparse.len(), 26);
+        for (f, bag) in q.sparse.iter().enumerate() {
+            assert_eq!(bag.len(), st.schema().pooling_factors[f]);
+            assert!(bag
+                .iter()
+                .all(|&id| id < st.schema().sparse_cardinalities[f]));
+        }
+        assert_eq!(st.emitted(), 1);
+    }
+
+    #[test]
+    fn streams_are_seed_stable() {
+        let a = stream(7, 1.2).next_queries(64);
+        let b = stream(7, 1.2).next_queries(64);
+        let c = stream(8, 1.2).next_queries(64);
+        assert_eq!(a, b, "same seed must reproduce the stream");
+        assert_ne!(a, c, "different seeds must differ");
+        // Exponent is part of the stream identity too.
+        let d = stream(7, 1.5).next_queries(64);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn distribution_is_zipf_skewed() {
+        // Draw many ids for the highest-cardinality feature and check the head of
+        // the popularity distribution concentrates far beyond uniform: the top 1%
+        // of observed ids must carry a large multiple of the uniform share.
+        let mut st = stream(3, 1.2);
+        let feature = 10; // the 3M-row (scaled) item feature
+        let card = st.schema().sparse_cardinalities[feature];
+        let draws = 20_000usize;
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for _ in 0..draws {
+            let q = st.next_query();
+            *counts.entry(q.sparse[feature][0]).or_default() += 1;
+        }
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top = (card / 100).max(1);
+        let head: usize = freq.iter().take(top).sum();
+        let share = head as f64 / draws as f64;
+        let uniform_share = top as f64 / card as f64;
+        assert!(
+            share > 10.0 * uniform_share && share > 0.25,
+            "head share {share:.3} (uniform {uniform_share:.4}) is not skewed"
+        );
+    }
+
+    #[test]
+    fn equal_cardinalities_share_one_cdf_table() {
+        let st = stream(1, 1.1);
+        let distinct: std::collections::HashSet<usize> =
+            st.schema().sparse_cardinalities.iter().copied().collect();
+        assert_eq!(st.cdfs.len(), distinct.len());
+    }
+
+    #[test]
+    fn batch_packing_is_feature_major() {
+        let schema = DatasetSchema::criteo_like_small();
+        let mut st = ZipfRequestStream::new(schema.clone(), 5, 1.1);
+        let queries = st.next_queries(8);
+        let batch = queries_to_batch(&schema, &queries);
+        assert_eq!(batch.len(), 8);
+        assert_eq!(batch.sparse.len(), schema.num_sparse());
+        assert_eq!(batch.sparse[3][2], queries[2].sparse[3]);
+        assert_eq!(batch.dense[5], queries[5].dense);
+        assert!(batch.labels.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn invalid_exponent_panics() {
+        let _ = stream(0, 0.0);
+    }
+}

@@ -237,9 +237,9 @@ impl SyntheticClickDataset {
 }
 
 /// Minimal standard-normal sampler (Box–Muller) so the crate does not need
-/// `rand_distr`.
+/// `rand_distr`. Shared with the serving request generator ([`crate::requests`]).
 #[derive(Debug, Clone, Copy)]
-struct StandardNormal;
+pub(crate) struct StandardNormal;
 
 impl Distribution<f32> for StandardNormal {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {

@@ -8,6 +8,8 @@
 //! * [`auc::roc_auc`] — rank-based ROC AUC with proper tie handling.
 //! * [`loss::log_loss`] and [`loss::normalized_entropy`] — the NE metric of He et al.
 //! * [`stats`] — mean, standard deviation, median and empirical CDFs.
+//! * [`fn@percentile`] — nearest-rank latency percentiles (p50/p95/p99), shared by the
+//!   `dmt-serve` request path and the trainer's wall-time reporting.
 //! * [`mann_whitney::mann_whitney_u`] — two-sided Mann–Whitney U test with the normal
 //!   approximation and tie correction.
 //!
@@ -26,9 +28,11 @@
 pub mod auc;
 pub mod loss;
 pub mod mann_whitney;
+pub mod percentile;
 pub mod stats;
 
 pub use auc::roc_auc;
 pub use loss::{log_loss, normalized_entropy};
 pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
+pub use percentile::{percentile, LatencyPercentiles};
 pub use stats::{empirical_cdf, mean, median, std_dev, Summary};

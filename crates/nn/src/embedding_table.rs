@@ -131,6 +131,41 @@ impl EmbeddingTable {
         }
     }
 
+    /// Rebuilds a table from exported row-major `[num_embeddings, dim]` weights —
+    /// the import half of a model snapshot. Optimizer state starts fresh (a
+    /// snapshot is an inference artifact, not a training checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `weight.len() != num_embeddings * dim`.
+    #[must_use]
+    pub fn from_weights(num_embeddings: usize, dim: usize, weight: Vec<f32>) -> Self {
+        assert!(
+            num_embeddings > 0 && dim > 0,
+            "embedding table dimensions must be positive"
+        );
+        assert_eq!(
+            weight.len(),
+            num_embeddings * dim,
+            "weight buffer must be [num_embeddings, dim]"
+        );
+        Self {
+            weight,
+            adagrad_state: vec![0.0; num_embeddings],
+            num_embeddings,
+            dim,
+            cached_indices: None,
+            pending_grads: SparseRowGrads::default(),
+        }
+    }
+
+    /// Borrow of the full row-major `[num_embeddings, dim]` weight buffer — the
+    /// export half of a model snapshot.
+    #[must_use]
+    pub fn weights(&self) -> &[f32] {
+        &self.weight
+    }
+
     /// Number of rows.
     #[must_use]
     pub fn num_embeddings(&self) -> usize {

@@ -71,6 +71,55 @@ impl ShardedEmbeddingTable {
         }
     }
 
+    /// Rebuilds shard `shard_index` from exported weights: `local_rows` is the
+    /// row-major buffer of exactly the rows this shard's range covers (possibly
+    /// empty when there are more shards than rows). This is the import half of a
+    /// sharded model snapshot — serving re-shards a table by slicing the full
+    /// exported weight buffer per target shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension or `world_size` is zero, `shard_index` is out of
+    /// range, or `local_rows` does not match the shard's row range.
+    #[must_use]
+    pub fn from_local_rows(
+        num_embeddings: usize,
+        dim: usize,
+        world_size: usize,
+        shard_index: usize,
+        local_rows: Vec<f32>,
+    ) -> Self {
+        assert!(
+            num_embeddings > 0 && dim > 0 && world_size > 0,
+            "sharded table dimensions must be positive"
+        );
+        assert!(shard_index < world_size, "shard index out of range");
+        let rows_per_shard = num_embeddings.div_ceil(world_size);
+        let lo = (shard_index * rows_per_shard).min(num_embeddings);
+        let hi = ((shard_index + 1) * rows_per_shard).min(num_embeddings);
+        assert_eq!(
+            local_rows.len(),
+            (hi - lo) * dim,
+            "local rows must cover exactly the shard's range"
+        );
+        let shard = (hi > lo).then(|| EmbeddingTable::from_weights(hi - lo, dim, local_rows));
+        Self {
+            shard,
+            num_embeddings,
+            dim,
+            world_size,
+            shard_index,
+            rows_per_shard,
+        }
+    }
+
+    /// Borrow of this shard's local row-major weights (empty when the shard's
+    /// range is empty) — the export half of a sharded model snapshot.
+    #[must_use]
+    pub fn local_weights(&self) -> &[f32] {
+        self.shard.as_ref().map_or(&[], EmbeddingTable::weights)
+    }
+
     /// Rows of the logical table.
     #[must_use]
     pub fn num_embeddings(&self) -> usize {
@@ -301,6 +350,34 @@ mod tests {
         shards[0].accumulate_row_grads(&[1], &[1.0, 1.0]).unwrap();
         shards[0].zero_grad();
         assert_eq!(shards[0].pending_rows(), 0);
+    }
+
+    #[test]
+    fn export_import_round_trips_bit_identically() {
+        for (rows, world) in [(10usize, 4usize), (3, 8), (7, 1)] {
+            let originals = shards(rows, 3, world);
+            for original in &originals {
+                let rebuilt = ShardedEmbeddingTable::from_local_rows(
+                    rows,
+                    3,
+                    world,
+                    original.shard_index(),
+                    original.local_weights().to_vec(),
+                );
+                assert_eq!(rebuilt.local_weights(), original.local_weights());
+                let range: Vec<usize> = original.local_row_range().collect();
+                assert_eq!(
+                    rebuilt.lookup_rows(&range).unwrap(),
+                    original.lookup_rows(&range).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly the shard's range")]
+    fn import_rejects_mismatched_buffers() {
+        let _ = ShardedEmbeddingTable::from_local_rows(10, 2, 4, 0, vec![0.0; 3]);
     }
 
     #[test]

@@ -1,0 +1,755 @@
+//! The disaggregated serving engine: one worker thread per cluster rank, driving
+//! the same deployment flows the trainer measures — minus every backward pass.
+//!
+//! A [`ServingEngine`] loads a frozen [`ModelSnapshot`], re-shards its embedding
+//! tables onto the *serving* cluster, and answers query batches over real
+//! `dmt-comm` collectives (with the configured [`FabricProfile`] pacing and
+//! per-link-class byte accounting):
+//!
+//! * **Baseline serving** — every table is row-sharded across all ranks; a batch
+//!   does a global index AlltoAll (cache misses only), a global row-fetch
+//!   AlltoAll, requester-side pooling and the replicated dense forward.
+//! * **DMT serving** — the SPTT query path: peer index distribution to the
+//!   owning tower's same-slot rank, *intra-host* sharded lookup, tower-module
+//!   forward, and a small compressed peer AlltoAll carrying tower outputs back;
+//!   only tower outputs and peer indices ever cross hosts.
+//!
+//! Each rank fronts its lookup with a [`HotRowCache`]: cached rows skip both the
+//! index and the row exchange entirely, so on Zipf-skewed traffic the cache
+//! directly cuts wire bytes (the engine's [`ServeStats`] report the savings).
+//!
+//! Determinism: the same modules and float paths as training run here, so a
+//! served batch's predictions are bit-identical to a training-side forward pass
+//! over the same per-rank sub-batches (covered by the workspace serving tests).
+
+use crate::cache::{CacheStats, HotRowCache};
+use crate::{ServeConfig, ServeError};
+use dmt_comm::{Backend, FabricProfile, SharedMemoryBackend, SharedMemoryComm};
+use dmt_core::tower::TowerModule;
+use dmt_core::DlrmTowerModule;
+use dmt_data::Query;
+use dmt_tensor::Tensor;
+use dmt_topology::{ClusterTopology, ProcessGroup, Rank};
+use dmt_trainer::distributed::model::{
+    self, load_params, DenseStack, LookupRouting, ShardedLookup,
+};
+use dmt_trainer::distributed::{ExecutionMode, ModelSnapshot};
+use serde::{Deserialize, Serialize};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long `submit` waits for a rank before declaring the engine dead. Paced
+/// fabrics stretch transfers to milliseconds; minutes means a lost rank.
+const RANK_REPLY_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Aggregated serving-side accounting across all ranks and batches.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Sum of per-rank collective payload bytes.
+    pub payload_bytes: u64,
+    /// Sum of per-rank bytes pushed over cross-host links.
+    pub cross_host_bytes: u64,
+    /// Sum of per-rank bytes pushed over intra-host links.
+    pub intra_host_bytes: u64,
+    /// Hot-row cache counters, summed across ranks.
+    pub cache: CacheStats,
+}
+
+impl ServeStats {
+    /// Mean cross-host bytes per answered query (the paper's topology metric on
+    /// the query path); 0 before any query.
+    #[must_use]
+    pub fn cross_host_bytes_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.cross_host_bytes as f64 / self.queries as f64
+    }
+
+    /// Mean intra-host bytes per answered query.
+    #[must_use]
+    pub fn intra_host_bytes_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.intra_host_bytes as f64 / self.queries as f64
+    }
+
+    /// The accounting accumulated since `before` was captured (`self - before`,
+    /// field-wise) — how the frontend reports one stream's window out of the
+    /// engine's cumulative counters.
+    #[must_use]
+    pub fn since(&self, before: &ServeStats) -> ServeStats {
+        ServeStats {
+            queries: self.queries - before.queries,
+            batches: self.batches - before.batches,
+            payload_bytes: self.payload_bytes - before.payload_bytes,
+            cross_host_bytes: self.cross_host_bytes - before.cross_host_bytes,
+            intra_host_bytes: self.intra_host_bytes - before.intra_host_bytes,
+            cache: self.cache.since(&before.cache),
+        }
+    }
+}
+
+/// One dispatched batch: the shared query buffer plus this rank's slice of it
+/// and everyone's slice sizes (DMT peers need each source's sample count).
+struct Job {
+    queries: Arc<Vec<Query>>,
+    counts: Arc<Vec<usize>>,
+    start: usize,
+    len: usize,
+}
+
+/// Per-batch result a rank reports back.
+struct RankBatchResult {
+    preds: Vec<f32>,
+    payload_bytes: u64,
+    cross_host_bytes: u64,
+    intra_host_bytes: u64,
+    cache: CacheStats,
+}
+
+struct RankReply {
+    rank: usize,
+    result: Result<RankBatchResult, ServeError>,
+}
+
+/// The communicator bundle one serving rank owns (mirrors the trainer's).
+struct RankWorlds {
+    global: SharedMemoryBackend,
+    intra: SharedMemoryBackend,
+    peer: SharedMemoryBackend,
+}
+
+impl RankWorlds {
+    fn abort(&self) {
+        self.global.abort();
+        self.intra.abort();
+        self.peer.abort();
+    }
+
+    /// Sums the byte accounting of every collective since the last drain.
+    fn drain_bytes(&mut self) -> (u64, u64, u64) {
+        let mut payload = 0;
+        let mut cross = 0;
+        let mut intra = 0;
+        for backend in [&mut self.global, &mut self.intra, &mut self.peer] {
+            for record in backend.drain_records() {
+                payload += record.payload_bytes;
+                cross += record.cross_host_bytes;
+                intra += record.intra_host_bytes;
+            }
+        }
+        (payload, cross, intra)
+    }
+}
+
+/// Static DMT serving layout (the serving twin of the trainer's tower layout).
+struct ServeLayout {
+    groups: Vec<Vec<usize>>,
+    my_features: Vec<usize>,
+    my_host: usize,
+    my_slot: usize,
+    hosts: usize,
+    tower_widths: Vec<usize>,
+}
+
+fn serve_layout(
+    snapshot: &ModelSnapshot,
+    cluster: &ClusterTopology,
+    rank: usize,
+) -> Result<ServeLayout, ServeError> {
+    let hosts = cluster.num_hosts();
+    // Same partition, sort order and width arithmetic as the trainer's layout —
+    // one definition (`model::tower_*`) serves both, so the geometry cannot
+    // drift between the training and serving sides.
+    let groups = model::tower_groups(snapshot.schema.num_sparse(), hosts)?;
+    let (c, p, d) = (
+        snapshot.tower_ensemble_c,
+        snapshot.tower_ensemble_p,
+        snapshot.tower_output_dim,
+    );
+    let tower_widths = model::tower_widths(&groups, c, p, d);
+    let my_host = cluster.host_of(Rank(rank));
+    Ok(ServeLayout {
+        my_features: groups[my_host].clone(),
+        groups,
+        my_host,
+        my_slot: cluster.local_index(Rank(rank)),
+        hosts,
+        tower_widths,
+    })
+}
+
+/// The dense-stack interaction geometry `(unit_width, num_units)` of a snapshot —
+/// must match what training used, or the exported weights will not load.
+fn dense_geometry(snapshot: &ModelSnapshot) -> Result<(usize, usize), ServeError> {
+    match snapshot.mode {
+        ExecutionMode::Baseline => Ok((
+            snapshot.hyper.embedding_dim,
+            snapshot.schema.num_sparse() + 1,
+        )),
+        ExecutionMode::Dmt => {
+            // An inconsistent snapshot (e.g. more towers than features) must
+            // surface as a Config error, not a panic.
+            let groups = model::tower_groups(snapshot.schema.num_sparse(), snapshot.num_towers)?;
+            let units = model::tower_num_units(
+                &groups,
+                snapshot.tower_ensemble_c,
+                snapshot.tower_ensemble_p,
+            );
+            Ok((snapshot.tower_output_dim, units))
+        }
+    }
+}
+
+/// One rank's loaded model state (boxed per deployment: the variants differ a
+/// lot in size and live for the engine's whole lifetime anyway).
+enum RankModel {
+    Baseline(Box<BaselineRank>),
+    Dmt(Box<DmtRank>),
+}
+
+struct BaselineRank {
+    lookup: ShardedLookup,
+    dense: DenseStack,
+    cache: HotRowCache,
+    num_dense: usize,
+}
+
+struct DmtRank {
+    lookup: ShardedLookup,
+    tower: DlrmTowerModule,
+    dense: DenseStack,
+    cache: HotRowCache,
+    layout: ServeLayout,
+    num_dense: usize,
+    /// Global rank of each peer-world member (host-ascending, same slot).
+    peer_ranks: Vec<usize>,
+}
+
+/// Builds rank `rank`'s model state from the snapshot.
+fn build_rank_model(
+    snapshot: &ModelSnapshot,
+    config: &ServeConfig,
+    rank: usize,
+) -> Result<RankModel, ServeError> {
+    use rand::SeedableRng;
+    let cluster = &config.cluster;
+    let n = snapshot.hyper.embedding_dim;
+    let (unit_width, num_units) = dense_geometry(snapshot)?;
+    let mut dense = DenseStack::new(
+        snapshot.seed,
+        &snapshot.schema,
+        snapshot.arch,
+        &snapshot.hyper,
+        unit_width,
+        num_units,
+    );
+    load_params(&mut dense, &snapshot.dense_params)?;
+    let cache = HotRowCache::new(config.cache_rows, n);
+    match snapshot.mode {
+        ExecutionMode::Baseline => {
+            let lookup = ShardedLookup::from_tables(
+                (0..snapshot.schema.num_sparse()).collect(),
+                &snapshot.tables,
+                cluster.world_size(),
+                rank,
+            )?;
+            Ok(RankModel::Baseline(Box::new(BaselineRank {
+                lookup,
+                dense,
+                cache,
+                num_dense: snapshot.schema.num_dense,
+            })))
+        }
+        ExecutionMode::Dmt => {
+            let layout = serve_layout(snapshot, cluster, rank)?;
+            let lookup = ShardedLookup::from_tables(
+                layout.my_features.clone(),
+                &snapshot.tables,
+                cluster.gpus_per_host(),
+                layout.my_slot,
+            )?;
+            // Geometry first (any rng — every parameter is overwritten).
+            let mut rng = rand::rngs::StdRng::seed_from_u64(snapshot.seed);
+            let mut tower = DlrmTowerModule::new(
+                &mut rng,
+                layout.my_features.len(),
+                n,
+                snapshot.tower_ensemble_c,
+                snapshot.tower_ensemble_p,
+                snapshot.tower_output_dim,
+            )
+            .map_err(|e| ServeError::Config {
+                reason: e.to_string(),
+            })?;
+            load_params(&mut tower, &snapshot.tower_params[layout.my_host])?;
+            let peer_ranks = (0..layout.hosts)
+                .map(|h| cluster.ranks_on_host(h)[layout.my_slot].0)
+                .collect();
+            Ok(RankModel::Dmt(Box::new(DmtRank {
+                lookup,
+                tower,
+                dense,
+                cache,
+                layout,
+                num_dense: snapshot.schema.num_dense,
+                peer_ranks,
+            })))
+        }
+    }
+}
+
+/// Feature-major bag views over a contiguous query slice.
+fn bags_of(queries: &[Query], features: &[usize]) -> Vec<Vec<Vec<usize>>> {
+    features
+        .iter()
+        .map(|&f| queries.iter().map(|q| q.sparse[f].clone()).collect())
+        .collect()
+}
+
+/// Row-major flattened dense features of a query slice.
+fn dense_flat(queries: &[Query]) -> Vec<f32> {
+    queries
+        .iter()
+        .flat_map(|q| q.dense.iter().copied())
+        .collect()
+}
+
+/// The cache-aware sharded fetch both deployments share: route keys, peel off
+/// cached rows, exchange only the misses, reassemble the full per-owner buffers
+/// in routing order (bit-identical to the uncached fetch) and feed the cache.
+///
+/// Keys owned by this rank itself bypass the cache entirely: their "fetch" is a
+/// local memcpy through the self-loop shard, which moves no wire bytes.
+fn fetch_rows_cached(
+    lookup: &ShardedLookup,
+    cache: &mut HotRowCache,
+    backend: &mut SharedMemoryBackend,
+    bags: &[&[Vec<usize>]],
+) -> Result<(LookupRouting, Vec<Vec<f32>>), ServeError> {
+    let world = backend.world_size();
+    let me = backend.rank();
+    let dim = lookup.dim();
+    let request_keys = lookup.route(world, bags);
+    let mut wire_keys: Vec<Vec<u64>> = Vec::with_capacity(world);
+    let mut hit_flags: Vec<Vec<bool>> = Vec::with_capacity(world);
+    let mut cached_rows: Vec<Vec<f32>> = Vec::with_capacity(world);
+    for (owner, keys) in request_keys.iter().enumerate() {
+        let mut wire = Vec::with_capacity(keys.len());
+        let mut hits = vec![false; keys.len()];
+        let mut rows = Vec::new();
+        if owner == me {
+            wire.extend_from_slice(keys);
+        } else {
+            for (slot, &key) in keys.iter().enumerate() {
+                if cache.lookup_into(key, &mut rows) {
+                    hits[slot] = true;
+                } else {
+                    wire.push(key);
+                }
+            }
+        }
+        wire_keys.push(wire);
+        hit_flags.push(hits);
+        cached_rows.push(rows);
+    }
+    let incoming = backend.all_to_all_indices(wire_keys)?;
+    let replies = lookup.answer(&incoming)?;
+    let fetched_wire = backend.all_to_all(replies)?;
+    // Reassemble per-owner buffers in request-key order, feeding misses into the
+    // cache as they stream past.
+    let mut fetched = Vec::with_capacity(world);
+    for (owner, keys) in request_keys.iter().enumerate() {
+        let mut full = Vec::with_capacity(keys.len() * dim);
+        let mut cached_cursor = 0usize;
+        let mut wire_cursor = 0usize;
+        let wire_rows = &fetched_wire[owner];
+        for (slot, &key) in keys.iter().enumerate() {
+            if hit_flags[owner][slot] {
+                full.extend_from_slice(&cached_rows[owner][cached_cursor..cached_cursor + dim]);
+                cached_cursor += dim;
+            } else {
+                let row = &wire_rows[wire_cursor..wire_cursor + dim];
+                full.extend_from_slice(row);
+                wire_cursor += dim;
+                if owner != me {
+                    cache.insert(key, row);
+                }
+            }
+        }
+        fetched.push(full);
+    }
+    Ok((
+        LookupRouting {
+            request_keys,
+            served_keys: Vec::new(),
+        },
+        fetched,
+    ))
+}
+
+impl RankModel {
+    /// Runs one batch's forward flow and returns this rank's predictions (for
+    /// its own query slice) plus the batch's accounting.
+    fn run_batch(
+        &mut self,
+        worlds: &mut RankWorlds,
+        job: &Job,
+    ) -> Result<RankBatchResult, ServeError> {
+        let my_queries = &job.queries[job.start..job.start + job.len];
+        let preds = match self {
+            RankModel::Baseline(state) => {
+                let BaselineRank {
+                    lookup,
+                    dense,
+                    cache,
+                    num_dense,
+                } = state.as_mut();
+                let features: Vec<usize> = lookup.features().to_vec();
+                let bags_owned = bags_of(my_queries, &features);
+                let bags: Vec<&[Vec<usize>]> = bags_owned.iter().map(Vec::as_slice).collect();
+                let (routing, fetched) =
+                    fetch_rows_cached(lookup, cache, &mut worlds.global, &bags)?;
+                if my_queries.is_empty() {
+                    Vec::new()
+                } else {
+                    let embs = lookup.pool(&bags, &routing, &fetched)?;
+                    let refs: Vec<&Tensor> = embs.iter().collect();
+                    let feature_block = Tensor::concat_cols(&refs)?;
+                    let dense_input = Tensor::from_vec(
+                        vec![my_queries.len(), *num_dense],
+                        dense_flat(my_queries),
+                    )?;
+                    dense.forward(&dense_input, &feature_block)?
+                }
+            }
+            RankModel::Dmt(state) => {
+                let DmtRank {
+                    lookup,
+                    tower,
+                    dense,
+                    cache,
+                    layout,
+                    num_dense,
+                    peer_ranks,
+                } = state.as_mut();
+                // SPTT step 1: distribute indices to the owning towers' same-slot
+                // ranks, using the trainer's shared wire codec.
+                let sends =
+                    model::encode_tower_streams(&layout.groups, my_queries.len(), |f, s| {
+                        my_queries[s].sparse[f].as_slice()
+                    });
+                let incoming = worlds.peer.all_to_all_indices(sends)?;
+                let src_counts: Vec<usize> = peer_ranks.iter().map(|&r| job.counts[r]).collect();
+                let tower_batch: usize = src_counts.iter().sum();
+                let tower_bags =
+                    model::decode_tower_streams(&incoming, layout.my_features.len(), &src_counts);
+                // Step 2: intra-host sharded lookup (cache-fronted).
+                let bags: Vec<&[Vec<usize>]> = tower_bags.iter().map(Vec::as_slice).collect();
+                let (routing, fetched) =
+                    fetch_rows_cached(lookup, cache, &mut worlds.intra, &bags)?;
+                // Step 3: tower forward over the combined tower batch, sliced
+                // back per source host.
+                let w_mine = layout.tower_widths[layout.my_host];
+                let out_sends: Vec<Vec<f32>> = if tower_batch == 0 {
+                    vec![Vec::new(); layout.hosts]
+                } else {
+                    let embs = lookup.pool(&bags, &routing, &fetched)?;
+                    let refs: Vec<&Tensor> = embs.iter().collect();
+                    let tower_input = Tensor::concat_cols(&refs)?;
+                    let tower_out = tower.forward(&tower_input)?;
+                    let data = tower_out.data();
+                    let mut offset = 0usize;
+                    src_counts
+                        .iter()
+                        .map(|&b| {
+                            let slice = data[offset * w_mine..(offset + b) * w_mine].to_vec();
+                            offset += b;
+                            slice
+                        })
+                        .collect()
+                };
+                // Step 4: compressed tower outputs ride back over the peer world.
+                let out_recv = worlds.peer.all_to_all(out_sends)?;
+                if my_queries.is_empty() {
+                    Vec::new()
+                } else {
+                    let b = my_queries.len();
+                    let tower_blocks: Vec<Tensor> = out_recv
+                        .into_iter()
+                        .enumerate()
+                        .map(|(t, flat)| Tensor::from_vec(vec![b, layout.tower_widths[t]], flat))
+                        .collect::<Result<_, _>>()?;
+                    let refs: Vec<&Tensor> = tower_blocks.iter().collect();
+                    let feature_block = Tensor::concat_cols(&refs)?;
+                    let dense_input =
+                        Tensor::from_vec(vec![b, *num_dense], dense_flat(my_queries))?;
+                    dense.forward(&dense_input, &feature_block)?
+                }
+            }
+        };
+        let (payload_bytes, cross_host_bytes, intra_host_bytes) = worlds.drain_bytes();
+        let cache = match self {
+            RankModel::Baseline(state) => state.cache.take_stats(),
+            RankModel::Dmt(state) => state.cache.take_stats(),
+        };
+        Ok(RankBatchResult {
+            preds,
+            payload_bytes,
+            cross_host_bytes,
+            intra_host_bytes,
+            cache,
+        })
+    }
+}
+
+/// A running disaggregated inference deployment: rank worker threads holding the
+/// sharded model, fed batches through [`ServingEngine::submit`].
+pub struct ServingEngine {
+    mode: ExecutionMode,
+    world: usize,
+    senders: Vec<Sender<Job>>,
+    replies: Receiver<RankReply>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    stats: ServeStats,
+    poisoned: bool,
+}
+
+impl ServingEngine {
+    /// Loads `snapshot` onto `config.cluster` and starts one worker thread per
+    /// rank. The snapshot's tables are re-sharded onto the serving cluster; DMT
+    /// snapshots require `cluster.num_hosts() == snapshot.num_towers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] if the snapshot cannot be mapped onto the
+    /// cluster or its weights do not match the declared geometry.
+    pub fn start(snapshot: &ModelSnapshot, config: &ServeConfig) -> Result<Self, ServeError> {
+        let cluster = &config.cluster;
+        if snapshot.mode == ExecutionMode::Dmt && cluster.num_hosts() != snapshot.num_towers {
+            return Err(ServeError::Config {
+                reason: format!(
+                    "DMT snapshot has {} towers but the serving cluster has {} hosts",
+                    snapshot.num_towers,
+                    cluster.num_hosts()
+                ),
+            });
+        }
+        if snapshot.mode == ExecutionMode::Dmt && snapshot.tower_params.len() != snapshot.num_towers
+        {
+            return Err(ServeError::Config {
+                reason: "snapshot tower weights do not cover every tower".into(),
+            });
+        }
+        // Load every rank's model up front so configuration errors surface here,
+        // synchronously, instead of inside a worker thread.
+        let models: Vec<RankModel> = (0..cluster.world_size())
+            .map(|rank| build_rank_model(snapshot, config, rank))
+            .collect::<Result<_, _>>()?;
+        let worlds = build_worlds(cluster, config.fabric);
+        let (reply_tx, replies) = std::sync::mpsc::channel();
+        let mut senders = Vec::with_capacity(models.len());
+        let mut threads = Vec::with_capacity(models.len());
+        for (rank, (model, world)) in models.into_iter().zip(worlds).enumerate() {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let reply_tx = reply_tx.clone();
+            senders.push(tx);
+            threads.push(std::thread::spawn(move || {
+                worker_loop(rank, model, world, &rx, &reply_tx);
+            }));
+        }
+        Ok(Self {
+            mode: snapshot.mode,
+            world: cluster.world_size(),
+            senders,
+            replies,
+            threads,
+            stats: ServeStats::default(),
+            poisoned: false,
+        })
+    }
+
+    /// The deployment this engine serves.
+    #[must_use]
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Rank worker threads.
+    #[must_use]
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Accounting accumulated across every submitted batch.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Answers one batch: splits `queries` into contiguous per-rank sub-batches,
+    /// runs the deployment's forward flow collectively, and returns the
+    /// predicted click probabilities in query order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] if a rank fails; the engine is unusable
+    /// afterwards (its worlds are aborted).
+    pub fn submit(&mut self, queries: Vec<Query>) -> Result<Vec<f32>, ServeError> {
+        if self.poisoned {
+            return Err(ServeError::Config {
+                reason: "engine is poisoned by an earlier failure".into(),
+            });
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let total = queries.len();
+        let base = total / self.world;
+        let rem = total % self.world;
+        let counts: Arc<Vec<usize>> = Arc::new(
+            (0..self.world)
+                .map(|r| base + usize::from(r < rem))
+                .collect(),
+        );
+        let queries = Arc::new(queries);
+        let mut start = 0usize;
+        for (rank, sender) in self.senders.iter().enumerate() {
+            let len = counts[rank];
+            let job = Job {
+                queries: Arc::clone(&queries),
+                counts: Arc::clone(&counts),
+                start,
+                len,
+            };
+            start += len;
+            if sender.send(job).is_err() {
+                self.poisoned = true;
+                return Err(ServeError::Rank {
+                    rank,
+                    message: "worker thread is gone".into(),
+                });
+            }
+        }
+        let mut per_rank: Vec<Option<RankBatchResult>> = (0..self.world).map(|_| None).collect();
+        let mut first_error: Option<ServeError> = None;
+        for _ in 0..self.world {
+            match self.replies.recv_timeout(RANK_REPLY_TIMEOUT) {
+                Ok(reply) => match reply.result {
+                    Ok(result) => per_rank[reply.rank] = Some(result),
+                    Err(e) => {
+                        // Keep the root cause over the abort cascades it causes.
+                        let replace = match &first_error {
+                            None => true,
+                            Some(current) => current.is_abort_cascade() && !e.is_abort_cascade(),
+                        };
+                        if replace {
+                            first_error = Some(e);
+                        }
+                    }
+                },
+                Err(_) => {
+                    first_error.get_or_insert(ServeError::Config {
+                        reason: "timed out waiting for a rank".into(),
+                    });
+                    break;
+                }
+            }
+        }
+        if let Some(error) = first_error {
+            self.poisoned = true;
+            return Err(error);
+        }
+        let mut preds = Vec::with_capacity(total);
+        for result in per_rank.into_iter().flatten() {
+            preds.extend(result.preds);
+            self.stats.payload_bytes += result.payload_bytes;
+            self.stats.cross_host_bytes += result.cross_host_bytes;
+            self.stats.intra_host_bytes += result.intra_host_bytes;
+            self.stats.cache.merge(&result.cache);
+        }
+        debug_assert_eq!(preds.len(), total);
+        self.stats.queries += total as u64;
+        self.stats.batches += 1;
+        Ok(preds)
+    }
+
+    /// Stops the workers and returns the final accounting.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.stats
+    }
+
+    fn stop(&mut self) {
+        self.senders.clear(); // closes every job channel; workers exit
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServingEngine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(
+    rank: usize,
+    mut model: RankModel,
+    mut worlds: RankWorlds,
+    jobs: &Receiver<Job>,
+    replies: &Sender<RankReply>,
+) {
+    while let Ok(job) = jobs.recv() {
+        let result = model.run_batch(&mut worlds, &job);
+        let failed = result.is_err();
+        if failed {
+            // Peers may be blocked in a collective waiting for this rank.
+            worlds.abort();
+        }
+        if replies.send(RankReply { rank, result }).is_err() || failed {
+            break;
+        }
+    }
+}
+
+/// Builds the per-rank communicator bundles (global / intra-host / peer worlds),
+/// mirroring the trainer's mapping of [`ProcessGroup`]s onto the cluster.
+fn build_worlds(cluster: &ClusterTopology, fabric: FabricProfile) -> Vec<RankWorlds> {
+    let global = SharedMemoryComm::for_group(cluster, &ProcessGroup::global(cluster), fabric);
+    let mut intra: Vec<Option<SharedMemoryBackend>> =
+        (0..cluster.world_size()).map(|_| None).collect();
+    for group in ProcessGroup::intra_host_groups(cluster) {
+        let handles = SharedMemoryComm::for_group(cluster, &group, fabric);
+        for (rank, handle) in group.ranks().iter().zip(handles) {
+            intra[rank.0] = Some(handle);
+        }
+    }
+    let mut peer: Vec<Option<SharedMemoryBackend>> =
+        (0..cluster.world_size()).map(|_| None).collect();
+    for group in ProcessGroup::peer_groups(cluster) {
+        let handles = SharedMemoryComm::for_group(cluster, &group, fabric);
+        for (rank, handle) in group.ranks().iter().zip(handles) {
+            peer[rank.0] = Some(handle);
+        }
+    }
+    global
+        .into_iter()
+        .zip(intra)
+        .zip(peer)
+        .map(|((global, intra), peer)| RankWorlds {
+            global,
+            intra: intra.expect("intra-host groups cover every rank"),
+            peer: peer.expect("peer groups cover every rank"),
+        })
+        .collect()
+}

@@ -1,0 +1,177 @@
+//! The serving frontend: drives a query stream through the admission batcher and
+//! the engine, recording per-request latency.
+//!
+//! Two traffic modes cover the interesting operating points:
+//!
+//! * **Closed loop** (`inter_arrival_us == 0`) — the next request is admitted the
+//!   moment the batcher can take it, so the engine runs saturated and batches
+//!   close on the **size** trigger. Latency = batch assembly + collective forward;
+//!   this is the throughput measurement mode.
+//! * **Open loop** (`inter_arrival_us > 0`) — requests arrive on a fixed schedule
+//!   (one every `inter_arrival_us`); under trickle traffic the **deadline**
+//!   trigger closes partial batches, bounding tail latency the way an online
+//!   system must. Latency includes real queueing.
+//!
+//! Per-request latency is measured from admission to batch completion and
+//! summarized with the shared nearest-rank percentile helper
+//! ([`dmt_metrics::LatencyPercentiles`]) — the same code path the trainer uses
+//! for iteration wall times.
+
+use crate::batcher::{BatcherConfig, MicroBatcher};
+use crate::engine::{ServeStats, ServingEngine};
+use crate::ServeError;
+use dmt_data::Query;
+use dmt_metrics::LatencyPercentiles;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Traffic and batching policy of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Requests to serve.
+    pub num_requests: usize,
+    /// Open-loop inter-arrival gap in microseconds; 0 = closed loop (saturated).
+    pub inter_arrival_us: u64,
+    /// Batch-close policy.
+    pub batcher: BatcherConfig,
+}
+
+/// The outcome of serving one query stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests served.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole stream.
+    pub wall_s: f64,
+    /// Served requests per second.
+    pub throughput_qps: f64,
+    /// Per-request latency summary, in seconds (admission → completion).
+    pub latency: LatencyPercentiles,
+    /// Batches closed by the size trigger.
+    pub size_closes: u64,
+    /// Batches closed by the deadline trigger.
+    pub deadline_closes: u64,
+    /// Batches closed by end-of-stream flush.
+    pub flush_closes: u64,
+    /// Engine-side accounting (bytes, cache) accumulated over the stream.
+    pub stats: ServeStats,
+}
+
+impl ServeReport {
+    /// Mean batch size over the stream.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.stats.batches == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.stats.batches as f64
+    }
+}
+
+/// Serves `config.num_requests` queries drawn from `next_query` through
+/// `engine`, batching with the configured policy, and reports latency
+/// percentiles, throughput and the engine's byte/cache accounting delta.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] if the engine fails mid-stream.
+pub fn serve_stream(
+    engine: &mut ServingEngine,
+    config: &StreamConfig,
+    mut next_query: impl FnMut() -> Query,
+) -> Result<ServeReport, ServeError> {
+    let start = Instant::now();
+    let stats_before = engine.stats();
+    let mut batcher: MicroBatcher<(u64, Query)> = MicroBatcher::new(config.batcher);
+    let mut latencies_s: Vec<f64> = Vec::with_capacity(config.num_requests);
+    let mut flush_closes = 0u64;
+    let mut admitted = 0usize;
+    let now_us = |start: &Instant| start.elapsed().as_micros() as u64;
+
+    let run_batch = |engine: &mut ServingEngine,
+                     batch: Vec<(u64, Query)>,
+                     latencies_s: &mut Vec<f64>,
+                     start: &Instant|
+     -> Result<(), ServeError> {
+        let (arrivals, queries): (Vec<u64>, Vec<Query>) = batch.into_iter().unzip();
+        let _ = engine.submit(queries)?;
+        let done_us = now_us(start);
+        for arrival_us in arrivals {
+            latencies_s.push(done_us.saturating_sub(arrival_us) as f64 * 1e-6);
+        }
+        Ok(())
+    };
+
+    while admitted < config.num_requests || !batcher.is_empty() {
+        // Admit every request whose (scheduled) arrival has passed. In closed
+        // loop mode the schedule is "immediately", so the batcher fills straight
+        // to its size trigger.
+        let mut closed: Option<Vec<(u64, Query)>> = None;
+        while admitted < config.num_requests {
+            let scheduled_us = admitted as u64 * config.inter_arrival_us;
+            let now = now_us(&start);
+            if scheduled_us > now {
+                break;
+            }
+            // Arrival is the scheduled instant: a request that waited for the
+            // engine to drain the queue ahead of it has been latent since then.
+            let arrival_us = if config.inter_arrival_us == 0 {
+                now
+            } else {
+                scheduled_us
+            };
+            admitted += 1;
+            closed = batcher.push(arrival_us, (arrival_us, next_query()));
+            if closed.is_some() {
+                break;
+            }
+        }
+        if let Some(batch) = closed {
+            run_batch(engine, batch, &mut latencies_s, &start)?;
+            continue;
+        }
+        // No size close: fire the deadline trigger, flush at end of stream, or
+        // sleep until the next event.
+        if let Some(batch) = batcher.poll(now_us(&start)) {
+            run_batch(engine, batch, &mut latencies_s, &start)?;
+            continue;
+        }
+        if admitted >= config.num_requests {
+            if let Some(batch) = batcher.flush() {
+                flush_closes += 1;
+                run_batch(engine, batch, &mut latencies_s, &start)?;
+            }
+            continue;
+        }
+        let next_arrival_us = admitted as u64 * config.inter_arrival_us;
+        let mut wake_us = next_arrival_us;
+        if let Some(deadline) = batcher.next_deadline_us() {
+            wake_us = wake_us.min(deadline);
+        }
+        let now = now_us(&start);
+        if wake_us > now {
+            std::thread::sleep(std::time::Duration::from_micros((wake_us - now).min(1_000)));
+        }
+    }
+
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats_after = engine.stats();
+    Ok(ServeReport {
+        requests: latencies_s.len(),
+        wall_s,
+        throughput_qps: latencies_s.len() as f64 / wall_s.max(1e-12),
+        latency: LatencyPercentiles::of(&latencies_s).unwrap_or(LatencyPercentiles {
+            count: 0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }),
+        size_closes: batcher.size_closes(),
+        deadline_closes: batcher.deadline_closes(),
+        flush_closes,
+        stats: stats_after.since(&stats_before),
+    })
+}

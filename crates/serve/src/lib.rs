@@ -1,0 +1,203 @@
+//! `dmt-serve` — disaggregated online inference for the DMT reproduction.
+//!
+//! Training proves the paper's topology argument on the gradient path; this crate
+//! proves it on the **query path**. It loads a frozen
+//! [`dmt_trainer::distributed::ModelSnapshot`] (exported by
+//! `dmt_trainer::distributed::run_with_snapshot`) and serves it with the same two
+//! deployments the trainer measures, over the same executable fabric
+//! (`dmt-comm` collectives, `FabricProfile` pacing, per-link-class byte
+//! accounting against the `ClusterTopology`):
+//!
+//! * **Baseline serving** — embedding tables row-sharded across *all* ranks; every
+//!   batch pays a global index + row AlltoAll before the replicated dense forward.
+//! * **DMT serving** — the SPTT flow: peer index distribution, *intra-host*
+//!   sharded lookup, tower-module compression, and only the small tower outputs
+//!   cross hosts.
+//!
+//! Three serving-specific pieces wrap the engine:
+//!
+//! * [`MicroBatcher`] — admission control with **size** and **deadline** batch
+//!   close triggers (throughput under load, bounded latency under trickle).
+//! * [`HotRowCache`] — a per-rank LRU over fetched embedding rows; on the
+//!   Zipf-skewed request streams of `dmt_data::requests` it absorbs most remote
+//!   fetches and its savings show up directly in the wire-byte accounting.
+//! * [`serve_stream`] — the frontend loop: drives a query stream through batcher
+//!   and engine and reports per-request p50/p95/p99 latency
+//!   ([`dmt_metrics::LatencyPercentiles`]), throughput, trigger counts and bytes
+//!   per query.
+//!
+//! Served predictions are **bit-identical** to a forward pass through the
+//! training-side model over the same sub-batches: the engine reuses the trainer's
+//! `ShardedLookup` protocol and `DenseStack` float path rather than
+//! reimplementing them (see the workspace `serving` tests).
+//!
+//! # Example
+//!
+//! ```
+//! use dmt_models::ModelArch;
+//! use dmt_serve::{ServeConfig, ServingEngine};
+//! use dmt_topology::{ClusterTopology, HardwareGeneration};
+//! use dmt_trainer::distributed::{run_with_snapshot, DistributedConfig, ExecutionMode};
+//!
+//! let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2)?;
+//! let train = DistributedConfig::quick(cluster.clone(), ModelArch::Dlrm).with_iterations(1);
+//! let (_run, snapshot) = run_with_snapshot(&train, ExecutionMode::Baseline)?;
+//! let mut engine = ServingEngine::start(&snapshot, &ServeConfig::new(cluster))?;
+//! let mut stream = dmt_data::ZipfRequestStream::new(snapshot.schema.clone(), 1, 1.1);
+//! let preds = engine.submit(stream.next_queries(8))?;
+//! assert_eq!(preds.len(), 8);
+//! assert!(preds.iter().all(|p| (0.0..=1.0).contains(p)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod engine;
+pub mod frontend;
+
+pub use batcher::{BatcherConfig, MicroBatcher};
+pub use cache::{CacheStats, HotRowCache};
+pub use engine::{ServeStats, ServingEngine};
+pub use frontend::{serve_stream, ServeReport, StreamConfig};
+
+use dmt_comm::{CommError, FabricProfile};
+use dmt_tensor::TensorError;
+use dmt_topology::ClusterTopology;
+use dmt_trainer::distributed::DistributedError;
+
+/// Configuration of a serving deployment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Cluster the rank worker threads are mapped onto.
+    pub cluster: ClusterTopology,
+    /// Fabric pacing applied to every collective on the query path.
+    pub fabric: FabricProfile,
+    /// Per-rank hot-row cache capacity in rows (0 disables the cache).
+    pub cache_rows: usize,
+}
+
+impl ServeConfig {
+    /// A configuration over `cluster` with an unthrottled fabric and a modest
+    /// per-rank cache (1024 rows).
+    #[must_use]
+    pub fn new(cluster: ClusterTopology) -> Self {
+        Self {
+            cluster,
+            fabric: FabricProfile::unthrottled(),
+            cache_rows: 1024,
+        }
+    }
+
+    /// Overrides the fabric profile.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricProfile) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Overrides the per-rank hot-row cache capacity (0 disables the cache).
+    #[must_use]
+    pub fn with_cache_rows(mut self, cache_rows: usize) -> Self {
+        self.cache_rows = cache_rows;
+        self
+    }
+}
+
+/// Errors surfaced by the serving engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The snapshot or configuration cannot be served.
+    Config {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A collective failed on the query path.
+    Comm(CommError),
+    /// A shape mismatch inside a rank's local compute.
+    Tensor(TensorError),
+    /// A rank worker failed or disappeared.
+    Rank {
+        /// The rank that failed.
+        rank: usize,
+        /// Failure description.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// Whether this error is a secondary "world aborted" cascade rather than a
+    /// root cause.
+    #[must_use]
+    pub fn is_abort_cascade(&self) -> bool {
+        matches!(self, ServeError::Comm(CommError::Aborted))
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config { reason } => write!(f, "invalid serving configuration: {reason}"),
+            ServeError::Comm(e) => write!(f, "serving collective failed: {e}"),
+            ServeError::Tensor(e) => write!(f, "serving tensor error: {e}"),
+            ServeError::Rank { rank, message } => {
+                write!(f, "serving rank {rank} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CommError> for ServeError {
+    fn from(value: CommError) -> Self {
+        ServeError::Comm(value)
+    }
+}
+
+impl From<TensorError> for ServeError {
+    fn from(value: TensorError) -> Self {
+        ServeError::Tensor(value)
+    }
+}
+
+impl From<DistributedError> for ServeError {
+    fn from(value: DistributedError) -> Self {
+        match value {
+            DistributedError::Comm(e) => ServeError::Comm(e),
+            DistributedError::Tensor(e) => ServeError::Tensor(e),
+            other => ServeError::Config {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ServeError::Config {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        let e = ServeError::Rank {
+            rank: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains("boom"));
+        assert!(ServeError::Comm(CommError::Aborted).is_abort_cascade());
+        assert!(!ServeError::Comm(CommError::EmptyWorld).is_abort_cascade());
+    }
+
+    #[test]
+    fn config_builders_override_fields() {
+        use dmt_topology::{ClusterTopology, HardwareGeneration};
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 1).unwrap();
+        let cfg = ServeConfig::new(cluster).with_cache_rows(7);
+        assert_eq!(cfg.cache_rows, 7);
+    }
+}

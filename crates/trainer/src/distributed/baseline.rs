@@ -20,10 +20,11 @@
 
 use super::config::{DistributedConfig, DistributedError, ScheduleMode};
 use super::executor::{self, IterationStats, RankLowering};
+use super::export::RankExport;
 use super::graph::{decode_shards, encode_shards, IterationGraph, NodeMeta, OpKind};
 use super::measure::{wait_logged, CommScope, RankOutcome, WaitEntry};
 use super::model::{
-    bags_for, flatten_grads, scale_grads, write_back_grads, DenseStack, LookupRouting,
+    self, bags_for, flatten_grads, scale_grads, write_back_grads, DenseStack, LookupRouting,
     ShardedLookup,
 };
 use super::RankComms;
@@ -36,14 +37,23 @@ use dmt_nn::param::HasParameters;
 use dmt_nn::{AdamOptimizer, Optimizer};
 use dmt_tensor::Tensor;
 
-/// One rank of the hybrid-parallel baseline.
+/// One rank of the hybrid-parallel baseline. With `want_export`, also returns
+/// this rank's contribution to a frozen model snapshot (its table shards, plus
+/// the replicated dense stack on rank 0).
 pub(crate) fn baseline_rank(
     config: &DistributedConfig,
     rank: usize,
     comm: &mut RankComms,
-) -> Result<RankOutcome, DistributedError> {
+    want_export: bool,
+) -> Result<(RankOutcome, Option<RankExport>), DistributedError> {
     let mut lowering = BaselineLowering::new(config, rank);
-    executor::run_rank(config, rank, comm, &mut lowering)
+    let outcome = executor::run_rank(config, rank, comm, &mut lowering)?;
+    let export = want_export.then(|| RankExport {
+        dense_params: (rank == 0).then(|| model::flatten_params(&mut lowering.dense)),
+        tower: None,
+        shards: lowering.lookup.export_shards(),
+    });
+    Ok((outcome, export))
 }
 
 /// Rank-local state of the baseline lowering: globally sharded tables and the

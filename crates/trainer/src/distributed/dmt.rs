@@ -17,17 +17,19 @@
 
 use super::config::{DistributedConfig, DistributedError, ScheduleMode};
 use super::executor::{self, IterationStats, RankLowering};
+use super::export::RankExport;
 use super::graph::{decode_shards, encode_shards, IterationGraph, NodeMeta, OpKind};
 use super::measure::{wait_logged, CommScope, RankOutcome, WaitEntry};
 use super::model::{
-    flatten_grads, scale_grads, write_back_grads, DenseStack, LookupRouting, ShardedLookup,
+    flatten_grads, flatten_params, scale_grads, write_back_grads, DenseStack, LookupRouting,
+    ShardedLookup,
 };
 use super::RankComms;
 use dmt_comm::codec::WireFormat;
 use dmt_comm::{Backend, PendingOp};
 use dmt_commsim::SegmentKind;
 use dmt_core::tower::TowerModule;
-use dmt_core::{naive_partition, DlrmTowerModule};
+use dmt_core::DlrmTowerModule;
 use dmt_data::Batch;
 use dmt_metrics::auc::roc_auc;
 use dmt_nn::param::HasParameters;
@@ -51,32 +53,18 @@ fn layout(config: &DistributedConfig, rank: usize) -> Result<DmtLayout, Distribu
     let cluster = &config.cluster;
     let hosts = cluster.num_hosts();
     let my_host = cluster.host_of(Rank(rank));
-    let partition = naive_partition(schema.num_sparse(), hosts)?;
-    // Tower feature groups, each sorted ascending (the wire order of every exchange).
-    let groups: Vec<Vec<usize>> = partition
-        .groups()
-        .iter()
-        .map(|g| {
-            let mut g = g.clone();
-            g.sort_unstable();
-            g
-        })
-        .collect();
-    if groups.iter().any(Vec::is_empty) {
-        return Err(DistributedError::Config {
-            reason: "every tower needs at least one feature".into(),
-        });
-    }
+    // Tower feature groups, each sorted ascending (the wire order of every
+    // exchange), and the interaction geometry — both from the shared helpers
+    // the serving engine also builds on (`super::model`).
+    let groups = super::model::tower_groups(schema.num_sparse(), hosts)?;
     let my_features = groups[my_host].clone();
     let (c, p, d) = (
         config.tower_ensemble_c,
         config.tower_ensemble_p,
         config.tower_output_dim,
     );
-    // Interaction geometry, mirroring `RecommendationModel`: every tower contributes
-    // `c * F_t + p` units of width D, plus the dense unit.
-    let tower_widths: Vec<usize> = groups.iter().map(|g| d * (c * g.len() + p)).collect();
-    let num_units = groups.iter().map(|g| c * g.len() + p).sum::<usize>() + 1;
+    let tower_widths = super::model::tower_widths(&groups, c, p, d);
+    let num_units = super::model::tower_num_units(&groups, c, p);
     Ok(DmtLayout {
         groups,
         my_features,
@@ -87,61 +75,26 @@ fn layout(config: &DistributedConfig, rank: usize) -> Result<DmtLayout, Distribu
     })
 }
 
-/// Encodes one micro-batch's bags for every tower as peer AlltoAll streams
-/// (`len, idx...` per bag, feature-major within each tower's group).
-fn encode_peer_sends(batch: &Batch, groups: &[Vec<usize>]) -> Vec<Vec<u64>> {
-    groups
-        .iter()
-        .map(|group| {
-            let mut stream = Vec::new();
-            for &f in group {
-                for bag in &batch.sparse[f] {
-                    stream.push(bag.len() as u64);
-                    stream.extend(bag.iter().map(|&i| i as u64));
-                }
-            }
-            stream
-        })
-        .collect()
-}
-
-/// Decodes incoming peer streams into the combined tower batch: `hosts * b`
-/// samples (source-host major), one bag list per tower feature.
-fn decode_peer_streams(
-    incoming: &[Vec<u64>],
-    num_features: usize,
-    b: usize,
-) -> Vec<Vec<Vec<usize>>> {
-    let tower_batch = incoming.len() * b;
-    let mut tower_bags: Vec<Vec<Vec<usize>>> = vec![Vec::with_capacity(tower_batch); num_features];
-    for stream in incoming {
-        let mut cursor = 0usize;
-        for bags in tower_bags.iter_mut() {
-            for _ in 0..b {
-                let len = stream[cursor] as usize;
-                cursor += 1;
-                bags.push(
-                    stream[cursor..cursor + len]
-                        .iter()
-                        .map(|&v| v as usize)
-                        .collect(),
-                );
-                cursor += len;
-            }
-        }
-        debug_assert_eq!(cursor, stream.len());
-    }
-    tower_bags
-}
-
-/// One rank of the Disaggregated Multi-Tower deployment.
+/// One rank of the Disaggregated Multi-Tower deployment. With `want_export`,
+/// also returns this rank's contribution to a frozen model snapshot: its
+/// intra-host table shards, the replicated tower module on each host's slot-0
+/// rank, and the replicated dense stack on global rank 0.
 pub(crate) fn dmt_rank(
     config: &DistributedConfig,
     rank: usize,
     comm: &mut RankComms,
-) -> Result<RankOutcome, DistributedError> {
+    want_export: bool,
+) -> Result<(RankOutcome, Option<RankExport>), DistributedError> {
+    use dmt_topology::Rank;
     let mut lowering = DmtLowering::new(config, rank)?;
-    executor::run_rank(config, rank, comm, &mut lowering)
+    let outcome = executor::run_rank(config, rank, comm, &mut lowering)?;
+    let export = want_export.then(|| RankExport {
+        dense_params: (rank == 0).then(|| flatten_params(&mut lowering.dense)),
+        tower: (config.cluster.local_index(Rank(rank)) == 0)
+            .then(|| (lowering.layout.my_host, flatten_params(&mut lowering.tower))),
+        shards: lowering.lookup.export_shards(),
+    });
+    Ok((outcome, export))
 }
 
 /// Rank-local state of the DMT lowering: the tower's sharded tables, the
@@ -319,7 +272,12 @@ fn add_peer_route<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize
         },
         deps,
         move |ctx: &mut Ctx| {
-            let sends = encode_peer_sends(&ctx.mbs[b].batch, &ctx.low.layout.groups);
+            let sends = {
+                let batch = &ctx.mbs[b].batch;
+                super::model::encode_tower_streams(&ctx.low.layout.groups, batch.len(), |f, s| {
+                    batch.sparse[f][s].as_slice()
+                })
+            };
             ctx.mbs[b].peer_idx_op = Some(ctx.comm.peer.all_to_all_indices_nonblocking(sends));
             Ok(())
         },
@@ -343,8 +301,12 @@ fn add_decode<'g>(g: &mut IterationGraph<'g, Ctx<'_>>, deps: &[Id], b: usize) ->
                 CommScope::Peer,
             )?;
             let mb_len = ctx.mbs[b].batch.len();
-            let tower_bags =
-                decode_peer_streams(&incoming, ctx.low.layout.my_features.len(), mb_len);
+            // Training sources all carry the same micro-batch length.
+            let tower_bags = super::model::decode_tower_streams(
+                &incoming,
+                ctx.low.layout.my_features.len(),
+                &vec![mb_len; incoming.len()],
+            );
             let requests = {
                 let bags: Vec<&[Vec<usize>]> = tower_bags.iter().map(Vec::as_slice).collect();
                 ctx.low.lookup.route(ctx.comm.intra.world_size(), &bags)

@@ -68,6 +68,7 @@ pub(crate) fn run_rank<L: RankLowering>(
     let mut losses = Vec::with_capacity(config.iterations);
     let mut aucs = Vec::with_capacity(config.iterations);
     let mut wall_s = 0.0;
+    let mut iter_wall_s = Vec::with_capacity(config.iterations);
     for _ in 0..config.iterations {
         let iter_start = Instant::now();
         let batch = data.next_batch(config.local_batch);
@@ -101,11 +102,13 @@ pub(crate) fn run_rank<L: RankLowering>(
             iteration_samples(lowering.compute_label(), comm_samples, iter_s, opt_s),
         );
         wall_s += iter_s;
+        iter_wall_s.push(iter_s);
     }
     Ok(RankOutcome {
         segments: totals,
         losses,
         aucs,
         wall_s,
+        iter_wall_s,
     })
 }

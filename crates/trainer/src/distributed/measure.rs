@@ -101,6 +101,9 @@ pub struct MeasuredRun {
     /// to the sum of segment durations; under the pipelined schedule it is
     /// smaller, by exactly the communication that was hidden.
     pub wall_s_per_iter: f64,
+    /// Per-iteration wall-clock seconds (slowest rank per iteration), the raw
+    /// samples behind [`MeasuredRun::wall_latency`].
+    pub iter_wall_s: Vec<f64>,
 }
 
 impl MeasuredRun {
@@ -185,6 +188,14 @@ impl MeasuredRun {
         } else {
             Some(defined.iter().sum::<f64>() / defined.len() as f64)
         }
+    }
+
+    /// p50/p95/p99 summary of the per-iteration wall times, computed with the
+    /// same nearest-rank helper the serving engine uses for request latency
+    /// ([`fn@dmt_metrics::percentile`]). `None` when no iterations were recorded.
+    #[must_use]
+    pub fn wall_latency(&self) -> Option<dmt_metrics::LatencyPercentiles> {
+        dmt_metrics::LatencyPercentiles::of(&self.iter_wall_s)
     }
 
     /// Mean training loss over the run's iterations.
@@ -365,6 +376,8 @@ pub(crate) struct RankOutcome {
     pub aucs: Vec<Option<f64>>,
     /// Total wall-clock seconds this rank spent across all iterations.
     pub wall_s: f64,
+    /// Per-iteration wall-clock seconds on this rank.
+    pub iter_wall_s: Vec<f64>,
 }
 
 /// Folds one iteration's samples into the run accumulator.
@@ -457,6 +470,15 @@ pub(crate) fn aggregate(
         .iter()
         .map(|o| o.wall_s / iters)
         .fold(0.0f64, f64::max);
+    // Per iteration, the wall time is set by the slowest rank of that iteration.
+    let iter_wall_s = (0..config.iterations)
+        .map(|i| {
+            outcomes
+                .iter()
+                .map(|o| o.iter_wall_s[i])
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
     MeasuredRun {
         mode,
         schedule: config.schedule,
@@ -467,6 +489,7 @@ pub(crate) fn aggregate(
         losses,
         aucs,
         wall_s_per_iter,
+        iter_wall_s,
     }
 }
 
@@ -500,6 +523,7 @@ mod tests {
             losses: vec![0.5],
             aucs: vec![Some(0.6)],
             wall_s_per_iter: 15e-3,
+            iter_wall_s: vec![15e-3],
         };
         assert!((run.comm_time_s() - 20e-3).abs() < 1e-12);
         assert!((run.exposed_comm_s() - 10e-3).abs() < 1e-12);
@@ -518,6 +542,7 @@ mod tests {
             losses: vec![0.5],
             aucs: vec![None],
             wall_s_per_iter: 5e-3,
+            iter_wall_s: vec![5e-3],
         };
         assert_eq!(run.hidden_comm_fraction(), 0.0);
         // And a run with no comm at all reports zero rather than NaN.

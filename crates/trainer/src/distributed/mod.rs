@@ -62,13 +62,15 @@ pub mod calibrate;
 pub mod config;
 pub mod dmt;
 mod executor;
+pub mod export;
 pub mod graph;
 pub mod measure;
-mod model;
+pub mod model;
 pub mod pipeline;
 
 pub use calibrate::{calibrate, predicted_timeline, CalibrationReport};
 pub use config::{DistributedConfig, DistributedError, ExecutionMode, ScheduleMode};
+pub use export::{ModelSnapshot, SnapshotError, TableWeights};
 pub use graph::{IterationGraph, NodeMeta, OpKind, SpecNode};
 pub use measure::{CommScope, MeasuredRun, MeasuredSegment};
 pub use pipeline::{StageGraph, StageId};
@@ -101,6 +103,22 @@ pub fn run_baseline(config: &DistributedConfig) -> Result<MeasuredRun, Distribut
 /// Returns a [`DistributedError`] if the configuration is invalid or a rank fails.
 pub fn run_dmt(config: &DistributedConfig) -> Result<MeasuredRun, DistributedError> {
     run_mode(config, ExecutionMode::Dmt)
+}
+
+/// Runs `mode` for real and additionally exports a frozen [`ModelSnapshot`] of
+/// the trained weights (dense stack, tower modules, full embedding tables
+/// reassembled from every rank's shards) — the artifact `dmt-serve` loads to
+/// answer queries.
+///
+/// # Errors
+///
+/// Returns a [`DistributedError`] if the configuration is invalid or a rank fails.
+pub fn run_with_snapshot(
+    config: &DistributedConfig,
+    mode: ExecutionMode,
+) -> Result<(MeasuredRun, ModelSnapshot), DistributedError> {
+    let (run, snapshot) = run_mode_inner(config, mode, true)?;
+    Ok((run, snapshot.expect("snapshot requested")))
 }
 
 /// Builds the per-rank communicator bundles for `config.cluster`.
@@ -140,6 +158,16 @@ fn run_mode(
     config: &DistributedConfig,
     mode: ExecutionMode,
 ) -> Result<MeasuredRun, DistributedError> {
+    run_mode_inner(config, mode, false).map(|(run, _)| run)
+}
+
+type RankResult = Result<(RankOutcome, Option<export::RankExport>), DistributedError>;
+
+fn run_mode_inner(
+    config: &DistributedConfig,
+    mode: ExecutionMode,
+    want_snapshot: bool,
+) -> Result<(MeasuredRun, Option<ModelSnapshot>), DistributedError> {
     if config.local_batch == 0 || config.iterations == 0 {
         return Err(DistributedError::Config {
             reason: "local_batch and iterations must be positive".into(),
@@ -151,8 +179,7 @@ fn run_mode(
     }
     let comms = build_comms(config);
     let world = comms.len();
-    let mut outcomes: Vec<Option<Result<RankOutcome, DistributedError>>> =
-        (0..world).map(|_| None).collect();
+    let mut outcomes: Vec<Option<RankResult>> = (0..world).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(world);
         for (rank, comm) in comms.into_iter().enumerate() {
@@ -160,8 +187,10 @@ fn run_mode(
             joins.push(scope.spawn(move || {
                 let mut comm = comm;
                 let outcome = match mode {
-                    ExecutionMode::Baseline => baseline::baseline_rank(&config, rank, &mut comm),
-                    ExecutionMode::Dmt => dmt::dmt_rank(&config, rank, &mut comm),
+                    ExecutionMode::Baseline => {
+                        baseline::baseline_rank(&config, rank, &mut comm, want_snapshot)
+                    }
+                    ExecutionMode::Dmt => dmt::dmt_rank(&config, rank, &mut comm, want_snapshot),
                 };
                 if outcome.is_err() {
                     // Peers may be blocked in a collective waiting for this rank;
@@ -185,7 +214,7 @@ fn run_mode(
             }));
         }
     });
-    let outcomes: Vec<Result<RankOutcome, DistributedError>> = outcomes
+    let outcomes: Vec<RankResult> = outcomes
         .into_iter()
         .map(|o| o.expect("every rank joined"))
         .collect();
@@ -203,8 +232,21 @@ fn run_mode(
             .unwrap_or_default();
         return Err(errors.swap_remove(root));
     }
-    let outcomes: Vec<RankOutcome> = outcomes.into_iter().map(Result::unwrap).collect();
-    Ok(aggregate(mode, config, outcomes))
+    let mut exports = Vec::with_capacity(world);
+    let outcomes: Vec<RankOutcome> = outcomes
+        .into_iter()
+        .map(|o| {
+            let (outcome, export) = o.expect("errors handled above");
+            exports.extend(export);
+            outcome
+        })
+        .collect();
+    let snapshot = if want_snapshot {
+        Some(export::assemble(mode, config, exports)?)
+    } else {
+        None
+    };
+    Ok((aggregate(mode, config, outcomes), snapshot))
 }
 
 #[cfg(test)]

@@ -1,8 +1,16 @@
 //! Rank-local model state shared by both deployments: the sharded embedding
 //! lookup (decomposed into issue/answer/pool phases so the pipelined schedule can
 //! interleave them with collectives) and the replicated dense stack.
+//!
+//! The module is public because the *serving* engine (`dmt-serve`) reuses the
+//! exact same building blocks on its query path: [`ShardedLookup`] provides the
+//! route → answer → pool protocol over frozen (exported) tables, and
+//! [`DenseStack::forward`] is the inference half of the training forward/backward
+//! — sharing the float path is what makes served predictions bit-identical to a
+//! training-side forward pass.
 
 use super::config::DistributedError;
+use super::export::TableWeights;
 use dmt_data::{Batch, DatasetSchema};
 use dmt_models::{ModelArch, ModelHyperparams};
 use dmt_nn::param::HasParameters;
@@ -10,12 +18,14 @@ use dmt_nn::{BceWithLogitsLoss, CrossNet, DotInteraction, Mlp, Parameter, Sharde
 use dmt_tensor::Tensor;
 
 /// Encodes a (feature, row) pair into the u64 key the index exchanges carry.
-pub(crate) fn encode_key(feature: usize, row: usize) -> u64 {
+#[must_use]
+pub fn encode_key(feature: usize, row: usize) -> u64 {
     ((feature as u64) << 32) | row as u64
 }
 
 /// Decodes a (feature, row) key.
-pub(crate) fn decode_key(key: u64) -> (usize, usize) {
+#[must_use]
+pub fn decode_key(key: u64) -> (usize, usize) {
     ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize)
 }
 
@@ -42,14 +52,115 @@ pub(crate) fn feature_runs(keys: &[u64]) -> impl Iterator<Item = (usize, Vec<usi
     })
 }
 
+// --- DMT tower layout + peer wire format ------------------------------------
+//
+// One definition serves the trainer's lowering and the serving engine: geometry
+// or wire-format drift between the two would silently break the served-equals-
+// trained bit-identity guarantee.
+
+/// Sorted per-tower feature groups of the naive partition (ascending feature
+/// ids within each group — the wire order of every tower exchange).
+///
+/// # Errors
+///
+/// Returns [`DistributedError::Config`] if the partition is invalid or leaves a
+/// tower without features.
+pub fn tower_groups(num_sparse: usize, towers: usize) -> Result<Vec<Vec<usize>>, DistributedError> {
+    let partition = dmt_core::naive_partition(num_sparse, towers)?;
+    let groups: Vec<Vec<usize>> = partition
+        .groups()
+        .iter()
+        .map(|g| {
+            let mut g = g.clone();
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    if groups.iter().any(Vec::is_empty) {
+        return Err(DistributedError::Config {
+            reason: "every tower needs at least one feature".into(),
+        });
+    }
+    Ok(groups)
+}
+
+/// Compressed output width of each tower: `D · (c · F_t + p)` per group.
+#[must_use]
+pub fn tower_widths(groups: &[Vec<usize>], c: usize, p: usize, d: usize) -> Vec<usize> {
+    groups.iter().map(|g| d * (c * g.len() + p)).collect()
+}
+
+/// Interaction units of the DMT dense stack: every tower's ensemble projections
+/// plus the dense unit.
+#[must_use]
+pub fn tower_num_units(groups: &[Vec<usize>], c: usize, p: usize) -> usize {
+    groups.iter().map(|g| c * g.len() + p).sum::<usize>() + 1
+}
+
+/// Encodes `samples` local samples as per-tower peer index streams — the SPTT
+/// wire format: `len, idx...` per bag, feature-major within each tower's group.
+/// `bag(feature, sample)` supplies the index bag (batches and serving queries
+/// store bags differently; the wire format must not).
+pub fn encode_tower_streams<'a, F>(groups: &[Vec<usize>], samples: usize, bag: F) -> Vec<Vec<u64>>
+where
+    F: Fn(usize, usize) -> &'a [usize],
+{
+    groups
+        .iter()
+        .map(|group| {
+            let mut stream = Vec::new();
+            for &f in group {
+                for s in 0..samples {
+                    let b = bag(f, s);
+                    stream.push(b.len() as u64);
+                    stream.extend(b.iter().map(|&i| i as u64));
+                }
+            }
+            stream
+        })
+        .collect()
+}
+
+/// Decodes incoming peer streams into the combined tower batch: one bag list
+/// per tower feature over `sum(src_counts)` samples, source major.
+/// `src_counts[s]` is source `s`'s sample count (uniform in training, per-rank
+/// chunk sizes in serving).
+#[must_use]
+pub fn decode_tower_streams(
+    incoming: &[Vec<u64>],
+    num_features: usize,
+    src_counts: &[usize],
+) -> Vec<Vec<Vec<usize>>> {
+    let tower_batch: usize = src_counts.iter().sum();
+    let mut tower_bags: Vec<Vec<Vec<usize>>> = vec![Vec::with_capacity(tower_batch); num_features];
+    for (stream, &b) in incoming.iter().zip(src_counts) {
+        let mut cursor = 0usize;
+        for bags in tower_bags.iter_mut() {
+            for _ in 0..b {
+                let len = stream[cursor] as usize;
+                cursor += 1;
+                bags.push(
+                    stream[cursor..cursor + len]
+                        .iter()
+                        .map(|&v| v as usize)
+                        .collect(),
+                );
+                cursor += len;
+            }
+        }
+        debug_assert_eq!(cursor, stream.len());
+    }
+    tower_bags
+}
+
 /// Request-routing state of one in-flight fetch: which keys this rank asked each
 /// owner for, and which keys each source asked this rank for.
 ///
 /// Owned per micro-batch (several fetches may be in flight at once under the
 /// pipelined schedule). The routing also tells the wire codec how many `f32`
 /// elements each encoded shard decodes to: `keys × dim` per owner/source.
-#[derive(Default)]
-pub(crate) struct LookupRouting {
+#[derive(Debug, Default)]
+pub struct LookupRouting {
     /// Requester side: per-owner sorted-unique request keys.
     pub request_keys: Vec<Vec<u64>>,
     /// Owner side: per-source request keys (set once the index exchange lands).
@@ -65,7 +176,10 @@ pub(crate) struct LookupRouting {
 /// reuses the request routing to push per-row gradients to their owners. Each
 /// protocol phase is its own method, so the sync path can run them back to back
 /// while the pipelined path slots collectives between them.
-pub(crate) struct ShardedLookup {
+///
+/// The serving engine reuses the same type over *frozen* tables
+/// ([`ShardedLookup::from_tables`]) and drives only the forward phases.
+pub struct ShardedLookup {
     /// Global feature ids served by this world, ascending.
     features: Vec<usize>,
     /// This rank's shard of each feature's table, aligned with `features`.
@@ -74,6 +188,10 @@ pub(crate) struct ShardedLookup {
 }
 
 impl ShardedLookup {
+    /// Creates one rank's freshly initialized shard view: shard `shard_index` of
+    /// `world` for every feature in `features`, with per-`(feature, shard)`
+    /// deterministic seeding.
+    #[must_use]
     pub(crate) fn new(
         seed: u64,
         schema: &DatasetSchema,
@@ -109,6 +227,96 @@ impl ShardedLookup {
         }
     }
 
+    /// Rebuilds one rank's shard view from exported full-table weights: shard
+    /// `shard_index` of a `world`-way partition for every feature in `features`,
+    /// slicing each feature's snapshot table. This is how the serving engine
+    /// re-shards a snapshot onto *its* cluster, independent of the world size the
+    /// model was trained with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributedError::Config`] if a feature has no snapshot table or
+    /// the table dimensions are inconsistent.
+    pub fn from_tables(
+        mut features: Vec<usize>,
+        tables: &[TableWeights],
+        world: usize,
+        shard_index: usize,
+    ) -> Result<Self, DistributedError> {
+        features.sort_unstable();
+        let mut shards = Vec::with_capacity(features.len());
+        let mut dim = 0usize;
+        for &f in &features {
+            let table =
+                tables
+                    .iter()
+                    .find(|t| t.feature == f)
+                    .ok_or_else(|| DistributedError::Config {
+                        reason: format!("snapshot holds no table for feature {f}"),
+                    })?;
+            if table.rows == 0 || table.dim == 0 {
+                return Err(DistributedError::Config {
+                    reason: format!("table {f} has zero rows or dimension"),
+                });
+            }
+            if table.data.len() != table.rows * table.dim {
+                return Err(DistributedError::Config {
+                    reason: format!("table {f} data is not [{} x {}]", table.rows, table.dim),
+                });
+            }
+            if dim == 0 {
+                dim = table.dim;
+            } else if dim != table.dim {
+                return Err(DistributedError::Config {
+                    reason: format!("table {f} dim {} != {dim}", table.dim),
+                });
+            }
+            let rows_per_shard = table.rows.div_ceil(world);
+            let lo = (shard_index * rows_per_shard).min(table.rows);
+            let hi = ((shard_index + 1) * rows_per_shard).min(table.rows);
+            shards.push(ShardedEmbeddingTable::from_local_rows(
+                table.rows,
+                table.dim,
+                world,
+                shard_index,
+                table.data[lo * table.dim..hi * table.dim].to_vec(),
+            ));
+        }
+        Ok(Self {
+            features,
+            shards,
+            dim,
+        })
+    }
+
+    /// Exports this rank's shards as `(feature, first_global_row, local rows)`
+    /// triples — the per-rank contribution to a full-table snapshot.
+    pub(crate) fn export_shards(&self) -> Vec<(usize, usize, Vec<f32>)> {
+        self.features
+            .iter()
+            .zip(&self.shards)
+            .map(|(&f, shard)| {
+                (
+                    f,
+                    shard.local_row_range().start,
+                    shard.local_weights().to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    /// Global feature ids served by this lookup, ascending.
+    #[must_use]
+    pub fn features(&self) -> &[usize] {
+        &self.features
+    }
+
+    /// Embedding dimension of every served table.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Position of a global feature id within `features`.
     fn feature_pos(&self, feature: usize) -> usize {
         self.features
@@ -120,7 +328,7 @@ impl ShardedLookup {
 
     /// Phase 1 (requester): routes each distinct (feature, row) of `bags` to its
     /// owner shard as sorted-unique keys — the payload of the index AlltoAll.
-    pub(crate) fn route(&self, world: usize, bags: &[&[Vec<usize>]]) -> Vec<Vec<u64>> {
+    pub fn route(&self, world: usize, bags: &[&[Vec<usize>]]) -> Vec<Vec<u64>> {
         let mut requests: Vec<Vec<u64>> = vec![Vec::new(); world];
         for (pos, per_sample) in bags.iter().enumerate() {
             let shard = &self.shards[pos];
@@ -142,7 +350,7 @@ impl ShardedLookup {
     /// Phase 2 (owner): answers incoming request keys with raw rows, in request
     /// order. Keys are sorted, so rows of the same feature form contiguous runs and
     /// each run is answered with one batched shard lookup.
-    pub(crate) fn answer(&self, incoming: &[Vec<u64>]) -> Result<Vec<Vec<f32>>, DistributedError> {
+    pub fn answer(&self, incoming: &[Vec<u64>]) -> Result<Vec<Vec<f32>>, DistributedError> {
         let dim = self.dim;
         let mut replies: Vec<Vec<f32>> = Vec::with_capacity(incoming.len());
         for keys in incoming {
@@ -157,7 +365,7 @@ impl ShardedLookup {
 
     /// Phase 3 (requester): pools fetched rows into one `[num_samples, dim]` tensor
     /// per feature, bit-identical to a local sum-pooled forward.
-    pub(crate) fn pool(
+    pub fn pool(
         &self,
         bags: &[&[Vec<usize>]],
         routing: &LookupRouting,
@@ -259,7 +467,13 @@ impl ShardedLookup {
 }
 
 /// The replicated dense stack: bottom MLP, feature interaction and over-arch.
-pub(crate) struct DenseStack {
+///
+/// `unit_width` and `num_units` fix the interaction geometry: the baseline
+/// deployment uses one unit per sparse feature plus the dense unit at the
+/// embedding dimension, DMT uses one unit per tower-ensemble projection at the
+/// tower output dimension. The serving engine rebuilds the same geometry from a
+/// snapshot's metadata and loads the exported weights ([`load_params`]).
+pub struct DenseStack {
     arch: ModelArch,
     bottom: Mlp,
     dot: Option<DotInteraction>,
@@ -270,7 +484,11 @@ pub(crate) struct DenseStack {
 }
 
 impl DenseStack {
-    pub(crate) fn new(
+    /// Builds a dense stack for `arch` with the given interaction geometry,
+    /// seeding every parameter deterministically from `seed` (all ranks build
+    /// identical replicas).
+    #[must_use]
+    pub fn new(
         seed: u64,
         schema: &DatasetSchema,
         arch: ModelArch,
@@ -386,6 +604,45 @@ impl DenseStack {
         self.bottom.backward(&grad_dense_repr)?;
         Ok((loss, predictions, pieces[1].clone()))
     }
+
+    /// Inference forward: the exact forward half of the training
+    /// `forward_backward`, returning the per-sample predicted click
+    /// probabilities (`sigmoid(logit)`, the same float path the training loss
+    /// reports). No gradients are touched, so the stack can serve queries
+    /// indefinitely from frozen weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DistributedError`] on input shape mismatch.
+    pub fn forward(
+        &mut self,
+        dense_input: &Tensor,
+        feature_block: &Tensor,
+    ) -> Result<Vec<f32>, DistributedError> {
+        let dense_repr = self.bottom.forward(dense_input)?;
+        let units = Tensor::concat_cols(&[&dense_repr, feature_block])?;
+        let over_input = match self.arch {
+            ModelArch::Dlrm => {
+                let dot = self
+                    .dot
+                    .as_mut()
+                    .expect("DLRM stacks own a dot interaction");
+                let pairs = dot.forward(&units)?;
+                Tensor::concat_cols(&[&dense_repr, &pairs])?
+            }
+            ModelArch::Dcn => self
+                .cross
+                .as_mut()
+                .expect("DCN stacks own a CrossNet")
+                .forward(&units)?,
+        };
+        let logits = self.over.forward(&over_input)?;
+        Ok(logits
+            .data()
+            .iter()
+            .map(|&z| dmt_nn::activation::scalar_sigmoid(z))
+            .collect())
+    }
 }
 
 impl HasParameters for DenseStack {
@@ -404,6 +661,52 @@ pub(crate) fn flatten_grads<M: HasParameters + ?Sized>(module: &mut M) -> Vec<f3
     let mut flat = Vec::new();
     module.visit_parameters(&mut |p| flat.extend_from_slice(p.grad.data()));
     flat
+}
+
+/// Flattens every parameter *value* reachable through `module` into one buffer,
+/// in visitation order — the dense half of a model snapshot. Modules are rebuilt
+/// deterministically from their constructor arguments, so a flat value buffer
+/// round-trips exactly through [`load_params`].
+#[must_use]
+pub fn flatten_params<M: HasParameters + ?Sized>(module: &mut M) -> Vec<f32> {
+    let mut flat = Vec::new();
+    module.visit_parameters(&mut |p| flat.extend_from_slice(p.value.data()));
+    flat
+}
+
+/// Writes a flat value buffer (from [`flatten_params`]) back into `module`'s
+/// parameters, in the same visitation order — the import half of a snapshot.
+///
+/// # Errors
+///
+/// Returns [`DistributedError::Config`] if `flat` does not hold exactly the
+/// module's parameter count.
+pub fn load_params<M: HasParameters + ?Sized>(
+    module: &mut M,
+    flat: &[f32],
+) -> Result<(), DistributedError> {
+    let expected = {
+        let mut count = 0;
+        module.visit_parameters(&mut |p| count += p.len());
+        count
+    };
+    if expected != flat.len() {
+        return Err(DistributedError::Config {
+            reason: format!(
+                "parameter buffer holds {} scalars, module expects {expected}",
+                flat.len()
+            ),
+        });
+    }
+    let mut offset = 0;
+    module.visit_parameters(&mut |p| {
+        let n = p.len();
+        p.value
+            .data_mut()
+            .copy_from_slice(&flat[offset..offset + n]);
+        offset += n;
+    });
+    Ok(())
 }
 
 /// Writes a reduced gradient buffer back into `module`'s parameters, scaling each
