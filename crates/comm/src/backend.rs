@@ -96,6 +96,13 @@ impl OpRecord {
 /// collective — a rank receiving it must treat the world as dead (abort it, e.g.
 /// `SharedMemoryBackend::abort`) rather than proceed, since its peers are already
 /// waiting for a deposit it never made.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must keep a wildcard arm,
+/// so future failure modes (and the fault-injection variants
+/// [`CommError::RankDown`] / [`CommError::Timeout`]) can be added without breaking
+/// them. Retry logic should branch on [`CommError::is_transient`] rather than
+/// enumerating variants.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
     /// The world would have zero ranks.
@@ -134,6 +141,41 @@ pub enum CommError {
         /// Wire words actually received.
         got_words: usize,
     },
+    /// A specific rank is known dead: either this rank itself was fenced out of the
+    /// world (it missed a snapshot while its peers force-completed a collective
+    /// without it, or a fault profile scripted its death), or a reduction observed a
+    /// dead peer's missing contribution. Unlike [`CommError::Timeout`] this is
+    /// *not* transient — the rank cannot rejoin until a peer marks it up again.
+    RankDown {
+        /// The rank known to be down.
+        rank: usize,
+    },
+    /// The per-collective deadline expired before every live rank deposited. The
+    /// caller's own deposit was withdrawn, so retrying the same collective is safe:
+    /// whichever retry completes the rendezvous publishes exactly one snapshot and
+    /// every live rank stays aligned on the collective sequence.
+    Timeout {
+        /// The collective that timed out.
+        op: CommOp,
+        /// How long this rank waited, in milliseconds.
+        waited_ms: u64,
+        /// Ranks that had not deposited (and were not already marked down) when the
+        /// deadline expired — the suspects for failure detection.
+        missing: Vec<usize>,
+    },
+}
+
+impl CommError {
+    /// Whether retrying the failed collective may succeed.
+    ///
+    /// Only [`CommError::Timeout`] is transient: the timed-out rank withdrew its
+    /// deposit, so it can re-enter the same rendezvous generation (optionally after
+    /// marking slow peers down so the world completes without them). Everything
+    /// else is a shape bug, a dead rank, or a dead world — retrying cannot help.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CommError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for CommError {
@@ -162,6 +204,19 @@ impl fmt::Display for CommError {
                 write!(
                     f,
                     "quantized payload of {got_words} wire words does not match the expected {expected_words}"
+                )
+            }
+            CommError::RankDown { rank } => {
+                write!(f, "rank {rank} is down")
+            }
+            CommError::Timeout {
+                op,
+                waited_ms,
+                missing,
+            } => {
+                write!(
+                    f,
+                    "{op} timed out after {waited_ms}ms waiting for ranks {missing:?}"
                 )
             }
         }
@@ -359,5 +414,22 @@ mod tests {
     #[test]
     fn aborted_error_mentions_the_cause() {
         assert!(CommError::Aborted.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn only_timeouts_are_transient() {
+        let timeout = CommError::Timeout {
+            op: CommOp::AllToAll,
+            waited_ms: 12,
+            missing: vec![3],
+        };
+        assert!(timeout.is_transient());
+        assert!(timeout.to_string().contains("12"));
+        assert!(timeout.to_string().contains("[3]"));
+        let down = CommError::RankDown { rank: 5 };
+        assert!(!down.is_transient());
+        assert!(down.to_string().contains('5'));
+        assert!(!CommError::Aborted.is_transient());
+        assert!(!CommError::EmptyWorld.is_transient());
     }
 }

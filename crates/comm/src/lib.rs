@@ -30,6 +30,17 @@
 //! issue/complete instants on a process-wide clock ([`comm_clock_s`]), which is how
 //! the execution engine measures *exposed* (non-hidden) communication per op.
 //!
+//! # Failure semantics
+//!
+//! Failures are observable, never deadlocks. A per-collective deadline
+//! ([`SharedMemoryBackend::set_op_timeout`]) turns a dead or stalled peer into
+//! [`CommError::Timeout`] naming the missing ranks; survivors can then exclude the
+//! dead rank ([`SharedMemoryBackend::mark_down`]) so pending and future collectives
+//! complete without it, while the excluded rank itself is fenced with
+//! [`CommError::RankDown`] until readmitted. The [`fault`] module injects exactly
+//! these failures on a deterministic schedule ([`FaultProfile`] /
+//! [`FaultInjectingBackend`]) so availability experiments are reproducible.
+//!
 //! # Example
 //!
 //! ```
@@ -54,11 +65,13 @@
 pub mod backend;
 pub mod codec;
 pub mod fabric;
+pub mod fault;
 pub mod pending;
 pub mod shmem;
 
 pub use backend::{Backend, CommError, CommOp, OpRecord};
 pub use codec::WireFormat;
 pub use fabric::FabricProfile;
+pub use fault::{FaultEvent, FaultInjectingBackend, FaultKind, FaultProfile};
 pub use pending::PendingOp;
-pub use shmem::{comm_clock_s, SharedMemoryBackend, SharedMemoryComm};
+pub use shmem::{comm_clock_s, AbortHandle, SharedMemoryBackend, SharedMemoryComm};

@@ -32,7 +32,7 @@ use dmt_topology::{ClusterTopology, LinkKind, ProcessGroup};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The process-wide monotonic epoch all [`OpRecord`] timestamps are measured from.
 fn comm_epoch() -> Instant {
@@ -53,11 +53,32 @@ pub fn comm_clock_s() -> f64 {
 
 /// A generation-counted all-to-all rendezvous over one payload type.
 ///
-/// `exchange(rank, value)` blocks until every rank of the world has deposited, then
-/// returns the full rank-ordered set of deposits. A fast rank may re-enter the next
-/// generation immediately: the published snapshot of generation `g` can only be
-/// replaced once every rank has returned from `g` (each must deposit again before a
-/// new snapshot forms), so no rank can miss its snapshot.
+/// `exchange(rank, value, op, deadline)` blocks until every *live* rank of the
+/// world has deposited, then returns the full rank-ordered set of deposits. A fast
+/// rank may re-enter the next generation immediately: the published snapshot of
+/// generation `g` can only be replaced once every live rank has returned from `g`
+/// (each must deposit again before a new snapshot forms), so no rank can miss its
+/// snapshot.
+///
+/// # Failure semantics
+///
+/// Three failure paths keep the world observable instead of deadlocked:
+///
+/// - **Poison** ([`Rendezvous::poison`]): the world is dead; every waiter and every
+///   later entry gets [`CommError::Aborted`].
+/// - **Deadline**: a rank that waited past its per-collective deadline *withdraws
+///   its own deposit* and returns [`CommError::Timeout`] naming the ranks that had
+///   not arrived. Because the deposit is withdrawn, a retry re-deposits the same
+///   payload into the same still-pending generation — each generation completes
+///   exactly once no matter which ranks timed out and retried, so live ranks never
+///   diverge on the collective sequence.
+/// - **Down-marking** ([`Rendezvous::mark_down`]): a rank its peers declared dead is
+///   excluded from the arrival condition; pending and future generations complete
+///   without it, with [`Default::default`] standing in for its contribution (an
+///   empty shard). The down rank itself is *fenced*: any exchange it attempts fails
+///   with [`CommError::RankDown`] until [`Rendezvous::mark_up`] readmits it at the
+///   current generation, so a wrongly-suspected rank can never silently desync the
+///   sequence.
 struct Rendezvous<T> {
     state: Mutex<RendezvousState<T>>,
     all_arrived: Condvar,
@@ -71,12 +92,25 @@ struct RendezvousState<T> {
     published_at: Instant,
     arrived: usize,
     generation: u64,
-    /// Set when a rank died mid-iteration; waiting ranks panic instead of blocking
-    /// on a deposit that will never arrive.
+    /// Set when a rank died mid-iteration; waiting ranks fail with
+    /// [`CommError::Aborted`] instead of blocking on a deposit that will never
+    /// arrive.
     poisoned: bool,
+    /// Ranks the world's survivors have declared dead; they no longer count toward
+    /// the arrival condition and are fenced out until marked up again.
+    down: Vec<bool>,
+    /// Highest generation each rank has consumed a snapshot of. A rank whose
+    /// counter lags the world's generation missed a snapshot while excluded and is
+    /// fenced (its view of the collective sequence is behind its peers').
+    consumed: Vec<u64>,
+    /// Ranks that deposited into the *pending* generation at least once, even if
+    /// they later withdrew on a timeout. A timeout's `missing` list implicates
+    /// only ranks that never arrived — a peer that merely timed out alongside us
+    /// (and withdrew to retry) is not a liveness suspect.
+    ever_arrived: Vec<bool>,
 }
 
-impl<T> Rendezvous<T> {
+impl<T: Default> Rendezvous<T> {
     fn new(world: usize) -> Self {
         Self {
             state: Mutex::new(RendezvousState {
@@ -86,60 +120,167 @@ impl<T> Rendezvous<T> {
                 arrived: 0,
                 generation: 0,
                 poisoned: false,
+                down: vec![false; world],
+                consumed: vec![0; world],
+                ever_arrived: vec![false; world],
             }),
             all_arrived: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RendezvousState<T>> {
+        match self.state.lock() {
+            Ok(state) => state,
+            Err(poisoned_lock) => poisoned_lock.into_inner(),
         }
     }
 
     /// Marks the world dead and wakes every waiter; see
     /// [`SharedMemoryBackend::abort`].
     fn poison(&self) {
-        let mut state = match self.state.lock() {
-            Ok(state) => state,
-            Err(poisoned_lock) => poisoned_lock.into_inner(),
-        };
+        let mut state = self.lock();
         state.poisoned = true;
         self.all_arrived.notify_all();
     }
 
-    /// Deposits this rank's contribution and blocks until every rank has done the
-    /// same. Returns the full rank-ordered set plus the instant the set formed, so
-    /// callers can time the transfer itself rather than their wait for stragglers.
-    fn exchange(&self, rank: usize, value: T) -> (Arc<Vec<T>>, Instant) {
+    /// Publishes the pending generation if every rank has either deposited or been
+    /// marked down (down ranks contribute `T::default()`). Returns whether a new
+    /// snapshot formed; the caller must `notify_all` if it did.
+    fn try_publish(state: &mut RendezvousState<T>) -> bool {
+        if state.arrived == 0 {
+            return false;
+        }
+        let complete = state
+            .deposits
+            .iter()
+            .zip(&state.down)
+            .all(|(slot, &down)| slot.is_some() || down);
+        if !complete {
+            return false;
+        }
+        let all: Vec<T> = state
+            .deposits
+            .iter_mut()
+            .map(|slot| slot.take().unwrap_or_default())
+            .collect();
+        state.published = Arc::new(all);
+        state.published_at = Instant::now();
+        state.arrived = 0;
+        state.generation += 1;
+        state.ever_arrived.iter_mut().for_each(|a| *a = false);
+        true
+    }
+
+    /// Excludes `rank` from the arrival condition; if it was the only missing
+    /// deposit, the pending generation publishes immediately with an empty
+    /// contribution in its slot.
+    fn mark_down(&self, rank: usize) {
+        let mut state = self.lock();
+        if state.down[rank] {
+            return;
+        }
+        state.down[rank] = true;
+        if Self::try_publish(&mut state) {
+            self.all_arrived.notify_all();
+        }
+    }
+
+    /// Readmits `rank` at the current generation: it re-enters the collective
+    /// sequence as if it had consumed every snapshot published while it was out.
+    fn mark_up(&self, rank: usize) {
+        let mut state = self.lock();
+        state.down[rank] = false;
+        state.consumed[rank] = state.generation;
+    }
+
+    fn is_down(&self, rank: usize) -> bool {
+        self.lock().down[rank]
+    }
+
+    fn down_ranks(&self) -> Vec<usize> {
+        let state = self.lock();
+        (0..state.down.len()).filter(|&r| state.down[r]).collect()
+    }
+
+    /// Deposits this rank's contribution and blocks until every live rank has done
+    /// the same. Returns the full rank-ordered set plus the instant the set formed,
+    /// so callers can time the transfer itself rather than their wait for
+    /// stragglers. `op` labels any [`CommError::Timeout`]; `deadline` bounds the
+    /// wait (`None` waits forever, failing only on poison).
+    fn exchange(
+        &self,
+        rank: usize,
+        value: T,
+        op: CommOp,
+        deadline: Option<Duration>,
+    ) -> Result<(Arc<Vec<T>>, Instant), CommError> {
+        let start = Instant::now();
         let mut state = self.state.lock().expect("rendezvous lock poisoned");
-        assert!(
-            !state.poisoned,
-            "shared-memory collective aborted: a peer rank exited mid-iteration"
-        );
+        if state.poisoned {
+            return Err(CommError::Aborted);
+        }
+        if state.down[rank] {
+            return Err(CommError::RankDown { rank });
+        }
+        if state.consumed[rank] != state.generation {
+            // The world published a snapshot without this rank while it was marked
+            // down; it is behind the collective sequence and must stay fenced
+            // (`consumed` is left stale on purpose) until `mark_up` readmits it.
+            return Err(CommError::RankDown { rank });
+        }
         debug_assert!(state.deposits[rank].is_none(), "rank deposited twice");
         state.deposits[rank] = Some(value);
         state.arrived += 1;
-        if state.arrived == state.deposits.len() {
-            let all: Vec<T> = state
-                .deposits
-                .iter_mut()
-                .map(|slot| slot.take().expect("every rank deposited"))
-                .collect();
-            state.published = Arc::new(all);
-            state.published_at = Instant::now();
-            state.arrived = 0;
-            state.generation += 1;
+        state.ever_arrived[rank] = true;
+        let target = state.generation;
+        if Self::try_publish(&mut state) {
             self.all_arrived.notify_all();
-            (Arc::clone(&state.published), state.published_at)
-        } else {
-            let generation = state.generation;
-            while state.generation == generation {
-                assert!(
-                    !state.poisoned,
-                    "shared-memory collective aborted: a peer rank exited mid-iteration"
-                );
-                state = self
-                    .all_arrived
-                    .wait(state)
-                    .expect("rendezvous lock poisoned");
-            }
-            (Arc::clone(&state.published), state.published_at)
+            state.consumed[rank] = state.generation;
+            return Ok((Arc::clone(&state.published), state.published_at));
         }
+        while state.generation == target {
+            if state.poisoned {
+                return Err(CommError::Aborted);
+            }
+            match deadline {
+                None => {
+                    state = self
+                        .all_arrived
+                        .wait(state)
+                        .expect("rendezvous lock poisoned");
+                }
+                Some(limit) => {
+                    let Some(remaining) = limit.checked_sub(start.elapsed()) else {
+                        // Deadline expired with the generation still pending:
+                        // withdraw our deposit (so a retry can re-deposit into this
+                        // same generation) and report who had not arrived.
+                        state.deposits[rank] = None;
+                        state.arrived -= 1;
+                        let missing = (0..state.down.len())
+                            .filter(|&r| r != rank && !state.ever_arrived[r] && !state.down[r])
+                            .collect();
+                        return Err(CommError::Timeout {
+                            op,
+                            waited_ms: start.elapsed().as_millis() as u64,
+                            missing,
+                        });
+                    };
+                    let (guard, _) = self
+                        .all_arrived
+                        .wait_timeout(state, remaining)
+                        .expect("rendezvous lock poisoned");
+                    state = guard;
+                }
+            }
+        }
+        if state.generation != target + 1 {
+            // We slept through more than one generation — possible only while
+            // marked down (peers force-completed collectives without us). The
+            // snapshot our deposit went into is gone; fence this rank.
+            return Err(CommError::RankDown { rank });
+        }
+        state.consumed[rank] = state.generation;
+        Ok((Arc::clone(&state.published), state.published_at))
     }
 }
 
@@ -211,6 +352,7 @@ impl SharedMemoryComm {
                     floats: Arc::clone(&floats),
                     indices: Arc::clone(&indices),
                     fabric,
+                    timeout: Arc::new(Mutex::new(None)),
                     records: Arc::new(Mutex::new(Vec::new())),
                 },
                 helper: None,
@@ -240,11 +382,28 @@ struct OpCore {
     floats: Arc<Rendezvous<Vec<Vec<f32>>>>,
     indices: Arc<Rendezvous<Vec<Vec<u64>>>>,
     fabric: FabricProfile,
+    /// Per-collective rendezvous deadline, shared with the helper thread so
+    /// [`SharedMemoryBackend::set_op_timeout`] applies to in-flight handles too.
+    timeout: Arc<Mutex<Option<Duration>>>,
     /// Completed-op log, shared with the helper thread.
     records: Arc<Mutex<Vec<OpRecord>>>,
 }
 
 impl OpCore {
+    fn op_timeout(&self) -> Option<Duration> {
+        *self.timeout.lock().expect("timeout lock poisoned")
+    }
+
+    /// Returns [`CommError::RankDown`] naming the first rank whose contribution is
+    /// an empty placeholder (it was marked down, so `T::default()` stood in).
+    /// The reduction family calls this before touching payloads: a reduction needs
+    /// every rank's contribution, so a dead peer is an error, not an empty shard.
+    fn reject_down_contribution<U>(all: &[Vec<U>]) -> Result<(), CommError> {
+        if let Some(rank) = all.iter().position(Vec::is_empty) {
+            return Err(CommError::RankDown { rank });
+        }
+        Ok(())
+    }
     /// Splits per-destination byte counts into (cross-host, intra-host) totals.
     fn classify(&self, per_dest_bytes: impl Iterator<Item = (usize, u64)>) -> (u64, u64) {
         let mut cross = 0;
@@ -313,7 +472,9 @@ impl OpCore {
     }
 
     fn barrier(&self, issued_at: Instant) -> Result<(), CommError> {
-        let (_, transfer_start) = self.floats.exchange(self.rank, Vec::new());
+        let (_, transfer_start) =
+            self.floats
+                .exchange(self.rank, Vec::new(), CommOp::Barrier, self.op_timeout())?;
         self.finish(CommOp::Barrier, 0, 0, 0, transfer_start, issued_at);
         Ok(())
     }
@@ -336,8 +497,15 @@ impl OpCore {
                 .enumerate()
                 .map(|(d, s)| (d, 4 * s.len() as u64)),
         );
-        let (all, transfer_start) = self.floats.exchange(self.rank, sends);
-        let received: Vec<Vec<f32>> = all.iter().map(|from| from[self.rank].clone()).collect();
+        let (all, transfer_start) =
+            self.floats
+                .exchange(self.rank, sends, CommOp::AllToAll, self.op_timeout())?;
+        // A rank marked down contributes an empty placeholder; its shard to every
+        // destination reads as empty (the caller's failover layer re-fetches).
+        let received: Vec<Vec<f32>> = all
+            .iter()
+            .map(|from| from.get(self.rank).cloned().unwrap_or_default())
+            .collect();
         self.finish(
             CommOp::AllToAll,
             payload,
@@ -367,8 +535,13 @@ impl OpCore {
                 .enumerate()
                 .map(|(d, s)| (d, 8 * s.len() as u64)),
         );
-        let (all, transfer_start) = self.indices.exchange(self.rank, sends);
-        let received: Vec<Vec<u64>> = all.iter().map(|from| from[self.rank].clone()).collect();
+        let (all, transfer_start) =
+            self.indices
+                .exchange(self.rank, sends, CommOp::AllToAllIndices, self.op_timeout())?;
+        let received: Vec<Vec<u64>> = all
+            .iter()
+            .map(|from| from.get(self.rank).cloned().unwrap_or_default())
+            .collect();
         self.finish(
             CommOp::AllToAllIndices,
             payload,
@@ -396,7 +569,13 @@ impl OpCore {
         }
         let len = buf.len();
         let encoded = crate::codec::encode(wire, buf);
-        let (all, transfer_start) = self.floats.exchange(self.rank, vec![encoded]);
+        let (all, transfer_start) = self.floats.exchange(
+            self.rank,
+            vec![encoded],
+            CommOp::AllReduce,
+            self.op_timeout(),
+        )?;
+        Self::reject_down_contribution(&all)?;
         // Ranks must agree on the element count; encoded word counts are a pure
         // function of it, so checking them keeps the error symmetric.
         let lengths: Vec<usize> = all.iter().map(|from| from[0].len()).collect();
@@ -428,7 +607,10 @@ impl OpCore {
 
     fn all_reduce(&self, buf: Vec<f32>, issued_at: Instant) -> Result<Vec<f32>, CommError> {
         let len = buf.len();
-        let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf]);
+        let (all, transfer_start) =
+            self.floats
+                .exchange(self.rank, vec![buf], CommOp::AllReduce, self.op_timeout())?;
+        Self::reject_down_contribution(&all)?;
         let lengths: Vec<usize> = all.iter().map(|from| from[0].len()).collect();
         if lengths.iter().any(|&l| l != len) {
             return Err(CommError::LengthMismatch {
@@ -458,7 +640,13 @@ impl OpCore {
 
     fn reduce_scatter(&self, buf: Vec<f32>, issued_at: Instant) -> Result<Vec<f32>, CommError> {
         let len = buf.len();
-        let (all, transfer_start) = self.floats.exchange(self.rank, vec![buf]);
+        let (all, transfer_start) = self.floats.exchange(
+            self.rank,
+            vec![buf],
+            CommOp::ReduceScatter,
+            self.op_timeout(),
+        )?;
+        Self::reject_down_contribution(&all)?;
         let lengths: Vec<usize> = all.iter().map(|from| from[0].len()).collect();
         if lengths.iter().any(|&l| l != len) {
             return Err(CommError::LengthMismatch {
@@ -495,7 +683,10 @@ impl OpCore {
 
     fn all_gather(&self, shard: Vec<f32>, issued_at: Instant) -> Result<Vec<f32>, CommError> {
         let shard_len = shard.len();
-        let (all, transfer_start) = self.floats.exchange(self.rank, vec![shard]);
+        let (all, transfer_start) =
+            self.floats
+                .exchange(self.rank, vec![shard], CommOp::AllGather, self.op_timeout())?;
+        Self::reject_down_contribution(&all)?;
         let mut gathered = Vec::with_capacity(all.iter().map(|from| from[0].len()).sum());
         for from in all.iter() {
             gathered.extend_from_slice(&from[0]);
@@ -526,6 +717,57 @@ type Job = Box<dyn FnOnce(&OpCore) + Send>;
 struct Helper {
     tx: Sender<Job>,
     join: Option<JoinHandle<()>>,
+}
+
+/// A detached switch that poisons a shared-memory world; obtained from
+/// [`SharedMemoryBackend::abort_handle`].
+///
+/// The handle owns only the world's rendezvous state, not the backend, so it can
+/// be held by a supervisor (e.g. a serving dispatcher) and fired while the rank
+/// threads — which own the backends — are blocked inside collectives. Every waiter
+/// then fails with [`CommError::Aborted`] instead of hanging, which is what makes
+/// draining worker threads after a rank failure safe.
+///
+/// The same detachment makes the handle the supervisor's membership lever: it can
+/// [`mark_down`](Self::mark_down) a rank its workers reported dead, or
+/// [`mark_up`](Self::mark_up) one it wants to probe back into service, without
+/// borrowing any rank's backend.
+#[derive(Clone)]
+pub struct AbortHandle {
+    floats: Arc<Rendezvous<Vec<Vec<f32>>>>,
+    indices: Arc<Rendezvous<Vec<Vec<u64>>>>,
+}
+
+impl AbortHandle {
+    /// Poisons the world: see [`SharedMemoryBackend::abort`].
+    pub fn abort(&self) {
+        self.floats.poison();
+        self.indices.poison();
+    }
+
+    /// Declares `rank` dead in this world: see [`SharedMemoryBackend::mark_down`].
+    pub fn mark_down(&self, rank: usize) {
+        self.floats.mark_down(rank);
+        self.indices.mark_down(rank);
+    }
+
+    /// Readmits `rank` into this world: see [`SharedMemoryBackend::mark_up`].
+    pub fn mark_up(&self, rank: usize) {
+        self.floats.mark_up(rank);
+        self.indices.mark_up(rank);
+    }
+
+    /// Whether `rank` is currently marked down in this world.
+    #[must_use]
+    pub fn is_down(&self, rank: usize) -> bool {
+        self.floats.is_down(rank)
+    }
+
+    /// The ranks currently marked down in this world, ascending.
+    #[must_use]
+    pub fn down_ranks(&self) -> Vec<usize> {
+        self.floats.down_ranks()
+    }
 }
 
 /// One rank's handle into a shared-memory communicator world.
@@ -569,8 +811,9 @@ impl SharedMemoryBackend {
     }
 
     /// Marks this world dead: every rank currently blocked in (or later entering) a
-    /// collective panics instead of waiting for a deposit that will never arrive —
-    /// and every in-flight nonblocking op resolves to [`CommError::Aborted`].
+    /// collective fails with [`CommError::Aborted`] instead of waiting for a deposit
+    /// that will never arrive — and every in-flight nonblocking op resolves to the
+    /// same error.
     ///
     /// Call this when a rank exits its iteration loop abnormally (an `Err` return);
     /// panics trigger it automatically via `Drop`, so a dying rank can never hang
@@ -578,6 +821,64 @@ impl SharedMemoryBackend {
     pub fn abort(&self) {
         self.core.floats.poison();
         self.core.indices.poison();
+    }
+
+    /// A detached handle that can [`abort`](AbortHandle::abort) this world without
+    /// borrowing the backend — e.g. from a supervisor thread while the rank's own
+    /// thread (which owns the backend) is blocked inside a collective.
+    #[must_use]
+    pub fn abort_handle(&self) -> AbortHandle {
+        AbortHandle {
+            floats: Arc::clone(&self.core.floats),
+            indices: Arc::clone(&self.core.indices),
+        }
+    }
+
+    /// Sets the rendezvous deadline applied to every subsequent collective on this
+    /// handle (including ops already queued on its helper thread). `None` — the
+    /// default — waits forever, failing only if the world is aborted.
+    ///
+    /// A deadline turns a dead or stalled peer into a [`CommError::Timeout`] naming
+    /// the missing ranks; the timed-out rank's deposit is withdrawn, so the caller
+    /// may retry the identical collective (optionally after
+    /// [`mark_down`](Self::mark_down)-ing the suspects) without desyncing the
+    /// world's collective sequence.
+    pub fn set_op_timeout(&mut self, timeout: Option<Duration>) {
+        *self.core.timeout.lock().expect("timeout lock poisoned") = timeout;
+    }
+
+    /// Declares `rank` dead: it stops counting toward rendezvous completion, the
+    /// pending and all future collectives complete without it (its contribution
+    /// reads as an empty shard in the AlltoAll family; reductions fail with
+    /// [`CommError::RankDown`] since they need every contribution), and the rank
+    /// itself is fenced — any collective it attempts fails with
+    /// [`CommError::RankDown`] until [`mark_up`](Self::mark_up).
+    ///
+    /// Any member's handle may mark any rank; the down set is world state, shared
+    /// by all handles.
+    pub fn mark_down(&self, rank: usize) {
+        self.core.floats.mark_down(rank);
+        self.core.indices.mark_down(rank);
+    }
+
+    /// Readmits `rank` into the world at the current point of the collective
+    /// sequence (a recovered rank resumes with the next collective; snapshots it
+    /// missed stay missed).
+    pub fn mark_up(&self, rank: usize) {
+        self.core.floats.mark_up(rank);
+        self.core.indices.mark_up(rank);
+    }
+
+    /// Whether `rank` is currently marked down in this world.
+    #[must_use]
+    pub fn is_down(&self, rank: usize) -> bool {
+        self.core.floats.is_down(rank)
+    }
+
+    /// The ranks currently marked down in this world, ascending.
+    #[must_use]
+    pub fn down_ranks(&self) -> Vec<usize> {
+        self.core.floats.down_ranks()
     }
 
     /// Link class from this rank to group member `other`.
@@ -600,10 +901,9 @@ impl SharedMemoryBackend {
     ) -> PendingOp<T> {
         let (op, completer) = PendingOp::channel();
         let job: Job = Box::new(move |core| {
-            // A poisoned world makes the rendezvous panic; surface that through the
-            // handle as `Aborted` instead of killing the helper, so queued ops keep
-            // draining and the issuing rank unwinds cleanly. Any *other* panic is a
-            // bug, not a peer failure — keep the same Aborted recovery (a dead
+            // A poisoned world surfaces as `Err(Aborted)` from the rendezvous, which
+            // flows through the handle on its own. A panic inside the data plane is
+            // a bug, not a peer failure — recover it as Aborted anyway (a dead
             // helper would hang every later wait) but print the root cause so it is
             // not erased by the abort cascade.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(core)))
@@ -960,7 +1260,7 @@ mod tests {
     #[test]
     fn dying_rank_poisons_the_world_instead_of_hanging_it() {
         // Rank 1 panics before its deposit; rank 0, blocked in the collective, must
-        // panic ("aborted") rather than wait forever.
+        // get `Err(Aborted)` rather than wait forever.
         let world = 2;
         let mut handles = SharedMemoryComm::handles(world).unwrap();
         let mut rank1 = handles.pop().unwrap();
@@ -968,7 +1268,7 @@ mod tests {
         thread::scope(|scope| {
             let h0 = scope.spawn(move || {
                 let mut buf = vec![1.0f32; 4];
-                rank0.all_reduce(&mut buf).unwrap();
+                rank0.all_reduce(&mut buf)
             });
             let h1 = scope.spawn(move || {
                 // Simulate a mid-iteration failure: the backend drops while
@@ -977,13 +1277,8 @@ mod tests {
                 panic!("rank 1 died");
             });
             assert!(h1.join().is_err());
-            let err = h0.join().expect_err("rank 0 must not hang");
-            let message = err
-                .downcast_ref::<&str>()
-                .map(ToString::to_string)
-                .or_else(|| err.downcast_ref::<String>().cloned())
-                .unwrap_or_default();
-            assert!(message.contains("aborted"), "got: {message}");
+            let result = h0.join().expect("rank 0 must not panic");
+            assert_eq!(result, Err(CommError::Aborted));
         });
     }
 
@@ -992,10 +1287,130 @@ mod tests {
         let handles = SharedMemoryComm::handles(2).unwrap();
         handles[0].abort();
         let mut b = handles.into_iter().next().unwrap();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            b.barrier().unwrap();
-        }));
-        assert!(result.is_err());
+        assert_eq!(b.barrier(), Err(CommError::Aborted));
+    }
+
+    #[test]
+    fn abort_handle_unblocks_a_waiting_rank() {
+        // The supervisor pattern the serving engine's shutdown relies on: the rank
+        // thread owns the backend and is blocked in a collective; a detached handle
+        // aborts the world and the rank returns `Err(Aborted)` promptly.
+        let mut handles = SharedMemoryComm::handles(2).unwrap();
+        let _rank1 = handles.pop().unwrap();
+        let mut rank0 = handles.pop().unwrap();
+        let abort = rank0.abort_handle();
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || rank0.barrier());
+            thread::sleep(std::time::Duration::from_millis(20));
+            abort.abort();
+            assert_eq!(h0.join().unwrap(), Err(CommError::Aborted));
+        });
+    }
+
+    #[test]
+    fn timeout_names_the_missing_ranks_and_retry_is_safe() {
+        // Rank 1 arrives late; rank 0's deadline expires first and must name rank 1
+        // as missing. The timed-out deposit is withdrawn, so retrying without a
+        // deadline completes the same generation with correct payloads.
+        let world = 2;
+        let mut handles = SharedMemoryComm::handles(world).unwrap();
+        let mut rank1 = handles.pop().unwrap();
+        let mut rank0 = handles.pop().unwrap();
+        thread::scope(|scope| {
+            let h1 = scope.spawn(move || {
+                thread::sleep(std::time::Duration::from_millis(300));
+                let mut buf = vec![2.0f32; 3];
+                rank1.all_reduce(&mut buf).unwrap();
+                buf
+            });
+            rank0.set_op_timeout(Some(std::time::Duration::from_millis(10)));
+            let mut buf = vec![1.0f32; 3];
+            let err = rank0.all_reduce(&mut buf).unwrap_err();
+            assert!(err.is_transient());
+            match &err {
+                CommError::Timeout { op, missing, .. } => {
+                    assert_eq!(*op, CommOp::AllReduce);
+                    assert_eq!(missing, &vec![1]);
+                }
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+            rank0.set_op_timeout(None);
+            let mut buf = vec![1.0f32; 3];
+            rank0.all_reduce(&mut buf).unwrap();
+            assert_eq!(buf, vec![3.0; 3]);
+            assert_eq!(h1.join().unwrap(), vec![3.0; 3]);
+        });
+    }
+
+    #[test]
+    fn mark_down_completes_collectives_without_the_dead_rank() {
+        // A 3-rank world loses rank 2 before it deposits. After the survivors mark
+        // it down, the pending AlltoAll completes with an empty shard in its slot,
+        // later AlltoAlls keep working, and a reduction — which needs every
+        // contribution — fails with RankDown on every survivor symmetrically.
+        let world = 3;
+        let mut handles = SharedMemoryComm::handles(world).unwrap();
+        let _rank2 = handles.pop().unwrap();
+        let results = run_world(handles, |b| {
+            b.mark_down(2);
+            let sends: Vec<Vec<f32>> = (0..world).map(|d| vec![d as f32]).collect();
+            let received = b.all_to_all(sends).unwrap();
+            let reduce_err = b.all_reduce(&mut [0.0f32; 2]).unwrap_err();
+            (received, reduce_err)
+        });
+        for (rank, (received, reduce_err)) in results.iter().enumerate() {
+            assert_eq!(received.len(), world);
+            assert_eq!(received[0], vec![rank as f32]);
+            assert_eq!(received[1], vec![rank as f32]);
+            assert!(received[2].is_empty(), "dead rank reads as an empty shard");
+            assert_eq!(*reduce_err, CommError::RankDown { rank: 2 });
+        }
+    }
+
+    #[test]
+    fn a_marked_down_rank_is_fenced_until_marked_up() {
+        // Rank 1 is declared dead while rank 0 runs two solo barriers. When rank 1
+        // then tries to join, it must get RankDown (it missed two generations, so
+        // letting it in would desync the sequence). After mark_up it rejoins
+        // cleanly at the current generation.
+        let world = 2;
+        let mut handles = SharedMemoryComm::handles(world).unwrap();
+        let mut rank1 = handles.pop().unwrap();
+        let mut rank0 = handles.pop().unwrap();
+        rank0.mark_down(1);
+        assert!(rank0.is_down(1));
+        assert_eq!(rank0.down_ranks(), vec![1]);
+        rank0.barrier().unwrap();
+        rank0.barrier().unwrap();
+        assert_eq!(rank1.barrier(), Err(CommError::RankDown { rank: 1 }));
+        rank0.mark_up(1);
+        assert!(rank0.down_ranks().is_empty());
+        thread::scope(|scope| {
+            let h1 = scope.spawn(move || rank1.barrier());
+            rank0.barrier().unwrap();
+            h1.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn marking_down_a_missing_rank_releases_current_waiters() {
+        // Rank 0 is already blocked in a collective when the failure detector marks
+        // the missing rank down: the pending generation must publish immediately.
+        let world = 2;
+        let mut handles = SharedMemoryComm::handles(world).unwrap();
+        let rank1 = handles.pop().unwrap();
+        let mut rank0 = handles.pop().unwrap();
+        thread::scope(|scope| {
+            let h0 = scope.spawn(move || {
+                let sends: Vec<Vec<f32>> = vec![vec![1.0], vec![2.0]];
+                rank0.all_to_all(sends)
+            });
+            thread::sleep(std::time::Duration::from_millis(30));
+            rank1.mark_down(1);
+            let received = h0.join().unwrap().unwrap();
+            assert_eq!(received[0], vec![1.0]);
+            assert!(received[1].is_empty());
+        });
     }
 
     #[test]

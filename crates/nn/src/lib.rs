@@ -56,4 +56,4 @@ pub use loss::BceWithLogitsLoss;
 pub use mlp::Mlp;
 pub use optim::{AdamOptimizer, Optimizer, SgdOptimizer};
 pub use param::Parameter;
-pub use sharded::ShardedEmbeddingTable;
+pub use sharded::{replica_rank, replica_sources, ShardedEmbeddingTable};

@@ -247,6 +247,15 @@ impl ShardedEmbeddingTable {
         self.shard.as_ref().map_or(0, EmbeddingTable::pending_rows)
     }
 
+    /// The ranks holding a replica of this shard's rows under `replicas`-way
+    /// replication in a world of `gpus_per_host`-rank hosts; see [`replica_rank`].
+    #[must_use]
+    pub fn replica_ranks(&self, replicas: usize, gpus_per_host: usize) -> Vec<usize> {
+        (1..=replicas)
+            .map(|i| replica_rank(self.shard_index, i, self.world_size, gpus_per_host))
+            .collect()
+    }
+
     /// Maps global row ids into shard-local ids, validating ownership.
     fn localize(
         &self,
@@ -269,6 +278,57 @@ impl ShardedEmbeddingTable {
             })
             .collect()
     }
+}
+
+/// The rank holding the `i`-th copy of `primary`'s shard under replication.
+///
+/// Copy 0 is the primary itself; copy `i` lives `i` *hosts* away at the same
+/// position within the host: `(primary + i * gpus_per_host) % world_size`. While
+/// `i` is smaller than the number of hosts, each copy therefore lands on a
+/// different host — a whole-host failure can never take out every copy of a row
+/// (the failure-domain-isolation argument disaggregation makes). Replication
+/// degrades gracefully on a single-host world: copies then spread over the host's
+/// ranks instead.
+///
+/// # Panics
+///
+/// Panics if `world_size` or `gpus_per_host` is zero.
+#[must_use]
+pub fn replica_rank(primary: usize, i: usize, world_size: usize, gpus_per_host: usize) -> usize {
+    assert!(
+        world_size > 0 && gpus_per_host > 0,
+        "replica placement needs a non-empty world and host"
+    );
+    let stride = if gpus_per_host < world_size {
+        gpus_per_host
+    } else {
+        // Single-host world: stride by one rank so copies still land on distinct
+        // ranks instead of all aliasing the primary.
+        1
+    };
+    (primary + i * stride) % world_size
+}
+
+/// The shards whose rows rank `holder` carries a copy of under `replicas`-way
+/// replication — the inverse of [`replica_rank`]: all `primary` values such that
+/// `replica_rank(primary, i, ..) == holder` for some `i` in `1..=replicas`.
+/// Ascending, deduplicated, and never including `holder`'s own shard.
+#[must_use]
+pub fn replica_sources(
+    holder: usize,
+    replicas: usize,
+    world_size: usize,
+    gpus_per_host: usize,
+) -> Vec<usize> {
+    let mut sources: Vec<usize> = (0..world_size)
+        .filter(|&primary| {
+            primary != holder
+                && (1..=replicas)
+                    .any(|i| replica_rank(primary, i, world_size, gpus_per_host) == holder)
+        })
+        .collect();
+    sources.dedup();
+    sources
 }
 
 #[cfg(test)]
@@ -385,5 +445,69 @@ mod tests {
     fn shard_index_must_be_in_world() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = ShardedEmbeddingTable::new(&mut rng, 8, 2, 2, 2);
+    }
+
+    #[test]
+    fn replica_placement_crosses_host_boundaries() {
+        // 2 hosts x 4 GPUs: the first replica of every shard must live on the
+        // *other* host, so losing a whole host never loses a row.
+        let (world, gpus) = (8usize, 4usize);
+        for primary in 0..world {
+            let replica = replica_rank(primary, 1, world, gpus);
+            assert_ne!(primary / gpus, replica / gpus, "primary {primary}");
+            assert_ne!(primary, replica);
+        }
+        // 4 hosts x 2 GPUs, r=2: copies 1 and 2 land on two further distinct hosts.
+        let (world, gpus) = (8usize, 2usize);
+        for primary in 0..world {
+            let hosts: Vec<usize> = (0..=2)
+                .map(|i| replica_rank(primary, i, world, gpus) / gpus)
+                .collect();
+            assert_eq!(hosts[0], primary / gpus);
+            assert_ne!(hosts[0], hosts[1]);
+            assert_ne!(hosts[0], hosts[2]);
+            assert_ne!(hosts[1], hosts[2]);
+        }
+    }
+
+    #[test]
+    fn single_host_worlds_still_spread_copies() {
+        for primary in 0..4 {
+            let replica = replica_rank(primary, 1, 4, 8);
+            assert_ne!(primary, replica, "copies must not alias the primary");
+        }
+    }
+
+    #[test]
+    fn replica_sources_inverts_replica_rank() {
+        for (world, gpus, replicas) in [(8usize, 4usize, 1usize), (8, 2, 2), (4, 8, 1), (6, 2, 1)] {
+            for holder in 0..world {
+                let sources = replica_sources(holder, replicas, world, gpus);
+                // Every listed source really places a copy on `holder`...
+                for &primary in &sources {
+                    assert!(
+                        (1..=replicas).any(|i| replica_rank(primary, i, world, gpus) == holder),
+                        "world {world} holder {holder} source {primary}"
+                    );
+                }
+                // ...and no placement is missed.
+                for primary in 0..world {
+                    for i in 1..=replicas {
+                        if replica_rank(primary, i, world, gpus) == holder && primary != holder {
+                            assert!(sources.contains(&primary));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_replica_ranks_uses_the_same_placement() {
+        let shards = shards(16, 2, 8);
+        // 2 hosts x 4 GPUs: shard 1's single replica sits on the other host.
+        assert_eq!(shards[1].replica_ranks(1, 4), vec![5]);
+        // 4 hosts x 2 GPUs: shard 6's two replicas sit on two further hosts.
+        assert_eq!(shards[6].replica_ranks(2, 2), vec![0, 2]);
     }
 }

@@ -18,13 +18,47 @@
 //! index and the row exchange entirely, so on Zipf-skewed traffic the cache
 //! directly cuts wire bytes (the engine's [`ServeStats`] report the savings).
 //!
+//! # Fault tolerance (baseline serving)
+//!
+//! Every rank's collectives run through a `dmt_comm::FaultInjectingBackend`, so
+//! scripted faults ([`ServeConfig::faults`](crate::ServeConfig)) surface as the
+//! same `RankDown` / `Timeout` errors real failures would. The baseline query
+//! path then:
+//!
+//! * **retries** transiently-failed collectives (bounded, with backoff),
+//!   convicting peers that stay missing for `down_after` consecutive timeouts
+//!   and excluding them from the rendezvous;
+//! * **fails over**: with `replicas > 0` the row fetch runs a *fixed* two-round
+//!   protocol — round one to the first live holder of each owner's shard, round
+//!   two (always issued, usually empty, and free of pacing since empty
+//!   collectives carry no payload) re-routing any bundle a dead holder left
+//!   unanswered to the next holder in its chain. Replica rows are byte-identical
+//!   snapshot slices, so failed-over answers are bit-identical to healthy ones;
+//! * **degrades** per [`DegradedPolicy`] when a row has no live holder at all:
+//!   fail the batch with [`ServeError::Unavailable`], or zero-fill and count the
+//!   affected queries.
+//!
+//! The dispatcher treats fault errors as survivable: a rank that reports its own
+//! death is excluded from future batches (and marked down in every world so its
+//! peers' collectives complete without it), while the remaining ranks keep
+//! serving. Probing ([`ServeConfig::probe_every_batches`](crate::ServeConfig))
+//! periodically readmits dead ranks the fault schedule does not hold permanently
+//! down. DMT serving has no replica path — a fault there surfaces as a clean
+//! error and poisons the engine, exactly like the pre-fault-tolerance behavior.
+//!
 //! Determinism: the same modules and float paths as training run here, so a
 //! served batch's predictions are bit-identical to a training-side forward pass
-//! over the same per-rank sub-batches (covered by the workspace serving tests).
+//! over the same per-rank sub-batches (covered by the workspace serving tests) —
+//! including batches answered through replica failover.
 
 use crate::cache::{CacheStats, HotRowCache};
-use crate::{ServeConfig, ServeError};
-use dmt_comm::{Backend, FabricProfile, SharedMemoryBackend, SharedMemoryComm};
+use crate::health::HealthView;
+use crate::replica::ReplicatedAnswerer;
+use crate::{DegradedPolicy, ServeConfig, ServeError};
+use dmt_comm::{
+    AbortHandle, Backend, CommError, FabricProfile, FaultInjectingBackend, FaultProfile,
+    SharedMemoryBackend, SharedMemoryComm,
+};
 use dmt_core::tower::TowerModule;
 use dmt_core::DlrmTowerModule;
 use dmt_data::Query;
@@ -43,6 +77,10 @@ use std::time::Duration;
 /// fabrics stretch transfers to milliseconds; minutes means a lost rank.
 const RANK_REPLY_TIMEOUT: Duration = Duration::from_secs(300);
 
+/// Every serving collective runs through the fault-injection wrapper; with
+/// [`FaultProfile::none`] it is behaviorally transparent.
+type ServeBackend = FaultInjectingBackend<SharedMemoryBackend>;
+
 /// Aggregated serving-side accounting across all ranks and batches.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServeStats {
@@ -56,6 +94,16 @@ pub struct ServeStats {
     pub cross_host_bytes: u64,
     /// Sum of per-rank bytes pushed over intra-host links.
     pub intra_host_bytes: u64,
+    /// Collectives re-issued after a transient fault.
+    pub retries: u64,
+    /// Requested rows served by a replica holder instead of their owner.
+    pub failovers: u64,
+    /// Queries answered with one or more zero-filled rows under
+    /// [`DegradedPolicy::ZeroFill`].
+    pub degraded_answers: u64,
+    /// Bytes of replica shard copies held across all ranks — a capacity
+    /// *gauge*, not a per-batch delta (constant for the engine's lifetime).
+    pub replica_bytes: u64,
     /// Hot-row cache counters, summed across ranks.
     pub cache: CacheStats,
 }
@@ -82,7 +130,8 @@ impl ServeStats {
 
     /// The accounting accumulated since `before` was captured (`self - before`,
     /// field-wise) — how the frontend reports one stream's window out of the
-    /// engine's cumulative counters.
+    /// engine's cumulative counters. `replica_bytes` is a gauge and carries
+    /// through unchanged.
     #[must_use]
     pub fn since(&self, before: &ServeStats) -> ServeStats {
         ServeStats {
@@ -91,6 +140,10 @@ impl ServeStats {
             payload_bytes: self.payload_bytes - before.payload_bytes,
             cross_host_bytes: self.cross_host_bytes - before.cross_host_bytes,
             intra_host_bytes: self.intra_host_bytes - before.intra_host_bytes,
+            retries: self.retries - before.retries,
+            failovers: self.failovers - before.failovers,
+            degraded_answers: self.degraded_answers - before.degraded_answers,
+            replica_bytes: self.replica_bytes,
             cache: self.cache.since(&before.cache),
         }
     }
@@ -111,6 +164,9 @@ struct RankBatchResult {
     payload_bytes: u64,
     cross_host_bytes: u64,
     intra_host_bytes: u64,
+    retries: u64,
+    failovers: u64,
+    degraded_answers: u64,
     cache: CacheStats,
 }
 
@@ -119,18 +175,19 @@ struct RankReply {
     result: Result<RankBatchResult, ServeError>,
 }
 
-/// The communicator bundle one serving rank owns (mirrors the trainer's).
+/// The communicator bundle one serving rank owns (mirrors the trainer's), each
+/// world behind the fault-injection wrapper.
 struct RankWorlds {
-    global: SharedMemoryBackend,
-    intra: SharedMemoryBackend,
-    peer: SharedMemoryBackend,
+    global: ServeBackend,
+    intra: ServeBackend,
+    peer: ServeBackend,
 }
 
 impl RankWorlds {
     fn abort(&self) {
-        self.global.abort();
-        self.intra.abort();
-        self.peer.abort();
+        self.global.get_ref().abort();
+        self.intra.get_ref().abort();
+        self.peer.get_ref().abort();
     }
 
     /// Sums the byte accounting of every collective since the last drain.
@@ -138,7 +195,11 @@ impl RankWorlds {
         let mut payload = 0;
         let mut cross = 0;
         let mut intra = 0;
-        for backend in [&mut self.global, &mut self.intra, &mut self.peer] {
+        for backend in [
+            self.global.get_mut(),
+            self.intra.get_mut(),
+            self.peer.get_mut(),
+        ] {
             for record in backend.drain_records() {
                 payload += record.payload_bytes;
                 cross += record.cross_host_bytes;
@@ -147,6 +208,51 @@ impl RankWorlds {
         }
         (payload, cross, intra)
     }
+}
+
+/// The dispatcher's detached handles into one rank's three worlds: abort for
+/// shutdown, mark_down / mark_up for membership.
+struct WorldControls {
+    global: AbortHandle,
+    intra: AbortHandle,
+    peer: AbortHandle,
+}
+
+impl WorldControls {
+    fn abort(&self) {
+        self.global.abort();
+        self.intra.abort();
+        self.peer.abort();
+    }
+
+    // Membership changes touch the *global* world only: it is the one world
+    // baseline serving (the only deployment with failover) runs collectives
+    // over, and it is indexed by global rank. The intra/peer worlds use local
+    // indices and stay idle on the baseline path.
+    fn mark_down(&self, rank: usize) {
+        self.global.mark_down(rank);
+    }
+
+    fn mark_up(&self, rank: usize) {
+        self.global.mark_up(rank);
+    }
+}
+
+/// The per-worker fault-handling knobs, lifted out of [`ServeConfig`].
+#[derive(Clone)]
+struct FaultPolicy {
+    max_retries: u32,
+    retry_backoff: Duration,
+    down_after: u32,
+    degraded: DegradedPolicy,
+    replicas: usize,
+}
+
+/// Per-batch fault accounting a fetch accumulates.
+#[derive(Default)]
+struct FetchCounters {
+    retries: u64,
+    failovers: u64,
 }
 
 /// Static DMT serving layout (the serving twin of the trainer's tower layout).
@@ -216,7 +322,8 @@ enum RankModel {
 }
 
 struct BaselineRank {
-    lookup: ShardedLookup,
+    /// Primary shard plus hosted replica shards; also the router/pooler.
+    answerer: ReplicatedAnswerer,
     dense: DenseStack,
     cache: HotRowCache,
     num_dense: usize,
@@ -255,14 +362,16 @@ fn build_rank_model(
     let cache = HotRowCache::new(config.cache_rows, n);
     match snapshot.mode {
         ExecutionMode::Baseline => {
-            let lookup = ShardedLookup::from_tables(
+            let answerer = ReplicatedAnswerer::new(
                 (0..snapshot.schema.num_sparse()).collect(),
                 &snapshot.tables,
                 cluster.world_size(),
                 rank,
+                config.replicas,
+                cluster.gpus_per_host(),
             )?;
             Ok(RankModel::Baseline(Box::new(BaselineRank {
-                lookup,
+                answerer,
                 dense,
                 cache,
                 num_dense: snapshot.schema.num_dense,
@@ -322,7 +431,40 @@ fn dense_flat(queries: &[Query]) -> Vec<f32> {
         .collect()
 }
 
-/// The cache-aware sharded fetch both deployments share: route keys, peel off
+/// Issues one collective with bounded retries on transient faults. Timeouts
+/// implicate their missing ranks in `health`; a peer convicted (`down_after`
+/// consecutive implications) is committed to the shared rendezvous down-set so
+/// the retried collective — and all later ones — complete without it.
+fn with_retries<T>(
+    backend: &mut ServeBackend,
+    health: &mut HealthView,
+    policy: &FaultPolicy,
+    retries: &mut u64,
+    mut op: impl FnMut(&mut ServeBackend) -> Result<T, CommError>,
+) -> Result<T, ServeError> {
+    let mut attempts = 0u32;
+    loop {
+        match op(backend) {
+            Ok(value) => {
+                health.record_success();
+                return Ok(value);
+            }
+            Err(error) if error.is_transient() && attempts < policy.max_retries => {
+                attempts += 1;
+                *retries += 1;
+                if let CommError::Timeout { missing, .. } = &error {
+                    for rank in health.record_failure(missing) {
+                        backend.get_ref().mark_down(rank);
+                    }
+                }
+                std::thread::sleep(policy.retry_backoff);
+            }
+            Err(error) => return Err(error.into()),
+        }
+    }
+}
+
+/// The cache-aware sharded fetch the DMT deployment uses: route keys, peel off
 /// cached rows, exchange only the misses, reassemble the full per-owner buffers
 /// in routing order (bit-identical to the uncached fetch) and feed the cache.
 ///
@@ -331,11 +473,11 @@ fn dense_flat(queries: &[Query]) -> Vec<f32> {
 fn fetch_rows_cached(
     lookup: &ShardedLookup,
     cache: &mut HotRowCache,
-    backend: &mut SharedMemoryBackend,
+    backend: &mut ServeBackend,
     bags: &[&[Vec<usize>]],
 ) -> Result<(LookupRouting, Vec<Vec<f32>>), ServeError> {
-    let world = backend.world_size();
-    let me = backend.rank();
+    let world = backend.get_ref().world_size();
+    let me = backend.get_ref().rank();
     let dim = lookup.dim();
     let request_keys = lookup.route(world, bags);
     let mut wire_keys: Vec<Vec<u64>> = Vec::with_capacity(world);
@@ -395,31 +537,298 @@ fn fetch_rows_cached(
     ))
 }
 
+/// Where one owner's cache-missed keys were ultimately served from.
+enum MissSource {
+    /// Round 1 or 2 wire reply: which round, which rank answered, and the slot
+    /// offset of this owner's segment in that rank's reply.
+    Wire {
+        round: u8,
+        dest: usize,
+        start: usize,
+    },
+    /// No live holder: rows are lost (zero-filled or batch-failing, per policy).
+    Lost,
+    /// Nothing was missed.
+    None,
+}
+
+/// What [`fetch_rows_replicated`] returns: the routing, the reassembled
+/// per-owner row buffers (zero-filled for lost keys), and the sorted lost keys
+/// themselves for the caller's degraded policy.
+type ReplicatedFetch = (LookupRouting, Vec<Vec<f32>>, Vec<u64>);
+
+/// The replicated, fault-tolerant fetch baseline serving uses.
+///
+/// Routing is identical to [`fetch_rows_cached`] — primary-owner request keys,
+/// cache peel — but each owner's missed bundle goes to the first *live* holder
+/// in its replica chain, and with `replicas > 0` a second exchange round
+/// (always issued, so every rank's collective sequence stays aligned no matter
+/// how health views diverge; empty rounds carry no payload and cost no pacing)
+/// re-routes bundles a dead holder left unanswered. Replies are all-or-nothing
+/// per bundle ([`ReplicatedAnswerer::answer`]), so a short reply is always
+/// "empty", never misaligned.
+///
+/// Returns a [`ReplicatedFetch`].
+fn fetch_rows_replicated(
+    answerer: &ReplicatedAnswerer,
+    cache: &mut HotRowCache,
+    backend: &mut ServeBackend,
+    health: &mut HealthView,
+    policy: &FaultPolicy,
+    bags: &[&[Vec<usize>]],
+    counters: &mut FetchCounters,
+) -> Result<ReplicatedFetch, ServeError> {
+    let lookup = answerer.primary();
+    let world = backend.get_ref().world_size();
+    let me = backend.get_ref().rank();
+    let dim = lookup.dim();
+    let request_keys = lookup.route(world, bags);
+
+    // Route each owner's bundle to its first live holder, peeling the cache for
+    // anything not served from a local shard.
+    let mut hit_flags: Vec<Vec<bool>> = Vec::with_capacity(world);
+    let mut cached_rows: Vec<Vec<f32>> = Vec::with_capacity(world);
+    let mut misses: Vec<Vec<u64>> = Vec::with_capacity(world);
+    let mut dest1: Vec<Option<usize>> = Vec::with_capacity(world);
+    for (owner, keys) in request_keys.iter().enumerate() {
+        let holder = health.first_live(answerer.chain(owner).iter().copied());
+        let mut hits = vec![false; keys.len()];
+        let mut rows = Vec::new();
+        let mut miss = Vec::new();
+        if holder == Some(me) {
+            // A shard this rank holds (its own, or a replica it hosts): the
+            // fetch is a local memcpy through the self-loop — bypass the cache.
+            miss.extend_from_slice(keys);
+        } else {
+            for (slot, &key) in keys.iter().enumerate() {
+                if cache.lookup_into(key, &mut rows) {
+                    hits[slot] = true;
+                } else {
+                    miss.push(key);
+                }
+            }
+        }
+        hit_flags.push(hits);
+        cached_rows.push(rows);
+        misses.push(miss);
+        dest1.push(holder);
+    }
+
+    // Round 1: bundle per-owner misses into per-destination wire vectors,
+    // remembering where each owner's segment starts.
+    let mut wire1: Vec<Vec<u64>> = vec![Vec::new(); world];
+    let mut seg1 = vec![0usize; world];
+    for owner in 0..world {
+        if let Some(dest) = dest1[owner] {
+            seg1[owner] = wire1[dest].len();
+            wire1[dest].extend_from_slice(&misses[owner]);
+        }
+    }
+    let expect1: Vec<usize> = wire1.iter().map(Vec::len).collect();
+    let incoming = with_retries(backend, health, policy, &mut counters.retries, |b| {
+        b.all_to_all_indices(wire1.clone())
+    })?;
+    let replies = answerer.answer(&incoming)?;
+    let fetched1 = with_retries(backend, health, policy, &mut counters.retries, |b| {
+        b.all_to_all(replies.clone())
+    })?;
+    let resolved1 = resolved_flags(&fetched1, &expect1, dim)?;
+
+    // Round 2 (replicated mode only, and *always* issued then): re-route every
+    // bundle whose round-1 holder went silent to the next live holder in its
+    // chain. Health is re-synced first — the holder that answered empty was
+    // usually convicted by some rank mid-round-1.
+    let mut dest2: Vec<Option<usize>> = vec![None; world];
+    let mut seg2 = vec![0usize; world];
+    let mut fetched2: Vec<Vec<f32>> = Vec::new();
+    let mut resolved2: Vec<bool> = vec![false; world];
+    if policy.replicas > 0 {
+        health.sync_down(&backend.get_ref().down_ranks());
+        let mut wire2: Vec<Vec<u64>> = vec![Vec::new(); world];
+        for owner in 0..world {
+            let unresolved =
+                !misses[owner].is_empty() && !dest1[owner].is_some_and(|d| resolved1[d]);
+            if !unresolved {
+                continue;
+            }
+            let holder = health.first_live(
+                answerer
+                    .chain(owner)
+                    .iter()
+                    .copied()
+                    .filter(|&r| Some(r) != dest1[owner]),
+            );
+            dest2[owner] = holder;
+            if let Some(dest) = holder {
+                seg2[owner] = wire2[dest].len();
+                wire2[dest].extend_from_slice(&misses[owner]);
+            }
+        }
+        let expect2: Vec<usize> = wire2.iter().map(Vec::len).collect();
+        let incoming2 = with_retries(backend, health, policy, &mut counters.retries, |b| {
+            b.all_to_all_indices(wire2.clone())
+        })?;
+        let replies2 = answerer.answer(&incoming2)?;
+        fetched2 = with_retries(backend, health, policy, &mut counters.retries, |b| {
+            b.all_to_all(replies2.clone())
+        })?;
+        resolved2 = resolved_flags(&fetched2, &expect2, dim)?;
+    }
+
+    // Reassemble per-owner buffers in request-key order: cache hits, wire rows
+    // from whichever round served the bundle, zeros for lost rows.
+    let mut lost: Vec<u64> = Vec::new();
+    let mut fetched = Vec::with_capacity(world);
+    for (owner, keys) in request_keys.iter().enumerate() {
+        let source = if misses[owner].is_empty() {
+            MissSource::None
+        } else if let Some(dest) = dest1[owner].filter(|&d| resolved1[d]) {
+            MissSource::Wire {
+                round: 1,
+                dest,
+                start: seg1[owner],
+            }
+        } else if let Some(dest) = dest2[owner].filter(|&d| resolved2[d]) {
+            MissSource::Wire {
+                round: 2,
+                dest,
+                start: seg2[owner],
+            }
+        } else {
+            lost.extend_from_slice(&misses[owner]);
+            MissSource::Lost
+        };
+        if let MissSource::Wire { dest, .. } = source {
+            if dest != owner {
+                counters.failovers += misses[owner].len() as u64;
+            }
+        }
+        let mut full = Vec::with_capacity(keys.len() * dim);
+        let mut cached_cursor = 0usize;
+        let mut wire_cursor = match source {
+            MissSource::Wire { start, .. } => start * dim,
+            _ => 0,
+        };
+        for (slot, &key) in keys.iter().enumerate() {
+            if hit_flags[owner][slot] {
+                full.extend_from_slice(&cached_rows[owner][cached_cursor..cached_cursor + dim]);
+                cached_cursor += dim;
+                continue;
+            }
+            match source {
+                MissSource::Wire { round, dest, .. } => {
+                    let rows = if round == 1 {
+                        &fetched1[dest]
+                    } else {
+                        &fetched2[dest]
+                    };
+                    let row = &rows[wire_cursor..wire_cursor + dim];
+                    full.extend_from_slice(row);
+                    wire_cursor += dim;
+                    if dest != me {
+                        cache.insert(key, row);
+                    }
+                }
+                // Lost rows read as zero; they are *not* cached — a later batch
+                // with a recovered holder must fetch the real row.
+                MissSource::Lost => full.extend(std::iter::repeat_n(0.0, dim)),
+                MissSource::None => unreachable!("no source only when nothing was missed"),
+            }
+        }
+        fetched.push(full);
+    }
+    lost.sort_unstable();
+    lost.dedup();
+    Ok((
+        LookupRouting {
+            request_keys,
+            served_keys: Vec::new(),
+        },
+        fetched,
+        lost,
+    ))
+}
+
+/// Per-destination reply check: a live holder answers its whole bundle
+/// (`expected × dim` floats), a dead or unservable one answers nothing. Any
+/// other length is a protocol violation, not a fault.
+fn resolved_flags(
+    fetched: &[Vec<f32>],
+    expected: &[usize],
+    dim: usize,
+) -> Result<Vec<bool>, ServeError> {
+    fetched
+        .iter()
+        .zip(expected)
+        .enumerate()
+        .map(|(rank, (reply, &keys))| {
+            if reply.len() == keys * dim {
+                Ok(true)
+            } else if reply.is_empty() {
+                Ok(false)
+            } else {
+                Err(ServeError::Rank {
+                    rank,
+                    message: format!(
+                        "fetch reply carries {} floats for {} requested rows",
+                        reply.len(),
+                        keys
+                    ),
+                })
+            }
+        })
+        .collect()
+}
+
 impl RankModel {
     /// Runs one batch's forward flow and returns this rank's predictions (for
     /// its own query slice) plus the batch's accounting.
     fn run_batch(
         &mut self,
         worlds: &mut RankWorlds,
+        health: &mut HealthView,
+        policy: &FaultPolicy,
         job: &Job,
     ) -> Result<RankBatchResult, ServeError> {
         let my_queries = &job.queries[job.start..job.start + job.len];
+        let mut counters = FetchCounters::default();
+        let mut degraded_answers = 0u64;
         let preds = match self {
             RankModel::Baseline(state) => {
                 let BaselineRank {
-                    lookup,
+                    answerer,
                     dense,
                     cache,
                     num_dense,
                 } = state.as_mut();
-                let features: Vec<usize> = lookup.features().to_vec();
+                let features: Vec<usize> = answerer.primary().features().to_vec();
                 let bags_owned = bags_of(my_queries, &features);
                 let bags: Vec<&[Vec<usize>]> = bags_owned.iter().map(Vec::as_slice).collect();
-                let (routing, fetched) =
-                    fetch_rows_cached(lookup, cache, &mut worlds.global, &bags)?;
+                let (routing, fetched, lost) = fetch_rows_replicated(
+                    answerer,
+                    cache,
+                    &mut worlds.global,
+                    health,
+                    policy,
+                    &bags,
+                    &mut counters,
+                )?;
+                if !lost.is_empty() {
+                    match policy.degraded {
+                        // Every collective of the batch has already run, so
+                        // failing here cannot desync the world's sequence.
+                        DegradedPolicy::Error => {
+                            return Err(ServeError::Unavailable { rows: lost.len() })
+                        }
+                        DegradedPolicy::ZeroFill => {
+                            degraded_answers = answerer.queries_touching(&bags, &lost);
+                        }
+                    }
+                }
                 if my_queries.is_empty() {
                     Vec::new()
                 } else {
+                    let lookup = answerer.primary();
                     let embs = lookup.pool(&bags, &routing, &fetched)?;
                     let refs: Vec<&Tensor> = embs.iter().collect();
                     let feature_block = Tensor::concat_cols(&refs)?;
@@ -505,8 +914,24 @@ impl RankModel {
             payload_bytes,
             cross_host_bytes,
             intra_host_bytes,
+            retries: counters.retries,
+            failovers: counters.failovers,
+            degraded_answers,
             cache,
         })
+    }
+}
+
+/// How close an error is to a failure's root cause: a rank's own death report
+/// beats the liveness errors it causes elsewhere, which beat the abort cascades
+/// of a teardown.
+fn error_score(error: &ServeError) -> u8 {
+    match error {
+        ServeError::Comm(CommError::RankDown { .. }) => 0,
+        ServeError::Unavailable { .. } => 1,
+        ServeError::Comm(CommError::Timeout { .. }) => 2,
+        ServeError::Comm(CommError::Aborted) => 4,
+        _ => 3,
     }
 }
 
@@ -515,11 +940,22 @@ impl RankModel {
 pub struct ServingEngine {
     mode: ExecutionMode,
     world: usize,
-    senders: Vec<Sender<Job>>,
+    senders: Vec<Option<Sender<Job>>>,
     replies: Receiver<RankReply>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    controls: Vec<WorldControls>,
     stats: ServeStats,
     poisoned: bool,
+    /// Ranks that reported their own death; excluded from batches until probed
+    /// back up.
+    dead: Vec<bool>,
+    profile: FaultProfile,
+    probe_every: u64,
+    /// Submissions dispatched so far (failed ones included) — the probe clock.
+    submits: u64,
+    /// Baseline serving survives rank deaths (replicas, degraded mode); DMT has
+    /// no replica path, so a fault there poisons the engine.
+    can_recover: bool,
 }
 
 impl ServingEngine {
@@ -548,21 +984,58 @@ impl ServingEngine {
                 reason: "snapshot tower weights do not cover every tower".into(),
             });
         }
+        if config.replicas > 0 && snapshot.mode == ExecutionMode::Dmt {
+            return Err(ServeError::Config {
+                reason: "shard replication supports baseline serving only".into(),
+            });
+        }
+        if config.replicas >= cluster.world_size() {
+            return Err(ServeError::Config {
+                reason: format!(
+                    "{} replicas need more than the {} ranks available",
+                    config.replicas,
+                    cluster.world_size()
+                ),
+            });
+        }
         // Load every rank's model up front so configuration errors surface here,
         // synchronously, instead of inside a worker thread.
         let models: Vec<RankModel> = (0..cluster.world_size())
             .map(|rank| build_rank_model(snapshot, config, rank))
             .collect::<Result<_, _>>()?;
-        let worlds = build_worlds(cluster, config.fabric);
+        let replica_bytes = models
+            .iter()
+            .map(|m| match m {
+                RankModel::Baseline(state) => state.answerer.replica_bytes(),
+                RankModel::Dmt(_) => 0,
+            })
+            .sum();
+        let worlds = build_worlds(cluster, config.fabric, config.op_timeout, &config.faults);
+        let controls = worlds
+            .iter()
+            .map(|w| WorldControls {
+                global: w.global.get_ref().abort_handle(),
+                intra: w.intra.get_ref().abort_handle(),
+                peer: w.peer.get_ref().abort_handle(),
+            })
+            .collect();
+        let policy = FaultPolicy {
+            max_retries: config.max_retries,
+            retry_backoff: config.retry_backoff,
+            down_after: config.down_after,
+            degraded: config.degraded,
+            replicas: config.replicas,
+        };
         let (reply_tx, replies) = std::sync::mpsc::channel();
         let mut senders = Vec::with_capacity(models.len());
         let mut threads = Vec::with_capacity(models.len());
         for (rank, (model, world)) in models.into_iter().zip(worlds).enumerate() {
             let (tx, rx) = std::sync::mpsc::channel::<Job>();
             let reply_tx = reply_tx.clone();
-            senders.push(tx);
+            let policy = policy.clone();
+            senders.push(Some(tx));
             threads.push(std::thread::spawn(move || {
-                worker_loop(rank, model, world, &rx, &reply_tx);
+                worker_loop(rank, model, world, &policy, &rx, &reply_tx);
             }));
         }
         Ok(Self {
@@ -571,8 +1044,17 @@ impl ServingEngine {
             senders,
             replies,
             threads,
-            stats: ServeStats::default(),
+            controls,
+            stats: ServeStats {
+                replica_bytes,
+                ..ServeStats::default()
+            },
             poisoned: false,
+            dead: vec![false; cluster.world_size()],
+            profile: config.faults.clone(),
+            probe_every: config.probe_every_batches,
+            submits: 0,
+            can_recover: snapshot.mode == ExecutionMode::Baseline,
         })
     }
 
@@ -588,20 +1070,29 @@ impl ServingEngine {
         self.world
     }
 
+    /// Ranks currently excluded from serving (they reported their own death
+    /// and have not been probed back up), ascending.
+    #[must_use]
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        (0..self.world).filter(|&r| self.dead[r]).collect()
+    }
+
     /// Accounting accumulated across every submitted batch.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         self.stats
     }
 
-    /// Answers one batch: splits `queries` into contiguous per-rank sub-batches,
-    /// runs the deployment's forward flow collectively, and returns the
-    /// predicted click probabilities in query order.
+    /// Answers one batch: splits `queries` into contiguous per-rank sub-batches
+    /// over the *live* ranks, runs the deployment's forward flow collectively,
+    /// and returns the predicted click probabilities in query order.
     ///
     /// # Errors
     ///
-    /// Returns a [`ServeError`] if a rank fails; the engine is unusable
-    /// afterwards (its worlds are aborted).
+    /// Returns a [`ServeError`] if a rank fails. Fault errors
+    /// ([`ServeError::is_fault`]) fail only the submitted batch: the dead rank
+    /// is excluded and the engine keeps serving (baseline deployments). Any
+    /// other error — or any error in DMT mode — poisons the engine.
     pub fn submit(&mut self, queries: Vec<Query>) -> Result<Vec<f32>, ServeError> {
         if self.poisoned {
             return Err(ServeError::Config {
@@ -611,17 +1102,38 @@ impl ServingEngine {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
+        // Probe: periodically readmit dead ranks the fault schedule does not
+        // hold permanently down. Paced by submissions (failed batches count —
+        // under heavy faults successes may be rare, and recovery must not wait
+        // on them). Workers are idle between batches, so flipping membership
+        // here cannot race a collective.
+        let attempt = self.submits;
+        self.submits += 1;
+        if self.probe_every > 0 && attempt > 0 && attempt.is_multiple_of(self.probe_every) {
+            for rank in 0..self.world {
+                if self.dead[rank] && !self.profile.permanently_down(rank) {
+                    self.controls[rank].mark_up(rank);
+                    self.dead[rank] = false;
+                }
+            }
+        }
+        let live: Vec<usize> = (0..self.world).filter(|&r| !self.dead[r]).collect();
+        if live.is_empty() {
+            return Err(ServeError::Config {
+                reason: "every serving rank is dead".into(),
+            });
+        }
         let total = queries.len();
-        let base = total / self.world;
-        let rem = total % self.world;
-        let counts: Arc<Vec<usize>> = Arc::new(
-            (0..self.world)
-                .map(|r| base + usize::from(r < rem))
-                .collect(),
-        );
+        let base = total / live.len();
+        let rem = total % live.len();
+        let mut count_per_rank = vec![0usize; self.world];
+        for (slot, &rank) in live.iter().enumerate() {
+            count_per_rank[rank] = base + usize::from(slot < rem);
+        }
+        let counts: Arc<Vec<usize>> = Arc::new(count_per_rank);
         let queries = Arc::new(queries);
         let mut start = 0usize;
-        for (rank, sender) in self.senders.iter().enumerate() {
+        for &rank in &live {
             let len = counts[rank];
             let job = Job {
                 queries: Arc::clone(&queries),
@@ -630,8 +1142,11 @@ impl ServingEngine {
                 len,
             };
             start += len;
-            if sender.send(job).is_err() {
-                self.poisoned = true;
+            let alive = self.senders[rank]
+                .as_ref()
+                .is_some_and(|s| s.send(job).is_ok());
+            if !alive {
+                self.poison();
                 return Err(ServeError::Rank {
                     rank,
                     message: "worker thread is gone".into(),
@@ -640,15 +1155,24 @@ impl ServingEngine {
         }
         let mut per_rank: Vec<Option<RankBatchResult>> = (0..self.world).map(|_| None).collect();
         let mut first_error: Option<ServeError> = None;
-        for _ in 0..self.world {
+        for _ in 0..live.len() {
             match self.replies.recv_timeout(RANK_REPLY_TIMEOUT) {
                 Ok(reply) => match reply.result {
                     Ok(result) => per_rank[reply.rank] = Some(result),
                     Err(e) => {
-                        // Keep the root cause over the abort cascades it causes.
+                        // A rank reporting its own death is excluded immediately
+                        // — and marked down in every world, which releases any
+                        // peer still waiting for its deposit.
+                        if matches!(&e, ServeError::Comm(CommError::RankDown { rank })
+                                if *rank == reply.rank)
+                        {
+                            self.dead[reply.rank] = true;
+                            self.controls[reply.rank].mark_down(reply.rank);
+                        }
+                        // Keep the error closest to the root cause.
                         let replace = match &first_error {
                             None => true,
-                            Some(current) => current.is_abort_cascade() && !e.is_abort_cascade(),
+                            Some(current) => error_score(&e) < error_score(current),
                         };
                         if replace {
                             first_error = Some(e);
@@ -664,7 +1188,9 @@ impl ServingEngine {
             }
         }
         if let Some(error) = first_error {
-            self.poisoned = true;
+            if !(self.can_recover && error.is_fault()) {
+                self.poison();
+            }
             return Err(error);
         }
         let mut preds = Vec::with_capacity(total);
@@ -673,6 +1199,9 @@ impl ServingEngine {
             self.stats.payload_bytes += result.payload_bytes;
             self.stats.cross_host_bytes += result.cross_host_bytes;
             self.stats.intra_host_bytes += result.intra_host_bytes;
+            self.stats.retries += result.retries;
+            self.stats.failovers += result.failovers;
+            self.stats.degraded_answers += result.degraded_answers;
             self.stats.cache.merge(&result.cache);
         }
         debug_assert_eq!(preds.len(), total);
@@ -688,8 +1217,22 @@ impl ServingEngine {
         self.stats
     }
 
+    fn poison(&mut self) {
+        self.poisoned = true;
+        for control in &self.controls {
+            control.abort();
+        }
+    }
+
     fn stop(&mut self) {
-        self.senders.clear(); // closes every job channel; workers exit
+        self.senders.clear(); // closes every job channel; idle workers exit
+                              // A worker can still be blocked inside a collective (e.g. waiting on a
+                              // rank that died without a deadline configured); abort every world so
+                              // blocked workers fail out instead of hanging the join below. Idle
+                              // workers never see the poison — they exit through the closed channel.
+        for control in &self.controls {
+            control.abort();
+        }
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
@@ -706,25 +1249,43 @@ fn worker_loop(
     rank: usize,
     mut model: RankModel,
     mut worlds: RankWorlds,
+    policy: &FaultPolicy,
     jobs: &Receiver<Job>,
     replies: &Sender<RankReply>,
 ) {
+    let world_size = worlds.global.get_ref().world_size();
+    let mut health = HealthView::new(world_size, rank, policy.down_after);
     while let Ok(job) = jobs.recv() {
-        let result = model.run_batch(&mut worlds, &job);
-        let failed = result.is_err();
-        if failed {
-            // Peers may be blocked in a collective waiting for this rank.
+        // Adopt membership changes peers or the dispatcher committed (deaths
+        // and probe readmissions) before routing anything.
+        health.sync_down(&worlds.global.get_ref().down_ranks());
+        let result = model.run_batch(&mut worlds, &mut health, policy, &job);
+        // Fault errors are survivable: report and keep serving. Anything else
+        // is fatal for the whole engine — poison the worlds so peers blocked in
+        // a collective fail out instead of hanging.
+        let fatal = matches!(&result, Err(e) if !e.is_fault());
+        if fatal {
             worlds.abort();
         }
-        if replies.send(RankReply { rank, result }).is_err() || failed {
+        if replies.send(RankReply { rank, result }).is_err() || fatal {
             break;
         }
     }
 }
 
 /// Builds the per-rank communicator bundles (global / intra-host / peer worlds),
-/// mirroring the trainer's mapping of [`ProcessGroup`]s onto the cluster.
-fn build_worlds(cluster: &ClusterTopology, fabric: FabricProfile) -> Vec<RankWorlds> {
+/// mirroring the trainer's mapping of [`ProcessGroup`]s onto the cluster — each
+/// world wrapped in the fault injector and bounded by the collective deadline.
+fn build_worlds(
+    cluster: &ClusterTopology,
+    fabric: FabricProfile,
+    op_timeout: Option<Duration>,
+    faults: &FaultProfile,
+) -> Vec<RankWorlds> {
+    let wrap = |mut backend: SharedMemoryBackend| {
+        backend.set_op_timeout(op_timeout);
+        FaultInjectingBackend::new(backend, faults.clone())
+    };
     let global = SharedMemoryComm::for_group(cluster, &ProcessGroup::global(cluster), fabric);
     let mut intra: Vec<Option<SharedMemoryBackend>> =
         (0..cluster.world_size()).map(|_| None).collect();
@@ -747,9 +1308,9 @@ fn build_worlds(cluster: &ClusterTopology, fabric: FabricProfile) -> Vec<RankWor
         .zip(intra)
         .zip(peer)
         .map(|((global, intra), peer)| RankWorlds {
-            global,
-            intra: intra.expect("intra-host groups cover every rank"),
-            peer: peer.expect("peer groups cover every rank"),
+            global: wrap(global),
+            intra: wrap(intra.expect("intra-host groups cover every rank")),
+            peer: wrap(peer.expect("peer groups cover every rank")),
         })
         .collect()
 }

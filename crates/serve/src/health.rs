@@ -1,0 +1,174 @@
+//! Per-rank peer-health tracking for fault-tolerant serving.
+//!
+//! Every serving worker keeps a [`HealthView`] of its world: which peers it
+//! believes are up, and how many *consecutive* collectives each peer has been
+//! implicated in. One missed deposit is suspicion (the peer may just be slow or
+//! the timeout may have fired on an unrelated drop); `down_after` consecutive
+//! implications is conviction, at which point the caller commits the verdict to
+//! the shared rendezvous down-set (`SharedMemoryBackend::mark_down`) so
+//! collectives complete without the dead peer.
+//!
+//! The view is deliberately *local and cheap*: it holds no locks and does no
+//! communication. Synchronizing it with the world's shared down-set (which any
+//! rank may have updated) is the caller's job, once per batch, via
+//! [`HealthView::sync_down`].
+
+/// One rank's local view of which peers are alive.
+#[derive(Debug, Clone)]
+pub struct HealthView {
+    me: usize,
+    down: Vec<bool>,
+    consecutive: Vec<u32>,
+    down_after: u32,
+}
+
+impl HealthView {
+    /// A fully-healthy view of a `world_size`-rank world as seen from rank `me`.
+    /// A peer is marked down after `down_after` consecutive implicated failures
+    /// (values below 1 are clamped to 1).
+    #[must_use]
+    pub fn new(world_size: usize, me: usize, down_after: u32) -> Self {
+        Self {
+            me,
+            down: vec![false; world_size],
+            consecutive: vec![0; world_size],
+            down_after: down_after.max(1),
+        }
+    }
+
+    /// The rank whose view this is.
+    #[must_use]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Whether `rank` is currently believed down.
+    #[must_use]
+    pub fn is_down(&self, rank: usize) -> bool {
+        self.down.get(rank).copied().unwrap_or(false)
+    }
+
+    /// Ranks currently believed down, ascending.
+    #[must_use]
+    pub fn down_ranks(&self) -> Vec<usize> {
+        (0..self.down.len()).filter(|&r| self.down[r]).collect()
+    }
+
+    /// Records one failed collective implicating `suspects` (the missing ranks of
+    /// a timeout). Returns the ranks that just crossed the `down_after` threshold
+    /// and are now considered down — the caller should commit those to the shared
+    /// world state.
+    pub fn record_failure(&mut self, suspects: &[usize]) -> Vec<usize> {
+        let mut newly_down = Vec::new();
+        for &rank in suspects {
+            if rank >= self.down.len() || self.down[rank] {
+                continue;
+            }
+            self.consecutive[rank] += 1;
+            if self.consecutive[rank] >= self.down_after {
+                self.down[rank] = true;
+                newly_down.push(rank);
+            }
+        }
+        newly_down
+    }
+
+    /// Records one successful collective: peers that deposited in time are
+    /// exonerated, so every *live* peer's consecutive-failure count resets.
+    /// Convicted (down) peers stay down — a collective that completed *without*
+    /// them proves nothing about them.
+    pub fn record_success(&mut self) {
+        for (rank, count) in self.consecutive.iter_mut().enumerate() {
+            if !self.down[rank] {
+                *count = 0;
+            }
+        }
+    }
+
+    /// Unconditionally marks `rank` down (e.g. the rank reported its own death,
+    /// or another rank committed the verdict to the shared down-set).
+    pub fn mark_down(&mut self, rank: usize) {
+        if rank < self.down.len() {
+            self.down[rank] = true;
+        }
+    }
+
+    /// Readmits `rank` (e.g. a probe found it recovered), clearing its history.
+    pub fn mark_up(&mut self, rank: usize) {
+        if rank < self.down.len() {
+            self.down[rank] = false;
+            self.consecutive[rank] = 0;
+        }
+    }
+
+    /// Adopts the world's shared down-set: `shared_down` ranks become down here,
+    /// and ranks this view convicted that the shared set has since readmitted
+    /// (a supervisor probe) become up again.
+    pub fn sync_down(&mut self, shared_down: &[usize]) {
+        for rank in 0..self.down.len() {
+            let shared = shared_down.contains(&rank);
+            if shared && !self.down[rank] {
+                self.mark_down(rank);
+            } else if !shared && self.down[rank] {
+                self.mark_up(rank);
+            }
+        }
+    }
+
+    /// The first live rank in `candidates` order, if any — the failover chain
+    /// walk: `first_live([primary, replica1, replica2])` is the rank a lookup
+    /// should be routed to.
+    #[must_use]
+    pub fn first_live<I: IntoIterator<Item = usize>>(&self, candidates: I) -> Option<usize> {
+        candidates.into_iter().find(|&r| !self.is_down(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conviction_needs_consecutive_failures() {
+        let mut h = HealthView::new(4, 0, 2);
+        assert!(h.record_failure(&[3]).is_empty());
+        assert!(!h.is_down(3));
+        // An intervening success exonerates the suspect.
+        h.record_success();
+        assert!(h.record_failure(&[3]).is_empty());
+        // Two in a row convict.
+        assert_eq!(h.record_failure(&[3]), vec![3]);
+        assert!(h.is_down(3));
+        // Already-down ranks are not re-reported.
+        assert!(h.record_failure(&[3]).is_empty());
+    }
+
+    #[test]
+    fn success_does_not_exonerate_the_convicted() {
+        let mut h = HealthView::new(4, 0, 1);
+        assert_eq!(h.record_failure(&[1, 2]), vec![1, 2]);
+        h.record_success();
+        assert_eq!(h.down_ranks(), vec![1, 2]);
+        h.mark_up(1);
+        assert_eq!(h.down_ranks(), vec![2]);
+    }
+
+    #[test]
+    fn sync_adopts_the_shared_view_in_both_directions() {
+        let mut h = HealthView::new(4, 0, 1);
+        h.mark_down(2);
+        h.sync_down(&[1]);
+        // 1 adopted down, 2 readmitted (the supervisor probed it back up).
+        assert_eq!(h.down_ranks(), vec![1]);
+    }
+
+    #[test]
+    fn first_live_walks_the_failover_chain() {
+        let mut h = HealthView::new(8, 0, 1);
+        assert_eq!(h.first_live([2, 6]), Some(2));
+        h.mark_down(2);
+        assert_eq!(h.first_live([2, 6]), Some(6));
+        h.mark_down(6);
+        assert_eq!(h.first_live([2, 6]), None);
+    }
+}

@@ -14,7 +14,7 @@
 //!   sharded lookup, tower-module compression, and only the small tower outputs
 //!   cross hosts.
 //!
-//! Three serving-specific pieces wrap the engine:
+//! Four serving-specific pieces wrap the engine:
 //!
 //! * [`MicroBatcher`] — admission control with **size** and **deadline** batch
 //!   close triggers (throughput under load, bounded latency under trickle).
@@ -25,6 +25,12 @@
 //!   and engine and reports per-request p50/p95/p99 latency
 //!   ([`dmt_metrics::LatencyPercentiles`]), throughput, trigger counts and bytes
 //!   per query.
+//! * **Fault tolerance** — [`ReplicatedAnswerer`] keeps `replicas` cross-host
+//!   copies of every embedding shard, [`HealthView`] convicts dead peers from
+//!   consecutive collective timeouts, and the baseline engine retries transient
+//!   faults, fails lookups over to replica holders (bit-identically), and
+//!   either errors or zero-fills ([`DegradedPolicy`]) rows with no live holder.
+//!   Faults are injected deterministically via [`dmt_comm::FaultProfile`].
 //!
 //! Served predictions are **bit-identical** to a forward pass through the
 //! training-side model over the same sub-batches: the engine reuses the trainer's
@@ -56,16 +62,35 @@ pub mod batcher;
 pub mod cache;
 pub mod engine;
 pub mod frontend;
+pub mod health;
+pub mod replica;
 
 pub use batcher::{BatcherConfig, MicroBatcher};
 pub use cache::{CacheStats, HotRowCache};
 pub use engine::{ServeStats, ServingEngine};
 pub use frontend::{serve_stream, ServeReport, StreamConfig};
+pub use health::HealthView;
+pub use replica::ReplicatedAnswerer;
 
-use dmt_comm::{CommError, FabricProfile};
+use dmt_comm::{CommError, FabricProfile, FaultProfile};
 use dmt_tensor::TensorError;
 use dmt_topology::ClusterTopology;
 use dmt_trainer::distributed::DistributedError;
+use std::time::Duration;
+
+/// What a baseline serving rank does with a requested row whose owner *and*
+/// every replica holder are down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Fail the batch with [`ServeError::Unavailable`] — correctness over
+    /// availability (the default).
+    #[default]
+    Error,
+    /// Answer anyway with zero embeddings for the lost rows, counting every
+    /// affected query in `ServeStats::degraded_answers` — availability over
+    /// correctness. Zero-filled rows are never fed into the hot-row cache.
+    ZeroFill,
+}
 
 /// Configuration of a serving deployment.
 #[derive(Debug, Clone)]
@@ -76,17 +101,47 @@ pub struct ServeConfig {
     pub fabric: FabricProfile,
     /// Per-rank hot-row cache capacity in rows (0 disables the cache).
     pub cache_rows: usize,
+    /// Cross-host replicas kept of every embedding shard (0 disables
+    /// replication and failover; baseline serving only).
+    pub replicas: usize,
+    /// Deterministic fault schedule injected into every rank's collectives
+    /// ([`FaultProfile::none`] injects nothing).
+    pub faults: FaultProfile,
+    /// Per-collective rendezvous deadline; `None` waits forever. Required for
+    /// fault tolerance — without it a dead peer blocks instead of timing out.
+    pub op_timeout: Option<Duration>,
+    /// Retries of a transiently-failed collective before the batch errors.
+    pub max_retries: u32,
+    /// Pause between those retries.
+    pub retry_backoff: Duration,
+    /// Consecutive implicated timeouts before a peer is marked down.
+    pub down_after: u32,
+    /// Dispatcher probe cadence in submissions (failed batches count): every so
+    /// many submitted batches, dead ranks the fault schedule does not hold
+    /// permanently down are readmitted (0 disables probing).
+    pub probe_every_batches: u64,
+    /// Policy for rows whose owner and every replica holder are down.
+    pub degraded: DegradedPolicy,
 }
 
 impl ServeConfig {
-    /// A configuration over `cluster` with an unthrottled fabric and a modest
-    /// per-rank cache (1024 rows).
+    /// A configuration over `cluster` with an unthrottled fabric, a modest
+    /// per-rank cache (1024 rows), and fault tolerance disabled: no
+    /// replication, no injected faults, no collective deadline.
     #[must_use]
     pub fn new(cluster: ClusterTopology) -> Self {
         Self {
             cluster,
             fabric: FabricProfile::unthrottled(),
             cache_rows: 1024,
+            replicas: 0,
+            faults: FaultProfile::none(),
+            op_timeout: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(2),
+            down_after: 1,
+            probe_every_batches: 0,
+            degraded: DegradedPolicy::Error,
         }
     }
 
@@ -101,6 +156,60 @@ impl ServeConfig {
     #[must_use]
     pub fn with_cache_rows(mut self, cache_rows: usize) -> Self {
         self.cache_rows = cache_rows;
+        self
+    }
+
+    /// Keeps `replicas` cross-host copies of every embedding shard and fails
+    /// lookups over to them when the owner dies (baseline serving only).
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Injects a deterministic fault schedule into every rank's collectives.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Bounds every collective's rendezvous wait, turning dead peers into
+    /// observable [`CommError::Timeout`]s.
+    #[must_use]
+    pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
+        self.op_timeout = Some(timeout);
+        self
+    }
+
+    /// Overrides the transient-fault retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, max_retries: u32, backoff: Duration) -> Self {
+        self.max_retries = max_retries;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Overrides how many consecutive implicated timeouts convict a peer.
+    #[must_use]
+    pub fn with_down_after(mut self, down_after: u32) -> Self {
+        self.down_after = down_after;
+        self
+    }
+
+    /// Probes dead ranks back into service every `batches` submitted batches,
+    /// failed ones included (skipping ranks the fault schedule holds
+    /// permanently down).
+    #[must_use]
+    pub fn with_probe_every(mut self, batches: u64) -> Self {
+        self.probe_every_batches = batches;
+        self
+    }
+
+    /// Overrides the no-live-holder policy.
+    #[must_use]
+    pub fn with_degraded(mut self, degraded: DegradedPolicy) -> Self {
+        self.degraded = degraded;
         self
     }
 }
@@ -124,6 +233,12 @@ pub enum ServeError {
         /// Failure description.
         message: String,
     },
+    /// Requested rows whose owner and every replica holder are down, under
+    /// [`DegradedPolicy::Error`].
+    Unavailable {
+        /// Distinct lost rows in the failed batch.
+        rows: usize,
+    },
 }
 
 impl ServeError {
@@ -132,6 +247,20 @@ impl ServeError {
     #[must_use]
     pub fn is_abort_cascade(&self) -> bool {
         matches!(self, ServeError::Comm(CommError::Aborted))
+    }
+
+    /// Whether this error is a *fault* — a dead, stalled or unreachable rank —
+    /// rather than a configuration or compute failure. Fault errors leave the
+    /// engine serviceable: the dispatcher excludes the dead rank and keeps
+    /// answering instead of poisoning itself.
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Comm(CommError::RankDown { .. })
+                | ServeError::Comm(CommError::Timeout { .. })
+                | ServeError::Unavailable { .. }
+        )
     }
 }
 
@@ -143,6 +272,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Tensor(e) => write!(f, "serving tensor error: {e}"),
             ServeError::Rank { rank, message } => {
                 write!(f, "serving rank {rank} failed: {message}")
+            }
+            ServeError::Unavailable { rows } => {
+                write!(f, "{rows} requested rows have no live owner or replica")
             }
         }
     }
@@ -191,6 +323,16 @@ mod tests {
         assert!(e.to_string().contains('3') && e.to_string().contains("boom"));
         assert!(ServeError::Comm(CommError::Aborted).is_abort_cascade());
         assert!(!ServeError::Comm(CommError::EmptyWorld).is_abort_cascade());
+    }
+
+    #[test]
+    fn fault_errors_are_exactly_the_liveness_failures() {
+        assert!(ServeError::Comm(CommError::RankDown { rank: 2 }).is_fault());
+        assert!(ServeError::Unavailable { rows: 3 }.is_fault());
+        assert!(!ServeError::Comm(CommError::Aborted).is_fault());
+        assert!(!ServeError::Config { reason: "x".into() }.is_fault());
+        let e = ServeError::Unavailable { rows: 3 };
+        assert!(e.to_string().contains("3"));
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Replicated embedding shards: the storage side of serving failover.
+//!
+//! With replication factor `r`, every rank holds its own **primary** shard plus
+//! byte-identical copies of `r` other ranks' primary shards, placed by the same
+//! arithmetic requesters use to pick a failover target
+//! ([`dmt_nn::replica_rank`]): replica `i` of rank `p`'s shard lives on
+//! `(p + i * gpus_per_host) % world`, so every copy sits on a *different host*
+//! than the primary while `i` is smaller than the host count. A replica is built
+//! with [`ShardedLookup::from_tables`] using the *primary's* shard index, so it
+//! slices the exact same snapshot rows — which is what makes a failed-over
+//! answer bit-identical to the healthy one.
+//!
+//! [`ReplicatedAnswerer`] is what a serving rank answers fetch requests with: it
+//! serves any key covered by a shard it holds (primary or replica), whoever the
+//! key's nominal owner is. Replies are **all-or-nothing per requester**: a rank
+//! that cannot cover every requested key returns an empty reply, which the
+//! requester's length check turns into "re-route this whole bundle to the next
+//! holder in the chain" — no partially-served reply ever needs per-key
+//! bookkeeping on the wire.
+
+use crate::ServeError;
+use dmt_nn::{replica_rank, replica_sources};
+use dmt_trainer::distributed::model::{decode_key, encode_key, ShardedLookup};
+use dmt_trainer::distributed::TableWeights;
+
+/// One serving rank's primary shard plus the replica shards it hosts for peers.
+pub struct ReplicatedAnswerer {
+    /// This rank's own shard view — also the requester-side router/pooler.
+    primary: ShardedLookup,
+    /// `(source_rank, that rank's shard view)` for every replicated peer shard.
+    replicas: Vec<(usize, ShardedLookup)>,
+    /// Holder chain per owner rank: `[owner, replica 1, replica 2, ...]`.
+    chains: Vec<Vec<usize>>,
+    /// Logical row count per served feature (ascending feature order) — fixes
+    /// each key's nominal owner without touching any shard.
+    feature_rows: Vec<usize>,
+    world: usize,
+    me: usize,
+    replica_bytes: u64,
+}
+
+impl ReplicatedAnswerer {
+    /// Builds rank `me`'s answerer over a `world`-way sharding of `tables`:
+    /// its primary shard plus a copy of every peer shard that
+    /// [`replica_rank`]-placement assigns to `me` under replication factor
+    /// `replicas` on a `gpus_per_host`-wide host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] if a feature has no snapshot table or the
+    /// table dimensions are inconsistent.
+    pub fn new(
+        features: Vec<usize>,
+        tables: &[TableWeights],
+        world: usize,
+        me: usize,
+        replicas: usize,
+        gpus_per_host: usize,
+    ) -> Result<Self, ServeError> {
+        let mut sorted = features;
+        sorted.sort_unstable();
+        let primary = ShardedLookup::from_tables(sorted.clone(), tables, world, me)?;
+        let mut feature_rows = Vec::with_capacity(sorted.len());
+        for &f in &sorted {
+            let table =
+                tables
+                    .iter()
+                    .find(|t| t.feature == f)
+                    .ok_or_else(|| ServeError::Config {
+                        reason: format!("snapshot holds no table for feature {f}"),
+                    })?;
+            feature_rows.push(table.rows);
+        }
+        let mut held = Vec::new();
+        let mut replica_bytes = 0u64;
+        if replicas > 0 {
+            for source in replica_sources(me, replicas, world, gpus_per_host) {
+                let lookup = ShardedLookup::from_tables(sorted.clone(), tables, world, source)?;
+                replica_bytes += shard_bytes(&sorted, tables, world, source);
+                held.push((source, lookup));
+            }
+        }
+        let chains = (0..world)
+            .map(|owner| {
+                let mut chain = vec![owner];
+                for i in 1..=replicas {
+                    let holder = replica_rank(owner, i, world, gpus_per_host);
+                    if !chain.contains(&holder) {
+                        chain.push(holder);
+                    }
+                }
+                chain
+            })
+            .collect();
+        Ok(Self {
+            primary,
+            replicas: held,
+            chains,
+            feature_rows,
+            world,
+            me,
+            replica_bytes,
+        })
+    }
+
+    /// The requester-side shard view (router / pooler / primary answerer).
+    #[must_use]
+    pub fn primary(&self) -> &ShardedLookup {
+        &self.primary
+    }
+
+    /// Bytes of peer-shard copies this rank holds — the storage cost of its
+    /// share of the replication.
+    #[must_use]
+    pub fn replica_bytes(&self) -> u64 {
+        self.replica_bytes
+    }
+
+    /// Ranks whose primary shards this rank replicates, in placement order.
+    #[must_use]
+    pub fn replicated_sources(&self) -> Vec<usize> {
+        self.replicas.iter().map(|(s, _)| *s).collect()
+    }
+
+    /// The holder chain of `owner`'s shard: the owner itself followed by its
+    /// replica holders. Requesters walk this chain (skipping down ranks) to pick
+    /// a fetch target.
+    #[must_use]
+    pub fn chain(&self, owner: usize) -> &[usize] {
+        &self.chains[owner]
+    }
+
+    /// The nominal owner rank of encoded `key` — same row arithmetic as the
+    /// shards themselves.
+    fn owner_of_key(&self, key: u64) -> Option<usize> {
+        let (feature, row) = decode_key(key);
+        let pos = self.primary.features().binary_search(&feature).ok()?;
+        let rows = self.feature_rows[pos];
+        if row >= rows {
+            return None;
+        }
+        Some((row / rows.div_ceil(self.world)).min(self.world - 1))
+    }
+
+    /// How many samples of `bags` (feature-major, one bag list per served
+    /// feature in ascending-feature order, as built by the engine) reference at
+    /// least one of the sorted `lost` keys — the count of queries a zero-filled
+    /// batch answers degraded.
+    #[must_use]
+    pub fn queries_touching(&self, bags: &[&[Vec<usize>]], lost: &[u64]) -> u64 {
+        if lost.is_empty() || bags.is_empty() {
+            return 0;
+        }
+        let samples = bags[0].len();
+        let features = self.primary.features();
+        let mut touched = 0u64;
+        for sample in 0..samples {
+            let hit = bags.iter().zip(features).zip(&self.feature_rows).any(
+                |((bag, &feature), &rows)| {
+                    bag[sample]
+                        .iter()
+                        .any(|&raw| lost.binary_search(&encode_key(feature, raw % rows)).is_ok())
+                },
+            );
+            if hit {
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    /// Answers incoming request keys with raw rows in request order, serving
+    /// each key from whichever held shard (primary or replica) covers it.
+    ///
+    /// All-or-nothing per source: if any of a source's keys is covered by no
+    /// held shard, that source gets an *empty* reply (the requester re-routes
+    /// the bundle), never a partially-filled one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] only on internal inconsistency (a key that maps to
+    /// a held shard the shard then rejects) — a protocol bug, not a fault.
+    pub fn answer(&self, incoming: &[Vec<u64>]) -> Result<Vec<Vec<f32>>, ServeError> {
+        let dim = self.primary.dim();
+        let mut replies = Vec::with_capacity(incoming.len());
+        'source: for keys in incoming {
+            // Partition the source's keys by covering shard, preserving order
+            // within each partition (keys stay feature-grouped, which is what
+            // `answer` batches on).
+            let mut parts: Vec<(usize, Vec<u64>)> = Vec::new();
+            let mut part_of = Vec::with_capacity(keys.len());
+            for &key in keys {
+                let Some(owner) = self.owner_of_key(key) else {
+                    replies.push(Vec::new());
+                    continue 'source;
+                };
+                let lookup_at = if owner == self.me {
+                    Some(usize::MAX)
+                } else {
+                    self.replicas
+                        .iter()
+                        .position(|(source, _)| *source == owner)
+                };
+                let Some(slot) = lookup_at else {
+                    replies.push(Vec::new());
+                    continue 'source;
+                };
+                let part = match parts.iter().position(|(s, _)| *s == slot) {
+                    Some(p) => p,
+                    None => {
+                        parts.push((slot, Vec::new()));
+                        parts.len() - 1
+                    }
+                };
+                parts[part].1.push(key);
+                part_of.push(part);
+            }
+            // One batched answer per covering shard, then interleave back into
+            // request order.
+            let mut buffers = Vec::with_capacity(parts.len());
+            for (slot, part_keys) in &parts {
+                let lookup = if *slot == usize::MAX {
+                    &self.primary
+                } else {
+                    &self.replicas[*slot].1
+                };
+                let mut answered = lookup.answer(std::slice::from_ref(part_keys))?;
+                buffers.push((answered.pop().unwrap_or_default(), 0usize));
+            }
+            let mut reply = Vec::with_capacity(keys.len() * dim);
+            for &part in &part_of {
+                let (buffer, cursor) = &mut buffers[part];
+                reply.extend_from_slice(&buffer[*cursor..*cursor + dim]);
+                *cursor += dim;
+            }
+            replies.push(reply);
+        }
+        Ok(replies)
+    }
+}
+
+/// Bytes of shard `shard_index` of a `world`-way partition of `features`'s
+/// tables — the snapshot slice a replica of that shard copies.
+fn shard_bytes(
+    features: &[usize],
+    tables: &[TableWeights],
+    world: usize,
+    shard_index: usize,
+) -> u64 {
+    let mut bytes = 0u64;
+    for &f in features {
+        if let Some(table) = tables.iter().find(|t| t.feature == f) {
+            let rows_per_shard = table.rows.div_ceil(world);
+            let lo = (shard_index * rows_per_shard).min(table.rows);
+            let hi = ((shard_index + 1) * rows_per_shard).min(table.rows);
+            bytes += ((hi - lo) * table.dim * std::mem::size_of::<f32>()) as u64;
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_trainer::distributed::model::encode_key;
+
+    fn tables(features: usize, rows: usize, dim: usize) -> Vec<TableWeights> {
+        (0..features)
+            .map(|f| TableWeights {
+                feature: f,
+                rows,
+                dim,
+                data: (0..rows * dim).map(|i| (f * 10_000 + i) as f32).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replicas_answer_foreign_keys_bit_identically_to_their_owner() {
+        let tables = tables(2, 32, 4);
+        let world = 8;
+        // Rank 5 replicates rank 1's shard under r=1, gpus_per_host=4.
+        let owner = ReplicatedAnswerer::new(vec![0, 1], &tables, world, 1, 0, 4).unwrap();
+        let holder = ReplicatedAnswerer::new(vec![0, 1], &tables, world, 5, 1, 4).unwrap();
+        assert_eq!(holder.replicated_sources(), vec![1]);
+        assert_eq!(holder.chain(1), &[1, 5]);
+        // Rows 4..8 belong to shard 1 of 8 (32 rows → 4 per shard).
+        let keys = vec![encode_key(0, 4), encode_key(0, 7), encode_key(1, 5)];
+        let from_owner = owner.answer(std::slice::from_ref(&keys)).unwrap();
+        let from_holder = holder.answer(&[keys]).unwrap();
+        assert_eq!(from_owner, from_holder);
+        assert_eq!(from_owner[0].len(), 3 * 4);
+    }
+
+    #[test]
+    fn uncovered_keys_empty_the_whole_reply() {
+        let tables = tables(1, 32, 4);
+        let answerer = ReplicatedAnswerer::new(vec![0], &tables, 8, 5, 1, 4).unwrap();
+        // Rank 5 holds shard 5 (primary) and shard 1 (the replica that
+        // stride-4 placement assigns it); shard 0 is not held.
+        let covered = vec![encode_key(0, 20)]; // row 20 → shard 5
+        let foreign = vec![encode_key(0, 20), encode_key(0, 0)]; // shard 0 not held
+        assert_eq!(answerer.answer(&[covered]).unwrap()[0].len(), 4);
+        assert!(answerer.answer(&[foreign]).unwrap()[0].is_empty());
+    }
+
+    #[test]
+    fn replica_bytes_count_only_peer_copies() {
+        let tables = tables(2, 32, 4);
+        // Four hosts of two GPUs, so up to three non-aliasing replicas exist.
+        let none = ReplicatedAnswerer::new(vec![0, 1], &tables, 8, 0, 0, 2).unwrap();
+        assert_eq!(none.replica_bytes(), 0);
+        let one = ReplicatedAnswerer::new(vec![0, 1], &tables, 8, 0, 1, 2).unwrap();
+        // One peer shard: 2 features × 4 rows × 4 dims × 4 bytes.
+        assert_eq!(one.replica_bytes(), 2 * 4 * 4 * 4);
+        let two = ReplicatedAnswerer::new(vec![0, 1], &tables, 8, 0, 2, 2).unwrap();
+        assert_eq!(two.replica_bytes(), 2 * one.replica_bytes());
+    }
+}

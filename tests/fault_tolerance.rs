@@ -1,0 +1,248 @@
+//! Fault-tolerance integration tests: a serving cluster with replicated shards
+//! must survive an injected rank death — kept batches bit-identical to the
+//! training-side reference — while an unreplicated cluster must fail *cleanly*
+//! (a fault error in bounded time, never a deadlock), and shutdown must return
+//! promptly even with a rank down mid-collective.
+
+use std::time::{Duration, Instant};
+
+use dmt_comm::{FaultKind, FaultProfile};
+use dmt_data::{Query, ZipfRequestStream};
+use dmt_models::ModelArch;
+use dmt_nn::EmbeddingTable;
+use dmt_serve::{DegradedPolicy, ServeConfig, ServingEngine};
+use dmt_tensor::Tensor;
+use dmt_topology::{ClusterTopology, HardwareGeneration};
+use dmt_trainer::distributed::model::{load_params, DenseStack};
+use dmt_trainer::distributed::{
+    run_with_snapshot, DistributedConfig, ExecutionMode, ModelSnapshot,
+};
+
+fn cluster_2x4() -> ClusterTopology {
+    ClusterTopology::new(HardwareGeneration::A100, 2, 4).unwrap()
+}
+
+fn baseline_snapshot() -> ModelSnapshot {
+    let cfg = DistributedConfig::quick(cluster_2x4(), ModelArch::Dlrm).with_iterations(3);
+    let (_, snapshot) = run_with_snapshot(&cfg, ExecutionMode::Baseline).unwrap();
+    snapshot
+}
+
+fn queries(snapshot: &ModelSnapshot, seed: u64, n: usize) -> Vec<Query> {
+    ZipfRequestStream::new(snapshot.schema.clone(), seed, 1.1).next_queries(n)
+}
+
+/// Training-side baseline reference: full tables pooled locally, one forward
+/// pass over the whole batch.
+fn reference_predictions(snapshot: &ModelSnapshot, queries: &[Query]) -> Vec<f32> {
+    let schema = &snapshot.schema;
+    let n = snapshot.hyper.embedding_dim;
+    let b = queries.len();
+    let mut pooled: Vec<Tensor> = Vec::with_capacity(schema.num_sparse());
+    for f in 0..schema.num_sparse() {
+        let table = snapshot.table(f).expect("snapshot covers every feature");
+        let mut full = EmbeddingTable::from_weights(table.rows, table.dim, table.data.clone());
+        let bags: Vec<Vec<usize>> = queries.iter().map(|q| q.sparse[f].clone()).collect();
+        pooled.push(full.forward(&bags).unwrap());
+    }
+    let refs: Vec<&Tensor> = pooled.iter().collect();
+    let feature_block = Tensor::concat_cols(&refs).unwrap();
+    let dense_input = Tensor::from_vec(
+        vec![b, schema.num_dense],
+        queries.iter().flat_map(|q| q.dense.clone()).collect(),
+    )
+    .unwrap();
+    let mut dense = DenseStack::new(
+        snapshot.seed,
+        schema,
+        snapshot.arch,
+        &snapshot.hyper,
+        n,
+        schema.num_sparse() + 1,
+    );
+    load_params(&mut dense, &snapshot.dense_params).unwrap();
+    dense.forward(&dense_input, &feature_block).unwrap()
+}
+
+fn assert_bit_identical(served: &[f32], reference: &[f32], what: &str) {
+    assert_eq!(served.len(), reference.len(), "{what}: length");
+    for (i, (s, r)) in served.iter().zip(reference).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            r.to_bits(),
+            "{what}: query {i}: served {s} != reference {r}"
+        );
+    }
+}
+
+/// The headline guarantee: kill one rank of a replicated 2×4 cluster and the
+/// surviving ranks keep answering, bit-identical to the training-side model,
+/// with the dead rank's shard served from its replica.
+#[test]
+fn killed_rank_fails_over_bit_identically() {
+    let snapshot = baseline_snapshot();
+    // Rank 3 dies before its first collective.
+    let config = ServeConfig::new(cluster_2x4())
+        .with_replicas(1)
+        .with_faults(FaultProfile::new(11).with_event(3, 0, FaultKind::Down))
+        .with_op_timeout(Duration::from_millis(250))
+        .with_down_after(1);
+    let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
+
+    // The batch in flight when the rank dies fails — with a *fault* error, not
+    // a poisoned engine.
+    let err = engine.submit(queries(&snapshot, 1, 32)).unwrap_err();
+    assert!(err.is_fault(), "rank death surfaced as {err}");
+    assert_eq!(engine.dead_ranks(), vec![3]);
+
+    // Every later batch is answered by the 7 survivors: 28 queries = 4 per
+    // rank, the quad-aligned sub-batch size bit-identity requires.
+    for seed in 2..6 {
+        let batch = queries(&snapshot, seed, 28);
+        let reference = reference_predictions(&snapshot, &batch);
+        let served = engine.submit(batch).unwrap();
+        assert_bit_identical(&served, &reference, "post-failover batch");
+    }
+    let stats = engine.shutdown();
+    assert!(
+        stats.failovers > 0,
+        "rank 3's shard must have been served by its replica"
+    );
+    assert!(stats.replica_bytes > 0, "replication capacity is accounted");
+    assert_eq!(stats.degraded_answers, 0, "nothing was zero-filled");
+}
+
+/// With replication disabled the same death must surface as a clean fault error
+/// in bounded time — never a deadlock.
+#[test]
+fn unreplicated_rank_death_is_a_clean_fault_not_a_deadlock() {
+    let snapshot = baseline_snapshot();
+    let config = ServeConfig::new(cluster_2x4())
+        .with_faults(FaultProfile::new(7).with_event(2, 0, FaultKind::Down))
+        .with_op_timeout(Duration::from_millis(250))
+        .with_down_after(1);
+    let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
+    let start = Instant::now();
+    let err = engine.submit(queries(&snapshot, 1, 32)).unwrap_err();
+    assert!(err.is_fault(), "expected a liveness fault, got {err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "fault took {:?} to surface",
+        start.elapsed()
+    );
+    // Without a replica, shard 2's rows are simply unavailable from now on:
+    // under the default Error policy, batches touching them fail as a fault —
+    // but the engine itself keeps running.
+    let err = engine.submit(queries(&snapshot, 2, 28)).unwrap_err();
+    assert!(err.is_fault(), "expected Unavailable, got {err}");
+}
+
+/// Zero-fill degraded mode: with no replica and a dead rank, serving continues
+/// — affected queries are answered with zeroed rows and counted.
+#[test]
+fn zero_fill_keeps_serving_without_replicas() {
+    let snapshot = baseline_snapshot();
+    let config = ServeConfig::new(cluster_2x4())
+        .with_faults(FaultProfile::new(7).with_event(2, 0, FaultKind::Down))
+        .with_op_timeout(Duration::from_millis(250))
+        .with_down_after(1)
+        .with_degraded(DegradedPolicy::ZeroFill);
+    let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
+    let _ = engine.submit(queries(&snapshot, 1, 32)).unwrap_err();
+    for seed in 2..5 {
+        let served = engine.submit(queries(&snapshot, seed, 28)).unwrap();
+        assert_eq!(served.len(), 28);
+        assert!(served
+            .iter()
+            .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+    }
+    let stats = engine.shutdown();
+    assert!(
+        stats.degraded_answers > 0,
+        "Zipf batches over 3 seeds must touch the lost shard"
+    );
+}
+
+/// Shutdown must return promptly even when a rank died mid-collective (the
+/// historical hang: workers blocked in a rendezvous nobody will complete).
+#[test]
+fn shutdown_after_rank_down_is_bounded() {
+    let snapshot = baseline_snapshot();
+    // No op timeout at all: if shutdown failed to abort the worlds, a worker
+    // blocked on the dead rank's deposit would hang the join forever.
+    let config = ServeConfig::new(cluster_2x4()).with_faults(FaultProfile::new(3).with_event(
+        5,
+        2,
+        FaultKind::Down,
+    ));
+    let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
+    let _ = engine.submit(queries(&snapshot, 1, 32));
+    let start = Instant::now();
+    let _ = engine.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "shutdown took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Fault injection is seed-stable: the same profile over the same stream gives
+/// the same schedule — identical predictions *and* identical ServeStats,
+/// retries included.
+#[test]
+fn same_seed_gives_identical_stats_and_predictions() {
+    let snapshot = baseline_snapshot();
+    let run = || {
+        let config = ServeConfig::new(cluster_2x4())
+            .with_replicas(1)
+            .with_faults(FaultProfile::new(99).with_drop_rate(0.05))
+            .with_op_timeout(Duration::from_secs(10))
+            .with_retry(4, Duration::from_millis(1));
+        let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
+        let mut preds = Vec::new();
+        for seed in 0..4 {
+            preds.extend(engine.submit(queries(&snapshot, seed, 32)).unwrap());
+        }
+        (preds, engine.shutdown())
+    };
+    let (preds_a, stats_a) = run();
+    let (preds_b, stats_b) = run();
+    assert!(stats_a.retries > 0, "the drop rate must actually fire");
+    assert_eq!(stats_a, stats_b, "same seed, same ServeStats");
+    assert_bit_identical(&preds_a, &preds_b, "same seed, same predictions");
+}
+
+/// A transient stall convicts the rank (its in-flight work is fenced off), but
+/// probing readmits it, and full-strength serving resumes bit-identically.
+#[test]
+fn stalled_rank_is_convicted_then_probed_back_in() {
+    let snapshot = baseline_snapshot();
+    let config = ServeConfig::new(cluster_2x4())
+        .with_replicas(1)
+        .with_faults(FaultProfile::new(5).with_event(3, 0, FaultKind::Stall { ms: 1_500 }))
+        .with_op_timeout(Duration::from_millis(100))
+        .with_down_after(1)
+        .with_probe_every(2);
+    let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
+
+    // The stalled rank misses its deadline, gets convicted by its peers, and —
+    // waking fenced out of the advanced rendezvous — reports its own death.
+    let err = engine.submit(queries(&snapshot, 1, 32)).unwrap_err();
+    assert!(err.is_fault(), "stall surfaced as {err}");
+    assert_eq!(engine.dead_ranks(), vec![3]);
+
+    // Survivors keep serving: 28 queries = 4 per remaining rank. This is the
+    // second submission; the third reaches the probe interval.
+    let batch = queries(&snapshot, 2, 28);
+    let reference = reference_predictions(&snapshot, &batch);
+    let served = engine.submit(batch).unwrap();
+    assert_bit_identical(&served, &reference, "while rank 3 is out");
+
+    // The stall was transient, not a permanent death: the probe readmits the
+    // rank and 8-way serving resumes, still bit-identical.
+    let batch = queries(&snapshot, 9, 32);
+    let reference = reference_predictions(&snapshot, &batch);
+    let served = engine.submit(batch).unwrap();
+    assert_eq!(engine.dead_ranks(), Vec::<usize>::new());
+    assert_bit_identical(&served, &reference, "after probe readmission");
+}

@@ -1,10 +1,14 @@
 //! Property tests for the serving-side data structures: the hot-row cache must
 //! be a pure bandwidth optimization (cached lookups bit-identical to the
-//! uncached `EmbeddingTable::lookup_rows`, capacity never exceeded), and the
-//! micro-batcher must respect both of its close triggers exactly.
+//! uncached `EmbeddingTable::lookup_rows`, capacity never exceeded), the
+//! micro-batcher must respect both of its close triggers exactly, and every
+//! replica holder must answer a shard's keys bit-identically to the shard's
+//! owner — the invariant serving failover rests on.
 
 use dmt_nn::EmbeddingTable;
-use dmt_serve::{BatcherConfig, HotRowCache, MicroBatcher};
+use dmt_serve::{BatcherConfig, HotRowCache, MicroBatcher, ReplicatedAnswerer};
+use dmt_trainer::distributed::model::encode_key;
+use dmt_trainer::distributed::TableWeights;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,7 +40,7 @@ proptest! {
                 cache.insert(row as u64, &direct);
             }
             prop_assert_eq!(&via_cache, &direct);
-            prop_assert!(cache.len() <= capacity.max(0));
+            prop_assert!(cache.len() <= capacity);
         }
         // The accounting adds up: every request was a hit or a miss.
         let stats = cache.stats();
@@ -92,6 +96,56 @@ proptest! {
         emitted.extend(batcher.flush().unwrap_or_default());
         let expected: Vec<usize> = (0..pushes).collect();
         prop_assert_eq!(emitted, expected, "FIFO order across closes");
+    }
+
+    /// Every holder in an owner's replica chain answers the owner's full shard
+    /// bit-identically to the owner itself, for arbitrary table shapes, world
+    /// sizes, host widths and replication factors — so a failed-over fetch can
+    /// never change a prediction.
+    #[test]
+    fn replica_holders_answer_bit_identically_to_the_owner(
+        rows in 1usize..64,
+        dim in 1usize..8,
+        world in 2usize..9,
+        gpus_per_host in 1usize..5,
+        replicas in 1usize..4,
+        owner_sel in proptest::strategy::any::<u64>(),
+        seed in proptest::strategy::any::<u64>(),
+    ) {
+        let replicas = replicas.min(world - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tables: Vec<TableWeights> = (0..2)
+            .map(|f| TableWeights {
+                feature: f,
+                rows,
+                dim,
+                data: (0..rows * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            })
+            .collect();
+        let owner = (owner_sel % world as u64) as usize;
+        let owner_answerer =
+            ReplicatedAnswerer::new(vec![0, 1], &tables, world, owner, replicas, gpus_per_host)
+                .unwrap();
+        // Every key of the owner's shard slice, both features.
+        let rows_per_shard = rows.div_ceil(world);
+        let lo = (owner * rows_per_shard).min(rows);
+        let hi = ((owner + 1) * rows_per_shard).min(rows);
+        let keys: Vec<u64> = (0..2u32)
+            .flat_map(|f| (lo..hi).map(move |r| encode_key(f as usize, r)))
+            .collect();
+        prop_assume!(!keys.is_empty());
+        let from_owner = owner_answerer.answer(std::slice::from_ref(&keys)).unwrap();
+        prop_assert_eq!(from_owner[0].len(), keys.len() * dim);
+        for &holder in &owner_answerer.chain(owner)[1..] {
+            let holder_answerer = ReplicatedAnswerer::new(
+                vec![0, 1], &tables, world, holder, replicas, gpus_per_host,
+            ).unwrap();
+            let from_holder = holder_answerer.answer(std::slice::from_ref(&keys)).unwrap();
+            for (a, b) in from_owner[0].iter().zip(&from_holder[0]) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "holder {} diverged", holder);
+            }
+            prop_assert_eq!(from_holder[0].len(), from_owner[0].len());
+        }
     }
 
     /// The deadline trigger fires iff the oldest queued request has waited at
