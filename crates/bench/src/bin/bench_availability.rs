@@ -28,7 +28,7 @@
 use dmt_comm::{FabricProfile, FaultKind, FaultProfile};
 use dmt_data::{Query, ZipfRequestStream};
 use dmt_models::ModelArch;
-use dmt_serve::{ServeConfig, ServingEngine};
+use dmt_serve::{BatchConfig, ResilienceConfig, ServeConfig, ServingEngine};
 use dmt_topology::{ClusterTopology, HardwareGeneration};
 use dmt_trainer::distributed::{
     run_with_snapshot, DistributedConfig, ExecutionMode, ModelSnapshot,
@@ -164,11 +164,17 @@ fn main() -> ExitCode {
     let faults = FaultProfile::new(2024).with_event(VICTIM, kill_at_op, FaultKind::Down);
     let config = ServeConfig::new(cluster.clone())
         .with_fabric(fabric)
-        .with_cache_rows(CACHE_ROWS)
-        .with_replicas(1)
-        .with_faults(faults)
-        .with_op_timeout(Duration::from_millis(500))
-        .with_down_after(1);
+        .with_batch(BatchConfig {
+            cache_rows: CACHE_ROWS,
+            ..BatchConfig::default()
+        })
+        .with_resilience(ResilienceConfig {
+            replicas: 1,
+            faults,
+            op_timeout: Some(Duration::from_millis(500)),
+            down_after: 1,
+            ..ResilienceConfig::default()
+        });
     let mut engine = ServingEngine::start(&snapshot, &config).expect("engine start");
     let mut stream = ZipfRequestStream::new(snapshot.schema.clone(), 1234, ZIPF);
 
@@ -206,7 +212,10 @@ fn main() -> ExitCode {
     println!("unreplicated reference ({steady_batches} batches)...");
     let plain_cfg = ServeConfig::new(cluster.clone())
         .with_fabric(fabric)
-        .with_cache_rows(CACHE_ROWS);
+        .with_batch(BatchConfig {
+            cache_rows: CACHE_ROWS,
+            ..BatchConfig::default()
+        });
     let mut plain = ServingEngine::start(&snapshot, &plain_cfg).expect("plain engine");
     let mut plain_stream = ZipfRequestStream::new(snapshot.schema.clone(), 1234, ZIPF);
     drive(&mut plain, &mut plain_stream, 1).expect("plain warmup");

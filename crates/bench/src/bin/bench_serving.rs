@@ -24,11 +24,18 @@
 //! the cached configurations' hit rate — and therefore their per-request time —
 //! keeps improving with stream length, so CI must compare equal-length streams
 //! (a full run simply reads as a speedup against it).
+//!
+//! **Latency caveat**: every number here comes from a *closed-loop* driver —
+//! the stream blocks in `submit`, so arrivals are coordinated with the engine
+//! and the percentiles contain no open-queue waiting. They measure batch
+//! assembly + service time at the driver's own pace, not what an independent
+//! arrival stream would experience. SLO-meaningful open-loop latency (sojourn
+//! time under Poisson arrivals) lives in `bench_slo` / `BENCH_slo.json`.
 
 use dmt_comm::FabricProfile;
 use dmt_models::ModelArch;
 use dmt_serve::{
-    serve_stream, BatcherConfig, ServeConfig, ServeReport, ServingEngine, StreamConfig,
+    serve_stream, BatchConfig, BatcherConfig, ServeConfig, ServeReport, ServingEngine, StreamConfig,
 };
 use dmt_topology::{ClusterTopology, HardwareGeneration};
 use dmt_trainer::distributed::{
@@ -60,6 +67,15 @@ struct ServingResult {
     iters: u64,
 }
 
+/// The latency-semantics annotation appended after the gated rows (no
+/// `ns_per_iter`, so the gate skips it).
+#[derive(Debug, Clone, Serialize)]
+struct LatencyNote {
+    op: String,
+    shape: String,
+    latency_semantics: String,
+}
+
 /// Fabric slowdown of the gated runs: stretches wire time so the topology
 /// effect dominates scheduler noise.
 const FABRIC_SLOWDOWN: f64 = 4_000.0;
@@ -80,7 +96,10 @@ fn serve(
 ) -> ServeReport {
     let config = ServeConfig::new(cluster.clone())
         .with_fabric(fabric)
-        .with_cache_rows(cache_rows);
+        .with_batch(BatchConfig {
+            cache_rows,
+            ..BatchConfig::default()
+        });
     let mut engine = ServingEngine::start(snapshot, &config).expect("engine start");
     let mut stream = dmt_data::ZipfRequestStream::new(snapshot.schema.clone(), 1234, ZIPF);
     // Warm up one batch first: the first batch pays one-time costs (comm helper
@@ -175,7 +194,23 @@ fn main() -> ExitCode {
     let dmt_nocache = serve(&dmt_snap, &cluster, fabric, 0, BATCH, batched_requests);
     record("serving_dmt_nocache", &dmt_nocache);
 
-    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    // The gated rows plus a schema note the gate skips (no `ns_per_iter`):
+    // these latency percentiles are closed-loop and arrival-coordinated.
+    let note = LatencyNote {
+        op: "serving_note".into(),
+        shape: shape.clone(),
+        latency_semantics: "closed-loop (arrival-coordinated): percentiles measure batch \
+                            assembly + service at the driver's own pace and contain no \
+                            open-queue waiting; for sojourn time under open-loop arrivals \
+                            see BENCH_slo.json (bench_slo)"
+            .into(),
+    };
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| serde_json::to_string_pretty(r).expect("results serialize"))
+        .chain([serde_json::to_string_pretty(&note).expect("note serializes")])
+        .collect();
+    let json = format!("[\n{}\n]", rows.join(",\n"));
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("[results written to BENCH_serving.json]");
 

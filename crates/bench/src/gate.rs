@@ -81,10 +81,15 @@ impl GateReport {
 
 /// Parses a benchmark results file into gate entries.
 ///
+/// Rows without an `ns_per_iter` field are *summary rows* (several trackers
+/// append a run-level summary object after their gated entries — see
+/// `bench_availability` / `bench_slo`) and are skipped, not errors.
+///
 /// # Errors
 ///
 /// Returns a description of the first structural problem: malformed JSON, a
-/// non-array root, or an entry missing `op` / `shape` / `ns_per_iter`.
+/// non-array root, an entry missing `op` / `shape`, or a present `ns_per_iter`
+/// that is not a positive number.
 pub fn parse_entries(json: &str) -> Result<Vec<GateEntry>, String> {
     let value: Value = json
         .parse()
@@ -95,25 +100,30 @@ pub fn parse_entries(json: &str) -> Result<Vec<GateEntry>, String> {
     items
         .iter()
         .enumerate()
-        .map(|(i, item)| {
+        .filter_map(|(i, item)| {
             let field = |name: &str| {
                 item.get(name)
                     .ok_or_else(|| format!("entry {i} is missing `{name}`"))
             };
-            Ok(GateEntry {
-                op: field("op")?
-                    .as_str()
-                    .ok_or_else(|| format!("entry {i}: `op` must be a string"))?
-                    .to_string(),
-                shape: field("shape")?
-                    .as_str()
-                    .ok_or_else(|| format!("entry {i}: `shape` must be a string"))?
-                    .to_string(),
-                ns_per_iter: field("ns_per_iter")?
-                    .as_f64()
-                    .filter(|ns| *ns > 0.0)
-                    .ok_or_else(|| format!("entry {i}: `ns_per_iter` must be a positive number"))?,
-            })
+            let ns = match item.get("ns_per_iter") {
+                None => return None, // summary row: reported, never gated
+                Some(ns) => ns.as_f64().filter(|ns| *ns > 0.0),
+            };
+            Some((|| {
+                Ok(GateEntry {
+                    op: field("op")?
+                        .as_str()
+                        .ok_or_else(|| format!("entry {i}: `op` must be a string"))?
+                        .to_string(),
+                    shape: field("shape")?
+                        .as_str()
+                        .ok_or_else(|| format!("entry {i}: `shape` must be a string"))?
+                        .to_string(),
+                    ns_per_iter: ns.ok_or_else(|| {
+                        format!("entry {i}: `ns_per_iter` must be a positive number")
+                    })?,
+                })
+            })())
         })
         .collect()
 }
@@ -187,8 +197,19 @@ mod tests {
     fn rejects_malformed_files() {
         assert!(parse_entries("not json").is_err());
         assert!(parse_entries(r#"{"op": "x"}"#).is_err());
-        assert!(parse_entries(r#"[{"op": "x", "shape": "s"}]"#).is_err());
         assert!(parse_entries(r#"[{"op": "x", "shape": "s", "ns_per_iter": -1}]"#).is_err());
+        assert!(parse_entries(r#"[{"op": "x", "shape": "s", "ns_per_iter": "4"}]"#).is_err());
+    }
+
+    #[test]
+    fn summary_rows_without_ns_per_iter_are_skipped_not_errors() {
+        let json = r#"[
+            {"op": "gated", "shape": "s", "ns_per_iter": 10.0},
+            {"op": "run_summary", "shape": "s", "recovery_ms": 2.7, "availability": 0.96}
+        ]"#;
+        let entries = parse_entries(json).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].op, "gated");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`stats`] — mean, standard deviation, median and empirical CDFs.
 //! * [`fn@percentile`] — nearest-rank latency percentiles (p50/p95/p99), shared by the
 //!   `dmt-serve` request path and the trainer's wall-time reporting.
+//! * [`rate::ThroughputWindow`] — counted-work-over-wall-time accounting, shared by the
+//!   serving load harness and the trainer's iteration-rate reporting.
 //! * [`mann_whitney::mann_whitney_u`] — two-sided Mann–Whitney U test with the normal
 //!   approximation and tie correction.
 //!
@@ -29,10 +31,12 @@ pub mod auc;
 pub mod loss;
 pub mod mann_whitney;
 pub mod percentile;
+pub mod rate;
 pub mod stats;
 
 pub use auc::roc_auc;
 pub use loss::{log_loss, normalized_entropy};
 pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
 pub use percentile::{percentile, LatencyPercentiles};
+pub use rate::ThroughputWindow;
 pub use stats::{empirical_cdf, mean, median, std_dev, Summary};

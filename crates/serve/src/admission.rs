@@ -1,0 +1,280 @@
+//! SLO-aware admission control: bounded queue occupancy, priority-watermarked
+//! load shedding and deadline-budget feasibility.
+//!
+//! The controller sits in front of the micro-batcher and decides, at the
+//! instant a [`crate::Request`] arrives, whether the system can still answer
+//! it. A refusal is a fast, observable [`crate::ServeError::Shed`] — never a
+//! timeout discovered milliseconds later. Two tests gate admission:
+//!
+//! * **Occupancy** — queries admitted and not yet completed may never exceed
+//!   the configured bound. Each [`Priority`] class gets a nested watermark
+//!   (`Low` 50%, `Standard` 75%, `High` 100% of the bound), so as occupancy
+//!   climbs, low-priority traffic is shed strictly before any high-priority
+//!   request is refused: at any instant where a high-priority request is shed
+//!   for occupancy, every lower class would have been shed too.
+//! * **Deadline feasibility** — a request whose remaining budget is already
+//!   smaller than the configured service estimate is shed immediately,
+//!   whatever its priority: admitting it could only waste capacity on an
+//!   answer that arrives too late.
+//!
+//! Like the batcher, the controller is pure data + virtual time (microsecond
+//! ticks supplied by the caller), so the invariants above are directly
+//! property-testable (see the workspace `admission_props` tests); the staged
+//! engine drives it with its real clock.
+
+use crate::request::{Priority, ShedReason, NO_DEADLINE};
+use crate::{ServeError, SloConfig};
+
+/// Nested occupancy watermark of a priority class, in percent of the bound.
+fn watermark_percent(priority: Priority) -> usize {
+    match priority {
+        Priority::Low => 50,
+        Priority::Standard => 75,
+        Priority::High => 100,
+    }
+}
+
+/// The admission decision state: occupancy, per-class shed counters and the
+/// SLO knobs they are judged against.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    queue_bound: usize,
+    service_estimate_us: u64,
+    shed: bool,
+    occupancy: usize,
+    max_occupancy: usize,
+    admitted: [u64; 3],
+    shed_counts: [u64; 3],
+}
+
+impl AdmissionController {
+    /// A controller enforcing `slo`'s queue bound and deadline budget. With
+    /// `slo.shed == false` every request is admitted (the legacy behavior) and
+    /// only the occupancy gauge is maintained.
+    #[must_use]
+    pub fn new(slo: &SloConfig) -> Self {
+        Self {
+            queue_bound: slo.queue_bound,
+            service_estimate_us: slo.service_estimate_us,
+            shed: slo.shed,
+            occupancy: 0,
+            max_occupancy: 0,
+            admitted: [0; 3],
+            shed_counts: [0; 3],
+        }
+    }
+
+    /// Queries admitted and not yet completed.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// The highest occupancy ever reached — with shedding enabled this never
+    /// exceeds [`AdmissionController::bound_of`] `(Priority::High)`.
+    #[must_use]
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// The occupancy watermark of `priority`: admitting a request of this
+    /// class may not push occupancy past it. Watermarks are nested
+    /// (`bound_of(Low) <= bound_of(Standard) <= bound_of(High)`), which is the
+    /// structural guarantee that low-priority traffic sheds first. Unlimited
+    /// when shedding is disabled.
+    #[must_use]
+    pub fn bound_of(&self, priority: Priority) -> usize {
+        if !self.shed {
+            return usize::MAX;
+        }
+        // ceil-free scaled bound; High is exactly the configured bound.
+        self.queue_bound / 100 * watermark_percent(priority)
+            + self.queue_bound % 100 * watermark_percent(priority) / 100
+    }
+
+    /// Requests of `priority` shed so far.
+    #[must_use]
+    pub fn shed_count(&self, priority: Priority) -> u64 {
+        self.shed_counts[priority.index()]
+    }
+
+    /// Requests of `priority` admitted so far.
+    #[must_use]
+    pub fn admitted_count(&self, priority: Priority) -> u64 {
+        self.admitted[priority.index()]
+    }
+
+    /// Total requests shed, all classes.
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.shed_counts.iter().sum()
+    }
+
+    /// Whether a request of `queries` queries at `priority` with absolute
+    /// deadline `deadline_us` would be shed at tick `now_us`, without changing
+    /// any state. [`AdmissionController::try_admit`] admits iff this returns
+    /// `None`.
+    #[must_use]
+    pub fn would_shed(
+        &self,
+        now_us: u64,
+        queries: usize,
+        deadline_us: u64,
+        priority: Priority,
+    ) -> Option<ShedReason> {
+        if !self.shed {
+            return None;
+        }
+        if deadline_us != NO_DEADLINE {
+            let slack_us = deadline_us.saturating_sub(now_us);
+            if slack_us < self.service_estimate_us {
+                return Some(ShedReason::DeadlineInfeasible {
+                    slack_us,
+                    needed_us: self.service_estimate_us,
+                });
+            }
+        }
+        let bound = self.bound_of(priority);
+        if self.occupancy.saturating_add(queries) > bound {
+            return Some(ShedReason::QueueFull {
+                occupancy: self.occupancy,
+                bound,
+            });
+        }
+        None
+    }
+
+    /// Decides on a request of `queries` queries at tick `now_us`. On
+    /// admission the queries join the occupancy count (released by
+    /// [`AdmissionController::release`] at completion); on refusal nothing
+    /// changes except the shed counter, and the error carries the reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Shed`] when the request is refused.
+    pub fn try_admit(
+        &mut self,
+        now_us: u64,
+        queries: usize,
+        deadline_us: u64,
+        priority: Priority,
+    ) -> Result<(), ServeError> {
+        if let Some(reason) = self.would_shed(now_us, queries, deadline_us, priority) {
+            self.shed_counts[priority.index()] += 1;
+            return Err(ServeError::Shed { reason, priority });
+        }
+        self.occupancy += queries;
+        self.max_occupancy = self.max_occupancy.max(self.occupancy);
+        self.admitted[priority.index()] += 1;
+        Ok(())
+    }
+
+    /// Returns `queries` completed queries to the occupancy budget.
+    pub fn release(&mut self, queries: usize) {
+        debug_assert!(queries <= self.occupancy, "released more than admitted");
+        self.occupancy = self.occupancy.saturating_sub(queries);
+    }
+}
+
+/// The batcher close deadline of an admitted request: the earlier of the
+/// batching delay (`arrival + max_delay`) and the latest instant the batch can
+/// close and still finish inside the request's deadline
+/// (`deadline - service_estimate`), clamped to the arrival tick so it never
+/// lies in the past. For an admitted request this is always `<= deadline_us` —
+/// admission already guaranteed `arrival + service_estimate <= deadline` — so
+/// a request's batch deadline can never outlive the request's own.
+#[must_use]
+pub fn batcher_close_by(
+    arrival_us: u64,
+    max_delay_us: u64,
+    deadline_us: u64,
+    service_estimate_us: u64,
+) -> u64 {
+    let by_delay = arrival_us.saturating_add(max_delay_us);
+    if deadline_us == NO_DEADLINE {
+        return by_delay;
+    }
+    let by_slo = deadline_us.saturating_sub(service_estimate_us);
+    by_delay.min(by_slo).max(arrival_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo(bound: usize, estimate_us: u64) -> SloConfig {
+        SloConfig {
+            queue_bound: bound,
+            service_estimate_us: estimate_us,
+            shed: true,
+            ..SloConfig::default()
+        }
+    }
+
+    #[test]
+    fn watermarks_are_nested_and_high_is_the_full_bound() {
+        let c = AdmissionController::new(&slo(100, 0));
+        assert_eq!(c.bound_of(Priority::Low), 50);
+        assert_eq!(c.bound_of(Priority::Standard), 75);
+        assert_eq!(c.bound_of(Priority::High), 100);
+        // Non-multiple-of-100 bounds still scale without overflow.
+        let c = AdmissionController::new(&slo(7, 0));
+        assert!(c.bound_of(Priority::Low) <= c.bound_of(Priority::Standard));
+        assert!(c.bound_of(Priority::Standard) <= c.bound_of(Priority::High));
+        assert_eq!(c.bound_of(Priority::High), 7);
+    }
+
+    #[test]
+    fn occupancy_gates_admission_and_release_reopens_it() {
+        let mut c = AdmissionController::new(&slo(4, 0));
+        assert!(c.try_admit(0, 4, NO_DEADLINE, Priority::High).is_ok());
+        let err = c
+            .try_admit(1, 1, NO_DEADLINE, Priority::High)
+            .expect_err("full");
+        assert!(err.is_shed());
+        assert_eq!(c.total_shed(), 1);
+        c.release(2);
+        assert!(c.try_admit(2, 2, NO_DEADLINE, Priority::High).is_ok());
+        assert_eq!(c.max_occupancy(), 4);
+    }
+
+    #[test]
+    fn exhausted_deadline_budget_is_shed_regardless_of_priority() {
+        let mut c = AdmissionController::new(&slo(100, 500));
+        // 400us of slack against a 500us estimate: infeasible.
+        let err = c.try_admit(1_000, 1, 1_400, Priority::High).unwrap_err();
+        match err {
+            ServeError::Shed {
+                reason: ShedReason::DeadlineInfeasible { slack_us, .. },
+                ..
+            } => assert_eq!(slack_us, 400),
+            other => panic!("expected a deadline shed, got {other}"),
+        }
+        // 500us of slack exactly: feasible.
+        assert!(c.try_admit(1_000, 1, 1_500, Priority::High).is_ok());
+        // No deadline: never infeasible.
+        assert!(c.try_admit(1_000, 1, NO_DEADLINE, Priority::Low).is_ok());
+    }
+
+    #[test]
+    fn shedding_disabled_admits_everything() {
+        let mut c = AdmissionController::new(&SloConfig::default());
+        for i in 0..10_000 {
+            assert!(c.try_admit(i, 1, 0, Priority::Low).is_ok());
+        }
+        assert_eq!(c.occupancy(), 10_000);
+        assert_eq!(c.total_shed(), 0);
+    }
+
+    #[test]
+    fn close_by_respects_both_the_delay_and_the_slo() {
+        // Slack-rich request: the batching delay wins.
+        assert_eq!(batcher_close_by(100, 50, 10_000, 200), 150);
+        // Tight request: the SLO budget wins.
+        assert_eq!(batcher_close_by(100, 5_000, 1_000, 200), 800);
+        // Degenerate slack clamps to the arrival, never the past.
+        assert_eq!(batcher_close_by(100, 5_000, 150, 200), 100);
+        // No deadline: plain max_delay semantics.
+        assert_eq!(batcher_close_by(100, 50, NO_DEADLINE, 200), 150);
+    }
+}

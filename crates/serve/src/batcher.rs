@@ -4,8 +4,13 @@
 //! Online requests arrive one at a time but the engine amortizes its collectives
 //! over batches, so a batcher sits between them: requests queue until either the
 //! batch is **full** (`max_batch`, the size trigger — throughput path) or the
-//! **oldest** queued request has waited `max_delay` (the deadline trigger —
-//! latency floor under trickle traffic).
+//! **earliest close deadline** among queued requests has passed (the deadline
+//! trigger — latency floor under trickle traffic). [`MicroBatcher::push`] gives
+//! every request the default close deadline `arrival + max_delay`, so the
+//! trigger reduces to "the oldest request has waited `max_delay`";
+//! [`MicroBatcher::push_by`] lets the admission controller tighten a request's
+//! close deadline from its SLO budget, so a deadline-carrying request is never
+//! held longer than its slack allows.
 //!
 //! The batcher is pure data + virtual time (microsecond ticks supplied by the
 //! caller), so its trigger semantics are directly property-testable; the serving
@@ -37,10 +42,10 @@ impl BatcherConfig {
     }
 }
 
-/// A queued request and its arrival tick.
+/// A queued request, its arrival tick and its close deadline.
 #[derive(Debug, Clone)]
 struct Pending<T> {
-    arrival_us: u64,
+    close_by_us: u64,
     item: T,
 }
 
@@ -95,13 +100,22 @@ impl<T> MicroBatcher<T> {
         self.deadline_closes
     }
 
-    /// Admits a request at tick `now_us`. Returns the closed batch (FIFO order)
-    /// when the admission fills it to `max_batch`.
+    /// Admits a request at tick `now_us` with the default close deadline
+    /// `now_us + max_delay_us`. Returns the closed batch (FIFO order) when the
+    /// admission fills it to `max_batch`.
     pub fn push(&mut self, now_us: u64, item: T) -> Option<Vec<T>> {
-        self.queue.push(Pending {
-            arrival_us: now_us,
-            item,
-        });
+        let close_by_us = now_us.saturating_add(self.config.max_delay_us);
+        self.push_by(close_by_us, item)
+    }
+
+    /// Admits a request with an explicit close deadline: the deadline trigger
+    /// fires no later than `close_by_us` while this request is queued. The
+    /// admission controller derives `close_by_us` from the request's SLO
+    /// deadline minus its service estimate, so an admitted request's batch
+    /// always closes with enough slack to finish in time. Returns the closed
+    /// batch (FIFO order) on a size close.
+    pub fn push_by(&mut self, close_by_us: u64, item: T) -> Option<Vec<T>> {
+        self.queue.push(Pending { close_by_us, item });
         if self.queue.len() >= self.config.max_batch {
             self.size_closes += 1;
             return Some(self.drain());
@@ -109,23 +123,22 @@ impl<T> MicroBatcher<T> {
         None
     }
 
-    /// Fires the deadline trigger: returns the queued batch if the oldest
-    /// request has waited at least `max_delay_us` by tick `now_us`.
+    /// Fires the deadline trigger: returns the queued batch if any queued
+    /// request's close deadline has arrived by tick `now_us`.
     pub fn poll(&mut self, now_us: u64) -> Option<Vec<T>> {
-        let oldest = self.queue.first()?.arrival_us;
-        if now_us.saturating_sub(oldest) >= self.config.max_delay_us {
+        let earliest = self.next_deadline_us()?;
+        if now_us >= earliest {
             self.deadline_closes += 1;
             return Some(self.drain());
         }
         None
     }
 
-    /// The tick at which [`MicroBatcher::poll`] will fire, if anything is queued.
+    /// The tick at which [`MicroBatcher::poll`] will fire — the earliest close
+    /// deadline over the queue — if anything is queued.
     #[must_use]
     pub fn next_deadline_us(&self) -> Option<u64> {
-        self.queue
-            .first()
-            .map(|p| p.arrival_us + self.config.max_delay_us)
+        self.queue.iter().map(|p| p.close_by_us).min()
     }
 
     /// Closes whatever is queued regardless of triggers (stream shutdown).
@@ -193,5 +206,28 @@ mod tests {
     #[should_panic(expected = "max_batch")]
     fn zero_batch_size_is_rejected() {
         let _ = BatcherConfig::new(0, 10);
+    }
+
+    #[test]
+    fn explicit_close_deadline_tightens_the_trigger() {
+        let mut b = batcher(8, 1_000);
+        // A default push at t=0 would close at 1000; an SLO-constrained request
+        // arriving later but closing at 300 pulls the trigger forward.
+        let _ = b.push(0, 1);
+        let _ = b.push_by(300, 2);
+        assert_eq!(b.next_deadline_us(), Some(300));
+        assert!(b.poll(299).is_none());
+        let batch = b.poll(300).expect("tight deadline fires");
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(b.deadline_closes(), 1);
+    }
+
+    #[test]
+    fn close_deadlines_need_not_be_monotone() {
+        let mut b = batcher(8, 1_000);
+        let _ = b.push_by(500, 1);
+        let _ = b.push_by(100, 2); // later arrival, earlier close
+        assert_eq!(b.next_deadline_us(), Some(100));
+        assert_eq!(b.poll(100), Some(vec![1, 2]));
     }
 }

@@ -359,7 +359,7 @@ fn build_rank_model(
         num_units,
     );
     load_params(&mut dense, &snapshot.dense_params)?;
-    let cache = HotRowCache::new(config.cache_rows, n);
+    let cache = HotRowCache::new(config.batch.cache_rows, n);
     match snapshot.mode {
         ExecutionMode::Baseline => {
             let answerer = ReplicatedAnswerer::new(
@@ -367,7 +367,7 @@ fn build_rank_model(
                 &snapshot.tables,
                 cluster.world_size(),
                 rank,
-                config.replicas,
+                config.resilience.replicas,
                 cluster.gpus_per_host(),
             )?;
             Ok(RankModel::Baseline(Box::new(BaselineRank {
@@ -416,7 +416,7 @@ fn build_rank_model(
 }
 
 /// Feature-major bag views over a contiguous query slice.
-fn bags_of(queries: &[Query], features: &[usize]) -> Vec<Vec<Vec<usize>>> {
+pub(crate) fn bags_of(queries: &[Query], features: &[usize]) -> Vec<Vec<Vec<usize>>> {
     features
         .iter()
         .map(|&f| queries.iter().map(|q| q.sparse[f].clone()).collect())
@@ -424,7 +424,7 @@ fn bags_of(queries: &[Query], features: &[usize]) -> Vec<Vec<Vec<usize>>> {
 }
 
 /// Row-major flattened dense features of a query slice.
-fn dense_flat(queries: &[Query]) -> Vec<f32> {
+pub(crate) fn dense_flat(queries: &[Query]) -> Vec<f32> {
     queries
         .iter()
         .flat_map(|q| q.dense.iter().copied())
@@ -984,16 +984,16 @@ impl ServingEngine {
                 reason: "snapshot tower weights do not cover every tower".into(),
             });
         }
-        if config.replicas > 0 && snapshot.mode == ExecutionMode::Dmt {
+        if config.resilience.replicas > 0 && snapshot.mode == ExecutionMode::Dmt {
             return Err(ServeError::Config {
                 reason: "shard replication supports baseline serving only".into(),
             });
         }
-        if config.replicas >= cluster.world_size() {
+        if config.resilience.replicas >= cluster.world_size() {
             return Err(ServeError::Config {
                 reason: format!(
                     "{} replicas need more than the {} ranks available",
-                    config.replicas,
+                    config.resilience.replicas,
                     cluster.world_size()
                 ),
             });
@@ -1010,7 +1010,12 @@ impl ServingEngine {
                 RankModel::Dmt(_) => 0,
             })
             .sum();
-        let worlds = build_worlds(cluster, config.fabric, config.op_timeout, &config.faults);
+        let worlds = build_worlds(
+            cluster,
+            config.fabric,
+            config.resilience.op_timeout,
+            &config.resilience.faults,
+        );
         let controls = worlds
             .iter()
             .map(|w| WorldControls {
@@ -1020,11 +1025,11 @@ impl ServingEngine {
             })
             .collect();
         let policy = FaultPolicy {
-            max_retries: config.max_retries,
-            retry_backoff: config.retry_backoff,
-            down_after: config.down_after,
-            degraded: config.degraded,
-            replicas: config.replicas,
+            max_retries: config.resilience.max_retries,
+            retry_backoff: config.resilience.retry_backoff,
+            down_after: config.resilience.down_after,
+            degraded: config.resilience.degraded,
+            replicas: config.resilience.replicas,
         };
         let (reply_tx, replies) = std::sync::mpsc::channel();
         let mut senders = Vec::with_capacity(models.len());
@@ -1051,8 +1056,8 @@ impl ServingEngine {
             },
             poisoned: false,
             dead: vec![false; cluster.world_size()],
-            profile: config.faults.clone(),
-            probe_every: config.probe_every_batches,
+            profile: config.resilience.faults.clone(),
+            probe_every: config.resilience.probe_every_batches,
             submits: 0,
             can_recover: snapshot.mode == ExecutionMode::Baseline,
         })

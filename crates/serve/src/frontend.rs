@@ -1,27 +1,40 @@
-//! The serving frontend: drives a query stream through the admission batcher and
-//! the engine, recording per-request latency.
+//! The colocated-engine frontend: drives a query stream through a micro-batcher
+//! and the synchronous [`ServingEngine`], recording per-request latency.
+//!
+//! This is a thin wrapper over the load-harness vocabulary ([`crate::harness`]):
+//! arrival instants come from an [`ArrivalProcess`] schedule and throughput is
+//! a [`ThroughputWindow`], so a [`ServeReport`] and a
+//! [`crate::LoadReport`] quote rates and percentiles identically.
 //!
 //! Two traffic modes cover the interesting operating points:
 //!
-//! * **Closed loop** (`inter_arrival_us == 0`) — the next request is admitted the
-//!   moment the batcher can take it, so the engine runs saturated and batches
-//!   close on the **size** trigger. Latency = batch assembly + collective forward;
-//!   this is the throughput measurement mode.
-//! * **Open loop** (`inter_arrival_us > 0`) — requests arrive on a fixed schedule
-//!   (one every `inter_arrival_us`); under trickle traffic the **deadline**
-//!   trigger closes partial batches, bounding tail latency the way an online
-//!   system must. Latency includes real queueing.
+//! * **Closed loop** (`inter_arrival_us == 0`) — the next request is admitted
+//!   the moment the batcher can take it, so the engine runs saturated and
+//!   batches close on the **size** trigger. This is the throughput measurement
+//!   mode, and its latency numbers are **arrival-coordinated**: the driver
+//!   blocks in `submit`, arrivals pause while the engine works, and no open
+//!   queue ever builds, so the percentiles describe batch assembly + service
+//!   time — *not* what an independent arrival stream would experience. Use the
+//!   staged engine's open-loop harness ([`crate::run_load`]) for
+//!   SLO-meaningful latency.
+//! * **Paced** (`inter_arrival_us > 0`) — requests arrive on a fixed schedule;
+//!   under trickle traffic the **deadline** trigger closes partial batches,
+//!   bounding tail latency the way an online system must. Latency is measured
+//!   from the *scheduled* arrival instant (sojourn-style, queueing included),
+//!   but because this driver still blocks in `submit`, a schedule it cannot
+//!   keep up with degrades into the closed-loop regime rather than building an
+//!   open queue.
 //!
-//! Per-request latency is measured from admission to batch completion and
-//! summarized with the shared nearest-rank percentile helper
-//! ([`dmt_metrics::LatencyPercentiles`]) — the same code path the trainer uses
-//! for iteration wall times.
+//! Per-request latency is summarized with the shared nearest-rank percentile
+//! helper ([`dmt_metrics::LatencyPercentiles`]) — the same code path the
+//! trainer uses for iteration wall times.
 
-use crate::batcher::{BatcherConfig, MicroBatcher};
+use crate::batcher::MicroBatcher;
 use crate::engine::{ServeStats, ServingEngine};
-use crate::ServeError;
+use crate::harness::ArrivalProcess;
+use crate::{BatcherConfig, ServeError};
 use dmt_data::Query;
-use dmt_metrics::LatencyPercentiles;
+use dmt_metrics::{LatencyPercentiles, ThroughputWindow};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -30,10 +43,25 @@ use std::time::Instant;
 pub struct StreamConfig {
     /// Requests to serve.
     pub num_requests: usize,
-    /// Open-loop inter-arrival gap in microseconds; 0 = closed loop (saturated).
+    /// Paced inter-arrival gap in microseconds; 0 = closed loop (saturated).
     pub inter_arrival_us: u64,
     /// Batch-close policy.
     pub batcher: BatcherConfig,
+}
+
+impl StreamConfig {
+    /// This stream's arrival discipline in the load harness's vocabulary: a
+    /// single always-busy client when closed, a periodic schedule when paced.
+    #[must_use]
+    pub fn arrivals(&self) -> ArrivalProcess {
+        if self.inter_arrival_us == 0 {
+            ArrivalProcess::Closed { clients: 1 }
+        } else {
+            ArrivalProcess::Periodic {
+                qps: 1e6 / self.inter_arrival_us as f64,
+            }
+        }
+    }
 }
 
 /// The outcome of serving one query stream.
@@ -45,7 +73,8 @@ pub struct ServeReport {
     pub wall_s: f64,
     /// Served requests per second.
     pub throughput_qps: f64,
-    /// Per-request latency summary, in seconds (admission → completion).
+    /// Per-request latency summary, in seconds (scheduled arrival →
+    /// completion; see the module docs for what each mode's numbers mean).
     pub latency: LatencyPercentiles,
     /// Batches closed by the size trigger.
     pub size_closes: u64,
@@ -66,6 +95,12 @@ impl ServeReport {
         }
         self.requests as f64 / self.stats.batches as f64
     }
+
+    /// The stream's throughput as the shared counted-window form.
+    #[must_use]
+    pub fn window(&self) -> ThroughputWindow {
+        ThroughputWindow::new(self.requests, self.wall_s)
+    }
 }
 
 /// Serves `config.num_requests` queries drawn from `next_query` through
@@ -80,6 +115,8 @@ pub fn serve_stream(
     config: &StreamConfig,
     mut next_query: impl FnMut() -> Query,
 ) -> Result<ServeReport, ServeError> {
+    let schedule = config.arrivals().schedule(config.num_requests);
+    let closed_loop = config.inter_arrival_us == 0;
     let start = Instant::now();
     let stats_before = engine.stats();
     let mut batcher: MicroBatcher<(u64, Query)> = MicroBatcher::new(config.batcher);
@@ -103,23 +140,20 @@ pub fn serve_stream(
     };
 
     while admitted < config.num_requests || !batcher.is_empty() {
-        // Admit every request whose (scheduled) arrival has passed. In closed
-        // loop mode the schedule is "immediately", so the batcher fills straight
-        // to its size trigger.
+        // Admit every request whose scheduled arrival has passed. In closed
+        // loop mode the schedule is "immediately", so the batcher fills
+        // straight to its size trigger.
         let mut closed: Option<Vec<(u64, Query)>> = None;
         while admitted < config.num_requests {
-            let scheduled_us = admitted as u64 * config.inter_arrival_us;
+            let scheduled_us = schedule[admitted];
             let now = now_us(&start);
             if scheduled_us > now {
                 break;
             }
-            // Arrival is the scheduled instant: a request that waited for the
-            // engine to drain the queue ahead of it has been latent since then.
-            let arrival_us = if config.inter_arrival_us == 0 {
-                now
-            } else {
-                scheduled_us
-            };
+            // Paced mode anchors latency to the scheduled instant: a request
+            // that waited for the engine to drain the queue ahead of it has
+            // been latent since then.
+            let arrival_us = if closed_loop { now } else { scheduled_us };
             admitted += 1;
             closed = batcher.push(arrival_us, (arrival_us, next_query()));
             if closed.is_some() {
@@ -143,8 +177,7 @@ pub fn serve_stream(
             }
             continue;
         }
-        let next_arrival_us = admitted as u64 * config.inter_arrival_us;
-        let mut wake_us = next_arrival_us;
+        let mut wake_us = schedule[admitted];
         if let Some(deadline) = batcher.next_deadline_us() {
             wake_us = wake_us.min(deadline);
         }
@@ -154,12 +187,12 @@ pub fn serve_stream(
         }
     }
 
-    let wall_s = start.elapsed().as_secs_f64();
+    let window = ThroughputWindow::new(latencies_s.len(), start.elapsed().as_secs_f64());
     let stats_after = engine.stats();
     Ok(ServeReport {
-        requests: latencies_s.len(),
-        wall_s,
-        throughput_qps: latencies_s.len() as f64 / wall_s.max(1e-12),
+        requests: window.count,
+        wall_s: window.wall_s,
+        throughput_qps: window.per_second(),
         latency: LatencyPercentiles::of(&latencies_s).unwrap_or(LatencyPercentiles {
             count: 0,
             p50: 0.0,

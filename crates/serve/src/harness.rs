@@ -1,0 +1,499 @@
+//! The open-loop load harness: controlled arrival processes, sojourn-time
+//! latency, and rate sweeps for capacity-under-SLO measurement.
+//!
+//! A load generator's arrival discipline decides what its latency numbers
+//! mean. A **closed-loop** driver only offers the next request after an
+//! earlier one completes, so the arrival rate adapts to the system under test
+//! and queueing delay never accumulates — its percentiles describe service
+//! time at the generator's pace, not what independent users would see (the
+//! classic *coordinated omission* trap). An **open-loop** driver commits to an
+//! arrival schedule up front and offers on schedule no matter how the system
+//! is doing; latency is **sojourn time** — scheduled arrival to completion,
+//! queueing included — which is the quantity an SLO constrains.
+//!
+//! [`run_load`] drives a [`StagedEngine`] with either discipline:
+//!
+//! * [`ArrivalProcess::Poisson`] / [`ArrivalProcess::Periodic`] — open loop at
+//!   a controlled offered rate. The schedule is precomputed and deadlines are
+//!   anchored to *scheduled* arrivals, so a driver that falls behind cannot
+//!   silently relax the measurement.
+//! * [`ArrivalProcess::Closed`] — a fixed number of always-busy clients; the
+//!   saturation-throughput probe that anchors a sweep's rate grid.
+//!
+//! [`sweep_rates`] runs one fresh engine per offered rate and
+//! [`max_qps_under_slo`] reads the capacity off the sweep: the highest offered
+//! rate whose admitted-traffic p99 sojourn still meets the SLO — the serving
+//! capacity number `bench_slo` reports and CI gates.
+
+use crate::request::{Priority, Request, NO_DEADLINE};
+use crate::stage::{CompletedRequest, StagedEngine};
+use crate::ServeError;
+use dmt_data::Query;
+use dmt_metrics::{LatencyPercentiles, ThroughputWindow};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// How a harness run gives up on a wedged pipeline instead of spinning
+/// forever: no run is allowed to outlive this wall-clock budget.
+const HARNESS_STALL_LIMIT: Duration = Duration::from_secs(300);
+
+/// The arrival discipline of one load run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed loop: `clients` always-busy virtual users, each offering its
+    /// next request as soon as one of its outstanding ones completes. Measures
+    /// saturation throughput; its latency excludes open-queue waiting by
+    /// construction.
+    Closed {
+        /// Concurrent in-flight requests the driver maintains.
+        clients: usize,
+    },
+    /// Open loop, deterministic schedule: one arrival every `1/qps` seconds.
+    Periodic {
+        /// Offered arrival rate, requests per second.
+        qps: f64,
+    },
+    /// Open loop, memoryless schedule: exponential inter-arrival gaps with
+    /// mean `1/qps`, from a seeded generator (runs are reproducible).
+    Poisson {
+        /// Offered arrival rate, requests per second.
+        qps: f64,
+        /// Seed of the gap sequence.
+        seed: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The same discipline re-rated to `qps` (closed loops are rate-free and
+    /// pass through unchanged) — how a sweep walks one process over its grid.
+    #[must_use]
+    pub fn at_qps(self, qps: f64) -> Self {
+        match self {
+            ArrivalProcess::Closed { clients } => ArrivalProcess::Closed { clients },
+            ArrivalProcess::Periodic { .. } => ArrivalProcess::Periodic { qps },
+            ArrivalProcess::Poisson { seed, .. } => ArrivalProcess::Poisson { qps, seed },
+        }
+    }
+
+    /// The first `n` arrival offsets in microseconds from the run's start.
+    /// Closed loops have no schedule (arrivals are completion-driven) and
+    /// return all zeros.
+    #[must_use]
+    pub fn schedule(&self, n: usize) -> Vec<u64> {
+        match *self {
+            ArrivalProcess::Closed { .. } => vec![0; n],
+            ArrivalProcess::Periodic { qps } => {
+                let gap_us = 1e6 / qps.max(f64::MIN_POSITIVE);
+                (0..n).map(|i| (i as f64 * gap_us) as u64).collect()
+            }
+            ArrivalProcess::Poisson { qps, seed } => {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mean_gap_us = 1e6 / qps.max(f64::MIN_POSITIVE);
+                let mut at = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        let tick = at as u64;
+                        // Inverse-CDF exponential gap; 1-U keeps ln() finite.
+                        let u: f64 = 1.0 - rng.gen::<f64>();
+                        at += -u.ln() * mean_gap_us;
+                        tick
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One load run's traffic description.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Requests to offer.
+    pub requests: usize,
+    /// Arrival discipline.
+    pub arrivals: ArrivalProcess,
+    /// Per-request completion budget in microseconds, anchored to the
+    /// scheduled arrival ([`NO_DEADLINE`] = none).
+    pub deadline_us: u64,
+    /// Percent of requests offered at [`Priority::Low`].
+    pub low_percent: u32,
+    /// Percent of requests offered at [`Priority::High`] (the remainder is
+    /// [`Priority::Standard`]).
+    pub high_percent: u32,
+}
+
+impl LoadConfig {
+    /// `requests` all-Standard requests with no deadline under `arrivals`.
+    #[must_use]
+    pub fn new(requests: usize, arrivals: ArrivalProcess) -> Self {
+        Self {
+            requests,
+            arrivals,
+            deadline_us: NO_DEADLINE,
+            low_percent: 0,
+            high_percent: 0,
+        }
+    }
+
+    /// Sets the per-request deadline budget (microseconds after scheduled
+    /// arrival).
+    #[must_use]
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = deadline_us;
+        self
+    }
+
+    /// Sets the priority mix (percent low, percent high; the rest standard).
+    #[must_use]
+    pub fn with_mix(mut self, low_percent: u32, high_percent: u32) -> Self {
+        assert!(
+            low_percent + high_percent <= 100,
+            "priority mix exceeds 100%"
+        );
+        self.low_percent = low_percent;
+        self.high_percent = high_percent;
+        self
+    }
+
+    /// The deterministic priority class of request `i` under this mix —
+    /// classes interleave through the stream instead of clustering, so every
+    /// window of traffic carries the configured blend.
+    #[must_use]
+    pub fn priority_of(&self, i: usize) -> Priority {
+        // 61 is coprime with 100: the residues cycle through all of 0..100.
+        let r = u32::try_from((i as u64 * 61) % 100).expect("residue < 100");
+        if r < self.low_percent {
+            Priority::Low
+        } else if r < self.low_percent + self.high_percent {
+            Priority::High
+        } else {
+            Priority::Standard
+        }
+    }
+}
+
+/// The outcome of one load run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Requests offered (admitted + shed).
+    pub offered: usize,
+    /// Requests past admission.
+    pub admitted: usize,
+    /// Requests completed (equals `admitted` on a clean run).
+    pub completed: usize,
+    /// Requests shed, per priority class (index = `Priority::index`).
+    pub shed_by_class: [u64; 3],
+    /// Offered arrival rate actually realized, requests/second.
+    pub offered_qps: f64,
+    /// Completed-request throughput over the run's wall window.
+    pub rate: ThroughputWindow,
+    /// Sojourn time of *admitted* traffic, seconds: scheduled arrival →
+    /// completion, queueing included.
+    pub sojourn: LatencyPercentiles,
+    /// Admitted requests that completed after their deadline. Under a
+    /// correctly-provisioned admission policy this stays 0 — infeasible
+    /// requests are shed up front instead.
+    pub deadline_misses: u64,
+    /// The engine's accounting over the run.
+    pub stats: crate::stage::StageStats,
+}
+
+impl LoadReport {
+    /// Completed requests per second.
+    #[must_use]
+    pub fn completed_qps(&self) -> f64 {
+        self.rate.per_second()
+    }
+
+    /// Requests shed, all classes.
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.shed_by_class.iter().sum()
+    }
+
+    /// The fraction of offered requests that were shed.
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.total_shed() as f64 / self.offered as f64
+    }
+}
+
+/// Drives `config.requests` requests from `next_queries` through `engine`
+/// under the configured arrival discipline and reports sojourn percentiles,
+/// throughput and shedding.
+///
+/// Open-loop runs anchor both deadlines and sojourn measurement to the
+/// *scheduled* arrival instants, so a driver that falls behind the schedule
+/// inflates the recorded latency rather than hiding it (no coordinated
+/// omission). Closed-loop runs anchor to the actual offer instants.
+///
+/// # Errors
+///
+/// Surfaces pipeline failures; shed requests are counted, not errors.
+pub fn run_load(
+    engine: &mut StagedEngine,
+    config: &LoadConfig,
+    mut next_queries: impl FnMut() -> Vec<Query>,
+) -> Result<LoadReport, ServeError> {
+    let schedule = config.arrivals.schedule(config.requests);
+    let clients = match config.arrivals {
+        ArrivalProcess::Closed { clients } => Some(clients.max(1)),
+        _ => None,
+    };
+    let base = engine.now_us();
+    let stall_by =
+        base.saturating_add(u64::try_from(HARNESS_STALL_LIMIT.as_micros()).unwrap_or(u64::MAX));
+    let mut anchor_of: HashMap<u64, u64> = HashMap::with_capacity(config.requests);
+    let mut completions: Vec<CompletedRequest> = Vec::with_capacity(config.requests);
+    let mut shed_by_class = [0u64; 3];
+    let mut admitted = 0usize;
+
+    for (i, offset) in schedule.iter().enumerate() {
+        let scheduled = base + offset;
+        // Wait for the request's turn: its scheduled instant (open loop) or a
+        // free client slot (closed loop), harvesting completions meanwhile.
+        loop {
+            engine.pump()?;
+            completions.append(&mut engine.drain()?);
+            let now = engine.now_us();
+            if now > stall_by {
+                return Err(stalled(admitted, completions.len()));
+            }
+            match clients {
+                Some(cap) => {
+                    if admitted - completions.len() < cap {
+                        break;
+                    }
+                }
+                None => {
+                    if now >= scheduled {
+                        break;
+                    }
+                }
+            }
+            let wake = match clients {
+                Some(_) => now + 100,
+                None => scheduled.min(engine.next_close_us().unwrap_or(u64::MAX)),
+            };
+            if wake > now {
+                std::thread::sleep(Duration::from_micros((wake - now).min(200)));
+            }
+        }
+        // Deadlines anchor to the schedule, not to when the driver got here.
+        let anchor = if clients.is_some() {
+            engine.now_us()
+        } else {
+            scheduled
+        };
+        let deadline = if config.deadline_us == NO_DEADLINE {
+            NO_DEADLINE
+        } else {
+            anchor.saturating_add(config.deadline_us)
+        };
+        let priority = config.priority_of(i);
+        let request = Request::new(next_queries())
+            .with_deadline_us(deadline)
+            .with_priority(priority);
+        match engine.offer(request) {
+            Ok(seq) => {
+                anchor_of.insert(seq, anchor);
+                admitted += 1;
+            }
+            Err(e) if e.is_shed() => shed_by_class[priority.index()] += 1,
+            Err(e) => return Err(e),
+        }
+    }
+
+    engine.flush()?;
+    while completions.len() < admitted {
+        engine.pump()?;
+        completions.append(&mut engine.drain()?);
+        if engine.now_us() > stall_by {
+            return Err(stalled(admitted, completions.len()));
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let wall_s = (engine.now_us() - base) as f64 * 1e-6;
+    let sojourns_s: Vec<f64> = completions
+        .iter()
+        .map(|c| {
+            let anchor = anchor_of.get(&c.seq).copied().unwrap_or(c.arrival_us);
+            c.done_us.saturating_sub(anchor) as f64 * 1e-6
+        })
+        .collect();
+    let deadline_misses = completions.iter().filter(|c| !c.met_deadline()).count() as u64;
+    Ok(LoadReport {
+        offered: config.requests,
+        admitted,
+        completed: completions.len(),
+        shed_by_class,
+        offered_qps: config.requests as f64 / wall_s.max(1e-12),
+        rate: ThroughputWindow::new(completions.len(), wall_s),
+        sojourn: LatencyPercentiles::of(&sojourns_s).unwrap_or(ZERO_LATENCY),
+        deadline_misses,
+        stats: engine.stats(),
+    })
+}
+
+/// All-zero percentiles for an empty run (every request shed).
+const ZERO_LATENCY: LatencyPercentiles = LatencyPercentiles {
+    count: 0,
+    p50: 0.0,
+    p95: 0.0,
+    p99: 0.0,
+    mean: 0.0,
+    min: 0.0,
+    max: 0.0,
+};
+
+fn stalled(admitted: usize, completed: usize) -> ServeError {
+    ServeError::Rank {
+        rank: 0,
+        message: format!(
+            "load harness stalled: {completed} of {admitted} admitted requests completed \
+             within the stall limit"
+        ),
+    }
+}
+
+/// Runs one fresh engine per offered rate (`template.arrivals` re-rated via
+/// [`ArrivalProcess::at_qps`]) — the latency-vs-throughput sweep. Engines are
+/// rebuilt per point so no queue state or accounting leaks across rates.
+///
+/// # Errors
+///
+/// Surfaces the first engine-construction or pipeline failure.
+pub fn sweep_rates<E, S, Q>(
+    rates_qps: &[f64],
+    template: &LoadConfig,
+    mut engine_for: E,
+    mut stream_for: S,
+) -> Result<Vec<LoadReport>, ServeError>
+where
+    E: FnMut() -> Result<StagedEngine, ServeError>,
+    S: FnMut() -> Q,
+    Q: FnMut() -> Vec<Query>,
+{
+    rates_qps
+        .iter()
+        .map(|&qps| {
+            let mut engine = engine_for()?;
+            let config = LoadConfig {
+                arrivals: template.arrivals.at_qps(qps),
+                ..template.clone()
+            };
+            run_load(&mut engine, &config, stream_for())
+        })
+        .collect()
+}
+
+/// Reads the serving capacity off a sweep: the highest *offered* rate whose
+/// admitted-traffic p99 sojourn meets `p99_slo_s`. `None` if no point does.
+#[must_use]
+pub fn max_qps_under_slo(reports: &[LoadReport], p99_slo_s: f64) -> Option<f64> {
+    reports
+        .iter()
+        .filter(|r| r.completed > 0 && r.sojourn.p99 <= p99_slo_s)
+        .map(|r| r.offered_qps)
+        .fold(None, |best, qps| {
+            Some(best.map_or(qps, |b: f64| b.max(qps)))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_schedule_is_evenly_spaced() {
+        let s = ArrivalProcess::Periodic { qps: 1000.0 }.schedule(4);
+        assert_eq!(s, vec![0, 1000, 2000, 3000]);
+    }
+
+    #[test]
+    fn poisson_schedule_is_reproducible_and_rate_matched() {
+        let p = ArrivalProcess::Poisson {
+            qps: 10_000.0,
+            seed: 7,
+        };
+        let a = p.schedule(2_000);
+        let b = p.schedule(2_000);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a[0], 0);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals are ordered");
+        // Mean gap over 2000 draws should land near 100us (1/10k s).
+        let mean_gap = *a.last().unwrap() as f64 / (a.len() - 1) as f64;
+        assert!(
+            (60.0..=140.0).contains(&mean_gap),
+            "mean gap {mean_gap}us far from the 100us target"
+        );
+        // Different seed, different schedule.
+        assert_ne!(
+            ArrivalProcess::Poisson {
+                qps: 10_000.0,
+                seed: 8
+            }
+            .schedule(2_000),
+            a
+        );
+    }
+
+    #[test]
+    fn at_qps_rerates_open_loops_only() {
+        let closed = ArrivalProcess::Closed { clients: 4 }.at_qps(99.0);
+        assert_eq!(closed, ArrivalProcess::Closed { clients: 4 });
+        match (ArrivalProcess::Poisson { qps: 1.0, seed: 3 }).at_qps(50.0) {
+            ArrivalProcess::Poisson { qps, seed } => {
+                assert_eq!(qps, 50.0);
+                assert_eq!(seed, 3);
+            }
+            other => panic!("expected Poisson, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_mix_interleaves_and_matches_percentages() {
+        let config = LoadConfig::new(1_000, ArrivalProcess::Closed { clients: 1 }).with_mix(30, 10);
+        let mut counts = [0usize; 3];
+        for i in 0..1_000 {
+            counts[config.priority_of(i).index()] += 1;
+        }
+        assert_eq!(counts[Priority::Low.index()], 300);
+        assert_eq!(counts[Priority::High.index()], 100);
+        assert_eq!(counts[Priority::Standard.index()], 600);
+        // Interleaved: the first 20 requests already carry more than one class.
+        let head: std::collections::HashSet<_> = (0..20).map(|i| config.priority_of(i)).collect();
+        assert!(head.len() > 1);
+    }
+
+    #[test]
+    fn capacity_reads_the_highest_compliant_rate() {
+        let mk = |qps: f64, p99: f64| LoadReport {
+            offered: 100,
+            admitted: 100,
+            completed: 100,
+            shed_by_class: [0; 3],
+            offered_qps: qps,
+            rate: ThroughputWindow::new(100, 1.0),
+            sojourn: LatencyPercentiles {
+                count: 100,
+                p50: p99 / 2.0,
+                p95: p99,
+                p99,
+                mean: p99 / 2.0,
+                min: 0.0,
+                max: p99,
+            },
+            deadline_misses: 0,
+            stats: crate::stage::StageStats::default(),
+        };
+        let reports = vec![mk(100.0, 0.01), mk(200.0, 0.02), mk(400.0, 0.09)];
+        assert_eq!(max_qps_under_slo(&reports, 0.025), Some(200.0));
+        assert_eq!(max_qps_under_slo(&reports, 0.001), None);
+    }
+}

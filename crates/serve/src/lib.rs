@@ -14,17 +14,29 @@
 //!   sharded lookup, tower-module compression, and only the small tower outputs
 //!   cross hosts.
 //!
-//! Four serving-specific pieces wrap the engine:
+//! On top of the colocated [`ServingEngine`], the crate provides a
+//! **stage-disaggregated** deployment and the SLO machinery around it:
 //!
-//! * [`MicroBatcher`] — admission control with **size** and **deadline** batch
-//!   close triggers (throughput under load, bounded latency under trickle).
+//! * [`StagedEngine`] — embedding-lookup ranks and dense-compute ranks as
+//!   *separate stage pools* with independent world sizes, joined by an explicit
+//!   bounded rate-matching queue (see [`stage`]).
+//! * [`Request`] / [`Priority`] — the deadline- and priority-tagged request
+//!   lifecycle; deadlines flow from admission through the [`MicroBatcher`]'s
+//!   per-item close deadlines to completion.
+//! * [`AdmissionController`] — bounded queue occupancy with nested priority
+//!   watermarks and deadline-budget feasibility; a refused request is a fast,
+//!   observable [`ServeError::Shed`], never a timeout.
+//! * [`harness`] — an open-loop load harness ([`run_load`]): Poisson or
+//!   periodic arrivals at controlled rates, **sojourn-time** latency (queueing
+//!   included), and rate sweeps for max-QPS-under-SLO capacity measurement.
+//! * [`MicroBatcher`] — size- and deadline-triggered batch close.
 //! * [`HotRowCache`] — a per-rank LRU over fetched embedding rows; on the
 //!   Zipf-skewed request streams of `dmt_data::requests` it absorbs most remote
 //!   fetches and its savings show up directly in the wire-byte accounting.
-//! * [`serve_stream`] — the frontend loop: drives a query stream through batcher
-//!   and engine and reports per-request p50/p95/p99 latency
-//!   ([`dmt_metrics::LatencyPercentiles`]), throughput, trigger counts and bytes
-//!   per query.
+//! * [`serve_stream`] — the closed/paced frontend loop over the colocated
+//!   engine, reporting per-request p50/p95/p99 latency
+//!   ([`dmt_metrics::LatencyPercentiles`]) with the same sojourn-time semantics
+//!   as the load harness.
 //! * **Fault tolerance** — [`ReplicatedAnswerer`] keeps `replicas` cross-host
 //!   copies of every embedding shard, [`HealthView`] convicts dead peers from
 //!   consecutive collective timeouts, and the baseline engine retries transient
@@ -58,19 +70,29 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod batcher;
 pub mod cache;
 pub mod engine;
 pub mod frontend;
+pub mod harness;
 pub mod health;
 pub mod replica;
+pub mod request;
+pub mod stage;
 
+pub use admission::{batcher_close_by, AdmissionController};
 pub use batcher::{BatcherConfig, MicroBatcher};
 pub use cache::{CacheStats, HotRowCache};
 pub use engine::{ServeStats, ServingEngine};
 pub use frontend::{serve_stream, ServeReport, StreamConfig};
+pub use harness::{
+    max_qps_under_slo, run_load, sweep_rates, ArrivalProcess, LoadConfig, LoadReport,
+};
 pub use health::HealthView;
 pub use replica::ReplicatedAnswerer;
+pub use request::{Priority, Request, ShedReason, NO_DEADLINE};
+pub use stage::{CompletedRequest, StagePools, StageStats, StagedEngine};
 
 use dmt_comm::{CommError, FabricProfile, FaultProfile};
 use dmt_tensor::TensorError;
@@ -92,15 +114,41 @@ pub enum DegradedPolicy {
     ZeroFill,
 }
 
-/// Configuration of a serving deployment.
-#[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// Cluster the rank worker threads are mapped onto.
-    pub cluster: ClusterTopology,
-    /// Fabric pacing applied to every collective on the query path.
-    pub fabric: FabricProfile,
+/// Micro-batching and hot-row cache policy of a serving deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Size trigger: a batch closes as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Deadline trigger, in microseconds: how long a queued request may wait
+    /// for its batch to fill before the batch closes anyway.
+    pub max_delay_us: u64,
     /// Per-rank hot-row cache capacity in rows (0 disables the cache).
     pub cache_rows: usize,
+}
+
+impl Default for BatchConfig {
+    /// 32-deep batches, a 2ms close deadline and a modest 1024-row cache.
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay_us: 2_000,
+            cache_rows: 1024,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// The batcher policy slice of this config.
+    #[must_use]
+    pub fn batcher(&self) -> BatcherConfig {
+        BatcherConfig::new(self.max_batch, self.max_delay_us)
+    }
+}
+
+/// Fault-tolerance policy of a serving deployment: replication, retries,
+/// health conviction, probing and the degraded-answer fallback.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
     /// Cross-host replicas kept of every embedding shard (0 disables
     /// replication and failover; baseline serving only).
     pub replicas: usize,
@@ -124,16 +172,11 @@ pub struct ServeConfig {
     pub degraded: DegradedPolicy,
 }
 
-impl ServeConfig {
-    /// A configuration over `cluster` with an unthrottled fabric, a modest
-    /// per-rank cache (1024 rows), and fault tolerance disabled: no
-    /// replication, no injected faults, no collective deadline.
-    #[must_use]
-    pub fn new(cluster: ClusterTopology) -> Self {
+impl Default for ResilienceConfig {
+    /// Fault tolerance disabled: no replication, no injected faults, no
+    /// collective deadline, two quick retries.
+    fn default() -> Self {
         Self {
-            cluster,
-            fabric: FabricProfile::unthrottled(),
-            cache_rows: 1024,
             replicas: 0,
             faults: FaultProfile::none(),
             op_timeout: None,
@@ -144,6 +187,77 @@ impl ServeConfig {
             degraded: DegradedPolicy::Error,
         }
     }
+}
+
+/// Deadline, queue-bound and priority policy of a serving deployment — what
+/// the [`AdmissionController`] enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Default per-request completion budget in microseconds, applied by the
+    /// load harness when building requests ([`NO_DEADLINE`] = none).
+    pub deadline_us: u64,
+    /// Queue occupancy bound in *queries* (admitted and not yet completed).
+    /// Priority classes get nested watermarks of this bound
+    /// ([`AdmissionController::bound_of`]).
+    pub queue_bound: usize,
+    /// Admission's estimate of time-to-answer in microseconds: requests whose
+    /// remaining deadline budget is below it are shed as infeasible, and
+    /// batcher close deadlines leave this much slack before the deadline.
+    pub service_estimate_us: u64,
+    /// Whether admission sheds at all; `false` admits everything (the legacy
+    /// behavior) while still tracking occupancy.
+    pub shed: bool,
+    /// Depth, in batches, of the bounded rate-matching queue between the
+    /// lookup stage pool and the dense stage pool of a [`StagedEngine`].
+    pub stage_queue: usize,
+}
+
+impl Default for SloConfig {
+    /// No deadlines, no shedding, a 4096-query occupancy gauge and a 4-batch
+    /// rate-matching queue.
+    fn default() -> Self {
+        Self {
+            deadline_us: NO_DEADLINE,
+            queue_bound: 4_096,
+            service_estimate_us: 0,
+            shed: false,
+            stage_queue: 4,
+        }
+    }
+}
+
+/// Configuration of a serving deployment, grouped into typed sub-configs:
+/// [`BatchConfig`] (batching + cache), [`ResilienceConfig`] (faults, retry,
+/// health, degraded mode) and [`SloConfig`] (deadlines, queue bound,
+/// priorities).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Cluster the rank worker threads are mapped onto.
+    pub cluster: ClusterTopology,
+    /// Fabric pacing applied to every collective on the query path.
+    pub fabric: FabricProfile,
+    /// Micro-batching and hot-row cache policy.
+    pub batch: BatchConfig,
+    /// Fault-tolerance policy.
+    pub resilience: ResilienceConfig,
+    /// Deadline / queue-bound / priority policy.
+    pub slo: SloConfig,
+}
+
+impl ServeConfig {
+    /// A configuration over `cluster` with an unthrottled fabric and every
+    /// sub-config at its default: a modest cache, fault tolerance disabled,
+    /// no deadlines or shedding.
+    #[must_use]
+    pub fn new(cluster: ClusterTopology) -> Self {
+        Self {
+            cluster,
+            fabric: FabricProfile::unthrottled(),
+            batch: BatchConfig::default(),
+            resilience: ResilienceConfig::default(),
+            slo: SloConfig::default(),
+        }
+    }
 
     /// Overrides the fabric profile.
     #[must_use]
@@ -152,70 +266,106 @@ impl ServeConfig {
         self
     }
 
+    /// Replaces the batching/cache sub-config.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Replaces the fault-tolerance sub-config.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Replaces the SLO sub-config.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = slo;
+        self
+    }
+
     /// Overrides the per-rank hot-row cache capacity (0 disables the cache).
+    #[deprecated(note = "set `batch.cache_rows` (see `BatchConfig`) instead")]
     #[must_use]
     pub fn with_cache_rows(mut self, cache_rows: usize) -> Self {
-        self.cache_rows = cache_rows;
+        self.batch.cache_rows = cache_rows;
         self
     }
 
     /// Keeps `replicas` cross-host copies of every embedding shard and fails
     /// lookups over to them when the owner dies (baseline serving only).
+    #[deprecated(note = "set `resilience.replicas` (see `ResilienceConfig`) instead")]
     #[must_use]
     pub fn with_replicas(mut self, replicas: usize) -> Self {
-        self.replicas = replicas;
+        self.resilience.replicas = replicas;
         self
     }
 
     /// Injects a deterministic fault schedule into every rank's collectives.
+    #[deprecated(note = "set `resilience.faults` (see `ResilienceConfig`) instead")]
     #[must_use]
     pub fn with_faults(mut self, faults: FaultProfile) -> Self {
-        self.faults = faults;
+        self.resilience.faults = faults;
         self
     }
 
     /// Bounds every collective's rendezvous wait, turning dead peers into
     /// observable [`CommError::Timeout`]s.
+    #[deprecated(note = "set `resilience.op_timeout` (see `ResilienceConfig`) instead")]
     #[must_use]
     pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
-        self.op_timeout = Some(timeout);
+        self.resilience.op_timeout = Some(timeout);
         self
     }
 
     /// Overrides the transient-fault retry policy.
+    #[deprecated(
+        note = "set `resilience.max_retries` / `resilience.retry_backoff` (see `ResilienceConfig`) instead"
+    )]
     #[must_use]
     pub fn with_retry(mut self, max_retries: u32, backoff: Duration) -> Self {
-        self.max_retries = max_retries;
-        self.retry_backoff = backoff;
+        self.resilience.max_retries = max_retries;
+        self.resilience.retry_backoff = backoff;
         self
     }
 
     /// Overrides how many consecutive implicated timeouts convict a peer.
+    #[deprecated(note = "set `resilience.down_after` (see `ResilienceConfig`) instead")]
     #[must_use]
     pub fn with_down_after(mut self, down_after: u32) -> Self {
-        self.down_after = down_after;
+        self.resilience.down_after = down_after;
         self
     }
 
     /// Probes dead ranks back into service every `batches` submitted batches,
     /// failed ones included (skipping ranks the fault schedule holds
     /// permanently down).
+    #[deprecated(note = "set `resilience.probe_every_batches` (see `ResilienceConfig`) instead")]
     #[must_use]
     pub fn with_probe_every(mut self, batches: u64) -> Self {
-        self.probe_every_batches = batches;
+        self.resilience.probe_every_batches = batches;
         self
     }
 
     /// Overrides the no-live-holder policy.
+    #[deprecated(note = "set `resilience.degraded` (see `ResilienceConfig`) instead")]
     #[must_use]
     pub fn with_degraded(mut self, degraded: DegradedPolicy) -> Self {
-        self.degraded = degraded;
+        self.resilience.degraded = degraded;
         self
     }
 }
 
 /// Errors surfaced by the serving engine.
+///
+/// Marked `#[non_exhaustive]` (matching [`CommError`]): downstream matches
+/// must carry a wildcard arm, so new failure classes can be added without a
+/// breaking change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServeError {
     /// The snapshot or configuration cannot be served.
     Config {
@@ -238,6 +388,15 @@ pub enum ServeError {
     Unavailable {
         /// Distinct lost rows in the failed batch.
         rows: usize,
+    },
+    /// The admission controller refused the request — load was shed *before*
+    /// any batching or collective work, so refusal is immediate and the
+    /// request never consumed pipeline capacity.
+    Shed {
+        /// Why admission refused.
+        reason: ShedReason,
+        /// The refused request's priority class.
+        priority: Priority,
     },
 }
 
@@ -262,6 +421,22 @@ impl ServeError {
                 | ServeError::Unavailable { .. }
         )
     }
+
+    /// Whether this error is transient — retrying the same operation can
+    /// succeed (passthrough of [`CommError::is_transient`]). Shed requests are
+    /// *not* transient at the engine's timescale: the caller should back off,
+    /// not re-offer immediately.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServeError::Comm(e) if e.is_transient())
+    }
+
+    /// Whether this request was refused by admission control rather than
+    /// failed by the pipeline.
+    #[must_use]
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ServeError::Shed { .. })
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -275,6 +450,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Unavailable { rows } => {
                 write!(f, "{rows} requested rows have no live owner or replica")
+            }
+            ServeError::Shed { reason, priority } => {
+                write!(f, "request shed ({priority} priority): {reason}")
             }
         }
     }
@@ -336,10 +514,71 @@ mod tests {
     }
 
     #[test]
+    fn shed_errors_are_shed_not_faults_not_transient() {
+        let e = ServeError::Shed {
+            reason: ShedReason::QueueFull {
+                occupancy: 10,
+                bound: 8,
+            },
+            priority: Priority::Low,
+        };
+        assert!(e.is_shed());
+        assert!(!e.is_fault());
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("low"));
+        assert!(!ServeError::Unavailable { rows: 1 }.is_shed());
+    }
+
+    #[test]
+    fn transient_mirrors_comm_error() {
+        let timeout = CommError::Timeout {
+            op: dmt_comm::CommOp::AllToAll,
+            waited_ms: 5,
+            missing: vec![1],
+        };
+        assert!(ServeError::Comm(timeout).is_transient());
+        assert!(!ServeError::Comm(CommError::Aborted).is_transient());
+        assert!(!ServeError::Config { reason: "x".into() }.is_transient());
+    }
+
+    #[test]
     fn config_builders_override_fields() {
         use dmt_topology::{ClusterTopology, HardwareGeneration};
         let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 1).unwrap();
-        let cfg = ServeConfig::new(cluster).with_cache_rows(7);
-        assert_eq!(cfg.cache_rows, 7);
+        let cfg = ServeConfig::new(cluster).with_batch(BatchConfig {
+            cache_rows: 7,
+            ..BatchConfig::default()
+        });
+        assert_eq!(cfg.batch.cache_rows, 7);
+        let slo = SloConfig {
+            queue_bound: 9,
+            shed: true,
+            ..SloConfig::default()
+        };
+        let cfg = cfg.with_slo(slo);
+        assert_eq!(cfg.slo.queue_bound, 9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_route_to_the_sub_configs() {
+        use dmt_topology::{ClusterTopology, HardwareGeneration};
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2).unwrap();
+        let cfg = ServeConfig::new(cluster)
+            .with_cache_rows(5)
+            .with_replicas(1)
+            .with_op_timeout(Duration::from_millis(9))
+            .with_retry(7, Duration::from_millis(3))
+            .with_down_after(2)
+            .with_probe_every(11)
+            .with_degraded(DegradedPolicy::ZeroFill);
+        assert_eq!(cfg.batch.cache_rows, 5);
+        assert_eq!(cfg.resilience.replicas, 1);
+        assert_eq!(cfg.resilience.op_timeout, Some(Duration::from_millis(9)));
+        assert_eq!(cfg.resilience.max_retries, 7);
+        assert_eq!(cfg.resilience.retry_backoff, Duration::from_millis(3));
+        assert_eq!(cfg.resilience.down_after, 2);
+        assert_eq!(cfg.resilience.probe_every_batches, 11);
+        assert_eq!(cfg.resilience.degraded, DegradedPolicy::ZeroFill);
     }
 }

@@ -1,0 +1,170 @@
+//! The serving request lifecycle: deadline- and priority-tagged query bundles.
+//!
+//! A [`Request`] is what the admission controller reasons about: one or more
+//! queries, an absolute completion deadline on the engine's microsecond clock,
+//! and a [`Priority`] class. Deadlines flow from admission through the
+//! micro-batcher's per-item close deadlines to completion; priorities decide
+//! who is shed first when the system is over capacity (see
+//! [`crate::admission`]).
+
+use dmt_data::Query;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel deadline tick meaning "no deadline": the request is never shed for
+/// infeasibility and its batcher close deadline falls back to `max_delay`.
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// Request priority class, ordered: `Low < Standard < High`.
+///
+/// Under overload the admission controller sheds lower classes at strictly
+/// lower queue occupancies (nested watermarks), so low-priority traffic is
+/// always shed before any high-priority request is.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Sheddable background traffic (shed first).
+    Low,
+    /// Ordinary interactive traffic.
+    #[default]
+    Standard,
+    /// Latency-critical traffic (shed last).
+    High,
+}
+
+impl Priority {
+    /// Every class, ascending (`Low`, `Standard`, `High`).
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Standard, Priority::High];
+
+    /// Stable index of this class into per-class counter arrays (0 = `Low`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Low => write!(f, "low"),
+            Priority::Standard => write!(f, "standard"),
+            Priority::High => write!(f, "high"),
+        }
+    }
+}
+
+/// One admission-controlled serving request: a query bundle with a deadline and
+/// a priority class.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The queries to answer (usually one for online traffic).
+    pub queries: Vec<Query>,
+    /// Absolute completion deadline on the engine's microsecond clock
+    /// ([`NO_DEADLINE`] = none).
+    pub deadline_us: u64,
+    /// Shedding class.
+    pub priority: Priority,
+}
+
+impl Request {
+    /// A request with no deadline at [`Priority::Standard`].
+    #[must_use]
+    pub fn new(queries: Vec<Query>) -> Self {
+        Self {
+            queries,
+            deadline_us: NO_DEADLINE,
+            priority: Priority::Standard,
+        }
+    }
+
+    /// Sets the absolute completion deadline (engine clock, microseconds).
+    #[must_use]
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = deadline_us;
+        self
+    }
+
+    /// Sets the priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Why the admission controller refused a request (the payload of
+/// [`crate::ServeError::Shed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShedReason {
+    /// Admitting the request would push queue occupancy past this priority
+    /// class's watermark.
+    QueueFull {
+        /// Queries admitted and not yet completed at the decision instant.
+        occupancy: usize,
+        /// The class's occupancy watermark.
+        bound: usize,
+    },
+    /// The deadline budget is already exhausted: even an immediate dispatch
+    /// (estimated at `needed_us`) would finish past the deadline.
+    DeadlineInfeasible {
+        /// Microseconds left until the deadline at the decision instant.
+        slack_us: u64,
+        /// The admission controller's service-time estimate.
+        needed_us: u64,
+    },
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull { occupancy, bound } => {
+                write!(f, "queue full ({occupancy} queries >= bound {bound})")
+            }
+            ShedReason::DeadlineInfeasible {
+                slack_us,
+                needed_us,
+            } => write!(
+                f,
+                "deadline infeasible ({slack_us}us slack < {needed_us}us estimated service)"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_below_high() {
+        assert!(Priority::Low < Priority::Standard);
+        assert!(Priority::Standard < Priority::High);
+        assert_eq!(Priority::ALL[Priority::High.index()], Priority::High);
+        assert_eq!(Priority::default(), Priority::Standard);
+    }
+
+    #[test]
+    fn request_builders_set_the_lifecycle_fields() {
+        let r = Request::new(Vec::new())
+            .with_deadline_us(42)
+            .with_priority(Priority::High);
+        assert_eq!(r.deadline_us, 42);
+        assert_eq!(r.priority, Priority::High);
+        assert_eq!(Request::new(Vec::new()).deadline_us, NO_DEADLINE);
+    }
+
+    #[test]
+    fn shed_reasons_display_their_numbers() {
+        let s = ShedReason::QueueFull {
+            occupancy: 9,
+            bound: 8,
+        };
+        assert!(s.to_string().contains('9') && s.to_string().contains('8'));
+        let s = ShedReason::DeadlineInfeasible {
+            slack_us: 5,
+            needed_us: 100,
+        };
+        assert!(s.to_string().contains("100"));
+    }
+}

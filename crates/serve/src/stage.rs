@@ -1,0 +1,730 @@
+//! Stage-disaggregated serving: embedding-lookup ranks and dense-compute ranks
+//! as separate pools with independent world sizes, joined by an explicit
+//! bounded rate-matching queue.
+//!
+//! The colocated [`crate::ServingEngine`] maps one worker thread per cluster
+//! rank and runs both the lookup and the dense forward on each. That couples
+//! the two stages' capacities: adding lookup throughput means adding dense
+//! throughput too, and vice versa. The paper's serving deployments are
+//! *disaggregated* — memory-bound embedding lookup and compute-bound dense
+//! scoring scale independently. [`StagedEngine`] models that split:
+//!
+//! ```text
+//!   offer() ──► AdmissionController ──► MicroBatcher (per-request close
+//!      │              │ shed                 deadlines from the SLO budget)
+//!      │              ▼                        │ closed batch
+//!      │        ServeError::Shed               ▼
+//!      │                              stage 1: LOOKUP POOL (L ranks)
+//!      │                              route → scatter keys → shard answers
+//!      │                              → gather → pool embeddings
+//!      │                                        │
+//!      │                        bounded rate-matching queue (`stage_queue`
+//!      │                        batches deep, sender-paced at
+//!      │                        `xfer_bytes_per_s` over the modeled link)
+//!      │                                        │
+//!      │                              stage 2: DENSE POOL (D ranks)
+//!      │                              batched dense forward → predictions
+//!      │                                        ▼
+//!      └──────────── drain() ◄── completions (seq-tagged, may be reordered)
+//! ```
+//!
+//! The rate-matching queue is the disaggregation contract: when the dense pool
+//! falls behind, the queue fills and the lookup stage *blocks* instead of
+//! buffering unboundedly — backpressure reaches admission as rising occupancy,
+//! and the admission controller sheds by priority class long before queueing
+//! delay can blow a deadline. A shed request is a fast, observable
+//! [`crate::ServeError::Shed`], never a timeout.
+//!
+//! Stage-disaggregation serves **baseline** snapshots only: the DMT deployment
+//! keeps towers colocated with their host's lookup shards by design (that
+//! colocations is the paper's point), so it stays on the colocated engine.
+//!
+//! Byte accounting here is *modeled* (analytic sizes of the key, row and
+//! activation streams), not drained from collective backends: the stage pools
+//! exchange data over channels standing in for the lookup-tier NIC, and the
+//! queue's pacing makes that link's bandwidth — not host compute — the
+//! capacity governor, which is what makes the SLO bench stable on small CI
+//! hosts.
+
+use crate::admission::{batcher_close_by, AdmissionController};
+use crate::batcher::MicroBatcher;
+use crate::engine::{bags_of, dense_flat};
+use crate::request::{Priority, Request};
+use crate::{ServeConfig, ServeError};
+use dmt_data::Query;
+use dmt_tensor::Tensor;
+use dmt_trainer::distributed::model::{load_params, DenseStack, LookupRouting, ShardedLookup};
+use dmt_trainer::distributed::{ExecutionMode, ModelSnapshot};
+use serde::{Deserialize, Serialize};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shape of a stage-disaggregated deployment: how many ranks each stage pool
+/// gets and how fast the modeled link between them moves bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePools {
+    /// Embedding-lookup ranks (the tables are row-sharded `lookup_ranks` ways).
+    pub lookup_ranks: usize,
+    /// Dense-compute ranks (each holds a full replica of the dense stack).
+    pub dense_ranks: usize,
+    /// Modeled bandwidth of the lookup→dense link in bytes/second; the lookup
+    /// stage paces each batch's pooled-activation transfer at this rate before
+    /// it enters the rate-matching queue (0 = unpaced).
+    pub xfer_bytes_per_s: u64,
+}
+
+impl StagePools {
+    /// Pools of `lookup_ranks` lookup and `dense_ranks` dense ranks with an
+    /// unpaced stage link.
+    #[must_use]
+    pub fn new(lookup_ranks: usize, dense_ranks: usize) -> Self {
+        Self {
+            lookup_ranks,
+            dense_ranks,
+            xfer_bytes_per_s: 0,
+        }
+    }
+
+    /// Paces the lookup→dense link at `bytes_per_s`.
+    #[must_use]
+    pub fn with_xfer_bytes_per_s(mut self, bytes_per_s: u64) -> Self {
+        self.xfer_bytes_per_s = bytes_per_s;
+        self
+    }
+}
+
+/// Aggregated accounting of a staged deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Queries answered (completions drained; shed queries never count).
+    pub queries: u64,
+    /// Batches through the lookup stage.
+    pub batches: u64,
+    /// Modeled bytes of the key scatter into the lookup pool (8 B/key).
+    pub index_bytes: u64,
+    /// Modeled bytes of the gathered embedding rows (4 B/f32).
+    pub row_bytes: u64,
+    /// Modeled bytes crossing the lookup→dense rate-matching queue (pooled
+    /// feature block + dense features, 4 B/f32) — the paced link.
+    pub xfer_bytes: u64,
+    /// Modeled bytes of predictions leaving the dense pool (4 B/f32).
+    pub pred_bytes: u64,
+    /// Batches closed by the size trigger.
+    pub size_closes: u64,
+    /// Batches closed by a close deadline.
+    pub deadline_closes: u64,
+    /// Batches closed by an explicit flush.
+    pub flush_closes: u64,
+    /// Requests admitted, per [`Priority`] class (index = `Priority::index`).
+    pub admitted_by_class: [u64; 3],
+    /// Requests shed, per [`Priority`] class (index = `Priority::index`).
+    pub shed_by_class: [u64; 3],
+    /// Peak queue occupancy in queries (admitted and not yet completed).
+    pub max_occupancy: usize,
+}
+
+impl StageStats {
+    /// Total requests admitted, all classes.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted_by_class.iter().sum()
+    }
+
+    /// Total requests shed, all classes.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_by_class.iter().sum()
+    }
+}
+
+/// One answered request, as harvested from [`StagedEngine::drain`].
+/// Completions are tagged with the sequence number [`StagedEngine::offer`]
+/// returned and may arrive out of submission order (independent dense ranks).
+#[derive(Debug, Clone)]
+pub struct CompletedRequest {
+    /// The sequence number `offer` returned for this request.
+    pub seq: u64,
+    /// Admission tick on the engine clock, microseconds.
+    pub arrival_us: u64,
+    /// The request's absolute deadline ([`crate::NO_DEADLINE`] = none).
+    pub deadline_us: u64,
+    /// The request's priority class.
+    pub priority: Priority,
+    /// Completion tick on the engine clock, microseconds.
+    pub done_us: u64,
+    /// One prediction per query, bit-identical to a training-side forward over
+    /// the same batch.
+    pub preds: Vec<f32>,
+}
+
+impl CompletedRequest {
+    /// Sojourn time in microseconds: admission to completion, queueing
+    /// included. This — not per-stage service time — is what the request
+    /// experienced.
+    #[must_use]
+    pub fn sojourn_us(&self) -> u64 {
+        self.done_us.saturating_sub(self.arrival_us)
+    }
+
+    /// Whether the request completed inside its deadline (deadline-free
+    /// requests always did).
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.done_us <= self.deadline_us
+    }
+}
+
+/// A request past admission, waiting in the batcher or the pipeline.
+struct Admitted {
+    seq: u64,
+    arrival_us: u64,
+    deadline_us: u64,
+    priority: Priority,
+    queries: Vec<Query>,
+}
+
+/// One key bundle scattered to a lookup rank.
+struct LookupJob {
+    shard: usize,
+    keys: Vec<u64>,
+    reply: Sender<(usize, Vec<f32>)>,
+}
+
+/// One pooled batch crossing the rate-matching queue into the dense pool.
+struct DenseJob {
+    requests: Vec<Admitted>,
+    feature_block: Tensor,
+    dense_input: Tensor,
+}
+
+/// What the pipeline reports back per request.
+enum Completion {
+    Done(Box<CompletedRequest>, usize),
+    Failed { queries: usize, error: ServeError },
+}
+
+/// A running stage-disaggregated deployment: an admission-fronted batcher on
+/// the caller's thread, a lookup pool, a bounded rate-matching queue and a
+/// dense pool, drained asynchronously.
+pub struct StagedEngine {
+    epoch: Instant,
+    admission: AdmissionController,
+    batcher: MicroBatcher<Admitted>,
+    batch_tx: Option<Sender<Vec<Admitted>>>,
+    completions: Receiver<Completion>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<Mutex<StageStats>>,
+    flush_closes: u64,
+    next_seq: u64,
+    max_delay_us: u64,
+    service_estimate_us: u64,
+}
+
+impl StagedEngine {
+    /// Loads a **baseline** `snapshot` into a staged deployment: the embedding
+    /// tables are row-sharded `pools.lookup_ranks` ways across the lookup pool
+    /// and the dense stack is replicated onto each of `pools.dense_ranks`
+    /// dense ranks. The stages are joined by a `config.slo.stage_queue`-deep
+    /// rate-matching queue; admission enforces `config.slo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for DMT snapshots (towers stay colocated
+    /// with their host's shards — use the colocated engine), empty pools, or a
+    /// snapshot whose weights do not match its declared geometry.
+    pub fn start(
+        snapshot: &ModelSnapshot,
+        pools: StagePools,
+        config: &ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if snapshot.mode != ExecutionMode::Baseline {
+            return Err(ServeError::Config {
+                reason: "stage-disaggregated serving supports baseline snapshots only \
+                         (DMT towers are colocated with their lookup shards by design)"
+                    .into(),
+            });
+        }
+        if pools.lookup_ranks == 0 || pools.dense_ranks == 0 {
+            return Err(ServeError::Config {
+                reason: format!(
+                    "both stage pools need ranks (got {} lookup, {} dense)",
+                    pools.lookup_ranks, pools.dense_ranks
+                ),
+            });
+        }
+        let features: Vec<usize> = (0..snapshot.schema.num_sparse()).collect();
+        // The router instance routes and pools but never answers; `owner_of`
+        // depends only on the pool's world size, so shard 0 stands in.
+        let router =
+            ShardedLookup::from_tables(features.clone(), &snapshot.tables, pools.lookup_ranks, 0)?;
+        let shards: Vec<ShardedLookup> = (0..pools.lookup_ranks)
+            .map(|s| {
+                ShardedLookup::from_tables(
+                    features.clone(),
+                    &snapshot.tables,
+                    pools.lookup_ranks,
+                    s,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let dense_stacks: Vec<DenseStack> = (0..pools.dense_ranks)
+            .map(|_| {
+                let mut dense = DenseStack::new(
+                    snapshot.seed,
+                    &snapshot.schema,
+                    snapshot.arch,
+                    &snapshot.hyper,
+                    snapshot.hyper.embedding_dim,
+                    snapshot.schema.num_sparse() + 1,
+                );
+                load_params(&mut dense, &snapshot.dense_params)?;
+                Ok(dense)
+            })
+            .collect::<Result<_, ServeError>>()?;
+
+        let epoch = Instant::now();
+        let stats = Arc::new(Mutex::new(StageStats::default()));
+        let mut threads = Vec::new();
+
+        // Lookup pool: one thread per shard, answering scattered key bundles.
+        let mut lookup_txs: Vec<Sender<LookupJob>> = Vec::with_capacity(pools.lookup_ranks);
+        for shard in shards {
+            let (tx, rx) = std::sync::mpsc::channel::<LookupJob>();
+            lookup_txs.push(tx);
+            threads.push(std::thread::spawn(move || lookup_loop(&shard, &rx)));
+        }
+
+        // The bounded rate-matching queue between the stages.
+        let (dense_tx, dense_rx) = sync_channel::<DenseJob>(config.slo.stage_queue.max(1));
+        let dense_rx = Arc::new(Mutex::new(dense_rx));
+
+        let (completion_tx, completions) = std::sync::mpsc::channel::<Completion>();
+
+        // Dense pool: D ranks pulling from the shared queue end.
+        for mut dense in dense_stacks {
+            let rx = Arc::clone(&dense_rx);
+            let tx = completion_tx.clone();
+            let stats = Arc::clone(&stats);
+            threads.push(std::thread::spawn(move || {
+                dense_loop(&mut dense, epoch, &rx, &tx, &stats);
+            }));
+        }
+
+        // Stage-1 orchestrator: route, scatter, gather, pool, pace, enqueue.
+        let (batch_tx, batch_rx) = std::sync::mpsc::channel::<Vec<Admitted>>();
+        {
+            let stats = Arc::clone(&stats);
+            let tx = completion_tx;
+            threads.push(std::thread::spawn(move || {
+                stage1_loop(
+                    &router,
+                    &features,
+                    &lookup_txs,
+                    pools.xfer_bytes_per_s,
+                    &batch_rx,
+                    &dense_tx,
+                    &tx,
+                    &stats,
+                );
+            }));
+        }
+
+        Ok(Self {
+            epoch,
+            admission: AdmissionController::new(&config.slo),
+            batcher: MicroBatcher::new(config.batch.batcher()),
+            batch_tx: Some(batch_tx),
+            completions,
+            threads,
+            stats,
+            flush_closes: 0,
+            next_seq: 0,
+            max_delay_us: config.batch.max_delay_us,
+            service_estimate_us: config.slo.service_estimate_us,
+        })
+    }
+
+    /// The engine's clock: microseconds since start. Deadlines in offered
+    /// requests are absolute ticks on this clock.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Offers a request to admission. Admitted requests join the batcher with
+    /// a close deadline tight enough to honor their SLO budget and eventually
+    /// surface from [`StagedEngine::drain`]; refused ones return
+    /// [`ServeError::Shed`] immediately, before any batching or pipeline work.
+    ///
+    /// Returns the sequence number completions will carry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shed`] on refusal; pipeline errors if the stage threads
+    /// have died.
+    pub fn offer(&mut self, request: Request) -> Result<u64, ServeError> {
+        let now = self.now_us();
+        self.admission.try_admit(
+            now,
+            request.queries.len(),
+            request.deadline_us,
+            request.priority,
+        )?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let close_by = batcher_close_by(
+            now,
+            self.max_delay_us,
+            request.deadline_us,
+            self.service_estimate_us,
+        );
+        let admitted = Admitted {
+            seq,
+            arrival_us: now,
+            deadline_us: request.deadline_us,
+            priority: request.priority,
+            queries: request.queries,
+        };
+        if let Some(batch) = self.batcher.push_by(close_by, admitted) {
+            self.dispatch(batch)?;
+        }
+        Ok(seq)
+    }
+
+    /// Fires the batcher's deadline trigger against the engine clock. Call
+    /// this between arrivals (the open-loop harness does, every idle wait).
+    ///
+    /// # Errors
+    ///
+    /// Pipeline errors if the stage threads have died.
+    pub fn pump(&mut self) -> Result<(), ServeError> {
+        if let Some(batch) = self.batcher.poll(self.now_us()) {
+            self.dispatch(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Closes and dispatches whatever the batcher holds, regardless of
+    /// triggers (end of a request stream).
+    ///
+    /// # Errors
+    ///
+    /// Pipeline errors if the stage threads have died.
+    pub fn flush(&mut self) -> Result<(), ServeError> {
+        if let Some(batch) = self.batcher.flush() {
+            self.flush_closes += 1;
+            self.dispatch(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Harvests every completion the pipeline has produced so far without
+    /// blocking, releasing their occupancy back to admission.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first pipeline failure (its occupancy is released too).
+    pub fn drain(&mut self) -> Result<Vec<CompletedRequest>, ServeError> {
+        let mut done = Vec::new();
+        loop {
+            match self.completions.try_recv() {
+                Ok(Completion::Done(completed, queries)) => {
+                    self.admission.release(queries);
+                    done.push(*completed);
+                }
+                Ok(Completion::Failed { queries, error }) => {
+                    self.admission.release(queries);
+                    return Err(error);
+                }
+                Err(_) => return Ok(done),
+            }
+        }
+    }
+
+    /// Queries admitted and not yet drained.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.admission.occupancy()
+    }
+
+    /// The engine-clock tick at which the batcher's deadline trigger will next
+    /// fire, if anything is queued — what an idle driver should sleep until
+    /// before calling [`StagedEngine::pump`].
+    #[must_use]
+    pub fn next_close_us(&self) -> Option<u64> {
+        self.batcher.next_deadline_us()
+    }
+
+    /// A snapshot of the deployment's accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> StageStats {
+        let mut stats = *self.stats.lock().expect("stage stats lock");
+        self.fill_front_stats(&mut stats);
+        stats
+    }
+
+    /// Flushes the batcher, stops the pools, and returns every remaining
+    /// completion plus the final accounting.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first pipeline failure encountered while draining.
+    pub fn shutdown(mut self) -> Result<(Vec<CompletedRequest>, StageStats), ServeError> {
+        self.flush()?;
+        // Closing the batch channel cascades: stage 1 drains and exits,
+        // dropping the queue sender; the dense ranks drain and exit, dropping
+        // the completion senders.
+        drop(self.batch_tx.take());
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        let mut done = Vec::new();
+        let mut failure = None;
+        while let Ok(completion) = self.completions.recv() {
+            match completion {
+                Completion::Done(completed, queries) => {
+                    self.admission.release(queries);
+                    done.push(*completed);
+                }
+                Completion::Failed { queries, error } => {
+                    self.admission.release(queries);
+                    failure.get_or_insert(error);
+                }
+            }
+        }
+        if let Some(error) = failure {
+            return Err(error);
+        }
+        let mut stats = *self.stats.lock().expect("stage stats lock");
+        self.fill_front_stats(&mut stats);
+        Ok((done, stats))
+    }
+
+    /// Adds the front-side counters (batcher closes, admission) the worker
+    /// threads cannot see.
+    fn fill_front_stats(&self, stats: &mut StageStats) {
+        stats.size_closes = self.batcher.size_closes();
+        stats.deadline_closes = self.batcher.deadline_closes();
+        stats.flush_closes = self.flush_closes;
+        for class in Priority::ALL {
+            stats.admitted_by_class[class.index()] = self.admission.admitted_count(class);
+            stats.shed_by_class[class.index()] = self.admission.shed_count(class);
+        }
+        stats.max_occupancy = self.admission.max_occupancy();
+    }
+
+    fn dispatch(&mut self, batch: Vec<Admitted>) -> Result<(), ServeError> {
+        let tx = self.batch_tx.as_ref().ok_or_else(pipeline_down)?;
+        tx.send(batch).map_err(|_| pipeline_down())
+    }
+}
+
+impl Drop for StagedEngine {
+    fn drop(&mut self) {
+        drop(self.batch_tx.take());
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn pipeline_down() -> ServeError {
+    ServeError::Rank {
+        rank: 0,
+        message: "stage pipeline disconnected".into(),
+    }
+}
+
+/// One lookup rank: answer scattered key bundles from this shard.
+fn lookup_loop(shard: &ShardedLookup, jobs: &Receiver<LookupJob>) {
+    while let Ok(job) = jobs.recv() {
+        let rows = shard
+            .answer(std::slice::from_ref(&job.keys))
+            .map(|mut replies| replies.pop().unwrap_or_default())
+            .unwrap_or_default();
+        // A dropped gather side means the orchestrator already failed the batch.
+        let _ = job.reply.send((job.shard, rows));
+    }
+}
+
+/// The stage-1 orchestrator: per batch, route keys across the lookup pool,
+/// scatter, gather, pool embeddings, pace the modeled stage link, and push the
+/// dense job into the bounded rate-matching queue (blocking when the dense
+/// pool is behind — that backpressure is the disaggregation contract).
+#[allow(clippy::too_many_arguments)]
+fn stage1_loop(
+    router: &ShardedLookup,
+    features: &[usize],
+    lookup_txs: &[Sender<LookupJob>],
+    xfer_bytes_per_s: u64,
+    batches: &Receiver<Vec<Admitted>>,
+    dense_tx: &SyncSender<DenseJob>,
+    completion_tx: &Sender<Completion>,
+    stats: &Arc<Mutex<StageStats>>,
+) {
+    let world = lookup_txs.len();
+    let dim = router.dim();
+    while let Ok(batch) = batches.recv() {
+        let queries: Vec<Query> = batch.iter().flat_map(|r| r.queries.clone()).collect();
+        if queries.is_empty() {
+            fail_batch(completion_tx, batch, || ServeError::Config {
+                reason: "empty batch reached the lookup stage".into(),
+            });
+            continue;
+        }
+        let bags_owned = bags_of(&queries, features);
+        let bags: Vec<&[Vec<usize>]> = bags_owned.iter().map(Vec::as_slice).collect();
+        let request_keys = router.route(world, &bags);
+        let total_keys: usize = request_keys.iter().map(Vec::len).sum();
+
+        // Scatter each owner's bundle to its shard, gather the row replies.
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let mut scattered = 0usize;
+        for (shard, keys) in request_keys.iter().enumerate() {
+            let job = LookupJob {
+                shard,
+                keys: keys.clone(),
+                reply: reply_tx.clone(),
+            };
+            if lookup_txs[shard].send(job).is_ok() {
+                scattered += 1;
+            }
+        }
+        drop(reply_tx);
+        let mut fetched: Vec<Vec<f32>> = vec![Vec::new(); world];
+        for _ in 0..scattered {
+            let Ok((shard, rows)) = reply_rx.recv() else {
+                break;
+            };
+            fetched[shard] = rows;
+        }
+        let total_row_floats: usize = fetched.iter().map(Vec::len).sum();
+        if scattered < world || total_row_floats != total_keys * dim {
+            fail_batch(completion_tx, batch, pipeline_down);
+            continue;
+        }
+
+        let routing = LookupRouting {
+            request_keys,
+            served_keys: Vec::new(),
+        };
+        let pooled = match pool_and_pack(router, &bags, &routing, &fetched, &queries) {
+            Ok(pooled) => pooled,
+            Err(error) => {
+                let message = error.to_string();
+                fail_batch(completion_tx, batch, move || ServeError::Rank {
+                    rank: 0,
+                    message: message.clone(),
+                });
+                continue;
+            }
+        };
+        let (feature_block, dense_input) = pooled;
+        let xfer = 4 * (feature_block.data().len() + dense_input.data().len()) as u64;
+        {
+            let mut s = stats.lock().expect("stage stats lock");
+            s.batches += 1;
+            s.index_bytes += 8 * total_keys as u64;
+            s.row_bytes += 4 * total_row_floats as u64;
+            s.xfer_bytes += xfer;
+        }
+        if xfer_bytes_per_s > 0 {
+            std::thread::sleep(Duration::from_secs_f64(
+                xfer as f64 / xfer_bytes_per_s as f64,
+            ));
+        }
+        let job = DenseJob {
+            requests: batch,
+            feature_block,
+            dense_input,
+        };
+        if let Err(std::sync::mpsc::SendError(job)) = dense_tx.send(job) {
+            fail_batch(completion_tx, job.requests, pipeline_down);
+        }
+    }
+}
+
+/// Pools the gathered rows and packs the dense inputs for the batch.
+fn pool_and_pack(
+    router: &ShardedLookup,
+    bags: &[&[Vec<usize>]],
+    routing: &LookupRouting,
+    fetched: &[Vec<f32>],
+    queries: &[Query],
+) -> Result<(Tensor, Tensor), ServeError> {
+    let embs = router.pool(bags, routing, fetched)?;
+    let refs: Vec<&Tensor> = embs.iter().collect();
+    let feature_block = Tensor::concat_cols(&refs)?;
+    let num_dense = queries[0].dense.len();
+    let dense_input = Tensor::from_vec(vec![queries.len(), num_dense], dense_flat(queries))?;
+    Ok((feature_block, dense_input))
+}
+
+/// One dense rank: pull pooled batches off the shared queue end, run the
+/// replicated dense forward, split predictions back per request and stamp
+/// completion times.
+fn dense_loop(
+    dense: &mut DenseStack,
+    epoch: Instant,
+    jobs: &Arc<Mutex<Receiver<DenseJob>>>,
+    completion_tx: &Sender<Completion>,
+    stats: &Arc<Mutex<StageStats>>,
+) {
+    loop {
+        let job = {
+            let rx = jobs.lock().expect("dense queue lock");
+            rx.recv()
+        };
+        let Ok(job) = job else { return };
+        let preds = match dense.forward(&job.dense_input, &job.feature_block) {
+            Ok(preds) => preds,
+            Err(error) => {
+                let message = error.to_string();
+                fail_batch(completion_tx, job.requests, move || ServeError::Rank {
+                    rank: 0,
+                    message: message.clone(),
+                });
+                continue;
+            }
+        };
+        let done_us = u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        {
+            let mut s = stats.lock().expect("stage stats lock");
+            s.queries += job
+                .requests
+                .iter()
+                .map(|r| r.queries.len() as u64)
+                .sum::<u64>();
+            s.pred_bytes += 4 * preds.len() as u64;
+        }
+        let mut offset = 0usize;
+        for request in job.requests {
+            let queries = request.queries.len();
+            let completed = CompletedRequest {
+                seq: request.seq,
+                arrival_us: request.arrival_us,
+                deadline_us: request.deadline_us,
+                priority: request.priority,
+                done_us,
+                preds: preds[offset..offset + queries].to_vec(),
+            };
+            offset += queries;
+            let _ = completion_tx.send(Completion::Done(Box::new(completed), queries));
+        }
+    }
+}
+
+/// Reports every request of a failed batch back so its occupancy is released.
+fn fail_batch(
+    completion_tx: &Sender<Completion>,
+    batch: Vec<Admitted>,
+    error: impl Fn() -> ServeError,
+) {
+    for request in batch {
+        let _ = completion_tx.send(Completion::Failed {
+            queries: request.queries.len(),
+            error: error(),
+        });
+    }
+}

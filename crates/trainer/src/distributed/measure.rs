@@ -198,6 +198,16 @@ impl MeasuredRun {
         dmt_metrics::LatencyPercentiles::of(&self.iter_wall_s)
     }
 
+    /// The run as a [`dmt_metrics::ThroughputWindow`] — iterations over total
+    /// wall time — so training and serving report rates through one vocabulary.
+    #[must_use]
+    pub fn throughput(&self) -> dmt_metrics::ThroughputWindow {
+        dmt_metrics::ThroughputWindow {
+            count: self.iter_wall_s.len(),
+            wall_s: self.iter_wall_s.iter().sum(),
+        }
+    }
+
     /// Mean training loss over the run's iterations.
     #[must_use]
     pub fn mean_loss(&self) -> f64 {

@@ -18,7 +18,9 @@
 
 use dmt_comm::FabricProfile;
 use dmt_models::ModelArch;
-use dmt_serve::{serve_stream, BatcherConfig, ServeConfig, ServingEngine, StreamConfig};
+use dmt_serve::{
+    serve_stream, BatchConfig, BatcherConfig, ServeConfig, ServingEngine, StreamConfig,
+};
 use dmt_topology::{ClusterTopology, HardwareGeneration};
 use dmt_trainer::distributed::{
     run_with_snapshot, DistributedConfig, ExecutionMode, ModelSnapshot,
@@ -69,7 +71,10 @@ fn main() {
     for (name, snap) in &snapshots {
         let config = ServeConfig::new(cluster.clone())
             .with_fabric(fabric)
-            .with_cache_rows(4096);
+            .with_batch(BatchConfig {
+                cache_rows: 4096,
+                ..BatchConfig::default()
+            });
         let mut engine = ServingEngine::start(snap, &config).expect("engine start");
         let mut stream = dmt_data::ZipfRequestStream::new(snap.schema.clone(), 99, 1.1);
         let stream_cfg = StreamConfig {

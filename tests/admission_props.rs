@@ -1,0 +1,144 @@
+//! Property tests for the SLO admission controller and the deadline-aware
+//! batcher close rule: occupancy may never exceed the configured bound,
+//! priority watermarks must shed strictly monotonically (a refused low class
+//! before any higher class), a refused request must leave the controller
+//! untouched, and an admitted request's batch close deadline may never outlive
+//! the request's own deadline.
+
+use dmt_serve::{batcher_close_by, AdmissionController, Priority, SloConfig, NO_DEADLINE};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Over any interleaving of offers and completions: occupancy never
+    /// exceeds the bound, `would_shed` exactly predicts `try_admit`, a shed
+    /// decision changes nothing but the shed counter, and the nested
+    /// watermarks are monotone — whenever a class would be shed for occupancy,
+    /// every lower class would be shed too.
+    #[test]
+    fn occupancy_stays_bounded_and_shedding_is_monotone(
+        bound in 1usize..256,
+        estimate_us in 0u64..5_000,
+        num_events in 1usize..120,
+        seed in proptest::strategy::any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slo = SloConfig {
+            queue_bound: bound,
+            service_estimate_us: estimate_us,
+            shed: true,
+            ..SloConfig::default()
+        };
+        let mut c = AdmissionController::new(&slo);
+        let mut outstanding = 0usize;
+        for tick in 0..num_events {
+            let now_us = tick as u64 * 100;
+            if rng.gen_bool(0.6) {
+                // An offer: random size, class, and deadline slack (1 in 4
+                // requests carries no deadline at all).
+                let queries = rng.gen_range(1usize..16);
+                let priority = Priority::ALL[rng.gen_range(0usize..3)];
+                let deadline_us = if rng.gen_bool(0.25) {
+                    NO_DEADLINE
+                } else {
+                    now_us + rng.gen_range(0u64..20_000)
+                };
+                // Monotone watermarks: if a class survives the occupancy
+                // check, every higher class does too (deadline feasibility is
+                // priority-blind, so compare per class without a deadline).
+                let occupancy_shed: Vec<bool> = Priority::ALL
+                    .iter()
+                    .map(|&p| c.would_shed(now_us, queries, NO_DEADLINE, p).is_some())
+                    .collect();
+                for pair in occupancy_shed.windows(2) {
+                    prop_assert!(
+                        pair[0] || !pair[1],
+                        "a shed high class implies shed lower classes"
+                    );
+                }
+                let before_occ = c.occupancy();
+                let before_shed = c.total_shed();
+                let predicted = c.would_shed(now_us, queries, deadline_us, priority);
+                match c.try_admit(now_us, queries, deadline_us, priority) {
+                    Ok(()) => {
+                        prop_assert!(predicted.is_none(), "would_shed must predict admission");
+                        outstanding += queries;
+                        prop_assert_eq!(c.occupancy(), before_occ + queries);
+                    }
+                    Err(err) => {
+                        prop_assert!(predicted.is_some(), "would_shed must predict refusal");
+                        prop_assert!(err.is_shed());
+                        // Refusal is side-effect free except for the counter.
+                        prop_assert_eq!(c.occupancy(), before_occ);
+                        prop_assert_eq!(c.total_shed(), before_shed + 1);
+                    }
+                }
+            } else {
+                // A completion: return part of the outstanding occupancy.
+                let queries = rng.gen_range(1usize..16).min(outstanding);
+                c.release(queries);
+                outstanding -= queries;
+            }
+            prop_assert_eq!(c.occupancy(), outstanding, "occupancy tracks admissions exactly");
+            prop_assert!(c.occupancy() <= bound, "occupancy must never exceed the bound");
+            prop_assert!(c.max_occupancy() <= bound);
+        }
+        let shed: u64 = Priority::ALL.iter().map(|&p| c.shed_count(p)).sum();
+        prop_assert_eq!(shed, c.total_shed());
+    }
+
+    /// An admitted request's batcher close deadline never lies before its
+    /// arrival or after its completion deadline, respects the batching delay,
+    /// and tightening the service estimate only moves the close earlier.
+    #[test]
+    fn close_by_is_clamped_between_arrival_and_deadline(
+        arrival_us in 0u64..1_000_000,
+        max_delay_us in 0u64..50_000,
+        slack_us in 0u64..100_000,
+        estimate_us in 0u64..20_000,
+    ) {
+        let deadline_us = arrival_us + slack_us;
+        let close = batcher_close_by(arrival_us, max_delay_us, deadline_us, estimate_us);
+        prop_assert!(close >= arrival_us, "close deadline in the past");
+        prop_assert!(close <= deadline_us.max(arrival_us), "batch outlives the request deadline");
+        prop_assert!(close <= arrival_us + max_delay_us, "close ignores the batching delay");
+        // A larger estimate can only close the batch earlier.
+        let tighter = batcher_close_by(arrival_us, max_delay_us, deadline_us, estimate_us + 1);
+        prop_assert!(tighter <= close);
+        // Without a deadline the rule degenerates to plain max_delay.
+        prop_assert_eq!(
+            batcher_close_by(arrival_us, max_delay_us, NO_DEADLINE, estimate_us),
+            arrival_us + max_delay_us
+        );
+    }
+
+    /// The controller has no spurious refusals: with free occupancy and a
+    /// feasible deadline every class is admitted, and with shedding disabled
+    /// nothing is ever refused no matter the pressure.
+    #[test]
+    fn no_spurious_sheds(
+        bound in 1usize..64,
+        estimate_us in 0u64..1_000,
+        queries in 1usize..8,
+        priority_idx in 0usize..3,
+    ) {
+        let priority = Priority::ALL[priority_idx];
+        let slo = SloConfig {
+            queue_bound: bound,
+            service_estimate_us: estimate_us,
+            shed: true,
+            ..SloConfig::default()
+        };
+        let mut c = AdmissionController::new(&slo);
+        if queries <= c.bound_of(priority) {
+            prop_assert!(c.try_admit(0, queries, estimate_us, priority).is_ok());
+        }
+        let mut relaxed = AdmissionController::new(&SloConfig::default());
+        for tick in 0..200u64 {
+            prop_assert!(relaxed.try_admit(tick, queries, 0, priority).is_ok());
+        }
+    }
+}

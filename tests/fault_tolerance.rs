@@ -10,7 +10,7 @@ use dmt_comm::{FaultKind, FaultProfile};
 use dmt_data::{Query, ZipfRequestStream};
 use dmt_models::ModelArch;
 use dmt_nn::EmbeddingTable;
-use dmt_serve::{DegradedPolicy, ServeConfig, ServingEngine};
+use dmt_serve::{DegradedPolicy, ResilienceConfig, ServeConfig, ServingEngine};
 use dmt_tensor::Tensor;
 use dmt_topology::{ClusterTopology, HardwareGeneration};
 use dmt_trainer::distributed::model::{load_params, DenseStack};
@@ -82,11 +82,13 @@ fn assert_bit_identical(served: &[f32], reference: &[f32], what: &str) {
 fn killed_rank_fails_over_bit_identically() {
     let snapshot = baseline_snapshot();
     // Rank 3 dies before its first collective.
-    let config = ServeConfig::new(cluster_2x4())
-        .with_replicas(1)
-        .with_faults(FaultProfile::new(11).with_event(3, 0, FaultKind::Down))
-        .with_op_timeout(Duration::from_millis(250))
-        .with_down_after(1);
+    let config = ServeConfig::new(cluster_2x4()).with_resilience(ResilienceConfig {
+        replicas: 1,
+        faults: FaultProfile::new(11).with_event(3, 0, FaultKind::Down),
+        op_timeout: Some(Duration::from_millis(250)),
+        down_after: 1,
+        ..ResilienceConfig::default()
+    });
     let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
 
     // The batch in flight when the rank dies fails — with a *fault* error, not
@@ -117,10 +119,12 @@ fn killed_rank_fails_over_bit_identically() {
 #[test]
 fn unreplicated_rank_death_is_a_clean_fault_not_a_deadlock() {
     let snapshot = baseline_snapshot();
-    let config = ServeConfig::new(cluster_2x4())
-        .with_faults(FaultProfile::new(7).with_event(2, 0, FaultKind::Down))
-        .with_op_timeout(Duration::from_millis(250))
-        .with_down_after(1);
+    let config = ServeConfig::new(cluster_2x4()).with_resilience(ResilienceConfig {
+        faults: FaultProfile::new(7).with_event(2, 0, FaultKind::Down),
+        op_timeout: Some(Duration::from_millis(250)),
+        down_after: 1,
+        ..ResilienceConfig::default()
+    });
     let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
     let start = Instant::now();
     let err = engine.submit(queries(&snapshot, 1, 32)).unwrap_err();
@@ -142,11 +146,13 @@ fn unreplicated_rank_death_is_a_clean_fault_not_a_deadlock() {
 #[test]
 fn zero_fill_keeps_serving_without_replicas() {
     let snapshot = baseline_snapshot();
-    let config = ServeConfig::new(cluster_2x4())
-        .with_faults(FaultProfile::new(7).with_event(2, 0, FaultKind::Down))
-        .with_op_timeout(Duration::from_millis(250))
-        .with_down_after(1)
-        .with_degraded(DegradedPolicy::ZeroFill);
+    let config = ServeConfig::new(cluster_2x4()).with_resilience(ResilienceConfig {
+        faults: FaultProfile::new(7).with_event(2, 0, FaultKind::Down),
+        op_timeout: Some(Duration::from_millis(250)),
+        down_after: 1,
+        degraded: DegradedPolicy::ZeroFill,
+        ..ResilienceConfig::default()
+    });
     let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
     let _ = engine.submit(queries(&snapshot, 1, 32)).unwrap_err();
     for seed in 2..5 {
@@ -170,11 +176,10 @@ fn shutdown_after_rank_down_is_bounded() {
     let snapshot = baseline_snapshot();
     // No op timeout at all: if shutdown failed to abort the worlds, a worker
     // blocked on the dead rank's deposit would hang the join forever.
-    let config = ServeConfig::new(cluster_2x4()).with_faults(FaultProfile::new(3).with_event(
-        5,
-        2,
-        FaultKind::Down,
-    ));
+    let config = ServeConfig::new(cluster_2x4()).with_resilience(ResilienceConfig {
+        faults: FaultProfile::new(3).with_event(5, 2, FaultKind::Down),
+        ..ResilienceConfig::default()
+    });
     let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
     let _ = engine.submit(queries(&snapshot, 1, 32));
     let start = Instant::now();
@@ -193,11 +198,14 @@ fn shutdown_after_rank_down_is_bounded() {
 fn same_seed_gives_identical_stats_and_predictions() {
     let snapshot = baseline_snapshot();
     let run = || {
-        let config = ServeConfig::new(cluster_2x4())
-            .with_replicas(1)
-            .with_faults(FaultProfile::new(99).with_drop_rate(0.05))
-            .with_op_timeout(Duration::from_secs(10))
-            .with_retry(4, Duration::from_millis(1));
+        let config = ServeConfig::new(cluster_2x4()).with_resilience(ResilienceConfig {
+            replicas: 1,
+            faults: FaultProfile::new(99).with_drop_rate(0.05),
+            op_timeout: Some(Duration::from_secs(10)),
+            max_retries: 4,
+            retry_backoff: Duration::from_millis(1),
+            ..ResilienceConfig::default()
+        });
         let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
         let mut preds = Vec::new();
         for seed in 0..4 {
@@ -217,12 +225,14 @@ fn same_seed_gives_identical_stats_and_predictions() {
 #[test]
 fn stalled_rank_is_convicted_then_probed_back_in() {
     let snapshot = baseline_snapshot();
-    let config = ServeConfig::new(cluster_2x4())
-        .with_replicas(1)
-        .with_faults(FaultProfile::new(5).with_event(3, 0, FaultKind::Stall { ms: 1_500 }))
-        .with_op_timeout(Duration::from_millis(100))
-        .with_down_after(1)
-        .with_probe_every(2);
+    let config = ServeConfig::new(cluster_2x4()).with_resilience(ResilienceConfig {
+        replicas: 1,
+        faults: FaultProfile::new(5).with_event(3, 0, FaultKind::Stall { ms: 1_500 }),
+        op_timeout: Some(Duration::from_millis(100)),
+        down_after: 1,
+        probe_every_batches: 2,
+        ..ResilienceConfig::default()
+    });
     let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
 
     // The stalled rank misses its deadline, gets convicted by its peers, and —

@@ -9,7 +9,9 @@ use dmt_core::{naive_partition, DlrmTowerModule};
 use dmt_data::{Query, ZipfRequestStream};
 use dmt_models::ModelArch;
 use dmt_nn::EmbeddingTable;
-use dmt_serve::{serve_stream, BatcherConfig, ServeConfig, ServingEngine, StreamConfig};
+use dmt_serve::{
+    serve_stream, BatchConfig, BatcherConfig, ServeConfig, ServingEngine, StreamConfig,
+};
 use dmt_tensor::Tensor;
 use dmt_topology::{ClusterTopology, HardwareGeneration};
 use dmt_trainer::distributed::model::DenseStack;
@@ -111,7 +113,10 @@ fn served_predictions_are_bit_identical_to_the_training_model() {
         let batch = queries(&snapshot, 42, 32); // 32 / 8 ranks = 4 per rank
         let reference = reference_predictions(&snapshot, &batch);
         for cache_rows in [0usize, 4096] {
-            let config = ServeConfig::new(cluster_2x4()).with_cache_rows(cache_rows);
+            let config = ServeConfig::new(cluster_2x4()).with_batch(BatchConfig {
+                cache_rows,
+                ..BatchConfig::default()
+            });
             let mut engine = ServingEngine::start(&snapshot, &config).unwrap();
             let served = engine.submit(batch.clone()).unwrap();
             assert_eq!(served.len(), reference.len());
@@ -191,7 +196,10 @@ fn dmt_serving_moves_fewer_cross_host_bytes_per_query() {
     let mut per_query = Vec::new();
     for snap in [&base_snap, &dmt_snap] {
         // No cache: measure the raw topology effect first.
-        let config = ServeConfig::new(cluster_2x4()).with_cache_rows(0);
+        let config = ServeConfig::new(cluster_2x4()).with_batch(BatchConfig {
+            cache_rows: 0,
+            ..BatchConfig::default()
+        });
         let mut engine = ServingEngine::start(snap, &config).unwrap();
         let mut stream = ZipfRequestStream::new(snap.schema.clone(), 33, 1.1);
         let report = serve_stream(&mut engine, &stream_cfg, || stream.next_query()).unwrap();
@@ -217,7 +225,10 @@ fn hot_row_cache_cuts_wire_bytes_on_skewed_traffic() {
     };
     let mut cross = Vec::new();
     for cache_rows in [0usize, 8192] {
-        let config = ServeConfig::new(cluster_2x4()).with_cache_rows(cache_rows);
+        let config = ServeConfig::new(cluster_2x4()).with_batch(BatchConfig {
+            cache_rows,
+            ..BatchConfig::default()
+        });
         let mut engine = ServingEngine::start(&snap, &config).unwrap();
         let mut stream = ZipfRequestStream::new(snap.schema.clone(), 4, 1.2);
         let report = serve_stream(&mut engine, &stream_cfg, || stream.next_query()).unwrap();
