@@ -63,6 +63,10 @@ struct ServingResult {
     cache_hit_rate: f64,
     /// Mean cross-host bytes per query (summed over ranks).
     cross_host_bytes_per_query: f64,
+    /// Bytes resident in embedding shards (and replicas) across all ranks.
+    table_resident_bytes: u64,
+    /// Bytes resident in hot-row caches across all ranks.
+    cache_resident_bytes: u64,
     /// Requests measured.
     iters: u64,
 }
@@ -154,6 +158,8 @@ fn main() -> ExitCode {
             throughput_qps: report.throughput_qps,
             cache_hit_rate: report.stats.cache.hit_rate(),
             cross_host_bytes_per_query: report.stats.cross_host_bytes_per_query(),
+            table_resident_bytes: report.stats.table_resident_bytes,
+            cache_resident_bytes: report.stats.cache_resident_bytes,
             iters: report.requests as u64,
         };
         println!(

@@ -110,65 +110,11 @@ impl fmt::Display for WireFormat {
     }
 }
 
-/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest even.
-/// Overflow saturates to ±inf; NaN stays NaN (payload truncated, kept non-zero).
-#[must_use]
-pub fn f32_to_f16_bits(value: f32) -> u16 {
-    let bits = value.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xff) as i32;
-    let man = bits & 0x007f_ffff;
-    if exp == 0xff {
-        // Inf / NaN: preserve the class; keep a NaN's payload non-zero.
-        if man == 0 {
-            return sign | 0x7c00;
-        }
-        let payload = ((man >> 13) & 0x3ff) as u16;
-        return sign | 0x7c00 | if payload == 0 { 1 } else { payload };
-    }
-    let half_exp = exp - 127 + 15;
-    if half_exp >= 0x1f {
-        return sign | 0x7c00; // overflow -> inf
-    }
-    let (mantissa, shift) = if half_exp <= 0 {
-        if half_exp < -10 {
-            return sign; // underflow -> signed zero
-        }
-        // Subnormal: shift the (implicit-bit-restored) mantissa into place.
-        (man | 0x0080_0000, (14 - half_exp) as u32)
-    } else {
-        (man, 13u32)
-    };
-    let kept = mantissa >> shift;
-    let rem = mantissa & ((1u32 << shift) - 1);
-    let half = 1u32 << (shift - 1);
-    let round_up = rem > half || (rem == half && (kept & 1) == 1);
-    let body = if half_exp <= 0 {
-        kept as u16
-    } else {
-        ((half_exp as u16) << 10) | (kept & 0x3ff) as u16
-    };
-    // A carry out of the mantissa lands in the exponent, which is exactly the
-    // IEEE rounding behaviour (up to the next binade, or to inf).
-    sign | body.wrapping_add(u16::from(round_up))
-}
-
-/// Converts IEEE 754 binary16 bits back to `f32` (exact).
-#[must_use]
-pub fn f16_bits_to_f32(half: u16) -> f32 {
-    let sign = u32::from(half & 0x8000) << 16;
-    let exp = (half >> 10) & 0x1f;
-    let man = u32::from(half & 0x3ff);
-    match exp {
-        0 => {
-            // Signed zero / subnormal: value = man * 2^-24, exact in f32.
-            let magnitude = man as f32 * f32::from_bits(0x3380_0000); // 2^-24
-            f32::from_bits(magnitude.to_bits() | sign)
-        }
-        0x1f => f32::from_bits(sign | 0x7f80_0000 | (man << 13)),
-        _ => f32::from_bits(sign | ((u32::from(exp) + 112) << 23) | (man << 13)),
-    }
-}
+// The half-precision conversion pair is shared with quantized *storage*
+// (`dmt_tensor::quant` holds the canonical implementation): an fp16 word on
+// the wire and an fp16 word in a table shard are bit-compatible by
+// construction, not by parallel maintenance of two converters.
+pub use dmt_tensor::quant::{f16_bits_to_f32, f32_to_f16_bits};
 
 /// Packs two half-precision lanes into one wire word. The word is an arbitrary
 /// bit pattern reinterpreted as `f32`; the transport moves it without arithmetic.

@@ -125,6 +125,17 @@ impl DlrmTowerModule {
     pub fn ensemble_params(&self) -> (usize, usize, usize) {
         (self.c, self.p, self.d)
     }
+
+    /// Switches both ensemble branches' forward passes to the given storage
+    /// precision ([`dmt_tensor::Precision::F32`] restores the exact kernels).
+    pub fn quantize_weights(&mut self, precision: dmt_tensor::Precision) {
+        if let Some(l) = &mut self.flat_linear {
+            l.quantize_weights(precision);
+        }
+        if let Some(l) = &mut self.per_feature_linear {
+            l.quantize_weights(precision);
+        }
+    }
 }
 
 impl HasParameters for DlrmTowerModule {
@@ -255,6 +266,15 @@ impl DcnTowerModule {
             embedding_dim,
             d,
         })
+    }
+
+    /// Switches the projection's forward pass to the given storage precision.
+    ///
+    /// The CrossNet stays f32: its per-layer matvecs are tiny relative to the
+    /// projection GEMM, so quantizing them would add error without a
+    /// measurable speed or memory win.
+    pub fn quantize_weights(&mut self, precision: dmt_tensor::Precision) {
+        self.projection.quantize_weights(precision);
     }
 }
 

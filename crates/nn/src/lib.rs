@@ -16,6 +16,8 @@
 //!   row-wise Adagrad update (the standard optimizer for embedding tables).
 //! * [`ShardedEmbeddingTable`] — one rank's row-block shard of a logical table, the
 //!   local half of the distributed lookup/grad exchange the execution engine drives.
+//! * [`QuantizedEmbeddingTable`] / [`QuantizedShardedTable`] — int8/fp16 storage for
+//!   serving-side tables with allocation-free on-the-fly dequantization.
 //! * [`BceWithLogitsLoss`] — the binary cross-entropy training objective.
 //! * [`SgdOptimizer`] / [`AdamOptimizer`] — dense-parameter optimizers.
 //!
@@ -46,6 +48,7 @@ pub mod loss;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod quantized;
 pub mod sharded;
 
 pub use crossnet::CrossNet;
@@ -56,4 +59,5 @@ pub use loss::BceWithLogitsLoss;
 pub use mlp::Mlp;
 pub use optim::{AdamOptimizer, Optimizer, SgdOptimizer};
 pub use param::Parameter;
+pub use quantized::{QuantizedEmbeddingTable, QuantizedShardedTable};
 pub use sharded::{replica_rank, replica_sources, ShardedEmbeddingTable};

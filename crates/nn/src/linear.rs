@@ -1,9 +1,39 @@
 //! Fully connected (affine) layer.
 
 use crate::param::{HasParameters, Parameter};
-use dmt_tensor::{xavier_uniform, Tensor, TensorError};
+use dmt_tensor::quant::Precision;
+use dmt_tensor::{
+    gemm_a_bt_f16, gemm_a_bt_q8, xavier_uniform, F16BtMatrix, QuantizedBtMatrix, Tensor,
+    TensorError,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Reduced-precision weight sidecar for the serving forward pass: the layer's
+/// `[in, out]` weight packed as `Wᵀ` rows at int8 (per-output-column scales)
+/// or fp16 words. Built once by [`Linear::quantize_weights`]; the f32 master
+/// weight stays in place (training and `weight()` probes keep using it).
+#[derive(Debug, Clone, PartialEq)]
+enum QuantWeight {
+    /// Symmetric int8 with per-output-column scales, integer-dot kernel.
+    Int8(QuantizedBtMatrix),
+    /// IEEE binary16 words, decoded on the fly inside the GEMM.
+    Fp16(F16BtMatrix),
+}
+
+// Snapshots carry f32 weights and re-quantize on load, so the sidecar
+// serializes as a bare precision marker rather than its packed payload.
+impl Serialize for QuantWeight {
+    fn to_json_value(&self) -> serde::json::Value {
+        let tag = match self {
+            QuantWeight::Int8(_) => "int8",
+            QuantWeight::Fp16(_) => "fp16",
+        };
+        serde::json::Value::String(tag.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for QuantWeight {}
 
 /// A fully connected layer computing `y = x W + b`.
 ///
@@ -18,6 +48,9 @@ pub struct Linear {
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
+    /// Serving-only quantized weight sidecar; serializes as a precision
+    /// marker only (snapshots carry f32 weights and re-quantize on load).
+    quantized: Option<QuantWeight>,
 }
 
 impl Linear {
@@ -30,6 +63,7 @@ impl Linear {
             in_features,
             out_features,
             cached_input: None,
+            quantized: None,
         }
     }
 
@@ -60,9 +94,67 @@ impl Linear {
     ///
     /// Returns a [`TensorError`] if `input` is not `[batch, in_features]`.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, TensorError> {
-        let out = input.matmul_bias(&self.weight.value, &self.bias.value)?;
+        let out = match &self.quantized {
+            None => input.matmul_bias(&self.weight.value, &self.bias.value)?,
+            Some(q) => self.forward_quantized(input, q)?,
+        };
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    /// Quantized forward: bias broadcast into the output, then the packed
+    /// reduced-precision GEMM accumulates on top (same fused-bias contract as
+    /// [`Tensor::matmul_bias`]).
+    fn forward_quantized(&self, input: &Tensor, q: &QuantWeight) -> Result<Tensor, TensorError> {
+        if input.rank() != 2 || input.shape()[1] != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_forward_quantized",
+                lhs: input.shape().to_vec(),
+                rhs: vec![self.in_features, self.out_features],
+            });
+        }
+        let batch = input.shape()[0];
+        let (m, k, n) = (batch, self.in_features, self.out_features);
+        let mut data = Vec::with_capacity(m * n);
+        for _ in 0..m {
+            data.extend_from_slice(self.bias.value.data());
+        }
+        match q {
+            QuantWeight::Int8(w) => gemm_a_bt_q8(input.data(), w, &mut data, m, k),
+            QuantWeight::Fp16(w) => gemm_a_bt_f16(input.data(), w, &mut data, m, k),
+        }
+        Tensor::from_vec(vec![m, n], data)
+    }
+
+    /// Selects the forward-pass weight precision: packs the f32 weight into an
+    /// int8 or fp16 sidecar ([`Precision::F32`] clears it back to the fused
+    /// f32 kernel). The f32 master weight is untouched, so re-quantizing — or
+    /// returning to f32 — is always lossless.
+    pub fn quantize_weights(&mut self, precision: Precision) {
+        let (k, n) = (self.in_features, self.out_features);
+        self.quantized = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(QuantWeight::Int8(QuantizedBtMatrix::from_col_major(
+                self.weight.value.data(),
+                k,
+                n,
+            ))),
+            Precision::Fp16 => Some(QuantWeight::Fp16(F16BtMatrix::from_col_major(
+                self.weight.value.data(),
+                k,
+                n,
+            ))),
+        };
+    }
+
+    /// The forward-pass weight precision currently selected.
+    #[must_use]
+    pub fn weight_precision(&self) -> Precision {
+        match &self.quantized {
+            None => Precision::F32,
+            Some(QuantWeight::Int8(_)) => Precision::Int8,
+            Some(QuantWeight::Fp16(_)) => Precision::Fp16,
+        }
     }
 
     /// Backward pass: accumulates `dW`, `db` and returns `dx`.
@@ -206,5 +298,42 @@ mod tests {
     fn backward_before_forward_panics() {
         let mut l = layer(2, 2);
         let _ = l.backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    fn quantized_forward_tracks_the_f32_forward() {
+        let mut l = layer(24, 12);
+        let x = Tensor::from_vec(
+            vec![3, 24],
+            (0..72).map(|i| (i as f32 * 0.37).sin()).collect(),
+        )
+        .unwrap();
+        let reference = l.forward(&x).unwrap();
+        for (precision, tol) in [(Precision::Fp16, 2e-2f32), (Precision::Int8, 0.3)] {
+            l.quantize_weights(precision);
+            assert_eq!(l.weight_precision(), precision);
+            let y = l.forward(&x).unwrap();
+            assert_eq!(y.shape(), reference.shape());
+            for (a, b) in y.data().iter().zip(reference.data()) {
+                assert!((a - b).abs() <= tol, "{precision}: {a} vs {b}");
+            }
+        }
+        // Returning to f32 restores the exact fused kernel.
+        l.quantize_weights(Precision::F32);
+        let back = l.forward(&x).unwrap();
+        for (a, b) in back.data().iter().zip(reference.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantized_forward_validates_shapes_and_keeps_backward_alive() {
+        let mut l = layer(3, 2);
+        l.quantize_weights(Precision::Int8);
+        assert!(l.forward(&Tensor::ones(&[4, 5])).is_err());
+        // The f32 master weight still drives backward (training never
+        // quantizes, but the cached-input contract must hold regardless).
+        let y = l.forward(&Tensor::ones(&[1, 3])).unwrap();
+        assert!(l.backward(&Tensor::ones(y.shape())).is_ok());
     }
 }

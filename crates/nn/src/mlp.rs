@@ -65,6 +65,17 @@ impl Mlp {
         self.layers.iter().map(Linear::flops_per_sample).sum()
     }
 
+    /// Switches every layer's forward pass to the given storage precision.
+    ///
+    /// [`dmt_tensor::Precision::F32`] drops the quantized sidecars and restores
+    /// the exact fused kernel. The f32 master weights are retained either way,
+    /// so training (backward + optimizer steps) is unaffected.
+    pub fn quantize_weights(&mut self, precision: dmt_tensor::Precision) {
+        for layer in &mut self.layers {
+            layer.quantize_weights(precision);
+        }
+    }
+
     /// Forward pass with ReLU after every layer except the last.
     ///
     /// # Errors

@@ -11,6 +11,8 @@
 //! bytes saved (`dim × 4` per hit), which the serving report folds into the
 //! per-query byte accounting.
 
+use dmt_tensor::quant::{f16_bits_to_f32, f32_to_f16_bits, int8_scale, quantize_i8};
+use dmt_tensor::Precision;
 use std::collections::HashMap;
 
 /// Hit/miss/byte counters of a [`HotRowCache`].
@@ -63,11 +65,52 @@ impl CacheStats {
     }
 }
 
+/// One cached row at the cache's storage precision.
+///
+/// fp16 round-trips bit-exactly through re-quantization (decoded values are
+/// exactly representable), so a re-inserted fp16 row never drifts. int8 rows
+/// carry one fresh per-row scale; re-quantizing an already-dequantized int8
+/// row adds at most half an original quantization step.
+#[derive(Debug, Clone)]
+enum StoredRow {
+    /// Full-precision row — the exact bit-identical path.
+    F32(Vec<f32>),
+    /// IEEE binary16 words.
+    F16(Vec<u16>),
+    /// Symmetric int8 payload with its per-row scale.
+    I8 { q: Vec<i8>, scale: f32 },
+}
+
+impl StoredRow {
+    fn encode(row: &[f32], precision: Precision) -> Self {
+        match precision {
+            Precision::F32 => StoredRow::F32(row.to_vec()),
+            Precision::Fp16 => StoredRow::F16(row.iter().map(|&v| f32_to_f16_bits(v)).collect()),
+            Precision::Int8 => {
+                let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                let scale = int8_scale(max_abs);
+                StoredRow::I8 {
+                    q: row.iter().map(|&v| quantize_i8(v, scale)).collect(),
+                    scale,
+                }
+            }
+        }
+    }
+
+    fn decode_into(&self, out: &mut Vec<f32>) {
+        match self {
+            StoredRow::F32(row) => out.extend_from_slice(row),
+            StoredRow::F16(words) => out.extend(words.iter().map(|&w| f16_bits_to_f32(w))),
+            StoredRow::I8 { q, scale } => out.extend(q.iter().map(|&v| f32::from(v) * scale)),
+        }
+    }
+}
+
 /// Intrusive doubly-linked LRU slot.
 #[derive(Debug, Clone)]
 struct Slot {
     key: u64,
-    row: Vec<f32>,
+    row: StoredRow,
     prev: usize,
     next: usize,
 }
@@ -81,6 +124,7 @@ const NIL: usize = usize::MAX;
 pub struct HotRowCache {
     capacity_rows: usize,
     dim: usize,
+    precision: Precision,
     map: HashMap<u64, usize>,
     slots: Vec<Slot>,
     free: Vec<usize>,
@@ -92,13 +136,23 @@ pub struct HotRowCache {
 }
 
 impl HotRowCache {
-    /// Creates a cache holding at most `capacity_rows` rows of width `dim`.
-    /// A zero capacity is a valid always-miss cache.
+    /// Creates a cache holding at most `capacity_rows` rows of width `dim`,
+    /// stored at full precision. A zero capacity is a valid always-miss cache.
     #[must_use]
     pub fn new(capacity_rows: usize, dim: usize) -> Self {
+        Self::with_precision(capacity_rows, dim, Precision::F32)
+    }
+
+    /// [`HotRowCache::new`] at a chosen storage precision: cached rows live as
+    /// int8/fp16 words, so the same row budget costs proportionally fewer
+    /// resident bytes. Hit/saved-byte accounting is unchanged — a hit still
+    /// avoids the same `dim × 4` f32 wire bytes whatever the storage format.
+    #[must_use]
+    pub fn with_precision(capacity_rows: usize, dim: usize, precision: Precision) -> Self {
         Self {
             capacity_rows,
             dim,
+            precision,
             map: HashMap::with_capacity(capacity_rows.min(1 << 20)),
             slots: Vec::new(),
             free: Vec::new(),
@@ -112,6 +166,24 @@ impl HotRowCache {
     #[must_use]
     pub fn capacity_rows(&self) -> usize {
         self.capacity_rows
+    }
+
+    /// Storage precision of the cached rows.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Bytes currently resident in cached row payloads (int8 rows include
+    /// their per-row scale word).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        let per_row = match self.precision {
+            Precision::F32 => self.dim as u64 * 4,
+            Precision::Fp16 => self.dim as u64 * 2,
+            Precision::Int8 => self.dim as u64 + 4,
+        };
+        self.map.len() as u64 * per_row
     }
 
     /// Rows currently cached.
@@ -145,7 +217,7 @@ impl HotRowCache {
             Some(slot) => {
                 self.stats.hits += 1;
                 self.stats.saved_bytes += self.dim as u64 * 4;
-                out.extend_from_slice(&self.slots[slot].row);
+                self.slots[slot].row.decode_into(out);
                 self.touch(slot);
                 true
             }
@@ -174,18 +246,19 @@ impl HotRowCache {
             return;
         }
         if let Some(&slot) = self.map.get(&key) {
-            self.slots[slot].row.copy_from_slice(row);
+            self.slots[slot].row = StoredRow::encode(row, self.precision);
             self.touch(slot);
             return;
         }
         if self.map.len() >= self.capacity_rows {
             self.evict_lru();
         }
+        let stored = StoredRow::encode(row, self.precision);
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.slots[slot] = Slot {
                     key,
-                    row: row.to_vec(),
+                    row: stored,
                     prev: NIL,
                     next: NIL,
                 };
@@ -194,7 +267,7 @@ impl HotRowCache {
             None => {
                 self.slots.push(Slot {
                     key,
-                    row: row.to_vec(),
+                    row: stored,
                     prev: NIL,
                     next: NIL,
                 });
@@ -263,7 +336,7 @@ impl HotRowCache {
         debug_assert_ne!(victim, NIL, "evict called on an empty cache");
         self.unlink(victim);
         self.map.remove(&self.slots[victim].key);
-        self.slots[victim].row = Vec::new();
+        self.slots[victim].row = StoredRow::F32(Vec::new());
         self.free.push(victim);
         self.stats.evictions += 1;
     }
@@ -347,6 +420,54 @@ mod tests {
         let first = cache.take_stats();
         assert_eq!(first.hits, 1);
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn quantized_storage_shrinks_resident_bytes() {
+        let dim = 32;
+        let source: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.31).sin() * 3.0).collect();
+        let f32_bytes = {
+            let mut c = HotRowCache::new(8, dim);
+            c.insert(1, &source);
+            c.resident_bytes()
+        };
+        assert_eq!(f32_bytes, dim as u64 * 4);
+        for (precision, expected) in [
+            (Precision::Fp16, dim as u64 * 2),
+            (Precision::Int8, dim as u64 + 4),
+        ] {
+            let mut c = HotRowCache::with_precision(8, dim, precision);
+            assert_eq!(c.precision(), precision);
+            c.insert(1, &source);
+            assert_eq!(c.resident_bytes(), expected);
+            let mut out = Vec::new();
+            assert!(c.lookup_into(1, &mut out));
+            assert_eq!(out.len(), dim);
+            let tol = precision.max_abs_error(3.0);
+            for (got, want) in out.iter().zip(&source) {
+                assert!((got - want).abs() <= tol, "{precision}: {got} vs {want}");
+            }
+            // Hit accounting is storage-independent: a hit saves f32 wire bytes.
+            assert_eq!(c.stats().saved_bytes, dim as u64 * 4);
+        }
+    }
+
+    #[test]
+    fn fp16_rows_round_trip_bit_exactly_through_reinsert() {
+        let dim = 8;
+        let source: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.77).cos()).collect();
+        let mut c = HotRowCache::with_precision(4, dim, Precision::Fp16);
+        c.insert(1, &source);
+        let mut first = Vec::new();
+        assert!(c.lookup_into(1, &mut first));
+        // Re-inserting the decoded row must not drift: decoded fp16 values are
+        // exactly representable, so re-quantization is idempotent.
+        c.insert(1, &first);
+        let mut second = Vec::new();
+        assert!(c.lookup_into(1, &mut second));
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -104,6 +104,14 @@ pub struct ServeStats {
     /// Bytes of replica shard copies held across all ranks — a capacity
     /// *gauge*, not a per-batch delta (constant for the engine's lifetime).
     pub replica_bytes: u64,
+    /// Bytes resident in embedding shard storage across all ranks (primaries
+    /// plus replicas, at the configured
+    /// [`ComputePrecision`](crate::ComputePrecision)) — a gauge, constant for
+    /// the engine's lifetime. This is the number int8/fp16 storage shrinks.
+    pub table_resident_bytes: u64,
+    /// Bytes resident in hot-row cache entries across all ranks, sampled after
+    /// the most recent batch — a gauge that grows as the cache fills.
+    pub cache_resident_bytes: u64,
     /// Hot-row cache counters, summed across ranks.
     pub cache: CacheStats,
 }
@@ -144,6 +152,8 @@ impl ServeStats {
             failovers: self.failovers - before.failovers,
             degraded_answers: self.degraded_answers - before.degraded_answers,
             replica_bytes: self.replica_bytes,
+            table_resident_bytes: self.table_resident_bytes,
+            cache_resident_bytes: self.cache_resident_bytes,
             cache: self.cache.since(&before.cache),
         }
     }
@@ -168,6 +178,8 @@ struct RankBatchResult {
     failovers: u64,
     degraded_answers: u64,
     cache: CacheStats,
+    /// Bytes resident in this rank's cache after the batch (a gauge).
+    cache_resident_bytes: u64,
 }
 
 struct RankReply {
@@ -359,16 +371,21 @@ fn build_rank_model(
         num_units,
     );
     load_params(&mut dense, &snapshot.dense_params)?;
-    let cache = HotRowCache::new(config.batch.cache_rows, n);
+    // The whole forward pass follows the configured precision: dense GEMMs,
+    // embedding shard storage and the hot-row cache. F32 is exactly the
+    // pre-quantization bit-identical path.
+    dense.quantize_weights(config.precision);
+    let cache = HotRowCache::with_precision(config.batch.cache_rows, n, config.precision);
     match snapshot.mode {
         ExecutionMode::Baseline => {
-            let answerer = ReplicatedAnswerer::new(
+            let answerer = ReplicatedAnswerer::with_precision(
                 (0..snapshot.schema.num_sparse()).collect(),
                 &snapshot.tables,
                 cluster.world_size(),
                 rank,
                 config.resilience.replicas,
                 cluster.gpus_per_host(),
+                config.precision,
             )?;
             Ok(RankModel::Baseline(Box::new(BaselineRank {
                 answerer,
@@ -379,11 +396,12 @@ fn build_rank_model(
         }
         ExecutionMode::Dmt => {
             let layout = serve_layout(snapshot, cluster, rank)?;
-            let lookup = ShardedLookup::from_tables(
+            let lookup = ShardedLookup::from_tables_quantized(
                 layout.my_features.clone(),
                 &snapshot.tables,
                 cluster.gpus_per_host(),
                 layout.my_slot,
+                config.precision,
             )?;
             // Geometry first (any rng — every parameter is overwritten).
             let mut rng = rand::rngs::StdRng::seed_from_u64(snapshot.seed);
@@ -399,6 +417,7 @@ fn build_rank_model(
                 reason: e.to_string(),
             })?;
             load_params(&mut tower, &snapshot.tower_params[layout.my_host])?;
+            tower.quantize_weights(config.precision);
             let peer_ranks = (0..layout.hosts)
                 .map(|h| cluster.ranks_on_host(h)[layout.my_slot].0)
                 .collect();
@@ -905,9 +924,9 @@ impl RankModel {
             }
         };
         let (payload_bytes, cross_host_bytes, intra_host_bytes) = worlds.drain_bytes();
-        let cache = match self {
-            RankModel::Baseline(state) => state.cache.take_stats(),
-            RankModel::Dmt(state) => state.cache.take_stats(),
+        let (cache, cache_resident_bytes) = match self {
+            RankModel::Baseline(state) => (state.cache.take_stats(), state.cache.resident_bytes()),
+            RankModel::Dmt(state) => (state.cache.take_stats(), state.cache.resident_bytes()),
         };
         Ok(RankBatchResult {
             preds,
@@ -918,6 +937,7 @@ impl RankModel {
             failovers: counters.failovers,
             degraded_answers,
             cache,
+            cache_resident_bytes,
         })
     }
 }
@@ -1010,6 +1030,13 @@ impl ServingEngine {
                 RankModel::Dmt(_) => 0,
             })
             .sum();
+        let table_resident_bytes = models
+            .iter()
+            .map(|m| match m {
+                RankModel::Baseline(state) => state.answerer.resident_bytes(),
+                RankModel::Dmt(state) => state.lookup.resident_bytes(),
+            })
+            .sum();
         let worlds = build_worlds(
             cluster,
             config.fabric,
@@ -1052,6 +1079,7 @@ impl ServingEngine {
             controls,
             stats: ServeStats {
                 replica_bytes,
+                table_resident_bytes,
                 ..ServeStats::default()
             },
             poisoned: false,
@@ -1199,6 +1227,7 @@ impl ServingEngine {
             return Err(error);
         }
         let mut preds = Vec::with_capacity(total);
+        let mut cache_resident = 0u64;
         for result in per_rank.into_iter().flatten() {
             preds.extend(result.preds);
             self.stats.payload_bytes += result.payload_bytes;
@@ -1208,7 +1237,9 @@ impl ServingEngine {
             self.stats.failovers += result.failovers;
             self.stats.degraded_answers += result.degraded_answers;
             self.stats.cache.merge(&result.cache);
+            cache_resident += result.cache_resident_bytes;
         }
+        self.stats.cache_resident_bytes = cache_resident;
         debug_assert_eq!(preds.len(), total);
         self.stats.queries += total as u64;
         self.stats.batches += 1;

@@ -43,6 +43,11 @@
 //!   faults, fails lookups over to replica holders (bit-identically), and
 //!   either errors or zero-fills ([`DegradedPolicy`]) rows with no live holder.
 //!   Faults are injected deterministically via [`dmt_comm::FaultProfile`].
+//! * **Quantized compute** — [`ServeConfig::precision`] switches the whole
+//!   forward pass to int8 or fp16 storage: embedding shards and replicas are
+//!   quantized once at load time ([`dmt_nn::QuantizedShardedTable`]), the
+//!   hot-row cache stores quantized rows, and the dense stack runs through the
+//!   SIMD int8 / fp16 GEMM kernels. F32 keeps the exact bit-identical path.
 //!
 //! Served predictions are **bit-identical** to a forward pass through the
 //! training-side model over the same sub-batches: the engine reuses the trainer's
@@ -93,6 +98,10 @@ pub use health::HealthView;
 pub use replica::ReplicatedAnswerer;
 pub use request::{Priority, Request, ShedReason, NO_DEADLINE};
 pub use stage::{CompletedRequest, StagePools, StageStats, StagedEngine};
+
+/// Storage/compute precision of a serving deployment's forward pass
+/// (re-export of [`dmt_tensor::Precision`]; see [`ServeConfig::precision`]).
+pub use dmt_tensor::Precision as ComputePrecision;
 
 use dmt_comm::{CommError, FabricProfile, FaultProfile};
 use dmt_tensor::TensorError;
@@ -242,6 +251,11 @@ pub struct ServeConfig {
     pub resilience: ResilienceConfig,
     /// Deadline / queue-bound / priority policy.
     pub slo: SloConfig,
+    /// Storage/compute precision of the serving forward pass: embedding
+    /// shards, replica shards, hot-row cache entries and dense weights all
+    /// live at this precision ([`ComputePrecision::F32`] is the exact
+    /// bit-identical-to-training path).
+    pub precision: ComputePrecision,
 }
 
 impl ServeConfig {
@@ -256,6 +270,7 @@ impl ServeConfig {
             batch: BatchConfig::default(),
             resilience: ResilienceConfig::default(),
             slo: SloConfig::default(),
+            precision: ComputePrecision::F32,
         }
     }
 
@@ -287,74 +302,10 @@ impl ServeConfig {
         self
     }
 
-    /// Overrides the per-rank hot-row cache capacity (0 disables the cache).
-    #[deprecated(note = "set `batch.cache_rows` (see `BatchConfig`) instead")]
+    /// Overrides the compute precision of the whole serving forward pass.
     #[must_use]
-    pub fn with_cache_rows(mut self, cache_rows: usize) -> Self {
-        self.batch.cache_rows = cache_rows;
-        self
-    }
-
-    /// Keeps `replicas` cross-host copies of every embedding shard and fails
-    /// lookups over to them when the owner dies (baseline serving only).
-    #[deprecated(note = "set `resilience.replicas` (see `ResilienceConfig`) instead")]
-    #[must_use]
-    pub fn with_replicas(mut self, replicas: usize) -> Self {
-        self.resilience.replicas = replicas;
-        self
-    }
-
-    /// Injects a deterministic fault schedule into every rank's collectives.
-    #[deprecated(note = "set `resilience.faults` (see `ResilienceConfig`) instead")]
-    #[must_use]
-    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
-        self.resilience.faults = faults;
-        self
-    }
-
-    /// Bounds every collective's rendezvous wait, turning dead peers into
-    /// observable [`CommError::Timeout`]s.
-    #[deprecated(note = "set `resilience.op_timeout` (see `ResilienceConfig`) instead")]
-    #[must_use]
-    pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
-        self.resilience.op_timeout = Some(timeout);
-        self
-    }
-
-    /// Overrides the transient-fault retry policy.
-    #[deprecated(
-        note = "set `resilience.max_retries` / `resilience.retry_backoff` (see `ResilienceConfig`) instead"
-    )]
-    #[must_use]
-    pub fn with_retry(mut self, max_retries: u32, backoff: Duration) -> Self {
-        self.resilience.max_retries = max_retries;
-        self.resilience.retry_backoff = backoff;
-        self
-    }
-
-    /// Overrides how many consecutive implicated timeouts convict a peer.
-    #[deprecated(note = "set `resilience.down_after` (see `ResilienceConfig`) instead")]
-    #[must_use]
-    pub fn with_down_after(mut self, down_after: u32) -> Self {
-        self.resilience.down_after = down_after;
-        self
-    }
-
-    /// Probes dead ranks back into service every `batches` submitted batches,
-    /// failed ones included (skipping ranks the fault schedule holds
-    /// permanently down).
-    #[deprecated(note = "set `resilience.probe_every_batches` (see `ResilienceConfig`) instead")]
-    #[must_use]
-    pub fn with_probe_every(mut self, batches: u64) -> Self {
-        self.resilience.probe_every_batches = batches;
-        self
-    }
-
-    /// Overrides the no-live-holder policy.
-    #[deprecated(note = "set `resilience.degraded` (see `ResilienceConfig`) instead")]
-    #[must_use]
-    pub fn with_degraded(mut self, degraded: DegradedPolicy) -> Self {
-        self.resilience.degraded = degraded;
+    pub fn with_precision(mut self, precision: ComputePrecision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -560,25 +511,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_route_to_the_sub_configs() {
+    fn precision_defaults_to_f32_and_overrides() {
         use dmt_topology::{ClusterTopology, HardwareGeneration};
         let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2).unwrap();
-        let cfg = ServeConfig::new(cluster)
-            .with_cache_rows(5)
-            .with_replicas(1)
-            .with_op_timeout(Duration::from_millis(9))
-            .with_retry(7, Duration::from_millis(3))
-            .with_down_after(2)
-            .with_probe_every(11)
-            .with_degraded(DegradedPolicy::ZeroFill);
-        assert_eq!(cfg.batch.cache_rows, 5);
-        assert_eq!(cfg.resilience.replicas, 1);
-        assert_eq!(cfg.resilience.op_timeout, Some(Duration::from_millis(9)));
-        assert_eq!(cfg.resilience.max_retries, 7);
-        assert_eq!(cfg.resilience.retry_backoff, Duration::from_millis(3));
-        assert_eq!(cfg.resilience.down_after, 2);
-        assert_eq!(cfg.resilience.probe_every_batches, 11);
-        assert_eq!(cfg.resilience.degraded, DegradedPolicy::ZeroFill);
+        let cfg = ServeConfig::new(cluster);
+        assert!(cfg.precision.is_f32());
+        let cfg = cfg.with_precision(ComputePrecision::Int8);
+        assert_eq!(cfg.precision, ComputePrecision::Int8);
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::ServeError;
 use dmt_nn::{replica_rank, replica_sources};
+use dmt_tensor::Precision;
 use dmt_trainer::distributed::model::{decode_key, encode_key, ShardedLookup};
 use dmt_trainer::distributed::TableWeights;
 
@@ -57,9 +58,40 @@ impl ReplicatedAnswerer {
         replicas: usize,
         gpus_per_host: usize,
     ) -> Result<Self, ServeError> {
+        Self::with_precision(
+            features,
+            tables,
+            world,
+            me,
+            replicas,
+            gpus_per_host,
+            Precision::F32,
+        )
+    }
+
+    /// [`ReplicatedAnswerer::new`] at a chosen storage precision: both the
+    /// primary shard and every held replica shard are quantized at load time,
+    /// so replication cost shrinks by the same factor as primary storage.
+    /// Failed-over answers stay bit-identical to the healthy ones — a replica
+    /// quantizes the exact snapshot rows its primary does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] if a feature has no snapshot table or the
+    /// table dimensions are inconsistent.
+    pub fn with_precision(
+        features: Vec<usize>,
+        tables: &[TableWeights],
+        world: usize,
+        me: usize,
+        replicas: usize,
+        gpus_per_host: usize,
+        precision: Precision,
+    ) -> Result<Self, ServeError> {
         let mut sorted = features;
         sorted.sort_unstable();
-        let primary = ShardedLookup::from_tables(sorted.clone(), tables, world, me)?;
+        let primary =
+            ShardedLookup::from_tables_quantized(sorted.clone(), tables, world, me, precision)?;
         let mut feature_rows = Vec::with_capacity(sorted.len());
         for &f in &sorted {
             let table =
@@ -75,8 +107,14 @@ impl ReplicatedAnswerer {
         let mut replica_bytes = 0u64;
         if replicas > 0 {
             for source in replica_sources(me, replicas, world, gpus_per_host) {
-                let lookup = ShardedLookup::from_tables(sorted.clone(), tables, world, source)?;
-                replica_bytes += shard_bytes(&sorted, tables, world, source);
+                let lookup = ShardedLookup::from_tables_quantized(
+                    sorted.clone(),
+                    tables,
+                    world,
+                    source,
+                    precision,
+                )?;
+                replica_bytes += lookup.resident_bytes();
                 held.push((source, lookup));
             }
         }
@@ -110,10 +148,17 @@ impl ReplicatedAnswerer {
     }
 
     /// Bytes of peer-shard copies this rank holds — the storage cost of its
-    /// share of the replication.
+    /// share of the replication, at the shards' actual storage precision.
     #[must_use]
     pub fn replica_bytes(&self) -> u64 {
         self.replica_bytes
+    }
+
+    /// Bytes resident in every shard this rank holds, primary included —
+    /// payload words plus int8 per-row scales at the storage precision.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.primary.resident_bytes() + self.replica_bytes
     }
 
     /// Ranks whose primary shards this rank replicates, in placement order.
@@ -239,26 +284,6 @@ impl ReplicatedAnswerer {
     }
 }
 
-/// Bytes of shard `shard_index` of a `world`-way partition of `features`'s
-/// tables — the snapshot slice a replica of that shard copies.
-fn shard_bytes(
-    features: &[usize],
-    tables: &[TableWeights],
-    world: usize,
-    shard_index: usize,
-) -> u64 {
-    let mut bytes = 0u64;
-    for &f in features {
-        if let Some(table) = tables.iter().find(|t| t.feature == f) {
-            let rows_per_shard = table.rows.div_ceil(world);
-            let lo = (shard_index * rows_per_shard).min(table.rows);
-            let hi = ((shard_index + 1) * rows_per_shard).min(table.rows);
-            bytes += ((hi - lo) * table.dim * std::mem::size_of::<f32>()) as u64;
-        }
-    }
-    bytes
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +327,28 @@ mod tests {
         let foreign = vec![encode_key(0, 20), encode_key(0, 0)]; // shard 0 not held
         assert_eq!(answerer.answer(&[covered]).unwrap()[0].len(), 4);
         assert!(answerer.answer(&[foreign]).unwrap()[0].is_empty());
+    }
+
+    #[test]
+    fn quantized_replicas_stay_bit_identical_to_their_owner() {
+        let tables = tables(2, 32, 4);
+        let world = 8;
+        for precision in [Precision::Fp16, Precision::Int8] {
+            let owner =
+                ReplicatedAnswerer::with_precision(vec![0, 1], &tables, world, 1, 0, 4, precision)
+                    .unwrap();
+            let holder =
+                ReplicatedAnswerer::with_precision(vec![0, 1], &tables, world, 5, 1, 4, precision)
+                    .unwrap();
+            let keys = vec![encode_key(0, 4), encode_key(0, 7), encode_key(1, 5)];
+            let from_owner = owner.answer(std::slice::from_ref(&keys)).unwrap();
+            let from_holder = holder.answer(&[keys]).unwrap();
+            assert_eq!(from_owner, from_holder, "{precision}");
+            // Quantized replicas cost proportionally fewer resident bytes than
+            // the f32 shard slice they stand in for (2 features × 4 rows × 4
+            // dims × 4 bytes = 128).
+            assert!(holder.replica_bytes() < 128, "{precision}");
+        }
     }
 
     #[test]

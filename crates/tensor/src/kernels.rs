@@ -336,7 +336,7 @@ const DOT_LANES: usize = 16;
 /// A single running sum is a serial FP dependency chain the compiler must not
 /// reassociate; `DOT_LANES` parallel lanes folded at the end keep the loop wide.
 #[inline]
-fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+pub(crate) fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
     let mut acc = [0.0f32; DOT_LANES];
     let chunks = x.len() / DOT_LANES * DOT_LANES;
     let mut p = 0;
@@ -362,7 +362,7 @@ fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
 /// running dot is a serial FP dependency the compiler must not reassociate) and reads
 /// the shared `x` row once for all four products.
 #[inline]
-fn dot4_lanes(x: &[f32], y0: &[f32], y1: &[f32], y2: &[f32], y3: &[f32]) -> [f32; 4] {
+pub(crate) fn dot4_lanes(x: &[f32], y0: &[f32], y1: &[f32], y2: &[f32], y3: &[f32]) -> [f32; 4] {
     let k = x.len();
     let mut acc0 = [0.0f32; DOT_LANES];
     let mut acc1 = [0.0f32; DOT_LANES];

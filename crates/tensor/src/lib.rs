@@ -26,7 +26,11 @@
 
 pub mod init;
 pub mod kernels;
+pub mod qgemm;
+pub mod quant;
 pub mod tensor;
 
 pub use init::{kaiming_uniform, xavier_uniform};
+pub use qgemm::{gemm_a_bt_f16, gemm_a_bt_q8, F16BtMatrix, QuantizedBtMatrix};
+pub use quant::Precision;
 pub use tensor::{Tensor, TensorError};

@@ -1,0 +1,535 @@
+//! Quantized GEMM microkernels: int8 with integer accumulation, fp16 storage.
+//!
+//! These extend the PR 1 register-tiled kernels ([`crate::kernels`]) with
+//! reduced-precision *weight storage* for the serving forward pass. Both
+//! variants compute `C += A·Bᵀ` — the layout [`crate::kernels::gemm_a_bt`]
+//! uses, with `B` packed row-major as `Bᵀ: [n, k]` so every dot product
+//! streams both operands with unit stride:
+//!
+//! * [`gemm_a_bt_q8`] — weights packed as int8 with one symmetric scale per
+//!   output column ([`QuantizedBtMatrix`]); activations are quantized
+//!   per-row on the fly. The inner product runs entirely in **i32** (exact
+//!   integer arithmetic), then one `f32` multiply per output applies
+//!   `a_scale · b_scale`. Because integer addition is associative, the AVX2
+//!   path and the portable scalar path produce **bit-identical** results —
+//!   pinned by tests, not hoped for. AVX2 is selected at runtime via
+//!   `is_x86_feature_detected!` with the scalar kernel as the fallback on
+//!   every other CPU.
+//! * [`gemm_a_bt_f16`] — weights stored as IEEE binary16 words
+//!   ([`F16BtMatrix`]), decoded row-block by row-block into an `f32` scratch
+//!   and fed through the *same* fused dot-product lanes as the f32 kernel, so
+//!   the result is bit-identical to decoding the whole matrix up front and
+//!   calling [`crate::kernels::gemm_a_bt`].
+//!
+//! The i32 accumulator is exact while `k · 127²` stays below `i32::MAX`
+//! (`k ≤ 133 000`); constructors assert `k ≤ 65 536`, far above any dense
+//! layer in this workspace.
+
+use crate::kernels::{dot4_lanes, dot_lanes};
+use crate::quant::{
+    decode_row_f16_into, f16_bits_to_f32, f32_to_f16_bits, int8_scale, quantize_i8,
+};
+
+/// Largest inner dimension the constructors accept (keeps the i32 dot exact).
+pub const MAX_QUANT_K: usize = 1 << 16;
+
+/// `B` packed as int8 `Bᵀ: [n, k]` with one symmetric scale per output column.
+///
+/// Row `j` of the packed data is column `j` of the original `B: [k, n]`,
+/// quantized at `scales[j] = max_abs(column j) / 127` with the wire codec's
+/// element rule (round half away from zero, saturate, NaN → 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedBtMatrix {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    n: usize,
+    k: usize,
+}
+
+impl QuantizedBtMatrix {
+    /// Packs a row-major `B: [k, n]` (a linear layer's `[in, out]` weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n` or `k > `[`MAX_QUANT_K`].
+    #[must_use]
+    pub fn from_col_major(b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "QuantizedBtMatrix: B length");
+        assert!(
+            k <= MAX_QUANT_K,
+            "QuantizedBtMatrix: k too large for exact i32 accumulation"
+        );
+        let mut data = vec![0i8; n * k];
+        let mut scales = vec![1.0f32; n];
+        for j in 0..n {
+            let mut max_abs = 0.0f32;
+            for p in 0..k {
+                let v = b[p * n + j];
+                if v.is_finite() {
+                    max_abs = max_abs.max(v.abs());
+                }
+            }
+            let scale = int8_scale(max_abs);
+            scales[j] = scale;
+            for p in 0..k {
+                data[j * k + p] = quantize_i8(b[p * n + j], scale);
+            }
+        }
+        Self { data, scales, n, k }
+    }
+
+    /// Output columns (`n`).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Inner dimension (`k`).
+    #[must_use]
+    pub fn inner(&self) -> usize {
+        self.k
+    }
+
+    /// Resident bytes of the packed weights: int8 payload plus the per-column
+    /// `f32` scales.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.data.len() as u64 + 4 * self.scales.len() as u64
+    }
+
+    /// Dequantizes back to a row-major `B: [k, n]` — the reference operand
+    /// differential tests compare the quantized kernel against.
+    #[must_use]
+    pub fn dequantize_col_major(&self) -> Vec<f32> {
+        let mut b = vec![0.0f32; self.k * self.n];
+        for j in 0..self.n {
+            let scale = self.scales[j];
+            for p in 0..self.k {
+                b[p * self.n + j] = f32::from(self.data[j * self.k + p]) * scale;
+            }
+        }
+        b
+    }
+}
+
+/// `B` stored as IEEE binary16 words in `Bᵀ: [n, k]` layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F16BtMatrix {
+    data: Vec<u16>,
+    n: usize,
+    k: usize,
+}
+
+impl F16BtMatrix {
+    /// Packs a row-major `B: [k, n]` into half-precision words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    #[must_use]
+    pub fn from_col_major(b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "F16BtMatrix: B length");
+        let mut data = vec![0u16; n * k];
+        for j in 0..n {
+            for p in 0..k {
+                data[j * k + p] = f32_to_f16_bits(b[p * n + j]);
+            }
+        }
+        Self { data, n, k }
+    }
+
+    /// Output columns (`n`).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Inner dimension (`k`).
+    #[must_use]
+    pub fn inner(&self) -> usize {
+        self.k
+    }
+
+    /// Resident bytes of the stored half words.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        2 * self.data.len() as u64
+    }
+
+    /// Decodes back to a row-major `B: [k, n]` — the reference operand the
+    /// bit-identity tests run the f32 kernel over.
+    #[must_use]
+    pub fn decode_col_major(&self) -> Vec<f32> {
+        let mut b = vec![0.0f32; self.k * self.n];
+        for j in 0..self.n {
+            for p in 0..self.k {
+                b[p * self.n + j] = f16_bits_to_f32(self.data[j * self.k + p]);
+            }
+        }
+        b
+    }
+}
+
+/// Whether the int8 kernels will take the AVX2 path on this host (runtime
+/// feature detection, cached). Benches report this so a gate run on a
+/// different machine class is interpretable.
+#[must_use]
+pub fn int8_simd_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Exact int8 dot product in i32, portable scalar loop.
+#[must_use]
+pub fn dot_i8_scalar(x: &[i8], y: &[i8]) -> i32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = 0i32;
+    for (&a, &b) in x.iter().zip(y) {
+        acc += i32::from(a) * i32::from(b);
+    }
+    acc
+}
+
+/// Exact int8 dot product in i32: AVX2 when the CPU has it, scalar otherwise.
+/// Integer accumulation is associative, so both paths return identical bits.
+#[must_use]
+pub fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    if int8_simd_active() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        return unsafe { dot_i8_avx2(x, y) };
+    }
+    dot_i8_scalar(x, y)
+}
+
+/// AVX2 int8 dot: widen 16 lanes to i16 (`vpmovsxbw`), multiply-add adjacent
+/// pairs into 8 i32 lanes (`vpmaddwd`), horizontally fold at the end. Products
+/// of two int8 values fit i16 exactly and each `madd` pair sum fits i32, so
+/// the result equals the scalar loop bit-for-bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(x: &[i8], y: &[i8]) -> i32 {
+    use std::arch::x86_64::{
+        __m128i, _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepi8_epi16,
+        _mm256_extracti128_si256, _mm256_madd_epi16, _mm256_setzero_si256, _mm_add_epi32,
+        _mm_cvtsi128_si32, _mm_loadu_si128, _mm_shuffle_epi32,
+    };
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = _mm256_setzero_si256();
+    let chunks = x.len() / 16 * 16;
+    let mut p = 0;
+    while p < chunks {
+        let xv = _mm_loadu_si128(x.as_ptr().add(p).cast::<__m128i>());
+        let yv = _mm_loadu_si128(y.as_ptr().add(p).cast::<__m128i>());
+        let xw = _mm256_cvtepi8_epi16(xv);
+        let yw = _mm256_cvtepi8_epi16(yv);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xw, yw));
+        p += 16;
+    }
+    let lo = _mm256_castsi256_si128(acc);
+    let hi = _mm256_extracti128_si256(acc, 1);
+    let mut s = _mm_add_epi32(lo, hi);
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b0100_1110));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b1011_0001));
+    let mut total = _mm_cvtsi128_si32(s);
+    while p < x.len() {
+        total += i32::from(*x.get_unchecked(p)) * i32::from(*y.get_unchecked(p));
+        p += 1;
+    }
+    total
+}
+
+/// Quantizes the activation rows of `a: [m, k]` once for the whole GEMM.
+fn quantize_activations(a: &[f32], m: usize, k: usize) -> (Vec<i8>, Vec<f32>) {
+    let mut qa = vec![0i8; m * k];
+    let mut scales = vec![1.0f32; m];
+    for i in 0..m {
+        let row = &a[i * k..(i + 1) * k];
+        let max_abs = row
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |acc, v| acc.max(v.abs()));
+        let scale = int8_scale(max_abs);
+        scales[i] = scale;
+        for (q, &v) in qa[i * k..(i + 1) * k].iter_mut().zip(row) {
+            *q = quantize_i8(v, scale);
+        }
+    }
+    (qa, scales)
+}
+
+/// `C += A·Bᵀ` with int8 weights and dynamically int8-quantized activations.
+///
+/// `A: [m, k]` is quantized per row (symmetric `max_abs / 127` scale), the
+/// integer dot runs exactly in i32, and each output gets one fused `f32`
+/// rescale: `C[i, j] += dot · a_scale[i] · b_scale[j]`. `C` must be
+/// pre-initialized by the caller (zeros, or a broadcast bias for a fused
+/// linear forward) — the kernel only accumulates, like [`crate::kernels::gemm`].
+///
+/// Dispatches to AVX2 at runtime with a bit-identical scalar fallback; see
+/// [`gemm_a_bt_q8_scalar`] for the pinned-path entry point tests use.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m`, `k` and `b`'s geometry.
+pub fn gemm_a_bt_q8(a: &[f32], b: &QuantizedBtMatrix, c: &mut [f32], m: usize, k: usize) {
+    gemm_a_bt_q8_inner(a, b, c, m, k, int8_simd_active());
+}
+
+/// [`gemm_a_bt_q8`] forced onto the portable scalar path, regardless of CPU
+/// features — the differential half of the SIMD bit-identity tests.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m`, `k` and `b`'s geometry.
+pub fn gemm_a_bt_q8_scalar(a: &[f32], b: &QuantizedBtMatrix, c: &mut [f32], m: usize, k: usize) {
+    gemm_a_bt_q8_inner(a, b, c, m, k, false);
+}
+
+fn gemm_a_bt_q8_inner(
+    a: &[f32],
+    b: &QuantizedBtMatrix,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    simd: bool,
+) {
+    let n = b.n;
+    assert_eq!(b.k, k, "gemm_a_bt_q8: inner dimension");
+    assert_eq!(a.len(), m * k, "gemm_a_bt_q8: A length");
+    assert_eq!(c.len(), m * n, "gemm_a_bt_q8: C length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let (qa, a_scales) = quantize_activations(a, m, k);
+    for i in 0..m {
+        let arow = &qa[i * k..(i + 1) * k];
+        let a_scale = a_scales[i];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cval) in crow.iter_mut().enumerate() {
+            let brow = &b.data[j * k..(j + 1) * k];
+            let dot = {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if simd {
+                        // SAFETY: `simd` is only true after runtime detection.
+                        unsafe { dot_i8_avx2(arow, brow) }
+                    } else {
+                        dot_i8_scalar(arow, brow)
+                    }
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    let _ = simd;
+                    dot_i8_scalar(arow, brow)
+                }
+            };
+            *cval += dot as f32 * a_scale * b.scales[j];
+        }
+    }
+}
+
+/// `C += A·Bᵀ` with fp16-stored weights, decoded on the fly.
+///
+/// Each group of four `Bᵀ` rows is decoded once into an `f32` scratch and fed
+/// through the same fused dot-product lanes as the f32 kernel, so the result
+/// is **bit-identical** to decoding all of `B` up front and running
+/// [`crate::kernels::gemm_a_bt`] — pinned by tests. `C` must be
+/// pre-initialized; the kernel only accumulates.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m`, `k` and `b`'s geometry.
+pub fn gemm_a_bt_f16(a: &[f32], b: &F16BtMatrix, c: &mut [f32], m: usize, k: usize) {
+    let n = b.n;
+    assert_eq!(b.k, k, "gemm_a_bt_f16: inner dimension");
+    assert_eq!(a.len(), m * k, "gemm_a_bt_f16: A length");
+    assert_eq!(c.len(), m * n, "gemm_a_bt_f16: C length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut scratch: Vec<f32> = Vec::with_capacity(4 * k);
+    let mut j = 0;
+    while j + 4 <= n {
+        scratch.clear();
+        for q in 0..4 {
+            decode_row_f16_into(&b.data[(j + q) * k..(j + q + 1) * k], &mut scratch);
+        }
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let dots = dot4_lanes(
+                arow,
+                &scratch[..k],
+                &scratch[k..2 * k],
+                &scratch[2 * k..3 * k],
+                &scratch[3 * k..4 * k],
+            );
+            let crow = &mut c[i * n + j..i * n + j + 4];
+            crow[0] += dots[0];
+            crow[1] += dots[1];
+            crow[2] += dots[2];
+            crow[3] += dots[3];
+        }
+        j += 4;
+    }
+    while j < n {
+        scratch.clear();
+        decode_row_f16_into(&b.data[j * k..(j + 1) * k], &mut scratch);
+        for i in 0..m {
+            c[i * n + j] += dot_lanes(&a[i * k..(i + 1) * k], &scratch[..k]);
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm_a_bt;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic pseudo-random values in [-1, 1).
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 23) as f32 - 1.0
+            })
+            .collect()
+    }
+
+    /// Row-major [k, n] -> Bᵀ rows [n, k] (reference layout for gemm_a_bt).
+    fn transpose(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        bt
+    }
+
+    #[test]
+    fn int8_simd_and_scalar_dots_are_bit_identical() {
+        for len in [0usize, 1, 7, 15, 16, 17, 64, 200, 333] {
+            let x: Vec<i8> = (0..len)
+                .map(|i| ((i * 37 + 11) % 255) as u8 as i8)
+                .collect();
+            let y: Vec<i8> = (0..len).map(|i| ((i * 91 + 3) % 255) as u8 as i8).collect();
+            assert_eq!(dot_i8(&x, &y), dot_i8_scalar(&x, &y), "len {len}");
+        }
+    }
+
+    #[test]
+    fn q8_gemm_simd_matches_scalar_bit_identically() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 17, 5), (8, 64, 32), (5, 130, 9)] {
+            let a = fill(m * k, 11);
+            let b = QuantizedBtMatrix::from_col_major(&fill(k * n, 12), k, n);
+            let mut c_auto = vec![0.5f32; m * n];
+            let mut c_scalar = vec![0.5f32; m * n];
+            gemm_a_bt_q8(&a, &b, &mut c_auto, m, k);
+            gemm_a_bt_q8_scalar(&a, &b, &mut c_scalar, m, k);
+            for (x, y) in c_auto.iter().zip(&c_scalar) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn q8_gemm_approximates_the_f32_product() {
+        let (m, k, n) = (6, 48, 24);
+        let a = fill(m * k, 21);
+        let bf = fill(k * n, 22);
+        let b = QuantizedBtMatrix::from_col_major(&bf, k, n);
+        let mut c = vec![0.0f32; m * n];
+        gemm_a_bt_q8(&a, &b, &mut c, m, k);
+        let mut expected = vec![0.0f32; m * n];
+        gemm_a_bt(&a, &transpose(&bf, k, n), &mut expected, m, k, n);
+        // Two symmetric int8 quantizations (weights + activations) over values
+        // in [-1, 1): per-element error stays well under k * 2 * (1/127).
+        let bound = k as f32 * 2.5 / 127.0;
+        for (x, y) in c.iter().zip(&expected) {
+            assert!((x - y).abs() <= bound, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn q8_gemm_matches_integer_reference_exactly() {
+        // The kernel's contract is exact: quantize A and B, integer-dot, rescale.
+        let (m, k, n) = (4, 33, 7);
+        let a = fill(m * k, 31);
+        let b = QuantizedBtMatrix::from_col_major(&fill(k * n, 32), k, n);
+        let mut c = vec![0.0f32; m * n];
+        gemm_a_bt_q8(&a, &b, &mut c, m, k);
+        let (qa, a_scales) = quantize_activations(&a, m, k);
+        for i in 0..m {
+            for j in 0..n {
+                let dot = dot_i8_scalar(&qa[i * k..(i + 1) * k], &b.data[j * k..(j + 1) * k]);
+                let expected = dot as f32 * a_scales[i] * b.scales[j];
+                assert_eq!(c[i * n + j].to_bits(), expected.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn f16_gemm_is_bit_identical_to_decode_then_f32_gemm() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 17, 5), (8, 64, 32), (5, 130, 9), (2, 40, 6)] {
+            let a = fill(m * k, 41);
+            let bf = fill(k * n, 42);
+            let b = F16BtMatrix::from_col_major(&bf, k, n);
+            let mut c = vec![0.25f32; m * n];
+            gemm_a_bt_f16(&a, &b, &mut c, m, k);
+            let decoded = b.decode_col_major();
+            let mut expected = vec![0.25f32; m * n];
+            gemm_a_bt(&a, &transpose(&decoded, k, n), &mut expected, m, k, n);
+            for (x, y) in c.iter().zip(&expected) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matrices_report_reduced_resident_bytes() {
+        let (k, n) = (64, 32);
+        let bf = fill(k * n, 51);
+        let f32_bytes = 4 * (k * n) as u64;
+        let q8 = QuantizedBtMatrix::from_col_major(&bf, k, n);
+        let f16 = F16BtMatrix::from_col_major(&bf, k, n);
+        assert!(q8.resident_bytes() * 2 < f32_bytes, "int8 ≥ 2x smaller");
+        assert_eq!(f16.resident_bytes() * 2, f32_bytes);
+        assert_eq!((q8.cols(), q8.inner()), (n, k));
+        assert_eq!((f16.cols(), f16.inner()), (n, k));
+    }
+
+    #[test]
+    fn round_trip_operands_stay_within_the_per_row_bound() {
+        let (k, n) = (16, 8);
+        let bf = fill(k * n, 61);
+        let dq = QuantizedBtMatrix::from_col_major(&bf, k, n).dequantize_col_major();
+        for j in 0..n {
+            let max_abs = (0..k).fold(0.0f32, |acc, p| acc.max(bf[p * n + j].abs()));
+            for p in 0..k {
+                let err = (bf[p * n + j] - dq[p * n + j]).abs();
+                assert!(err <= max_abs / 254.0 * (1.0 + 1e-5));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_no_ops() {
+        let b = QuantizedBtMatrix::from_col_major(&[], 0, 0);
+        let mut c: Vec<f32> = Vec::new();
+        gemm_a_bt_q8(&[], &b, &mut c, 0, 0);
+        let f = F16BtMatrix::from_col_major(&[], 0, 0);
+        gemm_a_bt_f16(&[], &f, &mut c, 0, 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Storage precisions and scalar quantization primitives.
+//!
+//! PR 4 quantized the *wire* (`dmt_comm::codec` packs collective payloads into
+//! fp16/int8 words); this module pushes the same two formats into *storage and
+//! compute*: embedding tables and dense-layer weights held as int8 or fp16 and
+//! dequantized on the fly inside the hot loops. The scalar conversions here are
+//! the canonical definitions — the wire codec delegates its half-precision
+//! conversion to [`f32_to_f16_bits`] / [`f16_bits_to_f32`] so wire words and
+//! stored words are bit-compatible by construction.
+//!
+//! Two formats, two error models (identical to the wire codec's):
+//!
+//! * **fp16** — IEEE 754 binary16, round to nearest even. Round-trip error is
+//!   `|x| · 2⁻¹¹ + 2⁻²⁵` for finite in-range inputs; values already
+//!   representable in half precision (including everything that *came from* an
+//!   fp16 word) round-trip bit-exactly.
+//! * **int8** — symmetric linear quantization with a per-row scale
+//!   `max_abs / 127`, rounding half away from zero. Round-trip error is
+//!   bounded by `max_abs / 254` per row.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric precision of stored model state (embedding rows, dense weights).
+///
+/// This is the storage/compute twin of `dmt_comm::codec::WireFormat` (which
+/// packs bytes *in flight*): `dmt-serve` exposes it as `ComputePrecision` and
+/// threads it through the whole serving forward pass — table shards, the
+/// hot-row cache, and the tower/dense GEMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4 bytes per element: full single precision, the training format.
+    #[default]
+    F32,
+    /// 2 bytes per element: IEEE 754 binary16 words, decoded on access.
+    Fp16,
+    /// 1 byte per element plus one `f32` scale per row: symmetric linear
+    /// quantization with per-row scale `max_abs / 127`.
+    Int8,
+}
+
+impl Precision {
+    /// Whether this precision stores plain `f32` (no decode on access).
+    #[must_use]
+    pub fn is_f32(self) -> bool {
+        self == Precision::F32
+    }
+
+    /// Bytes of payload storage for `elements` values at this precision,
+    /// excluding per-row scale words (int8 adds 4 bytes per row on top).
+    #[must_use]
+    pub fn payload_bytes(self, elements: usize) -> u64 {
+        match self {
+            Precision::F32 => 4 * elements as u64,
+            Precision::Fp16 => 2 * elements as u64,
+            Precision::Int8 => elements as u64,
+        }
+    }
+
+    /// Worst-case absolute round-trip error for one stored value in a row whose
+    /// largest finite magnitude is `max_abs` (same bounds as the wire codec).
+    #[must_use]
+    pub fn max_abs_error(self, max_abs: f32) -> f32 {
+        match self {
+            Precision::F32 => 0.0,
+            // Relative 2^-11 in the normal range plus the subnormal quantum.
+            Precision::Fp16 => max_abs / 2048.0 + f32::from_bits(0x3300_0000), // 2^-25
+            Precision::Int8 => max_abs / 254.0,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Precision::F32 => "f32",
+            Precision::Fp16 => "fp16",
+            Precision::Int8 => "int8",
+        })
+    }
+}
+
+/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest even.
+/// Overflow saturates to ±inf; NaN stays NaN (payload truncated, kept non-zero).
+#[must_use]
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN: preserve the class; keep a NaN's payload non-zero.
+        if man == 0 {
+            return sign | 0x7c00;
+        }
+        let payload = ((man >> 13) & 0x3ff) as u16;
+        return sign | 0x7c00 | if payload == 0 { 1 } else { payload };
+    }
+    let half_exp = exp - 127 + 15;
+    if half_exp >= 0x1f {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    let (mantissa, shift) = if half_exp <= 0 {
+        if half_exp < -10 {
+            return sign; // underflow -> signed zero
+        }
+        // Subnormal: shift the (implicit-bit-restored) mantissa into place.
+        (man | 0x0080_0000, (14 - half_exp) as u32)
+    } else {
+        (man, 13u32)
+    };
+    let kept = mantissa >> shift;
+    let rem = mantissa & ((1u32 << shift) - 1);
+    let half = 1u32 << (shift - 1);
+    let round_up = rem > half || (rem == half && (kept & 1) == 1);
+    let body = if half_exp <= 0 {
+        kept as u16
+    } else {
+        ((half_exp as u16) << 10) | (kept & 0x3ff) as u16
+    };
+    // A carry out of the mantissa lands in the exponent, which is exactly the
+    // IEEE rounding behaviour (up to the next binade, or to inf).
+    sign | body.wrapping_add(u16::from(round_up))
+}
+
+/// Converts IEEE 754 binary16 bits back to `f32` (exact).
+///
+/// Branch-free so bulk decodes ([`decode_row_f16_into`]) auto-vectorize:
+/// normals and subnormals share one path — shift the magnitude into f32
+/// position and rescale by 2¹¹² (a power-of-two multiply, exact in both
+/// regimes) — and the inf/NaN patch is a select, not a branch.
+#[inline]
+#[must_use]
+pub fn f16_bits_to_f32(half: u16) -> f32 {
+    let sign = u32::from(half & 0x8000) << 16;
+    let mag = u32::from(half & 0x7fff);
+    let finite = (f32::from_bits(mag << 13) * f32::from_bits(0x7780_0000)).to_bits(); // × 2^112
+    let special = 0x7f80_0000 | ((mag & 0x3ff) << 13);
+    let body = if mag >= 0x7c00 { special } else { finite };
+    f32::from_bits(sign | body)
+}
+
+/// Symmetric int8 scale for a row whose largest finite magnitude is `max_abs`
+/// (`max_abs / 127`, or `1.0` for an all-zero row so dequantization is exact).
+#[must_use]
+pub fn int8_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes one value at `scale`: round half away from zero, saturate to
+/// ±127, NaN to zero — the wire codec's exact element rule.
+#[inline]
+#[must_use]
+pub fn quantize_i8(value: f32, scale: f32) -> i8 {
+    if value.is_nan() {
+        0
+    } else {
+        (value / scale).round().clamp(-127.0, 127.0) as i8
+    }
+}
+
+/// Quantizes `row` into `out` with a fresh symmetric scale, returning the
+/// scale. `out` is overwritten and resized to `row.len()`.
+pub fn quantize_row_i8(row: &[f32], out: &mut Vec<i8>) -> f32 {
+    let max_abs = row
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, |acc, v| acc.max(v.abs()));
+    let scale = int8_scale(max_abs);
+    out.clear();
+    out.extend(row.iter().map(|&v| quantize_i8(v, scale)));
+    scale
+}
+
+/// Appends the dequantized values of `row` (at `scale`) onto `out`.
+#[inline]
+pub fn dequantize_row_i8_into(row: &[i8], scale: f32, out: &mut Vec<f32>) {
+    out.extend(row.iter().map(|&q| f32::from(q) * scale));
+}
+
+/// Appends the decoded values of the fp16 `row` onto `out`.
+#[inline]
+pub fn decode_row_f16_into(row: &[u16], out: &mut Vec<f32>) {
+    out.extend(row.iter().map(|&h| f16_bits_to_f32(h)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The straightforward per-class decoder the branch-free one replaced; the
+    /// exhaustive test below pins the two to identical bits on every pattern.
+    fn f16_bits_to_f32_reference(half: u16) -> f32 {
+        let sign = u32::from(half & 0x8000) << 16;
+        let exp = (half >> 10) & 0x1f;
+        let man = u32::from(half & 0x3ff);
+        match exp {
+            0 => {
+                // Signed zero / subnormal: value = man * 2^-24, exact in f32.
+                let magnitude = man as f32 * f32::from_bits(0x3380_0000); // 2^-24
+                f32::from_bits(magnitude.to_bits() | sign)
+            }
+            0x1f => f32::from_bits(sign | 0x7f80_0000 | (man << 13)),
+            _ => f32::from_bits(sign | ((u32::from(exp) + 112) << 23) | (man << 13)),
+        }
+    }
+
+    #[test]
+    fn f16_decode_matches_the_reference_on_every_bit_pattern() {
+        for half in 0..=u16::MAX {
+            let fast = f16_bits_to_f32(half);
+            let reference = f16_bits_to_f32_reference(half);
+            assert_eq!(
+                fast.to_bits(),
+                reference.to_bits(),
+                "pattern {half:#06x}: {fast} != {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn f16_round_trips_exact_halves() {
+        for v in [0.0f32, -0.0, 1.0, -1.5, 0.25, 65504.0, -65504.0] {
+            let rt = f16_bits_to_f32(f32_to_f16_bits(v));
+            assert_eq!(rt.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even_and_saturates() {
+        let halfway = 1.0f32 + f32::from_bits(0x3a00_0000); // 1 + 2^-11
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(halfway)), 1.0);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e30)), f32::INFINITY);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn int8_row_round_trip_is_bounded() {
+        let row = [0.013f32, -1.7, 0.4, 1.9, -0.002, 0.0];
+        let mut q = Vec::new();
+        let scale = quantize_row_i8(&row, &mut q);
+        let mut back = Vec::new();
+        dequantize_row_i8_into(&q, scale, &mut back);
+        let bound = Precision::Int8.max_abs_error(1.9);
+        for (v, d) in row.iter().zip(&back) {
+            assert!((v - d).abs() <= bound, "{v} -> {d}");
+        }
+    }
+
+    #[test]
+    fn int8_zero_row_is_exact() {
+        let mut q = Vec::new();
+        let scale = quantize_row_i8(&[0.0, 0.0, -0.0], &mut q);
+        assert_eq!(scale, 1.0);
+        let mut back = Vec::new();
+        dequantize_row_i8_into(&q, scale, &mut back);
+        assert_eq!(back, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn int8_saturates_and_zeroes_non_finite() {
+        let scale = int8_scale(2.0);
+        assert_eq!(quantize_i8(f32::INFINITY, scale), 127);
+        assert_eq!(quantize_i8(f32::NEG_INFINITY, scale), -127);
+        assert_eq!(quantize_i8(f32::NAN, scale), 0);
+    }
+
+    #[test]
+    fn payload_bytes_halve_and_quarter() {
+        assert_eq!(Precision::F32.payload_bytes(1000), 4000);
+        assert_eq!(Precision::Fp16.payload_bytes(1000), 2000);
+        assert_eq!(Precision::Int8.payload_bytes(1000), 1000);
+    }
+
+    #[test]
+    fn precision_displays_like_the_wire_format() {
+        assert_eq!(Precision::F32.to_string(), "f32");
+        assert_eq!(Precision::Fp16.to_string(), "fp16");
+        assert_eq!(Precision::Int8.to_string(), "int8");
+        assert_eq!(Precision::default(), Precision::F32);
+        assert!(Precision::F32.is_f32() && !Precision::Int8.is_f32());
+    }
+}

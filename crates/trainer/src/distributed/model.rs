@@ -14,8 +14,11 @@ use super::export::TableWeights;
 use dmt_data::{Batch, DatasetSchema};
 use dmt_models::{ModelArch, ModelHyperparams};
 use dmt_nn::param::HasParameters;
-use dmt_nn::{BceWithLogitsLoss, CrossNet, DotInteraction, Mlp, Parameter, ShardedEmbeddingTable};
-use dmt_tensor::Tensor;
+use dmt_nn::{
+    BceWithLogitsLoss, CrossNet, DotInteraction, Mlp, Parameter, QuantizedShardedTable,
+    ShardedEmbeddingTable,
+};
+use dmt_tensor::{Precision, Tensor, TensorError};
 
 /// Encodes a (feature, row) pair into the u64 key the index exchanges carry.
 #[must_use]
@@ -178,13 +181,77 @@ pub struct LookupRouting {
 /// while the pipelined path slots collectives between them.
 ///
 /// The serving engine reuses the same type over *frozen* tables
-/// ([`ShardedLookup::from_tables`]) and drives only the forward phases.
+/// ([`ShardedLookup::from_tables`]) and drives only the forward phases —
+/// optionally at reduced storage precision
+/// ([`ShardedLookup::from_tables_quantized`]), where rows live as int8/fp16
+/// words and dequantize on the fly inside `answer`.
 pub struct ShardedLookup {
     /// Global feature ids served by this world, ascending.
     features: Vec<usize>,
     /// This rank's shard of each feature's table, aligned with `features`.
-    shards: Vec<ShardedEmbeddingTable>,
+    shards: ShardStorage,
     dim: usize,
+}
+
+/// Per-rank shard storage: trainable f32 tables or frozen quantized tables.
+///
+/// Both variants expose identical geometry (`rows_per_shard = ⌈rows/world⌉`
+/// row blocks, modulo row wrap), so the route/answer/pool protocol is
+/// storage-agnostic; only the training phases (gradient merge, optimizer,
+/// export) require the f32 variant.
+enum ShardStorage {
+    /// Trainable full-precision shards.
+    F32(Vec<ShardedEmbeddingTable>),
+    /// Frozen int8/fp16 serving shards.
+    Quantized(Vec<QuantizedShardedTable>),
+}
+
+impl ShardStorage {
+    fn num_embeddings(&self, pos: usize) -> usize {
+        match self {
+            ShardStorage::F32(shards) => shards[pos].num_embeddings(),
+            ShardStorage::Quantized(shards) => shards[pos].num_embeddings(),
+        }
+    }
+
+    fn owner_of(&self, pos: usize, row: usize) -> usize {
+        match self {
+            ShardStorage::F32(shards) => shards[pos].owner_of(row),
+            ShardStorage::Quantized(shards) => shards[pos].owner_of(row),
+        }
+    }
+
+    fn lookup_rows_into(
+        &self,
+        pos: usize,
+        rows: &[usize],
+        out: &mut Vec<f32>,
+    ) -> Result<(), TensorError> {
+        match self {
+            ShardStorage::F32(shards) => shards[pos].lookup_rows_into(rows, out),
+            ShardStorage::Quantized(shards) => shards[pos].lookup_rows_into(rows, out),
+        }
+    }
+
+    /// Trainable shards, or a panic on frozen quantized storage: every caller
+    /// is a training phase that has no meaning for serving-only tables.
+    fn trainable(&self) -> &Vec<ShardedEmbeddingTable> {
+        match self {
+            ShardStorage::F32(shards) => shards,
+            ShardStorage::Quantized(_) => {
+                panic!("quantized serving shards have no training path")
+            }
+        }
+    }
+
+    fn trainable_mut(&mut self) -> &mut Vec<ShardedEmbeddingTable> {
+        match self {
+            ShardStorage::F32(shards) => shards,
+            ShardStorage::Quantized(_) => {
+                panic!("quantized serving shards have no training path")
+            }
+        }
+    }
 }
 
 impl ShardedLookup {
@@ -222,7 +289,7 @@ impl ShardedLookup {
             .collect();
         Self {
             features,
-            shards,
+            shards: ShardStorage::F32(shards),
             dim,
         }
     }
@@ -238,13 +305,34 @@ impl ShardedLookup {
     /// Returns [`DistributedError::Config`] if a feature has no snapshot table or
     /// the table dimensions are inconsistent.
     pub fn from_tables(
-        mut features: Vec<usize>,
+        features: Vec<usize>,
         tables: &[TableWeights],
         world: usize,
         shard_index: usize,
     ) -> Result<Self, DistributedError> {
+        Self::from_tables_quantized(features, tables, world, shard_index, Precision::F32)
+    }
+
+    /// [`ShardedLookup::from_tables`] at a chosen storage precision: f32 rows
+    /// come straight from the snapshot; int8/fp16 quantize each shard's local
+    /// rows once at load time through the same `local_weights`/
+    /// `from_local_rows` boundary, so a snapshot loads directly into quantized
+    /// serving shards without ever materializing full-precision tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributedError::Config`] if a feature has no snapshot table
+    /// or the table dimensions are inconsistent.
+    pub fn from_tables_quantized(
+        mut features: Vec<usize>,
+        tables: &[TableWeights],
+        world: usize,
+        shard_index: usize,
+        precision: Precision,
+    ) -> Result<Self, DistributedError> {
         features.sort_unstable();
-        let mut shards = Vec::with_capacity(features.len());
+        let mut f32_shards = Vec::new();
+        let mut quant_shards = Vec::new();
         let mut dim = 0usize;
         for &f in &features {
             let table =
@@ -274,14 +362,31 @@ impl ShardedLookup {
             let rows_per_shard = table.rows.div_ceil(world);
             let lo = (shard_index * rows_per_shard).min(table.rows);
             let hi = ((shard_index + 1) * rows_per_shard).min(table.rows);
-            shards.push(ShardedEmbeddingTable::from_local_rows(
-                table.rows,
-                table.dim,
-                world,
-                shard_index,
-                table.data[lo * table.dim..hi * table.dim].to_vec(),
-            ));
+            let local_rows = &table.data[lo * table.dim..hi * table.dim];
+            if precision.is_f32() {
+                f32_shards.push(ShardedEmbeddingTable::from_local_rows(
+                    table.rows,
+                    table.dim,
+                    world,
+                    shard_index,
+                    local_rows.to_vec(),
+                ));
+            } else {
+                quant_shards.push(QuantizedShardedTable::from_local_rows(
+                    table.rows,
+                    table.dim,
+                    world,
+                    shard_index,
+                    local_rows,
+                    precision,
+                ));
+            }
         }
+        let shards = if precision.is_f32() {
+            ShardStorage::F32(f32_shards)
+        } else {
+            ShardStorage::Quantized(quant_shards)
+        };
         Ok(Self {
             features,
             shards,
@@ -289,12 +394,39 @@ impl ShardedLookup {
         })
     }
 
+    /// Storage precision of the shards this lookup serves from.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        match &self.shards {
+            ShardStorage::F32(_) => Precision::F32,
+            ShardStorage::Quantized(shards) => shards
+                .first()
+                .map_or(Precision::F32, QuantizedShardedTable::precision),
+        }
+    }
+
+    /// Bytes resident in this rank's shard storage (payload words plus int8
+    /// per-row scales) — the number the quantized formats shrink.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.shards {
+            ShardStorage::F32(shards) => shards
+                .iter()
+                .map(|s| s.local_weights().len() as u64 * 4)
+                .sum(),
+            ShardStorage::Quantized(shards) => shards
+                .iter()
+                .map(QuantizedShardedTable::resident_bytes)
+                .sum(),
+        }
+    }
+
     /// Exports this rank's shards as `(feature, first_global_row, local rows)`
     /// triples — the per-rank contribution to a full-table snapshot.
     pub(crate) fn export_shards(&self) -> Vec<(usize, usize, Vec<f32>)> {
         self.features
             .iter()
-            .zip(&self.shards)
+            .zip(self.shards.trainable())
             .map(|(&f, shard)| {
                 (
                     f,
@@ -331,12 +463,12 @@ impl ShardedLookup {
     pub fn route(&self, world: usize, bags: &[&[Vec<usize>]]) -> Vec<Vec<u64>> {
         let mut requests: Vec<Vec<u64>> = vec![Vec::new(); world];
         for (pos, per_sample) in bags.iter().enumerate() {
-            let shard = &self.shards[pos];
+            let num_embeddings = self.shards.num_embeddings(pos);
             let feature = self.features[pos];
             for bag in per_sample.iter() {
                 for &raw in bag {
-                    let row = raw % shard.num_embeddings();
-                    requests[shard.owner_of(row)].push(encode_key(feature, row));
+                    let row = raw % num_embeddings;
+                    requests[self.shards.owner_of(pos, row)].push(encode_key(feature, row));
                 }
             }
         }
@@ -356,7 +488,8 @@ impl ShardedLookup {
         for keys in incoming {
             let mut reply = Vec::with_capacity(keys.len() * dim);
             for (feature, rows) in feature_runs(keys) {
-                self.shards[self.feature_pos(feature)].lookup_rows_into(&rows, &mut reply)?;
+                self.shards
+                    .lookup_rows_into(self.feature_pos(feature), &rows, &mut reply)?;
             }
             replies.push(reply);
         }
@@ -374,15 +507,15 @@ impl ShardedLookup {
         let dim = self.dim;
         let mut outputs = Vec::with_capacity(bags.len());
         for (pos, per_sample) in bags.iter().enumerate() {
-            let shard = &self.shards[pos];
+            let num_embeddings = self.shards.num_embeddings(pos);
             let feature = self.features[pos];
             let mut out = Tensor::zeros(&[per_sample.len(), dim]);
             let data = out.data_mut();
             for (sample, bag) in per_sample.iter().enumerate() {
                 let dst = &mut data[sample * dim..(sample + 1) * dim];
                 for &raw in bag {
-                    let row = raw % shard.num_embeddings();
-                    let owner = shard.owner_of(row);
+                    let row = raw % num_embeddings;
+                    let owner = self.shards.owner_of(pos, row);
                     let slot = routing.request_keys[owner]
                         .binary_search(&encode_key(feature, row))
                         .expect("row was requested");
@@ -415,14 +548,14 @@ impl ShardedLookup {
             .map(|keys| vec![0.0f32; keys.len() * dim])
             .collect();
         for (pos, (per_sample, grad)) in bags.iter().zip(grads).enumerate() {
-            let shard = &self.shards[pos];
+            let num_embeddings = self.shards.num_embeddings(pos);
             let feature = self.features[pos];
             let grad_data = grad.data();
             for (sample, bag) in per_sample.iter().enumerate() {
                 let src = &grad_data[sample * dim..(sample + 1) * dim];
                 for &raw in bag {
-                    let row = raw % shard.num_embeddings();
-                    let owner = shard.owner_of(row);
+                    let row = raw % num_embeddings;
+                    let owner = self.shards.owner_of(pos, row);
                     let slot = routing.request_keys[owner]
                         .binary_search(&encode_key(feature, row))
                         .expect("row was requested");
@@ -452,7 +585,8 @@ impl ShardedLookup {
             for (feature, rows) in feature_runs(keys) {
                 let pos = self.feature_pos(feature);
                 let span = rows.len() * dim;
-                self.shards[pos].accumulate_row_grads(&rows, &grads[offset..offset + span])?;
+                self.shards.trainable_mut()[pos]
+                    .accumulate_row_grads(&rows, &grads[offset..offset + span])?;
                 offset += span;
             }
         }
@@ -460,7 +594,7 @@ impl ShardedLookup {
     }
 
     pub(crate) fn apply_rowwise_adagrad(&mut self, learning_rate: f32, eps: f32) {
-        for shard in &mut self.shards {
+        for shard in self.shards.trainable_mut() {
             shard.apply_rowwise_adagrad(learning_rate, eps);
         }
     }
@@ -642,6 +776,18 @@ impl DenseStack {
             .iter()
             .map(|&z| dmt_nn::activation::scalar_sigmoid(z))
             .collect())
+    }
+
+    /// Switches the bottom and over MLPs' forward passes to the given storage
+    /// precision ([`Precision::F32`] restores the exact fused kernels).
+    ///
+    /// The interaction stays f32 either way: the dot interaction has no
+    /// weights, and a DCN CrossNet's per-layer matvecs are tiny relative to
+    /// the MLP GEMMs. Training is unaffected — the f32 master weights stay in
+    /// place and backward never reads the quantized sidecars.
+    pub fn quantize_weights(&mut self, precision: Precision) {
+        self.bottom.quantize_weights(precision);
+        self.over.quantize_weights(precision);
     }
 }
 
