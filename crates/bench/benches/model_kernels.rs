@@ -17,10 +17,19 @@ fn bench_gemm_kernels(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(7);
         let a: Vec<f32> = (0..s * s).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let b: Vec<f32> = (0..s * s).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-        group.bench_with_input(BenchmarkId::new("naive", s), &s, |bench, _| {
-            bench.iter(|| kernels::gemm_naive(&a, &b, s, s, s));
-        });
         let mut out = vec![0.0f32; s * s];
+        group.bench_with_input(BenchmarkId::new("naive", s), &s, |bench, _| {
+            bench.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                kernels::gemm_naive(&a, &b, &mut out, s, s, s);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_tier", s), &s, |bench, _| {
+            bench.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                kernels::gemm_scalar(&a, &b, &mut out, s, s, s);
+            });
+        });
         group.bench_with_input(BenchmarkId::new("blocked_serial", s), &s, |bench, _| {
             bench.iter(|| {
                 out.iter_mut().for_each(|v| *v = 0.0);

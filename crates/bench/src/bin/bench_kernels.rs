@@ -56,6 +56,7 @@ fn main() {
     let mut results: Vec<KernelResult> = Vec::new();
 
     dmt_bench::header("Compute-kernel throughput (see BENCH_kernels.json)");
+    println!("f32 SIMD tier: {}", dmt_tensor::f32_tier_name());
     println!(
         "{:<22} {:>16} {:>14} {:>10}",
         "op", "shape", "ns/iter", "GFLOP/s"
@@ -92,8 +93,11 @@ fn main() {
         let flops = 2.0 * m as f64 * k as f64 * n as f64;
         let shape = format!("{m}x{k}x{n}");
 
+        let mut c = vec![0.0f32; m * n];
         let (ns, gf, iters) = measure(target_ns, flops, || {
-            std::hint::black_box(kernels::gemm_naive(&a, &b, m, k, n));
+            c.iter_mut().for_each(|v| *v = 0.0);
+            kernels::gemm_naive(&a, &b, &mut c, m, k, n);
+            std::hint::black_box(&c);
         });
         record(
             &mut results,
@@ -105,7 +109,21 @@ fn main() {
             iters,
         );
 
-        let mut c = vec![0.0f32; m * n];
+        let (ns, gf, iters) = measure(target_ns, flops, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            kernels::gemm_scalar(&a, &b, &mut c, m, k, n);
+            std::hint::black_box(&c);
+        });
+        record(
+            &mut results,
+            "gemm_scalar_tier",
+            shape.clone(),
+            flops,
+            ns,
+            gf,
+            iters,
+        );
+
         let (ns, gf, iters) = measure(target_ns, flops, || {
             c.iter_mut().for_each(|v| *v = 0.0);
             kernels::gemm_serial(&a, &b, &mut c, m, k, n);
@@ -174,6 +192,23 @@ fn main() {
         iters,
     );
 
+    // The fused bias+ReLU forward reusing one output buffer (serving hot path).
+    let mut fused_out = Tensor::zeros(&[batch, fout]);
+    let (ns, gf, iters) = measure(target_ns, flops, || {
+        x.matmul_bias_act_into(&w, &bias, true, &mut fused_out)
+            .unwrap();
+        std::hint::black_box(&fused_out);
+    });
+    record(
+        &mut results,
+        "matmul_bias_relu_fused",
+        shape.clone(),
+        flops,
+        ns,
+        gf,
+        iters,
+    );
+
     let (ns, gf, iters) = measure(target_ns, flops, || {
         std::hint::black_box(x.matmul_at_b(&dy).unwrap());
     });
@@ -235,6 +270,29 @@ fn main() {
         naive.ns_per_iter / parallel.ns_per_iter,
         rayon::current_num_threads()
     );
+
+    // Gated GFLOP/s floor: with a SIMD tier active, the 512^3 serial GEMM must
+    // clear 2x the pre-SIMD 54 GFLOP/s baseline. Only enforced when the FMA
+    // kernels are actually dispatched — the scalar fallback host is exempt.
+    let serial = results
+        .iter()
+        .find(|r| r.op == "gemm_blocked_serial" && r.shape == "512x512x512")
+        .expect("serial 512 measured");
+    const SIMD_GFLOPS_FLOOR: f64 = 108.0;
+    if dmt_tensor::f32_tier() != dmt_tensor::SimdTier::Scalar {
+        assert!(
+            serial.gflops >= SIMD_GFLOPS_FLOOR,
+            "512^3 serial GEMM at {:.1} GFLOP/s is below the {SIMD_GFLOPS_FLOOR} GFLOP/s \
+             floor for SIMD tier {}",
+            serial.gflops,
+            dmt_tensor::f32_tier_name()
+        );
+        println!(
+            "512^3 serial GEMM {:.1} GFLOP/s >= {SIMD_GFLOPS_FLOOR} floor (tier {})",
+            serial.gflops,
+            dmt_tensor::f32_tier_name()
+        );
+    }
 
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

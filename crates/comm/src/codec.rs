@@ -114,6 +114,7 @@ impl fmt::Display for WireFormat {
 // (`dmt_tensor::quant` holds the canonical implementation): an fp16 word on
 // the wire and an fp16 word in a table shard are bit-compatible by
 // construction, not by parallel maintenance of two converters.
+use dmt_tensor::quant::{decode_row_f16_into, encode_f16_slice};
 pub use dmt_tensor::quant::{f16_bits_to_f32, f32_to_f16_bits};
 
 /// Packs two half-precision lanes into one wire word. The word is an arbitrary
@@ -129,16 +130,17 @@ pub fn encode(format: WireFormat, values: Vec<f32>) -> Vec<f32> {
     match format {
         WireFormat::Fp32 => values,
         WireFormat::Fp16 => {
+            // Bulk-convert through the SIMD-dispatched encoder (bit-identical
+            // to element-wise `f32_to_f16_bits`), then pack lane pairs.
+            let mut halves = vec![0u16; values.len()];
+            encode_f16_slice(&values, &mut halves);
             let mut words = Vec::with_capacity(values.len().div_ceil(2));
-            let mut chunks = values.chunks_exact(2);
+            let mut chunks = halves.chunks_exact(2);
             for pair in &mut chunks {
-                words.push(pack_halves(
-                    f32_to_f16_bits(pair[0]),
-                    f32_to_f16_bits(pair[1]),
-                ));
+                words.push(pack_halves(pair[0], pair[1]));
             }
             if let [last] = chunks.remainder() {
-                words.push(pack_halves(f32_to_f16_bits(*last), 0));
+                words.push(pack_halves(*last, 0));
             }
             words
         }
@@ -189,14 +191,19 @@ pub fn decode(format: WireFormat, words: Vec<f32>, elements: usize) -> Result<Ve
     match format {
         WireFormat::Fp32 => Ok(words),
         WireFormat::Fp16 => {
-            let mut out = Vec::with_capacity(elements);
-            for (i, word) in words.iter().enumerate() {
+            // Unpack lane pairs, then bulk-convert through the
+            // SIMD-dispatched decoder (bit-identical to element-wise
+            // `f16_bits_to_f32`).
+            let mut halves = Vec::with_capacity(elements);
+            for word in &words {
                 let bits = word.to_bits();
-                out.push(f16_bits_to_f32(bits as u16));
-                if 2 * i + 1 < elements {
-                    out.push(f16_bits_to_f32((bits >> 16) as u16));
+                halves.push(bits as u16);
+                if halves.len() < elements {
+                    halves.push((bits >> 16) as u16);
                 }
             }
+            let mut out = Vec::with_capacity(elements);
+            decode_row_f16_into(&halves, &mut out);
             Ok(out)
         }
         WireFormat::Int8 => {

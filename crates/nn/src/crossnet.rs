@@ -4,11 +4,24 @@
 //! interaction module of DCN (Wang et al., 2021) and also the architecture the paper
 //! lifts into the DCN tower module (Listing 2).
 
-use crate::linear::Linear;
+use crate::linear::{Linear, LinearScratch};
 use crate::param::{HasParameters, Parameter};
 use dmt_tensor::{Tensor, TensorError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for [`CrossNet::forward_infer_into`]: the per-layer
+/// projection `u_l`, two ping-pong tensors for `x_l`, and the shared
+/// quantized-kernel scratch. Capacity is retained between batches, so
+/// steady-state serving performs no heap allocation here.
+#[derive(Debug, Default)]
+pub struct CrossNetScratch {
+    proj: Tensor,
+    ping: Tensor,
+    pong: Tensor,
+    /// Quantized-GEMM scratch, shared across every cross layer.
+    pub linear: LinearScratch,
+}
 
 /// A stack of DCN-v2 cross layers over a `width`-dimensional input.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,6 +94,42 @@ impl CrossNet {
         // Keep x0 around for the backward pass.
         self.cached_inputs.push(x0.clone());
         Ok(x)
+    }
+
+    /// Inference-only forward pass into a caller-owned output buffer.
+    ///
+    /// Runs the same per-layer kernels as [`CrossNet::forward`] — the linear
+    /// projection via [`Linear::forward_infer_into`] and the fused
+    /// `x0 ⊙ u + x_l` via [`Tensor::mul_add_into`], both bit-identical to
+    /// their allocating counterparts — but caches nothing and performs no
+    /// heap allocation once `scratch` and `out` have grown to the batch's
+    /// working-set size.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the input is not `[batch, width]`.
+    pub fn forward_infer_into(
+        &self,
+        x0: &Tensor,
+        out: &mut Tensor,
+        scratch: &mut CrossNetScratch,
+    ) -> Result<(), TensorError> {
+        let CrossNetScratch {
+            proj,
+            ping,
+            pong,
+            linear,
+        } = scratch;
+        let (mut a, mut b): (&mut Tensor, &mut Tensor) = (ping, pong);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let src: &Tensor = if i == 0 { x0 } else { &*a };
+            layer.forward_infer_into(src, false, proj, linear)?;
+            let dst: &mut Tensor = if i == last { &mut *out } else { &mut *b };
+            x0.mul_add_into(proj, src, dst)?;
+            std::mem::swap(&mut a, &mut b);
+        }
+        Ok(())
     }
 
     /// Backward pass; returns the gradient with respect to `x0`.
@@ -173,6 +222,28 @@ mod tests {
         let mut grad_norm = 0.0;
         c.visit_parameters(&mut |p| grad_norm += p.grad.norm());
         assert!(grad_norm > 0.0);
+    }
+
+    #[test]
+    fn forward_infer_into_is_bit_identical_to_forward() {
+        let mut c = crossnet(5, 3);
+        let x = Tensor::from_vec(
+            vec![4, 5],
+            (0..20)
+                .map(|i| ((i * 3) % 11) as f32 * 0.17 - 0.8)
+                .collect(),
+        )
+        .unwrap();
+        let y = c.forward(&x).unwrap();
+        let mut out = Tensor::default();
+        let mut scratch = CrossNetScratch::default();
+        for _ in 0..2 {
+            c.forward_infer_into(&x, &mut out, &mut scratch).unwrap();
+            assert_eq!(out.shape(), y.shape());
+            for (a, b) in out.data().iter().zip(y.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! own sparse update path (row-wise Adagrad, the de-facto standard for DLRM-family
 //! models) rather than going through the dense optimizers.
 
-use dmt_tensor::{Tensor, TensorError};
+use dmt_tensor::{prefetch_read, Tensor, TensorError};
 use rand::distributions::{Distribution, Uniform};
 use rand::Rng;
 use rayon::prelude::*;
@@ -200,10 +200,12 @@ impl EmbeddingTable {
     /// trick production systems apply before lookup.
     ///
     /// The hot loop accumulates straight from the borrowed weight-row slices into the
-    /// output row — zero per-index heap allocations — and large batches pool their
-    /// samples in parallel (each sample owns a disjoint output row, and per-sample
-    /// accumulation order is unchanged, so the result is bit-identical to the serial
-    /// pass).
+    /// output row — zero per-index heap allocations once the cached index buffers have
+    /// grown to the batch's bag sizes — issuing a software prefetch for the next bag
+    /// row while the current one is summed (pooled rows are a random-access gather, so
+    /// the hardware prefetcher cannot help). Large batches pool their samples in
+    /// parallel (each sample owns a disjoint output row, and per-sample accumulation
+    /// order is unchanged, so the result is bit-identical to the serial pass).
     ///
     /// # Errors
     ///
@@ -213,14 +215,21 @@ impl EmbeddingTable {
         let batch = bags.len();
         let dim = self.dim;
         let mut out = Tensor::zeros(&[batch, dim]);
-        let clamped: Vec<Vec<usize>> = bags
-            .iter()
-            .map(|bag| bag.iter().map(|&raw| raw % self.num_embeddings).collect())
-            .collect();
+        // Reuse the index buffers cached by the previous batch: the outer Vec and
+        // every per-sample bag retain their capacity across calls.
+        let mut clamped = self.cached_indices.take().unwrap_or_default();
+        clamped.resize_with(batch, Vec::new);
+        for (dst, bag) in clamped.iter_mut().zip(bags) {
+            dst.clear();
+            dst.extend(bag.iter().map(|&raw| raw % self.num_embeddings));
+        }
         let total_lookups: usize = clamped.iter().map(Vec::len).sum();
         let weight = &self.weight;
         let pool_sample = |dst: &mut [f32], rows: &[usize]| {
-            for &idx in rows {
+            for (n, &idx) in rows.iter().enumerate() {
+                if let Some(&next) = rows.get(n + 1) {
+                    prefetch_read(weight, next * dim);
+                }
                 let row = &weight[idx * dim..(idx + 1) * dim];
                 for (d, v) in dst.iter_mut().zip(row) {
                     *d += v;
@@ -335,9 +344,19 @@ impl EmbeddingTable {
     /// reply across many feature runs.
     pub fn lookup_rows_into(&self, rows: &[usize], out: &mut Vec<f32>) {
         out.reserve(rows.len() * self.dim);
-        for &raw in rows {
+        for (n, &raw) in rows.iter().enumerate() {
+            if let Some(&next) = rows.get(n + 1) {
+                self.prefetch_row(next);
+            }
             out.extend_from_slice(self.row(raw % self.num_embeddings));
         }
+    }
+
+    /// Software-prefetches row `index` (modulo-mapped like every lookup) — for
+    /// callers that already know which row they will read next, hiding the
+    /// random-access latency the hardware prefetcher cannot.
+    pub fn prefetch_row(&self, index: usize) {
+        prefetch_read(&self.weight, (index % self.num_embeddings) * self.dim);
     }
 
     /// Accumulates externally computed per-row gradients into the pending sparse

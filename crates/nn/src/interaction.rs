@@ -113,6 +113,59 @@ impl DotInteraction {
         Ok(out)
     }
 
+    /// Inference-only forward pass into a caller-owned output buffer.
+    ///
+    /// Computes the same pairwise dot products as [`DotInteraction::forward`]
+    /// (identical per-pair summation order, so the results are bit-identical)
+    /// but caches nothing and performs no heap allocation once `out` has
+    /// reached the batch's `[batch, pairs]` capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the input width is not `num_features * dim`.
+    pub fn forward_into(&self, input: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+        let expected = self.num_features * self.dim;
+        if input.rank() != 2 || input.shape()[1] != expected {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot_interaction",
+                lhs: input.shape().to_vec(),
+                rhs: vec![input.shape().first().copied().unwrap_or(0), expected],
+            });
+        }
+        let batch = input.shape()[0];
+        let f = self.num_features;
+        let d = self.dim;
+        let pairs = self.output_dim();
+        out.reset_to_shape(&[batch, pairs]);
+        if pairs == 0 {
+            return Ok(());
+        }
+        let data = input.data();
+        // Same upper-triangle Gram loop as `forward`, minus the input cache.
+        let sample_pairs = |out_row: &mut [f32], row: &[f32]| {
+            let mut k = 0;
+            for i in 0..f {
+                let ei = &row[i * d..(i + 1) * d];
+                for j in (i + 1)..f {
+                    let ej = &row[j * d..(j + 1) * d];
+                    out_row[k] = ei.iter().zip(ej).map(|(a, b)| a * b).sum();
+                    k += 1;
+                }
+            }
+        };
+        if batch * pairs * d >= PARALLEL_INTERACTION_CUTOFF && rayon::current_num_threads() > 1 {
+            out.data_mut()
+                .par_chunks_mut(pairs)
+                .enumerate()
+                .for_each(|(b, out_row)| sample_pairs(out_row, &data[b * f * d..(b + 1) * f * d]));
+        } else {
+            for (b, out_row) in out.data_mut().chunks_exact_mut(pairs).enumerate() {
+                sample_pairs(out_row, &data[b * f * d..(b + 1) * f * d]);
+            }
+        }
+        Ok(())
+    }
+
     /// Backward pass; returns the gradient with respect to the flattened input.
     ///
     /// # Errors
@@ -238,6 +291,27 @@ mod tests {
                 "dx[{r},{c}] analytic {} vs numeric {numeric}",
                 dx.at(r, c)
             );
+        }
+    }
+
+    #[test]
+    fn forward_into_is_bit_identical_to_forward() {
+        let mut inter = DotInteraction::new(4, 3);
+        let x = Tensor::from_vec(
+            vec![3, 12],
+            (0..36)
+                .map(|i| ((i * 7) % 13) as f32 * 0.21 - 1.1)
+                .collect(),
+        )
+        .unwrap();
+        let y = inter.forward(&x).unwrap();
+        let mut out = Tensor::default();
+        for _ in 0..2 {
+            inter.forward_into(&x, &mut out).unwrap();
+            assert_eq!(out.shape(), y.shape());
+            for (a, b) in out.data().iter().zip(y.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -51,12 +51,12 @@ pub mod param;
 pub mod quantized;
 pub mod sharded;
 
-pub use crossnet::CrossNet;
+pub use crossnet::{CrossNet, CrossNetScratch};
 pub use embedding_table::EmbeddingTable;
 pub use interaction::DotInteraction;
-pub use linear::Linear;
+pub use linear::{Linear, LinearScratch};
 pub use loss::BceWithLogitsLoss;
-pub use mlp::Mlp;
+pub use mlp::{Mlp, MlpScratch};
 pub use optim::{AdamOptimizer, Optimizer, SgdOptimizer};
 pub use param::Parameter;
 pub use quantized::{QuantizedEmbeddingTable, QuantizedShardedTable};

@@ -3,11 +3,24 @@
 use crate::param::{HasParameters, Parameter};
 use dmt_tensor::quant::Precision;
 use dmt_tensor::{
-    gemm_a_bt_f16, gemm_a_bt_q8, xavier_uniform, F16BtMatrix, QuantizedBtMatrix, Tensor,
-    TensorError,
+    gemm_a_bt_f16, gemm_a_bt_f16_with, gemm_a_bt_q8, gemm_a_bt_q8_with, xavier_uniform,
+    F16BtMatrix, F16GemmScratch, QGemmScratch, QuantizedBtMatrix, Tensor, TensorError,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for the allocation-free inference forward
+/// ([`Linear::forward_infer_into`]): the quantized kernels' activation scratch.
+/// One instance can be shared across every layer of a model — each call resizes
+/// the buffers it touches, and capacity is retained between batches, so
+/// steady-state serving performs no heap allocation here.
+#[derive(Debug, Default)]
+pub struct LinearScratch {
+    /// Activation quantization scratch for the int8 GEMM.
+    pub q8: QGemmScratch,
+    /// Row-decode scratch for the fp16 GEMM.
+    pub f16: F16GemmScratch,
+}
 
 /// Reduced-precision weight sidecar for the serving forward pass: the layer's
 /// `[in, out]` weight packed as `Wᵀ` rows at int8 (per-output-column scales)
@@ -100,6 +113,61 @@ impl Linear {
         };
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    /// Inference forward into a caller-owned output — no input caching, no
+    /// allocation once the scratch and `out` capacities have grown to the batch
+    /// shape.
+    ///
+    /// With `relu`, the activation is fused into the GEMM writeback (f32 path)
+    /// or applied in place after the quantized GEMM. The fused epilogue maps
+    /// `NaN` and `-0.0` to `+0.0`, exactly like the separate
+    /// [`crate::activation::relu`] pass on every representable pre-activation
+    /// except the sign of zero (where the two compare equal anyway).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `input` is not `[batch, in_features]`.
+    pub fn forward_infer_into(
+        &self,
+        input: &Tensor,
+        relu: bool,
+        out: &mut Tensor,
+        scratch: &mut LinearScratch,
+    ) -> Result<(), TensorError> {
+        match &self.quantized {
+            None => input.matmul_bias_act_into(&self.weight.value, &self.bias.value, relu, out),
+            Some(q) => {
+                if input.rank() != 2 || input.shape()[1] != self.in_features {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "linear_forward_quantized",
+                        lhs: input.shape().to_vec(),
+                        rhs: vec![self.in_features, self.out_features],
+                    });
+                }
+                let batch = input.shape()[0];
+                let (m, k, n) = (batch, self.in_features, self.out_features);
+                out.reset_to_shape(&[m, n]);
+                let data = out.data_mut();
+                for row in data.chunks_exact_mut(n) {
+                    row.copy_from_slice(self.bias.value.data());
+                }
+                match q {
+                    QuantWeight::Int8(w) => {
+                        gemm_a_bt_q8_with(input.data(), w, data, m, k, &mut scratch.q8);
+                    }
+                    QuantWeight::Fp16(w) => {
+                        gemm_a_bt_f16_with(input.data(), w, data, m, k, &mut scratch.f16);
+                    }
+                }
+                if relu {
+                    for v in data.iter_mut() {
+                        *v = if *v > 0.0 { *v } else { 0.0 };
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Quantized forward: bias broadcast into the output, then the packed

@@ -1,11 +1,23 @@
 //! Multi-layer perceptron with ReLU activations.
 
 use crate::activation::{relu, relu_backward};
-use crate::linear::Linear;
+use crate::linear::{Linear, LinearScratch};
 use crate::param::{HasParameters, Parameter};
 use dmt_tensor::{Tensor, TensorError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable activation buffers for [`Mlp::forward_infer_into`]: two ping-pong
+/// tensors for the hidden activations plus the shared quantized-kernel scratch.
+/// Capacity is retained between batches, so steady-state serving performs no
+/// heap allocation here.
+#[derive(Debug, Default)]
+pub struct MlpScratch {
+    ping: Tensor,
+    pong: Tensor,
+    /// Quantized-GEMM scratch, shared across every layer.
+    pub linear: LinearScratch,
+}
 
 /// A stack of [`Linear`] layers with ReLU between them.
 ///
@@ -96,6 +108,36 @@ impl Mlp {
             }
         }
         Ok(x)
+    }
+
+    /// Inference-only forward pass into a caller-owned output buffer.
+    ///
+    /// Numerically identical to [`Mlp::forward`] (same per-layer kernels, and
+    /// the fused ReLU agrees bit-for-bit with [`relu`] on every finite
+    /// pre-activation as well as NaN — see
+    /// [`Linear::forward_infer_into`]) but caches nothing and allocates
+    /// nothing once `scratch` and `out` have grown to the batch's working-set
+    /// size: hidden activations ping-pong between the two scratch tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the input width does not match.
+    pub fn forward_infer_into(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        scratch: &mut MlpScratch,
+    ) -> Result<(), TensorError> {
+        let MlpScratch { ping, pong, linear } = scratch;
+        let (mut a, mut b): (&mut Tensor, &mut Tensor) = (ping, pong);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let src: &Tensor = if i == 0 { input } else { &*a };
+            let dst: &mut Tensor = if i == last { &mut *out } else { &mut *b };
+            layer.forward_infer_into(src, i < last, dst, linear)?;
+            std::mem::swap(&mut a, &mut b);
+        }
+        Ok(())
     }
 
     /// Backward pass; returns the gradient with respect to the MLP input.
@@ -214,6 +256,26 @@ mod tests {
         }
         let trained = loss_at(&mut m);
         assert!(trained < initial * 0.2, "loss {initial} -> {trained}");
+    }
+
+    #[test]
+    fn forward_infer_into_is_bit_identical_to_forward() {
+        let mut m = mlp(&[6, 9, 7, 3]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<f32> = (0..5 * 6).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let x = Tensor::from_vec(vec![5, 6], data).unwrap();
+        let y = m.forward(&x).unwrap();
+
+        let mut out = Tensor::default();
+        let mut scratch = MlpScratch::default();
+        // Run twice: the second pass must reuse the grown buffers and still match.
+        for _ in 0..2 {
+            m.forward_infer_into(&x, &mut out, &mut scratch).unwrap();
+            assert_eq!(out.shape(), y.shape());
+            for (a, b) in out.data().iter().zip(y.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::sharded::ShardedEmbeddingTable;
 use dmt_tensor::quant::{
     decode_row_f16_into, dequantize_row_i8_into, f32_to_f16_bits, quantize_row_i8, Precision,
 };
-use dmt_tensor::TensorError;
+use dmt_tensor::{prefetch_read, TensorError};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -172,11 +172,26 @@ impl QuantizedEmbeddingTable {
         out
     }
 
+    /// Issues a software prefetch for row `index`'s payload words. Gathered
+    /// rows are a random-access pattern the hardware prefetcher cannot
+    /// predict, so the lookup loops hint the next row while decoding the
+    /// current one.
+    #[inline]
+    fn prefetch_row(&self, index: usize) {
+        match &self.storage {
+            Storage::Fp16(data) => prefetch_read(data, index * self.dim),
+            Storage::Int8 { data, .. } => prefetch_read(data, index * self.dim),
+        }
+    }
+
     /// [`QuantizedEmbeddingTable::lookup_rows`] appending into a caller-owned
     /// buffer — the allocation-free form the distributed answer path uses.
     pub fn lookup_rows_into(&self, rows: &[usize], out: &mut Vec<f32>) {
         out.reserve(rows.len() * self.dim);
-        for &raw in rows {
+        for (n, &raw) in rows.iter().enumerate() {
+            if let Some(&next) = rows.get(n + 1) {
+                self.prefetch_row(next % self.num_embeddings);
+            }
             self.row_into(raw % self.num_embeddings, out);
         }
     }
@@ -362,7 +377,7 @@ impl QuantizedShardedTable {
             });
         };
         out.reserve(global_rows.len() * self.dim);
-        for &raw in global_rows {
+        for (n, &raw) in global_rows.iter().enumerate() {
             let g = raw % self.num_embeddings;
             if !range.contains(&g) {
                 return Err(TensorError::ShapeMismatch {
@@ -370,6 +385,12 @@ impl QuantizedShardedTable {
                     lhs: vec![g],
                     rhs: vec![range.start, range.end],
                 });
+            }
+            if let Some(&next) = global_rows.get(n + 1) {
+                let ng = next % self.num_embeddings;
+                if range.contains(&ng) {
+                    table.prefetch_row(ng - range.start);
+                }
             }
             table.row_into(g - range.start, out);
         }

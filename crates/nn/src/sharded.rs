@@ -194,9 +194,29 @@ impl ShardedEmbeddingTable {
         out: &mut Vec<f32>,
     ) -> Result<(), TensorError> {
         let range = self.local_row_range();
-        let local = self.localize(global_rows, &range)?;
-        if let Some(table) = &self.shard {
-            table.lookup_rows_into(&local, out);
+        let table = self.shard.as_ref();
+        if let Some(table) = table {
+            out.reserve(global_rows.len() * table.dim());
+        }
+        // Streamed localize → lookup: validating and translating row by row
+        // keeps the hot serving path free of the intermediate id vector.
+        for (n, &raw) in global_rows.iter().enumerate() {
+            let g = raw % self.num_embeddings;
+            if !range.contains(&g) {
+                return Err(TensorError::ShapeMismatch {
+                    op: "sharded_row_ownership",
+                    lhs: vec![g],
+                    rhs: vec![range.start, range.end],
+                });
+            }
+            let Some(table) = table else { continue };
+            if let Some(&next) = global_rows.get(n + 1) {
+                let next = next % self.num_embeddings;
+                if range.contains(&next) {
+                    table.prefetch_row(next - range.start);
+                }
+            }
+            out.extend_from_slice(table.row(g - range.start));
         }
         Ok(())
     }

@@ -11,7 +11,7 @@
 //! bytes saved (`dim × 4` per hit), which the serving report folds into the
 //! per-query byte accounting.
 
-use dmt_tensor::quant::{f16_bits_to_f32, f32_to_f16_bits, int8_scale, quantize_i8};
+use dmt_tensor::quant::{decode_row_f16_into, f32_to_f16_bits, int8_scale, quantize_i8};
 use dmt_tensor::Precision;
 use std::collections::HashMap;
 
@@ -100,7 +100,7 @@ impl StoredRow {
     fn decode_into(&self, out: &mut Vec<f32>) {
         match self {
             StoredRow::F32(row) => out.extend_from_slice(row),
-            StoredRow::F16(words) => out.extend(words.iter().map(|&w| f16_bits_to_f32(w))),
+            StoredRow::F16(words) => decode_row_f16_into(words, out),
             StoredRow::I8 { q, scale } => out.extend(q.iter().map(|&v| f32::from(v) * scale)),
         }
     }

@@ -65,7 +65,7 @@ use dmt_data::Query;
 use dmt_tensor::Tensor;
 use dmt_topology::{ClusterTopology, ProcessGroup, Rank};
 use dmt_trainer::distributed::model::{
-    self, load_params, DenseStack, LookupRouting, ShardedLookup,
+    self, load_params, DenseScratch, DenseStack, LookupRouting, ShardedLookup,
 };
 use dmt_trainer::distributed::{ExecutionMode, ModelSnapshot};
 use serde::{Deserialize, Serialize};
@@ -306,7 +306,7 @@ fn serve_layout(
 
 /// The dense-stack interaction geometry `(unit_width, num_units)` of a snapshot —
 /// must match what training used, or the exported weights will not load.
-fn dense_geometry(snapshot: &ModelSnapshot) -> Result<(usize, usize), ServeError> {
+pub(crate) fn dense_geometry(snapshot: &ModelSnapshot) -> Result<(usize, usize), ServeError> {
     match snapshot.mode {
         ExecutionMode::Baseline => Ok((
             snapshot.hyper.embedding_dim,
@@ -333,12 +333,35 @@ enum RankModel {
     Dmt(Box<DmtRank>),
 }
 
+/// Per-worker reusable buffers for the dense half of `run_batch`: the
+/// concatenated feature block, the dense input and the dense stack's
+/// internal scratch. Owned by the rank model (one worker thread each), so
+/// their capacity amortizes across the engine's whole lifetime.
+#[derive(Default)]
+struct BatchScratch {
+    dense_input: Tensor,
+    feature_block: Tensor,
+    dense: DenseScratch,
+}
+
+/// Fills `out` with the `[queries, num_dense]` row-major dense features,
+/// reusing its capacity — the allocation-free form of [`dense_flat`].
+fn dense_input_into(queries: &[Query], num_dense: usize, out: &mut Tensor) {
+    out.reset_to_shape(&[queries.len(), num_dense]);
+    for (row, q) in out.data_mut().chunks_exact_mut(num_dense).zip(queries) {
+        row.copy_from_slice(&q.dense);
+    }
+}
+
 struct BaselineRank {
     /// Primary shard plus hosted replica shards; also the router/pooler.
     answerer: ReplicatedAnswerer,
     dense: DenseStack,
     cache: HotRowCache,
     num_dense: usize,
+    /// Served feature ids, ascending (snapshot of `answerer.primary()`).
+    features: Vec<usize>,
+    scratch: BatchScratch,
 }
 
 struct DmtRank {
@@ -350,6 +373,7 @@ struct DmtRank {
     num_dense: usize,
     /// Global rank of each peer-world member (host-ascending, same slot).
     peer_ranks: Vec<usize>,
+    scratch: BatchScratch,
 }
 
 /// Builds rank `rank`'s model state from the snapshot.
@@ -387,11 +411,14 @@ fn build_rank_model(
                 cluster.gpus_per_host(),
                 config.precision,
             )?;
+            let features = answerer.primary().features().to_vec();
             Ok(RankModel::Baseline(Box::new(BaselineRank {
                 answerer,
                 dense,
                 cache,
                 num_dense: snapshot.schema.num_dense,
+                features,
+                scratch: BatchScratch::default(),
             })))
         }
         ExecutionMode::Dmt => {
@@ -429,6 +456,7 @@ fn build_rank_model(
                 layout,
                 num_dense: snapshot.schema.num_dense,
                 peer_ranks,
+                scratch: BatchScratch::default(),
             })))
         }
     }
@@ -819,9 +847,10 @@ impl RankModel {
                     dense,
                     cache,
                     num_dense,
+                    features,
+                    scratch,
                 } = state.as_mut();
-                let features: Vec<usize> = answerer.primary().features().to_vec();
-                let bags_owned = bags_of(my_queries, &features);
+                let bags_owned = bags_of(my_queries, features);
                 let bags: Vec<&[Vec<usize>]> = bags_owned.iter().map(Vec::as_slice).collect();
                 let (routing, fetched, lost) = fetch_rows_replicated(
                     answerer,
@@ -850,12 +879,16 @@ impl RankModel {
                     let lookup = answerer.primary();
                     let embs = lookup.pool(&bags, &routing, &fetched)?;
                     let refs: Vec<&Tensor> = embs.iter().collect();
-                    let feature_block = Tensor::concat_cols(&refs)?;
-                    let dense_input = Tensor::from_vec(
-                        vec![my_queries.len(), *num_dense],
-                        dense_flat(my_queries),
+                    Tensor::concat_cols_into(&refs, &mut scratch.feature_block)?;
+                    dense_input_into(my_queries, *num_dense, &mut scratch.dense_input);
+                    let mut preds = Vec::with_capacity(my_queries.len());
+                    dense.forward_infer(
+                        &scratch.dense_input,
+                        &scratch.feature_block,
+                        &mut preds,
+                        &mut scratch.dense,
                     )?;
-                    dense.forward(&dense_input, &feature_block)?
+                    preds
                 }
             }
             RankModel::Dmt(state) => {
@@ -867,6 +900,7 @@ impl RankModel {
                     layout,
                     num_dense,
                     peer_ranks,
+                    scratch,
                 } = state.as_mut();
                 // SPTT step 1: distribute indices to the owning towers' same-slot
                 // ranks, using the trainer's shared wire codec.
@@ -916,10 +950,16 @@ impl RankModel {
                         .map(|(t, flat)| Tensor::from_vec(vec![b, layout.tower_widths[t]], flat))
                         .collect::<Result<_, _>>()?;
                     let refs: Vec<&Tensor> = tower_blocks.iter().collect();
-                    let feature_block = Tensor::concat_cols(&refs)?;
-                    let dense_input =
-                        Tensor::from_vec(vec![b, *num_dense], dense_flat(my_queries))?;
-                    dense.forward(&dense_input, &feature_block)?
+                    Tensor::concat_cols_into(&refs, &mut scratch.feature_block)?;
+                    dense_input_into(my_queries, *num_dense, &mut scratch.dense_input);
+                    let mut preds = Vec::with_capacity(b);
+                    dense.forward_infer(
+                        &scratch.dense_input,
+                        &scratch.feature_block,
+                        &mut preds,
+                        &mut scratch.dense,
+                    )?;
+                    preds
                 }
             }
         };

@@ -84,6 +84,7 @@ pub mod harness;
 pub mod health;
 pub mod replica;
 pub mod request;
+pub mod single;
 pub mod stage;
 
 pub use admission::{batcher_close_by, AdmissionController};
@@ -97,6 +98,7 @@ pub use harness::{
 pub use health::HealthView;
 pub use replica::ReplicatedAnswerer;
 pub use request::{Priority, Request, ShedReason, NO_DEADLINE};
+pub use single::SingleRankServer;
 pub use stage::{CompletedRequest, StagePools, StageStats, StagedEngine};
 
 /// Storage/compute precision of a serving deployment's forward pass

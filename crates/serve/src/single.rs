@@ -1,0 +1,227 @@
+//! Single-rank, allocation-free serving.
+//!
+//! [`SingleRankServer`] collapses the baseline deployment onto one rank: with
+//! `world == 1` every embedding row is local, so the route → answer key
+//! exchange degenerates to the identity and the whole query path becomes
+//! *pool → dense forward* over rank-local state. That removes the collective
+//! layer entirely — and with it every per-batch wire buffer — which is what
+//! makes a hard zero-allocation guarantee possible:
+//!
+//! > After a warm-up batch of each shape, [`SingleRankServer::serve_into`]
+//! > performs **zero heap allocations** per call (asserted by the
+//! > counting-allocator test in `tests/zero_alloc.rs`).
+//!
+//! Every buffer of the forward pass — the pooled feature block, the dense
+//! input, each MLP/interaction intermediate and the quantized-GEMM scratch —
+//! lives in the server and is reshaped in place per batch. Predictions are
+//! bit-identical to the multi-rank [`crate::ServingEngine`] at the same
+//! precision: the pooling accumulates rows in the same bag order the routed
+//! protocol does, and the dense stack runs the same kernels through its
+//! allocation-free inference entry points.
+
+use crate::ServeError;
+use dmt_data::Query;
+use dmt_tensor::{Precision, Tensor};
+use dmt_trainer::distributed::model::{load_params, DenseScratch, DenseStack, ShardedLookup};
+use dmt_trainer::distributed::{ExecutionMode, ModelSnapshot};
+
+/// A baseline snapshot served from a single rank with reusable buffers.
+pub struct SingleRankServer {
+    /// All tables as shard 0 of a 1-way partition: every row is local.
+    lookup: ShardedLookup,
+    dense: DenseStack,
+    num_dense: usize,
+    row_buf: Vec<f32>,
+    feature_block: Tensor,
+    dense_input: Tensor,
+    scratch: DenseScratch,
+}
+
+impl SingleRankServer {
+    /// Loads a baseline snapshot at the given storage precision
+    /// ([`Precision::F32`] is the exact bit-identical-to-training path;
+    /// int8/fp16 quantize tables and dense weights once at load time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for a DMT-mode snapshot (tower outputs
+    /// need the peer exchange of the multi-rank engine) or an inconsistent
+    /// snapshot.
+    pub fn from_snapshot(
+        snapshot: &ModelSnapshot,
+        precision: Precision,
+    ) -> Result<Self, ServeError> {
+        if snapshot.mode != ExecutionMode::Baseline {
+            return Err(ServeError::Config {
+                reason: "SingleRankServer serves baseline snapshots; DMT tower \
+                         compression needs the multi-rank peer exchange"
+                    .into(),
+            });
+        }
+        let (unit_width, num_units) = crate::engine::dense_geometry(snapshot)?;
+        let mut dense = DenseStack::new(
+            snapshot.seed,
+            &snapshot.schema,
+            snapshot.arch,
+            &snapshot.hyper,
+            unit_width,
+            num_units,
+        );
+        load_params(&mut dense, &snapshot.dense_params)?;
+        dense.quantize_weights(precision);
+        let lookup = ShardedLookup::from_tables_quantized(
+            (0..snapshot.schema.num_sparse()).collect(),
+            &snapshot.tables,
+            1,
+            0,
+            precision,
+        )?;
+        Ok(Self {
+            lookup,
+            dense,
+            num_dense: snapshot.schema.num_dense,
+            row_buf: Vec::new(),
+            feature_block: Tensor::default(),
+            dense_input: Tensor::default(),
+            scratch: DenseScratch::default(),
+        })
+    }
+
+    /// Storage precision the tables were loaded at.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.lookup.precision()
+    }
+
+    /// Bytes resident in the embedding tables at the loaded precision.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.lookup.resident_bytes()
+    }
+
+    /// Serves one micro-batch, writing the per-query click probabilities into
+    /// `predictions` (cleared first). After a warm-up call of the same batch
+    /// shape, this performs zero heap allocations: pooling, dense input
+    /// assembly and every dense-stack intermediate reuse the server's
+    /// buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] if a query's dense width does not match the
+    /// snapshot schema.
+    pub fn serve_into(
+        &mut self,
+        queries: &[Query],
+        predictions: &mut Vec<f32>,
+    ) -> Result<(), ServeError> {
+        let batch = queries.len();
+        self.lookup.pool_local_into(
+            batch,
+            |f, s| queries[s].sparse[f].as_slice(),
+            &mut self.row_buf,
+            &mut self.feature_block,
+        )?;
+        self.dense_input.reset_to_shape(&[batch, self.num_dense]);
+        for (row, q) in self
+            .dense_input
+            .data_mut()
+            .chunks_exact_mut(self.num_dense)
+            .zip(queries)
+        {
+            if q.dense.len() != self.num_dense {
+                return Err(ServeError::Config {
+                    reason: format!(
+                        "query has {} dense features, snapshot expects {}",
+                        q.dense.len(),
+                        self.num_dense
+                    ),
+                });
+            }
+            row.copy_from_slice(&q.dense);
+        }
+        self.dense.forward_infer(
+            &self.dense_input,
+            &self.feature_block,
+            predictions,
+            &mut self.scratch,
+        )?;
+        Ok(())
+    }
+
+    /// [`SingleRankServer::serve_into`] returning a fresh prediction vector —
+    /// the convenience form for callers that do not recycle buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SingleRankServer::serve_into`].
+    pub fn serve(&mut self, queries: &[Query]) -> Result<Vec<f32>, ServeError> {
+        let mut out = Vec::with_capacity(queries.len());
+        self.serve_into(queries, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeConfig, ServingEngine};
+    use dmt_data::ZipfRequestStream;
+    use dmt_models::ModelArch;
+    use dmt_topology::{ClusterTopology, HardwareGeneration};
+    use dmt_trainer::distributed::{run_with_snapshot, DistributedConfig};
+
+    fn baseline_snapshot() -> ModelSnapshot {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2).unwrap();
+        let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm).with_iterations(1);
+        let (_run, snapshot) = run_with_snapshot(&cfg, ExecutionMode::Baseline).unwrap();
+        snapshot
+    }
+
+    #[test]
+    fn predictions_match_the_multi_rank_engine_bit_identically() {
+        let snapshot = baseline_snapshot();
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2).unwrap();
+        let mut engine = ServingEngine::start(&snapshot, &ServeConfig::new(cluster)).unwrap();
+        let mut single = SingleRankServer::from_snapshot(&snapshot, Precision::F32).unwrap();
+
+        let mut stream = ZipfRequestStream::new(snapshot.schema.clone(), 11, 1.1);
+        for batch in [1usize, 8, 13] {
+            let queries = stream.next_queries(batch);
+            let expected = engine.submit(queries.clone()).unwrap();
+            let got = single.serve(&queries).unwrap();
+            assert_eq!(got.len(), expected.len());
+            for (a, b) in got.iter().zip(&expected) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batch {batch}");
+            }
+        }
+        let _stats = engine.shutdown();
+    }
+
+    #[test]
+    fn quantized_precisions_load_and_serve() {
+        let snapshot = baseline_snapshot();
+        let f32_bytes = SingleRankServer::from_snapshot(&snapshot, Precision::F32)
+            .unwrap()
+            .resident_bytes();
+        for precision in [Precision::Fp16, Precision::Int8] {
+            let mut server = SingleRankServer::from_snapshot(&snapshot, precision).unwrap();
+            assert_eq!(server.precision(), precision);
+            assert!(server.resident_bytes() < f32_bytes);
+            let mut stream = ZipfRequestStream::new(snapshot.schema.clone(), 3, 1.1);
+            let preds = server.serve(&stream.next_queries(4)).unwrap();
+            assert_eq!(preds.len(), 4);
+            assert!(preds.iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn dmt_snapshots_are_rejected() {
+        let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 2).unwrap();
+        let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm).with_iterations(1);
+        let (_run, snapshot) = run_with_snapshot(&cfg, ExecutionMode::Dmt).unwrap();
+        assert!(matches!(
+            SingleRankServer::from_snapshot(&snapshot, Precision::F32),
+            Err(ServeError::Config { .. })
+        ));
+    }
+}

@@ -1,38 +1,44 @@
-//! Cache-blocked, register-tiled, optionally parallel f32 matrix kernels.
+//! Runtime-dispatched, register-tiled, optionally parallel f32 matrix kernels.
 //!
 //! Everything dense in the DMT models funnels through the GEMM-family entry points in
 //! this module, which operate on raw row-major slices:
 //!
-//! * [`gemm`] — `C += A·B` with `A: [m, k]`, `B: [k, n]`, used by [`crate::Tensor::matmul`]
-//!   and the fused bias variant.
+//! * [`gemm`] — `C += A·B` with `A: [m, k]`, `B: [k, n]`, used by [`crate::Tensor::matmul`].
+//! * [`gemm_fused_bias`] — `C = bias ⊕ A·B` with an optional fused ReLU epilogue, the
+//!   single-pass linear-layer forward ([`crate::Tensor::matmul_bias`] and the serving
+//!   fast path).
 //! * [`gemm_at_b`] — `C += Aᵀ·B` without materializing `Aᵀ` (the `dW = xᵀ·dy` step of a
 //!   linear layer's backward pass).
 //! * [`gemm_a_bt`] — `C += A·Bᵀ` without materializing `Bᵀ` (the `dx = dy·Wᵀ` step).
 //!
-//! The compute is tiled `MC × KC × NC` (64³ by default) so each inner block works on
-//! slices that stay resident in L1/L2, and the innermost loops process four output
-//! rows per pass so every load of a `B` row is reused fourfold. Large problems
+//! The heavy lifting lives in [`crate::simd`]: AVX-512 / AVX2+FMA microkernels selected
+//! once at runtime, with a portable `f32::mul_add` fallback that executes the *same*
+//! per-element operation chains — so every tier (and the `*_scalar` reference entry
+//! points below) produces bit-identical results on every shape. Large problems
 //! (`m·k·n ≥` [`PARALLEL_FLOP_CUTOFF`]) additionally split their output row blocks
-//! across threads with rayon; small ones stay on the serial microkernel so tiny layer
-//! shapes never pay thread overhead.
+//! across threads with rayon; the split regroups independent per-element chains, so
+//! parallel results are bit-identical to serial too.
 
+use crate::simd::{a_bt_dispatch, a_bt_scalar, bgemm_dispatch, bgemm_scalar, BroadcastGemm};
 use rayon::prelude::*;
 
-/// Row-block tile size (rows of `A`/`C` per block).
+/// Row-block tile size: rows of `A`/`C` per rayon work item.
 pub const MC: usize = 128;
-/// Depth tile size (the shared `k` dimension per block).
-pub const KC: usize = 256;
-/// Column tile size (columns of `B`/`C` per block).
-pub const NC: usize = 64;
+
+/// Widest SIMD register tile in columns (AVX-512 pair); kernel behavior
+/// changes tiling — never results — at multiples of this.
+pub const NR: usize = 32;
 
 /// Minimum `m·k·n` at which the kernels fan out across threads.
 ///
 /// Below this the serial microkernel wins. The threshold is sized for the vendored
-/// rayon stand-in, which spawns scoped OS threads per call (no pool): `1 << 25`
+/// rayon stand-in, which spawns scoped OS threads per call (no pool): `1 << 26`
 /// multiply-accumulates is roughly a millisecond of serial work at the measured
-/// single-core throughput, comfortably above per-call thread start-up cost. A pooled
-/// rayon would tolerate a cutoff one to two orders of magnitude lower.
-pub const PARALLEL_FLOP_CUTOFF: usize = 1 << 25;
+/// single-core FMA throughput (~110 GFLOP/s at 512³), comfortably above per-call
+/// thread start-up cost. The old scalar kernels used `1 << 25` for the same ~1 ms
+/// invariant; the SIMD kernels are ~2x faster, so the cutoff doubles. A pooled rayon
+/// would tolerate a cutoff one to two orders of magnitude lower.
+pub const PARALLEL_FLOP_CUTOFF: usize = 1 << 26;
 
 #[inline]
 fn use_parallel(m: usize, k: usize, n: usize) -> bool {
@@ -44,7 +50,9 @@ fn use_parallel(m: usize, k: usize, n: usize) -> bool {
 /// `C += A·B` for row-major `A: [m, k]`, `B: [k, n]`, `C: [m, n]`.
 ///
 /// `C` must be pre-initialized by the caller (zeros for a plain product, a broadcast
-/// bias for the fused linear forward); the kernel only accumulates.
+/// bias for the fused linear forward); the kernel only accumulates. Each output
+/// element's fma chain is seeded from its initial `C` value, so pre-initialization
+/// participates in the canonical operation order (see [`crate::simd`]).
 ///
 /// # Panics
 ///
@@ -53,27 +61,14 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "gemm: A length");
     assert_eq!(b.len(), k * n, "gemm: B length");
     assert_eq!(c.len(), m * n, "gemm: C length");
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    if use_parallel(m, k, n) {
-        c.par_chunks_mut(MC * n)
-            .enumerate()
-            .for_each(|(block, c_rows)| {
-                let row0 = block * MC;
-                let rows = c_rows.len() / n;
-                gemm_rows(&a[row0 * k..(row0 + rows) * k], b, c_rows, rows, k, n);
-            });
-    } else {
-        gemm_rows(a, b, c, m, k, n);
-    }
+    gemm_inner(a, b, None, c, m, k, n, false, bgemm_dispatch);
 }
 
-/// `C += A·B` on the blocked microkernel, never fanning out across threads.
+/// `C += A·B` on the dispatched microkernel, never fanning out across threads.
 ///
 /// [`gemm`] normally chooses between this and the parallel path by problem size; the
-/// explicit entry point exists so benches can compare serial-blocked against
-/// naive and against the parallel dispatcher.
+/// explicit entry point exists so benches can compare serial against the parallel
+/// dispatcher (results are bit-identical either way).
 ///
 /// # Panics
 ///
@@ -85,110 +80,172 @@ pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    gemm_rows(a, b, c, m, k, n);
+    bgemm_dispatch(
+        &BroadcastGemm {
+            a,
+            a_row_stride: k,
+            a_step_stride: 1,
+            steps: k,
+            b,
+            n,
+            rows: m,
+            bias: None,
+            relu: false,
+        },
+        c,
+    );
 }
 
-/// Serial blocked `C += A·B` over a contiguous row range.
-fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for kc in (0..k).step_by(KC) {
-        let kc_end = (kc + KC).min(k);
-        for jc in (0..n).step_by(NC) {
-            let jc_end = (jc + NC).min(n);
-            for ic in (0..m).step_by(MC) {
-                let ic_end = (ic + MC).min(m);
-                gemm_block(a, b, c, k, n, ic, ic_end, kc, kc_end, jc, jc_end);
-            }
-        }
-    }
-}
-
-/// Register-tile width: C columns accumulated in registers across the k-loop.
-const NR: usize = 32;
-
-/// One `MC × KC × NC` block via a 4×[`NR`] register-tiled microkernel.
+/// [`gemm`] forced onto the portable fallback tier — the differential half of the
+/// SIMD bit-identity tests. Results match [`gemm`] bit for bit by construction.
 ///
-/// Each microkernel instance accumulates a 4-row × `NR`-column tile of `C` in
-/// registers over the whole `kc..kc_end` depth, so `C` is loaded and stored once per
-/// depth block instead of once per `k` step — the naive kernel's bottleneck. The
-/// accumulator arrays are independent lanes, which keeps the strict-FP loop
-/// vectorizable (no cross-lane reduction until the final writeback).
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn gemm_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_scalar: A length");
+    assert_eq!(b.len(), k * n, "gemm_scalar: B length");
+    assert_eq!(c.len(), m * n, "gemm_scalar: C length");
+    gemm_inner(a, b, None, c, m, k, n, false, bgemm_scalar);
+}
+
+/// `C = bias ⊕ A·B` in one pass: every output chain is seeded from `bias[j]`,
+/// `C` is overwritten, and `relu` optionally applies the fused epilogue
+/// `if v > 0.0 { v } else { 0.0 }` before writeback.
+///
+/// Bit-identical to broadcasting `bias` into `C`, calling [`gemm`], and mapping the
+/// same ReLU over the result — the fused form just skips the extra passes, which is
+/// what the serving forward path wants.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
 #[allow(clippy::too_many_arguments)]
-fn gemm_block(
+pub fn gemm_fused_bias(
     a: &[f32],
     b: &[f32],
+    bias: &[f32],
     c: &mut [f32],
+    m: usize,
     k: usize,
     n: usize,
-    ic: usize,
-    ic_end: usize,
-    kc: usize,
-    kc_end: usize,
-    jc: usize,
-    jc_end: usize,
+    relu: bool,
 ) {
-    let mut i = ic;
-    while i + 4 <= ic_end {
-        let mut j = jc;
-        while j + NR <= jc_end {
-            let mut acc0 = [0.0f32; NR];
-            let mut acc1 = [0.0f32; NR];
-            let mut acc2 = [0.0f32; NR];
-            let mut acc3 = [0.0f32; NR];
-            for p in kc..kc_end {
-                let a0 = a[i * k + p];
-                let a1 = a[(i + 1) * k + p];
-                let a2 = a[(i + 2) * k + p];
-                let a3 = a[(i + 3) * k + p];
-                let bt: &[f32; NR] = b[p * n + j..p * n + j + NR].try_into().unwrap();
-                for l in 0..NR {
-                    let bv = bt[l];
-                    acc0[l] += a0 * bv;
-                    acc1[l] += a1 * bv;
-                    acc2[l] += a2 * bv;
-                    acc3[l] += a3 * bv;
-                }
-            }
-            for l in 0..NR {
-                c[i * n + j + l] += acc0[l];
-                c[(i + 1) * n + j + l] += acc1[l];
-                c[(i + 2) * n + j + l] += acc2[l];
-                c[(i + 3) * n + j + l] += acc3[l];
-            }
-            j += NR;
-        }
-        // Column remainder for this row quad.
-        if j < jc_end {
-            for p in kc..kc_end {
-                let a0 = a[i * k + p];
-                let a1 = a[(i + 1) * k + p];
-                let a2 = a[(i + 2) * k + p];
-                let a3 = a[(i + 3) * k + p];
-                let brow = &b[p * n..];
-                for jj in j..jc_end {
-                    let bv = brow[jj];
-                    c[i * n + jj] += a0 * bv;
-                    c[(i + 1) * n + jj] += a1 * bv;
-                    c[(i + 2) * n + jj] += a2 * bv;
-                    c[(i + 3) * n + jj] += a3 * bv;
-                }
-            }
-        }
-        i += 4;
+    assert_eq!(a.len(), m * k, "gemm_fused_bias: A length");
+    assert_eq!(b.len(), k * n, "gemm_fused_bias: B length");
+    assert_eq!(bias.len(), n, "gemm_fused_bias: bias length");
+    assert_eq!(c.len(), m * n, "gemm_fused_bias: C length");
+    if m == 0 || n == 0 {
+        return;
     }
-    // Row remainder one row at a time. No zero-skip here: the quad path above always
-    // multiplies, so skipping would make NaN/Inf propagation depend on which path a
-    // row lands in.
-    while i < ic_end {
-        let crow = &mut c[i * n + jc..i * n + jc_end];
-        let jw = jc_end - jc;
-        for p in kc..kc_end {
-            let av = a[i * k + p];
-            let brow = &b[p * n + jc..p * n + jc_end];
-            for jj in 0..jw {
-                crow[jj] += av * brow[jj];
+    if k == 0 {
+        for row in c.chunks_exact_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(bias) {
+                let v = bv;
+                *o = if relu {
+                    if v > 0.0 {
+                        v
+                    } else {
+                        0.0
+                    }
+                } else {
+                    v
+                };
             }
         }
-        i += 1;
+        return;
+    }
+    gemm_inner(a, b, Some(bias), c, m, k, n, relu, bgemm_dispatch);
+}
+
+/// [`gemm_fused_bias`] forced onto the portable fallback tier, for the
+/// differential bit-identity tests.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_fused_bias_scalar(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm_fused_bias_scalar: A length");
+    assert_eq!(b.len(), k * n, "gemm_fused_bias_scalar: B length");
+    assert_eq!(bias.len(), n, "gemm_fused_bias_scalar: bias length");
+    assert_eq!(c.len(), m * n, "gemm_fused_bias_scalar: C length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for row in c.chunks_exact_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(bias) {
+                *o = if relu && bv <= 0.0 { 0.0 } else { bv };
+            }
+        }
+        return;
+    }
+    gemm_inner(a, b, Some(bias), c, m, k, n, relu, bgemm_scalar);
+}
+
+/// Shared `A·B` driver: splits output rows across threads above the cutoff,
+/// delegating each band to `kernel` (the dispatched or forced-scalar tier).
+#[allow(clippy::too_many_arguments)]
+fn gemm_inner(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+    kernel: fn(&BroadcastGemm<'_>, &mut [f32]),
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if use_parallel(m, k, n) {
+        c.par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(block, c_rows)| {
+                let row0 = block * MC;
+                let rows = c_rows.len() / n;
+                kernel(
+                    &BroadcastGemm {
+                        a: &a[row0 * k..(row0 + rows) * k],
+                        a_row_stride: k,
+                        a_step_stride: 1,
+                        steps: k,
+                        b,
+                        n,
+                        rows,
+                        bias,
+                        relu,
+                    },
+                    c_rows,
+                );
+            });
+    } else {
+        kernel(
+            &BroadcastGemm {
+                a,
+                a_row_stride: k,
+                a_step_stride: 1,
+                steps: k,
+                b,
+                n,
+                rows: m,
+                bias,
+                relu,
+            },
+            c,
+        );
     }
 }
 
@@ -207,6 +264,33 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, r: usize, n: usi
     assert_eq!(a.len(), m * r, "gemm_at_b: A length");
     assert_eq!(b.len(), m * n, "gemm_at_b: B length");
     assert_eq!(c.len(), r * n, "gemm_at_b: C length");
+    at_b_inner(a, b, c, m, r, n, bgemm_dispatch);
+}
+
+/// [`gemm_at_b`] forced onto the portable fallback tier, for the differential
+/// bit-identity tests.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn gemm_at_b_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, r: usize, n: usize) {
+    assert_eq!(a.len(), m * r, "gemm_at_b_scalar: A length");
+    assert_eq!(b.len(), m * n, "gemm_at_b_scalar: B length");
+    assert_eq!(c.len(), r * n, "gemm_at_b_scalar: C length");
+    at_b_inner(a, b, c, m, r, n, bgemm_scalar);
+}
+
+/// Shared `Aᵀ·B` driver: the broadcast kernel with swapped strides
+/// (`a_row_stride = 1`, `a_step_stride = r`) walks `Aᵀ` rows for free.
+fn at_b_inner(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    r: usize,
+    n: usize,
+    kernel: fn(&BroadcastGemm<'_>, &mut [f32]),
+) {
     if m == 0 || r == 0 || n == 0 {
         return;
     }
@@ -216,85 +300,36 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, r: usize, n: usi
             .for_each(|(block, c_rows)| {
                 let q0 = block * MC;
                 let rows = c_rows.len() / n;
-                at_b_rows(a, b, c_rows, m, r, n, q0, q0 + rows);
+                kernel(
+                    &BroadcastGemm {
+                        a: &a[q0..],
+                        a_row_stride: 1,
+                        a_step_stride: r,
+                        steps: m,
+                        b,
+                        n,
+                        rows,
+                        bias: None,
+                        relu: false,
+                    },
+                    c_rows,
+                );
             });
     } else {
-        at_b_rows(a, b, c, m, r, n, 0, r);
-    }
-}
-
-/// Serial `C[q0..q1, ·] += (Aᵀ·B)[q0..q1, ·]`; `c` holds only the `q0..q1` band.
-///
-/// Register-tiled like [`gemm`]: a 4×[`NR`] tile of `C` stays in registers across the
-/// whole sample loop. The four `A` values feeding a tile row are `a[i, q..q+4]` —
-/// contiguous in row-major `A` — so the transposed operand costs nothing extra.
-#[allow(clippy::too_many_arguments)]
-fn at_b_rows(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    r: usize,
-    n: usize,
-    q0: usize,
-    q1: usize,
-) {
-    let band = q1 - q0;
-    let mut q = 0;
-    while q + 4 <= band {
-        let mut j = 0;
-        while j + NR <= n {
-            let mut acc0 = [0.0f32; NR];
-            let mut acc1 = [0.0f32; NR];
-            let mut acc2 = [0.0f32; NR];
-            let mut acc3 = [0.0f32; NR];
-            for i in 0..m {
-                let aq: &[f32; 4] = a[i * r + q0 + q..i * r + q0 + q + 4].try_into().unwrap();
-                let bt: &[f32; NR] = b[i * n + j..i * n + j + NR].try_into().unwrap();
-                for l in 0..NR {
-                    let bv = bt[l];
-                    acc0[l] += aq[0] * bv;
-                    acc1[l] += aq[1] * bv;
-                    acc2[l] += aq[2] * bv;
-                    acc3[l] += aq[3] * bv;
-                }
-            }
-            for l in 0..NR {
-                c[q * n + j + l] += acc0[l];
-                c[(q + 1) * n + j + l] += acc1[l];
-                c[(q + 2) * n + j + l] += acc2[l];
-                c[(q + 3) * n + j + l] += acc3[l];
-            }
-            j += NR;
-        }
-        // Column remainder for this q quad.
-        if j < n {
-            for i in 0..m {
-                let aq: &[f32; 4] = a[i * r + q0 + q..i * r + q0 + q + 4].try_into().unwrap();
-                let brow = &b[i * n..(i + 1) * n];
-                for jj in j..n {
-                    let bv = brow[jj];
-                    c[q * n + jj] += aq[0] * bv;
-                    c[(q + 1) * n + jj] += aq[1] * bv;
-                    c[(q + 2) * n + jj] += aq[2] * bv;
-                    c[(q + 3) * n + jj] += aq[3] * bv;
-                }
-            }
-        }
-        q += 4;
-    }
-    // Row remainder: rank-1 update per sample for the last (< 4) band rows. No
-    // zero-skip, matching the quad path's NaN/Inf propagation.
-    while q < band {
-        let crow = &mut c[q * n..(q + 1) * n];
-        for i in 0..m {
-            let av = a[i * r + q0 + q];
-            let brow = &b[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += av * brow[j];
-            }
-        }
-        q += 1;
+        kernel(
+            &BroadcastGemm {
+                a,
+                a_row_stride: 1,
+                a_step_stride: r,
+                steps: m,
+                b,
+                n,
+                rows: r,
+                bias: None,
+                relu: false,
+            },
+            c,
+        );
     }
 }
 
@@ -303,7 +338,8 @@ fn at_b_rows(
 ///
 /// This is the input-gradient GEMM of a linear layer (`dx = dy·Wᵀ`): `C[i, j]` is the
 /// dot product of row `i` of `A` with row `j` of `B`, so both operands stream
-/// row-major with unit stride.
+/// row-major with unit stride. Every dot uses the canonical 16-lane layout and fold
+/// tree (see [`crate::simd`]), so SIMD, scalar and parallel results are identical.
 ///
 /// # Panics
 ///
@@ -321,125 +357,46 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
             .for_each(|(block, c_rows)| {
                 let row0 = block * MC;
                 let rows = c_rows.len() / n;
-                a_bt_rows(&a[row0 * k..(row0 + rows) * k], b, c_rows, rows, k, n);
+                a_bt_dispatch(&a[row0 * k..(row0 + rows) * k], b, c_rows, rows, k, n);
             });
     } else {
-        a_bt_rows(a, b, c, m, k, n);
+        a_bt_dispatch(a, b, c, m, k, n);
     }
 }
 
-/// Dot-product lanes: independent partial sums so the strict-FP reduction vectorizes.
-const DOT_LANES: usize = 16;
-
-/// `Σ_p x[p]·y[p]` with [`DOT_LANES`] independent accumulator lanes.
+/// [`gemm_a_bt`] forced onto the portable fallback tier, for the differential
+/// bit-identity tests.
 ///
-/// A single running sum is a serial FP dependency chain the compiler must not
-/// reassociate; `DOT_LANES` parallel lanes folded at the end keep the loop wide.
-#[inline]
-pub(crate) fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
-    let mut acc = [0.0f32; DOT_LANES];
-    let chunks = x.len() / DOT_LANES * DOT_LANES;
-    let mut p = 0;
-    while p < chunks {
-        let xt: &[f32; DOT_LANES] = x[p..p + DOT_LANES].try_into().unwrap();
-        let yt: &[f32; DOT_LANES] = y[p..p + DOT_LANES].try_into().unwrap();
-        for l in 0..DOT_LANES {
-            acc[l] += xt[l] * yt[l];
-        }
-        p += DOT_LANES;
-    }
-    let mut tail = 0.0f32;
-    while p < x.len() {
-        tail += x[p] * y[p];
-        p += 1;
-    }
-    acc.iter().sum::<f32>() + tail
-}
-
-/// Four dot products against a shared left operand, computed in one fused loop.
+/// # Panics
 ///
-/// Fusing keeps 4×[`DOT_LANES`] independent accumulator chains in flight (a single
-/// running dot is a serial FP dependency the compiler must not reassociate) and reads
-/// the shared `x` row once for all four products.
-#[inline]
-pub(crate) fn dot4_lanes(x: &[f32], y0: &[f32], y1: &[f32], y2: &[f32], y3: &[f32]) -> [f32; 4] {
-    let k = x.len();
-    let mut acc0 = [0.0f32; DOT_LANES];
-    let mut acc1 = [0.0f32; DOT_LANES];
-    let mut acc2 = [0.0f32; DOT_LANES];
-    let mut acc3 = [0.0f32; DOT_LANES];
-    let chunks = k / DOT_LANES * DOT_LANES;
-    let mut p = 0;
-    while p < chunks {
-        let xt: &[f32; DOT_LANES] = x[p..p + DOT_LANES].try_into().unwrap();
-        let y0t: &[f32; DOT_LANES] = y0[p..p + DOT_LANES].try_into().unwrap();
-        let y1t: &[f32; DOT_LANES] = y1[p..p + DOT_LANES].try_into().unwrap();
-        let y2t: &[f32; DOT_LANES] = y2[p..p + DOT_LANES].try_into().unwrap();
-        let y3t: &[f32; DOT_LANES] = y3[p..p + DOT_LANES].try_into().unwrap();
-        for l in 0..DOT_LANES {
-            let xv = xt[l];
-            acc0[l] += xv * y0t[l];
-            acc1[l] += xv * y1t[l];
-            acc2[l] += xv * y2t[l];
-            acc3[l] += xv * y3t[l];
-        }
-        p += DOT_LANES;
+/// Panics if a slice length does not match its shape.
+pub fn gemm_a_bt_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_a_bt_scalar: A length");
+    assert_eq!(b.len(), n * k, "gemm_a_bt_scalar: B length");
+    assert_eq!(c.len(), m * n, "gemm_a_bt_scalar: C length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
     }
-    let mut tails = [0.0f32; 4];
-    while p < k {
-        let xv = x[p];
-        tails[0] += xv * y0[p];
-        tails[1] += xv * y1[p];
-        tails[2] += xv * y2[p];
-        tails[3] += xv * y3[p];
-        p += 1;
-    }
-    [
-        acc0.iter().sum::<f32>() + tails[0],
-        acc1.iter().sum::<f32>() + tails[1],
-        acc2.iter().sum::<f32>() + tails[2],
-        acc3.iter().sum::<f32>() + tails[3],
-    ]
+    a_bt_scalar(a, b, c, m, k, n);
 }
 
-/// Serial `C += A·Bᵀ` over a contiguous row range, four fused dot products per pass.
-fn a_bt_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        let mut j = 0;
-        while j + 4 <= n {
-            let dots = dot4_lanes(
-                arow,
-                &b[j * k..(j + 1) * k],
-                &b[(j + 1) * k..(j + 2) * k],
-                &b[(j + 2) * k..(j + 3) * k],
-                &b[(j + 3) * k..(j + 4) * k],
-            );
-            crow[j] += dots[0];
-            crow[j + 1] += dots[1];
-            crow[j + 2] += dots[2];
-            crow[j + 3] += dots[3];
-            j += 4;
-        }
-        while j < n {
-            crow[j] += dot_lanes(arow, &b[j * k..(j + 1) * k]);
-            j += 1;
-        }
-    }
-}
-
-/// Reference triple-loop `C = A·B`, kept for differential tests and benches.
+/// Reference triple-loop `C += A·B`, kept for differential tests and benches.
 ///
 /// This is the seed implementation [`crate::Tensor::matmul`] shipped with; the
-/// blocked kernels are validated against it to `≤ 1e-4` relative error and benched
-/// against it for the serial-vs-blocked-vs-parallel comparison.
-#[must_use]
-pub fn gemm_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
+/// dispatched kernels are validated against it to `≤ 1e-4` relative error and benched
+/// against it for the naive-vs-SIMD comparison. Like every other kernel here it now
+/// accumulates into a caller-owned output instead of allocating one.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+pub fn gemm_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm_naive: A length");
+    assert_eq!(b.len(), k * n, "gemm_naive: B length");
+    assert_eq!(c.len(), m * n, "gemm_naive: C length");
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
+        let out_row = &mut c[i * n..(i + 1) * n];
         for (p, &av) in a_row.iter().enumerate() {
             if av == 0.0 {
                 continue;
@@ -450,7 +407,6 @@ pub fn gemm_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -476,23 +432,92 @@ mod tests {
         }
     }
 
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        gemm_naive(a, b, &mut c, m, k, n);
+        c
+    }
+
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 7, 1),
+        (5, 3, 4),
+        (64, 64, 64),
+        (65, 63, 67),
+        (4, 130, 9),
+        (130, 5, 130),
+        (7, 33, 31),
+        (8, 16, 48),
+    ];
+
     #[test]
     fn gemm_matches_naive_across_shapes() {
-        for &(m, k, n) in &[
-            (1, 1, 1),
-            (1, 7, 1),
-            (5, 3, 4),
-            (64, 64, 64),
-            (65, 63, 67),
-            (4, 130, 9),
-            (130, 5, 130),
-        ] {
+        for &(m, k, n) in SHAPES {
             let a = fill(m * k, 1);
             let b = fill(k * n, 2);
             let mut c = vec![0.0; m * n];
             gemm(&a, &b, &mut c, m, k, n);
-            assert_close(&c, &gemm_naive(&a, &b, m, k, n));
+            assert_close(&c, &naive(&a, &b, m, k, n));
         }
+    }
+
+    #[test]
+    fn gemm_dispatch_matches_scalar_bit_identically() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut c_simd = fill(m * n, 3);
+            let mut c_scalar = c_simd.clone();
+            gemm(&a, &b, &mut c_simd, m, k, n);
+            gemm_scalar(&a, &b, &mut c_scalar, m, k, n);
+            for (x, y) in c_simd.iter().zip(&c_scalar) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_matches_broadcast_then_gemm_bit_identically() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 4);
+            let b = fill(k * n, 5);
+            let bias = fill(n, 6);
+            for relu in [false, true] {
+                let mut fused = vec![-1.0; m * n];
+                gemm_fused_bias(&a, &b, &bias, &mut fused, m, k, n, relu);
+                let mut reference = Vec::with_capacity(m * n);
+                for _ in 0..m {
+                    reference.extend_from_slice(&bias);
+                }
+                gemm(&a, &b, &mut reference, m, k, n);
+                if relu {
+                    for v in &mut reference {
+                        *v = if *v > 0.0 { *v } else { 0.0 };
+                    }
+                }
+                for (x, y) in fused.iter().zip(&reference) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n}) relu={relu}");
+                }
+                let mut fused_scalar = vec![-2.0; m * n];
+                gemm_fused_bias_scalar(&a, &b, &bias, &mut fused_scalar, m, k, n, relu);
+                for (x, y) in fused.iter().zip(&fused_scalar) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "scalar ({m},{k},{n}) relu={relu}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_relu_epilogue_handles_special_values() {
+        // One negative product, one NaN input: relu must send both to +0.0 /
+        // 0.0 exactly as the scalar definition does.
+        let a = [1.0f32, f32::NAN];
+        let b = [1.0f32];
+        let bias = [0.0f32];
+        let mut c = [9.0f32; 2];
+        gemm_fused_bias(&a, &b, &bias, &mut c, 2, 1, 1, true);
+        assert_eq!(c[0].to_bits(), 1.0f32.to_bits());
+        assert_eq!(c[1].to_bits(), 0.0f32.to_bits());
     }
 
     #[test]
@@ -502,7 +527,7 @@ mod tests {
         let b = fill(k * n, 4);
         let mut c = vec![1.0; m * n];
         gemm(&a, &b, &mut c, m, k, n);
-        let plain = gemm_naive(&a, &b, m, k, n);
+        let plain = naive(&a, &b, m, k, n);
         for (x, y) in c.iter().zip(&plain) {
             assert!((x - (y + 1.0)).abs() < 1e-5);
         }
@@ -520,10 +545,15 @@ mod tests {
                     at[q * m + i] = a[i * r + q];
                 }
             }
-            let expected = gemm_naive(&at, &b, r, m, n);
+            let expected = naive(&at, &b, r, m, n);
             let mut c = vec![0.0; r * n];
             gemm_at_b(&a, &b, &mut c, m, r, n);
             assert_close(&c, &expected);
+            let mut c_scalar = vec![0.0; r * n];
+            gemm_at_b_scalar(&a, &b, &mut c_scalar, m, r, n);
+            for (x, y) in c.iter().zip(&c_scalar) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{r},{n})");
+            }
         }
     }
 
@@ -538,10 +568,15 @@ mod tests {
                     bt[p * n + j] = b[j * k + p];
                 }
             }
-            let expected = gemm_naive(&a, &bt, m, k, n);
+            let expected = naive(&a, &bt, m, k, n);
             let mut c = vec![0.0; m * n];
             gemm_a_bt(&a, &b, &mut c, m, k, n);
             assert_close(&c, &expected);
+            let mut c_scalar = vec![0.0; m * n];
+            gemm_a_bt_scalar(&a, &b, &mut c_scalar, m, k, n);
+            for (x, y) in c.iter().zip(&c_scalar) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n})");
+            }
         }
     }
 
@@ -557,5 +592,10 @@ mod tests {
         gemm(&[], &[], &mut c, 3, 0, 1);
         assert_eq!(c, vec![0.0; 3]);
         let _ = a;
+        // k = 0 fused bias still writes the (relu'd) bias.
+        let bias = [-1.0f32, 2.0];
+        let mut out = [9.0f32; 4];
+        gemm_fused_bias(&[], &[], &bias, &mut out, 2, 0, 2, true);
+        assert_eq!(out, [0.0, 2.0, 0.0, 2.0]);
     }
 }

@@ -28,9 +28,14 @@ pub mod init;
 pub mod kernels;
 pub mod qgemm;
 pub mod quant;
+pub mod simd;
 pub mod tensor;
 
 pub use init::{kaiming_uniform, xavier_uniform};
-pub use qgemm::{gemm_a_bt_f16, gemm_a_bt_q8, F16BtMatrix, QuantizedBtMatrix};
+pub use qgemm::{
+    gemm_a_bt_f16, gemm_a_bt_f16_with, gemm_a_bt_q8, gemm_a_bt_q8_with, F16BtMatrix,
+    F16GemmScratch, QGemmScratch, QuantizedBtMatrix,
+};
 pub use quant::Precision;
+pub use simd::{f32_tier, f32_tier_name, prefetch_read, SimdTier};
 pub use tensor::{Tensor, TensorError};

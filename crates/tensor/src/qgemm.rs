@@ -25,10 +25,10 @@
 //! (`k ≤ 133 000`); constructors assert `k ≤ 65 536`, far above any dense
 //! layer in this workspace.
 
-use crate::kernels::{dot4_lanes, dot_lanes};
 use crate::quant::{
     decode_row_f16_into, f16_bits_to_f32, f32_to_f16_bits, int8_scale, quantize_i8,
 };
+use crate::simd::{dot4_dispatch, dot_dispatch};
 
 /// Largest inner dimension the constructors accept (keeps the i32 dot exact).
 pub const MAX_QUANT_K: usize = 1 << 16;
@@ -247,10 +247,25 @@ unsafe fn dot_i8_avx2(x: &[i8], y: &[i8]) -> i32 {
     total
 }
 
-/// Quantizes the activation rows of `a: [m, k]` once for the whole GEMM.
-fn quantize_activations(a: &[f32], m: usize, k: usize) -> (Vec<i8>, Vec<f32>) {
-    let mut qa = vec![0i8; m * k];
-    let mut scales = vec![1.0f32; m];
+/// Reusable activation-quantization scratch for the int8 GEMM.
+///
+/// [`gemm_a_bt_q8`] quantizes its `A` rows on the fly; routing the quantized
+/// bytes and per-row scales through a caller-owned scratch keeps the serving
+/// hot path free of per-batch heap allocations (buffers grow to the
+/// high-water mark once, then are reused).
+#[derive(Debug, Default, Clone)]
+pub struct QGemmScratch {
+    qa: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+/// Quantizes the activation rows of `a: [m, k]` once for the whole GEMM,
+/// into the reusable scratch.
+fn quantize_activations_into(a: &[f32], m: usize, k: usize, scratch: &mut QGemmScratch) {
+    scratch.qa.clear();
+    scratch.qa.resize(m * k, 0);
+    scratch.scales.clear();
+    scratch.scales.resize(m, 1.0);
     for i in 0..m {
         let row = &a[i * k..(i + 1) * k];
         let max_abs = row
@@ -259,12 +274,11 @@ fn quantize_activations(a: &[f32], m: usize, k: usize) -> (Vec<i8>, Vec<f32>) {
             .filter(|v| v.is_finite())
             .fold(0.0f32, |acc, v| acc.max(v.abs()));
         let scale = int8_scale(max_abs);
-        scales[i] = scale;
-        for (q, &v) in qa[i * k..(i + 1) * k].iter_mut().zip(row) {
+        scratch.scales[i] = scale;
+        for (q, &v) in scratch.qa[i * k..(i + 1) * k].iter_mut().zip(row) {
             *q = quantize_i8(v, scale);
         }
     }
-    (qa, scales)
 }
 
 /// `C += A·Bᵀ` with int8 weights and dynamically int8-quantized activations.
@@ -282,7 +296,25 @@ fn quantize_activations(a: &[f32], m: usize, k: usize) -> (Vec<i8>, Vec<f32>) {
 ///
 /// Panics if slice lengths do not match `m`, `k` and `b`'s geometry.
 pub fn gemm_a_bt_q8(a: &[f32], b: &QuantizedBtMatrix, c: &mut [f32], m: usize, k: usize) {
-    gemm_a_bt_q8_inner(a, b, c, m, k, int8_simd_active());
+    let mut scratch = QGemmScratch::default();
+    gemm_a_bt_q8_inner(a, b, c, m, k, int8_simd_active(), &mut scratch);
+}
+
+/// [`gemm_a_bt_q8`] with caller-owned activation scratch — the
+/// allocation-free form the serving hot path uses.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m`, `k` and `b`'s geometry.
+pub fn gemm_a_bt_q8_with(
+    a: &[f32],
+    b: &QuantizedBtMatrix,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    scratch: &mut QGemmScratch,
+) {
+    gemm_a_bt_q8_inner(a, b, c, m, k, int8_simd_active(), scratch);
 }
 
 /// [`gemm_a_bt_q8`] forced onto the portable scalar path, regardless of CPU
@@ -292,9 +324,11 @@ pub fn gemm_a_bt_q8(a: &[f32], b: &QuantizedBtMatrix, c: &mut [f32], m: usize, k
 ///
 /// Panics if slice lengths do not match `m`, `k` and `b`'s geometry.
 pub fn gemm_a_bt_q8_scalar(a: &[f32], b: &QuantizedBtMatrix, c: &mut [f32], m: usize, k: usize) {
-    gemm_a_bt_q8_inner(a, b, c, m, k, false);
+    let mut scratch = QGemmScratch::default();
+    gemm_a_bt_q8_inner(a, b, c, m, k, false, &mut scratch);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gemm_a_bt_q8_inner(
     a: &[f32],
     b: &QuantizedBtMatrix,
@@ -302,6 +336,7 @@ fn gemm_a_bt_q8_inner(
     m: usize,
     k: usize,
     simd: bool,
+    scratch: &mut QGemmScratch,
 ) {
     let n = b.n;
     assert_eq!(b.k, k, "gemm_a_bt_q8: inner dimension");
@@ -310,10 +345,10 @@ fn gemm_a_bt_q8_inner(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let (qa, a_scales) = quantize_activations(a, m, k);
+    quantize_activations_into(a, m, k, scratch);
     for i in 0..m {
-        let arow = &qa[i * k..(i + 1) * k];
-        let a_scale = a_scales[i];
+        let arow = &scratch.qa[i * k..(i + 1) * k];
+        let a_scale = scratch.scales[i];
         let crow = &mut c[i * n..(i + 1) * n];
         for (j, cval) in crow.iter_mut().enumerate() {
             let brow = &b.data[j * k..(j + 1) * k];
@@ -338,18 +373,43 @@ fn gemm_a_bt_q8_inner(
     }
 }
 
+/// Reusable decode scratch for the fp16 GEMM (up to four weight rows of `k`
+/// f32 values), so steady-state serving decodes without heap allocations.
+#[derive(Debug, Default, Clone)]
+pub struct F16GemmScratch {
+    buf: Vec<f32>,
+}
+
 /// `C += A·Bᵀ` with fp16-stored weights, decoded on the fly.
 ///
 /// Each group of four `Bᵀ` rows is decoded once into an `f32` scratch and fed
-/// through the same fused dot-product lanes as the f32 kernel, so the result
-/// is **bit-identical** to decoding all of `B` up front and running
-/// [`crate::kernels::gemm_a_bt`] — pinned by tests. `C` must be
-/// pre-initialized; the kernel only accumulates.
+/// through the same canonical dot-product kernels as the f32
+/// [`crate::kernels::gemm_a_bt`], so the result is **bit-identical** to
+/// decoding all of `B` up front and running the f32 kernel — pinned by tests.
+/// `C` must be pre-initialized; the kernel only accumulates.
 ///
 /// # Panics
 ///
 /// Panics if slice lengths do not match `m`, `k` and `b`'s geometry.
 pub fn gemm_a_bt_f16(a: &[f32], b: &F16BtMatrix, c: &mut [f32], m: usize, k: usize) {
+    let mut scratch = F16GemmScratch::default();
+    gemm_a_bt_f16_with(a, b, c, m, k, &mut scratch);
+}
+
+/// [`gemm_a_bt_f16`] with caller-owned decode scratch — the allocation-free
+/// form the serving hot path uses.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `m`, `k` and `b`'s geometry.
+pub fn gemm_a_bt_f16_with(
+    a: &[f32],
+    b: &F16BtMatrix,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    scratch: &mut F16GemmScratch,
+) {
     let n = b.n;
     assert_eq!(b.k, k, "gemm_a_bt_f16: inner dimension");
     assert_eq!(a.len(), m * k, "gemm_a_bt_f16: A length");
@@ -357,22 +417,17 @@ pub fn gemm_a_bt_f16(a: &[f32], b: &F16BtMatrix, c: &mut [f32], m: usize, k: usi
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let mut scratch: Vec<f32> = Vec::with_capacity(4 * k);
+    let scratch = &mut scratch.buf;
+    scratch.reserve(4 * k);
     let mut j = 0;
     while j + 4 <= n {
         scratch.clear();
         for q in 0..4 {
-            decode_row_f16_into(&b.data[(j + q) * k..(j + q + 1) * k], &mut scratch);
+            decode_row_f16_into(&b.data[(j + q) * k..(j + q + 1) * k], scratch);
         }
         for i in 0..m {
             let arow = &a[i * k..(i + 1) * k];
-            let dots = dot4_lanes(
-                arow,
-                &scratch[..k],
-                &scratch[k..2 * k],
-                &scratch[2 * k..3 * k],
-                &scratch[3 * k..4 * k],
-            );
+            let dots = dot4_dispatch(arow, &scratch[..4 * k]);
             let crow = &mut c[i * n + j..i * n + j + 4];
             crow[0] += dots[0];
             crow[1] += dots[1];
@@ -383,9 +438,9 @@ pub fn gemm_a_bt_f16(a: &[f32], b: &F16BtMatrix, c: &mut [f32], m: usize, k: usi
     }
     while j < n {
         scratch.clear();
-        decode_row_f16_into(&b.data[j * k..(j + 1) * k], &mut scratch);
+        decode_row_f16_into(&b.data[j * k..(j + 1) * k], scratch);
         for i in 0..m {
-            c[i * n + j] += dot_lanes(&a[i * k..(i + 1) * k], &scratch[..k]);
+            c[i * n + j] += dot_dispatch(&a[i * k..(i + 1) * k], &scratch[..k]);
         }
         j += 1;
     }
@@ -470,11 +525,13 @@ mod tests {
         let b = QuantizedBtMatrix::from_col_major(&fill(k * n, 32), k, n);
         let mut c = vec![0.0f32; m * n];
         gemm_a_bt_q8(&a, &b, &mut c, m, k);
-        let (qa, a_scales) = quantize_activations(&a, m, k);
+        let mut scratch = QGemmScratch::default();
+        quantize_activations_into(&a, m, k, &mut scratch);
         for i in 0..m {
             for j in 0..n {
-                let dot = dot_i8_scalar(&qa[i * k..(i + 1) * k], &b.data[j * k..(j + 1) * k]);
-                let expected = dot as f32 * a_scales[i] * b.scales[j];
+                let dot =
+                    dot_i8_scalar(&scratch.qa[i * k..(i + 1) * k], &b.data[j * k..(j + 1) * k]);
+                let expected = dot as f32 * scratch.scales[i] * b.scales[j];
                 assert_eq!(c[i * n + j].to_bits(), expected.to_bits());
             }
         }

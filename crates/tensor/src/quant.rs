@@ -186,7 +186,142 @@ pub fn dequantize_row_i8_into(row: &[i8], scale: f32, out: &mut Vec<f32>) {
 /// Appends the decoded values of the fp16 `row` onto `out`.
 #[inline]
 pub fn decode_row_f16_into(row: &[u16], out: &mut Vec<f32>) {
-    out.extend(row.iter().map(|&h| f16_bits_to_f32(h)));
+    let start = out.len();
+    out.resize(start + row.len(), 0.0);
+    decode_f16_slice(row, &mut out[start..]);
+}
+
+/// Decodes the fp16 `row` into `out` (same length), using the hardware
+/// `vcvtph2ps` converter when F16C is available.
+///
+/// The hardware converter implements the same IEEE 754 binary16 → binary32
+/// widening as [`f16_bits_to_f32`] (the conversion is exact — every f16 value
+/// is representable in f32 — so there is no rounding to disagree on), which
+/// the exhaustive all-65536-patterns test below pins bit for bit.
+///
+/// # Panics
+/// If `row` and `out` differ in length.
+pub fn decode_f16_slice(row: &[u16], out: &mut [f32]) {
+    assert_eq!(
+        row.len(),
+        out.len(),
+        "decode_f16_slice: length mismatch {} vs {}",
+        row.len(),
+        out.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    if f16c_active() {
+        // SAFETY: `f16c_active` checked the CPU feature at runtime.
+        unsafe { decode_f16_f16c(row, out) };
+        return;
+    }
+    for (o, &h) in out.iter_mut().zip(row) {
+        *o = f16_bits_to_f32(h);
+    }
+}
+
+/// Encodes `src` into IEEE 754 binary16 bits in `dst` (same length), using
+/// the hardware `vcvtps2ph` converter when F16C is available.
+///
+/// The hardware converter rounds to nearest even with overflow saturating to
+/// ±inf — the same semantics as [`f32_to_f16_bits`] — so both paths produce
+/// identical bits (pinned by the round-trip and random-pattern tests below).
+/// The one divergence is NaN payloads: `vcvtps2ph` quiets signaling NaNs
+/// where the scalar encoder truncates the payload untouched, so any group
+/// containing a NaN lane is redone through the scalar path (cold: collectives
+/// never carry NaNs in steady state).
+///
+/// # Panics
+/// If `src` and `dst` differ in length.
+pub fn encode_f16_slice(src: &[f32], dst: &mut [u16]) {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "encode_f16_slice: length mismatch {} vs {}",
+        src.len(),
+        dst.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    if f16c_active() {
+        // SAFETY: `f16c_active` checked the CPU feature at runtime.
+        unsafe { encode_f16_f16c(src, dst) };
+        return;
+    }
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = f32_to_f16_bits(v);
+    }
+}
+
+/// Bulk f32 → f16 encode through `vcvtps2ph`, eight elements per conversion,
+/// scalar [`f32_to_f16_bits`] (bit-identical) for the tail and NaN groups.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+unsafe fn encode_f16_f16c(src: &[f32], dst: &mut [u16]) {
+    use std::arch::x86_64::{
+        __m128i, _mm256_cmp_ps, _mm256_cvtps_ph, _mm256_loadu_ps, _mm256_movemask_ps,
+        _mm_storeu_si128, _CMP_UNORD_Q, _MM_FROUND_TO_NEAREST_INT,
+    };
+    let n = src.len();
+    let from = src.as_ptr();
+    let to = dst.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let values = _mm256_loadu_ps(from.add(i));
+        let halves = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(values);
+        _mm_storeu_si128(to.add(i).cast::<__m128i>(), halves);
+        if _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_UNORD_Q>(values, values)) != 0 {
+            for j in i..i + 8 {
+                dst[j] = f32_to_f16_bits(src[j]);
+            }
+        }
+        i += 8;
+    }
+    for j in i..n {
+        dst[j] = f32_to_f16_bits(src[j]);
+    }
+}
+
+/// Runtime F16C detection, memoized like the other kernel dispatch gates.
+#[cfg(target_arch = "x86_64")]
+fn f16c_active() -> bool {
+    static ACTIVE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ACTIVE.get_or_init(|| std::arch::is_x86_feature_detected!("f16c"))
+}
+
+/// Bulk f16 → f32 decode through `vcvtph2ps`, eight elements per conversion,
+/// scalar [`f16_bits_to_f32`] (bit-identical) for the tail.
+///
+/// One semantic wrinkle: `vcvtph2ps` quiets signaling NaNs (sets the f32
+/// quiet bit) where the scalar decoder propagates the payload untouched, so
+/// any group containing a NaN lane is redone through the scalar path. The
+/// encoder never produces signaling NaNs, so the fixup branch is cold.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+unsafe fn decode_f16_f16c(row: &[u16], out: &mut [f32]) {
+    use std::arch::x86_64::{
+        __m128i, _mm256_cvtph_ps, _mm256_storeu_ps, _mm_and_si128, _mm_cmpgt_epi16,
+        _mm_loadu_si128, _mm_movemask_epi8, _mm_set1_epi16,
+    };
+    let n = row.len();
+    let src = row.as_ptr();
+    let dst = out.as_mut_ptr();
+    let mag_mask = _mm_set1_epi16(0x7fff);
+    let inf_bits = _mm_set1_epi16(0x7c00);
+    let mut i = 0;
+    while i + 8 <= n {
+        let halves = _mm_loadu_si128(src.add(i).cast::<__m128i>());
+        _mm256_storeu_ps(dst.add(i), _mm256_cvtph_ps(halves));
+        let mag = _mm_and_si128(halves, mag_mask);
+        if _mm_movemask_epi8(_mm_cmpgt_epi16(mag, inf_bits)) != 0 {
+            for j in i..i + 8 {
+                out[j] = f16_bits_to_f32(row[j]);
+            }
+        }
+        i += 8;
+    }
+    for j in i..n {
+        out[j] = f16_bits_to_f32(row[j]);
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +355,64 @@ mod tests {
                 reference.to_bits(),
                 "pattern {half:#06x}: {fast} != {reference}"
             );
+        }
+    }
+
+    #[test]
+    fn bulk_f16_decode_matches_scalar_on_every_bit_pattern() {
+        // Every pattern through the dispatched bulk path (hardware vcvtph2ps
+        // where available), laid out so both the 8-wide body and the scalar
+        // tail see all 65536 patterns.
+        let all: Vec<u16> = (0..=u16::MAX).collect();
+        for offset in [0usize, 3] {
+            let row = &all[offset..];
+            let mut out = vec![0.0f32; row.len()];
+            decode_f16_slice(row, &mut out);
+            for (&half, &got) in row.iter().zip(&out) {
+                let want = f16_bits_to_f32(half);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "pattern {half:#06x}: {got} != {want}"
+                );
+            }
+        }
+        let mut appended = vec![1.0f32];
+        decode_row_f16_into(&all[..17], &mut appended);
+        assert_eq!(appended.len(), 18);
+        assert_eq!(appended[0], 1.0);
+        assert_eq!(appended[1], f16_bits_to_f32(0));
+    }
+
+    #[test]
+    fn bulk_f16_encode_matches_scalar_on_rich_inputs() {
+        // Every f16-representable value (all 65536 patterns widened to f32),
+        // every rounding-boundary neighbourhood a structured sweep can reach,
+        // and a pseudo-random sweep over raw f32 bit patterns — NaNs, infs
+        // and subnormals included. Offsets exercise both the 8-wide body and
+        // the scalar tail.
+        let mut inputs: Vec<f32> = (0..=u16::MAX).map(f16_bits_to_f32).collect();
+        for center in [1.0f32, 65504.0, 65520.0, 6.104e-5, 5.96e-8, 1e-40] {
+            for ulps in -4i32..=4 {
+                inputs.push(f32::from_bits(center.to_bits().wrapping_add_signed(ulps)));
+                inputs.push(-f32::from_bits(center.to_bits().wrapping_add_signed(ulps)));
+            }
+        }
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..100_000 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            inputs.push(f32::from_bits((state >> 32) as u32));
+        }
+        for offset in [0usize, 5] {
+            let src = &inputs[offset..];
+            let mut bulk = vec![0u16; src.len()];
+            encode_f16_slice(src, &mut bulk);
+            for (&v, &got) in src.iter().zip(&bulk) {
+                let want = f32_to_f16_bits(v);
+                assert_eq!(got, want, "input {:#010x} ({v})", v.to_bits());
+            }
         }
     }
 

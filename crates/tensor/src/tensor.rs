@@ -82,6 +82,17 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+/// The default tensor is the empty `[0]` vector — the natural seed for
+/// reusable `*_into` output buffers, which reshape on first use.
+impl Default for Tensor {
+    fn default() -> Self {
+        Self {
+            shape: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
 impl Tensor {
     /// Creates a tensor from a shape and row-major data.
     ///
@@ -113,6 +124,17 @@ impl Tensor {
     #[must_use]
     pub fn ones(shape: &[usize]) -> Self {
         Self::full(shape, 1.0)
+    }
+
+    /// Reshapes `self` in place to `shape` and zero-fills the data — the
+    /// reusable-output idiom of the `*_into` kernels. Allocation-free once the
+    /// buffer's capacity has grown to `shape`'s element count.
+    pub fn reset_to_shape(&mut self, shape: &[usize]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        let len = shape.iter().product();
+        self.data.clear();
+        self.data.resize(len, 0.0);
     }
 
     /// A tensor filled with `value`.
@@ -392,14 +414,39 @@ impl Tensor {
     /// Fused `self · weight + bias` with the bias row broadcast over every output row:
     /// `[m, k] x [k, n] + [n] -> [m, n]`.
     ///
-    /// The bias is written into the output buffer first and the GEMM accumulates on
-    /// top, so no intermediate product tensor or per-element bias pass exists.
+    /// Single-pass: every output element's fma chain is seeded directly from its bias
+    /// value inside the kernel ([`kernels::gemm_fused_bias`]), so no intermediate
+    /// product tensor or separate bias broadcast pass exists. Bit-identical to
+    /// broadcasting the bias and accumulating a GEMM on top.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] if the
     /// operands are not conforming matrices or `bias` is not a length-`n` vector.
     pub fn matmul_bias(&self, weight: &Self, bias: &Self) -> Result<Self, TensorError> {
+        let mut out = Self::zeros(&[0]);
+        self.matmul_bias_act_into(weight, bias, false, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::matmul_bias`] with an optional fused ReLU epilogue, writing into a
+    /// caller-owned output tensor (reshaped and overwritten; its buffer is reused) —
+    /// the allocation-free linear-layer forward the serving hot path uses.
+    ///
+    /// The fused ReLU (`if v > 0.0 { v } else { 0.0 }`) is bit-identical to applying
+    /// [`Tensor::map`]-style ReLU over the un-fused result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] if the
+    /// operands are not conforming matrices or `bias` is not a length-`n` vector.
+    pub fn matmul_bias_act_into(
+        &self,
+        weight: &Self,
+        bias: &Self,
+        relu: bool,
+        out: &mut Self,
+    ) -> Result<(), TensorError> {
         let ((m, k), (k2, n)) = self.matmul_dims(weight, "matmul_bias")?;
         if k != k2 {
             return Err(TensorError::ShapeMismatch {
@@ -422,15 +469,18 @@ impl Tensor {
                 rhs: bias.shape.clone(),
             });
         }
-        let mut out = Vec::with_capacity(m * n);
-        for _ in 0..m {
-            out.extend_from_slice(&bias.data);
-        }
-        kernels::gemm(&self.data, &weight.data, &mut out, m, k, n);
-        Ok(Self {
-            shape: vec![m, n],
-            data: out,
-        })
+        out.reset_to_shape(&[m, n]);
+        kernels::gemm_fused_bias(
+            &self.data,
+            &weight.data,
+            &bias.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            relu,
+        );
+        Ok(())
     }
 
     /// Fused `selfᵀ · other` without materializing the transpose:
@@ -578,6 +628,75 @@ impl Tensor {
             shape: vec![rows, total_cols],
             data,
         })
+    }
+
+    /// [`Tensor::concat_cols`] into a caller-owned tensor: `out` is overwritten
+    /// (shape and data) without allocating once its buffer capacity has grown to
+    /// the batch shape — the serving hot path's allocation-free form.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::concat_cols`].
+    pub fn concat_cols_into(tensors: &[&Self], out: &mut Self) -> Result<(), TensorError> {
+        if tensors.is_empty() {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "concat_cols",
+                index: 0,
+                bound: 0,
+            });
+        }
+        let rows = tensors[0].shape.first().copied().unwrap_or(0);
+        for t in tensors {
+            if t.rank() != 2 {
+                return Err(TensorError::RankMismatch {
+                    op: "concat_cols",
+                    expected: 2,
+                    actual: t.rank(),
+                });
+            }
+            if t.shape[0] != rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_cols",
+                    lhs: tensors[0].shape.clone(),
+                    rhs: t.shape.clone(),
+                });
+            }
+        }
+        let total_cols: usize = tensors.iter().map(|t| t.shape[1]).sum();
+        out.shape.clear();
+        out.shape.extend_from_slice(&[rows, total_cols]);
+        out.data.clear();
+        out.data.reserve(rows * total_cols);
+        for r in 0..rows {
+            for t in tensors {
+                let cols = t.shape[1];
+                out.data
+                    .extend_from_slice(&t.data[r * cols..(r + 1) * cols]);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::mul_add`] into a caller-owned tensor (same elementwise float
+    /// path, allocation-free once `out`'s capacity has grown to the shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul_add_into(&self, a: &Self, b: &Self, out: &mut Self) -> Result<(), TensorError> {
+        self.check_same_shape(a, "mul_add")?;
+        self.check_same_shape(b, "mul_add")?;
+        out.shape.clear();
+        out.shape.extend_from_slice(&self.shape);
+        out.data.clear();
+        out.data.extend(
+            self.data
+                .iter()
+                .zip(&a.data)
+                .zip(&b.data)
+                .map(|((&x, &y), &z)| x * y + z),
+        );
+        Ok(())
     }
 
     /// Splits a rank-2 tensor column-wise into pieces of the given widths.

@@ -325,13 +325,18 @@ mod tests {
     /// per-segment byte counts captured from the pre-refactor engine (commit
     /// 8535062) on the quick 2x4 DLRM config with 3 iterations. The sync schedule
     /// must reproduce them bit-for-bit — it *is* the old engine.
+    ///
+    /// Loss bits repinned once when the dense GEMM kernels moved to FMA
+    /// (fused multiply-add contracts `a*b+c` into one rounding, so every
+    /// matmul partial sum shifts by ≤1 ulp); the communication byte counts
+    /// are index-derived and did not move.
     #[test]
     fn sync_schedule_is_bit_identical_to_the_prerefactor_engine() {
         let cfg = quick(ModelArch::Dlrm).with_iterations(3);
         assert_eq!(cfg.schedule, ScheduleMode::Sync);
 
         let baseline = run_baseline(&cfg).unwrap();
-        let golden_losses: [u64; 3] = [0x3fe53a78961e8b8a, 0x3fe4ca2cd5bffd2c, 0x3fe4b56a70812da2];
+        let golden_losses: [u64; 3] = [0x3fe53a78959a3fd6, 0x3fe4ca2cd3da8d66, 0x3fe4b56a7174eaad];
         for (loss, golden) in baseline.losses.iter().zip(golden_losses) {
             assert_eq!(loss.to_bits(), golden, "baseline loss drifted");
         }
@@ -352,7 +357,7 @@ mod tests {
         }
 
         let dmt = run_dmt(&cfg).unwrap();
-        let golden_losses: [u64; 3] = [0x3fe6975fdf1fb5fa, 0x3fe4d6c263dad6ad, 0x3fe549b12069dbe6];
+        let golden_losses: [u64; 3] = [0x3fe6975fdee66728, 0x3fe4d6c263dd62f0, 0x3fe549b11f57b8a7];
         for (loss, golden) in dmt.losses.iter().zip(golden_losses) {
             assert_eq!(loss.to_bits(), golden, "dmt loss drifted");
         }

@@ -15,8 +15,8 @@ use dmt_data::{Batch, DatasetSchema};
 use dmt_models::{ModelArch, ModelHyperparams};
 use dmt_nn::param::HasParameters;
 use dmt_nn::{
-    BceWithLogitsLoss, CrossNet, DotInteraction, Mlp, Parameter, QuantizedShardedTable,
-    ShardedEmbeddingTable,
+    BceWithLogitsLoss, CrossNet, CrossNetScratch, DotInteraction, Mlp, MlpScratch, Parameter,
+    QuantizedShardedTable, ShardedEmbeddingTable,
 };
 use dmt_tensor::{Precision, Tensor, TensorError};
 
@@ -598,6 +598,71 @@ impl ShardedLookup {
             shard.apply_rowwise_adagrad(learning_rate, eps);
         }
     }
+
+    /// Single-rank pooling: sums each sample's bag rows for every served
+    /// feature straight into the feature-block layout `[samples, F · dim]`
+    /// (feature `pos` occupies columns `pos·dim .. (pos+1)·dim`), skipping the
+    /// route/answer key exchange entirely. Requires every row to be local —
+    /// i.e. a lookup built with `world == 1` — and accumulates rows in bag
+    /// order, bit-identical to the route → answer → [`ShardedLookup::pool`]
+    /// path followed by a column concatenation.
+    ///
+    /// `bag(feature, sample)` supplies the raw index bag (same contract as
+    /// [`encode_tower_streams`]); `row_buf` is a reusable `dim`-row decode
+    /// buffer, so once it and `out` have grown, the pass allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if a row is not owned by this shard view
+    /// (the lookup was built with more than one shard).
+    pub fn pool_local_into<'a, F>(
+        &self,
+        samples: usize,
+        bag: F,
+        row_buf: &mut Vec<f32>,
+        out: &mut Tensor,
+    ) -> Result<(), TensorError>
+    where
+        F: Fn(usize, usize) -> &'a [usize],
+    {
+        let dim = self.dim;
+        let width = self.features.len() * dim;
+        out.reset_to_shape(&[samples, width]);
+        let data = out.data_mut();
+        for (pos, &feature) in self.features.iter().enumerate() {
+            let num_embeddings = self.shards.num_embeddings(pos);
+            for (s, sample_row) in data.chunks_exact_mut(width).enumerate() {
+                let dst = &mut sample_row[pos * dim..(pos + 1) * dim];
+                for &raw in bag(feature, s) {
+                    let row = raw % num_embeddings;
+                    row_buf.clear();
+                    self.shards
+                        .lookup_rows_into(pos, std::slice::from_ref(&row), row_buf)?;
+                    for (d, v) in dst.iter_mut().zip(row_buf.iter()) {
+                        *d += v;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reusable buffers for [`DenseStack::forward_infer`]: every intermediate
+/// tensor of the dense forward pass plus the per-module scratch of the
+/// layers underneath. Owned per serving worker; capacity is retained across
+/// micro-batches, so steady-state inference performs no heap allocation in
+/// the dense stack.
+#[derive(Debug, Default)]
+pub struct DenseScratch {
+    dense_repr: Tensor,
+    units: Tensor,
+    interaction: Tensor,
+    over_input: Tensor,
+    logits: Tensor,
+    bottom: MlpScratch,
+    over: MlpScratch,
+    cross: CrossNetScratch,
 }
 
 /// The replicated dense stack: bottom MLP, feature interaction and over-arch.
@@ -778,6 +843,69 @@ impl DenseStack {
             .collect())
     }
 
+    /// Allocation-free inference forward: the same per-layer kernels as
+    /// [`DenseStack::forward`] — bit-identical probabilities — but immutable
+    /// over the stack (no activation caching) and writing every intermediate
+    /// into `scratch`. `predictions` is cleared and refilled with the
+    /// per-sample probabilities; once `scratch` and `predictions` have grown
+    /// to the batch's working-set size, a call performs zero heap
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DistributedError`] on input shape mismatch.
+    pub fn forward_infer(
+        &self,
+        dense_input: &Tensor,
+        feature_block: &Tensor,
+        predictions: &mut Vec<f32>,
+        scratch: &mut DenseScratch,
+    ) -> Result<(), DistributedError> {
+        self.bottom.forward_infer_into(
+            dense_input,
+            &mut scratch.dense_repr,
+            &mut scratch.bottom,
+        )?;
+        Tensor::concat_cols_into(&[&scratch.dense_repr, feature_block], &mut scratch.units)?;
+        match self.arch {
+            ModelArch::Dlrm => {
+                let dot = self
+                    .dot
+                    .as_ref()
+                    .expect("DLRM stacks own a dot interaction");
+                dot.forward_into(&scratch.units, &mut scratch.interaction)?;
+                Tensor::concat_cols_into(
+                    &[&scratch.dense_repr, &scratch.interaction],
+                    &mut scratch.over_input,
+                )?;
+            }
+            ModelArch::Dcn => {
+                self.cross
+                    .as_ref()
+                    .expect("DCN stacks own a CrossNet")
+                    .forward_infer_into(
+                        &scratch.units,
+                        &mut scratch.over_input,
+                        &mut scratch.cross,
+                    )?;
+            }
+        }
+        self.over.forward_infer_into(
+            &scratch.over_input,
+            &mut scratch.logits,
+            &mut scratch.over,
+        )?;
+        predictions.clear();
+        predictions.extend(
+            scratch
+                .logits
+                .data()
+                .iter()
+                .map(|&z| dmt_nn::activation::scalar_sigmoid(z)),
+        );
+        Ok(())
+    }
+
     /// Switches the bottom and over MLPs' forward passes to the given storage
     /// precision ([`Precision::F32`] restores the exact fused kernels).
     ///
@@ -887,6 +1015,107 @@ pub(crate) fn scale_grads(grads: &mut [Tensor], scale: f32) {
     for grad in grads {
         for v in grad.data_mut() {
             *v *= scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_schema() -> DatasetSchema {
+        dmt_data::DatasetSchema::criteo_like_small()
+    }
+
+    #[test]
+    fn forward_infer_is_bit_identical_to_forward_for_both_archs() {
+        let schema = tiny_schema();
+        let hyper = ModelHyperparams::tiny();
+        for arch in [ModelArch::Dlrm, ModelArch::Dcn] {
+            let unit_width = hyper.embedding_dim;
+            let num_units = schema.num_sparse() + 1;
+            let mut stack = DenseStack::new(17, &schema, arch, &hyper, unit_width, num_units);
+            let batch = 5;
+            let dense = Tensor::from_vec(
+                vec![batch, schema.num_dense],
+                (0..batch * schema.num_dense)
+                    .map(|i| ((i * 31) % 17) as f32 * 0.13 - 1.0)
+                    .collect(),
+            )
+            .unwrap();
+            let feat_width = unit_width * (num_units - 1);
+            let features = Tensor::from_vec(
+                vec![batch, feat_width],
+                (0..batch * feat_width)
+                    .map(|i| ((i * 7) % 23) as f32 * 0.09 - 1.0)
+                    .collect(),
+            )
+            .unwrap();
+            let reference = stack.forward(&dense, &features).unwrap();
+
+            let mut predictions = Vec::new();
+            let mut scratch = DenseScratch::default();
+            // Twice: the second pass reuses grown buffers and must still match.
+            for _ in 0..2 {
+                stack
+                    .forward_infer(&dense, &features, &mut predictions, &mut scratch)
+                    .unwrap();
+                assert_eq!(predictions.len(), reference.len());
+                for (a, b) in predictions.iter().zip(&reference) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{arch:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_local_matches_the_routed_protocol_bit_identically() {
+        let schema = tiny_schema();
+        let features: Vec<usize> = (0..schema.num_sparse()).collect();
+        let dim = 4;
+        let lookup = ShardedLookup::new(3, &schema, features.clone(), dim, 1, 0);
+        let samples = 6;
+        // Deterministic bags with empties, repeats and out-of-range rows.
+        let bags: Vec<Vec<Vec<usize>>> = features
+            .iter()
+            .map(|&f| {
+                (0..samples)
+                    .map(|s| {
+                        (0..(s + f) % 4)
+                            .map(|j| s * 97 + f * 31 + j * 1009)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let bag_slices: Vec<&[Vec<usize>]> = bags.iter().map(|b| b.as_slice()).collect();
+
+        // Reference: the full route → answer → pool protocol plus concat.
+        let request_keys = lookup.route(1, &bag_slices);
+        let routing = LookupRouting {
+            served_keys: request_keys.clone(),
+            request_keys,
+        };
+        let fetched = lookup.answer(&routing.served_keys).unwrap();
+        let pooled = lookup.pool(&bag_slices, &routing, &fetched).unwrap();
+        let refs: Vec<&Tensor> = pooled.iter().collect();
+        let reference = Tensor::concat_cols(&refs).unwrap();
+
+        let mut out = Tensor::default();
+        let mut row_buf = Vec::new();
+        for _ in 0..2 {
+            lookup
+                .pool_local_into(
+                    samples,
+                    |f, s| bags[f].get(s).map_or(&[][..], Vec::as_slice),
+                    &mut row_buf,
+                    &mut out,
+                )
+                .unwrap();
+            assert_eq!(out.shape(), reference.shape());
+            for (a, b) in out.data().iter().zip(reference.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 }

@@ -40,7 +40,8 @@ fn assert_close(actual: &Tensor, expected: &Tensor) -> Result<(), String> {
 fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let n = b.shape()[1];
-    let data = kernels::gemm_naive(a.data(), b.data(), m, k, n);
+    let mut data = vec![0.0f32; m * n];
+    kernels::gemm_naive(a.data(), b.data(), &mut data, m, k, n);
     Tensor::from_vec(vec![m, n], data).expect("consistent shape")
 }
 
@@ -228,7 +229,8 @@ proptest! {
 }
 
 /// Edge shapes the randomized sweep may miss: degenerate vectors (`1×k`, `k×1`) and
-/// shapes straddling the kernel tile boundaries (`MC`/`KC`/`NC` ± 1).
+/// shapes straddling the kernel tile boundaries (the `MC` rayon row split, the
+/// widest `NR`-column register tile, and the 16-lane dot/remainder grouping).
 #[test]
 fn blocked_matmul_handles_edge_shapes() {
     let boundary = |t: usize| [t - 1, t, t + 1];
@@ -243,10 +245,10 @@ fn blocked_matmul_handles_edge_shapes() {
     for m in boundary(kernels::MC) {
         shapes.push((m, 5, 5));
     }
-    for k in boundary(kernels::KC) {
+    for k in boundary(16) {
         shapes.push((5, k, 5));
     }
-    for n in boundary(kernels::NC) {
+    for n in boundary(kernels::NR).into_iter().chain(boundary(16)) {
         shapes.push((5, 5, n));
     }
     let mut rng = StdRng::seed_from_u64(99);

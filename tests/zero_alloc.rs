@@ -1,0 +1,99 @@
+//! Zero-allocation guarantee for the single-rank serving hot path.
+//!
+//! The whole test binary runs under a counting wrapper around the system
+//! allocator. After a warm-up pass over each micro-batch (which grows every
+//! reusable buffer to its steady-state capacity), re-serving the same batches
+//! through [`SingleRankServer::serve_into`] must perform **zero** heap
+//! allocations — at every storage precision.
+//!
+//! This file holds exactly one `#[test]` so no concurrent test thread can
+//! allocate while the hot path is being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dmt_data::ZipfRequestStream;
+use dmt_models::ModelArch;
+use dmt_serve::{ComputePrecision, SingleRankServer};
+use dmt_topology::{ClusterTopology, HardwareGeneration};
+use dmt_trainer::distributed::{run_with_snapshot, DistributedConfig, ExecutionMode};
+
+/// Counts every allocation and reallocation; frees are not counted (the hot
+/// path must not free either, but a free without a matching alloc is
+/// impossible, so counting acquisitions is sufficient).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_serving_performs_zero_heap_allocations() {
+    let cluster = ClusterTopology::new(HardwareGeneration::A100, 1, 2).unwrap();
+    let cfg = DistributedConfig::quick(cluster, ModelArch::Dlrm).with_iterations(1);
+    let (_run, snapshot) = run_with_snapshot(&cfg, ExecutionMode::Baseline).unwrap();
+
+    // Pre-generate the measured batches so query construction is outside the
+    // measured window; mixed sizes exercise the in-place reshape paths.
+    let mut stream = ZipfRequestStream::new(snapshot.schema.clone(), 11, 1.1);
+    let batches: Vec<Vec<dmt_data::Query>> = [16usize, 7, 16, 1]
+        .iter()
+        .map(|&n| stream.next_queries(n))
+        .collect();
+
+    for precision in [
+        ComputePrecision::F32,
+        ComputePrecision::Fp16,
+        ComputePrecision::Int8,
+    ] {
+        let mut server = SingleRankServer::from_snapshot(&snapshot, precision).unwrap();
+        let mut predictions = Vec::new();
+
+        // Warm-up: one pass over every batch grows all reusable buffers.
+        for batch in &batches {
+            server.serve_into(batch, &mut predictions).unwrap();
+            assert_eq!(predictions.len(), batch.len());
+        }
+
+        let before = allocations();
+        for batch in &batches {
+            server.serve_into(batch, &mut predictions).unwrap();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{precision}: steady-state serving allocated"
+        );
+
+        // The measured passes still produced real predictions.
+        assert_eq!(predictions.len(), batches.last().unwrap().len());
+        assert!(predictions.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}
