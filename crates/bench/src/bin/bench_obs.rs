@@ -1,0 +1,396 @@
+//! Observability overhead gate: tracing/metrics must cost nothing when off.
+//!
+//! PR 10 threaded a span recorder and a metrics registry through the comm,
+//! trainer and serving hot paths. This bin is the proof that the
+//! instrumentation is free when disabled and bounded when enabled:
+//!
+//! * **Disabled cost** — re-measures the two paced serving configurations the
+//!   committed `BENCH_serving.json` baseline gates (`serving_baseline_batched`
+//!   and `serving_dmt_batched`, PR 9 numbers measured *before* the recorder
+//!   existed) with tracing off, and asserts the instrumented engine's
+//!   ns/request is **no more than 3% slower** than those pre-instrumentation
+//!   values. The bound is one-sided: coming in *under* the committed number is
+//!   an improvement, not a regression, and a shared box drifts a few percent
+//!   between sessions in both directions. The rows are fabric-paced, so their
+//!   timing is dominated by deterministic sleeps and a 3% ceiling is
+//!   meaningful on a shared CI box.
+//! * **Enabled cost** — alternates tracing-off and tracing-on streams on one
+//!   DMT engine (adjacent passes see the same box conditions, so the ratio
+//!   isolates the recorder from session drift), asserts the overhead stays
+//!   under 10%, and that no thread buffer overflowed (every event the run
+//!   emitted was kept).
+//! * **Probe costs** — micro-times the individual hot-path probes (a disabled
+//!   span attempt, a counter add, a gauge add, a histogram record) and bounds
+//!   each at nanosecond scale. These appear as an annotation row without
+//!   `ns_per_iter`, so the regression gate skips them.
+//!
+//! Results go to `BENCH_obs.json` (committed baseline, ninth `--pair` of the
+//! CI bench-regression gate). `--quick` is accepted for CI uniformity but
+//! changes nothing: the gated rows must replay the exact stream length of the
+//! committed `BENCH_serving.json` baseline (512 requests — cache hit rate, and
+//! therefore per-request time, depends on stream length). Pass
+//! `--baseline <path>` to compare against a stashed copy of
+//! `BENCH_serving.json` instead of the one in the working directory.
+
+use dmt_comm::FabricProfile;
+use dmt_metrics::{trace, Counter, Gauge, Histogram, Registry};
+use dmt_models::ModelArch;
+use dmt_serve::{
+    serve_stream, BatchConfig, BatcherConfig, ServeConfig, ServeReport, ServingEngine, StreamConfig,
+};
+use dmt_topology::{ClusterTopology, HardwareGeneration};
+use dmt_trainer::distributed::{
+    run_with_snapshot, DistributedConfig, ExecutionMode, ModelSnapshot,
+};
+use serde::json::Value;
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One gated serving measurement, compared against its PR 9 ancestor.
+#[derive(Debug, Clone, Serialize)]
+struct ObsServingRow {
+    /// Operation name (`obs_serving_<deployment>_<recorder state>`).
+    op: String,
+    /// Cluster / batch / fabric / workload / recorder shape label.
+    shape: String,
+    /// Nanoseconds per served request (stream wall time / requests).
+    ns_per_iter: f64,
+    /// The row this is compared against: the pre-instrumentation ns/request
+    /// from `BENCH_serving.json` for the off rows, the tracing-off ns/request
+    /// from this run for the tracing-on row.
+    reference_ns_per_iter: f64,
+    /// `ns_per_iter / reference_ns_per_iter` — the overhead under test.
+    ratio_vs_reference: f64,
+    /// Requests measured.
+    iters: u64,
+}
+
+/// The recorder's bookkeeping for the tracing-on run (gate-skipped: no
+/// `ns_per_iter`).
+#[derive(Debug, Clone, Serialize)]
+struct ObsTraceNote {
+    op: String,
+    shape: String,
+    /// Events captured across the tracing-on serving streams.
+    events_recorded: u64,
+    /// Events discarded because a per-thread buffer filled (must be 0).
+    events_dropped: u64,
+}
+
+/// Micro-timed costs of the individual hot-path probes (gate-skipped: no
+/// `ns_per_iter` — single-digit-nanosecond timings are too noisy to gate).
+#[derive(Debug, Clone, Serialize)]
+struct ObsProbeNote {
+    op: String,
+    shape: String,
+    /// Cost of one `trace::span` attempt with the recorder disabled.
+    disabled_span_ns: f64,
+    /// Cost of one registry counter add.
+    counter_add_ns: f64,
+    /// Cost of one registry gauge add.
+    gauge_add_ns: f64,
+    /// Cost of one registry histogram record.
+    histogram_record_ns: f64,
+}
+
+/// Fabric slowdown of the gated serving rows (same as `bench_serving`).
+const FABRIC_SLOWDOWN: f64 = 4_000.0;
+/// Admission batch size of the gated serving rows.
+const BATCH: usize = 64;
+/// Zipf exponent of the request stream.
+const ZIPF: f64 = 1.1;
+/// Per-rank hot-row cache capacity.
+const CACHE_ROWS: usize = 4_096;
+/// Stream length of the gated rows — must equal the committed
+/// `BENCH_serving.json` baseline's (its cached rows' hit rate, and therefore
+/// ns/request, keeps improving with stream length).
+const REQUESTS: usize = 512;
+/// Allowed slowdown of the tracing-off rows against the PR 9 baseline
+/// (one-sided: faster passes).
+const OFF_TOLERANCE: f64 = 0.03;
+/// Allowed overhead of the tracing-on row against the tracing-off row.
+const ON_TOLERANCE: f64 = 0.10;
+
+/// Best-of-`passes` wall time of `work`, in nanoseconds per `units`.
+fn time_ns_per_unit(passes: usize, units: u64, mut work: impl FnMut()) -> f64 {
+    (0..passes)
+        .map(|_| {
+            let t = Instant::now();
+            work();
+            t.elapsed().as_secs_f64() * 1e9 / units as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The paced, batched, cached serving measurement of `bench_serving`: one
+/// warmup batch, then best-of-three full streams.
+fn serve(snapshot: &ModelSnapshot, cluster: &ClusterTopology) -> ServeReport {
+    let fabric = FabricProfile::from_cluster(cluster, FABRIC_SLOWDOWN);
+    let config = ServeConfig::new(cluster.clone())
+        .with_fabric(fabric)
+        .with_batch(BatchConfig {
+            cache_rows: CACHE_ROWS,
+            ..BatchConfig::default()
+        });
+    let mut engine = ServingEngine::start(snapshot, &config).expect("engine start");
+    let mut stream = dmt_data::ZipfRequestStream::new(snapshot.schema.clone(), 1234, ZIPF);
+    let warmup = StreamConfig {
+        num_requests: BATCH,
+        inter_arrival_us: 0,
+        batcher: BatcherConfig::new(BATCH, 10_000),
+    };
+    let _ = serve_stream(&mut engine, &warmup, || stream.next_query()).expect("warmup");
+    let stream_cfg = StreamConfig {
+        num_requests: REQUESTS,
+        inter_arrival_us: 0,
+        batcher: BatcherConfig::new(BATCH, 10_000),
+    };
+    (0..3)
+        .map(|_| serve_stream(&mut engine, &stream_cfg, || stream.next_query()).expect("serve"))
+        .min_by(|a, b| a.wall_s.total_cmp(&b.wall_s))
+        .expect("three passes ran")
+}
+
+/// Alternates tracing-off and tracing-on streams on one DMT engine and
+/// returns (best off report, best on report). Adjacent passes share box
+/// conditions and cache state, so their ratio isolates the recorder's cost
+/// from the few percent a shared machine drifts between sessions.
+fn serve_interleaved(
+    snapshot: &ModelSnapshot,
+    cluster: &ClusterTopology,
+) -> (ServeReport, ServeReport) {
+    let fabric = FabricProfile::from_cluster(cluster, FABRIC_SLOWDOWN);
+    let config = ServeConfig::new(cluster.clone())
+        .with_fabric(fabric)
+        .with_batch(BatchConfig {
+            cache_rows: CACHE_ROWS,
+            ..BatchConfig::default()
+        });
+    let mut engine = ServingEngine::start(snapshot, &config).expect("engine start");
+    let mut stream = dmt_data::ZipfRequestStream::new(snapshot.schema.clone(), 1234, ZIPF);
+    let warmup = StreamConfig {
+        num_requests: BATCH,
+        inter_arrival_us: 0,
+        batcher: BatcherConfig::new(BATCH, 10_000),
+    };
+    let _ = serve_stream(&mut engine, &warmup, || stream.next_query()).expect("warmup");
+    let stream_cfg = StreamConfig {
+        num_requests: REQUESTS,
+        inter_arrival_us: 0,
+        batcher: BatcherConfig::new(BATCH, 10_000),
+    };
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..3 {
+        trace::set_tracing(false);
+        off.push(serve_stream(&mut engine, &stream_cfg, || stream.next_query()).expect("off"));
+        trace::set_tracing(true);
+        on.push(serve_stream(&mut engine, &stream_cfg, || stream.next_query()).expect("on"));
+    }
+    trace::set_tracing(false);
+    let best = |passes: Vec<ServeReport>| {
+        passes
+            .into_iter()
+            .min_by(|a, b| a.wall_s.total_cmp(&b.wall_s))
+            .expect("three passes ran")
+    };
+    (best(off), best(on))
+}
+
+/// Pulls `op`'s `ns_per_iter` out of a parsed `BENCH_serving.json` document.
+fn baseline_ns(doc: &Value, op: &str) -> Option<f64> {
+    let Value::Array(rows) = doc else {
+        return None;
+    };
+    rows.iter().find_map(|row| {
+        let Value::Object(fields) = row else {
+            return None;
+        };
+        let is_op = fields
+            .iter()
+            .any(|(k, v)| k == "op" && matches!(v, Value::String(s) if s == op));
+        if !is_op {
+            return None;
+        }
+        fields.iter().find_map(|(k, v)| match v {
+            Value::Number(n) if k == "ns_per_iter" => Some(*n),
+            _ => None,
+        })
+    })
+}
+
+fn main() -> ExitCode {
+    // `--quick` changes nothing (see module docs) but is accepted so CI can
+    // invoke every bench bin uniformly.
+    let _ = dmt_bench::quick_mode();
+    let baseline_path =
+        dmt_bench::arg_value("baseline").unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4).expect("2x4 cluster");
+    let shape = format!("2x4 b{BATCH} f{FABRIC_SLOWDOWN:.0} zipf{ZIPF}");
+
+    dmt_bench::header("Observability overhead: recorder off vs on (see BENCH_obs.json)");
+    let baseline_doc = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read PR 9 baseline {baseline_path}: {e}"));
+    let baseline: Value = baseline_doc
+        .parse()
+        .unwrap_or_else(|e| panic!("parse {baseline_path}: {e:?}"));
+    let base_ref = baseline_ns(&baseline, "serving_baseline_batched")
+        .expect("baseline file carries serving_baseline_batched");
+    let dmt_ref = baseline_ns(&baseline, "serving_dmt_batched")
+        .expect("baseline file carries serving_dmt_batched");
+
+    println!("training + exporting snapshots...");
+    trace::set_tracing(false);
+    let _ = trace::take_events();
+    let train_cfg = DistributedConfig::quick(cluster.clone(), ModelArch::Dlrm).with_iterations(4);
+    let (_, base_snap) =
+        run_with_snapshot(&train_cfg, ExecutionMode::Baseline).expect("baseline training");
+    let (_, dmt_snap) = run_with_snapshot(&train_cfg, ExecutionMode::Dmt).expect("dmt training");
+
+    println!(
+        "{:<24} {:>32} {:>12} {:>12} {:>8}",
+        "op", "shape", "ns/req", "ref ns/req", "ratio"
+    );
+    let mut rows: Vec<String> = Vec::new();
+    let mut record = |op: &str, recorder: &str, report: &ServeReport, reference: f64| -> f64 {
+        let ns = report.wall_s * 1e9 / report.requests.max(1) as f64;
+        let entry = ObsServingRow {
+            op: op.to_string(),
+            shape: format!("{shape} {recorder}"),
+            ns_per_iter: ns,
+            reference_ns_per_iter: reference,
+            ratio_vs_reference: ns / reference,
+            iters: report.requests as u64,
+        };
+        println!(
+            "{:<24} {:>32} {:>12.0} {:>12.0} {:>8.3}",
+            entry.op, entry.shape, entry.ns_per_iter, reference, entry.ratio_vs_reference
+        );
+        rows.push(serde_json::to_string_pretty(&entry).expect("row serializes"));
+        ns
+    };
+
+    // Tracing off: the instrumented engine against its PR 9 ancestor.
+    let base_off = serve(&base_snap, &cluster);
+    let base_off_ns = record("obs_serving_baseline_off", "trace-off", &base_off, base_ref);
+    let dmt_off = serve(&dmt_snap, &cluster);
+    let dmt_off_ns = record("obs_serving_dmt_off", "trace-off", &dmt_off, dmt_ref);
+
+    // Tracing on vs off, interleaved on one engine: the overhead ratio.
+    let (inter_off, dmt_on) = serve_interleaved(&dmt_snap, &cluster);
+    let events_recorded = trace::take_events().len() as u64;
+    let events_dropped = trace::events_dropped();
+    let inter_off_ns = inter_off.wall_s * 1e9 / inter_off.requests.max(1) as f64;
+    let dmt_on_ns = record("obs_serving_dmt_on", "trace-on", &dmt_on, inter_off_ns);
+
+    // Individual probe costs, micro-timed on this thread.
+    let probe_iters = 4_000_000u64;
+    let disabled_span_ns = time_ns_per_unit(3, probe_iters, || {
+        for _ in 0..probe_iters {
+            let span = trace::span(trace::cat::SERVE, || "probe".to_string());
+            std::hint::black_box(&span);
+        }
+    });
+    let registry = Registry::new();
+    let counter: std::sync::Arc<Counter> = registry.counter("obs.probe.counter");
+    let counter_add_ns = time_ns_per_unit(3, probe_iters, || {
+        for _ in 0..probe_iters {
+            counter.add(1);
+        }
+    });
+    let gauge: std::sync::Arc<Gauge> = registry.gauge("obs.probe.gauge");
+    let gauge_add_ns = time_ns_per_unit(3, probe_iters, || {
+        for _ in 0..probe_iters {
+            gauge.add(1.0);
+        }
+    });
+    let hist: std::sync::Arc<Histogram> = registry.histogram("obs.probe.hist");
+    let histogram_record_ns = time_ns_per_unit(3, probe_iters, || {
+        for i in 0..probe_iters {
+            hist.record(1e-6 * (i & 1023) as f64);
+        }
+    });
+    println!(
+        "probes: disabled span {disabled_span_ns:.1} ns, counter add {counter_add_ns:.1} ns, \
+         gauge add {gauge_add_ns:.1} ns, histogram record {histogram_record_ns:.1} ns"
+    );
+
+    let trace_note = ObsTraceNote {
+        op: "obs_trace_note".into(),
+        shape: format!("{shape} trace-on"),
+        events_recorded,
+        events_dropped,
+    };
+    let probe_note = ObsProbeNote {
+        op: "obs_probe_note".into(),
+        shape: "single-thread hot-path probes".into(),
+        disabled_span_ns,
+        counter_add_ns,
+        gauge_add_ns,
+        histogram_record_ns,
+    };
+    rows.push(serde_json::to_string_pretty(&trace_note).expect("trace note serializes"));
+    rows.push(serde_json::to_string_pretty(&probe_note).expect("probe note serializes"));
+    let json = format!("[\n{}\n]", rows.join(",\n"));
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("[results written to BENCH_obs.json]");
+
+    let mut failed = false;
+    let mut check = |label: &str, ok: bool| {
+        if ok {
+            println!("PASS: {label}");
+        } else {
+            eprintln!("FAIL: {label}");
+            failed = true;
+        }
+    };
+    check(
+        &format!(
+            "baseline serving with recorder off is <= {:.0}% over PR 9 ({:.0} vs {:.0} ns)",
+            OFF_TOLERANCE * 100.0,
+            base_off_ns,
+            base_ref
+        ),
+        base_off_ns <= base_ref * (1.0 + OFF_TOLERANCE),
+    );
+    check(
+        &format!(
+            "DMT serving with recorder off is <= {:.0}% over PR 9 ({:.0} vs {:.0} ns)",
+            OFF_TOLERANCE * 100.0,
+            dmt_off_ns,
+            dmt_ref
+        ),
+        dmt_off_ns <= dmt_ref * (1.0 + OFF_TOLERANCE),
+    );
+    check(
+        &format!(
+            "tracing-on overhead is bounded at {:.0}% ({:.0} vs {:.0} ns, interleaved)",
+            ON_TOLERANCE * 100.0,
+            dmt_on_ns,
+            inter_off_ns
+        ),
+        dmt_on_ns <= inter_off_ns * (1.0 + ON_TOLERANCE),
+    );
+    check(
+        &format!("the tracing-on run recorded events ({events_recorded})"),
+        events_recorded > 0,
+    );
+    check("no per-thread trace buffer overflowed", events_dropped == 0);
+    check(
+        &format!("a disabled span probe costs < 25 ns (got {disabled_span_ns:.1})"),
+        disabled_span_ns < 25.0,
+    );
+    check(
+        &format!("a counter add costs < 50 ns (got {counter_add_ns:.1})"),
+        counter_add_ns < 50.0,
+    );
+    check(
+        &format!("a histogram record costs < 100 ns (got {histogram_record_ns:.1})"),
+        histogram_record_ns < 100.0,
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -74,4 +74,4 @@ pub use codec::WireFormat;
 pub use fabric::FabricProfile;
 pub use fault::{FaultEvent, FaultInjectingBackend, FaultKind, FaultProfile};
 pub use pending::PendingOp;
-pub use shmem::{comm_clock_s, AbortHandle, SharedMemoryBackend, SharedMemoryComm};
+pub use shmem::{comm_clock_s, AbortHandle, SharedMemoryBackend, SharedMemoryComm, TraceTarget};

@@ -30,14 +30,15 @@ use crate::fabric::FabricProfile;
 use crate::pending::PendingOp;
 use dmt_topology::{ClusterTopology, LinkKind, ProcessGroup};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The process-wide monotonic epoch all [`OpRecord`] timestamps are measured from.
+/// The process-wide monotonic epoch all [`OpRecord`] timestamps are measured
+/// from — the trace recorder's epoch, so op records and trace spans share one
+/// clock.
 fn comm_epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
+    dmt_metrics::trace::epoch_instant()
 }
 
 /// Seconds elapsed on the process-wide communication clock.
@@ -45,10 +46,26 @@ fn comm_epoch() -> Instant {
 /// All backends in a process — regardless of which world they belong to — stamp
 /// their [`OpRecord::issued_at_s`] / [`OpRecord::completed_at_s`] on this clock, so
 /// op intervals from different worlds (global, intra-host, peer) on the same rank
-/// are directly comparable when reconstructing an overlap schedule.
+/// are directly comparable when reconstructing an overlap schedule. This is the
+/// same epoch as [`dmt_metrics::trace::clock_s`]: every span the trace recorder
+/// captures is directly comparable to every op record.
 #[must_use]
 pub fn comm_clock_s() -> f64 {
-    comm_epoch().elapsed().as_secs_f64()
+    dmt_metrics::trace::clock_s()
+}
+
+/// Where one backend's trace events land: the lane, plus the rank / world
+/// scope tags the trace-side overlap recomputation keys on.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceTarget {
+    /// Lane the events render on (one per rank × scope, under the comm
+    /// deployment).
+    pub track: dmt_metrics::trace::Track,
+    /// Global rank that issues on this backend.
+    pub rank: u64,
+    /// World scope name (`"Global"`, `"IntraHost"`, `"Peer"`), matching the
+    /// trainer's `CommScope` vocabulary.
+    pub scope: &'static str,
 }
 
 /// A generation-counted all-to-all rendezvous over one payload type.
@@ -354,6 +371,8 @@ impl SharedMemoryComm {
                     fabric,
                     timeout: Arc::new(Mutex::new(None)),
                     records: Arc::new(Mutex::new(Vec::new())),
+                    trace: Arc::new(Mutex::new(None)),
+                    op_seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
                 },
                 helper: None,
             })
@@ -387,6 +406,12 @@ struct OpCore {
     timeout: Arc<Mutex<Option<Duration>>>,
     /// Completed-op log, shared with the helper thread.
     records: Arc<Mutex<Vec<OpRecord>>>,
+    /// Trace lane for this backend's op events (`None` until the deployment
+    /// assigns one); shared with the helper thread, which logs most records.
+    trace: Arc<Mutex<Option<TraceTarget>>>,
+    /// Monotone per-backend op sequence, assigned in record-log order so the
+    /// trace-side wait↔op pairing replays the exact FIFO the live engine uses.
+    op_seq: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl OpCore {
@@ -465,10 +490,32 @@ impl OpCore {
             issued_at_s: issued_at.duration_since(epoch).as_secs_f64(),
             completed_at_s: comm_clock_s(),
         };
-        self.records
-            .lock()
-            .expect("record log lock poisoned")
-            .push(record);
+        let mut records = self.records.lock().expect("record log lock poisoned");
+        // Sequence numbers are taken under the record lock so trace `seq`
+        // order and record log (drain) order can never disagree.
+        if dmt_metrics::trace::tracing_enabled() {
+            if let Some(target) = *self.trace.lock().expect("trace target lock poisoned") {
+                let seq = self
+                    .op_seq
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                dmt_metrics::trace::emit(
+                    dmt_metrics::trace::TraceEvent::complete(
+                        target.track,
+                        dmt_metrics::trace::cat::COMM,
+                        record.op.to_string(),
+                        record.completed_at_s - record.elapsed_s,
+                        record.elapsed_s,
+                    )
+                    .arg_u64("rank", target.rank)
+                    .arg_u64("seq", seq)
+                    .arg_str("scope", target.scope)
+                    .arg_u64("payload_bytes", record.payload_bytes)
+                    .arg_u64("cross_host_bytes", record.cross_host_bytes)
+                    .arg_u64("intra_host_bytes", record.intra_host_bytes),
+                );
+            }
+        }
+        records.push(record);
     }
 
     fn barrier(&self, issued_at: Instant) -> Result<(), CommError> {
@@ -832,6 +879,15 @@ impl SharedMemoryBackend {
             floats: Arc::clone(&self.core.floats),
             indices: Arc::clone(&self.core.indices),
         }
+    }
+
+    /// Assigns the trace lane this backend's completed ops are recorded on
+    /// (and names it in the exported trace). Until a target is set the backend
+    /// emits no trace events; op records are always logged either way. The
+    /// target applies to in-flight helper-thread ops too.
+    pub fn set_trace_target(&self, target: TraceTarget, lane_name: &str) {
+        dmt_metrics::trace::name_track("comm", lane_name, target.track);
+        *self.core.trace.lock().expect("trace target lock poisoned") = Some(target);
     }
 
     /// Sets the rendezvous deadline applied to every subsequent collective on this

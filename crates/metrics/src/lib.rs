@@ -15,6 +15,17 @@
 //! * [`mann_whitney::mann_whitney_u`] — two-sided Mann–Whitney U test with the normal
 //!   approximation and tie correction.
 //!
+//! Beyond the statistics, this crate hosts the observability layer the whole
+//! workspace records onto:
+//!
+//! * [`trace`] — a per-thread span recorder on the process-wide clock with a
+//!   Chrome-trace-event JSON exporter (Perfetto-viewable), plus a parser,
+//!   structural validator and a trace-side recomputation of the trainer's
+//!   hidden-communication fraction.
+//! * [`registry`] — process-wide counters, gauges and bounded log-bucketed
+//!   histograms (≤1% quantile error), exported as JSON or Prometheus-style
+//!   text.
+//!
 //! # Example
 //!
 //! ```
@@ -32,11 +43,14 @@ pub mod loss;
 pub mod mann_whitney;
 pub mod percentile;
 pub mod rate;
+pub mod registry;
 pub mod stats;
+pub mod trace;
 
 pub use auc::roc_auc;
 pub use loss::{log_loss, normalized_entropy};
 pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
 pub use percentile::{percentile, LatencyPercentiles};
 pub use rate::ThroughputWindow;
+pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use stats::{empirical_cdf, mean, median, std_dev, Summary};

@@ -1,0 +1,645 @@
+//! Process-wide metrics registry: counters, gauges and log-bucketed
+//! histograms with a JSON / Prometheus-style text snapshot.
+//!
+//! Every instrument is lock-free on the write path (plain atomics), so
+//! concurrent serving workers and trainer ranks can record without
+//! coordination; reads ([`Registry::snapshot`]) are linearizable per metric
+//! but not across metrics, which is the usual scrape semantics.
+//!
+//! # Histogram accuracy and memory
+//!
+//! [`Histogram`] buckets values geometrically with ratio
+//! [`Histogram::RATIO`] (2% per bucket) across `[1e-9, 1e4)` — about 1500
+//! fixed buckets (~12 KiB), **bounded regardless of sample count**, unlike
+//! the raw `Vec<f64>` logs it replaces. A quantile is answered by
+//! nearest-rank walk over the buckets and reported at the matched bucket's
+//! geometric midpoint, so any quantile of in-range samples is within
+//! `sqrt(RATIO) − 1 < 1%` relative error of the exact nearest-rank sample
+//! (property-tested against [`crate::percentile()`] in
+//! `tests/metrics_props.rs`). Count, sum, min and max are tracked exactly.
+
+use crate::percentile::LatencyPercentiles;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depths, resident bytes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically adds `d` (may be negative).
+    pub fn add(&self, d: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + d).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Atomically folds `v` into an f64 cell with `combine`.
+fn fold_f64(bits: &AtomicU64, v: f64, combine: impl Fn(f64, f64) -> f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let next = combine(f64::from_bits(current), v).to_bits();
+        if next == current {
+            return;
+        }
+        match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// A bounded-memory log-bucketed histogram of non-negative samples
+/// (typically seconds). See the module docs for the accuracy contract.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Geometric bucket growth ratio: 2% wide buckets, so midpoint reporting
+    /// is within `sqrt(1.02) − 1 ≈ 0.995%` of any value in the bucket.
+    pub const RATIO: f64 = 1.02;
+    /// Lower edge of the first regular bucket; smaller samples land in the
+    /// underflow bucket and are reported as the exact tracked minimum.
+    pub const MIN_VALUE: f64 = 1e-9;
+    /// Upper edge of the last regular bucket; larger samples land in the
+    /// overflow bucket and are reported as the exact tracked maximum.
+    pub const MAX_VALUE: f64 = 1e4;
+
+    /// Number of regular buckets spanning `[MIN_VALUE, MAX_VALUE)`.
+    fn regular_buckets() -> usize {
+        ((Self::MAX_VALUE / Self::MIN_VALUE).ln() / Self::RATIO.ln()).ceil() as usize
+    }
+
+    /// Creates an empty histogram (~12 KiB, fixed).
+    #[must_use]
+    pub fn new() -> Self {
+        // +2: underflow bucket at index 0, overflow bucket at the end.
+        let buckets = (0..Self::regular_buckets() + 2)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Bucket index for a sample.
+    fn index_of(&self, v: f64) -> usize {
+        if v < Self::MIN_VALUE {
+            return 0;
+        }
+        if v >= Self::MAX_VALUE {
+            return self.buckets.len() - 1;
+        }
+        let i = ((v / Self::MIN_VALUE).ln() / Self::RATIO.ln()).floor() as usize;
+        (i + 1).min(self.buckets.len() - 2)
+    }
+
+    /// Geometric midpoint of regular bucket `i` (callers handle the
+    /// under/overflow buckets).
+    fn midpoint(i: usize) -> f64 {
+        Self::MIN_VALUE * Self::RATIO.powi(i as i32 - 1) * Self::RATIO.sqrt()
+    }
+
+    /// Records one sample. Lock-free; negative or non-finite samples are
+    /// clamped to zero (they land in the underflow bucket).
+    pub fn record(&self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        self.buckets[self.index_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fold_f64(&self.sum_bits, v, |acc, v| acc + v);
+        fold_f64(&self.min_bits, v, f64::min);
+        fold_f64(&self.max_bits, v, f64::max);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Exact smallest sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of all samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() / count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate: the geometric midpoint of the bucket
+    /// holding the rank-`⌈p/100·n⌉` sample, clamped to the exact observed
+    /// `[min, max]`. Within 1% relative error of the exact nearest-rank
+    /// sample for in-range samples; 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let estimate = if i == 0 {
+                    self.min()
+                } else if i == self.buckets.len() - 1 {
+                    self.max()
+                } else {
+                    Self::midpoint(i)
+                };
+                return estimate.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The histogram as the workspace's shared [`LatencyPercentiles`]
+    /// summary. `None` when empty (matching `LatencyPercentiles::of`).
+    #[must_use]
+    pub fn percentiles(&self) -> Option<LatencyPercentiles> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        Some(LatencyPercentiles {
+            count: count as usize,
+            p50: self.quantile(50.0),
+            p95: self.quantile(95.0),
+            p99: self.quantile(99.0),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+        })
+    }
+
+    /// Adds every sample of `other` into `self`. Bucket-exact: merging is
+    /// associative and commutative, and a merge of two histograms answers
+    /// quantiles exactly as if every sample had been recorded on one.
+    pub fn merge(&self, other: &Self) {
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        fold_f64(&self.sum_bits, other.sum(), |acc, v| acc + v);
+        let other_min = f64::from_bits(other.min_bits.load(Ordering::Relaxed));
+        let other_max = f64::from_bits(other.max_bits.load(Ordering::Relaxed));
+        fold_f64(&self.min_bits, other_min, f64::min);
+        fold_f64(&self.max_bits, other_max, f64::max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time values of one histogram, as captured by a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum.
+    pub sum: f64,
+    /// Exact minimum (0 when empty).
+    pub min: f64,
+    /// Exact maximum (0 when empty).
+    pub max: f64,
+    /// Estimated p50 (≤1% relative error).
+    pub p50: f64,
+    /// Estimated p95 (≤1% relative error).
+    pub p95: f64,
+    /// Estimated p99 (≤1% relative error).
+    pub p99: f64,
+}
+
+/// A named collection of instruments. Most callers use the process-wide
+/// [`Registry::global`]; tests construct private registries.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry every subsystem publishes into.
+    #[must_use]
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter named `name`, created on first use. The returned handle is
+    /// cached by hot paths so steady-state recording is one atomic add with
+    /// no lock or lookup.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry lock poisoned");
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry lock poisoned");
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry lock poisoned");
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Captures every instrument's current value.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min(),
+                        max: h.max(),
+                        p50: h.quantile(50.0),
+                        p95: h.quantile(95.0),
+                        p99: h.quantile(99.0),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time capture of a registry, renderable as JSON or
+/// Prometheus-style text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a JSON object
+    /// (`{"counters": {...}, "gauges": {...}, "histograms": {...}}`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use serde::json::Value;
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(name, v)| (name.clone(), Value::Number(*v as f64)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
+                .iter()
+                .map(|(name, v)| (name.clone(), Value::Number(*v)))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        Value::Object(vec![
+                            ("count".into(), Value::Number(h.count as f64)),
+                            ("sum".into(), Value::Number(h.sum)),
+                            ("min".into(), Value::Number(h.min)),
+                            ("max".into(), Value::Number(h.max)),
+                            ("p50".into(), Value::Number(h.p50)),
+                            ("p95".into(), Value::Number(h.p95)),
+                            ("p99".into(), Value::Number(h.p99)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+        .render_pretty()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition style
+    /// (`# TYPE` lines, `{quantile="…"}` summary labels). Metric names have
+    /// `.` and `-` mapped to `_` to satisfy the Prometheus grammar.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_read_back() {
+        let registry = Registry::new();
+        let c = registry.counter("requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same instrument.
+        assert_eq!(registry.counter("requests").get(), 5);
+        let g = registry.gauge("depth");
+        g.set(3.5);
+        g.add(-1.0);
+        assert!((g.get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_aggregates() {
+        let h = Histogram::new();
+        for v in [0.001, 0.002, 0.004, 0.010] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 0.017).abs() < 1e-12);
+        assert!((h.min() - 0.001).abs() < 1e-12);
+        assert!((h.max() - 0.010).abs() < 1e-12);
+        assert!((h.mean() - 0.00425).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_percent_of_exact() {
+        let h = Histogram::new();
+        let samples: Vec<f64> = (1..=1000).map(|i| f64::from(i) * 1e-4).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        for p in [1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let exact = crate::percentile(&samples, p);
+            let approx = h.quantile(p);
+            assert!(
+                (approx - exact).abs() <= exact * 0.01,
+                "p{p}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_samples_report_exact_extremes() {
+        let h = Histogram::new();
+        h.record(1e-12);
+        h.record(5e4);
+        assert!((h.quantile(1.0) - 1e-12).abs() < 1e-24);
+        assert!((h.quantile(100.0) - 5e4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_on_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..500 {
+            let v = 1e-3 * f64::from(i + 1);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.sum() - all.sum()).abs() < 1e-9);
+        for p in [50.0, 95.0, 99.0] {
+            assert!((a.quantile(p) - all.quantile(p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(50.0), 0.0);
+        assert!(h.percentiles().is_none());
+    }
+
+    #[test]
+    fn snapshot_renders_json_and_prometheus() {
+        let registry = Registry::new();
+        registry.counter("serve.queries").add(7);
+        registry.gauge("serve.queue_depth").set(3.0);
+        registry.histogram("serve.latency_s").record(0.004);
+        let snapshot = registry.snapshot();
+        let json = snapshot.to_json();
+        assert!(json.contains("\"serve.queries\": 7"));
+        assert!(json.contains("\"serve.queue_depth\": 3"));
+        assert!(json.contains("\"count\": 1"));
+        // The JSON snapshot parses back.
+        let parsed: serde::json::Value = json.parse().expect("snapshot JSON parses");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("serve.queries"))
+                .and_then(serde::json::Value::as_f64),
+            Some(7.0)
+        );
+        let prom = snapshot.to_prometheus();
+        assert!(prom.contains("# TYPE serve_queries counter"));
+        assert!(prom.contains("serve_queries 7"));
+        assert!(prom.contains("serve_latency_s{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn percentiles_summary_matches_quantiles() {
+        let h = Histogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i) * 1e-3);
+        }
+        let p = h.percentiles().expect("non-empty");
+        assert_eq!(p.count, 100);
+        assert!((p.p50 - h.quantile(50.0)).abs() < 1e-15);
+        assert!((p.min - 1e-3).abs() < 1e-15);
+        assert!((p.max - 0.1).abs() < 1e-15);
+    }
+}

@@ -62,6 +62,8 @@ use dmt_comm::{
 use dmt_core::tower::TowerModule;
 use dmt_core::DlrmTowerModule;
 use dmt_data::Query;
+use dmt_metrics::trace;
+use dmt_metrics::{Counter, Gauge, Registry};
 use dmt_tensor::Tensor;
 use dmt_topology::{ClusterTopology, ProcessGroup, Rank};
 use dmt_trainer::distributed::model::{
@@ -995,6 +997,57 @@ fn error_score(error: &ServeError) -> u8 {
     }
 }
 
+/// Cached handles into the global metrics registry: resolved once at engine
+/// start so publishing a batch's accounting is a handful of atomic adds, never
+/// a registry-lock round trip on the serving path.
+struct EngineMetrics {
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    payload_bytes: Arc<Counter>,
+    cross_host_bytes: Arc<Counter>,
+    intra_host_bytes: Arc<Counter>,
+    retries: Arc<Counter>,
+    failovers: Arc<Counter>,
+    degraded_answers: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_resident_bytes: Arc<Gauge>,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let r = Registry::global();
+        Self {
+            queries: r.counter("serve.queries"),
+            batches: r.counter("serve.batches"),
+            payload_bytes: r.counter("serve.payload_bytes"),
+            cross_host_bytes: r.counter("serve.cross_host_bytes"),
+            intra_host_bytes: r.counter("serve.intra_host_bytes"),
+            retries: r.counter("serve.retries"),
+            failovers: r.counter("serve.failovers"),
+            degraded_answers: r.counter("serve.degraded_answers"),
+            cache_hits: r.counter("serve.cache.hits"),
+            cache_misses: r.counter("serve.cache.misses"),
+            cache_evictions: r.counter("serve.cache.evictions"),
+            cache_resident_bytes: r.gauge("serve.cache.resident_bytes"),
+        }
+    }
+
+    /// Publishes one rank's per-batch accounting delta.
+    fn publish_rank(&self, result: &RankBatchResult) {
+        self.payload_bytes.add(result.payload_bytes);
+        self.cross_host_bytes.add(result.cross_host_bytes);
+        self.intra_host_bytes.add(result.intra_host_bytes);
+        self.retries.add(result.retries);
+        self.failovers.add(result.failovers);
+        self.degraded_answers.add(result.degraded_answers);
+        self.cache_hits.add(result.cache.hits);
+        self.cache_misses.add(result.cache.misses);
+        self.cache_evictions.add(result.cache.evictions);
+    }
+}
+
 /// A running disaggregated inference deployment: rank worker threads holding the
 /// sharded model, fed batches through [`ServingEngine::submit`].
 pub struct ServingEngine {
@@ -1016,6 +1069,7 @@ pub struct ServingEngine {
     /// Baseline serving survives rank deaths (replicas, degraded mode); DMT has
     /// no replica path, so a fault there poisons the engine.
     can_recover: bool,
+    metrics: EngineMetrics,
 }
 
 impl ServingEngine {
@@ -1128,6 +1182,7 @@ impl ServingEngine {
             probe_every: config.resilience.probe_every_batches,
             submits: 0,
             can_recover: snapshot.mode == ExecutionMode::Baseline,
+            metrics: EngineMetrics::new(),
         })
     }
 
@@ -1268,8 +1323,9 @@ impl ServingEngine {
         }
         let mut preds = Vec::with_capacity(total);
         let mut cache_resident = 0u64;
-        for result in per_rank.into_iter().flatten() {
-            preds.extend(result.preds);
+        for mut result in per_rank.into_iter().flatten() {
+            self.metrics.publish_rank(&result);
+            preds.append(&mut result.preds);
             self.stats.payload_bytes += result.payload_bytes;
             self.stats.cross_host_bytes += result.cross_host_bytes;
             self.stats.intra_host_bytes += result.intra_host_bytes;
@@ -1280,9 +1336,12 @@ impl ServingEngine {
             cache_resident += result.cache_resident_bytes;
         }
         self.stats.cache_resident_bytes = cache_resident;
+        self.metrics.cache_resident_bytes.set(cache_resident as f64);
         debug_assert_eq!(preds.len(), total);
         self.stats.queries += total as u64;
         self.stats.batches += 1;
+        self.metrics.queries.add(total as u64);
+        self.metrics.batches.inc();
         Ok(preds)
     }
 
@@ -1331,11 +1390,25 @@ fn worker_loop(
 ) {
     let world_size = worlds.global.get_ref().world_size();
     let mut health = HealthView::new(world_size, rank, policy.down_after);
+    trace::register_thread(
+        "serve",
+        &format!("rank{rank}"),
+        trace::Track {
+            pid: trace::deployment::SERVE,
+            tid: rank as u64,
+        },
+    );
     while let Ok(job) = jobs.recv() {
         // Adopt membership changes peers or the dispatcher committed (deaths
         // and probe readmissions) before routing anything.
         health.sync_down(&worlds.global.get_ref().down_ranks());
+        let mut span = trace::span(trace::cat::SERVE, || "rank batch".to_string());
+        if let Some(span) = span.as_mut() {
+            span.arg_u64("rank", rank as u64);
+            span.arg_u64("queries", job.len as u64);
+        }
         let result = model.run_batch(&mut worlds, &mut health, policy, &job);
+        drop(span);
         // Fault errors are survivable: report and keep serving. Anything else
         // is fatal for the whole engine — poison the worlds so peers blocked in
         // a collective fail out instead of hanging.
@@ -1383,10 +1456,36 @@ fn build_worlds(
         .into_iter()
         .zip(intra)
         .zip(peer)
-        .map(|((global, intra), peer)| RankWorlds {
-            global: wrap(global),
-            intra: wrap(intra.expect("intra-host groups cover every rank")),
-            peer: wrap(peer.expect("peer groups cover every rank")),
+        .enumerate()
+        .map(|(rank, ((global, intra), peer))| {
+            let intra = intra.expect("intra-host groups cover every rank");
+            let peer = peer.expect("peer groups cover every rank");
+            // Serving comm lanes sit in a tid block disjoint from the trainer's
+            // (`rank*4`) so a process that trains and then serves never lands
+            // two backends on one timeline row.
+            let scopes: [(&SharedMemoryBackend, &str, &str, u64); 3] = [
+                (&global, "Global", "global", 0),
+                (&intra, "IntraHost", "intra-host", 1),
+                (&peer, "Peer", "peer", 2),
+            ];
+            for (backend, scope, lane, slot) in scopes {
+                backend.set_trace_target(
+                    dmt_comm::TraceTarget {
+                        track: trace::Track {
+                            pid: trace::deployment::COMM,
+                            tid: 1000 + (rank as u64) * 4 + slot,
+                        },
+                        rank: rank as u64,
+                        scope,
+                    },
+                    &format!("serve rank{rank} {lane}"),
+                );
+            }
+            RankWorlds {
+                global: wrap(global),
+                intra: wrap(intra),
+                peer: wrap(peer),
+            }
         })
         .collect()
 }

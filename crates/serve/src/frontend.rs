@@ -25,16 +25,17 @@
 //!   keep up with degrades into the closed-loop regime rather than building an
 //!   open queue.
 //!
-//! Per-request latency is summarized with the shared nearest-rank percentile
-//! helper ([`dmt_metrics::LatencyPercentiles`]) — the same code path the
-//! trainer uses for iteration wall times.
+//! Per-request latency is accumulated in a bounded log-bucketed
+//! [`dmt_metrics::Histogram`] — constant memory regardless of stream length —
+//! and summarized as the shared [`dmt_metrics::LatencyPercentiles`] form the
+//! trainer quotes for iteration wall times.
 
 use crate::batcher::MicroBatcher;
 use crate::engine::{ServeStats, ServingEngine};
 use crate::harness::ArrivalProcess;
 use crate::{BatcherConfig, ServeError};
 use dmt_data::Query;
-use dmt_metrics::{LatencyPercentiles, ThroughputWindow};
+use dmt_metrics::{Histogram, LatencyPercentiles, ThroughputWindow};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -120,21 +121,24 @@ pub fn serve_stream(
     let start = Instant::now();
     let stats_before = engine.stats();
     let mut batcher: MicroBatcher<(u64, Query)> = MicroBatcher::new(config.batcher);
-    let mut latencies_s: Vec<f64> = Vec::with_capacity(config.num_requests);
+    // Bounded accumulation: the histogram's memory is fixed no matter how many
+    // requests the stream carries (the old per-request Vec<f64> grew without
+    // bound on long soak runs).
+    let latencies = Histogram::new();
     let mut flush_closes = 0u64;
     let mut admitted = 0usize;
     let now_us = |start: &Instant| start.elapsed().as_micros() as u64;
 
     let run_batch = |engine: &mut ServingEngine,
                      batch: Vec<(u64, Query)>,
-                     latencies_s: &mut Vec<f64>,
+                     latencies: &Histogram,
                      start: &Instant|
      -> Result<(), ServeError> {
         let (arrivals, queries): (Vec<u64>, Vec<Query>) = batch.into_iter().unzip();
         let _ = engine.submit(queries)?;
         let done_us = now_us(start);
         for arrival_us in arrivals {
-            latencies_s.push(done_us.saturating_sub(arrival_us) as f64 * 1e-6);
+            latencies.record(done_us.saturating_sub(arrival_us) as f64 * 1e-6);
         }
         Ok(())
     };
@@ -161,19 +165,19 @@ pub fn serve_stream(
             }
         }
         if let Some(batch) = closed {
-            run_batch(engine, batch, &mut latencies_s, &start)?;
+            run_batch(engine, batch, &latencies, &start)?;
             continue;
         }
         // No size close: fire the deadline trigger, flush at end of stream, or
         // sleep until the next event.
         if let Some(batch) = batcher.poll(now_us(&start)) {
-            run_batch(engine, batch, &mut latencies_s, &start)?;
+            run_batch(engine, batch, &latencies, &start)?;
             continue;
         }
         if admitted >= config.num_requests {
             if let Some(batch) = batcher.flush() {
                 flush_closes += 1;
-                run_batch(engine, batch, &mut latencies_s, &start)?;
+                run_batch(engine, batch, &latencies, &start)?;
             }
             continue;
         }
@@ -187,13 +191,13 @@ pub fn serve_stream(
         }
     }
 
-    let window = ThroughputWindow::new(latencies_s.len(), start.elapsed().as_secs_f64());
+    let window = ThroughputWindow::new(latencies.count() as usize, start.elapsed().as_secs_f64());
     let stats_after = engine.stats();
     Ok(ServeReport {
         requests: window.count,
         wall_s: window.wall_s,
         throughput_qps: window.per_second(),
-        latency: LatencyPercentiles::of(&latencies_s).unwrap_or(LatencyPercentiles {
+        latency: latencies.percentiles().unwrap_or(LatencyPercentiles {
             count: 0,
             p50: 0.0,
             p95: 0.0,

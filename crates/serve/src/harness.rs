@@ -26,10 +26,10 @@
 //! capacity number `bench_slo` reports and CI gates.
 
 use crate::request::{Priority, Request, NO_DEADLINE};
-use crate::stage::{CompletedRequest, StagedEngine};
+use crate::stage::StagedEngine;
 use crate::ServeError;
 use dmt_data::Query;
-use dmt_metrics::{LatencyPercentiles, ThroughputWindow};
+use dmt_metrics::{Histogram, LatencyPercentiles, ThroughputWindow};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -247,10 +247,31 @@ pub fn run_load(
     let base = engine.now_us();
     let stall_by =
         base.saturating_add(u64::try_from(HARNESS_STALL_LIMIT.as_micros()).unwrap_or(u64::MAX));
+    // Completions are absorbed as they drain instead of being hoarded until the
+    // end: each one removes its anchor, bumps the counters and records into a
+    // bounded histogram, so the harness's memory stays flat on long soak runs
+    // (the old design kept every CompletedRequest plus a per-request Vec<f64>).
     let mut anchor_of: HashMap<u64, u64> = HashMap::with_capacity(config.requests);
-    let mut completions: Vec<CompletedRequest> = Vec::with_capacity(config.requests);
+    let sojourns = Histogram::new();
+    let mut completed = 0usize;
+    let mut deadline_misses = 0u64;
     let mut shed_by_class = [0u64; 3];
     let mut admitted = 0usize;
+    let absorb = |engine: &mut StagedEngine,
+                  anchor_of: &mut HashMap<u64, u64>,
+                  completed: &mut usize,
+                  deadline_misses: &mut u64|
+     -> Result<(), ServeError> {
+        for c in engine.drain()? {
+            let anchor = anchor_of.remove(&c.seq).unwrap_or(c.arrival_us);
+            sojourns.record(c.done_us.saturating_sub(anchor) as f64 * 1e-6);
+            if !c.met_deadline() {
+                *deadline_misses += 1;
+            }
+            *completed += 1;
+        }
+        Ok(())
+    };
 
     for (i, offset) in schedule.iter().enumerate() {
         let scheduled = base + offset;
@@ -258,14 +279,14 @@ pub fn run_load(
         // free client slot (closed loop), harvesting completions meanwhile.
         loop {
             engine.pump()?;
-            completions.append(&mut engine.drain()?);
+            absorb(engine, &mut anchor_of, &mut completed, &mut deadline_misses)?;
             let now = engine.now_us();
             if now > stall_by {
-                return Err(stalled(admitted, completions.len()));
+                return Err(stalled(admitted, completed));
             }
             match clients {
                 Some(cap) => {
-                    if admitted - completions.len() < cap {
+                    if admitted - completed < cap {
                         break;
                     }
                 }
@@ -309,32 +330,24 @@ pub fn run_load(
     }
 
     engine.flush()?;
-    while completions.len() < admitted {
+    while completed < admitted {
         engine.pump()?;
-        completions.append(&mut engine.drain()?);
+        absorb(engine, &mut anchor_of, &mut completed, &mut deadline_misses)?;
         if engine.now_us() > stall_by {
-            return Err(stalled(admitted, completions.len()));
+            return Err(stalled(admitted, completed));
         }
         std::thread::sleep(Duration::from_micros(200));
     }
 
     let wall_s = (engine.now_us() - base) as f64 * 1e-6;
-    let sojourns_s: Vec<f64> = completions
-        .iter()
-        .map(|c| {
-            let anchor = anchor_of.get(&c.seq).copied().unwrap_or(c.arrival_us);
-            c.done_us.saturating_sub(anchor) as f64 * 1e-6
-        })
-        .collect();
-    let deadline_misses = completions.iter().filter(|c| !c.met_deadline()).count() as u64;
     Ok(LoadReport {
         offered: config.requests,
         admitted,
-        completed: completions.len(),
+        completed,
         shed_by_class,
         offered_qps: config.requests as f64 / wall_s.max(1e-12),
-        rate: ThroughputWindow::new(completions.len(), wall_s),
-        sojourn: LatencyPercentiles::of(&sojourns_s).unwrap_or(ZERO_LATENCY),
+        rate: ThroughputWindow::new(completed, wall_s),
+        sojourn: sojourns.percentiles().unwrap_or(ZERO_LATENCY),
         deadline_misses,
         stats: engine.stats(),
     })

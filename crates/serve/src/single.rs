@@ -21,6 +21,7 @@
 
 use crate::ServeError;
 use dmt_data::Query;
+use dmt_metrics::{trace, Counter, Registry};
 use dmt_tensor::{Precision, Tensor};
 use dmt_trainer::distributed::model::{load_params, DenseScratch, DenseStack, ShardedLookup};
 use dmt_trainer::distributed::{ExecutionMode, ModelSnapshot};
@@ -35,6 +36,10 @@ pub struct SingleRankServer {
     feature_block: Tensor,
     dense_input: Tensor,
     scratch: DenseScratch,
+    /// Cached registry handles: resolved once at load so the hot path only
+    /// touches atomics (the zero-allocation guarantee covers them).
+    served_queries: std::sync::Arc<Counter>,
+    served_batches: std::sync::Arc<Counter>,
 }
 
 impl SingleRankServer {
@@ -84,6 +89,8 @@ impl SingleRankServer {
             feature_block: Tensor::default(),
             dense_input: Tensor::default(),
             scratch: DenseScratch::default(),
+            served_queries: Registry::global().counter("single.queries"),
+            served_batches: Registry::global().counter("single.batches"),
         })
     }
 
@@ -115,6 +122,12 @@ impl SingleRankServer {
         predictions: &mut Vec<f32>,
     ) -> Result<(), ServeError> {
         let batch = queries.len();
+        // One relaxed atomic load when tracing is off (no allocation, no clock
+        // read — the name closure never runs), so the zero-alloc guarantee and
+        // the disabled-mode ns/request both hold with this compiled in.
+        let _span = trace::span(trace::cat::SERVE, || format!("serve {batch}"));
+        self.served_queries.add(batch as u64);
+        self.served_batches.inc();
         self.lookup.pool_local_into(
             batch,
             |f, s| queries[s].sparse[f].as_slice(),

@@ -52,6 +52,8 @@ use crate::engine::{bags_of, dense_flat};
 use crate::request::{Priority, Request};
 use crate::{ServeConfig, ServeError};
 use dmt_data::Query;
+use dmt_metrics::trace;
+use dmt_metrics::{Counter, Gauge, Registry};
 use dmt_tensor::Tensor;
 use dmt_trainer::distributed::model::{load_params, DenseStack, LookupRouting, ShardedLookup};
 use dmt_trainer::distributed::{ExecutionMode, ModelSnapshot};
@@ -204,6 +206,37 @@ enum Completion {
     Failed { queries: usize, error: ServeError },
 }
 
+/// Cached handles into the global metrics registry for the staged pipeline:
+/// resolved once at [`StagedEngine::start`], shared by the stage threads, and
+/// updated with atomic adds at batch granularity (admission is per request —
+/// still one atomic each).
+struct StageMetrics {
+    admitted: [Arc<Counter>; 3],
+    shed: [Arc<Counter>; 3],
+    batches: Arc<Counter>,
+    queries: Arc<Counter>,
+    xfer_bytes: Arc<Counter>,
+    /// Occupancy of the lookup→dense rate-matching queue, in batches.
+    queue_depth: Arc<Gauge>,
+}
+
+impl StageMetrics {
+    fn new() -> Self {
+        let r = Registry::global();
+        let per_class = |prefix: &str| {
+            Priority::ALL.map(|class| r.counter(&format!("staged.{prefix}.{class}")))
+        };
+        Self {
+            admitted: per_class("admitted"),
+            shed: per_class("shed"),
+            batches: r.counter("staged.batches"),
+            queries: r.counter("staged.queries"),
+            xfer_bytes: r.counter("staged.xfer_bytes"),
+            queue_depth: r.gauge("staged.stage_queue_depth"),
+        }
+    }
+}
+
 /// A running stage-disaggregated deployment: an admission-fronted batcher on
 /// the caller's thread, a lookup pool, a bounded rate-matching queue and a
 /// dense pool, drained asynchronously.
@@ -215,6 +248,7 @@ pub struct StagedEngine {
     completions: Receiver<Completion>,
     threads: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<Mutex<StageStats>>,
+    metrics: Arc<StageMetrics>,
     flush_closes: u64,
     next_seq: u64,
     max_delay_us: u64,
@@ -285,14 +319,25 @@ impl StagedEngine {
 
         let epoch = Instant::now();
         let stats = Arc::new(Mutex::new(StageStats::default()));
+        let metrics = Arc::new(StageMetrics::new());
         let mut threads = Vec::new();
 
         // Lookup pool: one thread per shard, answering scattered key bundles.
         let mut lookup_txs: Vec<Sender<LookupJob>> = Vec::with_capacity(pools.lookup_ranks);
-        for shard in shards {
+        for (index, shard) in shards.into_iter().enumerate() {
             let (tx, rx) = std::sync::mpsc::channel::<LookupJob>();
             lookup_txs.push(tx);
-            threads.push(std::thread::spawn(move || lookup_loop(&shard, &rx)));
+            threads.push(std::thread::spawn(move || {
+                trace::register_thread(
+                    "staged",
+                    &format!("lookup{index}"),
+                    trace::Track {
+                        pid: trace::deployment::SERVE,
+                        tid: 100 + index as u64,
+                    },
+                );
+                lookup_loop(&shard, &rx);
+            }));
         }
 
         // The bounded rate-matching queue between the stages.
@@ -302,12 +347,21 @@ impl StagedEngine {
         let (completion_tx, completions) = std::sync::mpsc::channel::<Completion>();
 
         // Dense pool: D ranks pulling from the shared queue end.
-        for mut dense in dense_stacks {
+        for (index, mut dense) in dense_stacks.into_iter().enumerate() {
             let rx = Arc::clone(&dense_rx);
             let tx = completion_tx.clone();
             let stats = Arc::clone(&stats);
+            let metrics = Arc::clone(&metrics);
             threads.push(std::thread::spawn(move || {
-                dense_loop(&mut dense, epoch, &rx, &tx, &stats);
+                trace::register_thread(
+                    "staged",
+                    &format!("dense{index}"),
+                    trace::Track {
+                        pid: trace::deployment::SERVE,
+                        tid: 200 + index as u64,
+                    },
+                );
+                dense_loop(&mut dense, epoch, &rx, &tx, &stats, &metrics);
             }));
         }
 
@@ -315,8 +369,17 @@ impl StagedEngine {
         let (batch_tx, batch_rx) = std::sync::mpsc::channel::<Vec<Admitted>>();
         {
             let stats = Arc::clone(&stats);
+            let metrics = Arc::clone(&metrics);
             let tx = completion_tx;
             threads.push(std::thread::spawn(move || {
+                trace::register_thread(
+                    "staged",
+                    "stage1",
+                    trace::Track {
+                        pid: trace::deployment::SERVE,
+                        tid: 50,
+                    },
+                );
                 stage1_loop(
                     &router,
                     &features,
@@ -326,6 +389,7 @@ impl StagedEngine {
                     &dense_tx,
                     &tx,
                     &stats,
+                    &metrics,
                 );
             }));
         }
@@ -338,6 +402,7 @@ impl StagedEngine {
             completions,
             threads,
             stats,
+            metrics,
             flush_closes: 0,
             next_seq: 0,
             max_delay_us: config.batch.max_delay_us,
@@ -365,14 +430,52 @@ impl StagedEngine {
     /// have died.
     pub fn offer(&mut self, request: Request) -> Result<u64, ServeError> {
         let now = self.now_us();
-        self.admission.try_admit(
+        if let Err(error) = self.admission.try_admit(
             now,
             request.queries.len(),
             request.deadline_us,
             request.priority,
-        )?;
+        ) {
+            // A shed is a terminal request outcome too: count it per class and
+            // mark it on the timeline so the trace shows load-shedding episodes
+            // alongside the served requests.
+            if error.is_shed() {
+                self.metrics.shed[request.priority.index()].inc();
+                if trace::tracing_enabled() {
+                    trace::emit(
+                        trace::TraceEvent::instant(
+                            trace::current_track(),
+                            trace::cat::REQUEST,
+                            "shed".to_string(),
+                            trace::clock_s(),
+                        )
+                        .arg_str("priority", request.priority.to_string())
+                        .arg_u64("queries", request.queries.len() as u64),
+                    );
+                }
+            }
+            return Err(error);
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.metrics.admitted[request.priority.index()].inc();
+        if trace::tracing_enabled() {
+            // The request's lifetime on the timeline: an async span keyed by
+            // its sequence number, opened here and closed where the pipeline
+            // produces its terminal completion (done or failed).
+            trace::emit(
+                trace::TraceEvent::async_begin(
+                    trace::current_track(),
+                    trace::cat::REQUEST,
+                    "request".to_string(),
+                    seq,
+                    trace::clock_s(),
+                )
+                .arg_u64("seq", seq)
+                .arg_str("priority", request.priority.to_string())
+                .arg_u64("queries", request.queries.len() as u64),
+            );
+        }
         let close_by = batcher_close_by(
             now,
             self.max_delay_us,
@@ -515,6 +618,17 @@ impl StagedEngine {
     }
 
     fn dispatch(&mut self, batch: Vec<Admitted>) -> Result<(), ServeError> {
+        if trace::tracing_enabled() {
+            trace::emit(
+                trace::TraceEvent::instant(
+                    trace::current_track(),
+                    trace::cat::SERVE,
+                    "batch close".to_string(),
+                    trace::clock_s(),
+                )
+                .arg_u64("requests", batch.len() as u64),
+            );
+        }
         let tx = self.batch_tx.as_ref().ok_or_else(pipeline_down)?;
         tx.send(batch).map_err(|_| pipeline_down())
     }
@@ -562,10 +676,15 @@ fn stage1_loop(
     dense_tx: &SyncSender<DenseJob>,
     completion_tx: &Sender<Completion>,
     stats: &Arc<Mutex<StageStats>>,
+    metrics: &StageMetrics,
 ) {
     let world = lookup_txs.len();
     let dim = router.dim();
     while let Ok(batch) = batches.recv() {
+        let mut span = trace::span(trace::cat::SERVE, || "lookup + pool".to_string());
+        if let Some(span) = span.as_mut() {
+            span.arg_u64("requests", batch.len() as u64);
+        }
         let queries: Vec<Query> = batch.iter().flat_map(|r| r.queries.clone()).collect();
         if queries.is_empty() {
             fail_batch(completion_tx, batch, || ServeError::Config {
@@ -629,7 +748,11 @@ fn stage1_loop(
             s.row_bytes += 4 * total_row_floats as u64;
             s.xfer_bytes += xfer;
         }
+        metrics.batches.inc();
+        metrics.xfer_bytes.add(xfer);
+        drop(span);
         if xfer_bytes_per_s > 0 {
+            let _pace = trace::span(trace::cat::SERVE, || "stage link xfer".to_string());
             std::thread::sleep(Duration::from_secs_f64(
                 xfer as f64 / xfer_bytes_per_s as f64,
             ));
@@ -639,9 +762,16 @@ fn stage1_loop(
             feature_block,
             dense_input,
         };
-        if let Err(std::sync::mpsc::SendError(job)) = dense_tx.send(job) {
-            fail_batch(completion_tx, job.requests, pipeline_down);
+        // The enqueue span makes dense-pool backpressure visible: it covers
+        // any time stage 1 spends blocked on the full rate-matching queue.
+        let enqueue = trace::span(trace::cat::SERVE, || "stage queue".to_string());
+        match dense_tx.send(job) {
+            Ok(()) => metrics.queue_depth.add(1.0),
+            Err(std::sync::mpsc::SendError(job)) => {
+                fail_batch(completion_tx, job.requests, pipeline_down);
+            }
         }
+        drop(enqueue);
     }
 }
 
@@ -670,6 +800,7 @@ fn dense_loop(
     jobs: &Arc<Mutex<Receiver<DenseJob>>>,
     completion_tx: &Sender<Completion>,
     stats: &Arc<Mutex<StageStats>>,
+    metrics: &StageMetrics,
 ) {
     loop {
         let job = {
@@ -677,6 +808,11 @@ fn dense_loop(
             rx.recv()
         };
         let Ok(job) = job else { return };
+        metrics.queue_depth.add(-1.0);
+        let mut span = trace::span(trace::cat::SERVE, || "dense forward".to_string());
+        if let Some(span) = span.as_mut() {
+            span.arg_u64("requests", job.requests.len() as u64);
+        }
         let preds = match dense.forward(&job.dense_input, &job.feature_block) {
             Ok(preds) => preds,
             Err(error) => {
@@ -698,9 +834,29 @@ fn dense_loop(
                 .sum::<u64>();
             s.pred_bytes += 4 * preds.len() as u64;
         }
+        metrics.queries.add(
+            job.requests
+                .iter()
+                .map(|r| r.queries.len() as u64)
+                .sum::<u64>(),
+        );
+        drop(span);
         let mut offset = 0usize;
         for request in job.requests {
             let queries = request.queries.len();
+            if trace::tracing_enabled() {
+                trace::emit(
+                    trace::TraceEvent::async_end(
+                        trace::current_track(),
+                        trace::cat::REQUEST,
+                        "request".to_string(),
+                        request.seq,
+                        trace::clock_s(),
+                    )
+                    .arg_u64("seq", request.seq)
+                    .arg_u64("sojourn_us", done_us.saturating_sub(request.arrival_us)),
+                );
+            }
             let completed = CompletedRequest {
                 seq: request.seq,
                 arrival_us: request.arrival_us,
@@ -716,12 +872,27 @@ fn dense_loop(
 }
 
 /// Reports every request of a failed batch back so its occupancy is released.
+/// Failure is a terminal outcome: each request's async lifecycle span closes
+/// here too, so traced begin/end pairs stay balanced on every path.
 fn fail_batch(
     completion_tx: &Sender<Completion>,
     batch: Vec<Admitted>,
     error: impl Fn() -> ServeError,
 ) {
     for request in batch {
+        if trace::tracing_enabled() {
+            trace::emit(
+                trace::TraceEvent::async_end(
+                    trace::current_track(),
+                    trace::cat::REQUEST,
+                    "request".to_string(),
+                    request.seq,
+                    trace::clock_s(),
+                )
+                .arg_u64("seq", request.seq)
+                .arg_str("outcome", "failed"),
+            );
+        }
         let _ = completion_tx.send(Completion::Failed {
             queries: request.queries.len(),
             error: error(),

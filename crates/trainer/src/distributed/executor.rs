@@ -21,6 +21,7 @@ use super::config::{DistributedConfig, DistributedError};
 use super::measure::{accumulate, collect_comm_samples, iteration_samples, RankOutcome, WaitEntry};
 use super::RankComms;
 use dmt_data::{Batch, SyntheticClickDataset};
+use dmt_metrics::trace;
 use std::time::Instant;
 
 /// Per-iteration result a lowering reports back to the driver.
@@ -69,7 +70,9 @@ pub(crate) fn run_rank<L: RankLowering>(
     let mut aucs = Vec::with_capacity(config.iterations);
     let mut wall_s = 0.0;
     let mut iter_wall_s = Vec::with_capacity(config.iterations);
-    for _ in 0..config.iterations {
+    let mut wait_seq = 0u64;
+    for iter in 0..config.iterations {
+        let _iter_span = trace::span(trace::cat::ITER, || format!("iteration {iter}"));
         let iter_start = Instant::now();
         let batch = data.next_batch(config.local_batch);
         // m == 1 keeps the batch untouched — the sync schedule sees exactly the
@@ -86,6 +89,36 @@ pub(crate) fn run_rank<L: RankLowering>(
             // (`SegmentSample::from_record` clamps to the transfer length).
             for wait in &mut waits {
                 wait.blocked_s = f64::INFINITY;
+            }
+        }
+        if trace::tracing_enabled() {
+            // One accounting instant per collective wait, in schedule order —
+            // together with the backends' COMM transfer events these let
+            // `hidden_comm_fraction_from_trace` replay the wait↔record pairing
+            // below from the exported trace alone. The sync schedule's pinned
+            // infinite exposure rides as the FULL_EXPOSURE sentinel (JSON has
+            // no infinity).
+            let track = trace::current_track();
+            for wait in &waits {
+                let blocked = if wait.blocked_s.is_finite() {
+                    wait.blocked_s
+                } else {
+                    trace::FULL_EXPOSURE
+                };
+                trace::emit(
+                    trace::TraceEvent::instant(
+                        track,
+                        trace::cat::WAIT,
+                        wait.label.to_string(),
+                        trace::clock_s(),
+                    )
+                    .arg_u64("rank", rank as u64)
+                    .arg_u64("seq", wait_seq)
+                    .arg_u64("iter", iter as u64)
+                    .arg_f64("blocked_s", blocked)
+                    .arg_str("scope", wait.scope.name()),
+                );
+                wait_seq += 1;
             }
         }
         losses.push(stats.loss);

@@ -30,6 +30,21 @@ pub enum CommScope {
     Peer,
 }
 
+impl CommScope {
+    /// The scope's name as it appears in trace-event `scope` arguments (the
+    /// vocabulary [`dmt_metrics::trace::hidden_comm_fraction_from_trace`]
+    /// keys its wait↔op pairing on).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CommScope::Local => "Local",
+            CommScope::Global => "Global",
+            CommScope::IntraHost => "IntraHost",
+            CommScope::Peer => "Peer",
+        }
+    }
+}
+
 /// One measured timeline segment, averaged over the run's iterations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MeasuredSegment {

@@ -77,6 +77,7 @@ pub use pipeline::{StageGraph, StageId};
 
 use dmt_comm::{SharedMemoryBackend, SharedMemoryComm};
 use dmt_core::naive_partition;
+use dmt_metrics::trace;
 use dmt_topology::ProcessGroup;
 use measure::{aggregate, RankOutcome};
 
@@ -142,7 +143,7 @@ fn build_comms(config: &DistributedConfig) -> Vec<RankComms> {
             peer[rank.0] = Some(handle);
         }
     }
-    global
+    let comms: Vec<RankComms> = global
         .into_iter()
         .zip(intra)
         .zip(peer)
@@ -151,7 +152,31 @@ fn build_comms(config: &DistributedConfig) -> Vec<RankComms> {
             intra: intra.expect("intra-host groups cover every rank"),
             peer: peer.expect("peer groups cover every rank"),
         })
-        .collect()
+        .collect();
+    // Every backend gets its own trace lane (tid) so overlapping transfers on
+    // a rank's three worlds never share a timeline row — the Perfetto view and
+    // the nest-or-disjoint validator both rely on per-backend sequential lanes.
+    for (rank, comm) in comms.iter().enumerate() {
+        let scopes: [(&SharedMemoryBackend, &str, &str, u64); 3] = [
+            (&comm.global, "Global", "global", 0),
+            (&comm.intra, "IntraHost", "intra-host", 1),
+            (&comm.peer, "Peer", "peer", 2),
+        ];
+        for (backend, scope, lane, slot) in scopes {
+            backend.set_trace_target(
+                dmt_comm::TraceTarget {
+                    track: trace::Track {
+                        pid: trace::deployment::COMM,
+                        tid: (rank as u64) * 4 + slot,
+                    },
+                    rank: rank as u64,
+                    scope,
+                },
+                &format!("rank{rank} {lane}"),
+            );
+        }
+    }
+    comms
 }
 
 fn run_mode(
@@ -186,6 +211,17 @@ fn run_mode_inner(
             let config = config.clone();
             joins.push(scope.spawn(move || {
                 let mut comm = comm;
+                // Name this rank's timeline lane and remember it in TLS so the
+                // executor's iteration/node spans land on it (cheap no-op setup
+                // when tracing never turns on).
+                trace::register_thread(
+                    "trainer",
+                    &format!("rank{rank}"),
+                    trace::Track {
+                        pid: trace::deployment::TRAINER,
+                        tid: rank as u64,
+                    },
+                );
                 let outcome = match mode {
                     ExecutionMode::Baseline => {
                         baseline::baseline_rank(&config, rank, &mut comm, want_snapshot)

@@ -117,6 +117,10 @@ impl<'a, C> StageGraph<'a, C> {
     /// Propagates the first stage failure.
     pub fn run(self, ctx: &mut C) -> Result<(), DistributedError> {
         for stage in self.stages {
+            // One trace span per graph-node execution (no-op when tracing is
+            // off); the span lands on the rank thread's registered lane.
+            let _span =
+                dmt_metrics::trace::span(dmt_metrics::trace::cat::NODE, || stage.label.to_string());
             (stage.run)(ctx).map_err(|e| match e {
                 DistributedError::Config { reason } => DistributedError::Config {
                     reason: format!("stage `{}`: {reason}", stage.label),

@@ -1,0 +1,124 @@
+//! Tracing quickstart: record a pipelined DMT training run and a staged
+//! serving run into one Chrome trace, write `trace.json`, and verify it.
+//!
+//! Run with `cargo run --release -p dmt-bench --example trace_quickstart`
+//! (add `--quick` for the CI-sized run). Then open the resulting
+//! `trace.json` in Perfetto: go to <https://ui.perfetto.dev>, "Open trace
+//! file" — or `chrome://tracing` in a Chromium browser. Training lanes show
+//! per-rank iteration/node spans over the comm transfers that overlap them;
+//! serving lanes show each request's async lifecycle (admit → queue →
+//! batch-close → lookup → stage queue → dense → reply) and shed instants.
+//!
+//! The example is also its own validator — the same checks CI runs:
+//!
+//! * the written file parses back as Chrome trace events;
+//! * spans nest and no duration is negative ([`trace::validate_trace`]);
+//! * every request admitted into the staged pipeline reaches a terminal
+//!   event: completed requests close their async span, sheds leave instants;
+//! * the paper's overlap metric recomputed from the raw trace
+//!   ([`trace::hidden_comm_fraction_from_trace`]) matches what the engine
+//!   measured live — the trace is a second witness, not decoration.
+
+use dmt_data::ZipfRequestStream;
+use dmt_metrics::trace;
+use dmt_models::ModelArch;
+use dmt_serve::{
+    run_load, ArrivalProcess, BatchConfig, LoadConfig, ServeConfig, SloConfig, StagePools,
+    StagedEngine,
+};
+use dmt_topology::{ClusterTopology, HardwareGeneration};
+use dmt_trainer::distributed::{
+    run_dmt, run_with_snapshot, DistributedConfig, ExecutionMode, ScheduleMode,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iterations = if quick { 2 } else { 4 };
+    let requests = if quick { 48 } else { 256 };
+    let cluster = ClusterTopology::new(HardwareGeneration::A100, 2, 4).expect("2x4 cluster");
+
+    println!("== dmt-metrics tracing quickstart ==");
+    trace::set_tracing(false);
+    let _ = trace::take_events();
+
+    // [1/3] A pipelined DMT training run, traced end to end.
+    println!("[1/3] tracing a pipelined DMT training run ({iterations} iterations)...");
+    let train_cfg = DistributedConfig::quick(cluster.clone(), ModelArch::Dlrm)
+        .with_schedule(ScheduleMode::Pipelined)
+        .with_iterations(iterations);
+    trace::set_tracing(true);
+    let run = run_dmt(&train_cfg).expect("pipelined DMT run");
+    trace::set_tracing(false);
+    let measured = run.hidden_comm_fraction();
+    println!("      measured hidden-comm fraction: {measured:.3}");
+
+    // [2/3] A staged serving run under closed-loop load, traced into the same
+    // buffer (its own process lane in the viewer). The snapshot is trained
+    // untraced so the trace holds exactly one training run.
+    println!("[2/3] tracing a staged serving run ({requests} requests)...");
+    let snap_cfg = DistributedConfig::quick(cluster.clone(), ModelArch::Dlrm).with_iterations(1);
+    let (_, snapshot) = run_with_snapshot(&snap_cfg, ExecutionMode::Baseline).expect("snapshot");
+    let serve_cfg = ServeConfig::new(cluster.clone())
+        .with_batch(BatchConfig {
+            max_batch: 8,
+            max_delay_us: 500,
+            ..BatchConfig::default()
+        })
+        .with_slo(SloConfig::default());
+    trace::set_tracing(true);
+    let mut engine =
+        StagedEngine::start(&snapshot, StagePools::new(2, 1), &serve_cfg).expect("staged engine");
+    let mut stream = ZipfRequestStream::new(snapshot.schema.clone(), 7, 1.1);
+    let load = LoadConfig::new(requests, ArrivalProcess::Closed { clients: 4 });
+    let report = run_load(&mut engine, &load, || stream.next_queries(1)).expect("load run");
+    engine.shutdown().expect("shutdown");
+    trace::set_tracing(false);
+    println!(
+        "      {} completed, {} shed, p99 sojourn {:.2} ms",
+        report.completed,
+        report.total_shed(),
+        report.sojourn.p99 * 1e3
+    );
+
+    // [3/3] Export, then verify the artifact a user would load into Perfetto.
+    let events = trace::take_events();
+    assert_eq!(trace::events_dropped(), 0, "no thread buffer overflowed");
+    let path = std::path::Path::new("trace.json");
+    trace::write_chrome_trace(path, &events).expect("write trace.json");
+    let json = std::fs::read_to_string(path).expect("read trace.json back");
+    let parsed = trace::parse_chrome_trace(&json).expect("trace.json parses");
+    let summary = trace::validate_trace(&parsed).expect("spans nest, durations non-negative");
+    println!(
+        "[3/3] trace.json: {} events ({} spans, {} instants, {} request spans) on {} lanes",
+        parsed.len(),
+        summary.spans,
+        summary.instants,
+        summary.async_pairs,
+        summary.tracks
+    );
+
+    // Every admitted request reached a terminal event.
+    assert_eq!(
+        summary.async_pairs, report.completed,
+        "every completed request closes its async span"
+    );
+    let sheds = parsed
+        .iter()
+        .filter(|e| e.ph == "i" && e.cat == trace::cat::REQUEST && e.name == "shed")
+        .count() as u64;
+    assert_eq!(sheds, report.total_shed(), "every shed leaves an instant");
+
+    // The trace recomputes the paper's overlap claim.
+    let from_trace =
+        trace::hidden_comm_fraction_from_trace(&parsed).expect("trace holds comm + wait events");
+    println!("      hidden-comm fraction from trace: {from_trace:.3} (measured {measured:.3})");
+    assert!(
+        (from_trace - measured).abs() < 0.05,
+        "trace recompute {from_trace} vs measured {measured}"
+    );
+
+    println!(
+        "\nAll structural checks passed. Open trace.json at https://ui.perfetto.dev \
+         (\"Open trace file\") to browse the timelines."
+    );
+}

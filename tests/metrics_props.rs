@@ -1,0 +1,117 @@
+//! Property tests of the metrics registry's accuracy and concurrency
+//! contracts (see `crates/metrics/src/registry.rs` module docs):
+//!
+//! * a [`Histogram`] quantile is within 1% relative error of the exact
+//!   nearest-rank [`percentile`] for in-range samples, at any sample shape;
+//! * merging histograms is bucket-exact — associative, commutative, and
+//!   indistinguishable from recording every sample on one instrument;
+//! * counters and gauges are lock-free but lose nothing: a snapshot taken
+//!   after concurrent writers join shows exactly the written totals.
+
+use dmt_metrics::{percentile, Counter, Gauge, Histogram, Registry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline accuracy contract: any quantile of in-range samples is
+    /// within 1% relative error of the exact nearest-rank percentile.
+    #[test]
+    fn histogram_quantiles_stay_within_one_percent_of_exact(
+        samples in proptest::collection::vec(1e-6f64..1e3, 1..400),
+        ps in proptest::collection::vec(0.0f64..100.0, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        for &p in &ps {
+            let exact = percentile(&samples, p);
+            let approx = h.quantile(p);
+            prop_assert!(
+                (approx - exact).abs() <= exact * 0.01 + 1e-12,
+                "p{}: approx {} vs exact {}", p, approx, exact
+            );
+        }
+        // Exact aggregates are tracked exactly, not bucketed.
+        let total: f64 = samples.iter().sum();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert!((h.sum() - total).abs() <= total.abs() * 1e-12 + 1e-12);
+    }
+
+    /// Merging is bucket-exact and associative: `(a ∪ b) ∪ c` answers every
+    /// quantile identically to recording all samples on one histogram,
+    /// however the samples were split.
+    #[test]
+    fn histogram_merge_is_associative_and_lossless(
+        samples in proptest::collection::vec(1e-6f64..1e3, 3..300),
+        split in proptest::collection::vec(0u8..3, 3..300),
+    ) {
+        let parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        let reference = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            parts[usize::from(split[i % split.len()])].record(v);
+            reference.record(v);
+        }
+        // (p0 ∪ p1) ∪ p2 …
+        let left = Histogram::new();
+        left.merge(&parts[0]);
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // … versus p0 ∪ (p1 ∪ p2).
+        let right = Histogram::new();
+        parts[1].merge(&parts[2]);
+        right.merge(&parts[0]);
+        right.merge(&parts[1]);
+        prop_assert_eq!(left.count(), reference.count());
+        prop_assert_eq!(right.count(), reference.count());
+        for p in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            let want = reference.quantile(p);
+            prop_assert!((left.quantile(p) - want).abs() < 1e-15);
+            prop_assert!((right.quantile(p) - want).abs() < 1e-15);
+        }
+        prop_assert!((left.min() - reference.min()).abs() < 1e-15);
+        prop_assert!((left.max() - reference.max()).abs() < 1e-15);
+    }
+
+    /// Counter adds and gauge deltas from concurrent writers are all
+    /// reflected in a post-join snapshot — the lock-free write path loses no
+    /// update.
+    #[test]
+    fn concurrent_writers_are_fully_reflected_in_the_snapshot(
+        per_thread in proptest::collection::vec(1u64..200, 2..6),
+    ) {
+        let registry = Arc::new(Registry::new());
+        let counter: Arc<Counter> = registry.counter("props.hits");
+        let gauge: Arc<Gauge> = registry.gauge("props.depth");
+        let hist: Arc<Histogram> = registry.histogram("props.latency");
+        let threads: Vec<_> = per_thread
+            .iter()
+            .map(|&n| {
+                let (c, g, h) = (Arc::clone(&counter), Arc::clone(&gauge), Arc::clone(&hist));
+                std::thread::spawn(move || {
+                    for i in 0..n {
+                        c.add(2);
+                        g.add(1.0);
+                        g.add(-1.0);
+                        h.record(1e-3 * (i + 1) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer thread panicked");
+        }
+        let total: u64 = per_thread.iter().sum();
+        let snapshot = registry.snapshot();
+        let counters: std::collections::BTreeMap<_, _> =
+            snapshot.counters.iter().cloned().collect();
+        prop_assert_eq!(counters["props.hits"], total * 2);
+        let gauges: std::collections::BTreeMap<_, _> = snapshot.gauges.iter().cloned().collect();
+        prop_assert!(gauges["props.depth"].abs() < 1e-9, "balanced adds cancel");
+        let hists: std::collections::BTreeMap<_, _> =
+            snapshot.histograms.iter().cloned().collect();
+        prop_assert_eq!(hists["props.latency"].count, total);
+    }
+}
